@@ -1,0 +1,176 @@
+// Package gskew_test is the benchmark harness that regenerates every
+// table and figure of the paper (see DESIGN.md's per-experiment index)
+// under `go test -bench`. Each BenchmarkTableN/BenchmarkFigN runs the
+// corresponding experiment end to end — workload generation, predictor
+// simulation, rendering — and reports headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the paper's
+// artifacts and their costs in one sweep.
+//
+// Benchmarks use a reduced workload scale to keep the sweep tractable;
+// run `cmd/experiments -all -scale 1.0` to regenerate at the paper's
+// full trace lengths.
+package gskew_test
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"gskew/internal/experiments"
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/workload"
+)
+
+// benchScale keeps each experiment benchmark to roughly a second.
+const benchScale = 0.01
+
+// runExperiment executes one registered experiment b.N times and
+// reports the misprediction (or miss-ratio) metrics of the final run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var result experiments.Renderable
+	for i := 0; i < b.N; i++ {
+		// A fresh context per iteration so trace generation cost is
+		// included (it is part of regenerating the artifact).
+		ctx := &experiments.Context{Scale: benchScale, Benchmarks: []string{"verilog", "nroff"}}
+		result, err = e.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportHeadline(b, result)
+	if err := result.WriteText(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// reportHeadline extracts representative numbers from a result and
+// attaches them as benchmark metrics: the first and last numeric cell
+// of the last row of each table (or figure series endpoints).
+func reportHeadline(b *testing.B, r experiments.Renderable) {
+	b.Helper()
+	switch v := r.(type) {
+	case *report.Table:
+		if len(v.Rows) == 0 {
+			return
+		}
+		last := v.Rows[len(v.Rows)-1]
+		for i := len(last) - 1; i > 0; i-- {
+			if f, err := strconv.ParseFloat(trimPct(last[i]), 64); err == nil {
+				b.ReportMetric(f, "last_row_value")
+				return
+			}
+		}
+	case *report.Figure:
+		if len(v.Series) == 0 || len(v.Series[0].Ys) == 0 {
+			return
+		}
+		s := v.Series[len(v.Series)-1]
+		b.ReportMetric(s.Ys[len(s.Ys)-1], "final_point")
+	case *experiments.Bundle:
+		if len(v.Items) > 0 {
+			reportHeadline(b, v.Items[len(v.Items)-1])
+		}
+	}
+}
+
+func trimPct(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '%' || s[len(s)-1] == ' ') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B)  { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)    { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)    { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)    { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)    { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)    { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)    { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkFig9_10(b *testing.B) { runExperiment(b, "fig9"); runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)   { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)   { runExperiment(b, "fig12") }
+
+func BenchmarkAblationBanks(b *testing.B)    { runExperiment(b, "ablation-banks") }
+func BenchmarkAblationPolicy(b *testing.B)   { runExperiment(b, "ablation-policy") }
+func BenchmarkAblationCounters(b *testing.B) { runExperiment(b, "ablation-counters") }
+func BenchmarkAblationEnhanced(b *testing.B) { runExperiment(b, "ablation-enhanced-bank0") }
+
+// Predictor-throughput micro-benchmarks: cost per predicted branch for
+// each organisation at the paper's reference sizes.
+
+func benchPredictor(b *testing.B, p predictor.Predictor) {
+	b.Helper()
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		chunk := len(branches)
+		if b.N-done < chunk {
+			chunk = b.N - done
+		}
+		if _, err := sim.RunBranches(branches[:chunk], p, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		done += chunk
+	}
+}
+
+func BenchmarkPredictGShare16k(b *testing.B) {
+	benchPredictor(b, predictor.NewGShare(14, 12, 2))
+}
+
+func BenchmarkPredictGSkewed3x4k(b *testing.B) {
+	benchPredictor(b, predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12}))
+}
+
+func BenchmarkPredictEGSkew3x4k(b *testing.B) {
+	benchPredictor(b, predictor.MustGSkewed(predictor.Config{
+		BankBits: 12, HistoryBits: 12, Enhanced: true,
+	}))
+}
+
+func BenchmarkPredictAssocLRU4k(b *testing.B) {
+	benchPredictor(b, predictor.NewAssocLRU(4096, 12, 2))
+}
+
+func BenchmarkPredictUnaliased(b *testing.B) {
+	benchPredictor(b, predictor.NewUnaliased(12, 2))
+}
+
+// Extension-experiment benchmarks (paper future-work directions).
+
+func BenchmarkExtPAs(b *testing.B)          { runExperiment(b, "ext-pas") }
+func BenchmarkExtHybrid(b *testing.B)       { runExperiment(b, "ext-hybrid") }
+func BenchmarkExtConfidence(b *testing.B)   { runExperiment(b, "ext-confidence") }
+func BenchmarkExtEncoding(b *testing.B)     { runExperiment(b, "ext-encoding") }
+func BenchmarkExtOpt(b *testing.B)          { runExperiment(b, "ext-opt") }
+func BenchmarkExtPipeline(b *testing.B)     { runExperiment(b, "ext-pipeline") }
+func BenchmarkExtInterference(b *testing.B) { runExperiment(b, "ext-interference") }
+func BenchmarkExtQuantum(b *testing.B)      { runExperiment(b, "ext-quantum") }
+func BenchmarkExtFlush(b *testing.B)        { runExperiment(b, "ext-flush") }
+func BenchmarkExtModelM(b *testing.B)       { runExperiment(b, "ext-model-m") }
+func BenchmarkExtVariance(b *testing.B)     { runExperiment(b, "ext-variance") }
+func BenchmarkExtRivals(b *testing.B)       { runExperiment(b, "ext-rivals") }
+func BenchmarkExtEV8(b *testing.B)          { runExperiment(b, "ext-ev8") }
+func BenchmarkExtBestHist(b *testing.B)     { runExperiment(b, "ext-besthist") }
+func BenchmarkExtSetAssoc(b *testing.B)     { runExperiment(b, "ext-setassoc") }

@@ -1,0 +1,112 @@
+// Command aliasing runs the three-Cs aliasing classification (section
+// 2 of the paper) for a given index scheme over a benchmark workload
+// or trace file, printing compulsory / capacity / conflict ratios and
+// the underlying tagged-table miss ratios.
+//
+// Examples:
+//
+//	aliasing -bench groff -fn gshare -entries 4096 -hist 4
+//	aliasing -bench gs -fn gselect -entries 65536 -hist 12
+//	aliasing -trace t.bin -fn bimodal -entries 1024
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gskew/internal/alias"
+	"gskew/internal/history"
+	"gskew/internal/indexfn"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark workload name")
+		traceFile = flag.String("trace", "", "binary trace file (alternative to -bench)")
+		scale     = flag.Float64("scale", 0, "workload scale (default 0.1)")
+		fnName    = flag.String("fn", "gshare", "index function: gshare, gselect, bimodal")
+		entries   = flag.Int("entries", 4096, "table entries (rounded up to a power of two)")
+		hist      = flag.Uint("hist", 4, "global history bits")
+	)
+	flag.Parse()
+
+	n := uint(0)
+	for 1<<n < *entries {
+		n++
+	}
+	var fn indexfn.Func
+	switch *fnName {
+	case "gshare":
+		fn = indexfn.NewGShare(n, *hist)
+	case "gselect":
+		fn = indexfn.NewGSelect(n, *hist)
+	case "bimodal":
+		fn = indexfn.NewBimodal(n)
+	default:
+		fatal(fmt.Errorf("unknown index function %q", *fnName))
+	}
+
+	var src trace.Source
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		src = r
+	case *benchName != "":
+		spec, err := workload.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := workload.New(spec, workload.Config{Scale: *scale})
+		if err != nil {
+			fatal(err)
+		}
+		src = workload.NewTake(g, g.Length())
+	default:
+		fmt.Fprintln(os.Stderr, "aliasing: specify -bench or -trace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cl := alias.NewClassifier(fn)
+	ghr := history.NewGlobal(*hist)
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if b.Kind == trace.Conditional {
+			cl.Observe(b.PC, ghr.Bits())
+		}
+		ghr.Shift(b.Taken)
+	}
+
+	st := cl.Stats()
+	fmt.Printf("index function:   %s (%d entries, %d history bits)\n", fn.Name(), 1<<n, *hist)
+	fmt.Printf("references:       %d\n", st.Accesses)
+	fmt.Printf("DM miss ratio:    %.3f %%  (total aliasing)\n", 100*cl.DM().MissRatio())
+	fmt.Printf("FA-LRU miss:      %.3f %%  (compulsory + capacity)\n", 100*cl.FA().MissRatio())
+	fmt.Printf("compulsory:       %.3f %%\n", 100*st.CompulsoryRatio())
+	fmt.Printf("capacity:         %.3f %%\n", 100*st.CapacityRatio())
+	fmt.Printf("conflict:         %.3f %%\n", 100*st.ConflictRatio())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aliasing:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig5 [-scale 0.1] [-bench groff,gs] [-format text|csv]
+//	experiments -all [-scale 0.03]
+//
+// Each experiment prints its result as an aligned text table (or CSV),
+// with one sub-table per benchmark for the paper's per-benchmark
+// figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gskew/internal/experiments"
+	"gskew/internal/workload"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		id     = flag.String("id", "", "experiment id to run (e.g. table1, fig5)")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Float64("scale", 0, "workload scale factor (0 = default 0.1; 1.0 = paper-length traces)")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
+		format = flag.String("format", "text", "output format: text, csv or plot (ASCII charts)")
+		seed   = flag.Uint64("seed", 0, "seed offset for workload generation")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-24s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-24s paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext(*scale)
+	ctx.SeedOffset = *seed
+	if *bench != "" {
+		for _, b := range strings.Split(*bench, ",") {
+			b = strings.TrimSpace(b)
+			if _, err := workload.ByName(b); err != nil {
+				fatal(err)
+			}
+			ctx.Benchmarks = append(ctx.Benchmarks, b)
+		}
+	}
+
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		toRun = experiments.All()
+	case *id != "":
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		toRun = []experiments.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -list, -id <experiment> or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for i, e := range toRun {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		result, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		switch *format {
+		case "text":
+			err = result.WriteText(os.Stdout)
+		case "csv":
+			err = result.WriteCSV(os.Stdout)
+		case "plot":
+			err = experiments.WritePlot(os.Stdout, result)
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,245 @@
+// Command predsim runs one predictor configuration over a benchmark
+// workload (or a trace file) and reports the misprediction rate.
+//
+// Examples:
+//
+//	predsim -bench groff -pred gshare -entries 16384 -hist 12
+//	predsim -bench gs -pred gskewed -banks 3 -entries 4096 -hist 8 -policy partial
+//	predsim -bench nroff -pred egskew -entries 4096 -hist 12
+//	predsim -trace trace.bin -pred assoc-lru -entries 1024 -hist 4
+//	predsim -bench verilog -pred unaliased -hist 12 -skip-first-use
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gskew/internal/history"
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark workload name ("+joinNames()+")")
+		traceFile = flag.String("trace", "", "binary trace file (alternative to -bench)")
+		scale     = flag.Float64("scale", 0, "workload scale (default 0.1)")
+		seed      = flag.Uint64("seed", 0, "workload seed offset")
+		pred      = flag.String("pred", "gshare", "predictor: bimodal, gshare, gselect, gskewed, egskew, 2bcgskew, agree, bimode, pas, skewed-pas, hybrid, unaliased, assoc-lru")
+		entries   = flag.Int("entries", 16384, "table entries (per bank for gskewed/egskew)")
+		banks     = flag.Int("banks", 3, "bank count for gskewed")
+		hist      = flag.Uint("hist", 8, "global history bits")
+		ctrBits   = flag.Uint("counter", 2, "counter width in bits")
+		policy    = flag.String("policy", "partial", "gskewed update policy: partial or total")
+		skipFirst = flag.Bool("skip-first-use", false, "exclude first-time (address,history) references (ideal-table accounting)")
+		top       = flag.Int("top", 0, "also report the top-N mispredicting branch addresses")
+	)
+	flag.Parse()
+
+	p, err := buildPredictor(*pred, *entries, *banks, *hist, *ctrBits, *policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src trace.Source
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		src = r
+	case *benchName != "":
+		spec, err := workload.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := workload.New(spec, workload.Config{Scale: *scale, SeedOffset: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		src = workload.NewTake(g, g.Length())
+	default:
+		fmt.Fprintln(os.Stderr, "predsim: specify -bench or -trace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var res sim.Result
+	var topMisses []missEntry
+	if *top > 0 {
+		res, topMisses, err = runWithTopMisses(src, p, *top)
+	} else {
+		res, err = sim.Run(src, p, sim.Options{SkipFirstUse: *skipFirst})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("predictor:      %v\n", p)
+	fmt.Printf("storage bits:   %d (%.1f KiB)\n", p.StorageBits(), float64(p.StorageBits())/8192)
+	fmt.Printf("conditionals:   %d\n", res.Conditionals)
+	fmt.Printf("unconditionals: %d\n", res.Unconditionals)
+	if res.FirstUses > 0 {
+		fmt.Printf("first uses:     %d (excluded)\n", res.FirstUses)
+	}
+	fmt.Printf("mispredicts:    %d\n", res.Mispredicts)
+	fmt.Printf("miss rate:      %.3f %%\n", res.MissPercent())
+	if len(topMisses) > 0 {
+		fmt.Printf("\ntop mispredicting branches:\n")
+		fmt.Printf("%-12s %10s %10s %9s\n", "pc(word)", "executed", "misses", "missrate")
+		for _, m := range topMisses {
+			fmt.Printf("%#-12x %10d %10d %8.2f%%\n",
+				m.pc, m.execs, m.misses, 100*float64(m.misses)/float64(m.execs))
+		}
+	}
+}
+
+// missEntry is one row of the -top report.
+type missEntry struct {
+	pc            uint64
+	execs, misses int
+}
+
+// runWithTopMisses replicates the sim runner's accounting while
+// tallying per-branch misses (the runner itself stays allocation-free;
+// this diagnostic path pays for a map).
+func runWithTopMisses(src trace.Source, p predictor.Predictor, n int) (sim.Result, []missEntry, error) {
+	type tally struct{ execs, misses int }
+	perPC := make(map[uint64]*tally)
+	ghr := history.NewGlobal(p.HistoryBits())
+	var res sim.Result
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return res, nil, err
+		}
+		switch b.Kind {
+		case trace.Conditional:
+			res.Conditionals++
+			t := perPC[b.PC]
+			if t == nil {
+				t = &tally{}
+				perPC[b.PC] = t
+			}
+			t.execs++
+			if p.Predict(b.PC, ghr.Bits()) != b.Taken {
+				res.Mispredicts++
+				t.misses++
+			}
+			p.Update(b.PC, ghr.Bits(), b.Taken)
+			ghr.Shift(b.Taken)
+		case trace.Unconditional:
+			res.Unconditionals++
+			ghr.Shift(true)
+		}
+	}
+	entries := make([]missEntry, 0, len(perPC))
+	for pc, t := range perPC {
+		if t.misses > 0 {
+			entries = append(entries, missEntry{pc: pc, execs: t.execs, misses: t.misses})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].misses != entries[j].misses {
+			return entries[i].misses > entries[j].misses
+		}
+		return entries[i].pc < entries[j].pc
+	})
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	return res, entries, nil
+}
+
+// buildPredictor constructs the requested organisation. entries is
+// rounded to the next power of two (tables are power-of-two indexed).
+func buildPredictor(kind string, entries, banks int, hist, ctrBits uint, policy string) (predictor.Predictor, error) {
+	n := uint(0)
+	for 1<<n < entries {
+		n++
+	}
+	var pol predictor.UpdatePolicy
+	switch policy {
+	case "partial":
+		pol = predictor.PartialUpdate
+	case "total":
+		pol = predictor.TotalUpdate
+	default:
+		return nil, fmt.Errorf("predsim: unknown policy %q", policy)
+	}
+	switch kind {
+	case "bimodal":
+		return predictor.NewBimodal(n, ctrBits), nil
+	case "gshare":
+		return predictor.NewGShare(n, hist, ctrBits), nil
+	case "gselect":
+		return predictor.NewGSelect(n, hist, ctrBits), nil
+	case "gskewed":
+		return predictor.NewGSkewed(predictor.Config{
+			Banks: banks, BankBits: n, HistoryBits: hist,
+			CounterBits: ctrBits, Policy: pol,
+		})
+	case "egskew":
+		return predictor.NewGSkewed(predictor.Config{
+			Banks: 3, BankBits: n, HistoryBits: hist,
+			CounterBits: ctrBits, Policy: pol, Enhanced: true,
+		})
+	case "2bcgskew":
+		short := hist / 2
+		return predictor.NewTwoBcGSkew(n, short, hist)
+	case "agree":
+		return predictor.NewAgree(n, hist, min(n, 12), ctrBits)
+	case "bimode":
+		return predictor.NewBiMode(n, hist, min(n, 12), ctrBits)
+	case "pas":
+		local := hist
+		if local > n {
+			local = n
+		}
+		return predictor.NewPAs(min(n, 10), local, n, ctrBits)
+	case "skewed-pas":
+		local := hist
+		return predictor.NewSkewedPAs(min(n, 10), local, n, ctrBits, pol)
+	case "hybrid":
+		return predictor.NewHybrid(
+			predictor.NewBimodal(n, ctrBits),
+			predictor.NewGShare(n, hist, ctrBits),
+			min(n, 12))
+	case "unaliased":
+		return predictor.NewUnaliased(hist, ctrBits), nil
+	case "assoc-lru":
+		return predictor.NewAssocLRU(entries, hist, ctrBits), nil
+	default:
+		return nil, fmt.Errorf("predsim: unknown predictor %q", kind)
+	}
+}
+
+func joinNames() string {
+	out := ""
+	for i, n := range workload.Names() {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command report regenerates the paper's entire evaluation section as
+// one Markdown document: every table and figure (figures both as data
+// tables and ASCII charts), with the experiment descriptions inline.
+//
+// Usage:
+//
+//	report -o REPORT.md [-scale 0.1] [-bench groff,gs] [-plots=false]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gskew/internal/experiments"
+	"gskew/internal/report"
+	"gskew/internal/workload"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output file (default stdout)")
+		scale  = flag.Float64("scale", 0, "workload scale factor (0 = default 0.1)")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset")
+		plots  = flag.Bool("plots", true, "include ASCII charts for figures")
+		subset = flag.String("only", "", "comma-separated experiment ids (default: all)")
+	)
+	flag.Parse()
+
+	ctx := experiments.NewContext(*scale)
+	if *bench != "" {
+		for _, b := range strings.Split(*bench, ",") {
+			b = strings.TrimSpace(b)
+			if _, err := workload.ByName(b); err != nil {
+				fatal(err)
+			}
+			ctx.Benchmarks = append(ctx.Benchmarks, b)
+		}
+	}
+
+	toRun := experiments.All()
+	if *subset != "" {
+		var filtered []experiments.Experiment
+		for _, id := range strings.Split(*subset, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			filtered = append(filtered, e)
+		}
+		toRun = filtered
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+
+	fmt.Fprintf(w, "# Regenerated evaluation — skewed branch predictor (ISCA 1997)\n\n")
+	fmt.Fprintf(w, "Workload scale %.3g; see EXPERIMENTS.md for the paper-vs-measured discussion.\n\n",
+		effectiveScale(*scale))
+
+	start := time.Now()
+	for _, e := range toRun {
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "*Paper:* %s\n\n", e.Paper)
+		result, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Fprintln(w, "```")
+		if err := result.WriteText(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "```")
+		if *plots {
+			if hasFigure(result) {
+				fmt.Fprintln(w, "\n```")
+				if err := experiments.WritePlot(w, result); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintln(w, "```")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "---\nGenerated in %v.\n", time.Since(start).Round(time.Second))
+}
+
+// hasFigure reports whether the result contains at least one figure
+// worth plotting.
+func hasFigure(r experiments.Renderable) bool {
+	switch v := r.(type) {
+	case *report.Figure:
+		return true
+	case *experiments.Bundle:
+		for _, item := range v.Items {
+			if hasFigure(item) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func effectiveScale(s float64) float64 {
+	if s <= 0 {
+		return experiments.DefaultScale
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command tracegen materialises a benchmark workload into a trace
+// file, in the binary format (default) or the debug text format.
+//
+// Examples:
+//
+//	tracegen -bench groff -o groff.trace
+//	tracegen -bench gs -scale 1.0 -o gs-full.trace
+//	tracegen -bench verilog -format text -o verilog.txt
+//	tracegen -bench nroff -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark workload name")
+		scale     = flag.Float64("scale", 0, "workload scale (default 0.1; 1.0 = paper-length)")
+		seed      = flag.Uint64("seed", 0, "workload seed offset")
+		out       = flag.String("o", "", "output file (default stdout)")
+		format    = flag.String("format", "binary", "output format: binary or text")
+		statsOnly = flag.Bool("stats", false, "print trace statistics instead of writing a trace")
+	)
+	flag.Parse()
+
+	if *benchName == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: specify -bench; available:", workload.Names())
+		os.Exit(2)
+	}
+	spec, err := workload.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := workload.New(spec, workload.Config{Scale: *scale, SeedOffset: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	src := workload.NewTake(g, g.Length())
+
+	if *statsOnly {
+		st, err := trace.Measure(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmark:            %s\n", spec.Name)
+		fmt.Printf("dynamic conditional:  %d\n", st.Dynamic)
+		fmt.Printf("static conditional:   %d (spec target %d)\n", st.Static, spec.StaticBranches)
+		fmt.Printf("dynamic uncond:       %d\n", st.DynamicUncond)
+		fmt.Printf("static uncond:        %d\n", st.StaticUncond)
+		fmt.Printf("taken ratio:          %.3f\n", st.TakenRatio())
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "binary":
+		bw, err := trace.NewWriter(w)
+		if err != nil {
+			fatal(err)
+		}
+		n := 0
+		for {
+			b, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if err := bw.Write(b); err != nil {
+				fatal(err)
+			}
+			n++
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d events\n", n)
+	case "text":
+		if err := trace.WriteText(w, src); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Aliasing3c: audit a predictor configuration with the paper's
+// three-Cs aliasing classification. For a sweep of table sizes, the
+// example decomposes gshare's aliasing into compulsory, capacity and
+// conflict components and prints where conflicts start to dominate —
+// the observation that motivates the skewed predictor.
+//
+// Run with: go run ./examples/aliasing3c [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gskew/internal/alias"
+	"gskew/internal/history"
+	"gskew/internal/indexfn"
+	"gskew/internal/report"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+func main() {
+	bench := "verilog"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const histBits = 4
+	sizes := []uint{8, 10, 12, 14, 16}
+
+	// One classifier per table size, all fed in a single pass.
+	classifiers := make([]*alias.Classifier, len(sizes))
+	for i, n := range sizes {
+		classifiers[i] = alias.NewClassifier(indexfn.NewGShare(n, histBits))
+	}
+	ghr := history.NewGlobal(histBits)
+	for _, b := range branches {
+		if b.Kind == trace.Conditional {
+			for _, cl := range classifiers {
+				cl.Observe(b.PC, ghr.Bits())
+			}
+		}
+		ghr.Shift(b.Taken)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("gshare aliasing decomposition, %s, %d-bit history", bench, histBits),
+		"entries", "total %", "compulsory %", "capacity %", "conflict %", "dominant")
+	for i, n := range sizes {
+		st := classifiers[i].Stats()
+		dominant := "capacity"
+		if st.Conflict > st.Capacity {
+			dominant = "conflict"
+		}
+		if st.Compulsory > st.Capacity && st.Compulsory > st.Conflict {
+			dominant = "compulsory"
+		}
+		t.AddRow(fmt.Sprintf("%d", 1<<n),
+			fmt.Sprintf("%.3f", 100*st.TotalRatio()),
+			fmt.Sprintf("%.3f", 100*st.CompulsoryRatio()),
+			fmt.Sprintf("%.3f", 100*st.CapacityRatio()),
+			fmt.Sprintf("%.3f", 100*st.ConflictRatio()),
+			dominant)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOnce capacity has vanished, the remaining aliasing is conflict —")
+	fmt.Println("removable by associativity, which the skewed predictor provides tag-free.")
+}

@@ -1,0 +1,115 @@
+// Claims: a self-check that re-measures the paper's headline claims
+// and prints a PASS/FAIL verdict for each — the executable version of
+// EXPERIMENTS.md. Useful as a quick regression check after touching
+// the predictors or the workload generator.
+//
+// Run with: go run ./examples/claims [scale]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"gskew/internal/model"
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/workload"
+)
+
+type claim struct {
+	name  string
+	check func() (bool, string)
+}
+
+func main() {
+	scale := 0.05
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil {
+			log.Fatalf("bad scale %q: %v", os.Args[1], err)
+		}
+		scale = v
+	}
+
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s at scale %g: %d events\n\n", spec.Name, scale, len(branches))
+
+	miss := func(p predictor.Predictor) float64 {
+		res, err := sim.RunBranches(branches, p, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.MissPercent()
+	}
+
+	claims := []claim{
+		{"partial update beats total update (section 5.1)", func() (bool, string) {
+			partial := miss(predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 8}))
+			total := miss(predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: 8, Policy: predictor.TotalUpdate,
+			}))
+			return partial <= total, fmt.Sprintf("partial %.3f%% vs total %.3f%%", partial, total)
+		}},
+		{"3N gskewed(partial) ~ N-entry fully-associative LRU (figure 8)", func() (bool, string) {
+			sk := miss(predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 4}))
+			fa := miss(predictor.NewAssocLRU(1<<12, 4, 2))
+			return sk <= fa*1.15, fmt.Sprintf("gskewed %.3f%% vs assoc-lru %.3f%%", sk, fa)
+		}},
+		{"e-gskew rescues long histories (figure 12)", func() (bool, string) {
+			plain := miss(predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 14}))
+			enh := miss(predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: 14, Enhanced: true,
+			}))
+			return enh < plain, fmt.Sprintf("egskew %.3f%% vs gskewed %.3f%%", enh, plain)
+		}},
+		{"3x4k e-gskew within 10%% of a 32k gshare (figure 12)", func() (bool, string) {
+			enh := miss(predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: 12, Enhanced: true,
+			}))
+			gsh := miss(predictor.NewGShare(15, 12, 2))
+			return enh <= gsh*1.10, fmt.Sprintf("egskew %.3f%% vs 32k gshare %.3f%%", enh, gsh)
+		}},
+		{"5 banks add less than 3 banks did (section 5.1)", func() (bool, string) {
+			one := miss(predictor.NewGShare(10, 4, 2))
+			three := miss(predictor.MustGSkewed(predictor.Config{Banks: 3, BankBits: 10, HistoryBits: 4}))
+			five := miss(predictor.MustGSkewed(predictor.Config{Banks: 5, BankBits: 10, HistoryBits: 4}))
+			return one-three >= three-five,
+				fmt.Sprintf("1 bank %.3f%%, 3 banks %.3f%%, 5 banks %.3f%%", one, three, five)
+		}},
+		{"analytical model P_sk < P_dm at small p (figures 9-10)", func() (bool, string) {
+			p := 0.1
+			return model.PSkewWorstCase(p) < model.PDirectWorstCase(p),
+				fmt.Sprintf("P_sk(0.1)=%.4f vs P_dm(0.1)=%.4f",
+					model.PSkewWorstCase(p), model.PDirectWorstCase(p))
+		}},
+		{"model crossover near N/10 (section 5.2)", func() (bool, string) {
+			n := 3 * 4096
+			d := model.CrossoverDistance(n, 0.5)
+			return d > n/20 && d < n/5, fmt.Sprintf("crossover at D=%d for N=%d", d, n)
+		}},
+	}
+
+	failures := 0
+	for _, c := range claims {
+		ok, detail := c.check()
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("[%s] %s\n       %s\n", verdict, c.name, detail)
+	}
+	fmt.Printf("\n%d/%d claims hold\n", len(claims)-failures, len(claims))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

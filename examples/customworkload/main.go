@@ -1,0 +1,81 @@
+// Customworkload: build a synthetic program by hand with the cfg
+// builder — a nested-loop kernel with a history-correlated branch —
+// and show that a global-history predictor learns the correlation
+// while an address-only (bimodal) predictor cannot.
+//
+// Run with: go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gskew/internal/cfg"
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+func main() {
+	// Program sketch (one procedure):
+	//
+	//	for outer := 0; outer < ~40; outer++ {      // long scan loop
+	//	    if guard (97% taken) { ... }
+	//	    for i := 0; i < 6; i++ {                // fixed inner loop
+	//	        if corr { ... }   // outcome = parity of last 2 outcomes
+	//	    }
+	//	}
+	b := cfg.NewBuilder(0x1000)
+	guard := b.NewSite(cfg.Biased{P: 0.97})
+	guardBlk := b.NewBlock(8)
+	corr := b.NewSite(cfg.Correlated{Mask: 0b11})
+	corrBlk := b.NewBlock(4)
+	innerBack := b.NewSite(cfg.Biased{P: 0.85}) // bias annotation only
+	outerBack := b.NewSite(cfg.Biased{P: 0.97})
+
+	inner := &cfg.Loop{
+		Site:  innerBack,
+		Body:  []cfg.Node{&cfg.If{Site: corr, Then: []cfg.Node{corrBlk}}},
+		Trips: cfg.TripDist{Min: 6}, // fixed six trips
+	}
+	outer := &cfg.Loop{
+		Site: outerBack,
+		Body: []cfg.Node{
+			&cfg.If{Site: guard, Then: []cfg.Node{guardBlk}},
+			inner,
+		},
+		Trips: cfg.TripDist{Min: 20, MeanExtra: 20},
+	}
+	b.AddProc("kernel", []cfg.Node{outer})
+	prog, err := b.Build(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Walk the program into a bounded trace.
+	walker := cfg.NewWalker(prog, 7)
+	var branches []trace.Branch
+	branches = walker.EmitConditionals(branches, 200000)
+	st, err := trace.Measure(trace.NewSliceSource(branches))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hand-built program: %d dynamic / %d static conditional branches\n\n",
+		st.Dynamic, st.Static)
+
+	// The correlated branch is invisible to an address-only predictor
+	// but trivial for any global-history scheme.
+	preds := []predictor.Predictor{
+		predictor.NewBimodal(10, 2),
+		predictor.NewGShare(10, 4, 2),
+		predictor.MustGSkewed(predictor.Config{BankBits: 8, HistoryBits: 4}),
+	}
+	for _, p := range preds {
+		res, err := sim.RunBranches(branches, p, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28v miss %.3f%%\n", p, res.MissPercent())
+	}
+	fmt.Println("\nbimodal cannot learn the parity branch; history-based predictors can.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a skewed branch predictor through the public API,
+// drive it with one of the bundled IBS-like workloads, and compare it
+// against gshare.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gskew"
+)
+
+func main() {
+	// 1. Materialise a workload. The suite mirrors the paper's Table 1
+	// benchmarks; Scale trades trace length for runtime (1.0 is the
+	// paper's full length).
+	spec, err := gskew.BenchmarkByName("groff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	branches, err := gskew.Materialize(spec, gskew.WorkloadConfig{Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d branch events\n", spec.Name, len(branches))
+
+	// 2. Build predictors. The skewed predictor (the paper's
+	// contribution) uses 3 banks of 4k two-bit counters with the
+	// partial-update policy; the baseline is a 16k-entry gshare.
+	gskewed := gskew.MustGSkewed(gskew.GSkewedConfig{
+		BankBits:    12, // 2^12 = 4096 entries per bank
+		HistoryBits: 6,
+		Policy:      gskew.PartialUpdate,
+	})
+	gshare := gskew.NewGShare(14, 6, 2) // 16k entries, 6 history bits
+
+	// 3. Run both over the same trace and report.
+	for _, p := range []gskew.Predictor{gshare, gskewed} {
+		res, err := gskew.Run(branches, p, gskew.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34v storage %5.1f KiB  miss %.3f%%\n",
+			p, float64(p.StorageBits())/8192, res.MissPercent())
+	}
+
+	// 4. Or regenerate a paper artifact programmatically.
+	fmt.Println("\nFigure 3, regenerated:")
+	ctx := &gskew.ExperimentContext{}
+	if err := gskew.RunExperiment("fig3", ctx, logWriter{}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// logWriter adapts stdout printing for the experiment renderer.
+type logWriter struct{}
+
+func (logWriter) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

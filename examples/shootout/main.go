@@ -1,0 +1,70 @@
+// Shootout: compare every predictor organisation in the repository on
+// one workload, at matched storage budgets, across two history
+// lengths — a compact version of the paper's evaluation tables.
+//
+// Run with: go run ./examples/shootout [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/workload"
+)
+
+func main() {
+	bench := "gs"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, hist := range []uint{4, 10} {
+		// ~32 Kbit budget: 16k 2-bit counters single-bank, or
+		// 3 x 4k 2-bit counters (24 Kbit) skewed.
+		preds := []predictor.Predictor{
+			predictor.NewBimodal(14, 2),
+			predictor.NewGSelect(14, hist, 2),
+			predictor.NewGShare(14, hist, 2),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: hist, Policy: predictor.TotalUpdate,
+			}),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: hist, Policy: predictor.PartialUpdate,
+			}),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: hist, Policy: predictor.PartialUpdate, Enhanced: true,
+			}),
+			predictor.NewAssocLRU(4096, hist, 2),
+			predictor.NewUnaliased(hist, 2),
+		}
+		results, err := sim.Compare(branches, preds, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("%s, %d-bit history (%d conditional branches)",
+				bench, hist, results[0].Conditionals),
+			"predictor", "storage Kbit", "miss %")
+		for i, p := range preds {
+			t.AddRow(fmt.Sprintf("%v", p),
+				fmt.Sprintf("%.0f", float64(p.StorageBits())/1024),
+				fmt.Sprintf("%.3f", results[i].MissPercent()))
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

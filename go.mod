@@ -1,0 +1,3 @@
+module gskew
+
+go 1.22

@@ -1,0 +1,192 @@
+// Package gskew is the public API of this repository: a complete Go
+// implementation of the skewed branch predictor and the aliasing
+// analysis apparatus from Michaud, Seznec and Uhlig, "Trading Conflict
+// and Capacity Aliasing in Conditional Branch Predictors" (ISCA 1997).
+//
+// The package re-exports a curated surface of the internal packages so
+// downstream users need a single import:
+//
+//	import "gskew"
+//
+//	spec, _ := gskew.BenchmarkByName("groff")
+//	branches, _ := gskew.Materialize(spec, gskew.WorkloadConfig{Scale: 0.05})
+//	p := gskew.MustGSkewed(gskew.GSkewedConfig{BankBits: 12, HistoryBits: 8})
+//	res, _ := gskew.Run(branches, p, gskew.RunOptions{})
+//	fmt.Printf("miss rate: %.2f%%\n", res.MissPercent())
+//
+// Three layers are exposed:
+//
+//   - Predictors: every organisation the paper studies (gshare,
+//     gselect, bimodal, gskewed, enhanced gskewed, an ideal unaliased
+//     table, a fully-associative LRU table) plus the future-work
+//     extensions (per-address two-level schemes, chooser hybrids).
+//   - Workloads: the six IBS-like synthetic benchmarks and the
+//     building blocks for custom traces.
+//   - Experiments: every table and figure of the paper, regenerable
+//     programmatically (the cmd/experiments tool is a thin wrapper).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package gskew
+
+import (
+	"io"
+
+	"gskew/internal/experiments"
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+// Predictor is a dynamic conditional-branch predictor. See the
+// constructors below for the available organisations.
+type Predictor = predictor.Predictor
+
+// GSkewedConfig parameterises the skewed branch predictor — the
+// paper's contribution.
+type GSkewedConfig = predictor.Config
+
+// UpdatePolicy selects partial or total update for skewed predictors.
+type UpdatePolicy = predictor.UpdatePolicy
+
+// Update policies (section 4.1 of the paper). Partial update is the
+// paper's recommendation.
+const (
+	PartialUpdate = predictor.PartialUpdate
+	TotalUpdate   = predictor.TotalUpdate
+)
+
+// NewGSkewed builds a skewed branch predictor.
+func NewGSkewed(cfg GSkewedConfig) (*predictor.GSkewed, error) { return predictor.NewGSkewed(cfg) }
+
+// MustGSkewed is NewGSkewed, panicking on configuration errors.
+func MustGSkewed(cfg GSkewedConfig) *predictor.GSkewed { return predictor.MustGSkewed(cfg) }
+
+// NewGShare returns a 2^n-entry gshare predictor with k history bits
+// and counterBits-wide cells.
+func NewGShare(n, k, counterBits uint) Predictor { return predictor.NewGShare(n, k, counterBits) }
+
+// NewGSelect returns a 2^n-entry gselect predictor.
+func NewGSelect(n, k, counterBits uint) Predictor { return predictor.NewGSelect(n, k, counterBits) }
+
+// NewBimodal returns a 2^n-entry bimodal (address-indexed) predictor.
+func NewBimodal(n, counterBits uint) Predictor { return predictor.NewBimodal(n, counterBits) }
+
+// NewUnaliased returns the ideal infinite predictor table of Table 2.
+func NewUnaliased(k, counterBits uint) *predictor.Unaliased {
+	return predictor.NewUnaliased(k, counterBits)
+}
+
+// NewAssocLRU returns the fully-associative tagged LRU reference
+// predictor of Figure 8.
+func NewAssocLRU(entries int, k, counterBits uint) Predictor {
+	return predictor.NewAssocLRU(entries, k, counterBits)
+}
+
+// NewHybrid combines two predictors with a McFarling-style chooser.
+func NewHybrid(a, b Predictor, chooserBits uint) (Predictor, error) {
+	return predictor.NewHybrid(a, b, chooserBits)
+}
+
+// NewTwoBcGSkew returns the 2Bc-gskew hybrid — the Alpha EV8
+// descendant of the paper's predictor: four 2^n-entry tables (bimodal,
+// two skewed history banks with histShort/histLong history bits, and a
+// meta chooser).
+func NewTwoBcGSkew(n, histShort, histLong uint) (Predictor, error) {
+	return predictor.NewTwoBcGSkew(n, histShort, histLong)
+}
+
+// NewAgree returns the agree predictor (Sprangle et al., ISCA 1997),
+// a contemporaneous anti-aliasing baseline.
+func NewAgree(n, k, biasBits, counterBits uint) (Predictor, error) {
+	return predictor.NewAgree(n, k, biasBits, counterBits)
+}
+
+// NewBiMode returns the bi-mode predictor (Lee et al., MICRO 1997),
+// a contemporaneous anti-aliasing baseline.
+func NewBiMode(n, k, choiceBits, counterBits uint) (Predictor, error) {
+	return predictor.NewBiMode(n, k, choiceBits, counterBits)
+}
+
+// NewPAs returns a per-address two-level predictor (Yeh/Patt PAs).
+func NewPAs(bhtBits, localK, phtBits, counterBits uint) (Predictor, error) {
+	return predictor.NewPAs(bhtBits, localK, phtBits, counterBits)
+}
+
+// Branch is one dynamic branch event. PC is a word address (byte
+// address >> 2); unconditional branches are always taken and only
+// contribute to the global history.
+type Branch = trace.Branch
+
+// Branch kinds.
+const (
+	Conditional   = trace.Conditional
+	Unconditional = trace.Unconditional
+)
+
+// WorkloadSpec describes one of the bundled IBS-like benchmarks.
+type WorkloadSpec = workload.Spec
+
+// WorkloadConfig adjusts workload realisation; Scale 1.0 reproduces
+// the paper's dynamic trace lengths.
+type WorkloadConfig = workload.Config
+
+// Benchmarks returns the six-benchmark suite mirroring the paper's
+// Table 1 (groff, gs, mpeg_play, nroff, real_gcc, verilog).
+func Benchmarks() []WorkloadSpec { return workload.Benchmarks() }
+
+// BenchmarkByName returns the spec of a named benchmark.
+func BenchmarkByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }
+
+// Materialize generates a benchmark's branch trace into memory.
+func Materialize(spec WorkloadSpec, cfg WorkloadConfig) ([]Branch, error) {
+	return workload.Materialize(spec, cfg)
+}
+
+// RunOptions adjusts a simulation run (first-use exclusion, history
+// override, periodic state flushes).
+type RunOptions = sim.Options
+
+// Result aggregates one simulation run.
+type Result = sim.Result
+
+// Run drives a predictor over a branch trace using the paper's
+// methodology: the runner owns the global-history register,
+// unconditional branches enter the history but are not predicted.
+func Run(branches []Branch, p Predictor, opts RunOptions) (Result, error) {
+	return sim.RunBranches(branches, p, opts)
+}
+
+// Compare runs several predictors over the same trace.
+func Compare(branches []Branch, preds []Predictor, opts RunOptions) ([]Result, error) {
+	return sim.Compare(branches, preds, opts)
+}
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// ExperimentContext configures experiment runs (workload scale,
+// benchmark subset) and caches generated traces.
+type ExperimentContext = experiments.Context
+
+// Experiments lists every regenerable artifact: table1, table2,
+// fig1..fig12, ablation-*, ext-*.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns one experiment by id (e.g. "fig5").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// RunExperiment runs one experiment and writes its result as an
+// aligned text table to w.
+func RunExperiment(id string, ctx *ExperimentContext, w io.Writer) error {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	result, err := e.Run(ctx)
+	if err != nil {
+		return err
+	}
+	return result.WriteText(w)
+}

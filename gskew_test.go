@@ -1,0 +1,136 @@
+package gskew_test
+
+// Public-API tests: exercise the curated surface exactly as a
+// downstream user would.
+
+import (
+	"strings"
+	"testing"
+
+	"gskew"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	spec, err := gskew.BenchmarkByName("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := gskew.Materialize(spec, gskew.WorkloadConfig{Scale: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	p := gskew.MustGSkewed(gskew.GSkewedConfig{
+		BankBits:    10,
+		HistoryBits: 6,
+		Policy:      gskew.PartialUpdate,
+	})
+	res, err := gskew.Run(branches, p, gskew.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conditionals == 0 || res.MissRate() <= 0 || res.MissRate() >= 0.5 {
+		t.Errorf("implausible result: %+v", res)
+	}
+}
+
+func TestPublicCompare(t *testing.T) {
+	spec, _ := gskew.BenchmarkByName("verilog")
+	branches, err := gskew.Materialize(spec, gskew.WorkloadConfig{Scale: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []gskew.Predictor{
+		gskew.NewBimodal(10, 2),
+		gskew.NewGShare(10, 6, 2),
+		gskew.NewGSelect(10, 6, 2),
+		gskew.NewAssocLRU(256, 6, 2),
+		gskew.NewUnaliased(6, 2),
+	}
+	results, err := gskew.Compare(branches, preds, gskew.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(preds) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// The ideal table must beat bimodal.
+	if results[4].MissRate() >= results[0].MissRate() {
+		t.Errorf("unaliased (%.4f) not better than bimodal (%.4f)",
+			results[4].MissRate(), results[0].MissRate())
+	}
+}
+
+func TestPublicHybrid(t *testing.T) {
+	h, err := gskew.NewHybrid(gskew.NewBimodal(8, 2), gskew.NewGShare(8, 6, 2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		h.Update(0x20, 0x1, false)
+	}
+	if h.Predict(0x20, 0x1) {
+		t.Error("hybrid did not learn through the public API")
+	}
+}
+
+func TestPublicBenchmarkSuite(t *testing.T) {
+	specs := gskew.Benchmarks()
+	if len(specs) != 6 {
+		t.Fatalf("suite size = %d", len(specs))
+	}
+	if _, err := gskew.BenchmarkByName("quake"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	all := gskew.Experiments()
+	if len(all) < 23 {
+		t.Fatalf("only %d experiments exposed", len(all))
+	}
+	if _, err := gskew.ExperimentByID("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gskew.ExperimentByID("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicRunExperiment(t *testing.T) {
+	var sb strings.Builder
+	ctx := &gskew.ExperimentContext{Scale: 0.004, Benchmarks: []string{"verilog"}}
+	if err := gskew.RunExperiment("fig3", ctx, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "gshare") {
+		t.Errorf("experiment output missing expected content:\n%s", sb.String())
+	}
+	if err := gskew.RunExperiment("nope", ctx, &sb); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+func TestPublicExtendedConstructors(t *testing.T) {
+	builders := map[string]func() (gskew.Predictor, error){
+		"2bcgskew": func() (gskew.Predictor, error) { return gskew.NewTwoBcGSkew(10, 4, 10) },
+		"agree":    func() (gskew.Predictor, error) { return gskew.NewAgree(10, 6, 10, 2) },
+		"bimode":   func() (gskew.Predictor, error) { return gskew.NewBiMode(10, 6, 10, 2) },
+		"pas":      func() (gskew.Predictor, error) { return gskew.NewPAs(8, 6, 12, 2) },
+	}
+	for name, build := range builders {
+		p, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 8; i++ {
+			p.Update(0x33, 0x2, false)
+		}
+		if p.Predict(0x33, 0x2) {
+			t.Errorf("%s did not learn through the public API", name)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package alias
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/indexfn"
+	"gskew/internal/rng"
+)
+
+func TestTaggedDMDetectsSharing(t *testing.T) {
+	// 16-entry bimodal table: addresses congruent mod 16 share entries.
+	dm := NewTaggedDM(indexfn.NewBimodal(4))
+	if !dm.Observe(0x0, 0) {
+		t.Error("first access must miss (cold)")
+	}
+	if dm.Observe(0x0, 0) {
+		t.Error("repeat access must hit")
+	}
+	if !dm.Observe(0x10, 0) {
+		t.Error("conflicting address must miss")
+	}
+	if !dm.Observe(0x0, 0) {
+		t.Error("evicted vector must miss again")
+	}
+	if dm.Accesses() != 4 || dm.Misses() != 3 {
+		t.Errorf("accesses=%d misses=%d", dm.Accesses(), dm.Misses())
+	}
+	if got := dm.MissRatio(); got != 0.75 {
+		t.Errorf("MissRatio = %v", got)
+	}
+	if dm.Entries() != 16 || dm.Name() != "bimodal-dm" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestTaggedDMDistinguishesHistories(t *testing.T) {
+	// With gshare indexing, the same address under two histories is
+	// two distinct vectors; they alias only if they index the same
+	// entry.
+	fn := indexfn.NewGShare(4, 4)
+	dm := NewTaggedDM(fn)
+	dm.Observe(0, 0b0001)
+	if !dm.Observe(0, 0b0010) {
+		t.Error("different history = different vector; must miss")
+	}
+}
+
+func TestTaggedFALRUOrder(t *testing.T) {
+	fa := NewTaggedFA(2, 0)
+	fa.Observe(1, 0) // miss
+	fa.Observe(2, 0) // miss
+	fa.Observe(1, 0) // hit, refreshes 1
+	if !fa.Observe(3, 0) {
+		t.Error("must miss on 3")
+	}
+	// 2 was LRU and evicted.
+	if !fa.Observe(2, 0) {
+		t.Error("2 should have been evicted")
+	}
+	if fa.Observe(3, 0) {
+		t.Error("3 should still be resident")
+	}
+	if fa.Entries() != 2 {
+		t.Error("Entries wrong")
+	}
+	if fa.Misses() != 4 || fa.Accesses() != 6 {
+		t.Errorf("misses=%d accesses=%d", fa.Misses(), fa.Accesses())
+	}
+	if r := fa.MissRatio(); r < 0.66 || r > 0.67 {
+		t.Errorf("MissRatio = %v", r)
+	}
+}
+
+func TestEmptyRatios(t *testing.T) {
+	if NewTaggedDM(indexfn.NewBimodal(4)).MissRatio() != 0 {
+		t.Error("empty DM ratio")
+	}
+	if NewTaggedFA(4, 0).MissRatio() != 0 {
+		t.Error("empty FA ratio")
+	}
+}
+
+func TestClassifierDecomposition(t *testing.T) {
+	// 4-entry bimodal table. Stream: two conflicting addresses (0, 4)
+	// ping-pong: pure conflict. Then a sweep over 8 addresses: capacity.
+	c := NewClassifier(indexfn.NewBimodal(2))
+
+	if got := c.Observe(0, 0); got != Compulsory {
+		t.Errorf("first ref class = %v", got)
+	}
+	c.Observe(4, 0) // compulsory (also conflicts, but priority rules)
+	for i := 0; i < 10; i++ {
+		if got := c.Observe(0, 0); got != Conflict {
+			t.Fatalf("ping class = %v, want Conflict", got)
+		}
+		if got := c.Observe(4, 0); got != Conflict {
+			t.Fatalf("pong class = %v, want Conflict", got)
+		}
+	}
+	st := c.Stats()
+	if st.Compulsory != 2 {
+		t.Errorf("Compulsory = %d, want 2", st.Compulsory)
+	}
+	if st.Conflict != 20 {
+		t.Errorf("Conflict = %d, want 20", st.Conflict)
+	}
+	if st.Capacity != 0 {
+		t.Errorf("Capacity = %d, want 0", st.Capacity)
+	}
+	if st.Total() != c.DM().Misses() {
+		t.Errorf("Total %d != DM misses %d", st.Total(), c.DM().Misses())
+	}
+}
+
+func TestClassifierCapacity(t *testing.T) {
+	// Sweeping 8 addresses through a 4-entry table is pure capacity
+	// after the cold pass: both DM and FA miss every time.
+	c := NewClassifier(indexfn.NewBimodal(2))
+	for round := 0; round < 5; round++ {
+		for a := uint64(0); a < 8; a++ {
+			c.Observe(a, 0)
+		}
+	}
+	st := c.Stats()
+	if st.Compulsory != 8 {
+		t.Errorf("Compulsory = %d", st.Compulsory)
+	}
+	if st.Capacity != 32 {
+		t.Errorf("Capacity = %d, want 32", st.Capacity)
+	}
+	if st.Conflict != 0 {
+		t.Errorf("Conflict = %d, want 0 (DM misses equal FA misses here)", st.Conflict)
+	}
+	if st.Accesses != 40 {
+		t.Errorf("Accesses = %d", st.Accesses)
+	}
+}
+
+func TestThreeCRatios(t *testing.T) {
+	c := ThreeC{Accesses: 200, Compulsory: 2, Capacity: 8, Conflict: 10}
+	if c.Total() != 20 {
+		t.Error("Total")
+	}
+	if c.CompulsoryRatio() != 0.01 || c.CapacityRatio() != 0.04 ||
+		c.ConflictRatio() != 0.05 || c.TotalRatio() != 0.1 {
+		t.Error("ratios wrong")
+	}
+	var zero ThreeC
+	if zero.TotalRatio() != 0 {
+		t.Error("zero-access ratio should be 0")
+	}
+	if s := c.String(); s == "" {
+		t.Error("String empty")
+	}
+}
+
+// naiveStackDist is the O(n^2) oracle.
+type naiveStackDist struct {
+	refs []uint64
+}
+
+func (n *naiveStackDist) observe(v uint64) int {
+	defer func() { n.refs = append(n.refs, v) }()
+	last := -1
+	for i := len(n.refs) - 1; i >= 0; i-- {
+		if n.refs[i] == v {
+			last = i
+			break
+		}
+	}
+	if last == -1 {
+		return Cold
+	}
+	distinct := make(map[uint64]struct{})
+	for _, u := range n.refs[last+1:] {
+		distinct[u] = struct{}{}
+	}
+	return len(distinct)
+}
+
+func TestStackDistMatchesNaive(t *testing.T) {
+	f := func(seed uint64, n16 uint16, span8 uint8) bool {
+		r := rng.NewXoshiro256(seed)
+		n := int(n16%600) + 1
+		span := uint64(span8%40) + 2
+		sd := NewStackDist(4)
+		oracle := &naiveStackDist{}
+		for i := 0; i < n; i++ {
+			v := r.Uint64n(span)
+			if sd.Observe(v) != oracle.observe(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackDistSimpleSequence(t *testing.T) {
+	sd := NewStackDist(16)
+	seq := []struct {
+		v    uint64
+		want int
+	}{
+		{1, Cold},
+		{2, Cold},
+		{3, Cold},
+		{1, 2}, // 2, 3 touched since
+		{1, 0}, // immediate repeat
+		{2, 2}, // 3, 1 touched since
+		{3, 2}, // 1, 2 touched since
+	}
+	for i, s := range seq {
+		if got := sd.Observe(s.v); got != s.want {
+			t.Fatalf("step %d: Observe(%d) = %d, want %d", i, s.v, got, s.want)
+		}
+	}
+	if sd.Distinct() != 3 {
+		t.Errorf("Distinct = %d", sd.Distinct())
+	}
+	if sd.Accesses() != len(seq) {
+		t.Errorf("Accesses = %d", sd.Accesses())
+	}
+}
+
+func TestStackDistMissRatioMatchesFATable(t *testing.T) {
+	// The histogram-derived LRU miss ratio must equal an actual
+	// TaggedFA simulation at every capacity.
+	r := rng.NewXoshiro256(77)
+	const n = 20000
+	vs := make([]uint64, n)
+	for i := range vs {
+		// Skewed popularity so there is real reuse structure.
+		vs[i] = r.Uint64n(64) * r.Uint64n(64)
+	}
+	sd := NewStackDist(n)
+	for _, v := range vs {
+		sd.Observe(v)
+	}
+	for _, capEntries := range []int{1, 4, 16, 64, 256} {
+		fa := NewTaggedFA(capEntries, 0)
+		for _, v := range vs {
+			fa.Observe(v, 0) // addr = vector, hist 0
+		}
+		if got, want := sd.MissRatioAt(capEntries), fa.MissRatio(); got != want {
+			t.Errorf("capacity %d: stack-dist ratio %.5f != FA simulation %.5f",
+				capEntries, got, want)
+		}
+	}
+}
+
+func TestStackDistColdRatio(t *testing.T) {
+	sd := NewStackDist(4)
+	sd.Observe(1)
+	sd.Observe(2)
+	sd.Observe(1)
+	sd.Observe(2)
+	if got := sd.ColdRatio(); got != 0.5 {
+		t.Errorf("ColdRatio = %v", got)
+	}
+	if NewStackDist(4).ColdRatio() != 0 {
+		t.Error("empty ColdRatio")
+	}
+	if NewStackDist(4).MissRatioAt(4) != 0 {
+		t.Error("empty MissRatioAt")
+	}
+}
+
+func TestStackDistGrowth(t *testing.T) {
+	// Start with a tiny hint and stream far past it.
+	sd := NewStackDist(1)
+	r := rng.NewXoshiro256(5)
+	oracle := &naiveStackDist{}
+	for i := 0; i < 800; i++ {
+		v := r.Uint64n(50)
+		if got, want := sd.Observe(v), oracle.observe(v); got != want {
+			t.Fatalf("after growth: Observe(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkStackDistObserve(b *testing.B) {
+	sd := NewStackDist(b.N)
+	r := rng.NewXoshiro256(1)
+	vals := make([]uint64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Uint64n(1 << 14)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Observe(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkClassifierObserve(b *testing.B) {
+	c := NewClassifier(indexfn.NewGShare(12, 8))
+	r := rng.NewXoshiro256(1)
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(addrs[i&(1<<16-1)], uint64(i))
+	}
+}

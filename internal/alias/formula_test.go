@@ -1,0 +1,90 @@
+package alias
+
+// Empirical validation of the paper's formula (1): for a
+// well-dispersing hash onto an N-entry table, the probability that a
+// reference with last-use distance D finds its entry overwritten is
+// p = 1 - (1 - 1/N)^D. This test drives a tagged direct-mapped table
+// and the stack-distance profiler side by side, buckets references by
+// D, and compares the measured aliasing rate per bucket against the
+// formula — the foundation under the section 5.2 analytical model.
+
+import (
+	"math"
+	"testing"
+
+	"gskew/internal/indexfn"
+	"gskew/internal/model"
+	"gskew/internal/rng"
+)
+
+func TestAliasProbFormulaEmpirical(t *testing.T) {
+	const tableBits = 8 // 256 entries: small so all D regimes get mass
+	const n = 1 << tableBits
+
+	// Reference stream: random vectors with a reuse structure that
+	// spreads last-use distances across decades — a mixture of hot,
+	// warm and cold vectors.
+	r := rng.NewXoshiro256(1234)
+	gen := func() uint64 {
+		switch {
+		case r.Bool(0.5):
+			return r.Uint64n(32) // hot: tiny D
+		case r.Bool(0.6):
+			return 1000 + r.Uint64n(400) // warm: D ~ tens-hundreds
+		default:
+			return 100000 + r.Uint64n(20000) // cold-ish: large D
+		}
+	}
+
+	// The tagged table must use a well-dispersing index of the vector.
+	// Use gshare over (vector, 0) — i.e. hash the vector itself via a
+	// mixing function so the "good hashing" assumption of formula (1)
+	// holds.
+	dm := NewTaggedDM(indexfn.NewGShare(tableBits, 0))
+	sd := NewStackDist(1 << 16)
+
+	type bucket struct {
+		aliased, total int
+		sumP           float64 // formula prediction accumulated per ref
+	}
+	buckets := map[int]*bucket{} // bucket key: floor(log2(D+1))
+	const steps = 400000
+	for i := 0; i < steps; i++ {
+		v := gen()
+		h := rng.Mix64(v) // disperse the vector before indexing
+		d := sd.Observe(v)
+		aliased := dm.Observe(h, 0)
+		if d == Cold {
+			continue // formula applies to re-references only
+		}
+		key := int(math.Log2(float64(d + 2)))
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{}
+			buckets[key] = b
+		}
+		b.total++
+		if aliased {
+			b.aliased++
+		}
+		b.sumP += model.AliasProb(d, n)
+	}
+
+	checked := 0
+	for key, b := range buckets {
+		if b.total < 3000 {
+			continue // not enough mass for a tight comparison
+		}
+		measured := float64(b.aliased) / float64(b.total)
+		predicted := b.sumP / float64(b.total)
+		// Allow generous slack: the hash is good but not ideal, and
+		// bucket averaging mixes distances.
+		if math.Abs(measured-predicted) > 0.08 {
+			t.Errorf("D-bucket 2^%d: measured aliasing %.4f vs formula %.4f", key, measured, predicted)
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d buckets had enough mass; stream misconfigured", checked)
+	}
+}

@@ -1,0 +1,163 @@
+package alias
+
+import (
+	"testing"
+
+	"gskew/internal/indexfn"
+	"gskew/internal/rng"
+)
+
+func TestInterferenceKindString(t *testing.T) {
+	names := map[InterferenceKind]string{
+		Unaliased:    "unaliased",
+		Harmless:     "harmless",
+		Destructive:  "destructive",
+		Constructive: "constructive",
+		ColdOracle:   "cold-oracle",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if InterferenceKind(99).String() != "kind(99)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestInterferenceUnaliasedStream(t *testing.T) {
+	// A single branch in a big table never aliases: after the cold
+	// first reference everything classifies Unaliased.
+	n := NewInterference(indexfn.NewBimodal(8), 2)
+	first := n.Observe(7, 0, true)
+	if first != ColdOracle {
+		t.Errorf("first reference = %v, want ColdOracle", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got := n.Observe(7, 0, true); got != Unaliased {
+			t.Fatalf("reference %d = %v, want Unaliased", i, got)
+		}
+	}
+	st := n.Stats()
+	if st.Aliased() != 0 || st.Unaliased != 50 || st.ColdOracle != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInterferenceDestructive(t *testing.T) {
+	// Two branches mapping to the same bimodal entry with opposite
+	// stable directions, referenced alternately. The shared 2-bit
+	// counter oscillates between weak- and strong-taken (the taken
+	// branch re-strengthens it every other reference), so the
+	// taken branch's references are aliased-but-harmless while every
+	// not-taken reference is destructive: a 50/50 harmless/destructive
+	// split with zero constructive occurrences.
+	n := NewInterference(indexfn.NewBimodal(2), 2)
+	a, b := uint64(0), uint64(4) // congruent mod 4
+	// Warm the oracle and the table.
+	n.Observe(a, 0, true)
+	n.Observe(b, 0, false)
+	destructive, harmless := 0, 0
+	total := 0
+	for i := 0; i < 100; i++ {
+		switch n.Observe(a, 0, true) {
+		case Destructive:
+			destructive++
+		case Harmless:
+			harmless++
+		}
+		total++
+		switch n.Observe(b, 0, false) {
+		case Destructive:
+			destructive++
+		case Harmless:
+			harmless++
+		}
+		total++
+	}
+	if destructive != total/2 {
+		t.Errorf("destructive = %d, want exactly %d (every not-taken reference)", destructive, total/2)
+	}
+	if harmless != total/2 {
+		t.Errorf("harmless = %d, want exactly %d (every taken reference)", harmless, total/2)
+	}
+	if n.Stats().Constructive != 0 {
+		t.Errorf("unexpectedly constructive: %+v", n.Stats())
+	}
+}
+
+func TestInterferenceConstructiveExists(t *testing.T) {
+	// Craft a constructive case: branch A alternates (the oracle's
+	// 2-bit counter is systematically wrong on alternation after it
+	// locks weakly-taken... use outcome pattern TTNN repeating, which
+	// 2-bit counters mispredict on transitions), while an aliasing
+	// partner B keeps pushing the shared counter toward A's next
+	// outcome by accident. Rather than over-engineer determinism, we
+	// statistically require that SOME constructive occurrences appear
+	// in a noisy aliased mix, while destructive ones dominate.
+	n := NewInterference(indexfn.NewBimodal(2), 2)
+	r := rng.NewXoshiro256(11)
+	for i := 0; i < 30000; i++ {
+		addr := r.Uint64n(16) // 16 branches in 4 entries: heavy aliasing
+		taken := r.Bool(0.5)  // coin-flip outcomes
+		n.Observe(addr, 0, taken)
+	}
+	st := n.Stats()
+	if st.Constructive == 0 {
+		t.Error("no constructive aliasing in a noisy aliased mix")
+	}
+	if st.Aliased() == 0 {
+		t.Fatal("no aliasing at all; test misconfigured")
+	}
+}
+
+func TestInterferenceDestructiveDominates(t *testing.T) {
+	// The [21] finding the paper relies on: with realistic biased
+	// branches, destructive aliasing far outweighs constructive.
+	n := NewInterference(indexfn.NewGShare(6, 4), 2)
+	r := rng.NewXoshiro256(13)
+	// 200 branches with strong per-branch biases in a 64-entry table.
+	bias := make(map[uint64]float64)
+	hist := uint64(0)
+	for i := 0; i < 60000; i++ {
+		addr := r.Uint64n(200)
+		p, ok := bias[addr]
+		if !ok {
+			p = 0.95
+			if r.Bool(0.5) {
+				p = 0.05
+			}
+			bias[addr] = p
+		}
+		taken := r.Bool(p)
+		n.Observe(addr, hist, taken)
+		hist = hist<<1 | map[bool]uint64{true: 1}[taken]
+	}
+	st := n.Stats()
+	if st.Destructive <= 3*st.Constructive {
+		t.Errorf("destructive (%d) should far exceed constructive (%d)",
+			st.Destructive, st.Constructive)
+	}
+	if got := st.DestructiveRatio(); got <= 0 || got >= 1 {
+		t.Errorf("DestructiveRatio = %v", got)
+	}
+	if got := st.ConstructiveRatio(); got < 0 || got >= 1 {
+		t.Errorf("ConstructiveRatio = %v", got)
+	}
+	if st.References != 60000 {
+		t.Errorf("References = %d", st.References)
+	}
+}
+
+func TestInterferenceStatsConsistency(t *testing.T) {
+	n := NewInterference(indexfn.NewGShare(4, 2), 2)
+	r := rng.NewXoshiro256(3)
+	for i := 0; i < 5000; i++ {
+		n.Observe(r.Uint64n(64), r.Uint64n(4), r.Bool(0.7))
+	}
+	st := n.Stats()
+	sum := st.Unaliased + st.Harmless + st.Destructive + st.Constructive + st.ColdOracle
+	if sum != st.References {
+		t.Errorf("categories sum to %d, references %d", sum, st.References)
+	}
+}

@@ -1,0 +1,95 @@
+package alias
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// This file implements Belady's OPT (furthest-next-use) replacement
+// for tagged tables. The paper notes (after Sugumar and Abraham) that
+// LRU is not an optimal replacement policy, so the capacity-aliasing
+// estimate obtained from an LRU table is an upper bound; OPT gives the
+// true minimum achievable by any replacement policy, and the gap
+// between the direct-mapped table and OPT bounds the conflict
+// component from above. OPT needs future knowledge, so it runs offline
+// over a recorded reference stream.
+
+// OptMissRatio simulates an n-entry fully-associative table with OPT
+// replacement over refs and returns its miss ratio. It runs in
+// O(len(refs) log n) time.
+func OptMissRatio(refs []uint64, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("alias: capacity %d must be positive", n))
+	}
+	if len(refs) == 0 {
+		return 0
+	}
+	misses := OptMisses(refs, n)
+	return float64(misses) / float64(len(refs))
+}
+
+// OptMisses returns the miss count of an n-entry OPT table over refs.
+func OptMisses(refs []uint64, n int) int {
+	// Precompute next-use indices: nextUse[i] is the position of the
+	// next reference to refs[i] after i, or infinity.
+	const inf = int(^uint(0) >> 1)
+	nextUse := make([]int, len(refs))
+	last := make(map[uint64]int, 1024)
+	for i := len(refs) - 1; i >= 0; i-- {
+		if j, ok := last[refs[i]]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = inf
+		}
+		last[refs[i]] = i
+	}
+
+	// Resident set: vector -> its current next-use. Eviction picks the
+	// resident vector with the furthest next use, via a lazy max-heap
+	// of (nextUse, vector) entries: stale heap entries (whose recorded
+	// next use no longer matches the resident table) are discarded on
+	// pop.
+	resident := make(map[uint64]int, n)
+	h := &optHeap{}
+	misses := 0
+	for i, v := range refs {
+		if _, ok := resident[v]; ok {
+			resident[v] = nextUse[i]
+			heap.Push(h, optEntry{next: nextUse[i], vec: v})
+		} else {
+			misses++
+			if len(resident) >= n {
+				for {
+					top := heap.Pop(h).(optEntry)
+					if cur, ok := resident[top.vec]; ok && cur == top.next {
+						delete(resident, top.vec)
+						break
+					}
+				}
+			}
+			resident[v] = nextUse[i]
+			heap.Push(h, optEntry{next: nextUse[i], vec: v})
+		}
+	}
+	return misses
+}
+
+type optEntry struct {
+	next int
+	vec  uint64
+}
+
+// optHeap is a max-heap on next-use distance.
+type optHeap []optEntry
+
+func (h optHeap) Len() int           { return len(h) }
+func (h optHeap) Less(i, j int) bool { return h[i].next > h[j].next }
+func (h optHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x any)        { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

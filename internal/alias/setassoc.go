@@ -1,0 +1,95 @@
+package alias
+
+import (
+	"fmt"
+
+	"gskew/internal/indexfn"
+)
+
+// TaggedSA is a set-associative tagged table with per-set LRU
+// replacement — the classical conflict remedy the paper weighs against
+// skewing in section 3.3 (and rejects for predictor tables because of
+// the tag cost). Measuring its miss ratios quantifies exactly how much
+// conflict aliasing each degree of associativity would remove, which
+// is the bar the tag-free skewed organisation has to clear.
+type TaggedSA struct {
+	fn       indexfn.Func
+	ways     int
+	tags     []uint64 // sets x ways
+	valid    []bool
+	age      []uint32 // per-entry LRU clock value
+	clock    uint32
+	accesses int
+	misses   int
+}
+
+// NewTaggedSA returns a tagged table of 2^fn.Bits() sets with the
+// given associativity. Total capacity is sets x ways entries.
+func NewTaggedSA(fn indexfn.Func, ways int) *TaggedSA {
+	if ways < 1 || ways > 64 {
+		panic(fmt.Sprintf("alias: associativity %d out of range [1,64]", ways))
+	}
+	n := (1 << fn.Bits()) * ways
+	return &TaggedSA{
+		fn:    fn,
+		ways:  ways,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		age:   make([]uint32, n),
+	}
+}
+
+// Observe records a reference and reports whether it missed (the set
+// did not hold the reference's vector).
+func (t *TaggedSA) Observe(addr, hist uint64) bool {
+	v := indexfn.Vector(addr, hist, t.fn.HistoryBits())
+	set := int(t.fn.Index(addr, hist)) * t.ways
+	t.accesses++
+	t.clock++
+
+	// Hit?
+	for w := 0; w < t.ways; w++ {
+		i := set + w
+		if t.valid[i] && t.tags[i] == v {
+			t.age[i] = t.clock
+			return false
+		}
+	}
+	// Miss: fill an invalid way or evict the LRU way.
+	t.misses++
+	victim := set
+	for w := 0; w < t.ways; w++ {
+		i := set + w
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.age[i] < t.age[victim] {
+			victim = i
+		}
+	}
+	t.valid[victim] = true
+	t.tags[victim] = v
+	t.age[victim] = t.clock
+	return true
+}
+
+// Accesses returns the number of references observed.
+func (t *TaggedSA) Accesses() int { return t.accesses }
+
+// Misses returns the miss count.
+func (t *TaggedSA) Misses() int { return t.misses }
+
+// MissRatio returns misses per access.
+func (t *TaggedSA) MissRatio() float64 {
+	if t.accesses == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.accesses)
+}
+
+// Entries returns the total capacity (sets x ways).
+func (t *TaggedSA) Entries() int { return len(t.tags) }
+
+// Ways returns the associativity.
+func (t *TaggedSA) Ways() int { return t.ways }

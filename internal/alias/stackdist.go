@@ -1,0 +1,128 @@
+package alias
+
+// StackDist computes exact LRU stack distances ("last-use distances"
+// in the paper's terminology): for each reference to a vector V, the
+// number of DISTINCT other vectors referenced since the previous
+// reference to V. First-time references report Cold (-1).
+//
+// This is the quantity D in the paper's aliasing-probability formula
+// p = 1 - (1 - 1/N)^D (section 5.2), and also yields FA-LRU miss
+// ratios for any capacity in one pass: a reference misses an N-entry
+// LRU table iff D >= N.
+//
+// The implementation is the classical O(log n)-per-reference
+// algorithm: a Fenwick (binary indexed) tree over reference timestamps
+// marks, for every distinct vector, the position of its most recent
+// reference. The stack distance of a reference at time t to a vector
+// last seen at time p is the number of marks in (p, t).
+type StackDist struct {
+	bit      []int          // Fenwick tree, 1-based
+	lastPos  map[uint64]int // vector -> timestamp of latest reference
+	now      int            // current timestamp (1-based, next to assign)
+	histo    map[int]int    // distance -> count (Cold under key -1)
+	accesses int
+}
+
+// Cold is the distance reported for first-time references.
+const Cold = -1
+
+// NewStackDist returns a profiler with capacity hint n references
+// (it grows as needed).
+func NewStackDist(hint int) *StackDist {
+	if hint < 16 {
+		hint = 16
+	}
+	return &StackDist{
+		bit:     make([]int, hint+1),
+		lastPos: make(map[uint64]int, hint/4),
+		histo:   make(map[int]int),
+	}
+}
+
+func (s *StackDist) grow(n int) {
+	if n < len(s.bit) {
+		return
+	}
+	size := len(s.bit)
+	for size <= n {
+		size *= 2
+	}
+	// Rebuild the tree with the larger size: Fenwick trees cannot be
+	// resized in place, but the marked set is exactly the values in
+	// lastPos, so reconstruct from it.
+	s.bit = make([]int, size)
+	for _, p := range s.lastPos {
+		s.add(p, 1)
+	}
+}
+
+func (s *StackDist) add(i, delta int) {
+	for ; i < len(s.bit); i += i & (-i) {
+		s.bit[i] += delta
+	}
+}
+
+// sum returns the number of marks in [1, i].
+func (s *StackDist) sum(i int) int {
+	t := 0
+	for ; i > 0; i -= i & (-i) {
+		t += s.bit[i]
+	}
+	return t
+}
+
+// Observe records a reference to vector v and returns its last-use
+// distance, or Cold for a first reference.
+func (s *StackDist) Observe(v uint64) int {
+	s.now++
+	t := s.now
+	s.grow(t)
+	s.accesses++
+
+	d := Cold
+	if p, seen := s.lastPos[v]; seen {
+		// Marks strictly after p and before t are exactly the distinct
+		// vectors touched since the previous reference to v.
+		d = s.sum(t-1) - s.sum(p)
+		s.add(p, -1)
+	}
+	s.lastPos[v] = t
+	s.add(t, 1)
+	s.histo[d]++
+	return d
+}
+
+// Accesses returns the number of references observed.
+func (s *StackDist) Accesses() int { return s.accesses }
+
+// Distinct returns the number of distinct vectors observed.
+func (s *StackDist) Distinct() int { return len(s.lastPos) }
+
+// Histogram returns the distance histogram (Cold under key -1). The
+// map is live; callers must not modify it.
+func (s *StackDist) Histogram() map[int]int { return s.histo }
+
+// MissRatioAt returns the miss ratio an N-entry fully-associative LRU
+// table would see on the observed stream: references with D >= N or
+// D == Cold miss.
+func (s *StackDist) MissRatioAt(n int) float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	misses := 0
+	for d, count := range s.histo {
+		if d == Cold || d >= n {
+			misses += count
+		}
+	}
+	return float64(misses) / float64(s.accesses)
+}
+
+// ColdRatio returns the fraction of references that were first uses —
+// the compulsory aliasing ratio.
+func (s *StackDist) ColdRatio() float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.histo[Cold]) / float64(s.accesses)
+}

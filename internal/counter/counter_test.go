@@ -1,0 +1,283 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		bits uint
+		init uint8
+	}{
+		{"zero bits", 0, 0},
+		{"nine bits", 9, 0},
+		{"init too large 1bit", 1, 2},
+		{"init too large 2bit", 2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", tc.bits, tc.init)
+				}
+			}()
+			New(tc.bits, tc.init)
+		})
+	}
+}
+
+func TestOneBitAutomaton(t *testing.T) {
+	// A 1-bit predictor simply remembers the last outcome.
+	c := New(1, 0)
+	if c.Predict() {
+		t.Error("state 0 should predict not-taken")
+	}
+	c = c.Update(true)
+	if !c.Predict() {
+		t.Error("after taken, should predict taken")
+	}
+	c = c.Update(true)
+	if !c.Predict() || c.Value() != 1 {
+		t.Error("1-bit counter must saturate at 1")
+	}
+	c = c.Update(false)
+	if c.Predict() || c.Value() != 0 {
+		t.Error("after not-taken, should predict not-taken")
+	}
+	c = c.Update(false)
+	if c.Value() != 0 {
+		t.Error("1-bit counter must saturate at 0")
+	}
+}
+
+func TestTwoBitStateMachine(t *testing.T) {
+	// Exhaustive transition table for the classic 2-bit counter:
+	// states 0 (strong NT), 1 (weak NT), 2 (weak T), 3 (strong T).
+	type tr struct {
+		from  uint8
+		taken bool
+		to    uint8
+	}
+	trs := []tr{
+		{0, false, 0}, {0, true, 1},
+		{1, false, 0}, {1, true, 2},
+		{2, false, 1}, {2, true, 3},
+		{3, false, 2}, {3, true, 3},
+	}
+	for _, x := range trs {
+		c := New(2, x.from)
+		if got := c.Update(x.taken).Value(); got != x.to {
+			t.Errorf("2-bit: %d --taken=%v--> %d, want %d", x.from, x.taken, got, x.to)
+		}
+	}
+	for s := uint8(0); s < 4; s++ {
+		want := s >= 2
+		if got := New(2, s).Predict(); got != want {
+			t.Errorf("2-bit state %d predicts %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	// The defining property vs a 1-bit counter: a single anomalous
+	// outcome does not flip a strongly-trained prediction. This is the
+	// loop-branch behaviour the paper credits for 2-bit superiority.
+	c := WeaklyTaken(2)
+	for i := 0; i < 10; i++ {
+		c = c.Update(true)
+	}
+	c = c.Update(false) // loop exit
+	if !c.Predict() {
+		t.Error("2-bit counter flipped after one not-taken; hysteresis broken")
+	}
+	c = c.Update(false)
+	if c.Predict() {
+		t.Error("two consecutive not-taken should flip the prediction")
+	}
+}
+
+func TestWeakInitialStates(t *testing.T) {
+	for bits := uint(1); bits <= 8; bits++ {
+		wt := WeaklyTaken(bits)
+		if !wt.Predict() {
+			t.Errorf("WeaklyTaken(%d) predicts not-taken", bits)
+		}
+		if wt.Value() > 0 && New(bits, wt.Value()-1).Predict() {
+			t.Errorf("WeaklyTaken(%d) is not the lowest taken state", bits)
+		}
+		wn := WeaklyNotTaken(bits)
+		if wn.Predict() {
+			t.Errorf("WeaklyNotTaken(%d) predicts taken", bits)
+		}
+		if wn.Value() < wn.Max() && !New(bits, wn.Value()+1).Predict() {
+			t.Errorf("WeaklyNotTaken(%d) is not the highest not-taken state", bits)
+		}
+	}
+}
+
+func TestSaturationInvariant(t *testing.T) {
+	// Property: the state always stays within [0, max] regardless of
+	// the update sequence.
+	f := func(bits8 uint8, seq []bool) bool {
+		bits := uint(bits8%8) + 1
+		c := WeaklyTaken(bits)
+		for _, taken := range seq {
+			c = c.Update(taken)
+			if c.Value() > c.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicTraining(t *testing.T) {
+	// Property: after max consecutive agreeing outcomes, the counter is
+	// saturated and predicts that direction.
+	for bits := uint(1); bits <= 8; bits++ {
+		c := WeaklyNotTaken(bits)
+		for i := 0; i <= int(c.Max()); i++ {
+			c = c.Update(true)
+		}
+		if !c.Predict() || !c.Strong() || c.Value() != c.Max() {
+			t.Errorf("bits=%d: not saturated taken after %d taken outcomes: %v", bits, int(c.Max())+1, c)
+		}
+		for i := 0; i <= int(c.Max()); i++ {
+			c = c.Update(false)
+		}
+		if c.Predict() || !c.Strong() || c.Value() != 0 {
+			t.Errorf("bits=%d: not saturated not-taken: %v", bits, c)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	for bits := uint(1); bits <= 8; bits++ {
+		if got := New(bits, 0).Bits(); got != bits {
+			t.Errorf("New(%d).Bits() = %d", bits, got)
+		}
+	}
+	var zero Counter
+	if zero.Bits() != 0 {
+		t.Errorf("zero Counter Bits() = %d, want 0", zero.Bits())
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(2, 3).String(); got != "3/3(T)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New(2, 1).String(); got != "1/3(N)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable(16, 2)
+	if tab.Len() != 16 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Bits() != 2 {
+		t.Fatalf("Bits = %d", tab.Bits())
+	}
+	if tab.StorageBits() != 32 {
+		t.Fatalf("StorageBits = %d", tab.StorageBits())
+	}
+	// All cells start weakly taken.
+	for i := uint64(0); i < 16; i++ {
+		if !tab.Predict(i) {
+			t.Fatalf("cell %d does not start weakly-taken", i)
+		}
+		if tab.Value(i) != 2 {
+			t.Fatalf("cell %d starts at %d, want 2", i, tab.Value(i))
+		}
+	}
+}
+
+func TestTableUpdateIsolation(t *testing.T) {
+	tab := NewTable(8, 2)
+	tab.Update(3, false)
+	tab.Update(3, false)
+	tab.Update(3, false)
+	if tab.Predict(3) {
+		t.Error("cell 3 should have been trained not-taken")
+	}
+	for i := uint64(0); i < 8; i++ {
+		if i != 3 && !tab.Predict(i) {
+			t.Errorf("cell %d was perturbed by updates to cell 3", i)
+		}
+	}
+}
+
+func TestTableMatchesScalarCounter(t *testing.T) {
+	// Property: Table cell behaviour is identical to the scalar Counter.
+	f := func(seq []bool, bits8 uint8) bool {
+		bits := uint(bits8%8) + 1
+		tab := NewTable(4, bits)
+		c := WeaklyTaken(bits)
+		for _, taken := range seq {
+			if tab.Predict(1) != c.Predict() {
+				return false
+			}
+			tab.Update(1, taken)
+			c = c.Update(taken)
+		}
+		return tab.Value(1) == c.Value()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableSetAndReset(t *testing.T) {
+	tab := NewTable(4, 2)
+	tab.Set(0, 0)
+	if tab.Predict(0) {
+		t.Error("Set(0,0) should force not-taken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with out-of-range value did not panic")
+		}
+	}()
+	tab.Reset()
+	if !tab.Predict(0) || tab.Value(0) != 2 {
+		t.Error("Reset did not restore weakly-taken")
+	}
+	tab.Set(0, 4) // panics
+}
+
+func TestNewTablePanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%d, 2) did not panic", n)
+				}
+			}()
+			NewTable(n, 2)
+		}()
+	}
+}
+
+func BenchmarkTableUpdate(b *testing.B) {
+	tab := NewTable(1<<14, 2)
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i) & (1<<14 - 1)
+		tab.Update(idx, i&3 != 0)
+	}
+}
+
+func BenchmarkTablePredict(b *testing.B) {
+	tab := NewTable(1<<14, 2)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = tab.Predict(uint64(i) & (1<<14 - 1))
+	}
+	_ = sink
+}

@@ -1,0 +1,145 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/rng"
+)
+
+func TestSplitTableEquivalentToTwoBitWhenPrivate(t *testing.T) {
+	// With groupShift 0 (private hysteresis), SplitTable must be
+	// bit-for-bit equivalent to a 2-bit Table under any update stream.
+	f := func(seed uint64, n16 uint16) bool {
+		r := rng.NewXoshiro256(seed)
+		steps := int(n16%2000) + 1
+		full := NewTable(16, 2)
+		split := NewSplitTable(16, 0)
+		for s := 0; s < steps; s++ {
+			i := r.Uint64n(16)
+			if full.Predict(i) != split.Predict(i) {
+				return false
+			}
+			if full.Value(i) != split.Value(i) {
+				return false
+			}
+			taken := r.Bool(0.5)
+			full.Update(i, taken)
+			split.Update(i, taken)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitTableTransitions(t *testing.T) {
+	// Walk the 2-bit state machine through the split encoding.
+	st := NewSplitTable(4, 0)
+	if st.Value(0) != 2 {
+		t.Fatalf("initial state = %d, want 2 (weakly taken)", st.Value(0))
+	}
+	st.Update(0, true)
+	if st.Value(0) != 3 {
+		t.Fatalf("after taken: %d, want 3", st.Value(0))
+	}
+	st.Update(0, false)
+	if st.Value(0) != 2 {
+		t.Fatalf("after not-taken from strong: %d, want 2", st.Value(0))
+	}
+	st.Update(0, false)
+	if st.Value(0) != 1 {
+		t.Fatalf("flip to weak not-taken: %d, want 1", st.Value(0))
+	}
+	st.Update(0, false)
+	if st.Value(0) != 0 {
+		t.Fatalf("strengthen not-taken: %d, want 0", st.Value(0))
+	}
+}
+
+func TestSplitTableSharingInterference(t *testing.T) {
+	// Entries 0 and 1 share a hysteresis bit with groupShift 1:
+	// strengthening entry 0 also strengthens entry 1's state.
+	st := NewSplitTable(4, 1)
+	st.Update(0, true) // sets the shared hysteresis bit
+	if st.Value(1) != 3 {
+		t.Errorf("neighbour state = %d, want 3 (shared hysteresis set)", st.Value(1))
+	}
+	// Entries 2 and 3 are a different group: unaffected.
+	if st.Value(2) != 2 {
+		t.Errorf("other group state = %d, want 2", st.Value(2))
+	}
+	// Prediction bits remain private.
+	st.Update(0, false) // weakens shared hysteresis
+	st.Update(0, false) // flips entry 0's prediction
+	if st.Predict(0) {
+		t.Error("entry 0 prediction should have flipped")
+	}
+	if !st.Predict(1) {
+		t.Error("entry 1 prediction must remain private (taken)")
+	}
+}
+
+func TestSplitTableStorage(t *testing.T) {
+	cases := []struct {
+		n     int
+		shift uint
+		want  int
+	}{
+		{1024, 0, 2048}, // private: 2 bits/entry
+		{1024, 1, 1536}, // 1.5 bits/entry
+		{1024, 2, 1280}, // 1.25 bits/entry
+		{1000, 3, 1125}, // non-power-of-two entries round groups up
+	}
+	for _, c := range cases {
+		st := NewSplitTable(c.n, c.shift)
+		if got := st.StorageBits(); got != c.want {
+			t.Errorf("StorageBits(n=%d, shift=%d) = %d, want %d", c.n, c.shift, got, c.want)
+		}
+		if st.GroupSize() != 1<<c.shift {
+			t.Errorf("GroupSize = %d", st.GroupSize())
+		}
+	}
+}
+
+func TestSplitTableReset(t *testing.T) {
+	st := NewSplitTable(8, 1)
+	st.Update(3, false)
+	st.Update(3, false)
+	st.Reset()
+	for i := uint64(0); i < 8; i++ {
+		if st.Value(i) != 2 {
+			t.Fatalf("entry %d state %d after Reset, want 2", i, st.Value(i))
+		}
+	}
+}
+
+func TestSplitTablePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSplitTable(0, 0) },
+		func() { NewSplitTable(8, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad SplitTable config accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSplitTableLen(t *testing.T) {
+	if NewSplitTable(128, 2).Len() != 128 {
+		t.Error("Len wrong")
+	}
+}
+
+func BenchmarkSplitTableUpdate(b *testing.B) {
+	st := NewSplitTable(1<<14, 2)
+	for i := 0; i < b.N; i++ {
+		st.Update(uint64(i)&(1<<14-1), i&3 != 0)
+	}
+}

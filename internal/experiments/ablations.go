@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-banks",
+		Title: "Bank-count ablation: 1, 3, 5 and 7 banks",
+		Paper: "Section 5.1 ('varying number of predictor banks'): 5 banks add little over 3; bigger banks beat more banks",
+		Run:   runAblationBanks,
+	})
+	register(Experiment{
+		ID:    "ablation-policy",
+		Title: "Update-policy ablation across history lengths",
+		Paper: "Sections 4.1/5.1: partial update consistently beats total update",
+		Run:   runAblationPolicy,
+	})
+	register(Experiment{
+		ID:    "ablation-counters",
+		Title: "Counter-width ablation: 1-bit vs 2-bit cells",
+		Paper: "Table 2 and section 7 ('distributed predictor encodings'): 2-bit cells win at equal entry counts",
+		Run:   runAblationCounters,
+	})
+	register(Experiment{
+		ID:    "ablation-enhanced-bank0",
+		Title: "Enhanced-gskew bank-0 indexing ablation",
+		Paper: "Section 6: address-only bank 0 rescues long-history references; at short histories the variants tie",
+		Run:   runAblationEnhanced,
+	})
+}
+
+// runAblationBanks compares bank counts at a fixed per-bank size
+// (4k entries, 8-bit history), reporting total storage alongside so
+// the cost of each configuration is explicit.
+func runAblationBanks(ctx *Context) (Renderable, error) {
+	const histBits = 8
+	const bankBits = 12
+	t := report.NewTable("Bank-count ablation (4k-entry banks, 8-bit history, partial update)",
+		"benchmark", "1 bank (gshare 4k)", "3 banks (12k)", "5 banks (20k)", "7 banks (28k)", "gshare 16k")
+	perBench := make(map[string][]float64)
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		var row []float64
+		res, err := sim.RunBranches(branches, predictor.NewGShare(bankBits, histBits, 2), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, res.MissPercent())
+		for _, banks := range []int{3, 5, 7} {
+			gs := predictor.MustGSkewed(predictor.Config{
+				Banks: banks, BankBits: bankBits, HistoryBits: histBits,
+				Policy: predictor.PartialUpdate,
+			})
+			res, err := sim.RunBranches(branches, gs, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.MissPercent())
+		}
+		// Cost-equivalent alternative to 3 more banks: one bigger bank.
+		res, err = sim.RunBranches(branches, predictor.NewGShare(bankBits+2, histBits, 2), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, res.MissPercent())
+		perBench[name] = row
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", row[0]), fmt.Sprintf("%.2f", row[1]),
+			fmt.Sprintf("%.2f", row[2]), fmt.Sprintf("%.2f", row[3]),
+			fmt.Sprintf("%.2f", row[4]))
+	}
+	// Geometric-mean summary row.
+	var cols [5][]float64
+	for _, row := range perBench {
+		for i, v := range row {
+			cols[i] = append(cols[i], v)
+		}
+	}
+	t.AddRow("geomean",
+		fmt.Sprintf("%.2f", geomean(cols[0])), fmt.Sprintf("%.2f", geomean(cols[1])),
+		fmt.Sprintf("%.2f", geomean(cols[2])), fmt.Sprintf("%.2f", geomean(cols[3])),
+		fmt.Sprintf("%.2f", geomean(cols[4])))
+	return t, nil
+}
+
+func runAblationPolicy(ctx *Context) (Renderable, error) {
+	return historySweep(ctx,
+		"Partial vs total update (3x4k gskewed)",
+		[]uint{0, 4, 8, 12, 16},
+		[]struct {
+			name  string
+			build func(k uint) predictor.Predictor
+		}{
+			{"partial", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
+				})
+			}},
+			{"total", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.TotalUpdate,
+				})
+			}},
+		})
+}
+
+func runAblationCounters(ctx *Context) (Renderable, error) {
+	const histBits = 8
+	t := report.NewTable("Counter-width ablation (3x4k gskewed, 8-bit history, partial update)",
+		"benchmark", "1-bit cells", "2-bit cells")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		var rates []string
+		for _, bits := range []uint{1, 2} {
+			gs := predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, CounterBits: bits,
+				Policy: predictor.PartialUpdate,
+			})
+			res, err := sim.RunBranches(branches, gs, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, fmt.Sprintf("%.2f", res.MissPercent()))
+		}
+		t.AddRow(name, rates[0], rates[1])
+	}
+	return t, nil
+}
+
+// runAblationEnhanced isolates the e-gskew design choice: replace the
+// address-only bank 0 with (a) the standard f0 (plain gskewed) and
+// (b) a bimodal-style short-history index, at a long history length
+// where the designs separate.
+func runAblationEnhanced(ctx *Context) (Renderable, error) {
+	return historySweep(ctx,
+		"Enhanced bank-0 ablation (3x4k, partial update)",
+		[]uint{8, 12, 16},
+		[]struct {
+			name  string
+			build func(k uint) predictor.Predictor
+		}{
+			{"f0(V) bank0 (gskewed)", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
+				})
+			}},
+			{"addr-only bank0 (egskew)", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true,
+				})
+			}},
+		})
+}

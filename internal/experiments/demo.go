@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"gskew/internal/rng"
+	"gskew/internal/skewfn"
+)
+
+// newDemoSkewer returns the small skewer used by demonstration
+// experiments (16-entry banks).
+func newDemoSkewer() *skewfn.Skewer { return skewfn.New(4) }
+
+// findDemoCollision finds a pair of vectors that collide in bank 0 but
+// in neither other bank — the dispersion the skewed structure exploits.
+func findDemoCollision(s *skewfn.Skewer) (v, w uint64) {
+	r := rng.NewXoshiro256(4)
+	for {
+		a, b := r.Uint64n(1<<12), r.Uint64n(1<<12)
+		if a == b {
+			continue
+		}
+		if s.F0(a) == s.F0(b) && s.F1(a) != s.F1(b) && s.F2(a) != s.F2(b) {
+			return a, b
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each experiment has a stable id (table1, table2,
+// fig1 ... fig12, ablation-*), produces a Renderable result, and is
+// indexed in DESIGN.md; EXPERIMENTS.md records the paper-vs-measured
+// comparison for each.
+//
+// Experiments share a Context, which caches materialised workload
+// traces so that a full `cmd/experiments -all` run generates each
+// benchmark trace once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gskew/internal/report"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+// Renderable is anything an experiment can return; report.Table and
+// report.Figure both satisfy it.
+type Renderable interface {
+	WriteText(io.Writer) error
+	WriteCSV(io.Writer) error
+}
+
+// Bundle groups several Renderables (e.g. one figure per benchmark)
+// under a common title.
+type Bundle struct {
+	Title string
+	Items []Renderable
+}
+
+// Add appends an item and returns the bundle.
+func (b *Bundle) Add(r Renderable) *Bundle {
+	b.Items = append(b.Items, r)
+	return b
+}
+
+// WriteText implements Renderable.
+func (b *Bundle) WriteText(w io.Writer) error {
+	if b.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", b.Title); err != nil {
+			return err
+		}
+	}
+	for i, item := range b.Items {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := item.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV implements Renderable by concatenating the items' CSV
+// blocks separated by blank lines.
+func (b *Bundle) WriteCSV(w io.Writer) error {
+	for i, item := range b.Items {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := item.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Context carries run-wide configuration and the materialised-trace
+// cache.
+type Context struct {
+	// Scale is the workload scale factor (see workload.Config). The
+	// zero value selects DefaultScale, sized so a full -all run
+	// completes in minutes.
+	Scale float64
+	// SeedOffset perturbs workload seeds for variance studies.
+	SeedOffset uint64
+	// Benchmarks restricts the suite (nil = all six).
+	Benchmarks []string
+
+	mu    sync.Mutex
+	cache map[string][]trace.Branch
+}
+
+// DefaultScale for experiment runs: 10% of the paper's dynamic lengths,
+// i.e. 570k-2.1M conditional branches per benchmark — large enough to
+// exercise every table size under study, small enough to sweep.
+const DefaultScale = 0.1
+
+// NewContext returns a Context with the given scale (0 = DefaultScale).
+func NewContext(scale float64) *Context {
+	return &Context{Scale: scale}
+}
+
+func (c *Context) scale() float64 {
+	if c.Scale <= 0 {
+		return DefaultScale
+	}
+	return c.Scale
+}
+
+// BenchmarkNames returns the benchmark suite this context runs.
+func (c *Context) BenchmarkNames() []string {
+	if len(c.Benchmarks) > 0 {
+		return c.Benchmarks
+	}
+	return workload.Names()
+}
+
+// Trace returns the materialised trace for a benchmark, generating it
+// on first use. It is safe for concurrent use; concurrent callers for
+// the same benchmark generate it once.
+func (c *Context) Trace(name string) ([]trace.Branch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache == nil {
+		c.cache = make(map[string][]trace.Branch)
+	}
+	if tr, ok := c.cache[name]; ok {
+		return tr, nil
+	}
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Materialize(spec, workload.Config{Scale: c.scale(), SeedOffset: c.SeedOffset})
+	if err != nil {
+		return nil, err
+	}
+	c.cache[name] = tr
+	return tr, nil
+}
+
+// DropTrace evicts a cached trace (memory control for long sweeps).
+func (c *Context) DropTrace(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, name)
+}
+
+// forEachBenchmark runs fn once per benchmark in the context's suite,
+// in parallel, and delivers the results in suite order. Experiments
+// use it to parallelise their per-benchmark simulations: each fn call
+// works on its own predictors over the shared immutable trace.
+func (c *Context) forEachBenchmark(fn func(name string, branches []trace.Branch) (Renderable, error)) ([]Renderable, error) {
+	names := c.BenchmarkNames()
+	results := make([]Renderable, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		// Materialise sequentially (cache-friendly, bounded memory),
+		// simulate in parallel.
+		branches, err := c.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, name string, branches []trace.Branch) {
+			defer wg.Done()
+			results[i], errs[i] = fn(name, branches)
+		}(i, name, branches)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", names[i], err)
+		}
+	}
+	return results, nil
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the stable identifier, e.g. "fig5".
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// Paper describes what the original paper shows in this artifact.
+	Paper string
+	// Run produces the result.
+	Run func(*Context) (Renderable, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, sorted by ID with tables
+// first, then figures in numeric order, then ablations.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey makes table1 < table2 < fig1 < ... < fig12 < ablation-*.
+func orderKey(id string) string {
+	var group byte
+	var num int
+	switch {
+	case len(id) > 5 && id[:5] == "table":
+		group = 'a'
+		fmt.Sscanf(id[5:], "%d", &num)
+	case len(id) > 3 && id[:3] == "fig":
+		group = 'b'
+		fmt.Sscanf(id[3:], "%d", &num)
+	default:
+		group = 'c'
+	}
+	return fmt.Sprintf("%c%03d%s", group, num, id)
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// WritePlot renders a result as ASCII charts where possible: figures
+// are plotted, tables fall back to aligned text, bundles recurse.
+func WritePlot(w io.Writer, r Renderable) error {
+	switch v := r.(type) {
+	case *report.Figure:
+		return v.WritePlot(w, report.PlotOptions{})
+	case *Bundle:
+		if v.Title != "" {
+			if _, err := fmt.Fprintf(w, "%s\n\n", v.Title); err != nil {
+				return err
+			}
+		}
+		for i, item := range v.Items {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			if err := WritePlot(w, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return r.WriteText(w)
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gskew/internal/report"
+)
+
+// testCtx returns a context small enough for unit tests: a single
+// benchmark at a tiny scale.
+func testCtx() *Context {
+	return &Context{Scale: 0.004, Benchmarks: []string{"verilog"}}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"ablation-banks", "ablation-policy", "ablation-counters", "ablation-enhanced-bank0",
+		"ext-pas", "ext-hybrid", "ext-confidence", "ext-encoding", "ext-opt", "ext-pipeline",
+		"ext-interference", "ext-quantum", "ext-flush", "ext-model-m", "ext-variance", "ext-rivals", "ext-ev8", "ext-besthist", "ext-setassoc",
+	}
+	all := All()
+	got := make(map[string]bool, len(all))
+	for _, e := range all {
+		got[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incompletely registered", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(all) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(want))
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	all := All()
+	var ids []string
+	for _, e := range all {
+		ids = append(ids, e.ID)
+	}
+	// Tables first, then figures in numeric order, ablations last.
+	if ids[0] != "table1" || ids[1] != "table2" {
+		t.Errorf("tables not first: %v", ids[:3])
+	}
+	figOrder := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	for i, want := range figOrder {
+		if ids[2+i] != want {
+			t.Fatalf("figure order wrong at %d: %v", i, ids)
+		}
+	}
+	for _, id := range ids[14:] {
+		if !strings.HasPrefix(id, "ablation-") && !strings.HasPrefix(id, "ext-") {
+			t.Errorf("non-ablation/extension %q after figures", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig9" {
+		t.Errorf("ByID returned %q", e.ID)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestContextTraceCache(t *testing.T) {
+	ctx := testCtx()
+	a, err := ctx.Trace("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Trace("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("trace not cached")
+	}
+	ctx.DropTrace("verilog")
+	c, err := ctx.Trace("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != len(a) {
+		t.Error("regenerated trace differs in length")
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	ctx := NewContext(0)
+	if ctx.scale() != DefaultScale {
+		t.Errorf("scale() = %v", ctx.scale())
+	}
+	if len(ctx.BenchmarkNames()) != 6 {
+		t.Errorf("BenchmarkNames = %v", ctx.BenchmarkNames())
+	}
+	ctx.Benchmarks = []string{"gs"}
+	if n := ctx.BenchmarkNames(); len(n) != 1 || n[0] != "gs" {
+		t.Errorf("restricted BenchmarkNames = %v", n)
+	}
+}
+
+func TestBundleRendering(t *testing.T) {
+	tab := report.NewTable("inner", "a")
+	tab.AddRow("x")
+	b := (&Bundle{Title: "outer"}).Add(tab).Add(tab)
+	var sb strings.Builder
+	if err := b.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "outer") || strings.Count(out, "inner") != 2 {
+		t.Errorf("bundle text:\n%s", out)
+	}
+	sb.Reset()
+	if err := b.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "a\nx") != 2 {
+		t.Errorf("bundle csv:\n%s", sb.String())
+	}
+}
+
+// TestModelFiguresNoTrace ensures the closed-form experiments run
+// without any workload generation.
+func TestModelFiguresNoTrace(t *testing.T) {
+	for _, id := range []string{"fig9", "fig10", "fig3", "fig4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(&Context{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced empty output", id)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	e, _ := ByID("fig9")
+	r, err := e.Run(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := r.(*report.Figure)
+	if !ok {
+		t.Fatalf("fig9 returned %T", r)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("fig9 series = %d", len(fig.Series))
+	}
+	dm, sk := fig.Series[0].Ys, fig.Series[1].Ys
+	// P_dm ends at 0.5; P_sk starts below P_dm and ends at 0.5.
+	last := len(dm) - 1
+	if dm[last] != 0.5 || sk[last] != 0.5 {
+		t.Errorf("endpoints: dm=%v sk=%v", dm[last], sk[last])
+	}
+	for i := 1; i < last; i++ {
+		if sk[i] >= dm[i] {
+			t.Errorf("P_sk >= P_dm at interior point %d (%v >= %v)", i, sk[i], dm[i])
+		}
+	}
+}
+
+func TestFig3Verdicts(t *testing.T) {
+	e, _ := ByID("fig3")
+	r, err := e.Run(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := r.(*report.Table)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig3 rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][5] != "gshare only" || tab.Rows[2][5] != "gselect only" {
+		t.Errorf("fig3 verdicts: %v / %v", tab.Rows[0][5], tab.Rows[2][5])
+	}
+}
+
+// TestTraceDrivenExperimentsRun smoke-tests every trace-driven
+// experiment on a tiny single-benchmark context. Shape assertions live
+// in shape_test.go; this test only checks they run and render.
+func TestTraceDrivenExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven sweep is slow")
+	}
+	ctx := testCtx()
+	for _, e := range All() {
+		r, err := e.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatalf("%s render: %v", e.ID, err)
+		}
+		if !strings.Contains(sb.String(), "") || sb.Len() == 0 {
+			t.Fatalf("%s produced empty output", e.ID)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if geomean(nil) != 0 {
+		t.Error("geomean(nil)")
+	}
+	if g := geomean([]float64{0, 4}); g <= 0 {
+		t.Errorf("geomean with zero = %v", g)
+	}
+}

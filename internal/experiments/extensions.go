@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gskew/internal/alias"
+	"gskew/internal/history"
+	"gskew/internal/indexfn"
+	"gskew/internal/pipeline"
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+// Extension experiments: the paper's section-7 future-work directions,
+// realised. Ids are prefixed "ext-".
+
+func init() {
+	register(Experiment{
+		ID:    "ext-pas",
+		Title: "Skewing applied to per-address two-level schemes",
+		Paper: "Section 7: 'the same technique could be applied to ... per-address history schemes'",
+		Run:   runExtPAs,
+	})
+	register(Experiment{
+		ID:    "ext-hybrid",
+		Title: "Hybrid (McFarling chooser) with and without a skewed component",
+		Paper: "Section 7: hybrid schemes as a skewing target; related work [8,2,1,4]",
+		Run:   runExtHybrid,
+	})
+	register(Experiment{
+		ID:    "ext-confidence",
+		Title: "Vote margin as a confidence estimator",
+		Paper: "Implicit in the majority-vote structure (used later by the Alpha EV8); unanimous votes should be far more accurate",
+		Run:   runExtConfidence,
+	})
+	register(Experiment{
+		ID:    "ext-encoding",
+		Title: "Distributed encodings: shared-hysteresis banks",
+		Paper: "Section 7: 'do there exist alternative distributed predictor encodings that are more space efficient?'",
+		Run:   runExtEncoding,
+	})
+	register(Experiment{
+		ID:    "ext-opt",
+		Title: "Capacity aliasing under OPT (Belady) vs LRU replacement",
+		Paper: "Section 3.2's caveat after Sugumar/Abraham: LRU is not an optimal replacement policy",
+		Run:   runExtOpt,
+	})
+}
+
+func runExtPAs(ctx *Context) (Renderable, error) {
+	t := report.NewTable("Skewed per-address schemes (miss %, local history 8, 64-entry BHT x 1024)",
+		"benchmark", "pas 4k", "skewed-pas 3x2k", "gshare 4k (global, h8)")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		preds := []predictor.Predictor{
+			predictor.MustPAs(10, 8, 12, 2),
+			predictor.MustSkewedPAs(10, 8, 11, 2, predictor.PartialUpdate),
+			predictor.NewGShare(12, 8, 2),
+		}
+		results, err := sim.Compare(branches, preds, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", results[0].MissPercent()),
+			fmt.Sprintf("%.2f", results[1].MissPercent()),
+			fmt.Sprintf("%.2f", results[2].MissPercent()))
+	}
+	return t, nil
+}
+
+func runExtHybrid(ctx *Context) (Renderable, error) {
+	t := report.NewTable("Hybrid predictors (miss %, 8-bit history)",
+		"benchmark", "gshare 16k", "bimodal+gshare", "bimodal+gskewed", "egskew 3x4k")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		const k = 8
+		preds := []predictor.Predictor{
+			predictor.NewGShare(14, k, 2),
+			predictor.MustHybrid(predictor.NewBimodal(12, 2), predictor.NewGShare(13, k, 2), 12),
+			predictor.MustHybrid(
+				predictor.NewBimodal(12, 2),
+				predictor.MustGSkewed(predictor.Config{BankBits: 11, HistoryBits: k, Policy: predictor.PartialUpdate}),
+				12),
+			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true}),
+		}
+		results, err := sim.Compare(branches, preds, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, r := range results {
+			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runExtConfidence(ctx *Context) (Renderable, error) {
+	const histBits = 8
+	t := report.NewTable("Vote-margin confidence (3x4k gskewed, 8-bit history, partial update)",
+		"benchmark", "unanimous share", "miss | unanimous", "miss | split vote", "ratio")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		g := predictor.MustGSkewed(predictor.Config{
+			BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+		})
+		ghr := history.NewGlobal(histBits)
+		var unanimousN, unanimousMiss, splitN, splitMiss int
+		for _, b := range branches {
+			if b.Kind == trace.Conditional {
+				pred, unanimous := g.PredictConfident(b.PC, ghr.Bits())
+				miss := pred != b.Taken
+				if unanimous {
+					unanimousN++
+					if miss {
+						unanimousMiss++
+					}
+				} else {
+					splitN++
+					if miss {
+						splitMiss++
+					}
+				}
+				g.Update(b.PC, ghr.Bits(), b.Taken)
+			}
+			ghr.Shift(b.Taken)
+		}
+		um := 100 * float64(unanimousMiss) / float64(max(unanimousN, 1))
+		sm := 100 * float64(splitMiss) / float64(max(splitN, 1))
+		ratio := sm / um
+		t.AddRow(name,
+			fmt.Sprintf("%.1f %%", 100*float64(unanimousN)/float64(unanimousN+splitN)),
+			fmt.Sprintf("%.2f %%", um),
+			fmt.Sprintf("%.2f %%", sm),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	return t, nil
+}
+
+func runExtEncoding(ctx *Context) (Renderable, error) {
+	const histBits = 8
+	t := report.NewTable("Shared-hysteresis encoding (gskewed, 8-bit history, partial update)",
+		"benchmark", "3x4k 2-bit (24 Kbit)", "3x4k shared/2 (15 Kbit)", "3x8k shared/4 (27 Kbit)")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		preds := []predictor.Predictor{
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+			}),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+				CounterBits: 2, SharedHysteresis: 1,
+			}),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 13, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+				CounterBits: 2, SharedHysteresis: 2,
+			}),
+		}
+		results, err := sim.Compare(branches, preds, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, r := range results {
+			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runExtOpt(ctx *Context) (Renderable, error) {
+	const histBits = 4
+	bundle := &Bundle{Title: "Conflict aliasing measured against LRU vs OPT capacity baselines (4-bit history)"}
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		// Record the reference stream once.
+		ghr := history.NewGlobal(histBits)
+		refs := make([]uint64, 0, len(branches))
+		for _, b := range branches {
+			if b.Kind == trace.Conditional {
+				refs = append(refs, indexfn.Vector(b.PC, ghr.Bits(), histBits))
+			}
+			ghr.Shift(b.Taken)
+		}
+
+		t := report.NewTable(name,
+			"entries", "gshare-dm %", "lru %", "opt %", "conflict vs lru", "conflict vs opt")
+		for _, n := range []uint{10, 12, 14} {
+			dm := alias.NewTaggedDM(indexfn.NewGShare(n, histBits))
+			ghr2 := history.NewGlobal(histBits)
+			for _, b := range branches {
+				if b.Kind == trace.Conditional {
+					dm.Observe(b.PC, ghr2.Bits())
+				}
+				ghr2.Shift(b.Taken)
+			}
+			fa := alias.NewTaggedFA(1<<n, 0)
+			for _, v := range refs {
+				fa.Observe(v, 0)
+			}
+			opt := alias.OptMissRatio(refs, 1<<n)
+			t.AddRow(fmt.Sprintf("%d", 1<<n),
+				fmt.Sprintf("%.3f", 100*dm.MissRatio()),
+				fmt.Sprintf("%.3f", 100*fa.MissRatio()),
+				fmt.Sprintf("%.3f", 100*opt),
+				fmt.Sprintf("%.3f", 100*(dm.MissRatio()-fa.MissRatio())),
+				fmt.Sprintf("%.3f", 100*(dm.MissRatio()-opt)))
+		}
+		bundle.Add(t)
+	}
+	return bundle, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-pipeline",
+		Title: "Front-end impact: IPC and speedup vs pipeline depth",
+		Paper: "Section 1's motivation quantified: mispredictions dominate deep, wide front ends",
+		Run:   runExtPipeline,
+	})
+}
+
+func runExtPipeline(ctx *Context) (Renderable, error) {
+	const histBits = 8
+	t := report.NewTable("Front-end model: 4-wide fetch, 5 instr/branch (miss % -> IPC at penalty 5/10/20)",
+		"benchmark", "predictor", "miss %", "IPC@5", "IPC@10", "IPC@20", "speedup@20 vs gshare")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		preds := []predictor.Predictor{
+			predictor.NewGShare(14, histBits, 2),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+			}),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
+			}),
+		}
+		results, err := sim.Compare(branches, preds, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		base := results[0]
+		for i, p := range preds {
+			r := results[i]
+			row := []any{name, fmt.Sprintf("%v", p), fmt.Sprintf("%.2f", r.MissPercent())}
+			for _, penalty := range []int{5, 10, 20} {
+				m := pipeline.Model{FetchWidth: 4, MispredictPenalty: penalty, InstrPerBranch: 5}
+				c, err := m.Evaluate(r.Conditionals, r.Mispredicts)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2f", c.IPC()))
+			}
+			m := pipeline.Model{FetchWidth: 4, MispredictPenalty: 20, InstrPerBranch: 5}
+			sp, err := m.Speedup(base.Conditionals, base.Mispredicts, r.Mispredicts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3fx", sp))
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

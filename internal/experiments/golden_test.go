@@ -1,0 +1,53 @@
+package experiments
+
+// Golden-output regression tests for the deterministic (trace-free)
+// experiments. These outputs depend only on closed-form math and fixed
+// constructions, so any change is either an intentional improvement
+// (update the golden files with -update) or a regression.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenDeterministicExperiments(t *testing.T) {
+	for _, id := range []string{"fig3", "fig4", "fig9", "fig10", "ext-model-m"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := e.Run(&Context{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+			got := sb.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gskew/internal/alias"
+	"gskew/internal/history"
+	"gskew/internal/indexfn"
+	"gskew/internal/model"
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Analytical destructive-aliasing curves (full range)",
+		Paper: "Figure 9: P_dm = p/2 vs P_sk = (3/4)p^2(1-p) + p^3/2 at b = 1/2 over p in [0,1]",
+		Run:   func(*Context) (Renderable, error) { return modelCurves(0, 1, 21), nil },
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Analytical destructive-aliasing curves (small-p region)",
+		Paper: "Figure 10: the magnified low-aliasing region where the polynomial beats the linear curve",
+		Run:   func(*Context) (Renderable, error) { return modelCurves(0, 0.2, 21), nil },
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Extrapolated (analytical model) vs measured misprediction, 4-bit history",
+		Paper: "Figure 11: the model tracks measured gskewed rates, slightly overestimating (constructive aliasing)",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Enhanced gskewed vs gskewed vs 32k gshare across history lengths",
+		Paper: "Figure 12: e-gskew diverges from gskewed above ~8-10 history bits and matches a 2x-storage gshare",
+		Run:   runFig12,
+	})
+}
+
+func modelCurves(lo, hi float64, points int) Renderable {
+	fig := report.NewFigure(
+		fmt.Sprintf("Destructive aliasing probability, b = 0.5, p in [%g,%g]", lo, hi),
+		"per-bank aliasing probability p", "P(deviation from unaliased)")
+	var dm, sk []float64
+	for i := 0; i < points; i++ {
+		p := lo + (hi-lo)*float64(i)/float64(points-1)
+		fig.Xs = append(fig.Xs, p)
+		dm = append(dm, model.PDirectWorstCase(p))
+		sk = append(sk, model.PSkewWorstCase(p))
+	}
+	fig.AddSeries("P_dm (1-bank)", dm)
+	fig.AddSeries("P_sk (3-bank skewed)", sk)
+	return fig
+}
+
+func runFig11(ctx *Context) (Renderable, error) {
+	// Model assumptions: 1-bit automata, total update, 4-bit history.
+	const histBits = 4
+	const bankBits = 12 // 3x4k gskewed
+	t := report.NewTable("Figure 11: extrapolated vs measured misprediction % (3x4k gskewed, 1-bit, total update, 4-bit history)",
+		"benchmark", "unaliased %", "overhead (model) %", "extrapolated %", "measured %")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+
+		// Pass 1: per-substream direction tally for the bias b (the
+		// density of static (address, history) pairs biased taken) and
+		// the last-use distance stream feeding the model.
+		type tally struct{ taken, total int }
+		substreams := make(map[uint64]*tally)
+		sd := alias.NewStackDist(len(branches))
+		dists := make([]int, 0, len(branches)/2)
+		ghr := history.NewGlobal(histBits)
+		for _, b := range branches {
+			if b.Kind == trace.Conditional {
+				v := indexfn.Vector(b.PC, ghr.Bits(), histBits)
+				s := substreams[v]
+				if s == nil {
+					s = &tally{}
+					substreams[v] = s
+				}
+				s.total++
+				if b.Taken {
+					s.taken++
+				}
+				dists = append(dists, sd.Observe(v))
+			}
+			ghr.Shift(b.Taken)
+		}
+		biasedTaken := 0
+		for _, s := range substreams {
+			if 2*s.taken >= s.total {
+				biasedTaken++
+			}
+		}
+		b := float64(biasedTaken) / float64(len(substreams))
+
+		// Unaliased 1-bit misprediction rate (Table 2 methodology).
+		u := predictor.NewUnaliased(histBits, 1)
+		resU, err := sim.RunBranches(branches, u, sim.Options{SkipFirstUse: true})
+		if err != nil {
+			return nil, err
+		}
+
+		// Model extrapolation over the measured distance stream.
+		ex := model.NewExtrapolator(1<<bankBits, b)
+		for _, d := range dists {
+			ex.Observe(d)
+		}
+		extrapolated := 100 * ex.Extrapolate(resU.MissRate())
+
+		// Measured: actual 3x4k gskewed, 1-bit counters, total update.
+		gs := predictor.MustGSkewed(predictor.Config{
+			BankBits:    bankBits,
+			HistoryBits: histBits,
+			CounterBits: 1,
+			Policy:      predictor.TotalUpdate,
+		})
+		resM, err := sim.RunBranches(branches, gs, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", resU.MissPercent()),
+			fmt.Sprintf("%.2f", 100*ex.MispredictOverhead()),
+			fmt.Sprintf("%.2f", extrapolated),
+			fmt.Sprintf("%.2f", resM.MissPercent()))
+	}
+	return t, nil
+}
+
+func runFig12(ctx *Context) (Renderable, error) {
+	return historySweep(ctx,
+		"Misprediction % of enhanced gskewed (3x4k) vs gskewed (3x4k) vs 32k gshare",
+		[]uint{0, 2, 4, 6, 8, 10, 12, 14, 16},
+		[]struct {
+			name  string
+			build func(k uint) predictor.Predictor
+		}{
+			{"32k-gshare", func(k uint) predictor.Predictor {
+				return predictor.NewGShare(15, k, 2)
+			}},
+			{"3x4k-gskewed", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
+				})
+			}},
+			{"3x4k-egskew", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true,
+				})
+			}},
+		})
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "gshare vs gskewed across table sizes, 4-bit history",
+		Paper: "Figure 5: gskewed (partial update) matches gshare of ~2x storage once capacity aliasing vanishes",
+		Run:   func(ctx *Context) (Renderable, error) { return runSizeSweep(ctx, 4, []uint{10, 12, 14, 16}) },
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "gshare vs gskewed across table sizes, 12-bit history",
+		Paper: "Figure 6: as Figure 5 with 12 history bits; gskewed also removes pathological cases (nroff)",
+		Run:   func(ctx *Context) (Renderable, error) { return runSizeSweep(ctx, 12, []uint{12, 14, 16, 18}) },
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "3x4k gskewed vs 16k gshare across history lengths",
+		Paper: "Figure 7: despite 25% less storage, gskewed outperforms gshare on all benchmarks except real_gcc",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "3N-entry gskewed (partial/total) vs N-entry fully-associative LRU, 4-bit history",
+		Paper: "Figure 8: gskewed with partial update ~= N-entry FA-LRU; total update slightly worse",
+		Run:   runFig8,
+	})
+}
+
+// runSizeSweep produces, per benchmark, misprediction curves over
+// gshare table sizes 2^n for n in sizes, with a 3x2^(n-2)-entry
+// gskewed (75% of the gshare storage at the same x position) as the
+// paper's skewed counterpart.
+func runSizeSweep(ctx *Context, histBits uint, sizes []uint) (Renderable, error) {
+	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
+		fig := report.NewFigure(fmt.Sprintf("%s (%d-bit history)", name, histBits),
+			"gshare entries", "miss %")
+		var gsh, gsk []float64
+		for _, n := range sizes {
+			fig.Xs = append(fig.Xs, float64(uint64(1)<<n))
+			res, err := sim.RunBranches(branches, predictor.NewGShare(n, histBits, 2), sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			gsh = append(gsh, res.MissPercent())
+
+			gs := predictor.MustGSkewed(predictor.Config{
+				BankBits:    n - 2,
+				HistoryBits: histBits,
+				Policy:      predictor.PartialUpdate,
+			})
+			res, err = sim.RunBranches(branches, gs, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			gsk = append(gsk, res.MissPercent())
+		}
+		fig.AddSeries("gshare", gsh)
+		fig.AddSeries("gskewed-3x(N/4)", gsk)
+		return fig, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Title: fmt.Sprintf("Misprediction %% vs size (%d-bit history)", histBits),
+		Items: items,
+	}, nil
+}
+
+// historySweep runs a set of predictor constructors across history
+// lengths and returns a per-benchmark bundle.
+func historySweep(ctx *Context, title string, hists []uint,
+	preds []struct {
+		name  string
+		build func(k uint) predictor.Predictor
+	}) (Renderable, error) {
+	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
+		fig := report.NewFigure(name, "history bits", "miss %")
+		for _, k := range hists {
+			fig.Xs = append(fig.Xs, float64(k))
+		}
+		for _, pd := range preds {
+			var ys []float64
+			for _, k := range hists {
+				res, err := sim.RunBranches(branches, pd.build(k), sim.Options{})
+				if err != nil {
+					return nil, err
+				}
+				ys = append(ys, res.MissPercent())
+			}
+			fig.AddSeries(pd.name, ys)
+		}
+		return fig, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{Title: title, Items: items}, nil
+}
+
+func runFig7(ctx *Context) (Renderable, error) {
+	return historySweep(ctx,
+		"Misprediction % of 3x4k-gskewed vs 16k-gshare across history lengths",
+		[]uint{0, 2, 4, 6, 8, 10, 12, 14, 16},
+		[]struct {
+			name  string
+			build func(k uint) predictor.Predictor
+		}{
+			{"16k-gshare", func(k uint) predictor.Predictor {
+				return predictor.NewGShare(14, k, 2)
+			}},
+			{"3x4k-gskewed", func(k uint) predictor.Predictor {
+				return predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
+				})
+			}},
+		})
+}
+
+func runFig8(ctx *Context) (Renderable, error) {
+	const histBits = 4
+	sizes := []uint{8, 10, 12} // N = 256, 1k, 4k
+	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
+		fig := report.NewFigure(name, "N entries", "miss %")
+		var fa, partial, total []float64
+		for _, n := range sizes {
+			fig.Xs = append(fig.Xs, float64(uint64(1)<<n))
+
+			res, err := sim.RunBranches(branches,
+				predictor.NewAssocLRU(1<<n, histBits, 2), sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			fa = append(fa, res.MissPercent())
+
+			for _, pol := range []predictor.UpdatePolicy{predictor.PartialUpdate, predictor.TotalUpdate} {
+				gs := predictor.MustGSkewed(predictor.Config{
+					BankBits: n, HistoryBits: histBits, Policy: pol,
+				})
+				res, err := sim.RunBranches(branches, gs, sim.Options{})
+				if err != nil {
+					return nil, err
+				}
+				if pol == predictor.PartialUpdate {
+					partial = append(partial, res.MissPercent())
+				} else {
+					total = append(total, res.MissPercent())
+				}
+			}
+		}
+		fig.AddSeries("N-assoc-lru", fa)
+		fig.AddSeries("3N-gskewed-partial", partial)
+		fig.AddSeries("3N-gskewed-total", total)
+		return fig, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Title: "3N-entry gskewed vs N-entry fully-associative LRU (4-bit history)",
+		Items: items,
+	}, nil
+}
+
+// geomean of a slice of positive rates; used by summary rows.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-9
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

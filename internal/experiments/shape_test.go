@@ -1,0 +1,246 @@
+package experiments
+
+// Shape tests: reduced-scale versions of the paper's experiments that
+// assert the qualitative claims (orderings, crossovers, policy
+// effects) rather than absolute numbers. EXPERIMENTS.md records the
+// full-scale paper-vs-measured comparison; these tests keep the
+// claims from silently regressing.
+
+import (
+	"strconv"
+	"testing"
+
+	"gskew/internal/alias"
+	"gskew/internal/history"
+	"gskew/internal/indexfn"
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+// shapeCtx caches one moderate-scale trace across all shape tests.
+var shapeCtx = &Context{Scale: 0.05, Benchmarks: []string{"verilog"}}
+
+func shapeTrace(t *testing.T) []trace.Branch {
+	t.Helper()
+	branches, err := shapeCtx.Trace("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return branches
+}
+
+func missPct(t *testing.T, branches []trace.Branch, p predictor.Predictor) float64 {
+	t.Helper()
+	res, err := sim.RunBranches(branches, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.MissPercent()
+}
+
+// TestShapeGShareBeatsGSelect asserts the aliasing-level explanation
+// of section 3.2: gselect has a higher aliasing (tagged-table miss)
+// ratio than gshare at equal size, most pronounced with long history.
+func TestShapeGShareBeatsGSelect(t *testing.T) {
+	branches := shapeTrace(t)
+	for _, histBits := range []uint{4, 12} {
+		gsh := alias.NewTaggedDM(indexfn.NewGShare(12, histBits))
+		gsel := alias.NewTaggedDM(indexfn.NewGSelect(12, histBits))
+		ghr := history.NewGlobal(histBits)
+		for _, b := range branches {
+			if b.Kind == trace.Conditional {
+				gsh.Observe(b.PC, ghr.Bits())
+				gsel.Observe(b.PC, ghr.Bits())
+			}
+			ghr.Shift(b.Taken)
+		}
+		if gsel.MissRatio() < gsh.MissRatio() {
+			t.Errorf("hist=%d: gselect aliasing (%.4f) below gshare (%.4f)",
+				histBits, gsel.MissRatio(), gsh.MissRatio())
+		}
+	}
+}
+
+// TestShapeConflictDominatesWhenCapacityVanishes asserts the headline
+// of section 3.2: once tables are large enough, capacity aliasing is
+// gone and conflicts are what remains.
+func TestShapeConflictDominatesWhenCapacityVanishes(t *testing.T) {
+	branches := shapeTrace(t)
+	const histBits = 4
+	cl := alias.NewClassifier(indexfn.NewGShare(14, histBits)) // 16k entries
+	ghr := history.NewGlobal(histBits)
+	for _, b := range branches {
+		if b.Kind == trace.Conditional {
+			cl.Observe(b.PC, ghr.Bits())
+		}
+		ghr.Shift(b.Taken)
+	}
+	st := cl.Stats()
+	if st.Capacity > st.Conflict {
+		t.Errorf("at 16k entries capacity (%d) still exceeds conflict (%d)",
+			st.Capacity, st.Conflict)
+	}
+	if st.Conflict <= 0 {
+		t.Error("no conflict aliasing measured at all")
+	}
+}
+
+// TestShapeMissRateFallsWithSize asserts the basic capacity behaviour
+// of Figure 5: bigger gshare tables mispredict less (weakly).
+func TestShapeMissRateFallsWithSize(t *testing.T) {
+	branches := shapeTrace(t)
+	prev := 1e9
+	for _, n := range []uint{8, 10, 12, 14, 16} {
+		rate := missPct(t, branches, predictor.NewGShare(n, 4, 2))
+		if rate > prev*1.02 { // 2% tolerance for noise
+			t.Errorf("gshare %d entries: %.3f%% worse than smaller table (%.3f%%)",
+				1<<n, rate, prev)
+		}
+		prev = rate
+	}
+}
+
+// TestShapePartialBeatsTotal asserts section 5.1's update-policy
+// finding across history lengths.
+func TestShapePartialBeatsTotal(t *testing.T) {
+	branches := shapeTrace(t)
+	for _, histBits := range []uint{4, 10} {
+		partial := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+			BankBits: 10, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+		}))
+		total := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+			BankBits: 10, HistoryBits: histBits, Policy: predictor.TotalUpdate,
+		}))
+		if partial > total*1.01 {
+			t.Errorf("hist=%d: partial update (%.3f%%) worse than total (%.3f%%)",
+				histBits, partial, total)
+		}
+	}
+}
+
+// TestShapeGSkewedTracksAssocLRU asserts Figure 8: a 3N-entry skewed
+// predictor with partial update performs approximately like an N-entry
+// fully-associative LRU table (within a modest relative band).
+func TestShapeGSkewedTracksAssocLRU(t *testing.T) {
+	branches := shapeTrace(t)
+	const histBits = 4
+	for _, n := range []uint{10, 12} {
+		fa := missPct(t, branches, predictor.NewAssocLRU(1<<n, histBits, 2))
+		sk := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+			BankBits: n, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+		}))
+		if sk > fa*1.15 {
+			t.Errorf("N=%d: 3N-gskewed (%.3f%%) not within 15%% of N-entry FA-LRU (%.3f%%)",
+				1<<n, sk, fa)
+		}
+	}
+}
+
+// TestShapeGSkewedCompetitiveWithGShare asserts the storage-efficiency
+// claim in the conflict-dominated region: a 3x4k gskewed (24 Kbit) is
+// within a few percent of a 16k gshare (32 Kbit) at short history.
+func TestShapeGSkewedCompetitiveWithGShare(t *testing.T) {
+	branches := shapeTrace(t)
+	for _, histBits := range []uint{2, 4, 6} {
+		gsh := missPct(t, branches, predictor.NewGShare(14, histBits, 2))
+		sk := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+			BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
+		}))
+		if sk > gsh*1.06 {
+			t.Errorf("hist=%d: 3x4k-gskewed (%.3f%%) not within 6%% of 16k-gshare (%.3f%%) despite 25%% less storage",
+				histBits, sk, gsh)
+		}
+	}
+}
+
+// TestShapeEnhancedRescuesLongHistories asserts Figure 12: e-gskew
+// matches gskewed at short histories and clearly beats it at long
+// ones, staying close to a 32k gshare.
+func TestShapeEnhancedRescuesLongHistories(t *testing.T) {
+	branches := shapeTrace(t)
+	mk := func(histBits uint, enhanced bool) float64 {
+		return missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+			BankBits: 12, HistoryBits: histBits,
+			Policy: predictor.PartialUpdate, Enhanced: enhanced,
+		}))
+	}
+	// Short history: near-identical.
+	short := mk(2, false)
+	shortE := mk(2, true)
+	if diff := shortE - short; diff > 0.25 || diff < -0.25 {
+		t.Errorf("hist=2: egskew (%.3f%%) and gskewed (%.3f%%) should be nearly identical", shortE, short)
+	}
+	// Long history: enhanced clearly better.
+	long := mk(14, false)
+	longE := mk(14, true)
+	if longE >= long {
+		t.Errorf("hist=14: egskew (%.3f%%) not better than gskewed (%.3f%%)", longE, long)
+	}
+	// And within a band of the 2x-storage gshare.
+	gsh := missPct(t, shapeTrace(t), predictor.NewGShare(15, 14, 2))
+	if longE > gsh*1.10 {
+		t.Errorf("hist=14: egskew (%.3f%%) not within 10%% of 32k-gshare (%.3f%%)", longE, gsh)
+	}
+}
+
+// TestShapeFiveBanksAddLittle asserts section 5.1's bank-count
+// finding: going from 3 to 5 banks buys far less than going from 1 to
+// 3 (i.e. the majority of removable conflict is gone at 3 banks).
+func TestShapeFiveBanksAddLittle(t *testing.T) {
+	branches := shapeTrace(t)
+	const histBits = 4
+	one := missPct(t, branches, predictor.NewGShare(10, histBits, 2))
+	three := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+		Banks: 3, BankBits: 10, HistoryBits: histBits,
+	}))
+	five := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
+		Banks: 5, BankBits: 10, HistoryBits: histBits,
+	}))
+	gain13 := one - three
+	gain35 := three - five
+	if gain35 > gain13 {
+		t.Errorf("5 banks gained more (%.3f) than 3 banks did over 1 (%.3f); expected diminishing returns",
+			gain35, gain13)
+	}
+}
+
+// TestShapeModelOverestimatesSlightly asserts Figure 11's property:
+// the analytical extrapolation tracks the measured rate from above
+// (constructive aliasing and the 2-bit hysteresis are unmodelled) and
+// stays within a few points of it.
+func TestShapeModelOverestimatesSlightly(t *testing.T) {
+	e, err := ByID("fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(shapeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, ok := r.(*report.Table)
+	if !ok {
+		t.Fatalf("fig11 returned %T", r)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatal("fig11 produced no rows")
+	}
+	for _, row := range table.Rows {
+		// Columns: benchmark, unaliased, overhead, extrapolated, measured.
+		extrapolated, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad extrapolated cell %q", row[3])
+		}
+		measured, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad measured cell %q", row[4])
+		}
+		if extrapolated < measured*0.8 {
+			t.Errorf("%s: model (%.2f%%) far below measured (%.2f%%)", row[0], extrapolated, measured)
+		}
+		if extrapolated > measured+6 {
+			t.Errorf("%s: model (%.2f%%) implausibly above measured (%.2f%%)", row[0], extrapolated, measured)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gskew/internal/predictor"
+	"gskew/internal/report"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Conditional branch counts per benchmark",
+		Paper: "Table 1: dynamic and static conditional branch counts of the six IBS benchmarks",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Unaliased (infinite-table) predictor characteristics",
+		Paper: "Table 2: substream ratio, compulsory aliasing and 1-/2-bit misprediction, histories 4 and 12",
+		Run:   runTable2,
+	})
+}
+
+func runTable1(ctx *Context) (Renderable, error) {
+	t := report.NewTable("Table 1: conditional branch counts",
+		"benchmark", "dynamic", "static", "paper dynamic", "paper static", "scale")
+	for _, name := range ctx.BenchmarkNames() {
+		branches, err := ctx.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		st, err := trace.Measure(trace.NewSliceSource(branches))
+		if err != nil {
+			return nil, err
+		}
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, st.Dynamic, st.Static,
+			spec.DynamicBranches, spec.StaticBranches,
+			fmt.Sprintf("%.2f", ctx.scale()))
+	}
+	return t, nil
+}
+
+func runTable2(ctx *Context) (Renderable, error) {
+	bundle := &Bundle{Title: "Table 2: unaliased predictor"}
+	for _, k := range []uint{4, 12} {
+		t := report.NewTable(fmt.Sprintf("%d-bit history", k),
+			"benchmark", "substream ratio", "compulsory aliasing", "mispredict 1-bit", "mispredict 2-bit")
+		for _, name := range ctx.BenchmarkNames() {
+			branches, err := ctx.Trace(name)
+			if err != nil {
+				return nil, err
+			}
+			var rates [2]float64
+			var substreamRatio, compulsory float64
+			for i, bits := range []uint{1, 2} {
+				u := predictor.NewUnaliased(k, bits)
+				res, err := sim.RunBranches(branches, u, sim.Options{SkipFirstUse: true})
+				if err != nil {
+					return nil, err
+				}
+				rates[i] = res.MissPercent()
+				if bits == 2 {
+					substreamRatio = u.SubstreamRatio()
+					// Compulsory aliasing: distinct (address, history)
+					// pairs per dynamic conditional branch (section 3.1).
+					compulsory = 100 * float64(u.Substreams()) / float64(res.Conditionals)
+				}
+			}
+			t.AddRow(name,
+				fmt.Sprintf("%.2f", substreamRatio),
+				fmt.Sprintf("%.2f %%", compulsory),
+				fmt.Sprintf("%.2f %%", rates[0]),
+				fmt.Sprintf("%.2f %%", rates[1]))
+		}
+		bundle.Add(t)
+	}
+	return bundle, nil
+}

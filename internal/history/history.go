@@ -1,0 +1,132 @@
+// Package history implements branch-history registers.
+//
+// The paper's global-history schemes divide the dynamic branch stream
+// into substreams keyed by (address, history) pairs, where the history
+// is a shift register of recent branch directions. Following section
+// 3.1, unconditional branches are included in the global history (they
+// shift in a "taken" bit) but are never themselves predicted.
+//
+// The package also provides a per-address history table (PAs-style),
+// used by the per-address extension experiments suggested in the
+// paper's future-work section.
+package history
+
+import "fmt"
+
+// MaxBits is the widest supported history register.
+const MaxBits = 63
+
+// Global is a global branch-history shift register of fixed length.
+// The most recent branch outcome occupies bit 0 (h_1 in the paper's
+// notation); older outcomes occupy higher bits.
+//
+// A zero-length register is valid and always reads as 0, which lets
+// history-less schemes (bimodal) share the same plumbing.
+type Global struct {
+	bits uint64
+	k    uint
+	mask uint64
+}
+
+// NewGlobal returns a history register of k bits, initially all zero
+// (i.e. "not taken"). It panics if k > MaxBits.
+func NewGlobal(k uint) *Global {
+	if k > MaxBits {
+		panic(fmt.Sprintf("history: length %d out of range [0,%d]", k, MaxBits))
+	}
+	return &Global{k: k, mask: uint64(1)<<k - 1}
+}
+
+// Len returns the register length in bits.
+func (g *Global) Len() uint { return g.k }
+
+// Bits returns the current history value, in [0, 2^k).
+func (g *Global) Bits() uint64 { return g.bits }
+
+// Shift records a branch outcome, pushing it in as the newest bit.
+func (g *Global) Shift(taken bool) {
+	g.bits <<= 1
+	if taken {
+		g.bits |= 1
+	}
+	g.bits &= g.mask
+}
+
+// Set overwrites the register contents (masked to k bits). Used to
+// checkpoint/restore around context switches in experiments that model
+// history pollution explicitly.
+func (g *Global) Set(v uint64) { g.bits = v & g.mask }
+
+// Reset clears the register.
+func (g *Global) Reset() { g.bits = 0 }
+
+// String renders the register as a bit string, oldest bit first, e.g.
+// "0101" for k=4. A zero-length register renders as "".
+func (g *Global) String() string {
+	if g.k == 0 {
+		return ""
+	}
+	buf := make([]byte, g.k)
+	for i := uint(0); i < g.k; i++ {
+		// buf[0] is the oldest bit (h_k), buf[k-1] the newest (h_1).
+		if g.bits>>(g.k-1-i)&1 == 1 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// PerAddress is a table of per-branch history registers indexed by the
+// low bits of the branch address (a first-level BHT as in Yeh/Patt
+// two-level schemes). It is provided for the paper's future-work
+// extension of skewing to per-address schemes.
+type PerAddress struct {
+	regs []uint64
+	k    uint
+	mask uint64
+	imsk uint64
+}
+
+// NewPerAddress returns a table of 2^n history registers of k bits.
+func NewPerAddress(n, k uint) *PerAddress {
+	if n < 1 || n > 26 {
+		panic(fmt.Sprintf("history: per-address table width %d out of range [1,26]", n))
+	}
+	if k > MaxBits {
+		panic(fmt.Sprintf("history: length %d out of range [0,%d]", k, MaxBits))
+	}
+	return &PerAddress{
+		regs: make([]uint64, 1<<n),
+		k:    k,
+		mask: uint64(1)<<k - 1,
+		imsk: uint64(1)<<n - 1,
+	}
+}
+
+// Len returns the per-register length in bits.
+func (p *PerAddress) Len() uint { return p.k }
+
+// Tables returns the number of registers.
+func (p *PerAddress) Tables() int { return len(p.regs) }
+
+// Bits returns the history register selected by addr.
+func (p *PerAddress) Bits(addr uint64) uint64 { return p.regs[addr&p.imsk] }
+
+// Shift records an outcome into the register selected by addr.
+func (p *PerAddress) Shift(addr uint64, taken bool) {
+	i := addr & p.imsk
+	v := p.regs[i] << 1
+	if taken {
+		v |= 1
+	}
+	p.regs[i] = v & p.mask
+}
+
+// Reset clears every register.
+func (p *PerAddress) Reset() {
+	for i := range p.regs {
+		p.regs[i] = 0
+	}
+}

@@ -1,0 +1,193 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalShift(t *testing.T) {
+	g := NewGlobal(4)
+	if g.Bits() != 0 {
+		t.Fatal("new register not zero")
+	}
+	seq := []bool{true, false, true, true}
+	for _, taken := range seq {
+		g.Shift(taken)
+	}
+	// Oldest-to-newest 1011 -> bits value 0b1011 (h_1 = newest = bit 0).
+	if g.Bits() != 0b1011 {
+		t.Errorf("Bits() = %04b, want 1011", g.Bits())
+	}
+	if g.String() != "1011" {
+		t.Errorf("String() = %q, want 1011", g.String())
+	}
+}
+
+func TestGlobalWindow(t *testing.T) {
+	// Only the most recent k outcomes are retained.
+	g := NewGlobal(3)
+	for _, taken := range []bool{true, true, true, false, false, false} {
+		g.Shift(taken)
+	}
+	if g.Bits() != 0 {
+		t.Errorf("register retained stale bits: %03b", g.Bits())
+	}
+	g.Shift(true)
+	if g.Bits() != 1 {
+		t.Errorf("newest bit not at position 0: %03b", g.Bits())
+	}
+}
+
+func TestGlobalZeroLength(t *testing.T) {
+	g := NewGlobal(0)
+	for i := 0; i < 10; i++ {
+		g.Shift(i%2 == 0)
+		if g.Bits() != 0 {
+			t.Fatal("zero-length register must always read 0")
+		}
+	}
+	if g.String() != "" {
+		t.Errorf("zero-length String() = %q", g.String())
+	}
+}
+
+func TestGlobalMaskInvariant(t *testing.T) {
+	f := func(k8 uint8, seq []bool) bool {
+		k := uint(k8 % 20)
+		g := NewGlobal(k)
+		for _, taken := range seq {
+			g.Shift(taken)
+			if k < 64 && g.Bits() >= uint64(1)<<k && k > 0 {
+				return false
+			}
+			if k == 0 && g.Bits() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalSetReset(t *testing.T) {
+	g := NewGlobal(4)
+	g.Set(0xff)
+	if g.Bits() != 0xf {
+		t.Errorf("Set did not mask: %#x", g.Bits())
+	}
+	g.Reset()
+	if g.Bits() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestGlobalPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGlobal(64) did not panic")
+		}
+	}()
+	NewGlobal(64)
+}
+
+func TestStringMatchesBits(t *testing.T) {
+	f := func(v uint16, seq []bool) bool {
+		g := NewGlobal(8)
+		for _, taken := range seq {
+			g.Shift(taken)
+		}
+		s := g.String()
+		if len(s) != 8 {
+			return false
+		}
+		var rebuilt uint64
+		for _, c := range s {
+			rebuilt <<= 1
+			if c == '1' {
+				rebuilt |= 1
+			}
+		}
+		return rebuilt == g.Bits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerAddressIsolation(t *testing.T) {
+	p := NewPerAddress(4, 6)
+	p.Shift(0, true)
+	p.Shift(0, true)
+	p.Shift(5, false)
+	if p.Bits(0) != 0b11 {
+		t.Errorf("reg 0 = %b, want 11", p.Bits(0))
+	}
+	if p.Bits(5) != 0 {
+		t.Errorf("reg 5 = %b, want 0", p.Bits(5))
+	}
+	// Other registers untouched.
+	for a := uint64(1); a < 16; a++ {
+		if a != 5 && p.Bits(a) != 0 {
+			t.Errorf("reg %d perturbed", a)
+		}
+	}
+}
+
+func TestPerAddressAliasing(t *testing.T) {
+	// Addresses sharing low n bits share a register — by design.
+	p := NewPerAddress(4, 4)
+	p.Shift(0x3, true)
+	if p.Bits(0x13) != 1 {
+		t.Error("addresses congruent mod 16 must share a register")
+	}
+}
+
+func TestPerAddressReset(t *testing.T) {
+	p := NewPerAddress(3, 4)
+	for a := uint64(0); a < 8; a++ {
+		p.Shift(a, true)
+	}
+	p.Reset()
+	for a := uint64(0); a < 8; a++ {
+		if p.Bits(a) != 0 {
+			t.Fatalf("reg %d not cleared", a)
+		}
+	}
+}
+
+func TestPerAddressPanics(t *testing.T) {
+	bad := []func(){
+		func() { NewPerAddress(0, 4) },
+		func() { NewPerAddress(27, 4) },
+		func() { NewPerAddress(4, 64) },
+	}
+	for i, fn := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPerAddressDims(t *testing.T) {
+	p := NewPerAddress(5, 7)
+	if p.Tables() != 32 {
+		t.Errorf("Tables() = %d", p.Tables())
+	}
+	if p.Len() != 7 {
+		t.Errorf("Len() = %d", p.Len())
+	}
+}
+
+func BenchmarkGlobalShift(b *testing.B) {
+	g := NewGlobal(12)
+	for i := 0; i < b.N; i++ {
+		g.Shift(i&3 != 0)
+	}
+}

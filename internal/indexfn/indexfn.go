@@ -1,0 +1,166 @@
+// Package indexfn implements the single-table index functions studied
+// by the paper as baselines: bimodal (address bit truncation), gshare
+// (address XOR history) and gselect (address/history concatenation).
+//
+// All functions map a word-aligned branch address and a global-history
+// register onto a 2^n-entry table. Bit-layout details follow the paper:
+//
+//   - gshare: the low-order address bits are XORed with the global
+//     history; when the history is shorter than the index, the history
+//     is aligned with the HIGH-order end of the index (footnote 1,
+//     after McFarling). When the history is longer than the index it is
+//     folded down by XOR so no history bit is discarded.
+//
+//   - gselect: the index is the concatenation of the low (n-k) address
+//     bits and the k history bits, history in the high part (GAs in
+//     Yeh/Patt terminology). When k >= n the index is just the low n
+//     history bits — this is the regime in which the paper observes
+//     gselect degrading badly (only 4 address bits reach a 64K table
+//     with 12 history bits).
+//
+//   - bimodal: plain address truncation, ignoring history.
+package indexfn
+
+import "fmt"
+
+// Func computes a table index from a word-aligned branch address and a
+// history register. Implementations are pure functions and safe for
+// concurrent use.
+type Func interface {
+	// Index returns a value in [0, 2^Bits()).
+	Index(addr, hist uint64) uint64
+	// Bits returns the index width n.
+	Bits() uint
+	// HistoryBits returns the number of history bits consumed.
+	HistoryBits() uint
+	// Name returns a short identifier such as "gshare".
+	Name() string
+}
+
+func checkWidths(n, k uint) {
+	if n < 1 || n > 30 {
+		panic(fmt.Sprintf("indexfn: index width %d out of range [1,30]", n))
+	}
+	if k > 30 {
+		panic(fmt.Sprintf("indexfn: history length %d out of range [0,30]", k))
+	}
+}
+
+// Bimodal indexes a table with the low n bits of the branch address.
+type Bimodal struct {
+	n    uint
+	mask uint64
+}
+
+// NewBimodal returns a bimodal index function for a 2^n-entry table.
+func NewBimodal(n uint) *Bimodal {
+	checkWidths(n, 0)
+	return &Bimodal{n: n, mask: uint64(1)<<n - 1}
+}
+
+// Index implements Func. The history argument is ignored.
+func (b *Bimodal) Index(addr, _ uint64) uint64 { return addr & b.mask }
+
+// Bits implements Func.
+func (b *Bimodal) Bits() uint { return b.n }
+
+// HistoryBits implements Func; bimodal uses none.
+func (b *Bimodal) HistoryBits() uint { return 0 }
+
+// Name implements Func.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// GShare XORs k history bits into an n-bit address index.
+type GShare struct {
+	n, k uint
+	mask uint64
+}
+
+// NewGShare returns a gshare index function with an n-bit index and k
+// history bits.
+func NewGShare(n, k uint) *GShare {
+	checkWidths(n, k)
+	return &GShare{n: n, k: k, mask: uint64(1)<<n - 1}
+}
+
+// Index implements Func.
+func (g *GShare) Index(addr, hist uint64) uint64 {
+	h := foldHistory(hist, g.k, g.n)
+	return (addr ^ h) & g.mask
+}
+
+// foldHistory positions k history bits within an n-bit index field.
+// For k < n the history occupies the high-order end of the field
+// (paper footnote 1). For k == n it fills the field. For k > n the
+// history is XOR-folded down to n bits so every history bit still
+// influences the index.
+func foldHistory(hist uint64, k, n uint) uint64 {
+	if k == 0 {
+		return 0
+	}
+	hist &= uint64(1)<<k - 1
+	if k <= n {
+		return hist << (n - k)
+	}
+	mask := uint64(1)<<n - 1
+	out := uint64(0)
+	for hist != 0 {
+		out ^= hist & mask
+		hist >>= n
+	}
+	return out
+}
+
+// Bits implements Func.
+func (g *GShare) Bits() uint { return g.n }
+
+// HistoryBits implements Func.
+func (g *GShare) HistoryBits() uint { return g.k }
+
+// Name implements Func.
+func (g *GShare) Name() string { return "gshare" }
+
+// GSelect concatenates k history bits with (n-k) address bits.
+type GSelect struct {
+	n, k uint
+	mask uint64
+}
+
+// NewGSelect returns a gselect index function with an n-bit index and
+// k history bits.
+func NewGSelect(n, k uint) *GSelect {
+	checkWidths(n, k)
+	return &GSelect{n: n, k: k, mask: uint64(1)<<n - 1}
+}
+
+// Index implements Func.
+func (g *GSelect) Index(addr, hist uint64) uint64 {
+	if g.k >= g.n {
+		return hist & g.mask
+	}
+	addrBits := g.n - g.k
+	a := addr & (uint64(1)<<addrBits - 1)
+	h := hist & (uint64(1)<<g.k - 1)
+	return (h << addrBits) | a
+}
+
+// Bits implements Func.
+func (g *GSelect) Bits() uint { return g.n }
+
+// HistoryBits implements Func.
+func (g *GSelect) HistoryBits() uint { return g.k }
+
+// Name implements Func.
+func (g *GSelect) Name() string { return "gselect" }
+
+// Vector builds the paper's information vector
+// V = (a_N ... a_2, h_k ... h_1): the word-aligned branch address
+// shifted up by k bits, with the k history bits in the low positions.
+// This is the input to the skewing functions and the identity stored in
+// tagged tables when measuring aliasing.
+func Vector(addr, hist uint64, k uint) uint64 {
+	if k > 63 {
+		panic("indexfn: history length out of range")
+	}
+	return (addr << k) | (hist & (uint64(1)<<k - 1))
+}

@@ -1,0 +1,244 @@
+package indexfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBimodalTruncates(t *testing.T) {
+	b := NewBimodal(4)
+	cases := []struct {
+		addr uint64
+		want uint64
+	}{
+		{0x0, 0x0},
+		{0xf, 0xf},
+		{0x10, 0x0},
+		{0x123, 0x3},
+		{0xffffffffffffffff, 0xf},
+	}
+	for _, c := range cases {
+		if got := b.Index(c.addr, 0xdead); got != c.want {
+			t.Errorf("Bimodal.Index(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBimodalIgnoresHistory(t *testing.T) {
+	b := NewBimodal(8)
+	f := func(addr, h1, h2 uint64) bool {
+		return b.Index(addr, h1) == b.Index(addr, h2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGShareHistoryAlignment(t *testing.T) {
+	// Footnote 1: with k < n, history bits are XORed with the
+	// HIGH-order end of the index. With n=8, k=4 and addr=0, the
+	// history h must appear at bits 7..4.
+	g := NewGShare(8, 4)
+	for h := uint64(0); h < 16; h++ {
+		if got, want := g.Index(0, h), h<<4; got != want {
+			t.Errorf("gshare(addr=0, hist=%#x) = %#x, want %#x", h, got, want)
+		}
+	}
+}
+
+func TestGShareEqualWidth(t *testing.T) {
+	g := NewGShare(8, 8)
+	f := func(addr, hist uint64) bool {
+		return g.Index(addr, hist) == (addr^hist)&0xff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGShareLongHistoryFolds(t *testing.T) {
+	// With k > n every history bit must still affect the index:
+	// flipping any single history bit flips the index.
+	g := NewGShare(8, 16)
+	base := g.Index(0x1234, 0xabcd)
+	for bit := uint(0); bit < 16; bit++ {
+		flipped := g.Index(0x1234, 0xabcd^(1<<bit))
+		if flipped == base {
+			t.Errorf("history bit %d does not influence folded gshare index", bit)
+		}
+	}
+}
+
+func TestGShareZeroHistory(t *testing.T) {
+	// k = 0 degenerates to bimodal.
+	g := NewGShare(10, 0)
+	b := NewBimodal(10)
+	f := func(addr, hist uint64) bool {
+		return g.Index(addr, hist) == b.Index(addr, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGSelectLayout(t *testing.T) {
+	// n=8, k=3: index = hist[2:0] ++ addr[4:0].
+	g := NewGSelect(8, 3)
+	got := g.Index(0b10110, 0b101)
+	want := uint64(0b101_10110)
+	if got != want {
+		t.Errorf("gselect layout: got %#b, want %#b", got, want)
+	}
+}
+
+func TestGSelectHistoryDominates(t *testing.T) {
+	// k >= n: only history bits reach the index. This is the regime
+	// where the paper notes gselect collapses (4 addr bits at 64K/12h).
+	g := NewGSelect(8, 12)
+	f := func(a1, a2, hist uint64) bool {
+		return g.Index(a1, hist) == g.Index(a2, hist)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGSelectAddressOnly(t *testing.T) {
+	g := NewGSelect(8, 0)
+	f := func(addr uint64) bool { return g.Index(addr, 0xffff) == addr&0xff }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndicesInRange(t *testing.T) {
+	fns := []Func{
+		NewBimodal(6),
+		NewGShare(6, 4), NewGShare(6, 6), NewGShare(6, 12),
+		NewGSelect(6, 4), NewGSelect(6, 6), NewGSelect(6, 12),
+	}
+	f := func(addr, hist uint64) bool {
+		for _, fn := range fns {
+			if fn.Index(addr, hist) >= 1<<fn.Bits() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	bad := []func(){
+		func() { NewBimodal(0) },
+		func() { NewBimodal(31) },
+		func() { NewGShare(0, 4) },
+		func() { NewGShare(8, 31) },
+		func() { NewGSelect(31, 4) },
+	}
+	for i, fn := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("constructor case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNamesAndWidths(t *testing.T) {
+	cases := []struct {
+		fn   Func
+		name string
+		n, k uint
+	}{
+		{NewBimodal(8), "bimodal", 8, 0},
+		{NewGShare(10, 4), "gshare", 10, 4},
+		{NewGSelect(12, 12), "gselect", 12, 12},
+	}
+	for _, c := range cases {
+		if c.fn.Name() != c.name {
+			t.Errorf("Name() = %q, want %q", c.fn.Name(), c.name)
+		}
+		if c.fn.Bits() != c.n {
+			t.Errorf("%s Bits() = %d, want %d", c.name, c.fn.Bits(), c.n)
+		}
+		if c.fn.HistoryBits() != c.k {
+			t.Errorf("%s HistoryBits() = %d, want %d", c.name, c.fn.HistoryBits(), c.k)
+		}
+	}
+}
+
+func TestGShareVsGSelectDiffer(t *testing.T) {
+	// Figure 3's point: the two mappings conflict on different pairs.
+	// Construct the paper's scenario: two (addr,hist) pairs that
+	// collide under gshare but not gselect, and vice versa.
+	gsh := NewGShare(4, 2)
+	gsel := NewGSelect(4, 2)
+
+	// gshare collision: (a1 ^ h1<<2) == (a2 ^ h2<<2) with different
+	// low addr bits -> gselect sees them apart.
+	a1, h1 := uint64(0b0000), uint64(0b00)
+	a2, h2 := uint64(0b0100), uint64(0b01)
+	if gsh.Index(a1, h1) != gsh.Index(a2, h2) {
+		t.Fatal("expected gshare collision")
+	}
+	if gsel.Index(a1, h1) == gsel.Index(a2, h2) {
+		t.Fatal("gselect should separate this pair")
+	}
+
+	// gselect collision: same low address bits and same history, but
+	// address bits within gshare's XOR zone differ, so gshare sees
+	// them apart.
+	c1, c2 := uint64(0b0110), uint64(0b1010) // low 2 bits equal (10)
+	if gsel.Index(c1, 0b11) != gsel.Index(c2, 0b11) {
+		t.Fatal("expected gselect collision (same low addr bits, same hist)")
+	}
+	if gsh.Index(c1, 0b11) == gsh.Index(c2, 0b11) {
+		t.Fatal("gshare should separate this pair")
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// V = (addr bits, h_k..h_1): address shifted above k history bits.
+	if got, want := Vector(0x3, 0x5, 4), uint64(0x3<<4|0x5); got != want {
+		t.Errorf("Vector = %#x, want %#x", got, want)
+	}
+	// History is masked to k bits.
+	if got, want := Vector(1, 0xff, 4), uint64(1<<4|0xf); got != want {
+		t.Errorf("Vector mask = %#x, want %#x", got, want)
+	}
+	// k = 0 keeps only the address.
+	if got, want := Vector(0x1234, 0xff, 0), uint64(0x1234); got != want {
+		t.Errorf("Vector k=0 = %#x, want %#x", got, want)
+	}
+}
+
+func TestVectorInjective(t *testing.T) {
+	// Distinct (addr, hist) pairs map to distinct vectors (within the
+	// masked history width).
+	seen := make(map[uint64][2]uint64)
+	for addr := uint64(0); addr < 64; addr++ {
+		for hist := uint64(0); hist < 16; hist++ {
+			v := Vector(addr, hist, 4)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("Vector collision: (%d,%d) and (%d,%d) -> %#x",
+					addr, hist, prev[0], prev[1], v)
+			}
+			seen[v] = [2]uint64{addr, hist}
+		}
+	}
+}
+
+func BenchmarkGShareIndex(b *testing.B) {
+	g := NewGShare(14, 12)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Index(uint64(i), uint64(i)>>3)
+	}
+	_ = sink
+}

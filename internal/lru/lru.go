@@ -1,0 +1,212 @@
+// Package lru implements fixed-capacity least-recently-used key sets
+// and key/value caches, the substrate for the paper's fully-associative
+// tagged predictor tables and for the three-Cs aliasing measurements.
+//
+// The implementation is an intrusive doubly-linked list over a slice of
+// pre-allocated nodes plus a map for lookup, so steady-state operation
+// performs no allocation. Keys are uint64 — in this repository they are
+// information vectors V = (address, history).
+package lru
+
+import "fmt"
+
+const nilIdx = -1
+
+type node struct {
+	key        uint64
+	prev, next int32
+}
+
+// Set is a fixed-capacity LRU set of uint64 keys. Touch inserts or
+// refreshes a key, evicting the least-recently-used key when full.
+type Set struct {
+	nodes      []node
+	index      map[uint64]int32
+	head, tail int32 // head = most recent, tail = least recent
+	free       int32 // head of free list (chained via next)
+	size       int
+}
+
+// NewSet returns an LRU set with the given capacity (> 0).
+func NewSet(capacity int) *Set {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("lru: capacity %d must be positive", capacity))
+	}
+	s := &Set{
+		nodes: make([]node, capacity),
+		index: make(map[uint64]int32, capacity),
+		head:  nilIdx,
+		tail:  nilIdx,
+	}
+	// Chain the free list.
+	for i := range s.nodes {
+		s.nodes[i].next = int32(i + 1)
+	}
+	s.nodes[capacity-1].next = nilIdx
+	s.free = 0
+	return s
+}
+
+// Capacity returns the maximum number of keys the set can hold.
+func (s *Set) Capacity() int { return len(s.nodes) }
+
+// Len returns the current number of keys.
+func (s *Set) Len() int { return s.size }
+
+// Contains reports whether key is present without refreshing it.
+func (s *Set) Contains(key uint64) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Touch inserts key (as most recently used) or refreshes it if present.
+// It reports whether the key was already present (hit), and the evicted
+// key, if insertion displaced one.
+func (s *Set) Touch(key uint64) (hit bool, evicted uint64, didEvict bool) {
+	if i, ok := s.index[key]; ok {
+		s.moveToFront(i)
+		return true, 0, false
+	}
+	var i int32
+	if s.free != nilIdx {
+		i = s.free
+		s.free = s.nodes[i].next
+		s.size++
+	} else {
+		// Evict the tail.
+		i = s.tail
+		evicted = s.nodes[i].key
+		didEvict = true
+		delete(s.index, evicted)
+		s.unlink(i)
+	}
+	s.nodes[i].key = key
+	s.index[key] = i
+	s.pushFront(i)
+	return false, evicted, didEvict
+}
+
+// Remove deletes key from the set, reporting whether it was present.
+func (s *Set) Remove(key uint64) bool {
+	i, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	delete(s.index, key)
+	s.unlink(i)
+	s.nodes[i].next = s.free
+	s.free = i
+	s.size--
+	return true
+}
+
+// Reset empties the set.
+func (s *Set) Reset() {
+	clear(s.index)
+	for i := range s.nodes {
+		s.nodes[i].next = int32(i + 1)
+	}
+	s.nodes[len(s.nodes)-1].next = nilIdx
+	s.free = 0
+	s.head, s.tail = nilIdx, nilIdx
+	s.size = 0
+}
+
+// Keys returns the keys from most to least recently used. Intended for
+// tests and diagnostics; it allocates.
+func (s *Set) Keys() []uint64 {
+	out := make([]uint64, 0, s.size)
+	for i := s.head; i != nilIdx; i = s.nodes[i].next {
+		out = append(out, s.nodes[i].key)
+	}
+	return out
+}
+
+func (s *Set) pushFront(i int32) {
+	s.nodes[i].prev = nilIdx
+	s.nodes[i].next = s.head
+	if s.head != nilIdx {
+		s.nodes[s.head].prev = i
+	}
+	s.head = i
+	if s.tail == nilIdx {
+		s.tail = i
+	}
+}
+
+func (s *Set) unlink(i int32) {
+	p, n := s.nodes[i].prev, s.nodes[i].next
+	if p != nilIdx {
+		s.nodes[p].next = n
+	} else {
+		s.head = n
+	}
+	if n != nilIdx {
+		s.nodes[n].prev = p
+	} else {
+		s.tail = p
+	}
+}
+
+func (s *Set) moveToFront(i int32) {
+	if s.head == i {
+		return
+	}
+	s.unlink(i)
+	s.pushFront(i)
+}
+
+// Cache is a fixed-capacity LRU map from uint64 keys to uint8 values
+// (saturating-counter states in this repository). It backs the
+// fully-associative tagged predictor of Figure 8.
+type Cache struct {
+	set    *Set
+	values map[uint64]uint8
+}
+
+// NewCache returns an LRU cache with the given capacity (> 0).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		set:    NewSet(capacity),
+		values: make(map[uint64]uint8, capacity),
+	}
+}
+
+// Capacity returns the maximum number of entries.
+func (c *Cache) Capacity() int { return c.set.Capacity() }
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int { return c.set.Len() }
+
+// Get returns the value for key and refreshes its recency. ok is false
+// on a miss, in which case the cache is unchanged.
+func (c *Cache) Get(key uint64) (v uint8, ok bool) {
+	if !c.set.Contains(key) {
+		return 0, false
+	}
+	c.set.Touch(key)
+	return c.values[key], true
+}
+
+// Peek returns the value for key without refreshing recency.
+func (c *Cache) Peek(key uint64) (v uint8, ok bool) {
+	v, ok = c.values[key]
+	return
+}
+
+// Put inserts or updates key with value v (as most recently used),
+// evicting the LRU entry if needed. It returns the evicted key, if any.
+func (c *Cache) Put(key uint64, v uint8) (evicted uint64, didEvict bool) {
+	_, evicted, didEvict = c.set.Touch(key)
+	if didEvict {
+		delete(c.values, evicted)
+	}
+	c.values[key] = v
+	return evicted, didEvict
+}
+
+// Reset empties the cache.
+func (c *Cache) Reset() {
+	c.set.Reset()
+	clear(c.values)
+}

@@ -1,0 +1,278 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/rng"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3)
+	if s.Capacity() != 3 || s.Len() != 0 {
+		t.Fatalf("fresh set: cap=%d len=%d", s.Capacity(), s.Len())
+	}
+	hit, _, ev := s.Touch(10)
+	if hit || ev {
+		t.Fatal("first touch must miss without eviction")
+	}
+	hit, _, _ = s.Touch(10)
+	if !hit {
+		t.Fatal("second touch of same key must hit")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSetEvictionOrder(t *testing.T) {
+	s := NewSet(3)
+	s.Touch(1)
+	s.Touch(2)
+	s.Touch(3)
+	// Refresh 1 so the LRU key is 2.
+	s.Touch(1)
+	_, evicted, did := s.Touch(4)
+	if !did || evicted != 2 {
+		t.Errorf("evicted %d (did=%v), want 2", evicted, did)
+	}
+	// MRU order should now be 4, 1, 3.
+	want := []uint64{4, 1, 3}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetCapacityOne(t *testing.T) {
+	s := NewSet(1)
+	s.Touch(1)
+	hit, ev, did := s.Touch(2)
+	if hit || !did || ev != 1 {
+		t.Errorf("capacity-1 set: hit=%v ev=%d did=%v", hit, ev, did)
+	}
+	if !s.Contains(2) || s.Contains(1) {
+		t.Error("capacity-1 set retained wrong key")
+	}
+}
+
+func TestSetRemove(t *testing.T) {
+	s := NewSet(3)
+	s.Touch(1)
+	s.Touch(2)
+	if !s.Remove(1) {
+		t.Fatal("Remove(1) = false")
+	}
+	if s.Remove(1) {
+		t.Fatal("second Remove(1) = true")
+	}
+	if s.Len() != 1 || s.Contains(1) {
+		t.Fatal("Remove did not delete")
+	}
+	// Freed slot is reusable without eviction.
+	s.Touch(3)
+	s.Touch(4)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d after refill, want 3", s.Len())
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet(4)
+	for k := uint64(0); k < 4; k++ {
+		s.Touch(k)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+	for k := uint64(0); k < 4; k++ {
+		if s.Contains(k) {
+			t.Fatal("Reset left keys behind")
+		}
+	}
+	// Full capacity available again.
+	for k := uint64(10); k < 14; k++ {
+		if _, _, did := s.Touch(k); did {
+			t.Fatal("eviction during refill after Reset")
+		}
+	}
+}
+
+func TestSetPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSet(%d) did not panic", c)
+				}
+			}()
+			NewSet(c)
+		}()
+	}
+}
+
+// refLRU is a deliberately simple slice-based model used as an oracle.
+type refLRU struct {
+	keys []uint64
+	cap  int
+}
+
+func (r *refLRU) touch(k uint64) (hit bool, evicted uint64, did bool) {
+	for i, v := range r.keys {
+		if v == k {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			r.keys = append([]uint64{k}, r.keys...)
+			return true, 0, false
+		}
+	}
+	r.keys = append([]uint64{k}, r.keys...)
+	if len(r.keys) > r.cap {
+		evicted = r.keys[len(r.keys)-1]
+		r.keys = r.keys[:len(r.keys)-1]
+		return false, evicted, true
+	}
+	return false, 0, false
+}
+
+func TestSetMatchesReferenceModel(t *testing.T) {
+	// Property: the intrusive implementation agrees with a naive model
+	// on hit/miss, evictions and full recency order for random streams.
+	f := func(seed uint64, capRaw uint8, n uint16) bool {
+		capacity := int(capRaw%32) + 1
+		s := NewSet(capacity)
+		ref := &refLRU{cap: capacity}
+		r := rng.NewXoshiro256(seed)
+		steps := int(n%2048) + 1
+		for i := 0; i < steps; i++ {
+			k := r.Uint64n(uint64(capacity * 3)) // force plenty of evictions
+			h1, e1, d1 := s.Touch(k)
+			h2, e2, d2 := ref.touch(k)
+			if h1 != h2 || d1 != d2 || (d1 && e1 != e2) {
+				return false
+			}
+		}
+		got := s.Keys()
+		if len(got) != len(ref.keys) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref.keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("Get on empty cache hit")
+	}
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	// 2 is now LRU; inserting 3 evicts it.
+	ev, did := c.Put(3, 30)
+	if !did || ev != 2 {
+		t.Fatalf("evicted %d (did=%v), want 2", ev, did)
+	}
+	if _, ok := c.Peek(2); ok {
+		t.Fatal("evicted key still readable")
+	}
+	if v, ok := c.Peek(3); !ok || v != 30 {
+		t.Fatalf("Peek(3) = %d,%v", v, ok)
+	}
+}
+
+func TestCachePutUpdatesValue(t *testing.T) {
+	c := NewCache(2)
+	c.Put(1, 10)
+	c.Put(1, 11)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Peek(1); v != 11 {
+		t.Fatalf("value = %d, want 11", v)
+	}
+}
+
+func TestCachePeekDoesNotRefresh(t *testing.T) {
+	c := NewCache(2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Peek(1)   // must NOT refresh
+	c.Put(3, 3) // evicts 1 (still LRU)
+	if _, ok := c.Peek(1); ok {
+		t.Error("Peek refreshed recency")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Error("wrong entry evicted")
+	}
+}
+
+func TestCacheGetRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Get(1)    // refreshes 1
+	c.Put(3, 3) // evicts 2
+	if _, ok := c.Peek(1); !ok {
+		t.Error("refreshed entry was evicted")
+	}
+	if _, ok := c.Peek(2); ok {
+		t.Error("stale entry survived")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(2)
+	c.Put(1, 1)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("Reset left values behind")
+	}
+}
+
+func BenchmarkSetTouch(b *testing.B) {
+	s := NewSet(1 << 12)
+	r := rng.NewXoshiro256(1)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Touch(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkCachePutGet(b *testing.B) {
+	c := NewCache(1 << 12)
+	r := rng.NewXoshiro256(1)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<16-1)]
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, uint8(i))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file generalises formula (3) to an arbitrary odd number of
+// banks M, making the paper's closing observation — "in an M-bank
+// skewed organisation, [the mispredict overhead] increases as an M-th
+// degree polynomial" — computable and testable.
+//
+// Derivation (same abstraction as section 5.2, 1-bit automata, total
+// update): a reference is aliased independently in each bank with
+// probability p. An aliased bank predicts the direction of an
+// unrelated substream — taken with probability b — while an unaliased
+// bank reproduces the unaliased prediction. The unaliased banks all
+// vote the unaliased direction, so the majority flips only when at
+// least (M+1)/2 aliased banks simultaneously disagree with it.
+// Conditioning on the unaliased direction (taken with probability b)
+// and summing the binomial terms gives the exact deviation
+// probability; PSkewM(p, b, 3) equals formula (3) and PSkewM(p, b, 1)
+// equals formula (4).
+
+// PSkewM returns the probability that an M-bank skewed predictor's
+// majority vote differs from the unaliased prediction, for per-bank
+// aliasing probability p and bias b. M must be odd and >= 1.
+// M = 1 reduces to the direct-mapped formula (4).
+func PSkewM(p, b float64, m int) float64 {
+	checkProb("p", p)
+	checkProb("b", b)
+	if m < 1 || m%2 == 0 {
+		panic(fmt.Sprintf("model: bank count %d must be odd and >= 1", m))
+	}
+	need := m/2 + 1 // votes needed for a majority
+
+	// q(d): probability an aliased bank's prediction disagrees with
+	// the unaliased prediction, given the unaliased direction d.
+	// If unaliased = taken (prob b): disagree prob 1-b; else b.
+	total := 0.0
+	for _, dir := range []struct{ prob, disagree float64 }{
+		{b, 1 - b}, // unaliased prediction is taken
+		{1 - b, b}, // unaliased prediction is not taken
+	} {
+		// j banks aliased (binomial in p). The m-j unaliased banks
+		// all vote the unaliased direction, so the vote flips only if
+		// the aliased banks supply a full opposite majority: at least
+		// need = (m+1)/2 of them must disagree.
+		for j := need; j <= m; j++ {
+			pj := binomPMFRange(j, need, dir.disagree)
+			total += dir.prob * binomPMF(m, j, p) * pj
+		}
+	}
+	return total
+}
+
+// binomPMF returns C(n, k) p^k (1-p)^(n-k).
+func binomPMF(n, k int, p float64) float64 {
+	return choose(n, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+// binomPMFRange returns P(X >= kmin) for X ~ Binomial(n, p).
+func binomPMFRange(n, kmin int, p float64) float64 {
+	s := 0.0
+	for k := kmin; k <= n; k++ {
+		s += binomPMF(n, k, p)
+	}
+	return s
+}
+
+// choose returns the binomial coefficient C(n, k) as a float64.
+func choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// CrossoverDistanceM generalises CrossoverDistance to M banks: the
+// last-use distance at which an Mx(N/M)-bank skewed organisation stops
+// beating an N-entry one-bank table at bias b.
+func CrossoverDistanceM(n int, b float64, m int) int {
+	if m < 1 || m%2 == 0 {
+		panic(fmt.Sprintf("model: bank count %d must be odd", m))
+	}
+	if n < m {
+		panic("model: table size must be at least the bank count")
+	}
+	bank := n / m
+	winning := false
+	for d := 1; d <= 4*n; d++ {
+		ps := PSkewM(AliasProb(d, bank), b, m)
+		pd := PDirect(AliasProb(d, n), b)
+		if ps < pd {
+			winning = true
+		} else if winning {
+			return d
+		}
+	}
+	if !winning {
+		return 0
+	}
+	return 4 * n
+}

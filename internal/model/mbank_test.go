@@ -1,0 +1,174 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/rng"
+)
+
+func TestPSkewMReducesToPDirectAtOneBank(t *testing.T) {
+	f := func(praw, braw uint16) bool {
+		p := float64(praw) / 65535
+		b := float64(braw) / 65535
+		return almostEqual(PSkewM(p, b, 1), PDirect(p, b), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSkewMReducesToFormula3AtThreeBanks(t *testing.T) {
+	f := func(praw, braw uint16) bool {
+		p := float64(praw) / 65535
+		b := float64(braw) / 65535
+		return almostEqual(PSkewM(p, b, 3), PSkew(p, b), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSkewMPanicsOnEvenBanks(t *testing.T) {
+	for _, m := range []int{0, 2, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PSkewM with M=%d did not panic", m)
+				}
+			}()
+			PSkewM(0.5, 0.5, m)
+		}()
+	}
+}
+
+func TestPSkewMMoreBanksFlatterAtSmallP(t *testing.T) {
+	// The paper's point: an M-th degree polynomial. At small p, more
+	// banks mean a smaller deviation probability; at p=1 all converge
+	// to the same fully-aliased limit.
+	for _, p := range []float64{0.02, 0.05, 0.1} {
+		prev := math.Inf(1)
+		for _, m := range []int{1, 3, 5, 7} {
+			v := PSkewM(p, 0.5, m)
+			if v >= prev {
+				t.Errorf("p=%v: PSkewM(M=%d) = %v not below M-2's %v", p, m, v, prev)
+			}
+			prev = v
+		}
+	}
+	limit := PSkewM(1, 0.5, 1)
+	for _, m := range []int{3, 5, 7} {
+		if got := PSkewM(1, 0.5, m); !almostEqual(got, limit, 1e-9) {
+			t.Errorf("fully-aliased limit differs at M=%d: %v vs %v", m, got, limit)
+		}
+	}
+}
+
+func TestPSkewMPolynomialOrder(t *testing.T) {
+	// Near p -> 0, PSkewM should scale like p^ceil(M/2+... the leading
+	// term of the 3-bank formula is (3/4)p^2; for M banks the vote
+	// needs ceil(M/2) aliased-and-disagreeing banks, so the leading
+	// order is p^((M+1)/2). Check the scaling exponent numerically.
+	for _, m := range []int{1, 3, 5, 7} {
+		p1, p2 := 1e-4, 2e-4
+		v1, v2 := PSkewM(p1, 0.5, m), PSkewM(p2, 0.5, m)
+		gotOrder := math.Log(v2/v1) / math.Log(2)
+		wantOrder := float64(m+1) / 2
+		if math.Abs(gotOrder-wantOrder) > 0.05 {
+			t.Errorf("M=%d: leading order %.3f, want %.1f", m, gotOrder, wantOrder)
+		}
+	}
+}
+
+func TestPSkewMAgainstMonteCarlo(t *testing.T) {
+	r := rng.NewXoshiro256(7)
+	const trials = 300000
+	for _, m := range []int{5, 7} {
+		for _, p := range []float64{0.2, 0.5} {
+			b := 0.6
+			deviations := 0
+			for i := 0; i < trials; i++ {
+				truth := r.Bool(b)
+				votes := 0
+				for bank := 0; bank < m; bank++ {
+					pred := truth
+					if r.Bool(p) {
+						pred = r.Bool(b)
+					}
+					if pred {
+						votes++
+					}
+				}
+				if (votes*2 > m) != truth {
+					deviations++
+				}
+			}
+			got := float64(deviations) / trials
+			want := PSkewM(p, b, m)
+			if math.Abs(got-want) > 0.004 {
+				t.Errorf("M=%d p=%v: Monte-Carlo %v vs formula %v", m, p, got, want)
+			}
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {7, 3, 35}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := choose(c.n, c.k); got != c.want {
+			t.Errorf("choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCrossoverDistanceMMatchesThreeBank(t *testing.T) {
+	n := 3 * 4096
+	if got, want := CrossoverDistanceM(n, 0.5, 3), CrossoverDistance(n, 0.5); got != want {
+		t.Errorf("CrossoverDistanceM(3) = %d, CrossoverDistance = %d", got, want)
+	}
+}
+
+func TestCrossoverDistanceMMoreBanksCrossEarlier(t *testing.T) {
+	// More banks = smaller banks = higher per-bank aliasing: the
+	// skewed organisation loses its edge at a shorter distance.
+	n := 105 * 1024 // divisible by 3, 5, 7
+	d3 := CrossoverDistanceM(n, 0.5, 3)
+	d5 := CrossoverDistanceM(n, 0.5, 5)
+	d7 := CrossoverDistanceM(n, 0.5, 7)
+	if !(d7 <= d5 && d5 <= d3) {
+		t.Errorf("crossovers not ordered: d3=%d d5=%d d7=%d", d3, d5, d7)
+	}
+	if d3 == 0 || d5 == 0 || d7 == 0 {
+		t.Errorf("some organisation never wins: d3=%d d5=%d d7=%d", d3, d5, d7)
+	}
+}
+
+func TestCrossoverDistanceMPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { CrossoverDistanceM(1024, 0.5, 2) },
+		func() { CrossoverDistanceM(2, 0.5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid CrossoverDistanceM accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkPSkewM7(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += PSkewM(float64(i%1000)/1000, 0.5, 7)
+	}
+	_ = sink
+}

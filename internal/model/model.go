@@ -1,0 +1,178 @@
+// Package model implements the paper's analytical model of skewed
+// branch prediction (section 5.2): the per-bank aliasing probability
+// as a function of last-use distance and table size (formulas 1-2),
+// the probability that a one-bank or skewed organisation deviates from
+// the unaliased prediction (formulas 3-4), and the trace-driven
+// extrapolation that combines measured last-use distances with the
+// model to estimate misprediction rates (Figure 11).
+//
+// The model assumes 1-bit automata and the total-update policy; the
+// paper (and our tests) show it slightly overestimates measured rates
+// because constructive aliasing is ignored.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// AliasProb returns the aliasing probability for a dynamic reference
+// with last-use distance d in an n-entry table under a well-dispersing
+// hash function — formula (1): p = 1 - (1 - 1/N)^D.
+//
+// A negative d denotes a first use (cold reference), for which the
+// paper prescribes p = 1.
+func AliasProb(d int, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("model: table size %d must be positive", n))
+	}
+	if d < 0 {
+		return 1
+	}
+	if d == 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-1.0/float64(n), float64(d))
+}
+
+// AliasProbApprox is the large-N approximation of formula (2):
+// p = 1 - exp(-D/N).
+func AliasProbApprox(d int, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("model: table size %d must be positive", n))
+	}
+	if d < 0 {
+		return 1
+	}
+	return 1 - math.Exp(-float64(d)/float64(n))
+}
+
+// PDirect returns the probability that a direct-mapped one-bank
+// predictor's prediction differs from the unaliased prediction, given
+// per-entry aliasing probability p and bias b — formula (4):
+// P_dm = 2 b (1-b) p.
+func PDirect(p, b float64) float64 {
+	checkProb("p", p)
+	checkProb("b", b)
+	return 2 * b * (1 - b) * p
+}
+
+// PSkew returns the probability that a 3-bank skewed predictor's
+// majority vote differs from the unaliased prediction, given per-bank
+// aliasing probability p and bias b — formula (3):
+//
+//	P_sk = 3 p^2 (1-p) b(1-b)
+//	     + p^3 b [3 b (1-b)^2 + (1-b)^3]
+//	     + p^3 (1-b) [3 (1-b) b^2 + b^3]
+func PSkew(p, b float64) float64 {
+	checkProb("p", p)
+	checkProb("b", b)
+	q := 1 - p
+	c := 1 - b
+	return 3*p*p*q*b*c +
+		p*p*p*b*(3*b*c*c+c*c*c) +
+		p*p*p*c*(3*c*b*b+b*b*b)
+}
+
+// PSkewWorstCase is P_sk at b = 1/2: (3/4) p^2 (1-p) + (1/2) p^3.
+func PSkewWorstCase(p float64) float64 { return PSkew(p, 0.5) }
+
+// PDirectWorstCase is P_dm at b = 1/2: p/2.
+func PDirectWorstCase(p float64) float64 { return PDirect(p, 0.5) }
+
+func checkProb(name string, v float64) {
+	if v < 0 || v > 1 || math.IsNaN(v) {
+		panic(fmt.Sprintf("model: %s = %v is not a probability", name, v))
+	}
+}
+
+// CrossoverDistance locates the last-use distance D at which a
+// 3x(N/3)-bank skewed organisation stops beating an N-entry one-bank
+// table (at bias b), by scanning formula (1) into both P functions.
+// The paper reports D ~= N/10 for b = 1/2. Returns 0 if the skewed
+// organisation never wins.
+func CrossoverDistance(n int, b float64) int {
+	if n < 3 {
+		panic("model: table size must be at least 3")
+	}
+	bank := n / 3
+	winning := false
+	for d := 1; d <= 4*n; d++ {
+		ps := PSkew(AliasProb(d, bank), b)
+		pd := PDirect(AliasProb(d, n), b)
+		if ps < pd {
+			winning = true
+		} else if winning {
+			return d
+		}
+	}
+	if !winning {
+		return 0
+	}
+	return 4 * n // no crossover within scan range
+}
+
+// Curve samples a function over [0,1] with the given number of points
+// (inclusive endpoints), returning x and y slices. Used to regenerate
+// Figures 9 and 10.
+func Curve(f func(p float64) float64, points int) (xs, ys []float64) {
+	if points < 2 {
+		points = 2
+	}
+	xs = make([]float64, points)
+	ys = make([]float64, points)
+	for i := 0; i < points; i++ {
+		x := float64(i) / float64(points-1)
+		xs[i] = x
+		ys[i] = f(x)
+	}
+	return xs, ys
+}
+
+// Extrapolator accumulates the model-based misprediction estimate for
+// a 3-bank skewed predictor over a reference stream, as in Figure 11:
+// each dynamic reference contributes P_sk computed from its measured
+// last-use distance (p = 1 for first uses), and the unaliased
+// misprediction rate of the trace is added at the end.
+type Extrapolator struct {
+	bankEntries int
+	bias        float64
+	sum         float64
+	refs        int
+}
+
+// NewExtrapolator returns an extrapolator for banks of the given entry
+// count and a trace-wide bias b (the density of static (address,
+// history) pairs biased taken, measured on the same trace).
+func NewExtrapolator(bankEntries int, bias float64) *Extrapolator {
+	if bankEntries <= 0 {
+		panic("model: bank entries must be positive")
+	}
+	checkProb("bias", bias)
+	return &Extrapolator{bankEntries: bankEntries, bias: bias}
+}
+
+// Observe adds one dynamic reference with measured last-use distance d
+// (negative = first use).
+func (e *Extrapolator) Observe(d int) {
+	e.sum += PSkew(AliasProb(d, e.bankEntries), e.bias)
+	e.refs++
+}
+
+// MispredictOverhead returns the mean model-predicted probability that
+// the skewed prediction deviates from the unaliased prediction.
+func (e *Extrapolator) MispredictOverhead() float64 {
+	if e.refs == 0 {
+		return 0
+	}
+	return e.sum / float64(e.refs)
+}
+
+// Extrapolate returns the full estimated misprediction rate given the
+// trace's unaliased misprediction rate.
+func (e *Extrapolator) Extrapolate(unaliasedRate float64) float64 {
+	return unaliasedRate + e.MispredictOverhead()
+}
+
+// Refs returns the number of references observed.
+func (e *Extrapolator) Refs() int { return e.refs }

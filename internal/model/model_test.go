@@ -1,0 +1,317 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAliasProbBoundaries(t *testing.T) {
+	if AliasProb(0, 100) != 0 {
+		t.Error("D=0 must give p=0")
+	}
+	if AliasProb(-1, 100) != 1 {
+		t.Error("first use must give p=1")
+	}
+	if got := AliasProb(1, 1); got != 1 {
+		t.Errorf("N=1, D=1: p = %v, want 1", got)
+	}
+}
+
+func TestAliasProbFormula(t *testing.T) {
+	// p = 1 - (1 - 1/N)^D checked directly.
+	cases := []struct {
+		d, n int
+		want float64
+	}{
+		{1, 2, 0.5},
+		{2, 2, 0.75},
+		{1, 4, 0.25},
+		{10, 1000, 1 - math.Pow(0.999, 10)},
+	}
+	for _, c := range cases {
+		if got := AliasProb(c.d, c.n); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("AliasProb(%d,%d) = %v, want %v", c.d, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAliasProbMonotone(t *testing.T) {
+	// Property: p increases with D, decreases with N, stays in [0,1].
+	f := func(d16 uint16, n16 uint16) bool {
+		d := int(d16%5000) + 1
+		n := int(n16%5000) + 2
+		p := AliasProb(d, n)
+		if p < 0 || p > 1 {
+			return false
+		}
+		return AliasProb(d+1, n) >= p && AliasProb(d, n+1) <= p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasProbApproxConvergence(t *testing.T) {
+	// The exponential approximation must be close for large N.
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
+		for _, d := range []int{1, 10, n / 10, n, 3 * n} {
+			exact := AliasProb(d, n)
+			approx := AliasProbApprox(d, n)
+			if !almostEqual(exact, approx, 1e-3) {
+				t.Errorf("N=%d D=%d: exact %v vs approx %v", n, d, exact, approx)
+			}
+		}
+	}
+	if AliasProbApprox(-1, 10) != 1 {
+		t.Error("approx first use must give 1")
+	}
+}
+
+func TestAliasProbPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { AliasProb(1, 0) },
+		func() { AliasProbApprox(1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for non-positive table size")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPDirectFormula(t *testing.T) {
+	// P_dm = 2 b (1-b) p.
+	if got := PDirect(1, 0.5); got != 0.5 {
+		t.Errorf("PDirect(1, .5) = %v, want .5", got)
+	}
+	if got := PDirect(0.4, 0.5); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("PDirect(.4,.5) = %v", got)
+	}
+	if PDirect(0.7, 0) != 0 || PDirect(0.7, 1) != 0 {
+		t.Error("fully biased streams suffer no destructive aliasing under the 1-bit model")
+	}
+}
+
+func TestPSkewWorstCaseClosedForm(t *testing.T) {
+	// At b=1/2: P_sk = (3/4) p^2 (1-p) + (1/2) p^3.
+	f := func(praw uint16) bool {
+		p := float64(praw) / 65535
+		want := 0.75*p*p*(1-p) + 0.5*p*p*p
+		return almostEqual(PSkewWorstCase(p), want, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSkewBoundaries(t *testing.T) {
+	if PSkew(0, 0.5) != 0 {
+		t.Error("no aliasing -> no deviation")
+	}
+	// p=1, b=1/2: P_sk = 1/2 — fully aliased banks give a coin flip.
+	if got := PSkew(1, 0.5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("PSkew(1,.5) = %v, want .5", got)
+	}
+	if PSkew(0.8, 0) != 0 || PSkew(0.8, 1) != 0 {
+		t.Error("fully biased streams: aliased predictions agree anyway")
+	}
+}
+
+func TestPSkewBelowPDirectAtSmallP(t *testing.T) {
+	// The paper's core point: at the same per-structure aliasing
+	// probability, the skewed organisation's deviation probability is
+	// polynomially small while the one-bank one is linear.
+	for _, p := range []float64{0.01, 0.05, 0.1, 0.2} {
+		for _, b := range []float64{0.3, 0.5, 0.7} {
+			if PSkew(p, b) >= PDirect(p, b) {
+				t.Errorf("PSkew(%v,%v) >= PDirect: %v vs %v",
+					p, b, PSkew(p, b), PDirect(p, b))
+			}
+		}
+	}
+}
+
+func TestPSkewSymmetricInBias(t *testing.T) {
+	f := func(praw, braw uint16) bool {
+		p := float64(praw) / 65535
+		b := float64(braw) / 65535
+		return almostEqual(PSkew(p, b), PSkew(p, 1-b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbabilityValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PSkew(-0.1, 0.5) },
+		func() { PSkew(1.1, 0.5) },
+		func() { PSkew(0.5, 2) },
+		func() { PDirect(math.NaN(), 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid probability accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCrossoverDistanceNearN10(t *testing.T) {
+	// Paper: for b = 1/2, a 3x(N/3) skewed table beats an N-entry
+	// one-bank table up to D ~= N/10.
+	for _, n := range []int{3 * 1024, 3 * 4096, 3 * 16384} {
+		d := CrossoverDistance(n, 0.5)
+		lo, hi := n/20, n/5
+		if d < lo || d > hi {
+			t.Errorf("N=%d: crossover at D=%d, want within [%d,%d] (~N/10)", n, d, lo, hi)
+		}
+	}
+}
+
+func TestCrossoverPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CrossoverDistance(2, .5) did not panic")
+		}
+	}()
+	CrossoverDistance(2, 0.5)
+}
+
+func TestCurve(t *testing.T) {
+	xs, ys := Curve(PDirectWorstCase, 11)
+	if len(xs) != 11 || len(ys) != 11 {
+		t.Fatalf("Curve lengths %d/%d", len(xs), len(ys))
+	}
+	if xs[0] != 0 || xs[10] != 1 {
+		t.Error("Curve endpoints wrong")
+	}
+	if ys[10] != 0.5 {
+		t.Errorf("PDirectWorstCase(1) = %v", ys[10])
+	}
+	// Degenerate point count clamps to 2.
+	xs, _ = Curve(PDirectWorstCase, 1)
+	if len(xs) != 2 {
+		t.Error("Curve did not clamp point count")
+	}
+}
+
+func TestExtrapolator(t *testing.T) {
+	e := NewExtrapolator(1024, 0.5)
+	// All references with D=0: no aliasing, overhead 0.
+	for i := 0; i < 10; i++ {
+		e.Observe(0)
+	}
+	if e.MispredictOverhead() != 0 {
+		t.Errorf("overhead = %v, want 0", e.MispredictOverhead())
+	}
+	if e.Refs() != 10 {
+		t.Errorf("Refs = %d", e.Refs())
+	}
+	if got := e.Extrapolate(0.03); !almostEqual(got, 0.03, 1e-12) {
+		t.Errorf("Extrapolate = %v", got)
+	}
+	// First uses contribute PSkew(1, b).
+	e2 := NewExtrapolator(1024, 0.5)
+	e2.Observe(-1)
+	if got := e2.MispredictOverhead(); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("first-use overhead = %v, want PSkew(1,.5) = .5", got)
+	}
+	// Mixed distances average.
+	e3 := NewExtrapolator(100, 0.5)
+	e3.Observe(50)
+	e3.Observe(200)
+	want := (PSkewWorstCase(AliasProb(50, 100)) + PSkewWorstCase(AliasProb(200, 100))) / 2
+	if got := e3.MispredictOverhead(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("mixed overhead = %v, want %v", got, want)
+	}
+}
+
+func TestExtrapolatorEmpty(t *testing.T) {
+	e := NewExtrapolator(64, 0.4)
+	if e.MispredictOverhead() != 0 {
+		t.Error("empty overhead must be 0")
+	}
+}
+
+func TestExtrapolatorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewExtrapolator(0, 0.5) },
+		func() { NewExtrapolator(64, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid extrapolator config accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestModelAgainstMonteCarlo validates formula (3) against a direct
+// Monte-Carlo simulation of the abstracted process: three banks, each
+// independently aliased with probability p; an aliased bank predicts
+// the aliasing substream's direction (taken with probability b)
+// instead of the true direction (taken with probability b).
+func TestModelAgainstMonteCarlo(t *testing.T) {
+	r := rng.NewXoshiro256(42)
+	const trials = 400000
+	for _, p := range []float64{0.1, 0.3, 0.6} {
+		for _, b := range []float64{0.5, 0.7} {
+			deviations := 0
+			for i := 0; i < trials; i++ {
+				// Unaliased prediction for this reference.
+				truth := r.Bool(b)
+				votes := 0
+				for bank := 0; bank < 3; bank++ {
+					pred := truth
+					if r.Bool(p) {
+						// Entry overwritten by an unrelated substream.
+						pred = r.Bool(b)
+					}
+					if pred {
+						votes++
+					}
+				}
+				overall := votes >= 2
+				if overall != truth {
+					deviations++
+				}
+			}
+			got := float64(deviations) / trials
+			want := PSkew(p, b)
+			if !almostEqual(got, want, 0.004) {
+				t.Errorf("p=%v b=%v: Monte-Carlo %v vs formula %v", p, b, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkPSkew(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += PSkew(float64(i%1000)/1000, 0.5)
+	}
+	_ = sink
+}
+
+func BenchmarkExtrapolatorObserve(b *testing.B) {
+	e := NewExtrapolator(4096, 0.5)
+	for i := 0; i < b.N; i++ {
+		e.Observe(i % 20000)
+	}
+}

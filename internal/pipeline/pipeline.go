@@ -1,0 +1,108 @@
+// Package pipeline converts misprediction rates into front-end
+// performance, quantifying the paper's motivation: "in processors that
+// speculatively fetch and issue multiple instructions per cycle to
+// deep pipelines, ... a mispredicted branch can result in substantial
+// amounts of wasted work and become a bottleneck to exploiting
+// instruction-level parallelism" (section 1).
+//
+// The model is deliberately simple — an ideal wide front end whose
+// only stall source is branch mispredictions — because that isolates
+// the quantity the paper studies. It still captures the two effects
+// that matter: the misprediction *penalty* scales with pipeline depth,
+// and the *wasted fetch work* scales with both depth and width.
+package pipeline
+
+import "fmt"
+
+// Model parameterises an idealised speculative front end.
+type Model struct {
+	// FetchWidth is instructions fetched per cycle (> 0).
+	FetchWidth int
+	// MispredictPenalty is the pipeline-refill cost of one
+	// misprediction, in cycles (>= 0). Deeper pipelines = larger.
+	MispredictPenalty int
+	// InstrPerBranch is the mean number of instructions per
+	// conditional branch in the workload (> 0); integer code is
+	// typically 4-6.
+	InstrPerBranch float64
+}
+
+// Validate reports a configuration error, or nil.
+func (m Model) Validate() error {
+	if m.FetchWidth <= 0 {
+		return fmt.Errorf("pipeline: fetch width %d must be positive", m.FetchWidth)
+	}
+	if m.MispredictPenalty < 0 {
+		return fmt.Errorf("pipeline: penalty %d must be non-negative", m.MispredictPenalty)
+	}
+	if m.InstrPerBranch <= 0 {
+		return fmt.Errorf("pipeline: instructions/branch %g must be positive", m.InstrPerBranch)
+	}
+	return nil
+}
+
+// Cost is the modelled outcome of running a branch stream.
+type Cost struct {
+	// Instructions is the useful-instruction estimate.
+	Instructions float64
+	// Cycles is total front-end cycles including misprediction stalls.
+	Cycles float64
+	// StallCycles is the misprediction-induced share of Cycles.
+	StallCycles float64
+	// WastedSlots is fetch slots discarded on wrong paths.
+	WastedSlots float64
+}
+
+// IPC returns useful instructions per cycle.
+func (c Cost) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return c.Instructions / c.Cycles
+}
+
+// StallFraction returns the share of cycles lost to mispredictions.
+func (c Cost) StallFraction() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return c.StallCycles / c.Cycles
+}
+
+// Evaluate models a run with the given conditional-branch count and
+// misprediction count.
+func (m Model) Evaluate(conditionals, mispredicts int) (Cost, error) {
+	if err := m.Validate(); err != nil {
+		return Cost{}, err
+	}
+	if mispredicts > conditionals {
+		return Cost{}, fmt.Errorf("pipeline: %d mispredicts exceed %d branches", mispredicts, conditionals)
+	}
+	instr := float64(conditionals) * m.InstrPerBranch
+	baseCycles := instr / float64(m.FetchWidth)
+	stall := float64(mispredicts) * float64(m.MispredictPenalty)
+	return Cost{
+		Instructions: instr,
+		Cycles:       baseCycles + stall,
+		StallCycles:  stall,
+		WastedSlots:  stall * float64(m.FetchWidth),
+	}, nil
+}
+
+// Speedup returns how much faster a run with the improved predictor is
+// than with the baseline, for the same instruction stream:
+// cycles(baseline) / cycles(improved).
+func (m Model) Speedup(conditionals, baselineMisses, improvedMisses int) (float64, error) {
+	base, err := m.Evaluate(conditionals, baselineMisses)
+	if err != nil {
+		return 0, err
+	}
+	impr, err := m.Evaluate(conditionals, improvedMisses)
+	if err != nil {
+		return 0, err
+	}
+	if impr.Cycles == 0 {
+		return 0, fmt.Errorf("pipeline: degenerate zero-cycle run")
+	}
+	return base.Cycles / impr.Cycles, nil
+}

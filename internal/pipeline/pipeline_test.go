@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{FetchWidth: 0, MispredictPenalty: 10, InstrPerBranch: 5},
+		{FetchWidth: 4, MispredictPenalty: -1, InstrPerBranch: 5},
+		{FetchWidth: 4, MispredictPenalty: 10, InstrPerBranch: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+	good := Model{FetchWidth: 4, MispredictPenalty: 10, InstrPerBranch: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestEvaluateArithmetic(t *testing.T) {
+	m := Model{FetchWidth: 4, MispredictPenalty: 10, InstrPerBranch: 5}
+	c, err := m.Evaluate(1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 instructions at width 4 = 1250 cycles, plus 50 x 10 stalls.
+	if c.Instructions != 5000 {
+		t.Errorf("Instructions = %v", c.Instructions)
+	}
+	if c.Cycles != 1250+500 {
+		t.Errorf("Cycles = %v", c.Cycles)
+	}
+	if c.StallCycles != 500 {
+		t.Errorf("StallCycles = %v", c.StallCycles)
+	}
+	if c.WastedSlots != 2000 {
+		t.Errorf("WastedSlots = %v", c.WastedSlots)
+	}
+	if got := c.IPC(); math.Abs(got-5000.0/1750) > 1e-12 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := c.StallFraction(); math.Abs(got-500.0/1750) > 1e-12 {
+		t.Errorf("StallFraction = %v", got)
+	}
+}
+
+func TestPerfectPredictionIsIdeal(t *testing.T) {
+	m := Model{FetchWidth: 8, MispredictPenalty: 20, InstrPerBranch: 4}
+	c, err := m.Evaluate(10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IPC() != 8 {
+		t.Errorf("zero-misprediction IPC = %v, want fetch width", c.IPC())
+	}
+	if c.StallFraction() != 0 {
+		t.Error("stall fraction should be 0")
+	}
+}
+
+func TestEvaluateRejectsImpossibleCounts(t *testing.T) {
+	m := Model{FetchWidth: 4, MispredictPenalty: 10, InstrPerBranch: 5}
+	if _, err := m.Evaluate(10, 11); err == nil {
+		t.Error("mispredicts > branches accepted")
+	}
+}
+
+func TestIPCMonotoneInMisses(t *testing.T) {
+	// Property: more mispredictions never increase IPC.
+	m := Model{FetchWidth: 4, MispredictPenalty: 15, InstrPerBranch: 5}
+	f := func(n16 uint16, m16 uint16) bool {
+		n := int(n16) + 1
+		miss := int(m16) % (n + 1)
+		if miss >= n {
+			miss = n - 1
+		}
+		a, err := m.Evaluate(n, miss)
+		if err != nil {
+			return false
+		}
+		b, err := m.Evaluate(n, miss/2)
+		if err != nil {
+			return false
+		}
+		return b.IPC() >= a.IPC()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	m := Model{FetchWidth: 4, MispredictPenalty: 10, InstrPerBranch: 5}
+	// Equal miss counts: no speedup.
+	s, err := m.Speedup(1000, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("equal-miss speedup = %v", s)
+	}
+	// Fewer misses: speedup > 1 and equals the cycle ratio.
+	s, err = m.Speedup(1000, 50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1750.0 / 1500.0; math.Abs(s-want) > 1e-12 {
+		t.Errorf("speedup = %v, want %v", s, want)
+	}
+	// More misses: slowdown.
+	s, err = m.Speedup(1000, 25, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 1 {
+		t.Errorf("worse predictor should slow down: %v", s)
+	}
+}
+
+func TestDeeperPipelinesAmplify(t *testing.T) {
+	// The paper's motivation: the same accuracy gap matters more as
+	// the penalty (pipeline depth) grows.
+	shallow := Model{FetchWidth: 4, MispredictPenalty: 5, InstrPerBranch: 5}
+	deep := Model{FetchWidth: 4, MispredictPenalty: 20, InstrPerBranch: 5}
+	s1, err := shallow.Speedup(100000, 6000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := deep.Speedup(100000, 6000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 <= s1 {
+		t.Errorf("deep-pipeline speedup %v not larger than shallow %v", s2, s1)
+	}
+}
+
+func TestEvaluateRejectsInvalidModel(t *testing.T) {
+	m := Model{}
+	if _, err := m.Evaluate(10, 1); err == nil {
+		t.Error("invalid model evaluated")
+	}
+	if _, err := m.Speedup(10, 2, 1); err == nil {
+		t.Error("invalid model speedup computed")
+	}
+}

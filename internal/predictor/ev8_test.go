@@ -1,0 +1,131 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"gskew/internal/rng"
+)
+
+func TestTwoBcGSkewValidation(t *testing.T) {
+	if _, err := NewTwoBcGSkew(1, 4, 8); err == nil {
+		t.Error("undersized table width accepted")
+	}
+	if _, err := NewTwoBcGSkew(31, 4, 8); err == nil {
+		t.Error("oversized table width accepted")
+	}
+	if _, err := NewTwoBcGSkew(10, 31, 8); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestTwoBcGSkewLearns(t *testing.T) {
+	p := MustTwoBcGSkew(10, 4, 12)
+	train(p, 0x42, 0x3a5, false, 8)
+	if p.Predict(0x42, 0x3a5) {
+		t.Error("did not learn not-taken")
+	}
+	train(p, 0x42, 0x3a5, true, 12)
+	if !p.Predict(0x42, 0x3a5) {
+		t.Error("did not relearn taken")
+	}
+}
+
+func TestTwoBcGSkewMetadata(t *testing.T) {
+	p := MustTwoBcGSkew(12, 6, 14)
+	if p.Name() != "2bcgskew" || p.HistoryBits() != 14 {
+		t.Error("metadata wrong")
+	}
+	if got := p.StorageBits(); got != 4*(1<<12)*2 {
+		t.Errorf("StorageBits = %d", got)
+	}
+	if !strings.Contains(p.String(), "2bcgskew") {
+		t.Errorf("String = %q", p.String())
+	}
+	train(p, 7, 1, false, 6)
+	p.Reset()
+	if !p.Predict(7, 1) {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestTwoBcGSkewFallsBackToBimodal(t *testing.T) {
+	// A branch whose direction is fixed but whose history is pure
+	// noise: history-indexed tables see a different (cold or polluted)
+	// entry every time, while BIM nails it. The META chooser must
+	// learn to trust BIM, keeping accuracy high.
+	p := MustTwoBcGSkew(8, 6, 12)
+	r := rng.NewXoshiro256(5)
+	misses := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		hist := r.Uint64() // uncorrelated noise history
+		if p.Predict(0x77, hist) != true && i > 500 {
+			misses++
+		}
+		p.Update(0x77, hist, true)
+	}
+	if rate := float64(misses) / n; rate > 0.02 {
+		t.Errorf("fixed-direction branch with noise history missed %.2f%%; META failed to select BIM", 100*rate)
+	}
+}
+
+func TestTwoBcGSkewUsesHistoryWhenItHelps(t *testing.T) {
+	// A history-parity branch that bimodal cannot learn: the majority
+	// side must take over and drive the miss rate well below 50%.
+	p := MustTwoBcGSkew(10, 4, 10)
+	var hist uint64
+	misses, counted := 0, 0
+	r := rng.NewXoshiro256(9)
+	for i := 0; i < 8000; i++ {
+		taken := (hist&1)^(hist>>1&1) == 1
+		if i > 2000 {
+			counted++
+			if p.Predict(0x55, hist) != taken {
+				misses++
+			}
+		}
+		p.Update(0x55, hist, taken)
+		hist = hist<<1 | map[bool]uint64{true: 1}[taken]
+		// Interleave an unrelated noisy branch to keep META honest.
+		noiseTaken := r.Bool(0.5)
+		p.Update(0x9000+r.Uint64n(4), hist, noiseTaken)
+		hist = hist<<1 | map[bool]uint64{true: 1}[noiseTaken]
+	}
+	if rate := float64(misses) / float64(counted); rate > 0.10 {
+		t.Errorf("history-parity branch missed %.1f%%; majority path not engaged", 100*rate)
+	}
+}
+
+func TestTwoBcGSkewInInvariantsHarness(t *testing.T) {
+	// Run the shared invariants directly for the EV8 predictor.
+	build := func() Predictor { return MustTwoBcGSkew(8, 4, 8) }
+	evs := randomEvents(17, 3000)
+	a, b := build(), build()
+	for _, e := range evs {
+		if a.Predict(e.addr, e.hist) != b.Predict(e.addr, e.hist) {
+			t.Fatal("instances diverged")
+		}
+		p1 := a.Predict(e.addr, e.hist)
+		if a.Predict(e.addr, e.hist) != p1 {
+			t.Fatal("Predict not pure")
+		}
+		a.Update(e.addr, e.hist, e.taken)
+		b.Update(e.addr, e.hist, e.taken)
+	}
+}
+
+func BenchmarkTwoBcGSkew(b *testing.B) {
+	p := MustTwoBcGSkew(12, 8, 16)
+	r := rng.NewXoshiro256(1)
+	addrs := make([]uint64, 1<<12)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(1<<12-1)]
+		taken := p.Predict(a, uint64(i))
+		p.Update(a, uint64(i), taken)
+	}
+}

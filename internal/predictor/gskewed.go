@@ -1,0 +1,275 @@
+package predictor
+
+import (
+	"fmt"
+
+	"gskew/internal/counter"
+	"gskew/internal/indexfn"
+	"gskew/internal/skewfn"
+)
+
+// UpdatePolicy selects how a skewed predictor trains its banks
+// (section 4.1 of the paper).
+type UpdatePolicy uint8
+
+const (
+	// PartialUpdate: when the overall prediction is correct, banks
+	// that voted against it are NOT updated — their entry is presumed
+	// to belong to a different substream, which effectively enlarges
+	// the predictor's capacity. When the overall prediction is wrong,
+	// all banks are trained. This is the paper's recommended policy.
+	PartialUpdate UpdatePolicy = iota
+	// TotalUpdate trains every bank on every branch, as if each were a
+	// standalone predictor.
+	TotalUpdate
+)
+
+// String returns "partial" or "total".
+func (p UpdatePolicy) String() string {
+	switch p {
+	case PartialUpdate:
+		return "partial"
+	case TotalUpdate:
+		return "total"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// GSkewed is the skewed branch predictor: an odd number of identical
+// tag-less banks indexed by distinct skewing functions of the
+// information vector V = (address, history), with a majority vote
+// across banks deciding the prediction.
+type GSkewed struct {
+	banks    []counter.Bank
+	skew     *skewfn.Skewer
+	policy   UpdatePolicy
+	histBits uint
+	enhanced bool
+	name     string
+
+	idx   []uint64 // scratch: per-bank indices
+	preds []bool   // scratch: per-bank predictions
+}
+
+// Config parameterises a skewed predictor.
+type Config struct {
+	// Banks is the number of predictor banks (odd, >= 3; default 3).
+	Banks int
+	// BankBits n gives 2^n entries per bank.
+	BankBits uint
+	// HistoryBits is the global-history length k.
+	HistoryBits uint
+	// CounterBits is the automaton width (1 or 2; default 2).
+	CounterBits uint
+	// Policy selects partial or total update (default partial).
+	Policy UpdatePolicy
+	// Enhanced selects the enhanced skewed predictor of section 6:
+	// bank 0 is indexed by address alone (bit truncation), so its
+	// entries see the much shorter per-address last-use distance and
+	// rescue long-history references whose other banks have aliased.
+	// Enhanced requires exactly 3 banks.
+	Enhanced bool
+	// SharedHysteresis selects the distributed encoding of the
+	// future-work section (and of the Alpha EV8): banks store one
+	// prediction bit per entry plus one hysteresis bit shared by
+	// 2^SharedHysteresis entries, costing 1 + 2^-SharedHysteresis
+	// bits/entry instead of CounterBits. Requires CounterBits == 2
+	// (the encoding is a decomposition of the 2-bit automaton).
+	// Zero means full private counters.
+	SharedHysteresis uint
+}
+
+// NewGSkewed builds a skewed predictor from cfg.
+func NewGSkewed(cfg Config) (*GSkewed, error) {
+	if cfg.Banks == 0 {
+		cfg.Banks = 3
+	}
+	if cfg.Banks < 3 || cfg.Banks%2 == 0 {
+		return nil, fmt.Errorf("predictor: bank count %d must be odd and >= 3", cfg.Banks)
+	}
+	if cfg.Enhanced && cfg.Banks != 3 {
+		return nil, fmt.Errorf("predictor: enhanced gskewed requires 3 banks, got %d", cfg.Banks)
+	}
+	if cfg.CounterBits == 0 {
+		cfg.CounterBits = 2
+	}
+	if cfg.BankBits < skewfn.MinBits || cfg.BankBits > skewfn.MaxBits {
+		return nil, fmt.Errorf("predictor: bank index width %d out of range [%d,%d]",
+			cfg.BankBits, skewfn.MinBits, skewfn.MaxBits)
+	}
+	if cfg.HistoryBits > 30 {
+		return nil, fmt.Errorf("predictor: history length %d out of range [0,30]", cfg.HistoryBits)
+	}
+	if cfg.SharedHysteresis > 0 && cfg.CounterBits != 2 {
+		return nil, fmt.Errorf("predictor: shared hysteresis requires 2-bit counters, got %d", cfg.CounterBits)
+	}
+	g := &GSkewed{
+		skew:     skewfn.New(cfg.BankBits),
+		policy:   cfg.Policy,
+		histBits: cfg.HistoryBits,
+		enhanced: cfg.Enhanced,
+		idx:      make([]uint64, cfg.Banks),
+		preds:    make([]bool, cfg.Banks),
+	}
+	for i := 0; i < cfg.Banks; i++ {
+		if cfg.SharedHysteresis > 0 {
+			g.banks = append(g.banks, counter.NewSplitTable(1<<cfg.BankBits, cfg.SharedHysteresis))
+		} else {
+			g.banks = append(g.banks, counter.NewTable(1<<cfg.BankBits, cfg.CounterBits))
+		}
+	}
+	if cfg.Enhanced {
+		g.name = "egskew"
+	} else {
+		g.name = "gskewed"
+	}
+	return g, nil
+}
+
+// MustGSkewed is NewGSkewed, panicking on configuration errors.
+// Intended for experiment tables whose configurations are static.
+func MustGSkewed(cfg Config) *GSkewed {
+	g, err := NewGSkewed(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// indices fills g.idx for the reference.
+func (g *GSkewed) indices(addr, hist uint64) {
+	v := indexfn.Vector(addr, hist, g.histBits)
+	if g.enhanced {
+		// Bank 0: plain address truncation; banks 1 and 2: f1, f2 of
+		// the full vector (section 6).
+		g.idx[0] = addr & g.skew.Mask()
+		g.idx[1] = g.skew.F1(v)
+		g.idx[2] = g.skew.F2(v)
+		return
+	}
+	g.skew.Indices(g.idx, v)
+}
+
+// vote computes per-bank predictions into g.preds and returns the
+// majority direction.
+func (g *GSkewed) vote() bool {
+	ayes := 0
+	for k, bank := range g.banks {
+		p := bank.Predict(g.idx[k])
+		g.preds[k] = p
+		if p {
+			ayes++
+		}
+	}
+	return ayes*2 > len(g.banks)
+}
+
+// Predict implements Predictor.
+func (g *GSkewed) Predict(addr, hist uint64) bool {
+	g.indices(addr, hist)
+	return g.vote()
+}
+
+// Update implements Predictor.
+func (g *GSkewed) Update(addr, hist uint64, taken bool) {
+	g.indices(addr, hist)
+	overall := g.vote()
+	for k, bank := range g.banks {
+		if g.policy == PartialUpdate && overall == taken && g.preds[k] != taken {
+			// Overall prediction was good; leave the dissenting bank
+			// to serve whatever substream it is tracking.
+			continue
+		}
+		bank.Update(g.idx[k], taken)
+	}
+}
+
+// Name implements Predictor.
+func (g *GSkewed) Name() string { return g.name }
+
+// HistoryBits implements Predictor.
+func (g *GSkewed) HistoryBits() uint { return g.histBits }
+
+// StorageBits implements Predictor.
+func (g *GSkewed) StorageBits() int {
+	total := 0
+	for _, b := range g.banks {
+		total += b.StorageBits()
+	}
+	return total
+}
+
+// Reset implements Predictor.
+func (g *GSkewed) Reset() {
+	for _, b := range g.banks {
+		b.Reset()
+	}
+}
+
+// Banks returns the number of banks.
+func (g *GSkewed) Banks() int { return len(g.banks) }
+
+// BankEntries returns the per-bank entry count.
+func (g *GSkewed) BankEntries() int { return g.banks[0].Len() }
+
+// Policy returns the update policy.
+func (g *GSkewed) Policy() UpdatePolicy { return g.policy }
+
+// IndicesFor returns the per-bank table indices a reference maps to.
+// It allocates; it exists for diagnostics, tools and tests, not for
+// the simulation hot path.
+func (g *GSkewed) IndicesFor(addr, hist uint64) []uint64 {
+	g.indices(addr, hist)
+	out := make([]uint64, len(g.idx))
+	copy(out, g.idx)
+	return out
+}
+
+// BankValue returns the raw counter state bank k holds for the given
+// reference (as an equivalent 2-bit state for shared-hysteresis
+// banks). Diagnostic API.
+func (g *GSkewed) BankValue(k int, addr, hist uint64) uint8 {
+	g.indices(addr, hist)
+	switch b := g.banks[k].(type) {
+	case *counter.Table:
+		return b.Value(g.idx[k])
+	case *counter.SplitTable:
+		return b.Value(g.idx[k])
+	default:
+		panic("predictor: unknown bank type")
+	}
+}
+
+// PredictConfident returns the majority prediction together with a
+// confidence signal: unanimous is true when every bank agrees. Vote
+// margins are the natural confidence estimator of a skewed predictor
+// (the EV8 design used them); the ext-confidence experiment quantifies
+// how much more accurate unanimous predictions are.
+func (g *GSkewed) PredictConfident(addr, hist uint64) (taken, unanimous bool) {
+	g.indices(addr, hist)
+	taken = g.vote()
+	unanimous = true
+	for _, p := range g.preds {
+		if p != taken {
+			unanimous = false
+			break
+		}
+	}
+	return taken, unanimous
+}
+
+// String describes the configuration the way the paper writes it,
+// e.g. "3x4k-gskewed(h8,2bit,partial)".
+func (g *GSkewed) String() string {
+	enc := "?"
+	switch b := g.banks[0].(type) {
+	case *counter.Table:
+		enc = fmt.Sprintf("%dbit", b.Bits())
+	case *counter.SplitTable:
+		enc = fmt.Sprintf("1+h/%d", b.GroupSize())
+	}
+	return fmt.Sprintf("%dx%s-%s(h%d,%s,%s)",
+		len(g.banks), fmtEntries(g.banks[0].Len()), g.name,
+		g.histBits, enc, g.policy)
+}

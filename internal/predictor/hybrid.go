@@ -1,0 +1,98 @@
+package predictor
+
+import (
+	"fmt"
+
+	"gskew/internal/counter"
+)
+
+// Hybrid is a McFarling-style combining predictor (the paper's related
+// work [8] and the hybrid direction of its future work): two component
+// predictors run in parallel and a table of 2-bit chooser counters,
+// indexed by the branch address, selects which component's prediction
+// to use. The chooser trains toward the component that was right when
+// exactly one of them was.
+type Hybrid struct {
+	a, b    Predictor
+	chooser *counter.Table
+	mask    uint64
+	name    string
+}
+
+// NewHybrid combines predictors a and b with a 2^chooserBits-entry
+// chooser. The chooser predicts "use B" when its counter is in the
+// upper half (so it starts weakly preferring B; pass the more
+// history-capable component as b to warm up sensibly).
+func NewHybrid(a, b Predictor, chooserBits uint) (*Hybrid, error) {
+	if chooserBits < 1 || chooserBits > 26 {
+		return nil, fmt.Errorf("predictor: chooser width %d out of range [1,26]", chooserBits)
+	}
+	return &Hybrid{
+		a:       a,
+		b:       b,
+		chooser: counter.NewTable(1<<chooserBits, 2),
+		mask:    uint64(1)<<chooserBits - 1,
+		name:    fmt.Sprintf("hybrid(%s+%s)", a.Name(), b.Name()),
+	}, nil
+}
+
+// MustHybrid is NewHybrid, panicking on configuration errors.
+func MustHybrid(a, b Predictor, chooserBits uint) *Hybrid {
+	h, err := NewHybrid(a, b, chooserBits)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(addr, hist uint64) bool {
+	if h.chooser.Predict(addr & h.mask) {
+		return h.b.Predict(addr, hist)
+	}
+	return h.a.Predict(addr, hist)
+}
+
+// Update implements Predictor: both components always train; the
+// chooser moves only when the components disagree about correctness.
+func (h *Hybrid) Update(addr, hist uint64, taken bool) {
+	pa := h.a.Predict(addr, hist) == taken
+	pb := h.b.Predict(addr, hist) == taken
+	if pa != pb {
+		h.chooser.Update(addr&h.mask, pb)
+	}
+	h.a.Update(addr, hist, taken)
+	h.b.Update(addr, hist, taken)
+}
+
+// Name implements Predictor.
+func (h *Hybrid) Name() string { return h.name }
+
+// HistoryBits implements Predictor: the longer of the two components,
+// so the runner provides enough history for both.
+func (h *Hybrid) HistoryBits() uint {
+	if h.a.HistoryBits() > h.b.HistoryBits() {
+		return h.a.HistoryBits()
+	}
+	return h.b.HistoryBits()
+}
+
+// StorageBits implements Predictor.
+func (h *Hybrid) StorageBits() int {
+	return h.a.StorageBits() + h.b.StorageBits() + h.chooser.StorageBits()
+}
+
+// Reset implements Predictor.
+func (h *Hybrid) Reset() {
+	h.a.Reset()
+	h.b.Reset()
+	h.chooser.Reset()
+}
+
+// Components returns the two component predictors (a, b).
+func (h *Hybrid) Components() (Predictor, Predictor) { return h.a, h.b }
+
+// String describes the configuration.
+func (h *Hybrid) String() string {
+	return fmt.Sprintf("hybrid(%v + %v, chooser %s)", h.a, h.b, fmtEntries(h.chooser.Len()))
+}

@@ -1,0 +1,129 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"gskew/internal/rng"
+)
+
+func TestHybridValidation(t *testing.T) {
+	a, b := NewBimodal(8, 2), NewGShare(8, 6, 2)
+	if _, err := NewHybrid(a, b, 0); err == nil {
+		t.Error("zero chooser width accepted")
+	}
+	if _, err := NewHybrid(a, b, 27); err == nil {
+		t.Error("oversized chooser width accepted")
+	}
+}
+
+func TestHybridMetadata(t *testing.T) {
+	a, b := NewBimodal(8, 2), NewGShare(10, 6, 2)
+	h := MustHybrid(a, b, 8)
+	if h.HistoryBits() != 6 {
+		t.Errorf("HistoryBits = %d, want max of components", h.HistoryBits())
+	}
+	// bimodal 256x2 + gshare 1024x2 + chooser 256x2 bits.
+	if got := h.StorageBits(); got != 512+2048+512 {
+		t.Errorf("StorageBits = %d", got)
+	}
+	if !strings.Contains(h.Name(), "bimodal") || !strings.Contains(h.Name(), "gshare") {
+		t.Errorf("Name = %q", h.Name())
+	}
+	ca, cb := h.Components()
+	if ca != Predictor(a) || cb != Predictor(b) {
+		t.Error("Components mismatch")
+	}
+	if h.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHybridSelectsBetterComponent(t *testing.T) {
+	// Two branch populations: one purely bias-driven (bimodal wins on
+	// it immediately), one purely history-driven (gshare wins). The
+	// hybrid must approach the better component on each, so its total
+	// misses must be at most either component's alone.
+	run := func(p Predictor) int {
+		r := rng.NewXoshiro256(3)
+		misses := 0
+		hist := uint64(0)
+		for i := 0; i < 60000; i++ {
+			var addr uint64
+			var taken bool
+			if i%2 == 0 {
+				// Biased population: 64 branches, strongly taken.
+				addr = 0x1000 + r.Uint64n(64)
+				taken = r.Bool(0.98)
+			} else {
+				// History-parity population.
+				addr = 0x2000 + r.Uint64n(8)
+				taken = (hist&1)^(hist>>2&1) == 1
+			}
+			if p.Predict(addr, hist) != taken {
+				misses++
+			}
+			p.Update(addr, hist, taken)
+			hist = hist<<1 | map[bool]uint64{true: 1}[taken]
+		}
+		return misses
+	}
+	bimodalMisses := run(NewBimodal(10, 2))
+	gshareMisses := run(NewGShare(10, 8, 2))
+	hybridMisses := run(MustHybrid(NewBimodal(10, 2), NewGShare(10, 8, 2), 10))
+	min := bimodalMisses
+	if gshareMisses < min {
+		min = gshareMisses
+	}
+	// The hybrid pays a small learning cost for the chooser but must
+	// be within 10% of the better component.
+	if float64(hybridMisses) > float64(min)*1.10 {
+		t.Errorf("hybrid misses %d not within 10%% of best component (bimodal %d, gshare %d)",
+			hybridMisses, bimodalMisses, gshareMisses)
+	}
+}
+
+func TestHybridChooserConvergence(t *testing.T) {
+	// When component A is always wrong and B always right, the hybrid
+	// must converge to B's prediction within a few updates.
+	a := NewBimodal(4, 2) // will be trained toward taken
+	b := NewGShare(4, 2, 2)
+	h := MustHybrid(a, b, 4)
+	// Train stream: branch 5 is never taken. Bimodal and gshare both
+	// learn this; force disagreement by pre-training A.
+	for i := 0; i < 8; i++ {
+		a.Update(5, 0, true) // poison A toward taken
+	}
+	for i := 0; i < 20; i++ {
+		h.Update(5, 0, false)
+	}
+	if h.Predict(5, 0) {
+		t.Error("hybrid did not converge to the correct component")
+	}
+}
+
+func TestHybridReset(t *testing.T) {
+	h := MustHybrid(NewBimodal(6, 2), NewGShare(6, 4, 2), 6)
+	for i := 0; i < 10; i++ {
+		h.Update(9, 3, false)
+	}
+	h.Reset()
+	if !h.Predict(9, 3) {
+		t.Error("Reset did not restore defaults")
+	}
+}
+
+func BenchmarkHybrid(b *testing.B) {
+	h := MustHybrid(NewBimodal(12, 2), NewGShare(14, 12, 2), 12)
+	r := rng.NewXoshiro256(1)
+	addrs := make([]uint64, 1<<12)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(1<<12-1)]
+		taken := h.Predict(a, uint64(i))
+		h.Update(a, uint64(i), taken)
+	}
+}

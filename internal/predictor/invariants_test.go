@@ -1,0 +1,149 @@
+package predictor
+
+// Cross-organisation invariant tests: properties every Predictor in
+// the repository must satisfy, checked uniformly.
+
+import (
+	"testing"
+
+	"gskew/internal/rng"
+)
+
+// allPredictors builds one representative of every organisation.
+func allPredictors() map[string]func() Predictor {
+	return map[string]func() Predictor{
+		"bimodal":  func() Predictor { return NewBimodal(8, 2) },
+		"gshare":   func() Predictor { return NewGShare(8, 6, 2) },
+		"gselect":  func() Predictor { return NewGSelect(8, 6, 2) },
+		"gskewed":  func() Predictor { return MustGSkewed(Config{BankBits: 8, HistoryBits: 6}) },
+		"gskewed5": func() Predictor { return MustGSkewed(Config{Banks: 5, BankBits: 8, HistoryBits: 6}) },
+		"gskewed-sh": func() Predictor {
+			return MustGSkewed(Config{BankBits: 8, HistoryBits: 6, CounterBits: 2, SharedHysteresis: 1})
+		},
+		"egskew":     func() Predictor { return MustGSkewed(Config{BankBits: 8, HistoryBits: 6, Enhanced: true}) },
+		"gskewed-tu": func() Predictor { return MustGSkewed(Config{BankBits: 8, HistoryBits: 6, Policy: TotalUpdate}) },
+		"unaliased":  func() Predictor { return NewUnaliased(6, 2) },
+		"assoc-lru":  func() Predictor { return NewAssocLRU(128, 6, 2) },
+		"pas":        func() Predictor { return MustPAs(6, 4, 10, 2) },
+		"skewed-pas": func() Predictor { return MustSkewedPAs(6, 4, 8, 2, PartialUpdate) },
+		"hybrid":     func() Predictor { return MustHybrid(NewBimodal(8, 2), NewGShare(8, 6, 2), 8) },
+		"agree":      func() Predictor { return MustAgree(8, 6, 8, 2) },
+		"bimode":     func() Predictor { return MustBiMode(8, 6, 8, 2) },
+	}
+}
+
+type event struct {
+	addr, hist uint64
+	taken      bool
+}
+
+func randomEvents(seed uint64, n int) []event {
+	r := rng.NewXoshiro256(seed)
+	evs := make([]event, n)
+	hist := uint64(0)
+	for i := range evs {
+		taken := r.Bool(0.6)
+		evs[i] = event{addr: r.Uint64n(1 << 12), hist: hist, taken: taken}
+		hist = hist<<1 | map[bool]uint64{true: 1}[taken]
+	}
+	return evs
+}
+
+// TestPredictIsPure verifies Predict never mutates state: predicting
+// twice in a row gives the same answer, and a prediction-heavy
+// interleaving does not change the final state reached by updates.
+func TestPredictIsPure(t *testing.T) {
+	evs := randomEvents(1, 4000)
+	for name, build := range allPredictors() {
+		t.Run(name, func(t *testing.T) {
+			a, b := build(), build()
+			for _, e := range evs {
+				p1 := a.Predict(e.addr, e.hist)
+				for i := 0; i < 3; i++ {
+					if a.Predict(e.addr, e.hist) != p1 {
+						t.Fatal("repeated Predict changed its answer")
+					}
+				}
+				a.Update(e.addr, e.hist, e.taken)
+				// b updates without the extra predictions.
+				b.Update(e.addr, e.hist, e.taken)
+			}
+			for _, e := range evs[:200] {
+				if a.Predict(e.addr, e.hist) != b.Predict(e.addr, e.hist) {
+					t.Fatal("extra Predict calls perturbed predictor state")
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism verifies two instances fed the same stream are
+// indistinguishable.
+func TestDeterminism(t *testing.T) {
+	evs := randomEvents(2, 4000)
+	for name, build := range allPredictors() {
+		t.Run(name, func(t *testing.T) {
+			a, b := build(), build()
+			for _, e := range evs {
+				if a.Predict(e.addr, e.hist) != b.Predict(e.addr, e.hist) {
+					t.Fatal("instances diverged")
+				}
+				a.Update(e.addr, e.hist, e.taken)
+				b.Update(e.addr, e.hist, e.taken)
+			}
+		})
+	}
+}
+
+// TestResetEquivalentToFresh verifies Reset restores the exact initial
+// behaviour.
+func TestResetEquivalentToFresh(t *testing.T) {
+	train := randomEvents(3, 3000)
+	probe := randomEvents(4, 3000)
+	for name, build := range allPredictors() {
+		t.Run(name, func(t *testing.T) {
+			used := build()
+			for _, e := range train {
+				used.Update(e.addr, e.hist, e.taken)
+			}
+			used.Reset()
+			fresh := build()
+			for _, e := range probe {
+				if used.Predict(e.addr, e.hist) != fresh.Predict(e.addr, e.hist) {
+					t.Fatal("Reset predictor diverged from fresh instance")
+				}
+				used.Update(e.addr, e.hist, e.taken)
+				fresh.Update(e.addr, e.hist, e.taken)
+			}
+		})
+	}
+}
+
+// TestStorageBitsPositive sanity-checks the cost metric.
+func TestStorageBitsPositive(t *testing.T) {
+	for name, build := range allPredictors() {
+		p := build()
+		if name == "unaliased" {
+			continue // grows with content; starts at 0
+		}
+		if p.StorageBits() <= 0 {
+			t.Errorf("%s: StorageBits = %d", name, p.StorageBits())
+		}
+	}
+}
+
+// TestLearnsSimpleBias: every organisation must learn a stable branch
+// within a handful of outcomes.
+func TestLearnsSimpleBias(t *testing.T) {
+	for name, build := range allPredictors() {
+		t.Run(name, func(t *testing.T) {
+			p := build()
+			for i := 0; i < 16; i++ {
+				p.Update(0x3c, 0x15, false)
+			}
+			if p.Predict(0x3c, 0x15) {
+				t.Error("did not learn an always-not-taken branch")
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+// Package predictor implements the conditional branch predictors
+// studied in the paper: the single-table global-history baselines
+// (bimodal, gshare, gselect), the skewed branch predictor (gskewed)
+// and its enhanced variant — the paper's contribution — plus the two
+// reference organisations used to bound them: an ideal unaliased
+// (infinite) table and a fully-associative tagged LRU table.
+//
+// All predictors share one interface. The simulation runner owns the
+// global-history register and passes the raw history value; each
+// predictor masks it to its own configured length, so the same branch
+// stream drives every organisation identically.
+package predictor
+
+// Predictor is a dynamic conditional-branch predictor.
+//
+// Predict must not change predictor state; Update trains the predictor
+// with the resolved outcome of the same (addr, hist) reference.
+// addr is a word-aligned branch address (byte PC >> 2); hist is the
+// global-history register value with the newest outcome in bit 0.
+type Predictor interface {
+	Predict(addr, hist uint64) bool
+	Update(addr, hist uint64, taken bool)
+
+	// Name identifies the organisation, e.g. "gshare" or "gskewed".
+	Name() string
+	// HistoryBits returns the history length the predictor consumes.
+	HistoryBits() uint
+	// StorageBits returns the total predictor storage in bits, the
+	// paper's cost metric for comparing organisations.
+	StorageBits() int
+	// Reset returns the predictor to its initial state.
+	Reset()
+}
+
+// FirstUseTracker is implemented by predictors that can report whether
+// an (address, history) pair has been seen before. The simulation
+// runner uses it to exclude compulsory references from misprediction
+// accounting, matching the paper's Table 2 methodology.
+type FirstUseTracker interface {
+	// Seen reports whether the (addr, hist) substream has been
+	// encountered before (without modifying state).
+	Seen(addr, hist uint64) bool
+}

@@ -1,0 +1,190 @@
+package predictor
+
+import (
+	"fmt"
+
+	"gskew/internal/counter"
+	"gskew/internal/indexfn"
+	"gskew/internal/lru"
+)
+
+// Unaliased is the ideal infinite predictor table: every (address,
+// history) substream gets a private counter. It bounds every finite
+// organisation from below and provides the intrinsic (aliasing-free)
+// misprediction rate of Table 2.
+//
+// Unaliased implements FirstUseTracker so the runner can exclude
+// compulsory references from misprediction accounting, as the paper
+// does.
+type Unaliased struct {
+	counters map[uint64]counter.Counter
+	histBits uint
+	ctrBits  uint
+	addrs    map[uint64]struct{} // distinct branch addresses, for substream ratio
+}
+
+// NewUnaliased returns an infinite table of counterBits-wide automata
+// keyed by (address, k-bit history).
+func NewUnaliased(k, counterBits uint) *Unaliased {
+	if counterBits == 0 {
+		counterBits = 2
+	}
+	return &Unaliased{
+		counters: make(map[uint64]counter.Counter),
+		histBits: k,
+		ctrBits:  counterBits,
+		addrs:    make(map[uint64]struct{}),
+	}
+}
+
+// Predict implements Predictor. Unknown substreams predict taken (the
+// static fallback); the runner normally filters these out via Seen.
+func (u *Unaliased) Predict(addr, hist uint64) bool {
+	c, ok := u.counters[indexfn.Vector(addr, hist, u.histBits)]
+	if !ok {
+		return true
+	}
+	return c.Predict()
+}
+
+// Update implements Predictor.
+func (u *Unaliased) Update(addr, hist uint64, taken bool) {
+	v := indexfn.Vector(addr, hist, u.histBits)
+	c, ok := u.counters[v]
+	if !ok {
+		u.addrs[addr] = struct{}{}
+		// A fresh substream starts from the weak state agreeing with
+		// its first outcome, the convention the paper's "do not count
+		// the first occurrence" methodology implies.
+		if taken {
+			c = counter.WeaklyTaken(u.ctrBits)
+		} else {
+			c = counter.WeaklyNotTaken(u.ctrBits)
+		}
+	}
+	u.counters[v] = c.Update(taken)
+}
+
+// Seen implements FirstUseTracker.
+func (u *Unaliased) Seen(addr, hist uint64) bool {
+	_, ok := u.counters[indexfn.Vector(addr, hist, u.histBits)]
+	return ok
+}
+
+// Name implements Predictor.
+func (u *Unaliased) Name() string { return "unaliased" }
+
+// HistoryBits implements Predictor.
+func (u *Unaliased) HistoryBits() uint { return u.histBits }
+
+// StorageBits implements Predictor. For the infinite table this is the
+// storage a real table would need for the substreams seen so far.
+func (u *Unaliased) StorageBits() int { return len(u.counters) * int(u.ctrBits) }
+
+// Reset implements Predictor.
+func (u *Unaliased) Reset() {
+	clear(u.counters)
+	clear(u.addrs)
+}
+
+// Substreams returns the number of distinct (address, history) pairs
+// observed.
+func (u *Unaliased) Substreams() int { return len(u.counters) }
+
+// Addresses returns the number of distinct branch addresses observed.
+func (u *Unaliased) Addresses() int { return len(u.addrs) }
+
+// SubstreamRatio returns substreams per address — Table 2's first
+// column. Zero before any update.
+func (u *Unaliased) SubstreamRatio() float64 {
+	if len(u.addrs) == 0 {
+		return 0
+	}
+	return float64(len(u.counters)) / float64(len(u.addrs))
+}
+
+// String describes the configuration.
+func (u *Unaliased) String() string {
+	return fmt.Sprintf("unaliased(h%d,%dbit)", u.histBits, u.ctrBits)
+}
+
+// AssocLRU is an N-entry fully-associative tagged predictor table with
+// LRU replacement, the hardware-infeasible reference of Figure 8:
+// conflict aliasing is eliminated entirely; only capacity (and
+// compulsory) aliasing remains. Missing pairs fall back to a static
+// always-taken prediction, as in the paper's experiment.
+type AssocLRU struct {
+	cache    *lru.Cache
+	histBits uint
+	ctrBits  uint
+}
+
+// NewAssocLRU returns an N-entry fully-associative LRU predictor keyed
+// by (address, k-bit history) with counterBits-wide automata.
+func NewAssocLRU(entries int, k, counterBits uint) *AssocLRU {
+	if counterBits == 0 {
+		counterBits = 2
+	}
+	return &AssocLRU{
+		cache:    lru.NewCache(entries),
+		histBits: k,
+		ctrBits:  counterBits,
+	}
+}
+
+// Predict implements Predictor. A miss predicts taken (static
+// fallback). Prediction does not touch recency: only Update does,
+// mirroring how the paper counts one reference per dynamic branch.
+func (a *AssocLRU) Predict(addr, hist uint64) bool {
+	raw, ok := a.cache.Peek(indexfn.Vector(addr, hist, a.histBits))
+	if !ok {
+		return true
+	}
+	return counter.New(a.ctrBits, raw).Predict()
+}
+
+// Update implements Predictor. It inserts missing pairs (possibly
+// evicting the LRU pair) and trains the counter.
+func (a *AssocLRU) Update(addr, hist uint64, taken bool) {
+	v := indexfn.Vector(addr, hist, a.histBits)
+	raw, ok := a.cache.Get(v) // refreshes recency on hit
+	var c counter.Counter
+	if ok {
+		c = counter.New(a.ctrBits, raw)
+	} else if taken {
+		c = counter.WeaklyTaken(a.ctrBits)
+	} else {
+		c = counter.WeaklyNotTaken(a.ctrBits)
+	}
+	a.cache.Put(v, c.Update(taken).Value())
+}
+
+// Seen implements FirstUseTracker relative to current residency: a
+// pair evicted and re-fetched counts as unseen again, which is exactly
+// the capacity-aliasing semantics of the tagged-table experiments.
+func (a *AssocLRU) Seen(addr, hist uint64) bool {
+	_, ok := a.cache.Peek(indexfn.Vector(addr, hist, a.histBits))
+	return ok
+}
+
+// Name implements Predictor.
+func (a *AssocLRU) Name() string { return "assoc-lru" }
+
+// HistoryBits implements Predictor.
+func (a *AssocLRU) HistoryBits() uint { return a.histBits }
+
+// StorageBits implements Predictor: counter bits only, matching how
+// the paper compares it against tag-less tables (the tags are the
+// point of the comparison and are costed separately in section 3.3).
+func (a *AssocLRU) StorageBits() int { return a.cache.Capacity() * int(a.ctrBits) }
+
+// Reset implements Predictor.
+func (a *AssocLRU) Reset() { a.cache.Reset() }
+
+// Entries returns the table capacity.
+func (a *AssocLRU) Entries() int { return a.cache.Capacity() }
+
+// String describes the configuration.
+func (a *AssocLRU) String() string {
+	return fmt.Sprintf("%s-assoc-lru(h%d,%dbit)", fmtEntries(a.cache.Capacity()), a.histBits, a.ctrBits)
+}

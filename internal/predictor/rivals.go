@@ -1,0 +1,225 @@
+package predictor
+
+import (
+	"fmt"
+
+	"gskew/internal/counter"
+	"gskew/internal/indexfn"
+)
+
+// This file implements the two contemporaneous anti-aliasing
+// predictors proposed the same year as the skewed predictor, as
+// comparison baselines for the ext-rivals experiment:
+//
+//   - the agree predictor (Sprangle, Chappell, Alsup, Patt — ISCA
+//     1997): counters predict whether the branch AGREES with a
+//     per-branch bias bit, converting destructive interference between
+//     same-bias branches into constructive interference;
+//   - the bi-mode predictor (Lee, Chen, Mudge — MICRO 1997): two
+//     gshare-indexed direction tables ("taken-leaning" and
+//     "not-taken-leaning") with an address-indexed choice table
+//     steering each branch to the table matching its bias, so branches
+//     of opposite bias stop sharing counters.
+//
+// Both attack exactly the phenomenon the paper names conflict
+// aliasing, with different mechanisms than skewing.
+
+// Agree is the agree predictor. The bias bit for each branch is
+// latched on first encounter (the paper version stores it in the BTB;
+// here an address-indexed table of once-set bits), and a
+// gshare-indexed table of 2-bit counters predicts agreement with that
+// bias.
+type Agree struct {
+	fn       indexfn.Func
+	agree    *counter.Table
+	biasBit  []bool
+	biasSet  []bool
+	biasMask uint64
+}
+
+// NewAgree returns an agree predictor with a 2^n-entry agreement table
+// (k history bits, gshare-indexed) and a 2^biasBits-entry bias table.
+func NewAgree(n, k, biasBits, counterBits uint) (*Agree, error) {
+	if biasBits < 1 || biasBits > 26 {
+		return nil, fmt.Errorf("predictor: bias table width %d out of range [1,26]", biasBits)
+	}
+	if counterBits == 0 {
+		counterBits = 2
+	}
+	return &Agree{
+		fn:       indexfn.NewGShare(n, k),
+		agree:    counter.NewTable(1<<n, counterBits),
+		biasBit:  make([]bool, 1<<biasBits),
+		biasSet:  make([]bool, 1<<biasBits),
+		biasMask: uint64(1)<<biasBits - 1,
+	}, nil
+}
+
+// MustAgree is NewAgree, panicking on configuration errors.
+func MustAgree(n, k, biasBits, counterBits uint) *Agree {
+	a, err := NewAgree(n, k, biasBits, counterBits)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// bias returns the branch's latched bias (default taken before the
+// first outcome is seen, matching static not-taken... the original
+// uses the first outcome; before that, predict taken).
+func (a *Agree) bias(addr uint64) bool {
+	i := addr & a.biasMask
+	if !a.biasSet[i] {
+		return true
+	}
+	return a.biasBit[i]
+}
+
+// Predict implements Predictor: taken iff (agree counter) == (bias).
+func (a *Agree) Predict(addr, hist uint64) bool {
+	agrees := a.agree.Predict(a.fn.Index(addr, hist))
+	return agrees == a.bias(addr)
+}
+
+// Update implements Predictor. The first outcome of a branch latches
+// its bias bit; the agreement table trains toward outcome==bias.
+func (a *Agree) Update(addr, hist uint64, taken bool) {
+	i := addr & a.biasMask
+	if !a.biasSet[i] {
+		a.biasSet[i] = true
+		a.biasBit[i] = taken
+	}
+	a.agree.Update(a.fn.Index(addr, hist), taken == a.biasBit[i])
+}
+
+// Name implements Predictor.
+func (a *Agree) Name() string { return "agree" }
+
+// HistoryBits implements Predictor.
+func (a *Agree) HistoryBits() uint { return a.fn.HistoryBits() }
+
+// StorageBits implements Predictor: agreement counters plus bias and
+// valid bits.
+func (a *Agree) StorageBits() int {
+	return a.agree.StorageBits() + 2*len(a.biasBit)
+}
+
+// Reset implements Predictor.
+func (a *Agree) Reset() {
+	a.agree.Reset()
+	for i := range a.biasBit {
+		a.biasBit[i] = false
+		a.biasSet[i] = false
+	}
+}
+
+// String describes the configuration.
+func (a *Agree) String() string {
+	return fmt.Sprintf("%s-agree(h%d,bias%d)", fmtEntries(a.agree.Len()),
+		a.fn.HistoryBits(), len(a.biasBit))
+}
+
+// BiMode is the bi-mode predictor: two gshare-indexed direction banks
+// plus an address-indexed choice table. The choice table picks the
+// bank; only the chosen bank trains on the outcome (the choice table
+// trains unless it was overridden successfully).
+type BiMode struct {
+	fn     indexfn.Func
+	taken  *counter.Table // "taken-leaning" bank
+	ntaken *counter.Table // "not-taken-leaning" bank
+	choice *counter.Table
+	chMask uint64
+}
+
+// NewBiMode returns a bi-mode predictor: two 2^n-entry direction banks
+// (k history bits) and a 2^choiceBits-entry choice table.
+func NewBiMode(n, k, choiceBits, counterBits uint) (*BiMode, error) {
+	if choiceBits < 1 || choiceBits > 26 {
+		return nil, fmt.Errorf("predictor: choice table width %d out of range [1,26]", choiceBits)
+	}
+	if counterBits == 0 {
+		counterBits = 2
+	}
+	b := &BiMode{
+		fn:     indexfn.NewGShare(n, k),
+		taken:  counter.NewTable(1<<n, counterBits),
+		ntaken: counter.NewTable(1<<n, counterBits),
+		choice: counter.NewTable(1<<choiceBits, counterBits),
+		chMask: uint64(1)<<choiceBits - 1,
+	}
+	// Bias the banks toward their leanings so a fresh predictor
+	// behaves like its name: the not-taken bank starts weakly
+	// not-taken.
+	for i := 0; i < b.ntaken.Len(); i++ {
+		b.ntaken.Set(uint64(i), counter.WeaklyNotTaken(counterBits).Value())
+	}
+	return b, nil
+}
+
+// MustBiMode is NewBiMode, panicking on configuration errors.
+func MustBiMode(n, k, choiceBits, counterBits uint) *BiMode {
+	b, err := NewBiMode(n, k, choiceBits, counterBits)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Predict implements Predictor.
+func (b *BiMode) Predict(addr, hist uint64) bool {
+	i := b.fn.Index(addr, hist)
+	if b.choice.Predict(addr & b.chMask) {
+		return b.taken.Predict(i)
+	}
+	return b.ntaken.Predict(i)
+}
+
+// Update implements Predictor, with the bi-mode partial-update rule:
+// only the chosen direction bank trains; the choice table trains
+// toward the outcome unless the chosen bank predicted correctly
+// against the choice's own leaning.
+func (b *BiMode) Update(addr, hist uint64, taken bool) {
+	i := b.fn.Index(addr, hist)
+	ci := addr & b.chMask
+	useTaken := b.choice.Predict(ci)
+	var bankPred bool
+	if useTaken {
+		bankPred = b.taken.Predict(i)
+		b.taken.Update(i, taken)
+	} else {
+		bankPred = b.ntaken.Predict(i)
+		b.ntaken.Update(i, taken)
+	}
+	// Choice update rule (Lee et al.): do not update the choice when
+	// it steered to a bank that predicted correctly although the
+	// outcome disagrees with the choice's direction.
+	if !(bankPred == taken && useTaken != taken) {
+		b.choice.Update(ci, taken)
+	}
+}
+
+// Name implements Predictor.
+func (b *BiMode) Name() string { return "bimode" }
+
+// HistoryBits implements Predictor.
+func (b *BiMode) HistoryBits() uint { return b.fn.HistoryBits() }
+
+// StorageBits implements Predictor.
+func (b *BiMode) StorageBits() int {
+	return b.taken.StorageBits() + b.ntaken.StorageBits() + b.choice.StorageBits()
+}
+
+// Reset implements Predictor.
+func (b *BiMode) Reset() {
+	b.taken.Reset()
+	b.choice.Reset()
+	for i := 0; i < b.ntaken.Len(); i++ {
+		b.ntaken.Set(uint64(i), counter.WeaklyNotTaken(b.ntaken.Bits()).Value())
+	}
+}
+
+// String describes the configuration.
+func (b *BiMode) String() string {
+	return fmt.Sprintf("2x%s-bimode(h%d,choice%s)", fmtEntries(b.taken.Len()),
+		b.fn.HistoryBits(), fmtEntries(b.choice.Len()))
+}

@@ -1,0 +1,259 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"gskew/internal/rng"
+)
+
+func TestAgreeValidation(t *testing.T) {
+	if _, err := NewAgree(8, 4, 0, 2); err == nil {
+		t.Error("zero bias width accepted")
+	}
+	if _, err := NewAgree(8, 4, 27, 2); err == nil {
+		t.Error("oversized bias width accepted")
+	}
+	if _, err := NewAgree(8, 4, 8, 0); err != nil {
+		t.Error("default counter width rejected")
+	}
+}
+
+func TestAgreeLearnsBothDirections(t *testing.T) {
+	a := MustAgree(10, 6, 10, 2)
+	train(a, 0x10, 0x3, false, 6)
+	train(a, 0x20, 0x3, true, 6)
+	if a.Predict(0x10, 0x3) {
+		t.Error("agree did not learn not-taken")
+	}
+	if !a.Predict(0x20, 0x3) {
+		t.Error("agree did not learn taken")
+	}
+}
+
+func TestAgreeConvertsInterference(t *testing.T) {
+	// The defining mechanism: two same-history branches whose agree
+	// counters collide but whose BIASES match their own behaviour
+	// interfere constructively — both are predicted correctly even
+	// though they share a counter and have opposite directions.
+	a := MustAgree(4, 0, 10, 2) // tiny agreement table: collisions certain
+	// Find two addresses sharing an agreement entry.
+	var x, y uint64
+	found := false
+	for i := uint64(0); i < 256 && !found; i++ {
+		for j := i + 1; j < 256; j++ {
+			if a.fn.Index(i, 0) == a.fn.Index(j, 0) && i&a.biasMask != j&a.biasMask {
+				x, y = i, j
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no colliding pair found")
+	}
+	// x is always taken, y never: opposite directions, shared counter.
+	for i := 0; i < 50; i++ {
+		a.Update(x, 0, true)
+		a.Update(y, 0, false)
+	}
+	if !a.Predict(x, 0) || a.Predict(y, 0) {
+		t.Error("agree failed to rescue opposite-direction aliasing pair")
+	}
+	// Contrast: a plain gshare table of the same size thrashes.
+	g := NewGShare(4, 0, 2)
+	for i := 0; i < 50; i++ {
+		g.Update(x, 0, true)
+		g.Update(y, 0, false)
+	}
+	if g.Predict(x, 0) != g.Predict(y, 0) {
+		t.Error("expected the plain shared counter to give both the same prediction")
+	}
+}
+
+func TestAgreeFirstEncounterLatchesBias(t *testing.T) {
+	a := MustAgree(8, 4, 8, 2)
+	// Before any outcome: predicts taken (default bias).
+	if !a.Predict(0x5, 0) {
+		t.Error("default prediction should be taken")
+	}
+	// First outcome not-taken latches bias=false; agreement counter
+	// starts agreeing -> prediction flips to not-taken.
+	a.Update(0x5, 0, false)
+	if a.Predict(0x5, 0) {
+		t.Error("bias not latched from first outcome")
+	}
+	// The bias must NOT re-latch later.
+	train(a, 0x5, 0, true, 8)
+	if !a.Predict(0x5, 0) {
+		t.Error("agreement counter cannot express disagreement")
+	}
+	a.Update(0x5, 0, false)
+	a.Update(0x5, 0, false)
+	a.Update(0x5, 0, false)
+	if a.Predict(0x5, 0) {
+		t.Error("should disagree with taken bias now")
+	}
+}
+
+func TestAgreeMetadata(t *testing.T) {
+	a := MustAgree(12, 8, 10, 2)
+	if a.Name() != "agree" || a.HistoryBits() != 8 {
+		t.Error("metadata wrong")
+	}
+	if got := a.StorageBits(); got != 1<<12*2+2*1024 {
+		t.Errorf("StorageBits = %d", got)
+	}
+	if !strings.Contains(a.String(), "agree") {
+		t.Errorf("String = %q", a.String())
+	}
+	train(a, 9, 1, false, 4)
+	a.Reset()
+	if !a.Predict(9, 1) {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestBiModeValidation(t *testing.T) {
+	if _, err := NewBiMode(8, 4, 0, 2); err == nil {
+		t.Error("zero choice width accepted")
+	}
+	if _, err := NewBiMode(8, 4, 27, 2); err == nil {
+		t.Error("oversized choice width accepted")
+	}
+}
+
+func TestBiModeLearnsBothDirections(t *testing.T) {
+	b := MustBiMode(10, 6, 10, 2)
+	train(b, 0x10, 0x3, false, 8)
+	train(b, 0x20, 0x3, true, 8)
+	if b.Predict(0x10, 0x3) {
+		t.Error("bimode did not learn not-taken")
+	}
+	if !b.Predict(0x20, 0x3) {
+		t.Error("bimode did not learn taken")
+	}
+}
+
+func TestBiModeSeparatesOppositeBiases(t *testing.T) {
+	// Opposite-bias branches sharing a direction-table index no longer
+	// interfere: the choice table routes them to different banks.
+	b := MustBiMode(4, 0, 10, 2)
+	var x, y uint64
+	found := false
+	for i := uint64(0); i < 256 && !found; i++ {
+		for j := i + 1; j < 256; j++ {
+			if b.fn.Index(i, 0) == b.fn.Index(j, 0) && i&b.chMask != j&b.chMask {
+				x, y = i, j
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no colliding pair found")
+	}
+	for i := 0; i < 50; i++ {
+		b.Update(x, 0, true)
+		b.Update(y, 0, false)
+	}
+	if !b.Predict(x, 0) || b.Predict(y, 0) {
+		t.Error("bimode failed to separate opposite-bias aliasing pair")
+	}
+}
+
+func TestBiModeMetadata(t *testing.T) {
+	b := MustBiMode(12, 8, 10, 2)
+	if b.Name() != "bimode" || b.HistoryBits() != 8 {
+		t.Error("metadata wrong")
+	}
+	if got := b.StorageBits(); got != 2*(1<<12*2)+1024*2 {
+		t.Errorf("StorageBits = %d", got)
+	}
+	if !strings.Contains(b.String(), "bimode") {
+		t.Errorf("String = %q", b.String())
+	}
+	train(b, 9, 1, false, 6)
+	b.Reset()
+	if !b.Predict(9, 1) {
+		// After reset the choice table is weakly taken, steering to
+		// the taken bank (weakly taken): prediction taken.
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestRivalsOnBiasedPopulation(t *testing.T) {
+	// Statistical sanity: on a population of strongly-biased branches
+	// crammed into small tables, both rivals should beat a plain
+	// gshare of the same direction-table size (that is their entire
+	// point), and none should be anywhere near chance.
+	r := rng.NewXoshiro256(21)
+	type site struct {
+		addr uint64
+		p    float64
+	}
+	sites := make([]site, 400)
+	for i := range sites {
+		p := 0.95
+		if r.Bool(0.5) {
+			p = 0.05
+		}
+		sites[i] = site{addr: r.Uint64n(1 << 20), p: p}
+	}
+	run := func(p Predictor) int {
+		rr := rng.NewXoshiro256(22)
+		misses := 0
+		hist := uint64(0)
+		for i := 0; i < 80000; i++ {
+			s := sites[rr.Intn(len(sites))]
+			taken := rr.Bool(s.p)
+			if p.Predict(s.addr, hist) != taken {
+				misses++
+			}
+			p.Update(s.addr, hist, taken)
+			hist = hist<<1 | map[bool]uint64{true: 1}[taken]
+		}
+		return misses
+	}
+	gshareMisses := run(NewGShare(8, 6, 2))
+	agreeMisses := run(MustAgree(8, 6, 12, 2))
+	bimodeMisses := run(MustBiMode(8, 6, 12, 2))
+	if agreeMisses >= gshareMisses {
+		t.Errorf("agree (%d) not better than gshare (%d) under opposite-bias aliasing",
+			agreeMisses, gshareMisses)
+	}
+	if bimodeMisses >= gshareMisses {
+		t.Errorf("bimode (%d) not better than gshare (%d) under opposite-bias aliasing",
+			bimodeMisses, gshareMisses)
+	}
+}
+
+func BenchmarkAgree(b *testing.B) {
+	p := MustAgree(14, 12, 12, 2)
+	r := rng.NewXoshiro256(1)
+	addrs := make([]uint64, 1<<12)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(1<<12-1)]
+		taken := p.Predict(a, uint64(i))
+		p.Update(a, uint64(i), taken)
+	}
+}
+
+func BenchmarkBiMode(b *testing.B) {
+	p := MustBiMode(14, 12, 12, 2)
+	r := rng.NewXoshiro256(1)
+	addrs := make([]uint64, 1<<12)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(1<<12-1)]
+		taken := p.Predict(a, uint64(i))
+		p.Update(a, uint64(i), taken)
+	}
+}

@@ -1,0 +1,83 @@
+package predictor
+
+import (
+	"fmt"
+
+	"gskew/internal/counter"
+	"gskew/internal/indexfn"
+)
+
+// Single is a direct-mapped, tag-less, one-bank predictor table — the
+// standard organisation of gshare, gselect and bimodal. The index
+// function determines which scheme it implements.
+type Single struct {
+	fn    indexfn.Func
+	table *counter.Table
+}
+
+// NewSingle returns a one-bank predictor over the given index function
+// with 2^fn.Bits() counters of the given width.
+func NewSingle(fn indexfn.Func, counterBits uint) *Single {
+	return &Single{
+		fn:    fn,
+		table: counter.NewTable(1<<fn.Bits(), counterBits),
+	}
+}
+
+// NewGShare returns a 2^n-entry gshare predictor with k history bits
+// and the given counter width.
+func NewGShare(n, k, counterBits uint) *Single {
+	return NewSingle(indexfn.NewGShare(n, k), counterBits)
+}
+
+// NewGSelect returns a 2^n-entry gselect predictor with k history bits
+// and the given counter width.
+func NewGSelect(n, k, counterBits uint) *Single {
+	return NewSingle(indexfn.NewGSelect(n, k), counterBits)
+}
+
+// NewBimodal returns a 2^n-entry bimodal predictor with the given
+// counter width.
+func NewBimodal(n, counterBits uint) *Single {
+	return NewSingle(indexfn.NewBimodal(n), counterBits)
+}
+
+// Predict implements Predictor.
+func (s *Single) Predict(addr, hist uint64) bool {
+	return s.table.Predict(s.fn.Index(addr, hist))
+}
+
+// Update implements Predictor.
+func (s *Single) Update(addr, hist uint64, taken bool) {
+	s.table.Update(s.fn.Index(addr, hist), taken)
+}
+
+// Name implements Predictor.
+func (s *Single) Name() string { return s.fn.Name() }
+
+// HistoryBits implements Predictor.
+func (s *Single) HistoryBits() uint { return s.fn.HistoryBits() }
+
+// StorageBits implements Predictor.
+func (s *Single) StorageBits() int { return s.table.StorageBits() }
+
+// Reset implements Predictor.
+func (s *Single) Reset() { s.table.Reset() }
+
+// Entries returns the table size in entries.
+func (s *Single) Entries() int { return s.table.Len() }
+
+// String describes the configuration, e.g. "16k-gshare(h12,2bit)".
+func (s *Single) String() string {
+	return fmt.Sprintf("%s-%s(h%d,%dbit)",
+		fmtEntries(s.table.Len()), s.fn.Name(), s.fn.HistoryBits(), s.table.Bits())
+}
+
+// fmtEntries renders an entry count the way the paper does: "4k", "16k",
+// "256k", or plain digits below 1024.
+func fmtEntries(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%dk", n/1024)
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,225 @@
+package predictor
+
+import (
+	"fmt"
+
+	"gskew/internal/counter"
+	"gskew/internal/history"
+	"gskew/internal/indexfn"
+	"gskew/internal/skewfn"
+)
+
+// This file implements the per-address two-level schemes the paper's
+// future-work section points at ("the same technique could be applied
+// to remove aliasing in other prediction methods, including
+// per-address history schemes"): a PAs predictor (Yeh/Patt) and its
+// skewed counterpart.
+//
+// A PAs predictor keeps a first-level table of per-branch history
+// registers (indexed by low address bits) and a second-level table of
+// counters indexed by the concatenation of address bits and the
+// selected local history. Aliasing arises in both levels; skewing the
+// second level removes its conflict component exactly as gskewed does
+// for global schemes.
+
+// PAs is a two-level per-address predictor. Unlike the global schemes,
+// it ignores the runner-provided global history and maintains local
+// histories internally (updated only by the branches that own them).
+type PAs struct {
+	bht     *history.PerAddress
+	pht     *counter.Table
+	phtBits uint
+	localK  uint
+	addrSel uint // address bits used in the PHT index
+}
+
+// NewPAs returns a PAs predictor with 2^bhtBits local history
+// registers of localK bits each, and a 2^phtBits-entry second-level
+// counter table of ctrBits-wide cells. The PHT index is the
+// concatenation of (phtBits - localK) address bits (low) and the
+// localK history bits (high), the GAs/PAs layout of Yeh and Patt.
+func NewPAs(bhtBits, localK, phtBits, ctrBits uint) (*PAs, error) {
+	if localK > phtBits {
+		return nil, fmt.Errorf("predictor: local history %d exceeds PHT index %d", localK, phtBits)
+	}
+	if phtBits < 1 || phtBits > 26 {
+		return nil, fmt.Errorf("predictor: PHT index width %d out of range [1,26]", phtBits)
+	}
+	if ctrBits == 0 {
+		ctrBits = 2
+	}
+	return &PAs{
+		bht:     history.NewPerAddress(bhtBits, localK),
+		pht:     counter.NewTable(1<<phtBits, ctrBits),
+		phtBits: phtBits,
+		localK:  localK,
+		addrSel: phtBits - localK,
+	}, nil
+}
+
+// MustPAs is NewPAs, panicking on configuration errors.
+func MustPAs(bhtBits, localK, phtBits, ctrBits uint) *PAs {
+	p, err := NewPAs(bhtBits, localK, phtBits, ctrBits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *PAs) index(addr uint64) uint64 {
+	local := p.bht.Bits(addr)
+	a := addr & (uint64(1)<<p.addrSel - 1)
+	return (local << p.addrSel) | a
+}
+
+// Predict implements Predictor. The global history argument is unused;
+// PAs is a per-address scheme.
+func (p *PAs) Predict(addr, _ uint64) bool {
+	return p.pht.Predict(p.index(addr))
+}
+
+// Update implements Predictor: trains the counter, then shifts the
+// branch's local history.
+func (p *PAs) Update(addr, _ uint64, taken bool) {
+	p.pht.Update(p.index(addr), taken)
+	p.bht.Shift(addr, taken)
+}
+
+// Name implements Predictor.
+func (p *PAs) Name() string { return "pas" }
+
+// HistoryBits implements Predictor. PAs consumes no global history.
+func (p *PAs) HistoryBits() uint { return 0 }
+
+// LocalHistoryBits returns the per-branch history length.
+func (p *PAs) LocalHistoryBits() uint { return p.localK }
+
+// StorageBits implements Predictor: PHT counters plus BHT registers.
+func (p *PAs) StorageBits() int {
+	return p.pht.StorageBits() + p.bht.Tables()*int(p.localK)
+}
+
+// Reset implements Predictor.
+func (p *PAs) Reset() {
+	p.pht.Reset()
+	p.bht.Reset()
+}
+
+// String describes the configuration.
+func (p *PAs) String() string {
+	return fmt.Sprintf("%s-pas(bht%d,l%d,%dbit)",
+		fmtEntries(p.pht.Len()), p.bht.Tables(), p.localK, p.pht.Bits())
+}
+
+// SkewedPAs applies the paper's skewing technique to the second level
+// of a per-address scheme: three PHT banks indexed by f0/f1/f2 of the
+// (address, local history) vector, majority-voted, partial update —
+// the future-work experiment of section 7.
+type SkewedPAs struct {
+	bht    *history.PerAddress
+	banks  []*counter.Table
+	skew   *skewfn.Skewer
+	localK uint
+	policy UpdatePolicy
+
+	idx   []uint64
+	preds []bool
+}
+
+// NewSkewedPAs returns a 3-bank skewed per-address predictor with
+// 2^bhtBits local registers of localK bits and banks of 2^bankBits
+// counters of ctrBits width.
+func NewSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) (*SkewedPAs, error) {
+	if bankBits < skewfn.MinBits || bankBits > skewfn.MaxBits {
+		return nil, fmt.Errorf("predictor: bank index width %d out of range", bankBits)
+	}
+	if ctrBits == 0 {
+		ctrBits = 2
+	}
+	s := &SkewedPAs{
+		bht:    history.NewPerAddress(bhtBits, localK),
+		skew:   skewfn.New(bankBits),
+		localK: localK,
+		policy: policy,
+		idx:    make([]uint64, 3),
+		preds:  make([]bool, 3),
+	}
+	for i := 0; i < 3; i++ {
+		s.banks = append(s.banks, counter.NewTable(1<<bankBits, ctrBits))
+	}
+	return s, nil
+}
+
+// MustSkewedPAs is NewSkewedPAs, panicking on configuration errors.
+func MustSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) *SkewedPAs {
+	p, err := NewSkewedPAs(bhtBits, localK, bankBits, ctrBits, policy)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (s *SkewedPAs) indices(addr uint64) {
+	v := indexfn.Vector(addr, s.bht.Bits(addr), s.localK)
+	s.skew.Indices(s.idx, v)
+}
+
+func (s *SkewedPAs) vote() bool {
+	ayes := 0
+	for k, bank := range s.banks {
+		p := bank.Predict(s.idx[k])
+		s.preds[k] = p
+		if p {
+			ayes++
+		}
+	}
+	return ayes >= 2
+}
+
+// Predict implements Predictor (global history unused).
+func (s *SkewedPAs) Predict(addr, _ uint64) bool {
+	s.indices(addr)
+	return s.vote()
+}
+
+// Update implements Predictor.
+func (s *SkewedPAs) Update(addr, _ uint64, taken bool) {
+	s.indices(addr)
+	overall := s.vote()
+	for k, bank := range s.banks {
+		if s.policy == PartialUpdate && overall == taken && s.preds[k] != taken {
+			continue
+		}
+		bank.Update(s.idx[k], taken)
+	}
+	s.bht.Shift(addr, taken)
+}
+
+// Name implements Predictor.
+func (s *SkewedPAs) Name() string { return "skewed-pas" }
+
+// HistoryBits implements Predictor (no global history).
+func (s *SkewedPAs) HistoryBits() uint { return 0 }
+
+// StorageBits implements Predictor.
+func (s *SkewedPAs) StorageBits() int {
+	total := s.bht.Tables() * int(s.localK)
+	for _, b := range s.banks {
+		total += b.StorageBits()
+	}
+	return total
+}
+
+// Reset implements Predictor.
+func (s *SkewedPAs) Reset() {
+	for _, b := range s.banks {
+		b.Reset()
+	}
+	s.bht.Reset()
+}
+
+// String describes the configuration.
+func (s *SkewedPAs) String() string {
+	return fmt.Sprintf("3x%s-skewed-pas(bht%d,l%d,%dbit,%s)",
+		fmtEntries(s.banks[0].Len()), s.bht.Tables(), s.localK, s.banks[0].Bits(), s.policy)
+}

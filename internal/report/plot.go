@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls ASCII rendering of a Figure.
+type PlotOptions struct {
+	// Width is the plot-area width in columns (default 60).
+	Width int
+	// Height is the plot-area height in rows (default 16).
+	Height int
+}
+
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// WritePlot renders the figure as an ASCII chart: x positions spread
+// uniformly across the width (the paper's figures use logarithmic size
+// axes, which uniform category spacing matches), y scaled to the data
+// range, one mark per series with a legend underneath.
+func (f *Figure) WritePlot(w io.Writer, opts PlotOptions) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if opts.Width <= 0 {
+		opts.Width = 60
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, y := range s.Ys {
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("report: figure %q has no data", f.Title)
+	}
+	if hi == lo {
+		hi = lo + 1 // flat data: give the axis some room
+	}
+	// Pad the range slightly so extremes don't sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo -= pad
+	hi += pad
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	n := f.xCount()
+	xcol := func(i int) int {
+		if n == 1 {
+			return opts.Width / 2
+		}
+		return i * (opts.Width - 1) / (n - 1)
+	}
+	yrow := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round(float64(opts.Height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= opts.Height {
+			r = opts.Height - 1
+		}
+		return r
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, y := range s.Ys {
+			grid[yrow(y)][xcol(i)] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", f.Title)
+	}
+	yLabelW := 8
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%*.2f |%s\n", yLabelW, hi, string(row))
+		case opts.Height - 1:
+			fmt.Fprintf(&sb, "%*.2f |%s\n", yLabelW, lo, string(row))
+		default:
+			fmt.Fprintf(&sb, "%*s |%s\n", yLabelW, "", string(row))
+		}
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelW+1))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", opts.Width))
+	sb.WriteByte('\n')
+
+	// X-axis endpoint labels.
+	left, right := f.xName(0), f.xName(n-1)
+	gap := opts.Width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&sb, "%*s %s%s%s  (%s)\n", yLabelW+1, "", left, strings.Repeat(" ", gap), right, f.XLabel)
+
+	// Legend.
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "%*s %c %s\n", yLabelW+1, "", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// xName returns the label of the i-th x position.
+func (f *Figure) xName(i int) string {
+	if len(f.XNames) > 0 {
+		return f.XNames[i]
+	}
+	return formatX(f.Xs[i])
+}

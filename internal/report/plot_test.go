@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFigure() *Figure {
+	f := NewFigure("Miss rates", "entries", "miss%")
+	f.Xs = []float64{1024, 4096, 16384}
+	f.AddSeries("gshare", []float64{8, 6, 5})
+	f.AddSeries("gskewed", []float64{7.5, 5.5, 4.9})
+	return f
+}
+
+func TestWritePlotBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := plotFigure().WritePlot(&sb, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Miss rates", "gshare", "gskewed", "1k", "16k", "entries", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Default height: 16 plot rows + frame + labels + legend.
+	if lines := strings.Count(out, "\n"); lines < 19 {
+		t.Errorf("plot has %d lines, expected >= 19:\n%s", lines, out)
+	}
+}
+
+func TestWritePlotMarkPositions(t *testing.T) {
+	// Monotone-decreasing data: the first series' mark in the first
+	// column must be higher (smaller row index) than in the last.
+	f := NewFigure("t", "x", "y")
+	f.Xs = []float64{0, 1}
+	f.AddSeries("s", []float64{10, 0})
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, PlotOptions{Width: 21, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if idx := strings.IndexByte(line, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow >= lastRow {
+		t.Errorf("marks not positioned by value: first=%d last=%d\n%s", firstRow, lastRow, sb.String())
+	}
+}
+
+func TestWritePlotFlatSeries(t *testing.T) {
+	f := NewFigure("flat", "x", "y")
+	f.Xs = []float64{1, 2, 3}
+	f.AddSeries("c", []float64{5, 5, 5})
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, PlotOptions{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("flat series not plotted")
+	}
+}
+
+func TestWritePlotSinglePoint(t *testing.T) {
+	f := NewFigure("one", "x", "y")
+	f.Xs = []float64{42}
+	f.AddSeries("s", []float64{1})
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, PlotOptions{Width: 20, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePlotInvalidFigure(t *testing.T) {
+	f := NewFigure("bad", "x", "y")
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, PlotOptions{}); err == nil {
+		t.Error("invalid figure plotted")
+	}
+}
+
+func TestWritePlotCategoricalAxis(t *testing.T) {
+	f := NewFigure("cat", "benchmark", "miss%")
+	f.XNames = []string{"groff", "verilog"}
+	f.AddSeries("s", []float64{3, 4})
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, PlotOptions{Width: 30, Height: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "groff") || !strings.Contains(sb.String(), "verilog") {
+		t.Errorf("categorical labels missing:\n%s", sb.String())
+	}
+}
+
+func TestWritePlotManySeries(t *testing.T) {
+	// More series than distinct marks: must cycle without panicking.
+	f := NewFigure("many", "x", "y")
+	f.Xs = []float64{1, 2}
+	for i := 0; i < 10; i++ {
+		f.AddSeries(strings.Repeat("s", i+1), []float64{float64(i), float64(i + 1)})
+	}
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, PlotOptions{Width: 20, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package report renders experiment results as aligned text tables,
+// CSV and Markdown, and represents the x/y series behind the paper's
+// figures. Experiments produce report values; the cmd tools choose a
+// renderer.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple rectangular result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Cells are formatted with %v; float64 values
+// are rendered with 2 decimal places and float64 percentages should be
+// pre-formatted by the caller if other precision is needed.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'f', 2, 64)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteText renders an aligned plain-text table.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (RFC-4180 quoting for cells that
+// need it).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteMarkdown renders the table as a GitHub-flavoured Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Series is one named line of a figure: y values sampled at shared x
+// positions (managed by Figure).
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Figure is a set of series over a common x axis — the shape behind
+// each of the paper's plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	XNames []string // optional: categorical x labels (e.g. benchmark names)
+	Series []Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a named series; its length must match Xs/XNames.
+func (f *Figure) AddSeries(name string, ys []float64) *Figure {
+	f.Series = append(f.Series, Series{Name: name, Ys: ys})
+	return f
+}
+
+// xCount returns the number of x positions.
+func (f *Figure) xCount() int {
+	if len(f.XNames) > 0 {
+		return len(f.XNames)
+	}
+	return len(f.Xs)
+}
+
+// Validate checks that all series lengths match the x axis.
+func (f *Figure) Validate() error {
+	n := f.xCount()
+	if n == 0 {
+		return fmt.Errorf("report: figure %q has no x axis", f.Title)
+	}
+	for _, s := range f.Series {
+		if len(s.Ys) != n {
+			return fmt.Errorf("report: figure %q: series %q has %d points, x axis has %d",
+				f.Title, s.Name, len(s.Ys), n)
+		}
+	}
+	return nil
+}
+
+// Table converts the figure to a Table: one row per x position, one
+// column per series.
+func (f *Figure) Table() *Table {
+	cols := append([]string{f.XLabel}, make([]string, 0, len(f.Series))...)
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	for i := 0; i < f.xCount(); i++ {
+		row := make([]any, 0, len(f.Series)+1)
+		if len(f.XNames) > 0 {
+			row = append(row, f.XNames[i])
+		} else {
+			row = append(row, formatX(f.Xs[i]))
+		}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.3f", s.Ys[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// formatX renders an x value: integers without decimals, powers of two
+// >= 1024 in "4k" style.
+func formatX(x float64) string {
+	if x == float64(int64(x)) {
+		n := int64(x)
+		if n >= 1024 && n%1024 == 0 {
+			return fmt.Sprintf("%dk", n/1024)
+		}
+		return strconv.FormatInt(n, 10)
+	}
+	return strconv.FormatFloat(x, 'g', 4, 64)
+}
+
+// WriteText renders the figure as an aligned table.
+func (f *Figure) WriteText(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	return f.Table().WriteText(w)
+}
+
+// WriteCSV renders the figure's data as CSV.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	return f.Table().WriteCSV(w)
+}

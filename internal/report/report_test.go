@@ -1,0 +1,161 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("Results", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 42)
+	var sb strings.Builder
+	if err := tab.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Results", "name", "value", "alpha", "1.50", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "alpha" and "b" rows start at column 0; the value
+	// column starts at the same offset in both rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last2 := lines[len(lines)-2:]
+	if strings.Index(last2[0], "1.50") != strings.Index(last2[1], "42") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("plain", `quo"te`)
+	tab.AddRow("with,comma", "x")
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\nplain,\"quo\"\"te\"\n\"with,comma\",x\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("T", "x", "y")
+	tab.AddRow(1, 2)
+	var sb strings.Builder
+	if err := tab.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### T", "| x | y |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableStringerCells(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(stringer{})
+	if tab.Rows[0][0] != "custom" {
+		t.Errorf("Stringer cell = %q", tab.Rows[0][0])
+	}
+}
+
+type stringer struct{}
+
+func (stringer) String() string { return "custom" }
+
+func TestFigureValidate(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	if err := f.Validate(); err == nil {
+		t.Error("empty figure validated")
+	}
+	f.Xs = []float64{1, 2, 3}
+	f.AddSeries("s1", []float64{1, 2, 3})
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid figure rejected: %v", err)
+	}
+	f.AddSeries("bad", []float64{1})
+	if err := f.Validate(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Miss rates", "entries", "miss%")
+	f.Xs = []float64{1024, 4096}
+	f.AddSeries("gshare", []float64{5.5, 4.25})
+	f.AddSeries("gskewed", []float64{4.75, 3.5})
+	tab := f.Table()
+	if len(tab.Rows) != 2 || len(tab.Columns) != 3 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	if tab.Rows[0][0] != "1k" || tab.Rows[1][0] != "4k" {
+		t.Errorf("x formatting: %v", tab.Rows)
+	}
+	if tab.Rows[0][1] != "5.500" {
+		t.Errorf("y formatting: %v", tab.Rows[0])
+	}
+}
+
+func TestFigureCategoricalX(t *testing.T) {
+	f := NewFigure("per-benchmark", "benchmark", "miss%")
+	f.XNames = []string{"groff", "gs"}
+	f.AddSeries("gshare", []float64{3.1, 4.2})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tab := f.Table()
+	if tab.Rows[0][0] != "groff" {
+		t.Errorf("categorical x lost: %v", tab.Rows)
+	}
+	var sb strings.Builder
+	if err := f.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "groff") {
+		t.Error("WriteText lost categorical x")
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	f.Xs = []float64{0.5}
+	f.AddSeries("s", []float64{1})
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.5") {
+		t.Errorf("CSV = %q", sb.String())
+	}
+	bad := NewFigure("fig", "x", "y")
+	if err := bad.WriteCSV(&sb); err == nil {
+		t.Error("invalid figure written")
+	}
+	if err := bad.WriteText(&sb); err == nil {
+		t.Error("invalid figure written as text")
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		12:     "12",
+		1024:   "1k",
+		4096:   "4k",
+		1536:   "1536",
+		262144: "256k",
+		0.25:   "0.25",
+	}
+	for in, want := range cases {
+		if got := formatX(in); got != want {
+			t.Errorf("formatX(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package sim drives predictors over branch traces and aggregates
+// misprediction statistics, implementing the paper's measurement
+// methodology: the global-history register includes unconditional
+// branches; only conditional branches are predicted and counted; and
+// (optionally, for ideal-table experiments) first uses of a substream
+// are excluded from the misprediction count.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"gskew/internal/history"
+	"gskew/internal/predictor"
+	"gskew/internal/trace"
+)
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Conditionals is the number of conditional branches predicted.
+	Conditionals int
+	// Mispredicts is the number of counted mispredictions.
+	Mispredicts int
+	// FirstUses is the number of conditional references excluded from
+	// counting because the predictor had never seen the substream
+	// (only nonzero when SkipFirstUse is set and the predictor tracks
+	// first uses).
+	FirstUses int
+	// Unconditionals is the number of history-only events processed.
+	Unconditionals int
+	// Flushes is how many times the predictor state was flushed
+	// (see Options.FlushEvery).
+	Flushes int
+}
+
+// MissRate returns mispredictions per counted conditional branch.
+// Following the paper's Table 2 accounting, excluded first uses stay
+// in the denominator (they are dynamic conditional branches that were
+// not counted as mispredictions).
+func (r Result) MissRate() float64 {
+	if r.Conditionals == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Conditionals)
+}
+
+// MissPercent returns MissRate x 100, as the paper's figures plot.
+func (r Result) MissPercent() float64 { return 100 * r.MissRate() }
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("cond=%d mispred=%d (%.2f%%)", r.Conditionals, r.Mispredicts, r.MissPercent())
+}
+
+// Options adjusts a run.
+type Options struct {
+	// SkipFirstUse excludes first-time (address, history) references
+	// from the misprediction count, if the predictor implements
+	// predictor.FirstUseTracker. Used for unaliased-table experiments
+	// (Table 2) per the paper's methodology.
+	SkipFirstUse bool
+	// HistoryBits overrides the history register length. Zero means
+	// use the predictor's own HistoryBits.
+	HistoryBits uint
+	// FlushEvery, when positive, resets the predictor (and the history
+	// register) every FlushEvery conditional branches — modelling the
+	// total predictor-state loss of a context switch in a processor
+	// that does not preserve predictor state across processes (the
+	// regime studied by Evers et al., the paper's reference [4]).
+	FlushEvery int
+}
+
+// Run streams src through p and returns the aggregate result. The
+// history register is owned by the runner so that every predictor
+// organisation observes the identical stream.
+func Run(src trace.Source, p predictor.Predictor, opts Options) (Result, error) {
+	k := opts.HistoryBits
+	if k == 0 {
+		k = p.HistoryBits()
+	}
+	ghr := history.NewGlobal(k)
+	tracker, trackFirst := p.(predictor.FirstUseTracker)
+	trackFirst = trackFirst && opts.SkipFirstUse
+
+	var res Result
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("sim: reading trace: %w", err)
+		}
+		switch b.Kind {
+		case trace.Conditional:
+			if opts.FlushEvery > 0 && res.Conditionals > 0 && res.Conditionals%opts.FlushEvery == 0 {
+				p.Reset()
+				ghr.Reset()
+				res.Flushes++
+			}
+			res.Conditionals++
+			hist := ghr.Bits()
+			counted := true
+			if trackFirst && !tracker.Seen(b.PC, hist) {
+				res.FirstUses++
+				counted = false
+			}
+			if counted && p.Predict(b.PC, hist) != b.Taken {
+				res.Mispredicts++
+			}
+			p.Update(b.PC, hist, b.Taken)
+			ghr.Shift(b.Taken)
+		case trace.Unconditional:
+			res.Unconditionals++
+			ghr.Shift(true)
+		default:
+			return res, fmt.Errorf("sim: unknown branch kind %d", b.Kind)
+		}
+	}
+}
+
+// RunBranches is Run over an in-memory trace.
+func RunBranches(branches []trace.Branch, p predictor.Predictor, opts Options) (Result, error) {
+	return Run(trace.NewSliceSource(branches), p, opts)
+}
+
+// Compare runs the same in-memory trace through several predictors and
+// returns per-predictor results in order. Each predictor gets a fresh
+// pass over the trace with its own history register length.
+func Compare(branches []trace.Branch, preds []predictor.Predictor, opts Options) ([]Result, error) {
+	results := make([]Result, len(preds))
+	for i, p := range preds {
+		r, err := RunBranches(branches, p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sim: predictor %s: %w", p.Name(), err)
+		}
+		results[i] = r
+	}
+	return results, nil
+}

@@ -1,0 +1,321 @@
+package skewfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refH is a bit-level transliteration of the paper's definition of H,
+// used as an oracle: H(y_n, ..., y_1) = (y_n^y_1, y_n, y_{n-1}, ..., y_2).
+func refH(y uint64, n uint) uint64 {
+	bit := func(i uint) uint64 { return (y >> (i - 1)) & 1 } // y_i, 1-indexed
+	var out uint64
+	// Output MSB (position n-1 in 0-indexed terms) is y_n ^ y_1.
+	out |= (bit(n) ^ bit(1)) << (n - 1)
+	// Remaining output bits, from position n-2 down to 0, are
+	// y_n, y_{n-1}, ..., y_2.
+	for i := uint(0); i < n-1; i++ {
+		out |= bit(n-i) << (n - 2 - i)
+	}
+	return out
+}
+
+func TestHMatchesPaperDefinition(t *testing.T) {
+	for _, n := range []uint{2, 3, 4, 5, 8, 10} {
+		s := New(n)
+		for y := uint64(0); y < 1<<n; y++ {
+			if got, want := s.H(y), refH(y, n); got != want {
+				t.Fatalf("n=%d: H(%0*b) = %0*b, want %0*b", n, n, y, n, got, n, want)
+			}
+		}
+	}
+}
+
+func TestHBijectiveExhaustive(t *testing.T) {
+	for _, n := range []uint{2, 3, 4, 6, 8, 12} {
+		s := New(n)
+		seen := make([]bool, 1<<n)
+		for y := uint64(0); y < 1<<n; y++ {
+			h := s.H(y)
+			if h >= 1<<n {
+				t.Fatalf("n=%d: H(%d) = %d out of range", n, y, h)
+			}
+			if seen[h] {
+				t.Fatalf("n=%d: H not injective at %d", n, y)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestHinvInvertsH(t *testing.T) {
+	s := New(20)
+	f := func(y uint64) bool {
+		y &= s.Mask()
+		return s.Hinv(s.H(y)) == y && s.H(s.Hinv(y)) == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHinvInvertsHAllWidths(t *testing.T) {
+	for n := uint(MinBits); n <= 16; n++ {
+		s := New(n)
+		for y := uint64(0); y < 1<<n; y++ {
+			if s.Hinv(s.H(y)) != y {
+				t.Fatalf("n=%d: Hinv(H(%d)) = %d", n, y, s.Hinv(s.H(y)))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, n := range []uint{0, 1, 31, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	s := New(10)
+	f := func(v uint64) bool {
+		v3, v2, v1 := s.Split(v)
+		return v == (v3<<20)|(v2<<10)|v1 && v1 < 1<<10 && v2 < 1<<10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndicesInRange(t *testing.T) {
+	s := New(12)
+	idx := make([]uint64, 7)
+	f := func(v uint64) bool {
+		s.Indices(idx, v)
+		for _, i := range idx {
+			if i > s.Mask() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexPanicsOnNegativeBank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Index(-1, v) did not panic")
+		}
+	}()
+	New(8).Index(-1, 0)
+}
+
+// TestEqualV2NeverCollides verifies the strongest exact dispersion
+// property of the family: two vectors with the same V2 but different V1
+// never collide in bank 0 or bank 2, because those indices reduce to a
+// bijection of V1 XORed with a V2-dependent constant.
+func TestEqualV2NeverCollides(t *testing.T) {
+	for _, n := range []uint{2, 3, 4, 5, 6} {
+		s := New(n)
+		for v2 := uint64(0); v2 < 1<<n; v2++ {
+			seen0 := make(map[uint64]bool)
+			seen2 := make(map[uint64]bool)
+			for v1 := uint64(0); v1 < 1<<n; v1++ {
+				v := (v2 << n) | v1
+				if i0 := s.F0(v); seen0[i0] {
+					t.Fatalf("n=%d v2=%d: F0 collision within equal-V2 family", n, v2)
+				} else {
+					seen0[i0] = true
+				}
+				if i2 := s.F2(v); seen2[i2] {
+					t.Fatalf("n=%d v2=%d: F2 collision within equal-V2 family", n, v2)
+				} else {
+					seen2[i2] = true
+				}
+			}
+		}
+	}
+}
+
+// TestEqualV1NeverCollidesF1F2 is the symmetric property for vectors
+// sharing V1: F1 reduces to Hinv(V2) ^ V2 ^ const and F2 to
+// H(V2) ^ V2 ^ const, both of which are bijections of V2 whenever
+// (I + H) is invertible over GF(2). The test first determines whether
+// (I + H) is invertible for the width under test and only then asserts
+// collision-freedom, so it documents exactly when the property holds.
+func TestEqualV1NeverCollidesF1F2(t *testing.T) {
+	for _, n := range []uint{2, 3, 4, 5, 6, 7, 8} {
+		s := New(n)
+		injectiveXorH := true
+		seen := make(map[uint64]bool)
+		for y := uint64(0); y < 1<<n; y++ {
+			x := y ^ s.H(y)
+			if seen[x] {
+				injectiveXorH = false
+				break
+			}
+			seen[x] = true
+		}
+		if !injectiveXorH {
+			t.Logf("n=%d: y^H(y) not injective; skipping exactness assertion", n)
+			continue
+		}
+		for v1 := uint64(0); v1 < 1<<n; v1++ {
+			seen2 := make(map[uint64]bool)
+			for v2 := uint64(0); v2 < 1<<n; v2++ {
+				v := (v2 << n) | v1
+				if i2 := s.F2(v); seen2[i2] {
+					t.Fatalf("n=%d v1=%d: F2 collision within equal-V1 family", n, v1)
+				} else {
+					seen2[i2] = true
+				}
+			}
+		}
+	}
+}
+
+// TestDispersion quantifies the paper's core claim: pairs of vectors
+// that conflict in one bank rarely conflict in another. For n=4 we
+// enumerate all pairs of 8-bit (V2,V1) combinations and require that
+// multi-bank collisions are at least 10x rarer than single-bank ones.
+func TestDispersion(t *testing.T) {
+	const n = 4
+	s := New(n)
+	total := uint64(1) << (2 * n)
+	single, multi := 0, 0
+	for v := uint64(0); v < total; v++ {
+		for w := v + 1; w < total; w++ {
+			c := 0
+			if s.F0(v) == s.F0(w) {
+				c++
+			}
+			if s.F1(v) == s.F1(w) {
+				c++
+			}
+			if s.F2(v) == s.F2(w) {
+				c++
+			}
+			if c >= 1 {
+				single++
+			}
+			if c >= 2 {
+				multi++
+			}
+		}
+	}
+	if single == 0 {
+		t.Fatal("no collisions at all; test misconfigured")
+	}
+	if ratio := float64(multi) / float64(single); ratio > 0.1 {
+		t.Errorf("multi-bank collision ratio = %.3f (multi=%d, single=%d); dispersion too weak",
+			ratio, multi, single)
+	}
+}
+
+// TestBanksAreDistinctFunctions checks that no two of the first seven
+// bank index functions are identical, which would silently reduce the
+// effective associativity of a multi-bank predictor.
+func TestBanksAreDistinctFunctions(t *testing.T) {
+	s := New(6)
+	const banks = 7
+	for a := 0; a < banks; a++ {
+		for b := a + 1; b < banks; b++ {
+			identical := true
+			for v := uint64(0); v < 1<<12; v++ {
+				if s.Index(a, v) != s.Index(b, v) {
+					identical = false
+					break
+				}
+			}
+			if identical {
+				t.Errorf("bank functions %d and %d are identical", a, b)
+			}
+		}
+	}
+}
+
+// TestHigherBanksDisperse applies the same multi-bank collision bound
+// to the extended 5-bank family.
+func TestHigherBanksDisperse(t *testing.T) {
+	const n = 4
+	s := New(n)
+	total := uint64(1) << (2 * n)
+	idxV := make([]uint64, 5)
+	idxW := make([]uint64, 5)
+	single, multi := 0, 0
+	for v := uint64(0); v < total; v++ {
+		s.Indices(idxV, v)
+		for w := v + 1; w < total; w++ {
+			s.Indices(idxW, w)
+			c := 0
+			for k := 0; k < 5; k++ {
+				if idxV[k] == idxW[k] {
+					c++
+				}
+			}
+			if c >= 1 {
+				single++
+			}
+			if c >= 3 { // majority of 5
+				multi++
+			}
+		}
+	}
+	if single == 0 {
+		t.Fatal("no collisions at all; test misconfigured")
+	}
+	if ratio := float64(multi) / float64(single); ratio > 0.05 {
+		t.Errorf("5-bank majority-collision ratio = %.3f; dispersion too weak", ratio)
+	}
+}
+
+// TestUniformity checks that each index function spreads a linear ramp
+// of vectors evenly across the bank (chi-squared on bucket counts).
+func TestUniformity(t *testing.T) {
+	const n = 8
+	s := New(n)
+	const samples = 1 << 16
+	for k := 0; k < 3; k++ {
+		counts := make([]int, 1<<n)
+		for v := uint64(0); v < samples; v++ {
+			counts[s.Index(k, v)]++
+		}
+		expected := float64(samples) / (1 << n)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 255 degrees of freedom; 99.99th percentile is ~ 350.
+		if chi2 > 350 {
+			t.Errorf("bank %d: chi2 = %.1f over linear ramp; distribution too uneven", k, chi2)
+		}
+	}
+}
+
+func BenchmarkF0(b *testing.B) {
+	s := New(14)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.F0(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkIndices3(b *testing.B) {
+	s := New(14)
+	idx := make([]uint64, 3)
+	for i := 0; i < b.N; i++ {
+		s.Indices(idx, uint64(i)*0x9e3779b97f4a7c15)
+	}
+}

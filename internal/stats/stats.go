@@ -1,0 +1,115 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness needs: means, standard deviations, confidence
+// intervals over seed replicates, and paired comparisons. It exists so
+// variance studies (does a conclusion survive workload-seed noise?)
+// are first-class rather than eyeballed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of replicate measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values by degrees
+// of freedom (1-30); beyond 30 the normal approximation 1.96 is used.
+var tCritical95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean (Student-t). Zero for samples of size 1.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	df := s.N - 1
+	t := 1.96
+	if df <= len(tCritical95) {
+		t = tCritical95[df-1]
+	}
+	return t * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95 [min, max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f] (n=%d)", s.Mean, s.CI95(), s.Min, s.Max, s.N)
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// PairedDelta summarises the per-replicate differences a[i] - b[i] of
+// two paired samples (same seeds, two predictors). Returned Summary
+// describes the deltas; a CI95 excluding zero means the difference is
+// significant at the 5% level.
+func PairedDelta(a, b []float64) (Summary, error) {
+	if len(a) != len(b) {
+		return Summary{}, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty paired samples")
+	}
+	deltas := make([]float64, len(a))
+	for i := range a {
+		deltas[i] = a[i] - b[i]
+	}
+	return Summarize(deltas), nil
+}
+
+// SignificantlyDifferent reports whether the paired difference between
+// a and b is significant at the 5% level (its 95% CI excludes zero).
+func SignificantlyDifferent(a, b []float64) (bool, error) {
+	d, err := PairedDelta(a, b)
+	if err != nil {
+		return false, err
+	}
+	ci := d.CI95()
+	return d.Mean-ci > 0 || d.Mean+ci < 0, nil
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gskew/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	// Sample stddev of this classic sample is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); !almostEqual(s.StdDev, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Errorf("single-sample summary: %+v ci=%v", s, s.CI95())
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=5, stddev=1: ci = 2.776 / sqrt(5).
+	s := Summary{N: 5, StdDev: 1}
+	if want := 2.776 / math.Sqrt(5); !almostEqual(s.CI95(), want, 1e-9) {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+	// Large n approaches the normal value.
+	s = Summary{N: 400, StdDev: 1}
+	if want := 1.96 / 20; !almostEqual(s.CI95(), want, 1e-9) {
+		t.Errorf("large-n CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical coverage check: the 95% CI of the mean of n=10 normal
+	// samples should contain the true mean ~95% of the time.
+	r := rng.NewXoshiro256(42)
+	gauss := func() float64 {
+		// Box-Muller from two uniforms.
+		u1, u2 := r.Float64(), r.Float64()
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+	const trials = 4000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = 5 + 2*gauss()
+		}
+		s := Summarize(xs)
+		ci := s.CI95()
+		if s.Mean-ci <= 5 && 5 <= s.Mean+ci {
+			covered++
+		}
+	}
+	cov := float64(covered) / trials
+	if cov < 0.93 || cov > 0.97 {
+		t.Errorf("CI95 empirical coverage = %.3f, want ~0.95", cov)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("even median")
+	}
+	// Median must not mutate its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Median(nil) did not panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestPairedDelta(t *testing.T) {
+	a := []float64{5, 6, 7}
+	b := []float64{4, 5, 6}
+	d, err := PairedDelta(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean != 1 || d.StdDev != 0 {
+		t.Errorf("delta = %+v", d)
+	}
+	if _, err := PairedDelta(a, b[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedDelta(nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestSignificantlyDifferent(t *testing.T) {
+	// Constant positive difference: trivially significant.
+	a := []float64{5, 6, 7, 8}
+	b := []float64{4, 5, 6, 7}
+	sig, err := SignificantlyDifferent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig {
+		t.Error("constant difference not significant")
+	}
+	// Symmetric noise: not significant.
+	c := []float64{1, -1, 1, -1, 1, -1}
+	zero := []float64{0, 0, 0, 0, 0, 0}
+	sig, err = SignificantlyDifferent(c, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig {
+		t.Error("zero-mean noise reported significant")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if out := s.String(); !strings.Contains(out, "n=3") || !strings.Contains(out, "2.000") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadText ensures the text parser never panics on arbitrary
+// input, and that anything it accepts round-trips losslessly.
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("1a T c\n2b N c\nff T u\n"))
+	f.Add([]byte("# comment\n\n0 N c\n"))
+	f.Add([]byte("zz T c\n"))
+	f.Add([]byte("1a T\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		branches, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip exactly.
+		var out bytes.Buffer
+		if err := WriteText(&out, NewSliceSource(branches)); err != nil {
+			t.Fatalf("WriteText failed on accepted input: %v", err)
+		}
+		again, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(branches) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(again), len(branches))
+		}
+		for i := range branches {
+			if again[i] != branches[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, again[i], branches[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader ensures the binary decoder never panics on
+// arbitrary bytes: it must either produce records or return an error.
+func FuzzBinaryReader(f *testing.F) {
+	// A valid little trace as one seed.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Branch{PC: 0x100, Taken: true, Kind: Conditional})
+	w.Write(Branch{PC: 0x104, Taken: true, Kind: Unconditional})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("GSKT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			b, err := r.Next()
+			if err != nil {
+				return // io.EOF or a decode error: both fine
+			}
+			if b.Kind > Unconditional {
+				t.Fatalf("decoder produced invalid kind %d", b.Kind)
+			}
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip checks arbitrary records encode and decode
+// losslessly.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1234), true, false)
+	f.Add(uint64(0), false, false)
+	f.Add(^uint64(0), true, true)
+	f.Fuzz(func(t *testing.T, pc uint64, taken, uncond bool) {
+		in := Branch{PC: pc, Taken: taken, Kind: Conditional}
+		if uncond {
+			in.Kind = Unconditional
+			in.Taken = true
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != in {
+			t.Fatalf("round trip: got %+v, want %+v", got, in)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("trailing read error = %v, want EOF", err)
+		}
+	})
+}

@@ -1,0 +1,351 @@
+// Package trace defines the branch-trace representation shared by the
+// workload generators, the predictors and the experiment harness, plus
+// binary and text codecs for storing traces on disk.
+//
+// A trace is a sequence of Branch records in program order. Matching
+// the paper's methodology (section 3.1), records carry a Kind so that
+// unconditional branches can participate in the global history while
+// being excluded from prediction accounting, and a word-aligned PC
+// (the paper's a_N..a_2 address bits).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Kind distinguishes branch classes in a trace.
+type Kind uint8
+
+const (
+	// Conditional branches are predicted and counted.
+	Conditional Kind = iota
+	// Unconditional branches (jumps, calls, returns) only shift the
+	// global history; they are always taken.
+	Unconditional
+)
+
+// String returns "cond" or "uncond".
+func (k Kind) String() string {
+	switch k {
+	case Conditional:
+		return "cond"
+	case Unconditional:
+		return "uncond"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Branch is one dynamic branch event.
+type Branch struct {
+	// PC is the word address of the branch instruction (byte PC >> 2).
+	PC uint64
+	// Taken is the resolved direction. Unconditional branches are
+	// always taken.
+	Taken bool
+	// Kind classifies the branch.
+	Kind Kind
+}
+
+// Source yields a stream of branches. Next returns io.EOF when the
+// stream is exhausted.
+type Source interface {
+	Next() (Branch, error)
+}
+
+// SliceSource adapts a []Branch into a Source.
+type SliceSource struct {
+	branches []Branch
+	pos      int
+}
+
+// NewSliceSource returns a Source reading from the given slice.
+func NewSliceSource(b []Branch) *SliceSource { return &SliceSource{branches: b} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Branch, error) {
+	if s.pos >= len(s.branches) {
+		return Branch{}, io.EOF
+	}
+	b := s.branches[s.pos]
+	s.pos++
+	return b, nil
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of branches in the underlying slice.
+func (s *SliceSource) Len() int { return len(s.branches) }
+
+// Collect drains a Source into a slice. It stops at io.EOF and returns
+// any other error encountered.
+func Collect(src Source) ([]Branch, error) {
+	var out []Branch
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+}
+
+// Stats summarises a trace, reproducing the quantities of Table 1.
+type Stats struct {
+	Dynamic       int // dynamic conditional branches
+	Static        int // distinct conditional branch PCs
+	DynamicUncond int // dynamic unconditional branches
+	StaticUncond  int // distinct unconditional branch PCs
+	TakenCond     int // taken conditional branches
+	total         int
+	condPCs       map[uint64]struct{}
+	uncondPCs     map[uint64]struct{}
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{
+		condPCs:   make(map[uint64]struct{}),
+		uncondPCs: make(map[uint64]struct{}),
+	}
+}
+
+// Observe accounts one branch.
+func (s *Stats) Observe(b Branch) {
+	s.total++
+	switch b.Kind {
+	case Conditional:
+		s.Dynamic++
+		if b.Taken {
+			s.TakenCond++
+		}
+		if _, ok := s.condPCs[b.PC]; !ok {
+			s.condPCs[b.PC] = struct{}{}
+			s.Static = len(s.condPCs)
+		}
+	case Unconditional:
+		s.DynamicUncond++
+		if _, ok := s.uncondPCs[b.PC]; !ok {
+			s.uncondPCs[b.PC] = struct{}{}
+			s.StaticUncond = len(s.uncondPCs)
+		}
+	}
+}
+
+// Total returns the total number of branches observed (all kinds).
+func (s *Stats) Total() int { return s.total }
+
+// TakenRatio returns the fraction of conditional branches that were
+// taken, or 0 for an empty trace.
+func (s *Stats) TakenRatio() float64 {
+	if s.Dynamic == 0 {
+		return 0
+	}
+	return float64(s.TakenCond) / float64(s.Dynamic)
+}
+
+// Measure drains a Source and returns its statistics.
+func Measure(src Source) (*Stats, error) {
+	st := NewStats()
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Observe(b)
+	}
+}
+
+// Binary format
+//
+// The on-disk binary format is a fixed 16-byte header followed by one
+// varint-compressed record per branch:
+//
+//	header: magic "GSKT" | version u8 | reserved [11]byte
+//	record: uvarint(pcDelta<<2 | taken<<1 | kind)
+//
+// pcDelta is the zig-zag encoded difference from the previous PC, which
+// keeps records small for loop-heavy traces.
+
+var magic = [4]byte{'G', 'S', 'K', 'T'}
+
+const formatVersion = 1
+
+// Writer encodes branches to an io.Writer in the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	wrote  bool
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer and emits the format header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = formatVersion
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write encodes one branch record.
+func (w *Writer) Write(b Branch) error {
+	if b.Kind > Unconditional {
+		return fmt.Errorf("trace: invalid kind %d", b.Kind)
+	}
+	delta := zigzag(int64(b.PC) - int64(w.lastPC))
+	w.lastPC = b.PC
+	w.wrote = true
+	v := delta << 2
+	if b.Taken {
+		v |= 2
+	}
+	v |= uint64(b.Kind)
+	n := binary.PutUvarint(w.buf[:], v)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes branches from an io.Reader in the binary trace format.
+// It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Source.
+func (r *Reader) Next() (Branch, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Branch{}, io.EOF
+		}
+		return Branch{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	kind := Kind(v & 1)
+	taken := v&2 != 0
+	pc := uint64(int64(r.lastPC) + unzigzag(v>>2))
+	r.lastPC = pc
+	return Branch{PC: pc, Taken: taken, Kind: kind}, nil
+}
+
+// Text format
+//
+// One record per line: "<hex pc> <T|N> <c|u>", e.g. "1a2f T c".
+// Comment lines start with '#'. The text format exists for debugging
+// and for hand-written fixture traces in tests.
+
+// WriteText writes branches from src to w in the text format.
+func WriteText(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return bw.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		dir := byte('N')
+		if b.Taken {
+			dir = 'T'
+		}
+		kind := byte('c')
+		if b.Kind == Unconditional {
+			kind = 'u'
+		}
+		if _, err := fmt.Fprintf(bw, "%x %c %c\n", b.PC, dir, kind); err != nil {
+			return fmt.Errorf("trace: writing text record: %w", err)
+		}
+	}
+}
+
+// ReadText parses a text-format trace.
+func ReadText(r io.Reader) ([]Branch, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Branch
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		pc, err := strconv.ParseUint(fields[0], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad pc %q: %w", lineNo, fields[0], err)
+		}
+		var taken bool
+		switch fields[1] {
+		case "T":
+			taken = true
+		case "N":
+			taken = false
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad direction %q", lineNo, fields[1])
+		}
+		var kind Kind
+		switch fields[2] {
+		case "c":
+			kind = Conditional
+		case "u":
+			kind = Unconditional
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, fields[2])
+		}
+		if kind == Unconditional && !taken {
+			return nil, fmt.Errorf("trace: line %d: unconditional branch marked not-taken", lineNo)
+		}
+		out = append(out, Branch{PC: pc, Taken: taken, Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"gskew/internal/trace"
+)
+
+func TestBenchmarksMatchTable1Statics(t *testing.T) {
+	// The suite must carry the paper's Table 1 numbers verbatim.
+	want := map[string][2]int{ // name -> {static, dynamic}
+		"groff":     {5634, 11568181},
+		"gs":        {10935, 14288742},
+		"mpeg_play": {4752, 8109029},
+		"nroff":     {4480, 21368201},
+		"real_gcc":  {16716, 13940672},
+		"verilog":   {3918, 5692823},
+	}
+	specs := Benchmarks()
+	if len(specs) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", s.Name)
+			continue
+		}
+		if s.StaticBranches != w[0] || s.DynamicBranches != w[1] {
+			t.Errorf("%s: static/dynamic = %d/%d, want %d/%d",
+				s.Name, s.StaticBranches, s.DynamicBranches, w[0], w[1])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("nroff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "nroff" {
+		t.Errorf("ByName returned %q", s.Name)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	n := Names()
+	if len(n) != 6 || n[0] != "groff" || n[5] != "verilog" {
+		t.Errorf("Names() = %v", n)
+	}
+	sn := SortedNames()
+	for i := 1; i < len(sn); i++ {
+		if sn[i-1] >= sn[i] {
+			t.Errorf("SortedNames not sorted: %v", sn)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec, _ := ByName("verilog")
+	c := Config{Scale: 0.002}
+	a, err := Materialize(spec, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Materialize(spec, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at event %d", i)
+		}
+	}
+}
+
+func TestSeedOffsetChangesTrace(t *testing.T) {
+	spec, _ := ByName("verilog")
+	a, err := Materialize(spec, Config{Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Materialize(spec, Config{Scale: 0.002, SeedOffset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := len(a)
+	if len(b) < limit {
+		limit = len(b)
+	}
+	same := 0
+	for i := 0; i < limit; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == limit {
+		t.Error("SeedOffset had no effect")
+	}
+}
+
+func TestTakeBoundsConditionals(t *testing.T) {
+	spec, _ := ByName("groff")
+	g, err := New(spec, Config{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	tk := NewTake(g, n)
+	cond := 0
+	for {
+		b, err := tk.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Kind == trace.Conditional {
+			cond++
+		}
+	}
+	if cond != n {
+		t.Fatalf("Take yielded %d conditionals, want %d", cond, n)
+	}
+}
+
+func TestWorkloadStatistics(t *testing.T) {
+	// The realised traces must resemble the paper's populations:
+	//  - static count close to the Table 1 target (most sites execute),
+	//  - taken ratio in a plausible 50-75% band,
+	//  - a visible unconditional-branch population,
+	//  - kernel activity present (PCs above kernelBase).
+	for _, name := range []string{"verilog", "mpeg_play"} {
+		spec, _ := ByName(name)
+		branches, err := Materialize(spec, Config{Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := trace.Measure(trace.NewSliceSource(branches))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Dynamic < spec.DynamicBranches/100 {
+			t.Errorf("%s: dynamic count %d too small", name, st.Dynamic)
+		}
+		if lo, hi := spec.StaticBranches*5/10, spec.StaticBranches+1; st.Static < lo || st.Static > hi {
+			t.Errorf("%s: static count %d outside [%d,%d]", name, st.Static, lo, hi)
+		}
+		if r := st.TakenRatio(); r < 0.45 || r > 0.85 {
+			t.Errorf("%s: taken ratio %.3f implausible", name, r)
+		}
+		if st.DynamicUncond == 0 {
+			t.Errorf("%s: no unconditional branches", name)
+		}
+		kernel := 0
+		for _, b := range branches {
+			if b.PC >= kernelBase {
+				kernel++
+			}
+		}
+		if frac := float64(kernel) / float64(len(branches)); frac < 0.02 || frac > 0.5 {
+			t.Errorf("%s: kernel activity fraction %.3f outside [0.02,0.5]", name, frac)
+		}
+	}
+}
+
+func TestProcessAddressSpacesDisjoint(t *testing.T) {
+	spec, _ := ByName("gs") // 3 processes
+	branches, err := Materialize(spec, Config{Scale: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces := make(map[uint64]bool)
+	for _, b := range branches {
+		if b.PC < kernelBase {
+			spaces[b.PC/processStride] = true
+		}
+	}
+	if len(spaces) < 2 {
+		t.Errorf("expected >=2 user address spaces, saw %d", len(spaces))
+	}
+}
+
+func TestLengthScaling(t *testing.T) {
+	spec, _ := ByName("nroff")
+	g1, err := New(spec, Config{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(spec, Config{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Length() != 2*g1.Length() {
+		t.Errorf("Length: %d vs %d, want 2x", g1.Length(), g2.Length())
+	}
+	if g1.Length() != int(float64(spec.DynamicBranches)*0.01) {
+		t.Errorf("Length = %d", g1.Length())
+	}
+	if g1.Spec().Name != "nroff" {
+		t.Errorf("Spec() = %q", g1.Spec().Name)
+	}
+}
+
+func TestDefaultScaleApplied(t *testing.T) {
+	spec, _ := ByName("verilog")
+	g, err := New(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Length() != int(float64(spec.DynamicBranches)*DefaultScale) {
+		t.Errorf("default Length = %d", g.Length())
+	}
+}
+
+func TestAllBenchmarksGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite sweep is slow")
+	}
+	for _, spec := range Benchmarks() {
+		g, err := New(spec, Config{Scale: 0.001})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		tk := NewTake(g, 10000)
+		for {
+			if _, err := tk.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	spec, _ := ByName("groff")
+	g, err := New(spec, Config{Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
