@@ -1,0 +1,26 @@
+# Tiered developer targets. `make check` is the concurrency tier: it
+# vets the whole module and runs the race detector over the packages
+# that execute simulation cells in parallel (the scheduler, the trace
+# cache and the single-pass multi-predictor runner).
+
+GO ?= go
+
+.PHONY: build test check bench output
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/experiments ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Regenerate the committed full-suite output (timing goes to stderr,
+# so the file is byte-identical whatever -jobs is used).
+output:
+	$(GO) run ./cmd/experiments -all > experiments_output.txt

@@ -12,6 +12,7 @@
 package gskew_test
 
 import (
+	"flag"
 	"io"
 	"strconv"
 	"testing"
@@ -20,11 +21,27 @@ import (
 	"gskew/internal/predictor"
 	"gskew/internal/report"
 	"gskew/internal/sim"
+	"gskew/internal/trace"
 	"gskew/internal/workload"
 )
 
 // benchScale keeps each experiment benchmark to roughly a second.
 const benchScale = 0.01
+
+// -jobs bounds the concurrent simulation cells of every experiment
+// benchmark, mirroring `cmd/experiments -jobs`. 0 = GOMAXPROCS;
+// 1 preserves the old fully-serial behaviour.
+var benchJobs = flag.Int("jobs", 0, "max concurrent simulation cells in experiment benchmarks (0 = GOMAXPROCS)")
+
+// benchContext returns the reduced-scale two-benchmark context the
+// experiment benchmarks run on, honouring -jobs.
+func benchContext() *experiments.Context {
+	return &experiments.Context{
+		Scale:      benchScale,
+		Benchmarks: []string{"verilog", "nroff"},
+		Sched:      experiments.NewSched(*benchJobs),
+	}
+}
 
 // runExperiment executes one registered experiment b.N times and
 // reports the misprediction (or miss-ratio) metrics of the final run.
@@ -38,8 +55,7 @@ func runExperiment(b *testing.B, id string) {
 	for i := 0; i < b.N; i++ {
 		// A fresh context per iteration so trace generation cost is
 		// included (it is part of regenerating the artifact).
-		ctx := &experiments.Context{Scale: benchScale, Benchmarks: []string{"verilog", "nroff"}}
-		result, err = e.Run(ctx)
+		result, err = e.Run(benchContext())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,3 +190,88 @@ func BenchmarkExtRivals(b *testing.B)       { runExperiment(b, "ext-rivals") }
 func BenchmarkExtEV8(b *testing.B)          { runExperiment(b, "ext-ev8") }
 func BenchmarkExtBestHist(b *testing.B)     { runExperiment(b, "ext-besthist") }
 func BenchmarkExtSetAssoc(b *testing.B)     { runExperiment(b, "ext-setassoc") }
+
+// Single-pass vs sequential simulation: the same predictor set driven
+// over the same trace by N sim.RunBranches calls versus one
+// sim.RunManyBranches call. The /Many variant decodes the trace and
+// maintains global history once per event instead of once per
+// (event, predictor), which is where the experiment-suite speedup
+// comes from.
+
+func manyBenchPredictors() []predictor.Predictor {
+	return []predictor.Predictor{
+		predictor.NewBimodal(14, 2),
+		predictor.NewGShare(14, 12, 2),
+		predictor.NewGSelect(14, 7, 2),
+		predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12}),
+		predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true}),
+		predictor.MustGSkewed(predictor.Config{
+			BankBits: 12, HistoryBits: 12, Policy: predictor.TotalUpdate,
+		}),
+	}
+}
+
+func manyBenchTrace(b *testing.B) []trace.Branch {
+	b.Helper()
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return branches
+}
+
+func BenchmarkRunManyVsSequential(b *testing.B) {
+	branches := manyBenchTrace(b)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range manyBenchPredictors() {
+				if _, err := sim.RunBranches(branches, p, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("runmany", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunManyBranches(branches, manyBenchPredictors(), sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Scheduler benchmark: the same four-experiment slice of the suite run
+// serially (jobs=1) and with the worker pool wide open (jobs=0, i.e.
+// GOMAXPROCS). On a multi-core host the second sub-benchmark shows the
+// wall-clock win; on one core the two match, demonstrating that the
+// pool adds no measurable overhead.
+
+func benchSchedule(b *testing.B, jobs int) {
+	b.Helper()
+	ids := []string{"fig5", "fig6", "fig7", "fig12"}
+	exps := make([]experiments.Experiment, len(ids))
+	for i, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exps[i] = e
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := &experiments.Context{
+			Scale:      benchScale,
+			Benchmarks: []string{"verilog", "nroff"},
+			Sched:      experiments.NewSched(jobs),
+		}
+		if _, err := experiments.RunAll(ctx, exps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleSerial(b *testing.B)   { benchSchedule(b, 1) }
+func BenchmarkScheduleParallel(b *testing.B) { benchSchedule(b, 0) }

@@ -4,11 +4,17 @@
 //
 //	experiments -list
 //	experiments -id fig5 [-scale 0.1] [-bench groff,gs] [-format text|csv]
-//	experiments -all [-scale 0.03]
+//	experiments -all [-scale 0.03] [-jobs N]
 //
 // Each experiment prints its result as an aligned text table (or CSV),
 // with one sub-table per benchmark for the paper's per-benchmark
 // figures.
+//
+// -jobs bounds the concurrent (experiment, benchmark) simulation cells
+// (default GOMAXPROCS; -jobs 1 runs fully serially). Results are
+// assembled in experiment order whatever the completion order, and
+// timing lines go to stderr, so stdout is byte-identical across -jobs
+// settings.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
 		format = flag.String("format", "text", "output format: text, csv or plot (ASCII charts)")
 		seed   = flag.Uint64("seed", 0, "seed offset for workload generation")
+		jobs   = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,6 +52,7 @@ func main() {
 
 	ctx := experiments.NewContext(*scale)
 	ctx.SeedOffset = *seed
+	ctx.Sched = experiments.NewSched(*jobs)
 	if *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {
 			b = strings.TrimSpace(b)
@@ -71,31 +79,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Run every experiment through the scheduler — independent
+	// (experiment, benchmark) cells execute on up to -jobs goroutines —
+	// then render in experiment order, so stdout does not depend on
+	// -jobs. Timing goes to stderr for the same reason.
+	start := time.Now()
+	results, err := experiments.RunAll(ctx, toRun)
+	if err != nil {
+		fatal(err)
+	}
 	for i, e := range toRun {
 		if i > 0 {
 			fmt.Println()
 		}
-		start := time.Now()
-		result, err := e.Run(ctx)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		var err error
 		switch *format {
 		case "text":
-			err = result.WriteText(os.Stdout)
+			err = results[i].WriteText(os.Stdout)
 		case "csv":
-			err = result.WriteCSV(os.Stdout)
+			err = results[i].WriteCSV(os.Stdout)
 		case "plot":
-			err = experiments.WritePlot(os.Stdout, result)
+			err = experiments.WritePlot(os.Stdout, results[i])
 		default:
 			fatal(fmt.Errorf("unknown format %q", *format))
 		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "[%d experiment(s) completed in %v, jobs=%d]\n",
+		len(toRun), time.Since(start).Round(time.Millisecond), ctx.Sched.Jobs())
 }
 
 func fatal(err error) {

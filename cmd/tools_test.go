@@ -60,6 +60,28 @@ func TestExperimentsRunOne(t *testing.T) {
 	}
 }
 
+// TestExperimentsJobsByteIdentical checks the -jobs contract: stdout
+// must not depend on the scheduler width (timing goes to stderr).
+func TestExperimentsJobsByteIdentical(t *testing.T) {
+	stdout := func(jobs string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, "experiments"),
+			"-id", "table1", "-bench", "verilog,nroff", "-scale", "0.005", "-jobs", jobs)
+		out, err := cmd.Output() // stdout only
+		if err != nil {
+			t.Fatalf("-jobs %s: %v", jobs, err)
+		}
+		return string(out)
+	}
+	serial, wide := stdout("1"), stdout("4")
+	if serial != wide {
+		t.Errorf("stdout differs between -jobs 1 and -jobs 4:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", serial, wide)
+	}
+	if !strings.Contains(serial, "table1") {
+		t.Errorf("unexpected output:\n%s", serial)
+	}
+}
+
 func TestExperimentsCSVAndPlot(t *testing.T) {
 	out, err := run(t, "experiments", "-id", "fig9", "-format", "csv")
 	if err != nil {

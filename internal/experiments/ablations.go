@@ -6,6 +6,7 @@ import (
 	"gskew/internal/predictor"
 	"gskew/internal/report"
 	"gskew/internal/sim"
+	"gskew/internal/trace"
 )
 
 func init() {
@@ -37,54 +38,48 @@ func init() {
 
 // runAblationBanks compares bank counts at a fixed per-bank size
 // (4k entries, 8-bit history), reporting total storage alongside so
-// the cost of each configuration is explicit.
+// the cost of each configuration is explicit. The five configurations
+// of a benchmark share one RunMany trace pass.
 func runAblationBanks(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	const bankBits = 12
 	t := report.NewTable("Bank-count ablation (4k-entry banks, 8-bit history, partial update)",
 		"benchmark", "1 bank (gshare 4k)", "3 banks (12k)", "5 banks (20k)", "7 banks (28k)", "gshare 16k")
-	perBench := make(map[string][]float64)
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-		var row []float64
-		res, err := sim.RunBranches(branches, predictor.NewGShare(bankBits, histBits, 2), sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, res.MissPercent())
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]float64, error) {
+		preds := []predictor.Predictor{predictor.NewGShare(bankBits, histBits, 2)}
 		for _, banks := range []int{3, 5, 7} {
-			gs := predictor.MustGSkewed(predictor.Config{
+			preds = append(preds, predictor.MustGSkewed(predictor.Config{
 				Banks: banks, BankBits: bankBits, HistoryBits: histBits,
 				Policy: predictor.PartialUpdate,
-			})
-			res, err := sim.RunBranches(branches, gs, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.MissPercent())
+			}))
 		}
 		// Cost-equivalent alternative to 3 more banks: one bigger bank.
-		res, err = sim.RunBranches(branches, predictor.NewGShare(bankBits+2, histBits, 2), sim.Options{})
+		preds = append(preds, predictor.NewGShare(bankBits+2, histBits, 2))
+		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, res.MissPercent())
-		perBench[name] = row
+		row := make([]float64, len(results))
+		for i, res := range results {
+			row[i] = res.MissPercent()
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cols [5][]float64
+	for i, name := range ctx.BenchmarkNames() {
+		row := rows[i]
 		t.AddRow(name,
 			fmt.Sprintf("%.2f", row[0]), fmt.Sprintf("%.2f", row[1]),
 			fmt.Sprintf("%.2f", row[2]), fmt.Sprintf("%.2f", row[3]),
 			fmt.Sprintf("%.2f", row[4]))
-	}
-	// Geometric-mean summary row.
-	var cols [5][]float64
-	for _, row := range perBench {
-		for i, v := range row {
-			cols[i] = append(cols[i], v)
+		for j, v := range row {
+			cols[j] = append(cols[j], v)
 		}
 	}
+	// Geometric-mean summary row.
 	t.AddRow("geomean",
 		fmt.Sprintf("%.2f", geomean(cols[0])), fmt.Sprintf("%.2f", geomean(cols[1])),
 		fmt.Sprintf("%.2f", geomean(cols[2])), fmt.Sprintf("%.2f", geomean(cols[3])),
@@ -117,24 +112,29 @@ func runAblationCounters(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("Counter-width ablation (3x4k gskewed, 8-bit history, partial update)",
 		"benchmark", "1-bit cells", "2-bit cells")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]string, error) {
+		var preds []predictor.Predictor
+		for _, bits := range []uint{1, 2} {
+			preds = append(preds, predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, CounterBits: bits,
+				Policy: predictor.PartialUpdate,
+			}))
+		}
+		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
-		var rates []string
-		for _, bits := range []uint{1, 2} {
-			gs := predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, CounterBits: bits,
-				Policy: predictor.PartialUpdate,
-			})
-			res, err := sim.RunBranches(branches, gs, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rates = append(rates, fmt.Sprintf("%.2f", res.MissPercent()))
+		rates := make([]string, len(results))
+		for i, res := range results {
+			rates[i] = fmt.Sprintf("%.2f", res.MissPercent())
 		}
-		t.AddRow(name, rates[0], rates[1])
+		return rates, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range ctx.BenchmarkNames() {
+		t.AddRow(name, rows[i][0], rows[i][1])
 	}
 	return t, nil
 }

@@ -42,13 +42,7 @@ func init() {
 // (all sizes at once from the stack-distance histogram), for table
 // sizes 2^minBits..2^maxBits.
 func runAliasFigure(ctx *Context, histBits, minBits, maxBits uint) (Renderable, error) {
-	bundle := &Bundle{Title: fmt.Sprintf("Tagged-table miss percentages (%d-bit history)", histBits)}
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-
+	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
 		type dmPair struct{ gshare, gselect *alias.TaggedDM }
 		sizes := make([]uint, 0, maxBits-minBits+1)
 		dms := make([]dmPair, 0, maxBits-minBits+1)
@@ -85,9 +79,15 @@ func runAliasFigure(ctx *Context, histBits, minBits, maxBits uint) (Renderable, 
 		fig.AddSeries("gshare-dm", gsh)
 		fig.AddSeries("gselect-dm", gsel)
 		fig.AddSeries("fully-assoc-lru", fa)
-		bundle.Add(fig)
+		return fig, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return bundle, nil
+	return &Bundle{
+		Title: fmt.Sprintf("Tagged-table miss percentages (%d-bit history)", histBits),
+		Items: items,
+	}, nil
 }
 
 func runFig3(*Context) (Renderable, error) {

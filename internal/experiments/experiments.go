@@ -76,8 +76,15 @@ func (b *Bundle) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// Context carries run-wide configuration and the materialised-trace
-// cache.
+// Context carries run-wide configuration, the materialised-trace cache
+// and the scheduler that bounds concurrent simulation cells.
+//
+// A Context is safe for concurrent use: any number of goroutines may
+// call Trace, BenchmarkNames and the experiment Run functions
+// simultaneously. The trace cache guarantees each benchmark trace is
+// generated exactly once per Context, even under contention (per-key
+// sync.Once); concurrent callers for a benchmark being generated block
+// until it is ready and then share the same immutable slice.
 type Context struct {
 	// Scale is the workload scale factor (see workload.Config). The
 	// zero value selects DefaultScale, sized so a full -all run
@@ -87,9 +94,24 @@ type Context struct {
 	SeedOffset uint64
 	// Benchmarks restricts the suite (nil = all six).
 	Benchmarks []string
+	// Sched bounds the concurrent (experiment, benchmark) simulation
+	// cells of this context. Nil selects a default GOMAXPROCS-wide
+	// scheduler on first use; NewSched(1) forces fully serial runs.
+	Sched *Sched
+
+	schedOnce    sync.Once
+	defaultSched *Sched
 
 	mu    sync.Mutex
-	cache map[string][]trace.Branch
+	cache map[string]*traceEntry
+}
+
+// traceEntry is one per-benchmark cache slot. The once gates
+// generation so the map lock is never held while materialising.
+type traceEntry struct {
+	once     sync.Once
+	branches []trace.Branch
+	err      error
 }
 
 // DefaultScale for experiment runs: 10% of the paper's dynamic lengths,
@@ -118,65 +140,83 @@ func (c *Context) BenchmarkNames() []string {
 }
 
 // Trace returns the materialised trace for a benchmark, generating it
-// on first use. It is safe for concurrent use; concurrent callers for
-// the same benchmark generate it once.
+// on first use. It is safe for concurrent use: per-key sync.Once
+// guarantees each benchmark trace is generated exactly once per
+// Context even when many goroutines race for it, and the map lock is
+// never held during generation, so distinct benchmarks materialise
+// concurrently.
 func (c *Context) Trace(name string) ([]trace.Branch, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cache == nil {
-		c.cache = make(map[string][]trace.Branch)
+		c.cache = make(map[string]*traceEntry)
 	}
-	if tr, ok := c.cache[name]; ok {
-		return tr, nil
+	e := c.cache[name]
+	if e == nil {
+		e = &traceEntry{}
+		c.cache[name] = e
 	}
-	spec, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := workload.Materialize(spec, workload.Config{Scale: c.scale(), SeedOffset: c.SeedOffset})
-	if err != nil {
-		return nil, err
-	}
-	c.cache[name] = tr
-	return tr, nil
+	c.mu.Unlock()
+	e.once.Do(func() {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.branches, e.err = workload.Materialize(spec,
+			workload.Config{Scale: c.scale(), SeedOffset: c.SeedOffset})
+	})
+	return e.branches, e.err
 }
 
 // DropTrace evicts a cached trace (memory control for long sweeps).
+// Callers must not hold references handed out before the eviction if
+// they expect the memory to be reclaimed.
 func (c *Context) DropTrace(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.cache, name)
 }
 
-// forEachBenchmark runs fn once per benchmark in the context's suite,
-// in parallel, and delivers the results in suite order. Experiments
-// use it to parallelise their per-benchmark simulations: each fn call
-// works on its own predictors over the shared immutable trace.
-func (c *Context) forEachBenchmark(fn func(name string, branches []trace.Branch) (Renderable, error)) ([]Renderable, error) {
-	names := c.BenchmarkNames()
-	results := make([]Renderable, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		// Materialise sequentially (cache-friendly, bounded memory),
-		// simulate in parallel.
-		branches, err := c.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-		wg.Add(1)
-		go func(i int, name string, branches []trace.Branch) {
-			defer wg.Done()
-			results[i], errs[i] = fn(name, branches)
-		}(i, name, branches)
+// sched returns the context's scheduler, defaulting to a
+// GOMAXPROCS-wide pool created on first use.
+func (c *Context) sched() *Sched {
+	if c.Sched != nil {
+		return c.Sched
 	}
-	wg.Wait()
-	for i, err := range errs {
+	c.schedOnce.Do(func() { c.defaultSched = NewSched(0) })
+	return c.defaultSched
+}
+
+// mapBenchmarks runs fn once per benchmark in the context's suite as
+// independent scheduler cells and delivers the results in suite order
+// regardless of completion order, so rendered output is deterministic.
+// Each fn call works on its own predictors over the shared immutable
+// trace.
+func mapBenchmarks[T any](c *Context, fn func(name string, branches []trace.Branch) (T, error)) ([]T, error) {
+	names := c.BenchmarkNames()
+	results := make([]T, len(names))
+	err := c.sched().Map(len(names), func(i int) error {
+		branches, err := c.Trace(names[i])
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", names[i], err)
+			return fmt.Errorf("%s: %w", names[i], err)
 		}
+		r, err := fn(names[i], branches)
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// forEachBenchmark is mapBenchmarks specialised to Renderable results,
+// the common shape of per-benchmark figures and tables.
+func (c *Context) forEachBenchmark(fn func(name string, branches []trace.Branch) (Renderable, error)) ([]Renderable, error) {
+	return mapBenchmarks(c, fn)
 }
 
 // Experiment is one regenerable table or figure.

@@ -49,27 +49,38 @@ func init() {
 	})
 }
 
-func runExtPAs(ctx *Context) (Renderable, error) {
-	t := report.NewTable("Skewed per-address schemes (miss %, local history 8, 64-entry BHT x 1024)",
-		"benchmark", "pas 4k", "skewed-pas 3x2k", "gshare 4k (global, h8)")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
+// compareRows runs one Compare (single-pass RunMany) per benchmark as
+// scheduler cells and returns, in suite order, rows of the form
+// [name, miss%...], the common shape of the extension tables.
+func compareRows(ctx *Context, build func() []predictor.Predictor, opts sim.Options) ([][]any, error) {
+	return mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
+		results, err := sim.Compare(branches, build(), opts)
 		if err != nil {
 			return nil, err
 		}
-		preds := []predictor.Predictor{
+		row := []any{name}
+		for _, r := range results {
+			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
+		}
+		return row, nil
+	})
+}
+
+func runExtPAs(ctx *Context) (Renderable, error) {
+	t := report.NewTable("Skewed per-address schemes (miss %, local history 8, 64-entry BHT x 1024)",
+		"benchmark", "pas 4k", "skewed-pas 3x2k", "gshare 4k (global, h8)")
+	rows, err := compareRows(ctx, func() []predictor.Predictor {
+		return []predictor.Predictor{
 			predictor.MustPAs(10, 8, 12, 2),
 			predictor.MustSkewedPAs(10, 8, 11, 2, predictor.PartialUpdate),
 			predictor.NewGShare(12, 8, 2),
 		}
-		results, err := sim.Compare(branches, preds, sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name,
-			fmt.Sprintf("%.2f", results[0].MissPercent()),
-			fmt.Sprintf("%.2f", results[1].MissPercent()),
-			fmt.Sprintf("%.2f", results[2].MissPercent()))
+	}, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -77,13 +88,9 @@ func runExtPAs(ctx *Context) (Renderable, error) {
 func runExtHybrid(ctx *Context) (Renderable, error) {
 	t := report.NewTable("Hybrid predictors (miss %, 8-bit history)",
 		"benchmark", "gshare 16k", "bimodal+gshare", "bimodal+gskewed", "egskew 3x4k")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-		const k = 8
-		preds := []predictor.Predictor{
+	const k = 8
+	rows, err := compareRows(ctx, func() []predictor.Predictor {
+		return []predictor.Predictor{
 			predictor.NewGShare(14, k, 2),
 			predictor.MustHybrid(predictor.NewBimodal(12, 2), predictor.NewGShare(13, k, 2), 12),
 			predictor.MustHybrid(
@@ -92,14 +99,11 @@ func runExtHybrid(ctx *Context) (Renderable, error) {
 				12),
 			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true}),
 		}
-		results, err := sim.Compare(branches, preds, sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := []any{name}
-		for _, r := range results {
-			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
-		}
+	}, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -109,11 +113,7 @@ func runExtConfidence(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("Vote-margin confidence (3x4k gskewed, 8-bit history, partial update)",
 		"benchmark", "unanimous share", "miss | unanimous", "miss | split vote", "ratio")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
 		g := predictor.MustGSkewed(predictor.Config{
 			BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
 		})
@@ -141,11 +141,17 @@ func runExtConfidence(ctx *Context) (Renderable, error) {
 		um := 100 * float64(unanimousMiss) / float64(max(unanimousN, 1))
 		sm := 100 * float64(splitMiss) / float64(max(splitN, 1))
 		ratio := sm / um
-		t.AddRow(name,
+		return []any{name,
 			fmt.Sprintf("%.1f %%", 100*float64(unanimousN)/float64(unanimousN+splitN)),
 			fmt.Sprintf("%.2f %%", um),
 			fmt.Sprintf("%.2f %%", sm),
-			fmt.Sprintf("%.1fx", ratio))
+			fmt.Sprintf("%.1fx", ratio)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -154,12 +160,8 @@ func runExtEncoding(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("Shared-hysteresis encoding (gskewed, 8-bit history, partial update)",
 		"benchmark", "3x4k 2-bit (24 Kbit)", "3x4k shared/2 (15 Kbit)", "3x8k shared/4 (27 Kbit)")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-		preds := []predictor.Predictor{
+	rows, err := compareRows(ctx, func() []predictor.Predictor {
+		return []predictor.Predictor{
 			predictor.MustGSkewed(predictor.Config{
 				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
 			}),
@@ -172,14 +174,11 @@ func runExtEncoding(ctx *Context) (Renderable, error) {
 				CounterBits: 2, SharedHysteresis: 2,
 			}),
 		}
-		results, err := sim.Compare(branches, preds, sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := []any{name}
-		for _, r := range results {
-			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
-		}
+	}, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -187,12 +186,7 @@ func runExtEncoding(ctx *Context) (Renderable, error) {
 
 func runExtOpt(ctx *Context) (Renderable, error) {
 	const histBits = 4
-	bundle := &Bundle{Title: "Conflict aliasing measured against LRU vs OPT capacity baselines (4-bit history)"}
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
+	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
 		// Record the reference stream once.
 		ghr := history.NewGlobal(histBits)
 		refs := make([]uint64, 0, len(branches))
@@ -226,9 +220,15 @@ func runExtOpt(ctx *Context) (Renderable, error) {
 				fmt.Sprintf("%.3f", 100*(dm.MissRatio()-fa.MissRatio())),
 				fmt.Sprintf("%.3f", 100*(dm.MissRatio()-opt)))
 		}
-		bundle.Add(t)
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return bundle, nil
+	return &Bundle{
+		Title: "Conflict aliasing measured against LRU vs OPT capacity baselines (4-bit history)",
+		Items: items,
+	}, nil
 }
 
 func init() {
@@ -244,11 +244,7 @@ func runExtPipeline(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("Front-end model: 4-wide fetch, 5 instr/branch (miss % -> IPC at penalty 5/10/20)",
 		"benchmark", "predictor", "miss %", "IPC@5", "IPC@10", "IPC@20", "speedup@20 vs gshare")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([][]any, error) {
 		preds := []predictor.Predictor{
 			predictor.NewGShare(14, histBits, 2),
 			predictor.MustGSkewed(predictor.Config{
@@ -263,6 +259,7 @@ func runExtPipeline(ctx *Context) (Renderable, error) {
 			return nil, err
 		}
 		base := results[0]
+		var rows [][]any
 		for i, p := range preds {
 			r := results[i]
 			row := []any{name, fmt.Sprintf("%v", p), fmt.Sprintf("%.2f", r.MissPercent())}
@@ -280,6 +277,15 @@ func runExtPipeline(ctx *Context) (Renderable, error) {
 				return nil, err
 			}
 			row = append(row, fmt.Sprintf("%.3fx", sp))
+			rows = append(rows, row)
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, benchRows := range rows {
+		for _, row := range benchRows {
 			t.AddRow(row...)
 		}
 	}

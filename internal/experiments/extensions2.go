@@ -36,11 +36,7 @@ func runExtInterference(ctx *Context) (Renderable, error) {
 	for _, entriesBits := range []uint{10, 14} {
 		t := report.NewTable(fmt.Sprintf("%d-entry gshare", 1<<entriesBits),
 			"benchmark", "aliased %", "harmless %", "destructive %", "constructive %", "destr/constr")
-		for _, name := range ctx.BenchmarkNames() {
-			branches, err := ctx.Trace(name)
-			if err != nil {
-				return nil, err
-			}
+		rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
 			n := alias.NewInterference(indexfn.NewGShare(entriesBits, histBits), 2)
 			ghr := history.NewGlobal(histBits)
 			for _, b := range branches {
@@ -55,12 +51,18 @@ func runExtInterference(ctx *Context) (Renderable, error) {
 			if st.Constructive > 0 {
 				dc = fmt.Sprintf("%.1fx", float64(st.Destructive)/float64(st.Constructive))
 			}
-			t.AddRow(name,
+			return []any{name,
 				fmt.Sprintf("%.2f", 100*float64(st.Aliased())/refs),
 				fmt.Sprintf("%.2f", 100*float64(st.Harmless)/refs),
 				fmt.Sprintf("%.2f", 100*st.DestructiveRatio()),
 				fmt.Sprintf("%.2f", 100*st.ConstructiveRatio()),
-				dc)
+				dc}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 		bundle.Add(t)
 	}
@@ -71,7 +73,8 @@ func runExtInterference(ctx *Context) (Renderable, error) {
 // quanta and measures how multiprogramming granularity drives
 // misprediction for a fixed 16k gshare (h=8) — finer interleaving
 // means more cross-process conflicts, the OS effect motivating the
-// paper's interest in large workloads.
+// paper's interest in large workloads. Each quantum is an independent
+// scheduler cell (its trace is not the cached benchmark trace).
 func runExtQuantum(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	spec, err := workload.ByName("gs") // 3 processes: most interleaving
@@ -80,31 +83,38 @@ func runExtQuantum(ctx *Context) (Renderable, error) {
 	}
 	fig := report.NewFigure("gs: misprediction vs scheduler quantum (16k gshare vs 3x4k egskew, h=8)",
 		"quantum (branches)", "miss %")
-	var gsh, egs []float64
-	for _, q := range []int{100, 400, 1600, 6400, 25600} {
+	quanta := []int{100, 400, 1600, 6400, 25600}
+	gsh := make([]float64, len(quanta))
+	egs := make([]float64, len(quanta))
+	err = ctx.sched().Map(len(quanta), func(i int) error {
 		s := spec
-		s.Quantum = q
+		s.Quantum = quanta[i]
 		g, err := workload.New(s, workload.Config{Scale: ctx.scale() / 2, SeedOffset: ctx.SeedOffset})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		branches, err := trace.Collect(workload.NewTake(g, g.Length()))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results, err := sim.RunManyBranches(branches, []predictor.Predictor{
+			predictor.NewGShare(14, histBits, 2),
+			predictor.MustGSkewed(predictor.Config{
+				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
+			}),
+		}, sim.Options{})
+		if err != nil {
+			return err
+		}
+		gsh[i] = results[0].MissPercent()
+		egs[i] = results[1].MissPercent()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range quanta {
 		fig.Xs = append(fig.Xs, float64(q))
-		res, err := sim.RunBranches(branches, predictor.NewGShare(14, histBits, 2), sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		gsh = append(gsh, res.MissPercent())
-		res, err = sim.RunBranches(branches, predictor.MustGSkewed(predictor.Config{
-			BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
-		}), sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		egs = append(egs, res.MissPercent())
 	}
 	fig.AddSeries("16k-gshare", gsh)
 	fig.AddSeries("3x4k-egskew", egs)
@@ -138,19 +148,19 @@ func runExtFlush(ctx *Context) (Renderable, error) {
 				x = float64(len(branches)) // plot "never" at the right edge
 			}
 			fig.Xs = append(fig.Xs, x)
-			res, err := sim.RunBranches(branches, predictor.NewGShare(14, histBits, 2),
-				sim.Options{FlushEvery: iv})
+			// Both organisations share one trace pass per interval (the
+			// flush schedule is part of Options, identical for both).
+			results, err := sim.RunManyBranches(branches, []predictor.Predictor{
+				predictor.NewGShare(14, histBits, 2),
+				predictor.MustGSkewed(predictor.Config{
+					BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
+				}),
+			}, sim.Options{FlushEvery: iv})
 			if err != nil {
 				return nil, err
 			}
-			gsh = append(gsh, res.MissPercent())
-			res, err = sim.RunBranches(branches, predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
-			}), sim.Options{FlushEvery: iv})
-			if err != nil {
-				return nil, err
-			}
-			egs = append(egs, res.MissPercent())
+			gsh = append(gsh, results[0].MissPercent())
+			egs = append(egs, results[1].MissPercent())
 		}
 		fig.AddSeries("16k-gshare", gsh)
 		fig.AddSeries("3x4k-egskew", egs)
@@ -192,12 +202,8 @@ func runExtRivals(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("1997 anti-aliasing proposals at ~24-34 Kbit (miss %, 8-bit history)",
 		"benchmark", "gshare 16k (32Kb)", "agree 16k (34Kb)", "bimode 2x8k+4k (40Kb)", "gskewed 3x4k (24Kb)", "egskew 3x4k (24Kb)")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-		preds := []predictor.Predictor{
+	rows, err := compareRows(ctx, func() []predictor.Predictor {
+		return []predictor.Predictor{
 			predictor.NewGShare(14, histBits, 2),
 			predictor.MustAgree(14, histBits, 10, 2),
 			predictor.MustBiMode(13, histBits, 11, 2),
@@ -208,14 +214,11 @@ func runExtRivals(ctx *Context) (Renderable, error) {
 				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
 			}),
 		}
-		results, err := sim.Compare(branches, preds, sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := []any{name}
-		for _, r := range results {
-			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
-		}
+	}, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -233,26 +236,19 @@ func init() {
 func runExtEV8(ctx *Context) (Renderable, error) {
 	t := report.NewTable("2Bc-gskew (4x4k, h6/h14, 32 Kbit) vs its ancestors (miss %)",
 		"benchmark", "16k-gshare h8 (32Kb)", "3x4k-egskew h8 (24Kb)", "4x4k-2bcgskew h6/h14 (32Kb)")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-		preds := []predictor.Predictor{
+	rows, err := compareRows(ctx, func() []predictor.Predictor {
+		return []predictor.Predictor{
 			predictor.NewGShare(14, 8, 2),
 			predictor.MustGSkewed(predictor.Config{
 				BankBits: 12, HistoryBits: 8, Policy: predictor.PartialUpdate, Enhanced: true,
 			}),
 			predictor.MustTwoBcGSkew(12, 6, 14),
 		}
-		results, err := sim.Compare(branches, preds, sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := []any{name}
-		for _, r := range results {
-			row = append(row, fmt.Sprintf("%.2f", r.MissPercent()))
-		}
+	}, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -272,7 +268,8 @@ func init() {
 // quantity behind the paper's section-6 guidance. At reduced trace
 // scale the optima sit a little lower than the paper's (aliasing
 // pressure is relatively higher); the egskew optimum must nonetheless
-// exceed the gskewed optimum.
+// exceed the gskewed optimum. The full organisation x history cross
+// product of a benchmark (27 predictors) runs in one RunMany pass.
 func runExtBestHist(ctx *Context) (Renderable, error) {
 	hists := []uint{0, 2, 4, 6, 8, 10, 12, 14, 16}
 	type org struct {
@@ -290,30 +287,34 @@ func runExtBestHist(ctx *Context) (Renderable, error) {
 	}
 	t := report.NewTable("Best history length (argmin misprediction over h = 0..16)",
 		"benchmark", "gshare best h (miss %)", "gskewed best h (miss %)", "egskew best h (miss %)")
-	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
-		row := report.NewTable("", "benchmark")
-		cells := []any{name}
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
+		built := make([]predictor.Predictor, 0, len(orgs)*len(hists))
 		for _, o := range orgs {
-			bestH, bestRate := uint(0), 1e18
 			for _, k := range hists {
-				res, err := sim.RunBranches(branches, o.build(k), sim.Options{})
-				if err != nil {
-					return nil, err
-				}
-				if r := res.MissPercent(); r < bestRate {
+				built = append(built, o.build(k))
+			}
+		}
+		results, err := sim.RunManyBranches(branches, built, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cells := []any{name}
+		for oi := range orgs {
+			bestH, bestRate := uint(0), 1e18
+			for ki, k := range hists {
+				if r := results[oi*len(hists)+ki].MissPercent(); r < bestRate {
 					bestRate, bestH = r, k
 				}
 			}
 			cells = append(cells, fmt.Sprintf("h=%d (%.2f)", bestH, bestRate))
 		}
-		row.AddRow(cells...)
-		return row, nil
+		return cells, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, item := range items {
-		t.Rows = append(t.Rows, item.(*report.Table).Rows...)
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

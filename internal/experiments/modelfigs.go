@@ -62,12 +62,7 @@ func runFig11(ctx *Context) (Renderable, error) {
 	const bankBits = 12 // 3x4k gskewed
 	t := report.NewTable("Figure 11: extrapolated vs measured misprediction % (3x4k gskewed, 1-bit, total update, 4-bit history)",
 		"benchmark", "unaliased %", "overhead (model) %", "extrapolated %", "measured %")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
-
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
 		// Pass 1: per-substream direction tally for the bias b (the
 		// density of static (address, history) pairs biased taken) and
 		// the last-use distance stream feeding the model.
@@ -126,11 +121,17 @@ func runFig11(ctx *Context) (Renderable, error) {
 			return nil, err
 		}
 
-		t.AddRow(name,
+		return []any{name,
 			fmt.Sprintf("%.2f", resU.MissPercent()),
 			fmt.Sprintf("%.2f", 100*ex.MispredictOverhead()),
 			fmt.Sprintf("%.2f", extrapolated),
-			fmt.Sprintf("%.2f", resM.MissPercent()))
+			fmt.Sprintf("%.2f", resM.MissPercent())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

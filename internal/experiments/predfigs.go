@@ -40,30 +40,31 @@ func init() {
 // runSizeSweep produces, per benchmark, misprediction curves over
 // gshare table sizes 2^n for n in sizes, with a 3x2^(n-2)-entry
 // gskewed (75% of the gshare storage at the same x position) as the
-// paper's skewed counterpart.
+// paper's skewed counterpart. All configurations of a benchmark run in
+// one RunMany trace pass.
 func runSizeSweep(ctx *Context, histBits uint, sizes []uint) (Renderable, error) {
 	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
 		fig := report.NewFigure(fmt.Sprintf("%s (%d-bit history)", name, histBits),
 			"gshare entries", "miss %")
-		var gsh, gsk []float64
+		preds := make([]predictor.Predictor, 0, 2*len(sizes))
 		for _, n := range sizes {
 			fig.Xs = append(fig.Xs, float64(uint64(1)<<n))
-			res, err := sim.RunBranches(branches, predictor.NewGShare(n, histBits, 2), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			gsh = append(gsh, res.MissPercent())
-
-			gs := predictor.MustGSkewed(predictor.Config{
-				BankBits:    n - 2,
-				HistoryBits: histBits,
-				Policy:      predictor.PartialUpdate,
-			})
-			res, err = sim.RunBranches(branches, gs, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			gsk = append(gsk, res.MissPercent())
+			preds = append(preds,
+				predictor.NewGShare(n, histBits, 2),
+				predictor.MustGSkewed(predictor.Config{
+					BankBits:    n - 2,
+					HistoryBits: histBits,
+					Policy:      predictor.PartialUpdate,
+				}))
+		}
+		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var gsh, gsk []float64
+		for i := range sizes {
+			gsh = append(gsh, results[2*i].MissPercent())
+			gsk = append(gsk, results[2*i+1].MissPercent())
 		}
 		fig.AddSeries("gshare", gsh)
 		fig.AddSeries("gskewed-3x(N/4)", gsk)
@@ -79,7 +80,8 @@ func runSizeSweep(ctx *Context, histBits uint, sizes []uint) (Renderable, error)
 }
 
 // historySweep runs a set of predictor constructors across history
-// lengths and returns a per-benchmark bundle.
+// lengths and returns a per-benchmark bundle. The full (predictor,
+// history) cross product of a benchmark runs in one RunMany pass.
 func historySweep(ctx *Context, title string, hists []uint,
 	preds []struct {
 		name  string
@@ -90,14 +92,20 @@ func historySweep(ctx *Context, title string, hists []uint,
 		for _, k := range hists {
 			fig.Xs = append(fig.Xs, float64(k))
 		}
+		built := make([]predictor.Predictor, 0, len(preds)*len(hists))
 		for _, pd := range preds {
-			var ys []float64
 			for _, k := range hists {
-				res, err := sim.RunBranches(branches, pd.build(k), sim.Options{})
-				if err != nil {
-					return nil, err
-				}
-				ys = append(ys, res.MissPercent())
+				built = append(built, pd.build(k))
+			}
+		}
+		results, err := sim.RunManyBranches(branches, built, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for pi, pd := range preds {
+			ys := make([]float64, len(hists))
+			for ki := range hists {
+				ys[ki] = results[pi*len(hists)+ki].MissPercent()
 			}
 			fig.AddSeries(pd.name, ys)
 		}
@@ -133,31 +141,25 @@ func runFig8(ctx *Context) (Renderable, error) {
 	sizes := []uint{8, 10, 12} // N = 256, 1k, 4k
 	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
 		fig := report.NewFigure(name, "N entries", "miss %")
-		var fa, partial, total []float64
+		preds := make([]predictor.Predictor, 0, 3*len(sizes))
 		for _, n := range sizes {
 			fig.Xs = append(fig.Xs, float64(uint64(1)<<n))
-
-			res, err := sim.RunBranches(branches,
-				predictor.NewAssocLRU(1<<n, histBits, 2), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			fa = append(fa, res.MissPercent())
-
+			preds = append(preds, predictor.NewAssocLRU(1<<n, histBits, 2))
 			for _, pol := range []predictor.UpdatePolicy{predictor.PartialUpdate, predictor.TotalUpdate} {
-				gs := predictor.MustGSkewed(predictor.Config{
+				preds = append(preds, predictor.MustGSkewed(predictor.Config{
 					BankBits: n, HistoryBits: histBits, Policy: pol,
-				})
-				res, err := sim.RunBranches(branches, gs, sim.Options{})
-				if err != nil {
-					return nil, err
-				}
-				if pol == predictor.PartialUpdate {
-					partial = append(partial, res.MissPercent())
-				} else {
-					total = append(total, res.MissPercent())
-				}
+				}))
 			}
+		}
+		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var fa, partial, total []float64
+		for i := range sizes {
+			fa = append(fa, results[3*i].MissPercent())
+			partial = append(partial, results[3*i+1].MissPercent())
+			total = append(total, results[3*i+2].MissPercent())
 		}
 		fig.AddSeries("N-assoc-lru", fa)
 		fig.AddSeries("3N-gskewed-partial", partial)

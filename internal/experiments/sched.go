@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Sched is a bounded worker pool for (experiment, benchmark) cells.
+// One Sched is shared by every experiment of a run, so the number of
+// in-flight simulation cells never exceeds its width no matter how
+// many experiments are being assembled concurrently.
+//
+// A Sched is safe for concurrent use. It holds no goroutines of its
+// own: Map spawns workers per call and gates them on a shared
+// semaphore, so an idle Sched costs nothing.
+type Sched struct {
+	jobs int
+	sem  chan struct{}
+}
+
+// NewSched returns a scheduler running at most jobs cells at once.
+// jobs <= 0 selects GOMAXPROCS. NewSched(1) yields a fully serial
+// scheduler: Map runs its function inline in index order, with no
+// goroutines, preserving the exact execution order of a serial sweep.
+func NewSched(jobs int) *Sched {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Sched{jobs: jobs, sem: make(chan struct{}, jobs)}
+}
+
+// Jobs returns the scheduler width.
+func (s *Sched) Jobs() int { return s.jobs }
+
+// Map runs fn(0..n-1) as cells bounded by the scheduler width and
+// waits for all of them. If any calls fail it returns the error of the
+// lowest failing index, so the reported error is deterministic under
+// concurrency. Cells must not call Map themselves (cells are leaves;
+// nesting could deadlock a fully loaded scheduler).
+func (s *Sched) Map(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if s.jobs == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes the given experiments over ctx and returns their
+// results in input order. Experiments run concurrently as lightweight
+// orchestrators — the heavy per-benchmark simulation cells they spawn
+// are bounded by the context's scheduler — and results are assembled
+// in index order regardless of completion order, so rendering the
+// returned slice is byte-identical to a serial run. With a width-1
+// scheduler the experiments run strictly one after another, in order.
+func RunAll(ctx *Context, exps []Experiment) ([]Renderable, error) {
+	results := make([]Renderable, len(exps))
+	if ctx.sched().Jobs() == 1 {
+		for i, e := range exps {
+			r, err := e.Run(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	wg.Add(len(exps))
+	for i, e := range exps {
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			r, err := e.Run(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", e.ID, err)
+				return
+			}
+			results[i] = r
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

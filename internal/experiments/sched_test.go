@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gskew/internal/trace"
+)
+
+func TestMapRunsEveryIndexBounded(t *testing.T) {
+	s := NewSched(2)
+	var ran [16]int32
+	var inFlight, peak int32
+	err := s.Map(len(ran), func(i int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&ran[i], 1)
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Errorf("index %d ran %d times", i, n)
+		}
+	}
+	if p := atomic.LoadInt32(&peak); p > 2 {
+		t.Errorf("peak concurrency %d exceeds scheduler width 2", p)
+	}
+}
+
+// TestMapCellsRunConcurrently proves at least 4 cells are genuinely
+// in flight at once: every cell blocks on a barrier that only opens
+// when all 4 have arrived, so a scheduler that serialised them would
+// deadlock (caught by the test timeout).
+func TestMapCellsRunConcurrently(t *testing.T) {
+	s := NewSched(4)
+	var barrier sync.WaitGroup
+	barrier.Add(4)
+	err := s.Map(4, func(i int) error {
+		barrier.Done()
+		barrier.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	s := NewSched(4)
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := s.Map(8, func(i int) error {
+		switch i {
+		case 2:
+			return errLow
+		case 5:
+			return errHigh
+		default:
+			return nil
+		}
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("Map error = %v, want the lowest failing index's error %v", err, errLow)
+	}
+}
+
+func TestMapSerialSchedulerPreservesOrder(t *testing.T) {
+	s := NewSched(1)
+	if s.Jobs() != 1 {
+		t.Fatalf("Jobs() = %d", s.Jobs())
+	}
+	var order []int
+	err := s.Map(5, func(i int) error {
+		order = append(order, i) // no lock: width 1 means inline calls
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial execution order %v, want 0..4 in order", order)
+		}
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	if err := NewSched(4).Map(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceConcurrentSameSlice checks the per-key sync.Once cache:
+// racing goroutines must all observe the one generated trace (same
+// backing array), never a duplicate generation.
+func TestTraceConcurrentSameSlice(t *testing.T) {
+	ctx := &Context{Scale: 0.002}
+	const goroutines = 8
+	ptrs := make([]*trace.Branch, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			branches, err := ctx.Trace("verilog")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(branches) == 0 {
+				t.Error("empty trace")
+				return
+			}
+			ptrs[g] = &branches[0]
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if ptrs[g] != ptrs[0] {
+			t.Errorf("goroutine %d got a different trace slice (generated twice?)", g)
+		}
+	}
+}
+
+// TestRunAllDeterministicAcrossJobs renders a representative slice of
+// the suite (simulation tables, per-benchmark bundles, figures) under
+// a serial and a wide scheduler and requires byte-identical output —
+// the contract `cmd/experiments` relies on for -jobs.
+func TestRunAllDeterministicAcrossJobs(t *testing.T) {
+	ids := []string{"table1", "fig3", "fig4", "fig9", "ablation-counters"}
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps[i] = e
+	}
+	render := func(jobs int) []byte {
+		t.Helper()
+		ctx := &Context{
+			Scale:      0.005,
+			Benchmarks: []string{"verilog", "nroff"},
+			Sched:      NewSched(jobs),
+		}
+		results, err := RunAll(ctx, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for i, r := range results {
+			buf.WriteString("== " + exps[i].ID + " ==\n")
+			if err := r.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	wide := render(4)
+	if !bytes.Equal(serial, wide) {
+		t.Errorf("rendered output differs between -jobs 1 (%d bytes) and -jobs 4 (%d bytes)",
+			len(serial), len(wide))
+	}
+}

@@ -28,11 +28,7 @@ func init() {
 func runTable1(ctx *Context) (Renderable, error) {
 	t := report.NewTable("Table 1: conditional branch counts",
 		"benchmark", "dynamic", "static", "paper dynamic", "paper static", "scale")
-	for _, name := range ctx.BenchmarkNames() {
-		branches, err := ctx.Trace(name)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
 		st, err := trace.Measure(trace.NewSliceSource(branches))
 		if err != nil {
 			return nil, err
@@ -41,44 +37,59 @@ func runTable1(ctx *Context) (Renderable, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, st.Dynamic, st.Static,
+		return []any{name, st.Dynamic, st.Static,
 			spec.DynamicBranches, spec.StaticBranches,
-			fmt.Sprintf("%.2f", ctx.scale()))
+			fmt.Sprintf("%.2f", ctx.scale())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
 
+// table2Cells holds one benchmark's Table 2 quantities for both
+// history lengths, computed in a single scheduler cell.
+type table2Cells struct {
+	substream, compulsory [2]string
+	rate1, rate2          [2]string
+}
+
 func runTable2(ctx *Context) (Renderable, error) {
+	hists := []uint{4, 12}
+	cells, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) (table2Cells, error) {
+		var out table2Cells
+		for i, k := range hists {
+			// Both counter widths share one trace pass.
+			u1 := predictor.NewUnaliased(k, 1)
+			u2 := predictor.NewUnaliased(k, 2)
+			results, err := sim.RunManyBranches(branches,
+				[]predictor.Predictor{u1, u2}, sim.Options{SkipFirstUse: true})
+			if err != nil {
+				return table2Cells{}, err
+			}
+			out.rate1[i] = fmt.Sprintf("%.2f %%", results[0].MissPercent())
+			out.rate2[i] = fmt.Sprintf("%.2f %%", results[1].MissPercent())
+			out.substream[i] = fmt.Sprintf("%.2f", u2.SubstreamRatio())
+			// Compulsory aliasing: distinct (address, history) pairs per
+			// dynamic conditional branch (section 3.1).
+			out.compulsory[i] = fmt.Sprintf("%.2f %%",
+				100*float64(u2.Substreams())/float64(results[1].Conditionals))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	bundle := &Bundle{Title: "Table 2: unaliased predictor"}
-	for _, k := range []uint{4, 12} {
+	for i, k := range hists {
 		t := report.NewTable(fmt.Sprintf("%d-bit history", k),
 			"benchmark", "substream ratio", "compulsory aliasing", "mispredict 1-bit", "mispredict 2-bit")
-		for _, name := range ctx.BenchmarkNames() {
-			branches, err := ctx.Trace(name)
-			if err != nil {
-				return nil, err
-			}
-			var rates [2]float64
-			var substreamRatio, compulsory float64
-			for i, bits := range []uint{1, 2} {
-				u := predictor.NewUnaliased(k, bits)
-				res, err := sim.RunBranches(branches, u, sim.Options{SkipFirstUse: true})
-				if err != nil {
-					return nil, err
-				}
-				rates[i] = res.MissPercent()
-				if bits == 2 {
-					substreamRatio = u.SubstreamRatio()
-					// Compulsory aliasing: distinct (address, history)
-					// pairs per dynamic conditional branch (section 3.1).
-					compulsory = 100 * float64(u.Substreams()) / float64(res.Conditionals)
-				}
-			}
-			t.AddRow(name,
-				fmt.Sprintf("%.2f", substreamRatio),
-				fmt.Sprintf("%.2f %%", compulsory),
-				fmt.Sprintf("%.2f %%", rates[0]),
-				fmt.Sprintf("%.2f %%", rates[1]))
+		for j, name := range ctx.BenchmarkNames() {
+			c := cells[j]
+			t.AddRow(name, c.substream[i], c.compulsory[i], c.rate1[i], c.rate2[i])
 		}
 		bundle.Add(t)
 	}

@@ -31,47 +31,60 @@ func runExtVariance(ctx *Context) (Renderable, error) {
 		fmt.Sprintf("Seed variance over %d replicates (16k-gshare vs 3x4k-egskew, h=%d): miss %% mean ± CI95",
 			replicates, histBits),
 		"benchmark", "gshare", "egskew", "delta (gshare − egskew)", "significant?")
-	for _, name := range ctx.BenchmarkNames() {
-		spec, err := workload.ByName(name)
+	// Each (benchmark, replicate) is an independent scheduler cell: the
+	// replicate traces are seed-perturbed regenerations, not the cached
+	// benchmark traces, so they bypass the Context cache on purpose.
+	names := ctx.BenchmarkNames()
+	gsh := make([][]float64, len(names))
+	egs := make([][]float64, len(names))
+	for i := range names {
+		gsh[i] = make([]float64, replicates)
+		egs[i] = make([]float64, replicates)
+	}
+	err := ctx.sched().Map(len(names)*replicates, func(cell int) error {
+		bi, rep := cell/replicates, cell%replicates
+		spec, err := workload.ByName(names[bi])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var gsh, egs []float64
-		for rep := 0; rep < replicates; rep++ {
-			g, err := workload.New(spec, workload.Config{
-				Scale:      ctx.scale() / 2, // replicates multiply the work
-				SeedOffset: ctx.SeedOffset + uint64(rep)*0x9e3779b9,
-			})
-			if err != nil {
-				return nil, err
-			}
-			branches, err := trace.Collect(workload.NewTake(g, g.Length()))
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.RunBranches(branches, predictor.NewGShare(14, histBits, 2), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			gsh = append(gsh, res.MissPercent())
-			res, err = sim.RunBranches(branches, predictor.MustGSkewed(predictor.Config{
+		g, err := workload.New(spec, workload.Config{
+			Scale:      ctx.scale() / 2, // replicates multiply the work
+			SeedOffset: ctx.SeedOffset + uint64(rep)*0x9e3779b9,
+		})
+		if err != nil {
+			return err
+		}
+		branches, err := trace.Collect(workload.NewTake(g, g.Length()))
+		if err != nil {
+			return err
+		}
+		results, err := sim.RunManyBranches(branches, []predictor.Predictor{
+			predictor.NewGShare(14, histBits, 2),
+			predictor.MustGSkewed(predictor.Config{
 				BankBits: 12, HistoryBits: histBits,
 				Policy: predictor.PartialUpdate, Enhanced: true,
-			}), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			egs = append(egs, res.MissPercent())
+			}),
+		}, sim.Options{})
+		if err != nil {
+			return err
 		}
-		delta, err := stats.PairedDelta(gsh, egs)
+		gsh[bi][rep] = results[0].MissPercent()
+		egs[bi][rep] = results[1].MissPercent()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		delta, err := stats.PairedDelta(gsh[i], egs[i])
 		if err != nil {
 			return nil, err
 		}
-		sig, err := stats.SignificantlyDifferent(gsh, egs)
+		sig, err := stats.SignificantlyDifferent(gsh[i], egs[i])
 		if err != nil {
 			return nil, err
 		}
-		sGsh, sEgs := stats.Summarize(gsh), stats.Summarize(egs)
+		sGsh, sEgs := stats.Summarize(gsh[i]), stats.Summarize(egs[i])
 		t.AddRow(name,
 			fmt.Sprintf("%.2f ± %.2f", sGsh.Mean, sGsh.CI95()),
 			fmt.Sprintf("%.2f ± %.2f", sEgs.Mean, sEgs.CI95()),

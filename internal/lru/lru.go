@@ -194,6 +194,27 @@ func (c *Cache) Peek(key uint64) (v uint8, ok bool) {
 	return
 }
 
+// Fetch touches key as most recently used, inserting it if absent (and
+// evicting the LRU entry if needed). It returns the value currently
+// stored and whether the key was already present; on a fresh insert the
+// value is unspecified until the caller follows up with Store, which it
+// must. Fetch+Store fuse the Get+Put pair of a read-modify-write into
+// one recency operation.
+func (c *Cache) Fetch(key uint64) (v uint8, hit bool) {
+	hit, evicted, didEvict := c.set.Touch(key)
+	if didEvict {
+		delete(c.values, evicted)
+	}
+	if hit {
+		v = c.values[key]
+	}
+	return v, hit
+}
+
+// Store overwrites the value for a key made resident by a preceding
+// Fetch, without touching recency.
+func (c *Cache) Store(key uint64, v uint8) { c.values[key] = v }
+
 // Put inserts or updates key with value v (as most recently used),
 // evicting the LRU entry if needed. It returns the evicted key, if any.
 func (c *Cache) Put(key uint64, v uint8) (evicted uint64, didEvict bool) {

@@ -32,6 +32,12 @@ type TwoBcGSkew struct {
 	mask              uint64
 	histG0            uint
 	histG1            uint
+
+	// Memoised read state across the Predict/Update pair the runner
+	// issues per branch; invalidated whenever a table changes.
+	lastAddr, lastHist uint64
+	last               ev8State
+	lastOK             bool
 }
 
 // NewTwoBcGSkew returns a 2Bc-gskew with four 2^n-entry tables. G0
@@ -98,9 +104,19 @@ func (t *TwoBcGSkew) read(addr, hist uint64) ev8State {
 	return s
 }
 
+// readCached memoises read across the Predict/Update pair.
+func (t *TwoBcGSkew) readCached(addr, hist uint64) ev8State {
+	if t.lastOK && t.lastAddr == addr && t.lastHist == hist {
+		return t.last
+	}
+	t.last = t.read(addr, hist)
+	t.lastAddr, t.lastHist, t.lastOK = addr, hist, true
+	return t.last
+}
+
 // Predict implements Predictor.
 func (t *TwoBcGSkew) Predict(addr, hist uint64) bool {
-	return t.read(addr, hist).overall
+	return t.readCached(addr, hist).overall
 }
 
 // Update implements Predictor, following the EV8 partial-update
@@ -113,7 +129,21 @@ func (t *TwoBcGSkew) Predict(addr, hist uint64) bool {
 //   - META trains whenever the two strategies would have differed in
 //     correctness, toward the one that was right.
 func (t *TwoBcGSkew) Update(addr, hist uint64, taken bool) {
-	s := t.read(addr, hist)
+	s := t.readCached(addr, hist)
+	t.train(s, taken)
+}
+
+// Step implements Stepper: one table read phase serves prediction and
+// training.
+func (t *TwoBcGSkew) Step(addr, hist uint64, taken bool) bool {
+	s := t.readCached(addr, hist)
+	t.train(s, taken)
+	return s.overall
+}
+
+// train applies the EV8 partial-update discipline to a read state.
+func (t *TwoBcGSkew) train(s ev8State, taken bool) {
+	t.lastOK = false // table state changes below
 	if s.overall == taken {
 		if s.useMajority {
 			if s.bim == taken {
@@ -155,6 +185,7 @@ func (t *TwoBcGSkew) Reset() {
 	t.g0.Reset()
 	t.g1.Reset()
 	t.meta.Reset()
+	t.lastOK = false
 }
 
 // String describes the configuration.

@@ -42,6 +42,7 @@ func (p UpdatePolicy) String() string {
 // across banks deciding the prediction.
 type GSkewed struct {
 	banks    []counter.Bank
+	tabs     []*counter.Table // non-nil when every bank is a plain Table: devirtualised hot path
 	skew     *skewfn.Skewer
 	policy   UpdatePolicy
 	histBits uint
@@ -50,6 +51,15 @@ type GSkewed struct {
 
 	idx   []uint64 // scratch: per-bank indices
 	preds []bool   // scratch: per-bank predictions
+
+	// Memoisation across the Predict/Update pair the runner issues per
+	// branch: idx depends only on the reference key (so idxOK survives
+	// updates), while preds and the vote read bank state (voteOK is
+	// cleared whenever the banks change).
+	keyAddr, keyHist uint64
+	idxOK            bool
+	voteOK           bool
+	lastVote         bool
 }
 
 // Config parameterises a skewed predictor.
@@ -116,7 +126,9 @@ func NewGSkewed(cfg Config) (*GSkewed, error) {
 		if cfg.SharedHysteresis > 0 {
 			g.banks = append(g.banks, counter.NewSplitTable(1<<cfg.BankBits, cfg.SharedHysteresis))
 		} else {
-			g.banks = append(g.banks, counter.NewTable(1<<cfg.BankBits, cfg.CounterBits))
+			t := counter.NewTable(1<<cfg.BankBits, cfg.CounterBits)
+			g.banks = append(g.banks, t)
+			g.tabs = append(g.tabs, t)
 		}
 	}
 	if cfg.Enhanced {
@@ -137,8 +149,14 @@ func MustGSkewed(cfg Config) *GSkewed {
 	return g
 }
 
-// indices fills g.idx for the reference.
+// indices fills g.idx for the reference, reusing the memoised indices
+// when the reference key repeats.
 func (g *GSkewed) indices(addr, hist uint64) {
+	if g.idxOK && g.keyAddr == addr && g.keyHist == hist {
+		return
+	}
+	g.keyAddr, g.keyHist = addr, hist
+	g.idxOK, g.voteOK = true, false
 	v := indexfn.Vector(addr, hist, g.histBits)
 	if g.enhanced {
 		// Bank 0: plain address truncation; banks 1 and 2: f1, f2 of
@@ -155,6 +173,17 @@ func (g *GSkewed) indices(addr, hist uint64) {
 // majority direction.
 func (g *GSkewed) vote() bool {
 	ayes := 0
+	if g.tabs != nil {
+		// Devirtualised: direct (inlinable) table reads.
+		for k, t := range g.tabs {
+			p := t.Predict(g.idx[k])
+			g.preds[k] = p
+			if p {
+				ayes++
+			}
+		}
+		return ayes*2 > len(g.tabs)
+	}
 	for k, bank := range g.banks {
 		p := bank.Predict(g.idx[k])
 		g.preds[k] = p
@@ -165,24 +194,59 @@ func (g *GSkewed) vote() bool {
 	return ayes*2 > len(g.banks)
 }
 
+// cachedVote returns the majority direction for the current indices,
+// reusing the vote (and g.preds) computed by a preceding Predict of
+// the same reference when the banks have not changed since.
+func (g *GSkewed) cachedVote() bool {
+	if !g.voteOK {
+		g.lastVote = g.vote()
+		g.voteOK = true
+	}
+	return g.lastVote
+}
+
 // Predict implements Predictor.
 func (g *GSkewed) Predict(addr, hist uint64) bool {
 	g.indices(addr, hist)
-	return g.vote()
+	return g.cachedVote()
 }
 
 // Update implements Predictor.
 func (g *GSkewed) Update(addr, hist uint64, taken bool) {
 	g.indices(addr, hist)
-	overall := g.vote()
-	for k, bank := range g.banks {
-		if g.policy == PartialUpdate && overall == taken && g.preds[k] != taken {
-			// Overall prediction was good; leave the dissenting bank
-			// to serve whatever substream it is tracking.
-			continue
+	g.train(g.cachedVote(), taken)
+}
+
+// Step implements Stepper: Predict and Update fused, computing the
+// indices and the vote once.
+func (g *GSkewed) Step(addr, hist uint64, taken bool) bool {
+	g.indices(addr, hist)
+	overall := g.cachedVote()
+	g.train(overall, taken)
+	return overall
+}
+
+// train applies the update policy given the overall vote.
+func (g *GSkewed) train(overall, taken bool) {
+	partialSkip := g.policy == PartialUpdate && overall == taken
+	if g.tabs != nil {
+		for k, t := range g.tabs {
+			if partialSkip && g.preds[k] != taken {
+				// Overall prediction was good; leave the dissenting
+				// bank to serve whatever substream it is tracking.
+				continue
+			}
+			t.Update(g.idx[k], taken)
 		}
-		bank.Update(g.idx[k], taken)
+	} else {
+		for k, bank := range g.banks {
+			if partialSkip && g.preds[k] != taken {
+				continue
+			}
+			bank.Update(g.idx[k], taken)
+		}
 	}
+	g.voteOK = false // bank state changed
 }
 
 // Name implements Predictor.
@@ -205,6 +269,7 @@ func (g *GSkewed) Reset() {
 	for _, b := range g.banks {
 		b.Reset()
 	}
+	g.voteOK = false
 }
 
 // Banks returns the number of banks.
@@ -248,7 +313,7 @@ func (g *GSkewed) BankValue(k int, addr, hist uint64) uint8 {
 // how much more accurate unanimous predictions are.
 func (g *GSkewed) PredictConfident(addr, hist uint64) (taken, unanimous bool) {
 	g.indices(addr, hist)
-	taken = g.vote()
+	taken = g.cachedVote()
 	unanimous = true
 	for _, p := range g.preds {
 		if p != taken {

@@ -32,6 +32,15 @@ type Predictor interface {
 	Reset()
 }
 
+// Stepper is an optional fast path: Step is exactly
+// Predict-then-Update fused into one call, returning the prediction.
+// It must leave the predictor in the same state as the two separate
+// calls; the simulation runners use it to avoid duplicate index
+// computation and per-event interface dispatch on the hot loop.
+type Stepper interface {
+	Step(addr, hist uint64, taken bool) bool
+}
+
 // FirstUseTracker is implemented by predictors that can report whether
 // an (address, history) pair has been seen before. The simulation
 // runner uses it to exclude compulsory references from misprediction

@@ -21,6 +21,14 @@ type Unaliased struct {
 	histBits uint
 	ctrBits  uint
 	addrs    map[uint64]struct{} // distinct branch addresses, for substream ratio
+
+	// Memoised lookup for the Seen/Predict/Update sequence the runner
+	// issues per branch: one map probe serves all three. Invalidated
+	// whenever the map changes.
+	lastVec  uint64
+	lastCtr  counter.Counter
+	lastSeen bool
+	lookOK   bool
 }
 
 // NewUnaliased returns an infinite table of counterBits-wide automata
@@ -37,10 +45,22 @@ func NewUnaliased(k, counterBits uint) *Unaliased {
 	}
 }
 
+// lookup probes the substream map, reusing the memoised probe when the
+// reference repeats (the Seen/Predict/Update pattern of the runner).
+func (u *Unaliased) lookup(addr, hist uint64) (uint64, counter.Counter, bool) {
+	v := indexfn.Vector(addr, hist, u.histBits)
+	if u.lookOK && u.lastVec == v {
+		return v, u.lastCtr, u.lastSeen
+	}
+	c, ok := u.counters[v]
+	u.lastVec, u.lastCtr, u.lastSeen, u.lookOK = v, c, ok, true
+	return v, c, ok
+}
+
 // Predict implements Predictor. Unknown substreams predict taken (the
 // static fallback); the runner normally filters these out via Seen.
 func (u *Unaliased) Predict(addr, hist uint64) bool {
-	c, ok := u.counters[indexfn.Vector(addr, hist, u.histBits)]
+	_, c, ok := u.lookup(addr, hist)
 	if !ok {
 		return true
 	}
@@ -49,8 +69,7 @@ func (u *Unaliased) Predict(addr, hist uint64) bool {
 
 // Update implements Predictor.
 func (u *Unaliased) Update(addr, hist uint64, taken bool) {
-	v := indexfn.Vector(addr, hist, u.histBits)
-	c, ok := u.counters[v]
+	v, c, ok := u.lookup(addr, hist)
 	if !ok {
 		u.addrs[addr] = struct{}{}
 		// A fresh substream starts from the weak state agreeing with
@@ -63,12 +82,33 @@ func (u *Unaliased) Update(addr, hist uint64, taken bool) {
 		}
 	}
 	u.counters[v] = c.Update(taken)
+	u.lookOK = false // map changed
 }
 
 // Seen implements FirstUseTracker.
 func (u *Unaliased) Seen(addr, hist uint64) bool {
-	_, ok := u.counters[indexfn.Vector(addr, hist, u.histBits)]
+	_, _, ok := u.lookup(addr, hist)
 	return ok
+}
+
+// Step implements Stepper: one map probe (often pre-warmed by Seen)
+// serves prediction and training.
+func (u *Unaliased) Step(addr, hist uint64, taken bool) bool {
+	v, c, ok := u.lookup(addr, hist)
+	pred := true
+	if ok {
+		pred = c.Predict()
+	} else {
+		u.addrs[addr] = struct{}{}
+		if taken {
+			c = counter.WeaklyTaken(u.ctrBits)
+		} else {
+			c = counter.WeaklyNotTaken(u.ctrBits)
+		}
+	}
+	u.counters[v] = c.Update(taken)
+	u.lookOK = false // map changed
+	return pred
 }
 
 // Name implements Predictor.
@@ -85,6 +125,7 @@ func (u *Unaliased) StorageBits() int { return len(u.counters) * int(u.ctrBits) 
 func (u *Unaliased) Reset() {
 	clear(u.counters)
 	clear(u.addrs)
+	u.lookOK = false
 }
 
 // Substreams returns the number of distinct (address, history) pairs
@@ -157,6 +198,28 @@ func (a *AssocLRU) Update(addr, hist uint64, taken bool) {
 		c = counter.WeaklyNotTaken(a.ctrBits)
 	}
 	a.cache.Put(v, c.Update(taken).Value())
+}
+
+// Step implements Stepper: one recency operation (Fetch+Store) replaces
+// the Peek/Get/Put triple of separate Predict and Update calls. The
+// recency outcome is identical — Predict never touches recency, and
+// Update's net effect is one touch-or-insert — so the eviction sequence
+// matches the two-call path exactly.
+func (a *AssocLRU) Step(addr, hist uint64, taken bool) bool {
+	v := indexfn.Vector(addr, hist, a.histBits)
+	raw, hit := a.cache.Fetch(v)
+	pred := true
+	var c counter.Counter
+	if hit {
+		c = counter.New(a.ctrBits, raw)
+		pred = c.Predict()
+	} else if taken {
+		c = counter.WeaklyTaken(a.ctrBits)
+	} else {
+		c = counter.WeaklyNotTaken(a.ctrBits)
+	}
+	a.cache.Store(v, c.Update(taken).Value())
+	return pred
 }
 
 // Seen implements FirstUseTracker relative to current residency: a

@@ -13,6 +13,12 @@ import (
 type Single struct {
 	fn    indexfn.Func
 	table *counter.Table
+
+	// Last computed index, memoised across the Predict/Update pair the
+	// simulation runner issues per branch. The index is a pure function
+	// of (addr, hist), so the cache never goes stale.
+	lastAddr, lastHist, lastIdx uint64
+	idxOK                       bool
 }
 
 // NewSingle returns a one-bank predictor over the given index function
@@ -42,14 +48,36 @@ func NewBimodal(n, counterBits uint) *Single {
 	return NewSingle(indexfn.NewBimodal(n), counterBits)
 }
 
+// index returns fn.Index(addr, hist), reusing the memoised value when
+// the reference repeats (the Predict-then-Update pattern of the
+// runner).
+func (s *Single) index(addr, hist uint64) uint64 {
+	if s.idxOK && s.lastAddr == addr && s.lastHist == hist {
+		return s.lastIdx
+	}
+	s.lastAddr, s.lastHist = addr, hist
+	s.lastIdx = s.fn.Index(addr, hist)
+	s.idxOK = true
+	return s.lastIdx
+}
+
 // Predict implements Predictor.
 func (s *Single) Predict(addr, hist uint64) bool {
-	return s.table.Predict(s.fn.Index(addr, hist))
+	return s.table.Predict(s.index(addr, hist))
 }
 
 // Update implements Predictor.
 func (s *Single) Update(addr, hist uint64, taken bool) {
-	s.table.Update(s.fn.Index(addr, hist), taken)
+	s.table.Update(s.index(addr, hist), taken)
+}
+
+// Step implements Stepper: one index computation serves both the
+// prediction and the training.
+func (s *Single) Step(addr, hist uint64, taken bool) bool {
+	idx := s.fn.Index(addr, hist)
+	pred := s.table.Predict(idx)
+	s.table.Update(idx, taken)
+	return pred
 }
 
 // Name implements Predictor.

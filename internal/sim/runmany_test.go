@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"io"
+	"testing"
+
+	"gskew/internal/predictor"
+	"gskew/internal/trace"
+)
+
+// manyTestTrace builds a deterministic synthetic trace with correlated
+// conditionals, noise conditionals and interspersed unconditional
+// branches, long enough to exercise aliasing, first uses and flushes.
+func manyTestTrace(n int) []trace.Branch {
+	branches := make([]trace.Branch, 0, n)
+	state := uint64(0x2545f4914f6cdd1d)
+	for len(branches) < n {
+		// xorshift64* — deterministic, no seeding concerns.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		r := state * 0x2545f4914f6cdd1d
+		pc := 0x400000 + (r>>8)%257*4
+		switch r % 7 {
+		case 0:
+			branches = append(branches, trace.Branch{PC: pc, Taken: true, Kind: trace.Unconditional})
+		case 1, 2:
+			// Loop-like branch: taken except every 5th visit.
+			branches = append(branches, trace.Branch{PC: 0x400010, Taken: len(branches)%5 != 0, Kind: trace.Conditional})
+		case 3:
+			// History-correlated: outcome equals a bit of recent control flow.
+			branches = append(branches, trace.Branch{PC: 0x400020, Taken: (r>>16)&1 == 0, Kind: trace.Conditional})
+		default:
+			// Cold/noisy branches across many PCs (first uses, conflicts).
+			branches = append(branches, trace.Branch{PC: pc, Taken: r&3 != 0, Kind: trace.Conditional})
+		}
+	}
+	return branches
+}
+
+// families returns one fresh instance of every predictor organisation
+// in the repo. Fresh instances per call so the sequential and RunMany
+// arms never share trained state.
+func families() map[string]func() predictor.Predictor {
+	return map[string]func() predictor.Predictor{
+		"bimodal":        func() predictor.Predictor { return predictor.NewBimodal(8, 2) },
+		"gshare":         func() predictor.Predictor { return predictor.NewGShare(8, 6, 2) },
+		"gselect":        func() predictor.Predictor { return predictor.NewGSelect(8, 4, 2) },
+		"gskewed-partial": func() predictor.Predictor {
+			return predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5})
+		},
+		"gskewed-total": func() predictor.Predictor {
+			return predictor.MustGSkewed(predictor.Config{
+				BankBits: 6, HistoryBits: 5, Policy: predictor.TotalUpdate,
+			})
+		},
+		"egskew": func() predictor.Predictor {
+			return predictor.MustGSkewed(predictor.Config{
+				BankBits: 6, HistoryBits: 8, Enhanced: true,
+			})
+		},
+		"ev8": func() predictor.Predictor { return predictor.MustTwoBcGSkew(7, 3, 9) },
+		"hybrid": func() predictor.Predictor {
+			return predictor.MustHybrid(
+				predictor.NewBimodal(7, 2), predictor.NewGShare(7, 6, 2), 7)
+		},
+		"unaliased": func() predictor.Predictor { return predictor.NewUnaliased(6, 2) },
+		"assoc-lru": func() predictor.Predictor { return predictor.NewAssocLRU(64, 5, 2) },
+		"agree":     func() predictor.Predictor { return predictor.MustAgree(7, 5, 2, 2) },
+		"bimode":    func() predictor.Predictor { return predictor.MustBiMode(7, 5, 2, 2) },
+		"pas":       func() predictor.Predictor { return predictor.MustPAs(6, 4, 7, 2) },
+	}
+}
+
+// TestRunManyMatchesSequential is the bit-identity contract: one
+// RunMany pass must return, for every predictor family and every
+// Options combination, the exact Result a dedicated sequential Run
+// would produce.
+func TestRunManyMatchesSequential(t *testing.T) {
+	branches := manyTestTrace(6000)
+	optsCases := map[string]Options{
+		"default":        {},
+		"skip-first-use": {SkipFirstUse: true},
+		"flush":          {FlushEvery: 97},
+		"flush+skip":     {SkipFirstUse: true, FlushEvery: 53},
+		"hist-override":  {HistoryBits: 6},
+	}
+	fams := families()
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+
+	for optName, opts := range optsCases {
+		t.Run(optName, func(t *testing.T) {
+			// Sequential baseline: one fresh predictor per family.
+			want := make([]Result, len(names))
+			for i, name := range names {
+				res, err := RunBranches(branches, fams[name](), opts)
+				if err != nil {
+					t.Fatalf("%s: sequential: %v", name, err)
+				}
+				want[i] = res
+			}
+			// Single pass over fresh instances of the whole set.
+			preds := make([]predictor.Predictor, len(names))
+			for i, name := range names {
+				preds[i] = fams[name]()
+			}
+			got, err := RunManyBranches(branches, preds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, name := range names {
+				if got[i] != want[i] {
+					t.Errorf("%s: RunMany = %+v, sequential Run = %+v", name, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStepperMatchesPredictUpdate pins the Stepper contract directly:
+// for every family implementing it, Step on one instance must return
+// the same predictions — and leave the same trained state — as separate
+// Predict and Update calls on a twin instance fed the identical stream.
+func TestStepperMatchesPredictUpdate(t *testing.T) {
+	branches := manyTestTrace(6000)
+	for name, build := range families() {
+		t.Run(name, func(t *testing.T) {
+			fused := build()
+			stepper, ok := fused.(predictor.Stepper)
+			if !ok {
+				t.Skipf("%s does not implement Stepper", name)
+			}
+			split := build()
+			ghr := uint64(0)
+			mask := uint64(1)<<fused.HistoryBits() - 1
+			for i, b := range branches {
+				if b.Kind != trace.Conditional {
+					ghr = (ghr<<1 | 1) & mask
+					continue
+				}
+				want := split.Predict(b.PC, ghr)
+				split.Update(b.PC, ghr, b.Taken)
+				got := stepper.Step(b.PC, ghr, b.Taken)
+				if got != want {
+					t.Fatalf("branch %d: Step = %v, Predict = %v", i, got, want)
+				}
+				bit := uint64(0)
+				if b.Taken {
+					bit = 1
+				}
+				ghr = (ghr<<1 | bit) & mask
+			}
+		})
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	res, err := RunManyBranches(manyTestTrace(100), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Errorf("RunMany(no predictors) = %v, want nil", res)
+	}
+}
+
+// TestRunManyGenericSource checks the non-SliceSource path (no Drain
+// fast path) produces the same results.
+func TestRunManyGenericSource(t *testing.T) {
+	branches := manyTestTrace(2000)
+	build := func() []predictor.Predictor {
+		return []predictor.Predictor{
+			predictor.NewGShare(8, 6, 2),
+			predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5}),
+		}
+	}
+	fast, err := RunManyBranches(branches, build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunMany(&chanSource{branches: branches}, build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Errorf("predictor %d: slice path %+v != generic path %+v", i, fast[i], slow[i])
+		}
+	}
+}
+
+// chanSource is a minimal non-slice trace.Source.
+type chanSource struct {
+	branches []trace.Branch
+	pos      int
+}
+
+func (s *chanSource) Next() (trace.Branch, error) {
+	if s.pos >= len(s.branches) {
+		return trace.Branch{}, io.EOF
+	}
+	b := s.branches[s.pos]
+	s.pos++
+	return b, nil
+}

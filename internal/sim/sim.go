@@ -82,6 +82,7 @@ func Run(src trace.Source, p predictor.Predictor, opts Options) (Result, error) 
 	ghr := history.NewGlobal(k)
 	tracker, trackFirst := p.(predictor.FirstUseTracker)
 	trackFirst = trackFirst && opts.SkipFirstUse
+	stepper, _ := p.(predictor.Stepper)
 
 	var res Result
 	for {
@@ -106,10 +107,18 @@ func Run(src trace.Source, p predictor.Predictor, opts Options) (Result, error) 
 				res.FirstUses++
 				counted = false
 			}
-			if counted && p.Predict(b.PC, hist) != b.Taken {
-				res.Mispredicts++
+			if stepper != nil {
+				// Fused fast path; Predict is state-free, so always
+				// stepping is equivalent to predict-when-counted.
+				if stepper.Step(b.PC, hist, b.Taken) != b.Taken && counted {
+					res.Mispredicts++
+				}
+			} else {
+				if counted && p.Predict(b.PC, hist) != b.Taken {
+					res.Mispredicts++
+				}
+				p.Update(b.PC, hist, b.Taken)
 			}
-			p.Update(b.PC, hist, b.Taken)
 			ghr.Shift(b.Taken)
 		case trace.Unconditional:
 			res.Unconditionals++
@@ -125,17 +134,164 @@ func RunBranches(branches []trace.Branch, p predictor.Predictor, opts Options) (
 	return Run(trace.NewSliceSource(branches), p, opts)
 }
 
-// Compare runs the same in-memory trace through several predictors and
-// returns per-predictor results in order. Each predictor gets a fresh
-// pass over the trace with its own history register length.
-func Compare(branches []trace.Branch, preds []predictor.Predictor, opts Options) ([]Result, error) {
-	results := make([]Result, len(preds))
+// manyCell is the per-predictor state of a RunMany pass. Only the
+// counts that differ between predictors live here; the event counts
+// (conditionals, unconditionals, flushes) are identical across cells
+// by construction and are tracked once in the runner.
+type manyCell struct {
+	p          predictor.Predictor
+	stepper    predictor.Stepper // non-nil when p has the fused fast path
+	tracker    predictor.FirstUseTracker
+	mask       uint64
+	mispredict int
+	firstUse   int
+}
+
+// manyRunner drives several predictors over one decoding of a trace.
+// It owns a single history register of the longest length any predictor
+// consumes; each predictor sees that register masked to its own length,
+// which is exactly the value a dedicated register of that length would
+// hold, so per-predictor results are bit-identical to sequential Run.
+type manyRunner struct {
+	cells   []manyCell
+	ghr     *history.Global
+	cond    int // shared conditional count (identical across predictors)
+	uncond  int
+	flushes int
+	flush   int
+	track   bool // at least one cell tracks first uses
+}
+
+func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
+	r := &manyRunner{cells: make([]manyCell, len(preds)), flush: opts.FlushEvery}
+	var maxK uint
 	for i, p := range preds {
-		r, err := RunBranches(branches, p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("sim: predictor %s: %w", p.Name(), err)
+		k := opts.HistoryBits
+		if k == 0 {
+			k = p.HistoryBits()
 		}
-		results[i] = r
+		if k > maxK {
+			maxK = k
+		}
+		c := &r.cells[i]
+		c.p = p
+		c.stepper, _ = p.(predictor.Stepper)
+		c.mask = uint64(1)<<k - 1
+		if t, ok := p.(predictor.FirstUseTracker); ok && opts.SkipFirstUse {
+			c.tracker = t
+			r.track = true
+		}
+	}
+	r.ghr = history.NewGlobal(maxK)
+	return r
+}
+
+func (r *manyRunner) step(b trace.Branch) error {
+	switch b.Kind {
+	case trace.Conditional:
+		if r.flush > 0 && r.cond > 0 && r.cond%r.flush == 0 {
+			for i := range r.cells {
+				r.cells[i].p.Reset()
+			}
+			r.flushes++
+			r.ghr.Reset()
+		}
+		r.cond++
+		hist := r.ghr.Bits()
+		for i := range r.cells {
+			c := &r.cells[i]
+			h := hist & c.mask
+			counted := true
+			if c.tracker != nil && !c.tracker.Seen(b.PC, h) {
+				c.firstUse++
+				counted = false
+			}
+			if c.stepper != nil {
+				if c.stepper.Step(b.PC, h, b.Taken) != b.Taken && counted {
+					c.mispredict++
+				}
+			} else {
+				if counted && c.p.Predict(b.PC, h) != b.Taken {
+					c.mispredict++
+				}
+				c.p.Update(b.PC, h, b.Taken)
+			}
+		}
+		r.ghr.Shift(b.Taken)
+	case trace.Unconditional:
+		r.uncond++
+		r.ghr.Shift(true)
+	default:
+		return fmt.Errorf("sim: unknown branch kind %d", b.Kind)
+	}
+	return nil
+}
+
+func (r *manyRunner) results() []Result {
+	out := make([]Result, len(r.cells))
+	for i := range r.cells {
+		out[i] = Result{
+			Conditionals:   r.cond,
+			Mispredicts:    r.cells[i].mispredict,
+			FirstUses:      r.cells[i].firstUse,
+			Unconditionals: r.uncond,
+			Flushes:        r.flushes,
+		}
+	}
+	return out
+}
+
+// RunMany streams src once and drives every predictor per event,
+// returning per-predictor results bit-identical to len(preds)
+// sequential Run calls over the same trace. The trace is decoded once
+// and a single history register (of the longest history any predictor
+// consumes) is shared, so the cost of a sweep is one trace iteration
+// plus the predictors' own work — O(events + predictors x events_cond)
+// instead of O(predictors x events).
+func RunMany(src trace.Source, preds []predictor.Predictor, opts Options) ([]Result, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	r := newManyRunner(preds, opts)
+	if ss, ok := src.(*trace.SliceSource); ok {
+		// Fast path: iterate the materialised slice directly, skipping
+		// the per-event interface call and io.EOF check.
+		branches := ss.Drain()
+		for i := range branches {
+			if err := r.step(branches[i]); err != nil {
+				return nil, err
+			}
+		}
+		return r.results(), nil
+	}
+	for {
+		b, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return r.results(), nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: reading trace: %w", err)
+		}
+		if err := r.step(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// RunManyBranches is RunMany over an in-memory trace.
+func RunManyBranches(branches []trace.Branch, preds []predictor.Predictor, opts Options) ([]Result, error) {
+	return RunMany(trace.NewSliceSource(branches), preds, opts)
+}
+
+// Compare runs the same in-memory trace through several predictors and
+// returns per-predictor results in order. It is a single RunMany pass:
+// the trace is decoded once and every predictor observes the identical
+// history stream, with results bit-identical to per-predictor
+// sequential runs.
+func Compare(branches []trace.Branch, preds []predictor.Predictor, opts Options) ([]Result, error) {
+	results, err := RunManyBranches(branches, preds, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sim: comparing %d predictors: %w", len(preds), err)
 	}
 	return results, nil
 }

@@ -147,6 +147,17 @@ func (s *Skewer) Index(k int, v uint64) uint64 {
 
 // Indices fills dst with the bank indices for v across len(dst) banks.
 func (s *Skewer) Indices(dst []uint64, v uint64) {
+	if len(dst) == 3 {
+		// The canonical three functions share subexpressions:
+		// H(V1)^Hinv(V2) appears in both f0 and f1, so the whole
+		// triple needs four H-applications and one split.
+		_, v2, v1 := s.Split(v)
+		a := s.H(v1) ^ s.Hinv(v2)
+		dst[0] = a ^ v2
+		dst[1] = a ^ v1
+		dst[2] = s.Hinv(v1) ^ s.H(v2) ^ v2
+		return
+	}
 	for k := range dst {
 		dst[k] = s.Index(k, v)
 	}

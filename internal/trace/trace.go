@@ -78,8 +78,20 @@ func (s *SliceSource) Next() (Branch, error) {
 	return b, nil
 }
 
-// Reset rewinds the source to the beginning.
+// Reset rewinds the source to the beginning without reallocating,
+// so one SliceSource can replay the same materialised trace across
+// many simulation runs.
 func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Drain returns the unread tail of the underlying slice and marks the
+// source exhausted (Next returns io.EOF until Reset). Batch consumers
+// use it to iterate the materialised trace directly instead of paying
+// an interface call per event.
+func (s *SliceSource) Drain() []Branch {
+	rest := s.branches[s.pos:]
+	s.pos = len(s.branches)
+	return rest
+}
 
 // Len returns the total number of branches in the underlying slice.
 func (s *SliceSource) Len() int { return len(s.branches) }

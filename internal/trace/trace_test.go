@@ -70,6 +70,31 @@ func TestSliceSource(t *testing.T) {
 	}
 }
 
+func TestSliceSourceDrain(t *testing.T) {
+	in := []Branch{{PC: 1, Taken: true}, {PC: 2}, {PC: 3, Taken: true}}
+	s := NewSliceSource(in)
+	// Drain after a partial read returns exactly the remainder, backed
+	// by the original array (no copy).
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	rest := s.Drain()
+	if len(rest) != 2 || &rest[0] != &in[1] {
+		t.Fatalf("Drain after one Next = %v (copied=%v)", rest, len(rest) > 0 && &rest[0] != &in[1])
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("source not exhausted after Drain: %v", err)
+	}
+	if got := s.Drain(); len(got) != 0 {
+		t.Fatalf("second Drain = %v, want empty", got)
+	}
+	// Reset rewinds a drained source for replay.
+	s.Reset()
+	if full := s.Drain(); len(full) != 3 || &full[0] != &in[0] {
+		t.Fatalf("Drain after Reset = %v", full)
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	in := randomTrace(42, 5000)
 	var buf bytes.Buffer
