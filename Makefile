@@ -1,11 +1,15 @@
 # Tiered developer targets. `make check` is the concurrency tier: it
 # vets the whole module and runs the race detector over the packages
 # that execute simulation cells in parallel (the scheduler, the trace
-# cache and the single-pass multi-predictor runner).
+# cache and the single-pass multi-predictor runner). `make verify` is
+# the differential tier: the optimized predictors against the
+# executable paper spec, plus the fault-injection selftest. `make fuzz`
+# runs each fuzz target for FUZZTIME.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test check bench output
+.PHONY: build test check verify fuzz bench output
 
 build:
 	$(GO) build ./...
@@ -16,6 +20,16 @@ test: build
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments ./internal/sim
+
+verify:
+	$(GO) run ./cmd/verify -sweep
+	$(GO) run ./cmd/verify -selftest
+
+fuzz:
+	$(GO) test -fuzz=FuzzSkewerAgainstSpec -fuzztime=$(FUZZTIME) ./internal/skewfn
+	$(GO) test -fuzz=FuzzCounterAgainstSpec -fuzztime=$(FUZZTIME) ./internal/counter
+	$(GO) test -fuzz=FuzzTableAgainstCounter -fuzztime=$(FUZZTIME) ./internal/counter
+	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

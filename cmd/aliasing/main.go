@@ -12,28 +12,33 @@ package main
 
 import (
 	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"gskew/internal/alias"
+	"gskew/internal/cli"
 	"gskew/internal/history"
 	"gskew/internal/indexfn"
 	"gskew/internal/trace"
 	"gskew/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("aliasing", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("aliasing", stderr)
 	var (
-		benchName = flag.String("bench", "", "benchmark workload name")
-		traceFile = flag.String("trace", "", "binary trace file (alternative to -bench)")
-		scale     = flag.Float64("scale", 0, "workload scale (default 0.1)")
-		fnName    = flag.String("fn", "gshare", "index function: gshare, gselect, bimodal")
-		entries   = flag.Int("entries", 4096, "table entries (rounded up to a power of two)")
-		hist      = flag.Uint("hist", 4, "global history bits")
+		benchName = fs.String("bench", "", "benchmark workload name")
+		traceFile = fs.String("trace", "", "binary trace file (alternative to -bench)")
+		scale     = fs.Float64("scale", 0, "workload scale (default 0.1)")
+		fnName    = fs.String("fn", "gshare", "index function: gshare, gselect, bimodal")
+		entries   = fs.Int("entries", 4096, "table entries (rounded up to a power of two)")
+		hist      = fs.Uint("hist", 4, "global history bits")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	n := uint(0)
 	for 1<<n < *entries {
@@ -48,7 +53,7 @@ func main() {
 	case "bimodal":
 		fn = indexfn.NewBimodal(n)
 	default:
-		fatal(fmt.Errorf("unknown index function %q", *fnName))
+		return cli.Usagef("unknown index function %q", *fnName)
 	}
 
 	var src trace.Source
@@ -56,28 +61,26 @@ func main() {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		src = r
 	case *benchName != "":
 		spec, err := workload.ByName(*benchName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		g, err := workload.New(spec, workload.Config{Scale: *scale})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		src = workload.NewTake(g, g.Length())
 	default:
-		fmt.Fprintln(os.Stderr, "aliasing: specify -bench or -trace")
-		flag.Usage()
-		os.Exit(2)
+		return cli.Usagef("specify -bench or -trace")
 	}
 
 	cl := alias.NewClassifier(fn)
@@ -88,7 +91,7 @@ func main() {
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if b.Kind == trace.Conditional {
 			cl.Observe(b.PC, ghr.Bits())
@@ -97,16 +100,12 @@ func main() {
 	}
 
 	st := cl.Stats()
-	fmt.Printf("index function:   %s (%d entries, %d history bits)\n", fn.Name(), 1<<n, *hist)
-	fmt.Printf("references:       %d\n", st.Accesses)
-	fmt.Printf("DM miss ratio:    %.3f %%  (total aliasing)\n", 100*cl.DM().MissRatio())
-	fmt.Printf("FA-LRU miss:      %.3f %%  (compulsory + capacity)\n", 100*cl.FA().MissRatio())
-	fmt.Printf("compulsory:       %.3f %%\n", 100*st.CompulsoryRatio())
-	fmt.Printf("capacity:         %.3f %%\n", 100*st.CapacityRatio())
-	fmt.Printf("conflict:         %.3f %%\n", 100*st.ConflictRatio())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "aliasing:", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "index function:   %s (%d entries, %d history bits)\n", fn.Name(), 1<<n, *hist)
+	fmt.Fprintf(stdout, "references:       %d\n", st.Accesses)
+	fmt.Fprintf(stdout, "DM miss ratio:    %.3f %%  (total aliasing)\n", 100*cl.DM().MissRatio())
+	fmt.Fprintf(stdout, "FA-LRU miss:      %.3f %%  (compulsory + capacity)\n", 100*cl.FA().MissRatio())
+	fmt.Fprintf(stdout, "compulsory:       %.3f %%\n", 100*st.CompulsoryRatio())
+	fmt.Fprintf(stdout, "capacity:         %.3f %%\n", 100*st.CapacityRatio())
+	fmt.Fprintf(stdout, "conflict:         %.3f %%\n", 100*st.ConflictRatio())
+	return nil
 }

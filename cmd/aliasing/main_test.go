@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gskew/internal/cli"
+)
+
+func runAliasing(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestThreeCsReport(t *testing.T) {
+	out, err := runAliasing(t,
+		"-bench", "verilog", "-fn", "gshare", "-entries", "1024", "-hist", "4", "-scale", "0.002")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"compulsory", "capacity", "conflict", "DM miss ratio", "FA-LRU miss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownIndexFnIsUsageError(t *testing.T) {
+	_, err := runAliasing(t, "-bench", "verilog", "-fn", "gspaghetti")
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("unknown fn: got %v, want UsageError", err)
+	}
+}
+
+func TestMissingInputIsUsageError(t *testing.T) {
+	_, err := runAliasing(t, "-fn", "bimodal")
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("missing -bench/-trace: got %v, want UsageError", err)
+	}
+}
+
+func TestOutputStableOnFixedSeed(t *testing.T) {
+	args := []string{"-bench", "nroff", "-fn", "gselect", "-entries", "512", "-hist", "6", "-scale", "0.002"}
+	a, err := runAliasing(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runAliasing(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("output not byte-stable:\n%q\nvs\n%q", a, b)
+	}
+}

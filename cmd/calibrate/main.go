@@ -9,12 +9,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
+	"io"
 	"sort"
 
 	"gskew/internal/cfg"
+	"gskew/internal/cli"
 	"gskew/internal/history"
 
 	"gskew/internal/predictor"
@@ -41,15 +41,23 @@ func classify(b cfg.Behavior) string {
 	}
 }
 
-func main() {
+func main() { cli.Main("calibrate", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("calibrate", stderr)
 	var (
-		sites  = flag.Int("sites", 2000, "static conditional sites")
-		events = flag.Int("events", 300000, "conditional branches to simulate")
-		hist   = flag.Uint("hist", 12, "history bits for the unaliased predictor")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		trips  = flag.Float64("trips", 12, "mean loop trips")
+		sites  = fs.Int("sites", 2000, "static conditional sites")
+		events = fs.Int("events", 300000, "conditional branches to simulate")
+		hist   = fs.Uint("hist", 12, "history bits for the unaliased predictor")
+		seed   = fs.Uint64("seed", 1, "generator seed")
+		trips  = fs.Float64("trips", 12, "mean loop trips")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sites <= 0 || *events <= 0 {
+		return cli.Usagef("-sites and -events must be positive")
+	}
 
 	prog, err := cfg.Generate(cfg.GenConfig{
 		Procs:          4 + *sites/64,
@@ -57,8 +65,7 @@ func main() {
 		MeanTrips:      *trips,
 	}, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
+		return err
 	}
 
 	// Tag every site PC with its class; loop backedges are the sites
@@ -106,16 +113,17 @@ func main() {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-14s %10s %8s %9s %12s\n", "class", "events", "share", "missrate", "contribution")
+	fmt.Fprintf(stdout, "%-14s %10s %8s %9s %12s\n", "class", "events", "share", "missrate", "contribution")
 	for _, n := range names {
 		a := perClass[n]
 		share := float64(a.events) / float64(total.events)
 		miss := float64(a.misses) / float64(a.events)
-		fmt.Printf("%-14s %10d %7.1f%% %8.2f%% %11.2f%%\n",
+		fmt.Fprintf(stdout, "%-14s %10d %7.1f%% %8.2f%% %11.2f%%\n",
 			n, a.events, 100*share, 100*miss, 100*float64(a.misses)/float64(total.events))
 	}
-	fmt.Printf("%-14s %10d %7.1f%% %8.2f%%\n", "TOTAL", total.events, 100.0,
+	fmt.Fprintf(stdout, "%-14s %10d %7.1f%% %8.2f%%\n", "TOTAL", total.events, 100.0,
 		100*float64(total.misses)/float64(total.events))
+	return nil
 }
 
 // markLoops overrides the class of loop-backedge sites.

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gskew/internal/cli"
+)
+
+func runCalibrate(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestClassTable(t *testing.T) {
+	out, err := runCalibrate(t, "-sites", "300", "-events", "20000")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"class", "loop-backedge", "correlated", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNonPositiveCountsAreUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sites", "0"},
+		{"-events", "-5"},
+	} {
+		_, err := runCalibrate(t, args...)
+		var usage *cli.UsageError
+		if !errors.As(err, &usage) {
+			t.Errorf("%v: got %v, want UsageError", args, err)
+		}
+	}
+}
+
+func TestOutputStableOnFixedSeed(t *testing.T) {
+	args := []string{"-sites", "200", "-events", "10000", "-seed", "7"}
+	a, err := runCalibrate(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCalibrate(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("output not byte-stable:\n%q\nvs\n%q", a, b)
+	}
+}

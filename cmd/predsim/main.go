@@ -12,12 +12,12 @@ package main
 
 import (
 	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
+	"gskew/internal/cli"
 	"gskew/internal/history"
 	"gskew/internal/predictor"
 	"gskew/internal/sim"
@@ -25,26 +25,31 @@ import (
 	"gskew/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("predsim", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predsim", stderr)
 	var (
-		benchName = flag.String("bench", "", "benchmark workload name ("+joinNames()+")")
-		traceFile = flag.String("trace", "", "binary trace file (alternative to -bench)")
-		scale     = flag.Float64("scale", 0, "workload scale (default 0.1)")
-		seed      = flag.Uint64("seed", 0, "workload seed offset")
-		pred      = flag.String("pred", "gshare", "predictor: bimodal, gshare, gselect, gskewed, egskew, 2bcgskew, agree, bimode, pas, skewed-pas, hybrid, unaliased, assoc-lru")
-		entries   = flag.Int("entries", 16384, "table entries (per bank for gskewed/egskew)")
-		banks     = flag.Int("banks", 3, "bank count for gskewed")
-		hist      = flag.Uint("hist", 8, "global history bits")
-		ctrBits   = flag.Uint("counter", 2, "counter width in bits")
-		policy    = flag.String("policy", "partial", "gskewed update policy: partial or total")
-		skipFirst = flag.Bool("skip-first-use", false, "exclude first-time (address,history) references (ideal-table accounting)")
-		top       = flag.Int("top", 0, "also report the top-N mispredicting branch addresses")
+		benchName = fs.String("bench", "", "benchmark workload name ("+joinNames()+")")
+		traceFile = fs.String("trace", "", "binary trace file (alternative to -bench)")
+		scale     = fs.Float64("scale", 0, "workload scale (default 0.1)")
+		seed      = fs.Uint64("seed", 0, "workload seed offset")
+		pred      = fs.String("pred", "gshare", "predictor: bimodal, gshare, gselect, gskewed, egskew, 2bcgskew, agree, bimode, pas, skewed-pas, hybrid, unaliased, assoc-lru")
+		entries   = fs.Int("entries", 16384, "table entries (per bank for gskewed/egskew)")
+		banks     = fs.Int("banks", 3, "bank count for gskewed")
+		hist      = fs.Uint("hist", 8, "global history bits")
+		ctrBits   = fs.Uint("counter", 2, "counter width in bits")
+		policy    = fs.String("policy", "partial", "gskewed update policy: partial or total")
+		skipFirst = fs.Bool("skip-first-use", false, "exclude first-time (address,history) references (ideal-table accounting)")
+		top       = fs.Int("top", 0, "also report the top-N mispredicting branch addresses")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p, err := buildPredictor(*pred, *entries, *banks, *hist, *ctrBits, *policy)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var src trace.Source
@@ -52,28 +57,26 @@ func main() {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		src = r
 	case *benchName != "":
 		spec, err := workload.ByName(*benchName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		g, err := workload.New(spec, workload.Config{Scale: *scale, SeedOffset: *seed})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		src = workload.NewTake(g, g.Length())
 	default:
-		fmt.Fprintln(os.Stderr, "predsim: specify -bench or -trace")
-		flag.Usage()
-		os.Exit(2)
+		return cli.Usagef("specify -bench or -trace")
 	}
 
 	var res sim.Result
@@ -84,25 +87,26 @@ func main() {
 		res, err = sim.Run(src, p, sim.Options{SkipFirstUse: *skipFirst})
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("predictor:      %v\n", p)
-	fmt.Printf("storage bits:   %d (%.1f KiB)\n", p.StorageBits(), float64(p.StorageBits())/8192)
-	fmt.Printf("conditionals:   %d\n", res.Conditionals)
-	fmt.Printf("unconditionals: %d\n", res.Unconditionals)
+	fmt.Fprintf(stdout, "predictor:      %v\n", p)
+	fmt.Fprintf(stdout, "storage bits:   %d (%.1f KiB)\n", p.StorageBits(), float64(p.StorageBits())/8192)
+	fmt.Fprintf(stdout, "conditionals:   %d\n", res.Conditionals)
+	fmt.Fprintf(stdout, "unconditionals: %d\n", res.Unconditionals)
 	if res.FirstUses > 0 {
-		fmt.Printf("first uses:     %d (excluded)\n", res.FirstUses)
+		fmt.Fprintf(stdout, "first uses:     %d (excluded)\n", res.FirstUses)
 	}
-	fmt.Printf("mispredicts:    %d\n", res.Mispredicts)
-	fmt.Printf("miss rate:      %.3f %%\n", res.MissPercent())
+	fmt.Fprintf(stdout, "mispredicts:    %d\n", res.Mispredicts)
+	fmt.Fprintf(stdout, "miss rate:      %.3f %%\n", res.MissPercent())
 	if len(topMisses) > 0 {
-		fmt.Printf("\ntop mispredicting branches:\n")
-		fmt.Printf("%-12s %10s %10s %9s\n", "pc(word)", "executed", "misses", "missrate")
+		fmt.Fprintf(stdout, "\ntop mispredicting branches:\n")
+		fmt.Fprintf(stdout, "%-12s %10s %10s %9s\n", "pc(word)", "executed", "misses", "missrate")
 		for _, m := range topMisses {
-			fmt.Printf("%#-12x %10d %10d %8.2f%%\n",
+			fmt.Fprintf(stdout, "%#-12x %10d %10d %8.2f%%\n",
 				m.pc, m.execs, m.misses, 100*float64(m.misses)/float64(m.execs))
 		}
 	}
+	return nil
 }
 
 // missEntry is one row of the -top report.
@@ -179,7 +183,7 @@ func buildPredictor(kind string, entries, banks int, hist, ctrBits uint, policy 
 	case "total":
 		pol = predictor.TotalUpdate
 	default:
-		return nil, fmt.Errorf("predsim: unknown policy %q", policy)
+		return nil, cli.Usagef("unknown policy %q", policy)
 	}
 	switch kind {
 	case "bimodal":
@@ -224,7 +228,7 @@ func buildPredictor(kind string, entries, banks int, hist, ctrBits uint, policy 
 	case "assoc-lru":
 		return predictor.NewAssocLRU(entries, hist, ctrBits), nil
 	default:
-		return nil, fmt.Errorf("predsim: unknown predictor %q", kind)
+		return nil, cli.Usagef("unknown predictor %q", kind)
 	}
 }
 
@@ -237,9 +241,4 @@ func joinNames() string {
 		out += n
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "predsim:", err)
-	os.Exit(1)
 }

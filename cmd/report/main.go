@@ -9,34 +9,40 @@ package main
 
 import (
 	"bufio"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"time"
 
+	"gskew/internal/cli"
 	"gskew/internal/experiments"
 	"gskew/internal/report"
 	"gskew/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("report", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("report", stderr)
 	var (
-		out    = flag.String("o", "", "output file (default stdout)")
-		scale  = flag.Float64("scale", 0, "workload scale factor (0 = default 0.1)")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset")
-		plots  = flag.Bool("plots", true, "include ASCII charts for figures")
-		subset = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		out    = fs.String("o", "", "output file (default stdout)")
+		scale  = fs.Float64("scale", 0, "workload scale factor (0 = default 0.1)")
+		bench  = fs.String("bench", "", "comma-separated benchmark subset")
+		plots  = fs.Bool("plots", true, "include ASCII charts for figures")
+		subset = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		timing = fs.Bool("timing", true, "append the wall-clock generation time")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx := experiments.NewContext(*scale)
 	if *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {
 			b = strings.TrimSpace(b)
 			if _, err := workload.ByName(b); err != nil {
-				fatal(err)
+				return cli.Usagef("%v", err)
 			}
 			ctx.Benchmarks = append(ctx.Benchmarks, b)
 		}
@@ -48,26 +54,28 @@ func main() {
 		for _, id := range strings.Split(*subset, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fatal(err)
+				return cli.Usagef("%v", err)
 			}
 			filtered = append(filtered, e)
 		}
 		toRun = filtered
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
+	var flush func() error
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
+		defer f.Close()
 		bw := bufio.NewWriter(f)
-		defer bw.Flush()
+		flush = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
 		w = bw
 	}
 
@@ -81,25 +89,31 @@ func main() {
 		fmt.Fprintf(w, "*Paper:* %s\n\n", e.Paper)
 		result, err := e.Run(ctx)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintln(w, "```")
 		if err := result.WriteText(w); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(w, "```")
 		if *plots {
 			if hasFigure(result) {
 				fmt.Fprintln(w, "\n```")
 				if err := experiments.WritePlot(w, result); err != nil {
-					fatal(err)
+					return err
 				}
 				fmt.Fprintln(w, "```")
 			}
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "---\nGenerated in %v.\n", time.Since(start).Round(time.Second))
+	if *timing {
+		fmt.Fprintf(w, "---\nGenerated in %v.\n", time.Since(start).Round(time.Second))
+	}
+	if flush != nil {
+		return flush()
+	}
+	return nil
 }
 
 // hasFigure reports whether the result contains at least one figure
@@ -123,9 +137,4 @@ func effectiveScale(s float64) float64 {
 		return experiments.DefaultScale
 	}
 	return s
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "report:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gskew/internal/cli"
+)
+
+func runReport(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestSingleExperimentToStdout(t *testing.T) {
+	out, err := runReport(t, "-only", "fig3", "-scale", "0.002")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"# Regenerated evaluation", "## fig3", "```"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownExperimentIsUsageError(t *testing.T) {
+	_, err := runReport(t, "-only", "fig99")
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("unknown experiment: got %v, want UsageError", err)
+	}
+}
+
+func TestUnknownBenchmarkIsUsageError(t *testing.T) {
+	_, err := runReport(t, "-bench", "quake3", "-only", "fig3")
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("unknown benchmark: got %v, want UsageError", err)
+	}
+}
+
+// TestOutputStableWithoutTiming: with -timing=false the document is a
+// pure function of the experiment results, hence byte-stable.
+func TestOutputStableWithoutTiming(t *testing.T) {
+	args := []string{"-only", "fig3", "-scale", "0.002", "-timing=false", "-plots=false"}
+	a, err := runReport(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runReport(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("report not byte-stable without timing:\n%q\nvs\n%q", a, b)
+	}
+	if strings.Contains(a, "Generated in") {
+		t.Errorf("-timing=false still printed the timing line:\n%s", a)
+	}
+}

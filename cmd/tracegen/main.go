@@ -10,65 +10,65 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"gskew/internal/cli"
 	"gskew/internal/trace"
 	"gskew/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("tracegen", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("tracegen", stderr)
 	var (
-		benchName = flag.String("bench", "", "benchmark workload name")
-		scale     = flag.Float64("scale", 0, "workload scale (default 0.1; 1.0 = paper-length)")
-		seed      = flag.Uint64("seed", 0, "workload seed offset")
-		out       = flag.String("o", "", "output file (default stdout)")
-		format    = flag.String("format", "binary", "output format: binary or text")
-		statsOnly = flag.Bool("stats", false, "print trace statistics instead of writing a trace")
+		benchName = fs.String("bench", "", "benchmark workload name")
+		scale     = fs.Float64("scale", 0, "workload scale (default 0.1; 1.0 = paper-length)")
+		seed      = fs.Uint64("seed", 0, "workload seed offset")
+		out       = fs.String("o", "", "output file (default stdout)")
+		format    = fs.String("format", "binary", "output format: binary or text")
+		statsOnly = fs.Bool("stats", false, "print trace statistics instead of writing a trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *benchName == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: specify -bench; available:", workload.Names())
-		os.Exit(2)
+		return cli.Usagef("specify -bench; available: %v", workload.Names())
 	}
 	spec, err := workload.ByName(*benchName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	g, err := workload.New(spec, workload.Config{Scale: *scale, SeedOffset: *seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	src := workload.NewTake(g, g.Length())
 
 	if *statsOnly {
 		st, err := trace.Measure(src)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("benchmark:            %s\n", spec.Name)
-		fmt.Printf("dynamic conditional:  %d\n", st.Dynamic)
-		fmt.Printf("static conditional:   %d (spec target %d)\n", st.Static, spec.StaticBranches)
-		fmt.Printf("dynamic uncond:       %d\n", st.DynamicUncond)
-		fmt.Printf("static uncond:        %d\n", st.StaticUncond)
-		fmt.Printf("taken ratio:          %.3f\n", st.TakenRatio())
-		return
+		fmt.Fprintf(stdout, "benchmark:            %s\n", spec.Name)
+		fmt.Fprintf(stdout, "dynamic conditional:  %d\n", st.Dynamic)
+		fmt.Fprintf(stdout, "static conditional:   %d (spec target %d)\n", st.Static, spec.StaticBranches)
+		fmt.Fprintf(stdout, "dynamic uncond:       %d\n", st.DynamicUncond)
+		fmt.Fprintf(stdout, "static uncond:        %d\n", st.StaticUncond)
+		fmt.Fprintf(stdout, "taken ratio:          %.3f\n", st.TakenRatio())
+		return nil
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
+		defer f.Close()
 		w = f
 	}
 
@@ -76,7 +76,7 @@ func main() {
 	case "binary":
 		bw, err := trace.NewWriter(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		n := 0
 		for {
@@ -85,27 +85,26 @@ func main() {
 				break
 			}
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := bw.Write(b); err != nil {
-				fatal(err)
+				return err
 			}
 			n++
 		}
 		if err := bw.Flush(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: wrote %d events\n", n)
+		fmt.Fprintf(stderr, "tracegen: wrote %d events\n", n)
 	case "text":
 		if err := trace.WriteText(w, src); err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		return cli.Usagef("unknown format %q", *format)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	if f, ok := w.(*os.File); ok {
+		return f.Close()
+	}
+	return nil
 }

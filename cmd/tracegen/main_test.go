@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gskew/internal/cli"
+	"gskew/internal/trace"
+)
+
+func runTracegen(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestMissingBenchIsUsageError(t *testing.T) {
+	_, _, err := runTracegen(t)
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("missing -bench: got %v, want UsageError", err)
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	_, _, err := runTracegen(t, "-bench", "verilog", "-scale", "0.001", "-format", "yaml")
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("unknown format: got %v, want UsageError", err)
+	}
+}
+
+func TestStatsMode(t *testing.T) {
+	out, _, err := runTracegen(t, "-bench", "nroff", "-scale", "0.002", "-stats")
+	if err != nil {
+		t.Fatalf("-stats: %v", err)
+	}
+	for _, want := range []string{"dynamic conditional", "taken ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBinaryToStdoutRoundTrips(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "verilog", "-scale", "0.001"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Errorf("event count missing from stderr: %q", stderr.String())
+	}
+	r, err := trace.NewReader(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("stdout is not a binary trace: %v", err)
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("binary trace on stdout decoded to zero records")
+	}
+}
+
+func TestTextFileOutputStable(t *testing.T) {
+	write := func(name string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		if _, _, err := runTracegen(t,
+			"-bench", "nroff", "-scale", "0.001", "-seed", "5", "-format", "text", "-o", path); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a, b := write("a.txt"), write("b.txt")
+	if a == "" || a != b {
+		t.Errorf("text trace not byte-stable on a fixed seed (lens %d, %d)", len(a), len(b))
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gskew/internal/cli"
+	"gskew/internal/refmodel/diff"
+)
+
+// runVerify invokes run in-process and returns stdout, stderr and err.
+func runVerify(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestListPrintsEverySweepCell(t *testing.T) {
+	out, _, err := runVerify(t, "-list")
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	cells := diff.DefaultSweep()
+	if len(lines) != len(cells) {
+		t.Fatalf("-list printed %d lines, want %d", len(lines), len(cells))
+	}
+	for i, c := range cells {
+		if lines[i] != c.String() {
+			t.Errorf("line %d: %q, want %q", i, lines[i], c)
+		}
+	}
+}
+
+func TestSingleCellVerifiesClean(t *testing.T) {
+	out, _, err := runVerify(t, "-cell", "gshare/n10/h6/c2", "-branches", "2000")
+	if err != nil {
+		t.Fatalf("-cell: %v", err)
+	}
+	if !strings.Contains(out, "verified 1 cells") || !strings.Contains(out, "0 divergences") {
+		t.Errorf("unexpected summary:\n%s", out)
+	}
+}
+
+func TestUnknownCellIsUsageError(t *testing.T) {
+	_, _, err := runVerify(t, "-cell", "oracle/n64")
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("unknown cell: got %v, want UsageError", err)
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	_, _, err := runVerify(t)
+	var usage *cli.UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("no mode: got %v, want UsageError", err)
+	}
+}
+
+func TestBadFlagIsReturnedNotFatal(t *testing.T) {
+	_, stderr, err := runVerify(t, "-no-such-flag")
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "flag") {
+		t.Errorf("no usage text on stderr:\n%s", stderr)
+	}
+}
+
+func TestSelfTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest shrinks many mutants; skipped in -short")
+	}
+	out, _, err := runVerify(t, "-selftest", "-branches", "2000")
+	if err != nil {
+		t.Fatalf("-selftest: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "selftest ok") {
+		t.Errorf("missing success line:\n%s", out)
+	}
+}
+
+func TestOutputIsDeterministic(t *testing.T) {
+	a, _, err := runVerify(t, "-cell", "gskewed/n6/h6/c2/partial", "-branches", "1500", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runVerify(t, "-cell", "gskewed/n6/h6/c2/partial", "-branches", "1500", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same invocation produced different output:\n%q\nvs\n%q", a, b)
+	}
+}

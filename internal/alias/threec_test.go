@@ -1,0 +1,90 @@
+package alias_test
+
+import (
+	"testing"
+
+	"gskew/internal/alias"
+	"gskew/internal/indexfn"
+	"gskew/internal/rng"
+)
+
+// TestThreeCsIdentities drives the classifier with random reference
+// streams and checks the paper's three-Cs accounting identities against
+// independent shadow models: a plain map for the first-use detector and
+// a map-per-index shadow of the tagged direct-mapped table.
+func TestThreeCsIdentities(t *testing.T) {
+	fns := []indexfn.Func{
+		indexfn.NewBimodal(6),
+		indexfn.NewGShare(7, 5),
+		indexfn.NewGSelect(7, 4),
+	}
+	for _, fn := range fns {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			cl := alias.NewClassifier(fn)
+			x := rng.NewXoshiro256(0x3C5)
+			seen := make(map[uint64]struct{})
+			shadowDM := make(map[uint64]uint64) // index -> last vector
+			var tally [4]int
+			const refs = 30000
+			for i := 0; i < refs; i++ {
+				addr := x.Uint64() & 0x1FF
+				hist := x.Uint64() & 0x3F
+				v := indexfn.Vector(addr, hist, fn.HistoryBits())
+				idx := fn.Index(addr, hist)
+				_, everSeen := seen[v]
+				prev, dmHeld := shadowDM[idx]
+
+				class := cl.Observe(addr, hist)
+				tally[class]++
+
+				if !everSeen && class != alias.Compulsory {
+					t.Fatalf("ref %d: first use of vector %#x classified %v", i, v, class)
+				}
+				if everSeen && class == alias.Compulsory {
+					t.Fatalf("ref %d: repeat of vector %#x classified compulsory", i, v)
+				}
+				if class == alias.NoAlias && (!dmHeld || prev != v) {
+					t.Fatalf("ref %d: NoAlias but shadow DM entry %d held %#x, not %#x", i, idx, prev, v)
+				}
+				if class == alias.Conflict && dmHeld && prev == v {
+					t.Fatalf("ref %d: Conflict but shadow DM entry %d already held %#x", i, idx, v)
+				}
+
+				seen[v] = struct{}{}
+				shadowDM[idx] = v
+			}
+
+			st := cl.Stats()
+			if st.Accesses != refs || cl.DM().Accesses() != refs || cl.FA().Accesses() != refs {
+				t.Fatalf("access counts: stats %d, dm %d, fa %d, want %d",
+					st.Accesses, cl.DM().Accesses(), cl.FA().Accesses(), refs)
+			}
+			// The decomposition must sum to the DM table's aliasing count,
+			// and the compulsory component must equal the number of
+			// distinct vectors (every vector misses exactly once cold).
+			if st.Total() != cl.DM().Misses() {
+				t.Errorf("compulsory+capacity+conflict = %d, DM misses = %d", st.Total(), cl.DM().Misses())
+			}
+			if st.Compulsory != len(seen) {
+				t.Errorf("compulsory = %d, distinct vectors = %d", st.Compulsory, len(seen))
+			}
+			if st.Compulsory != tally[alias.Compulsory] {
+				t.Errorf("stats compulsory %d != per-ref tally %d", st.Compulsory, tally[alias.Compulsory])
+			}
+			if got := st.Compulsory + st.Capacity; got != cl.FA().Misses() {
+				t.Errorf("compulsory+capacity = %d, FA misses = %d", got, cl.FA().Misses())
+			}
+			if st.Capacity != tally[alias.Capacity] {
+				t.Errorf("stats capacity %d != per-ref tally %d", st.Capacity, tally[alias.Capacity])
+			}
+			// Every class must actually occur on an adversarial stream this
+			// dense, or the test is vacuous.
+			for _, class := range []alias.RefClass{alias.Compulsory, alias.Capacity, alias.Conflict} {
+				if tally[class] == 0 {
+					t.Errorf("class %v never occurred in %d references", class, refs)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+// Package cli carries the shared scaffolding of the command-line
+// tools: every tool implements a testable
+//
+//	run(args []string, stdout, stderr io.Writer) error
+//
+// and a one-line main that delegates to Main. Keeping main trivial
+// lets each cmd package integration-test its own flag parsing, error
+// paths and output in-process, without building or exec-ing binaries.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RunFunc is the testable body of a command-line tool. It must write
+// normal output to stdout and diagnostics to stderr, and return nil on
+// success, a UsageError for bad invocations, or any other error for
+// runtime failures. It must not call os.Exit.
+type RunFunc func(args []string, stdout, stderr io.Writer) error
+
+// UsageError marks an invocation error (bad flag, missing argument).
+// Main exits with status 2 for these, matching the flag package's
+// convention, versus 1 for runtime errors.
+type UsageError struct {
+	Err error
+}
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// Error implements error.
+func (u *UsageError) Error() string { return u.Err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (u *UsageError) Unwrap() error { return u.Err }
+
+// Main runs fn with the process arguments and standard streams and
+// exits with the conventional status: 0 on success, 2 on usage errors
+// (including flag-parse failures and -h, which the flag package
+// reports as flag.ErrHelp after printing usage itself), 1 otherwise.
+func Main(name string, fn RunFunc) {
+	err := fn(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	var usage *UsageError
+	if errors.As(err, &usage) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(1)
+}
+
+// NewFlagSet returns a flag set wired for in-process use: errors are
+// returned (not fatal) and usage text goes to stderr.
+func NewFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}

@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestUsagefWrapsAndUnwraps(t *testing.T) {
+	base := fmt.Errorf("missing -bench")
+	err := Usagef("bad invocation: %w", base)
+	var usage *UsageError
+	if !errors.As(err, &usage) {
+		t.Fatalf("Usagef did not produce a UsageError: %T", err)
+	}
+	if !errors.Is(err, base) {
+		t.Error("UsageError does not unwrap to the wrapped error")
+	}
+	if got := err.Error(); !strings.Contains(got, "missing -bench") {
+		t.Errorf("message lost in wrapping: %q", got)
+	}
+}
+
+func TestWrappedUsageErrorIsStillClassified(t *testing.T) {
+	// Tools wrap usage errors with context (fmt.Errorf("%s: %w", ...));
+	// classification must survive the wrapping.
+	err := fmt.Errorf("predsim: %w", Usagef("unknown predictor"))
+	var usage *UsageError
+	if !errors.As(err, &usage) {
+		t.Fatal("wrapped UsageError lost its classification")
+	}
+}
+
+func TestNewFlagSetReturnsErrorsInProcess(t *testing.T) {
+	var stderr bytes.Buffer
+	fs := NewFlagSet("tool", &stderr)
+	fs.Bool("x", false, "a flag")
+	if err := fs.Parse([]string{"-no-such"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "-x") {
+		t.Errorf("usage text not routed to the given stderr: %q", stderr.String())
+	}
+}

@@ -1,0 +1,86 @@
+package counter_test
+
+import (
+	"testing"
+
+	"gskew/internal/counter"
+	"gskew/internal/refmodel"
+)
+
+// FuzzCounterAgainstSpec runs an arbitrary outcome sequence through the
+// optimized Counter and the paper's spec automaton side by side. The
+// outcome sequence is the fuzz input's bytes, one branch per bit.
+func FuzzCounterAgainstSpec(f *testing.F) {
+	f.Add(uint(2), []byte{})
+	f.Add(uint(1), []byte{0xFF, 0x00})
+	f.Add(uint(3), []byte{0xAA, 0x55, 0xF0})
+	f.Add(uint(8), []byte{0x01, 0x80, 0xFF, 0xFF, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, bits uint, outcomes []byte) {
+		bits = 1 + bits%8
+		c := counter.WeaklyTaken(bits)
+		spec := refmodel.NewSpecCounter(bits)
+		if int(c.Value()) != spec.State || int(c.Max()) != spec.Max {
+			t.Fatalf("bits=%d: initial state %d/%d, spec %d/%d",
+				bits, c.Value(), c.Max(), spec.State, spec.Max)
+		}
+		for i, b := range outcomes {
+			for j := 0; j < 8; j++ {
+				taken := b&(1<<j) != 0
+				if c.Predict() != spec.Predict() {
+					t.Fatalf("bits=%d step %d.%d: predict %v, spec %v (state %d vs %d)",
+						bits, i, j, c.Predict(), spec.Predict(), c.Value(), spec.State)
+				}
+				c = c.Update(taken)
+				spec = spec.Update(taken)
+				if !spec.InBounds() {
+					t.Fatalf("bits=%d: spec escaped bounds: %d", bits, spec.State)
+				}
+				if c.Value() > c.Max() {
+					t.Fatalf("bits=%d: counter escaped [0,%d]: %d", bits, c.Max(), c.Value())
+				}
+				if int(c.Value()) != spec.State {
+					t.Fatalf("bits=%d step %d.%d taken=%v: state %d, spec %d",
+						bits, i, j, taken, c.Value(), spec.State)
+				}
+			}
+		}
+	})
+}
+
+// FuzzTableAgainstCounter checks that a Table cell behaves exactly like
+// a standalone Counter under an arbitrary interleaving of updates to
+// two cells (catching cross-cell state leaks).
+func FuzzTableAgainstCounter(f *testing.F) {
+	f.Add(uint(2), uint64(0), uint64(1), []byte{0xC3})
+	f.Add(uint(4), uint64(7), uint64(7), []byte{0x00, 0xFF})
+	f.Fuzz(func(t *testing.T, bits uint, i, j uint64, outcomes []byte) {
+		bits = 1 + bits%8
+		const size = 16
+		i, j = i%size, j%size
+		tab := counter.NewTable(size, bits)
+		ci := counter.WeaklyTaken(bits)
+		cj := counter.WeaklyTaken(bits)
+		for step, b := range outcomes {
+			taken := b&1 != 0
+			if b&2 != 0 {
+				tab.Update(i, taken)
+				ci = ci.Update(taken)
+				if i == j {
+					cj = ci
+				}
+			} else {
+				tab.Update(j, taken)
+				cj = cj.Update(taken)
+				if i == j {
+					ci = cj
+				}
+			}
+			if tab.Value(i) != ci.Value() || tab.Predict(i) != ci.Predict() {
+				t.Fatalf("bits=%d step %d: cell %d state %d, counter %d", bits, step, i, tab.Value(i), ci.Value())
+			}
+			if tab.Value(j) != cj.Value() || tab.Predict(j) != cj.Predict() {
+				t.Fatalf("bits=%d step %d: cell %d state %d, counter %d", bits, step, j, tab.Value(j), cj.Value())
+			}
+		}
+	})
+}

@@ -1,0 +1,368 @@
+// Package diff is the differential verification runner: it drives the
+// optimized predictors of internal/predictor and the executable paper
+// specification of internal/refmodel step-by-step over the same branch
+// trace and hunts for any observable divergence.
+//
+// The unit of work is a Cell — one (predictor family, update policy,
+// configuration) point. For each cell the runner checks both
+// implementation paths the simulator uses (the Predict/Update pair and
+// the fused Stepper), over randomized traces drawn from three
+// generators (the IBS-like workload suite, a raw cfg program walk, and
+// a uniform-random adversarial stream). On divergence it ddmin-shrinks
+// the trace to a minimal counterexample and reports the replayable
+// seed and configuration.
+package diff
+
+import (
+	"fmt"
+	"io"
+
+	"gskew/internal/cfg"
+	"gskew/internal/history"
+	"gskew/internal/predictor"
+	"gskew/internal/refmodel"
+	"gskew/internal/rng"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+// Cell identifies one configuration point of the sweep.
+type Cell struct {
+	// Family is "bimodal", "gshare", "gselect", "gskewed" or "egskew".
+	Family string
+	// N is the index width: 2^N entries (per bank for the skewed family).
+	N uint
+	// Hist is the global-history length.
+	Hist uint
+	// Ctr is the counter width in bits.
+	Ctr uint
+	// Partial selects the partial update policy (skewed family only).
+	Partial bool
+}
+
+// String names the cell unambiguously, e.g. "gskewed/n8/h10/c2/partial".
+func (c Cell) String() string {
+	s := fmt.Sprintf("%s/n%d/h%d/c%d", c.Family, c.N, c.Hist, c.Ctr)
+	switch c.Family {
+	case "gskewed", "egskew":
+		if c.Partial {
+			s += "/partial"
+		} else {
+			s += "/total"
+		}
+	}
+	return s
+}
+
+// Spec builds the cell's executable specification.
+func (c Cell) Spec() (refmodel.Spec, error) {
+	switch c.Family {
+	case "bimodal", "gshare", "gselect":
+		return refmodel.NewSpecSingle(c.Family, c.N, c.Hist, c.Ctr), nil
+	case "gskewed":
+		return refmodel.NewSpecGSkewed(c.N, c.Hist, c.Ctr, c.Partial, false), nil
+	case "egskew":
+		return refmodel.NewSpecGSkewed(c.N, c.Hist, c.Ctr, c.Partial, true), nil
+	default:
+		return nil, fmt.Errorf("diff: unknown family %q", c.Family)
+	}
+}
+
+// Impl builds the cell's optimized implementation.
+func (c Cell) Impl() (predictor.Predictor, error) {
+	switch c.Family {
+	case "bimodal":
+		return predictor.NewBimodal(c.N, c.Ctr), nil
+	case "gshare":
+		return predictor.NewGShare(c.N, c.Hist, c.Ctr), nil
+	case "gselect":
+		return predictor.NewGSelect(c.N, c.Hist, c.Ctr), nil
+	case "gskewed", "egskew":
+		pol := predictor.TotalUpdate
+		if c.Partial {
+			pol = predictor.PartialUpdate
+		}
+		return predictor.NewGSkewed(predictor.Config{
+			Banks: 3, BankBits: c.N, HistoryBits: c.Hist,
+			CounterBits: c.Ctr, Policy: pol, Enhanced: c.Family == "egskew",
+		})
+	default:
+		return nil, fmt.Errorf("diff: unknown family %q", c.Family)
+	}
+}
+
+// DefaultSweep returns the standard verification matrix: every
+// predictor family, each update policy where the family has one, and
+// at least three configurations per (family, policy) pair spanning
+// history lengths (shorter, equal and longer than the index), bank
+// widths and both counter widths.
+func DefaultSweep() []Cell {
+	var cells []Cell
+	// Single-table baselines: 3 configs each. gshare configs cover the
+	// footnote-1 short-history alignment (k < n), k == n, and the
+	// folding regime (k > n); gselect covers k < n and the degenerate
+	// k >= n regime.
+	for _, c := range []Cell{
+		{Family: "bimodal", N: 8, Ctr: 2},
+		{Family: "bimodal", N: 10, Ctr: 1},
+		{Family: "bimodal", N: 12, Ctr: 2},
+		{Family: "gshare", N: 10, Hist: 6, Ctr: 2},
+		{Family: "gshare", N: 10, Hist: 10, Ctr: 2},
+		{Family: "gshare", N: 8, Hist: 14, Ctr: 1},
+		{Family: "gselect", N: 10, Hist: 4, Ctr: 2},
+		{Family: "gselect", N: 10, Hist: 10, Ctr: 2},
+		{Family: "gselect", N: 8, Hist: 12, Ctr: 1},
+	} {
+		cells = append(cells, c)
+	}
+	// Skewed family: both policies x 3 configs, plain and enhanced.
+	for _, fam := range []string{"gskewed", "egskew"} {
+		for _, partial := range []bool{true, false} {
+			for _, cfg := range []struct{ n, h, ctr uint }{
+				{6, 6, 2},
+				{8, 10, 2},
+				{10, 14, 1},
+			} {
+				cells = append(cells, Cell{
+					Family: fam, N: cfg.n, Hist: cfg.h, Ctr: cfg.ctr, Partial: partial,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// CellByName finds a cell in the default sweep by its String name.
+func CellByName(name string) (Cell, error) {
+	for _, c := range DefaultSweep() {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return Cell{}, fmt.Errorf("diff: unknown cell %q (see -list)", name)
+}
+
+// Divergence describes the first observable disagreement between the
+// specification and the implementation on a trace.
+type Divergence struct {
+	// Step is the 0-based index of the diverging record in the trace
+	// (counting all records, not just conditionals).
+	Step int
+	// Record is the trace record at the divergence.
+	Record trace.Branch
+	// Hist is the history register value at the divergence.
+	Hist uint64
+	// SpecPred and ImplPred are the two predictions.
+	SpecPred, ImplPred bool
+	// HistMismatch is set when the naive and optimized history
+	// registers disagreed (a runner-level bug rather than a predictor
+	// one); the predictions then refer to each side's own history.
+	HistMismatch bool
+}
+
+func (d *Divergence) String() string {
+	if d.HistMismatch {
+		return fmt.Sprintf("step %d pc=%#x: history registers diverged", d.Step, d.Record.PC)
+	}
+	return fmt.Sprintf("step %d pc=%#x hist=%#x taken=%v: spec predicts %v, impl predicts %v",
+		d.Step, d.Record.PC, d.Hist, d.Record.Taken, d.SpecPred, d.ImplPred)
+}
+
+// ImplBuilder constructs a fresh implementation for a cell. The
+// default is Cell.Impl; the self-test harness substitutes builders
+// with deliberately injected faults.
+type ImplBuilder func(c Cell) (predictor.Predictor, error)
+
+// Check replays tr through a fresh spec and a fresh impl of the cell,
+// comparing the prediction of every conditional branch. useStep
+// selects the implementation path under test: the fused Stepper when
+// true, the Predict-then-Update pair when false. It returns the first
+// divergence, or nil if the models agree on the whole trace.
+func Check(tr []trace.Branch, c Cell, useStep bool) (*Divergence, error) {
+	return CheckBuilt(tr, c, Cell.Impl, useStep)
+}
+
+// CheckBuilt is Check with the implementation supplied by build.
+func CheckBuilt(tr []trace.Branch, c Cell, build ImplBuilder, useStep bool) (*Divergence, error) {
+	spec, err := c.Spec()
+	if err != nil {
+		return nil, err
+	}
+	impl, err := build(c)
+	if err != nil {
+		return nil, err
+	}
+	k := c.Hist
+	if c.Family == "bimodal" {
+		k = 0
+	}
+	specGHR := refmodel.NewSpecHistory(k)
+	implGHR := history.NewGlobal(k)
+	stepper, _ := impl.(predictor.Stepper)
+	if useStep && stepper == nil {
+		return nil, fmt.Errorf("diff: %s implementation has no Stepper", c)
+	}
+
+	for i, b := range tr {
+		switch b.Kind {
+		case trace.Conditional:
+			sh, ih := specGHR.Value(), implGHR.Bits()
+			if sh != ih {
+				return &Divergence{Step: i, Record: b, HistMismatch: true}, nil
+			}
+			specPred := spec.Predict(b.PC, sh)
+			var implPred bool
+			if useStep {
+				implPred = stepper.Step(b.PC, ih, b.Taken)
+			} else {
+				implPred = impl.Predict(b.PC, ih)
+				impl.Update(b.PC, ih, b.Taken)
+			}
+			if specPred != implPred {
+				return &Divergence{
+					Step: i, Record: b, Hist: sh,
+					SpecPred: specPred, ImplPred: implPred,
+				}, nil
+			}
+			spec.Update(b.PC, sh, b.Taken)
+			specGHR.Shift(b.Taken)
+			implGHR.Shift(b.Taken)
+		case trace.Unconditional:
+			specGHR.Shift(true)
+			implGHR.Shift(true)
+		default:
+			return nil, fmt.Errorf("diff: unknown branch kind %d at record %d", b.Kind, i)
+		}
+	}
+	return nil, nil
+}
+
+// TraceFor materialises a randomized trace of about n conditional
+// branches for the given seed. Three generator modes rotate with the
+// seed so the sweep exercises structurally different streams:
+//
+//	seed %% 3 == 0: an IBS-like multi-process workload benchmark,
+//	seed %% 3 == 1: a raw cfg program walk (single address space),
+//	seed %% 3 == 2: uniform-random addresses and outcomes over a
+//	                small PC set — maximal aliasing pressure.
+func TraceFor(seed uint64, n int) ([]trace.Branch, error) {
+	switch seed % 3 {
+	case 0:
+		specs := workload.Benchmarks()
+		spec := specs[int(seed/3)%len(specs)]
+		g, err := workload.New(spec, workload.Config{Scale: 1, SeedOffset: seed})
+		if err != nil {
+			return nil, err
+		}
+		return trace.Collect(workload.NewTake(g, n))
+	case 1:
+		r := rng.NewXoshiro256(rng.Mix64(seed))
+		prog, err := cfg.Generate(cfg.GenConfig{
+			Procs:          4 + r.Intn(8),
+			StaticBranches: 200 + r.Intn(2000),
+			MeanTrips:      4 + float64(r.Intn(40)),
+		}, rng.Mix64(seed+1))
+		if err != nil {
+			return nil, err
+		}
+		w := cfg.NewWalker(prog, rng.Mix64(seed+2))
+		return trace.Collect(workload.NewTake(w, n))
+	default:
+		r := rng.NewXoshiro256(rng.Mix64(seed))
+		pcBits := uint(6 + r.Intn(8))
+		out := make([]trace.Branch, 0, n)
+		for len(out) < n {
+			b := trace.Branch{
+				PC:    r.Uint64() & (uint64(1)<<pcBits - 1),
+				Taken: r.Uint64()&1 == 0,
+			}
+			if r.Uint64()&7 == 0 {
+				b.Kind = trace.Unconditional
+				b.Taken = true
+			}
+			out = append(out, b)
+		}
+		return out, nil
+	}
+}
+
+// CellResult is the outcome of verifying one cell.
+type CellResult struct {
+	Cell Cell
+	// Seed is the trace seed the cell ran (and diverged, if it did) on.
+	Seed uint64
+	// Branches is the requested trace length, needed to replay Seed.
+	Branches int
+	// Steps is the total number of trace records checked, summed over
+	// both implementation paths.
+	Steps int
+	// UseStep records which implementation path diverged.
+	UseStep bool
+	// Div is the first divergence, nil when the cell verified clean.
+	Div *Divergence
+	// Shrunk is the minimal counterexample trace (only on divergence).
+	Shrunk []trace.Branch
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Branches is the trace length per cell (conditionals; default 60000).
+	Branches int
+	// Seed is the base trace seed; cell i runs on Seed+i.
+	Seed uint64
+	// Log, when non-nil, receives one progress line per cell.
+	Log io.Writer
+}
+
+func (o *Options) branches() int {
+	if o.Branches <= 0 {
+		return 60000
+	}
+	return o.Branches
+}
+
+// VerifyCell checks one cell over its trace on both implementation
+// paths, shrinking the trace on divergence.
+func VerifyCell(c Cell, seed uint64, branches int) (CellResult, error) {
+	res := CellResult{Cell: c, Seed: seed, Branches: branches}
+	tr, err := TraceFor(seed, branches)
+	if err != nil {
+		return res, fmt.Errorf("diff: generating trace for %s (seed %d): %w", c, seed, err)
+	}
+	for _, useStep := range []bool{false, true} {
+		div, err := Check(tr, c, useStep)
+		if err != nil {
+			return res, err
+		}
+		res.Steps += len(tr)
+		if div != nil {
+			res.Div = div
+			res.UseStep = useStep
+			res.Shrunk = Shrink(tr, c, useStep)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Sweep verifies every cell, returning per-cell results. It does not
+// stop at the first divergence: a full sweep report is more useful
+// when a change breaks several families at once.
+func Sweep(cells []Cell, opts Options) ([]CellResult, error) {
+	results := make([]CellResult, 0, len(cells))
+	for i, c := range cells {
+		res, err := VerifyCell(c, opts.Seed+uint64(i), opts.branches())
+		if err != nil {
+			return results, err
+		}
+		if opts.Log != nil {
+			status := "ok"
+			if res.Div != nil {
+				status = fmt.Sprintf("DIVERGED (%v; shrunk to %d records)", res.Div, len(res.Shrunk))
+			}
+			fmt.Fprintf(opts.Log, "%-28s seed=%-6d steps=%-8d %s\n", c, res.Seed, res.Steps, status)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

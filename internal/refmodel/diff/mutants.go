@@ -1,0 +1,172 @@
+package diff
+
+import (
+	"fmt"
+	"io"
+
+	"gskew/internal/predictor"
+	"gskew/internal/trace"
+)
+
+// This file injects deliberate faults into otherwise-correct
+// implementations and checks the differential harness catches and
+// shrinks them. It is the harness's own regression test: a verifier
+// that cannot find a planted off-by-one cannot be trusted to find a
+// real one.
+
+// faultWrap wraps a correct implementation with a fault applied to the
+// (addr, hist) pair of one of the two calls. It deliberately does NOT
+// implement Stepper: the faults model a divergence between the read
+// and write paths, which only exists when the two are separate calls.
+type faultWrap struct {
+	predictor.Predictor
+	kind string
+}
+
+// Update applies the fault on the training path.
+func (m *faultWrap) Update(addr, hist uint64, taken bool) {
+	switch m.kind {
+	case "addr-off-by-one":
+		// The classic index off-by-one: the trained entry is the
+		// neighbour of the predicted one.
+		m.Predictor.Update(addr+1, hist, taken)
+	case "hist-off-by-one":
+		// History register skewed by one outcome on the write path.
+		m.Predictor.Update(addr, hist>>1, taken)
+	default:
+		m.Predictor.Update(addr, hist, taken)
+	}
+}
+
+// Mutant names a fault that can be injected into a cell's
+// implementation.
+type Mutant struct {
+	// Name identifies the fault, e.g. "addr-off-by-one".
+	Name string
+	// Build constructs the faulty implementation for a cell.
+	Build ImplBuilder
+}
+
+// Mutants returns the standard injected-fault set. A Build returns
+// errMutantInapplicable for cells whose index function is insensitive
+// to the perturbed input (e.g. the address for a gselect table fully
+// indexed by history), where the fault would be unobservable by
+// construction.
+func Mutants() []Mutant {
+	wrap := func(kind string) ImplBuilder {
+		return func(c Cell) (predictor.Predictor, error) {
+			switch kind {
+			case "addr-off-by-one":
+				if c.Family == "gselect" && c.Hist >= c.N {
+					return nil, errMutantInapplicable
+				}
+			case "hist-off-by-one":
+				if c.Family == "bimodal" || c.Hist == 0 {
+					return nil, errMutantInapplicable
+				}
+			}
+			p, err := c.Impl()
+			if err != nil {
+				return nil, err
+			}
+			return &faultWrap{Predictor: p, kind: kind}, nil
+		}
+	}
+	return []Mutant{
+		{Name: "addr-off-by-one", Build: wrap("addr-off-by-one")},
+		{Name: "hist-off-by-one", Build: wrap("hist-off-by-one")},
+		{Name: "policy-flip", Build: func(c Cell) (predictor.Predictor, error) {
+			// The implementation silently uses the other update policy
+			// (or, for single-table cells, one less history bit).
+			mutated := c
+			switch c.Family {
+			case "gskewed", "egskew":
+				mutated.Partial = !c.Partial
+			default:
+				if c.Hist == 0 {
+					return nil, errMutantInapplicable
+				}
+				mutated.Hist = c.Hist - 1
+			}
+			return mutated.Impl()
+		}},
+	}
+}
+
+// errMutantInapplicable marks a (cell, mutant) pair with no meaningful
+// fault to inject (e.g. shortening a zero-bit history).
+var errMutantInapplicable = fmt.Errorf("diff: mutant inapplicable to cell")
+
+// SelfTestResult records one (cell, mutant) injection outcome.
+type SelfTestResult struct {
+	Cell   Cell
+	Mutant string
+	// Caught reports whether the harness observed a divergence.
+	Caught bool
+	// ShrunkLen is the length of the minimised counterexample.
+	ShrunkLen int
+}
+
+// SelfTest injects every applicable mutant into a representative cell
+// subset and verifies the harness both catches the fault and shrinks
+// the witness trace to at most maxShrunk records. It returns an error
+// listing every escape (a mutant the harness failed to catch) or any
+// counterexample that failed to shrink below the bound.
+func SelfTest(cells []Cell, branches int, seed uint64, maxShrunk int, log io.Writer) ([]SelfTestResult, error) {
+	var results []SelfTestResult
+	var failures []string
+	for i, c := range cells {
+		tr, err := TraceFor(seed+uint64(i), branches)
+		if err != nil {
+			return results, err
+		}
+		for _, m := range Mutants() {
+			if _, err := m.Build(c); err == errMutantInapplicable {
+				continue
+			}
+			div, err := CheckBuilt(tr, c, m.Build, false)
+			if err != nil {
+				return results, fmt.Errorf("diff: selftest %s/%s: %w", c, m.Name, err)
+			}
+			res := SelfTestResult{Cell: c, Mutant: m.Name, Caught: div != nil}
+			if div != nil {
+				shrunk := ShrinkBuilt(tr, c, m.Build, false)
+				res.ShrunkLen = len(shrunk)
+			}
+			results = append(results, res)
+			switch {
+			case !res.Caught:
+				failures = append(failures, fmt.Sprintf("%s/%s escaped", c, m.Name))
+			case res.ShrunkLen > maxShrunk:
+				failures = append(failures, fmt.Sprintf("%s/%s shrunk to %d records (bound %d)",
+					c, m.Name, res.ShrunkLen, maxShrunk))
+			}
+			if log != nil {
+				status := "ESCAPED"
+				if res.Caught {
+					status = fmt.Sprintf("caught, shrunk to %d records", res.ShrunkLen)
+				}
+				fmt.Fprintf(log, "%-28s %-16s %s\n", c, m.Name, status)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return results, fmt.Errorf("diff: selftest failed: %v", failures)
+	}
+	return results, nil
+}
+
+// WriteCounterexample renders a shrunk counterexample in the text
+// trace format, preceded by a replay comment naming the cell, path and
+// seed; `verify -cell <name> -seed <seed>` replays the full trace it
+// was shrunk from.
+func WriteCounterexample(w io.Writer, c Cell, seed uint64, useStep bool, tr []trace.Branch) error {
+	path := "predict/update"
+	if useStep {
+		path = "step"
+	}
+	if _, err := fmt.Fprintf(w, "# cell %s path %s seed %d (%d records)\n", c, path, seed, len(tr)); err != nil {
+		return err
+	}
+	return trace.WriteText(w, trace.NewSliceSource(tr))
+}

@@ -1,0 +1,62 @@
+package diff
+
+import "gskew/internal/trace"
+
+// Shrink reduces a diverging trace to a small counterexample for the
+// given cell and implementation path. The procedure is the standard
+// delta-debugging loop:
+//
+//  1. truncate the trace just past its first divergence (nothing after
+//     the first disagreement can be needed to reproduce it), then
+//  2. repeatedly try deleting chunks, halving the chunk size from half
+//     the trace down to single records, keeping any deletion that
+//     still diverges, until a pass at granularity 1 removes nothing.
+//
+// The result is 1-minimal: deleting any single remaining record makes
+// the divergence disappear. Shrink returns nil if tr does not actually
+// diverge (or the cell is unbuildable), so callers can treat a non-nil
+// result as a verified counterexample.
+func Shrink(tr []trace.Branch, c Cell, useStep bool) []trace.Branch {
+	return ShrinkBuilt(tr, c, Cell.Impl, useStep)
+}
+
+// ShrinkBuilt is Shrink with the implementation supplied by build
+// (each candidate replay constructs a fresh instance).
+func ShrinkBuilt(tr []trace.Branch, c Cell, build ImplBuilder, useStep bool) []trace.Branch {
+	reproduces := func(cand []trace.Branch) bool {
+		div, err := CheckBuilt(cand, c, build, useStep)
+		return err == nil && div != nil
+	}
+	div, err := CheckBuilt(tr, c, build, useStep)
+	if err != nil || div == nil {
+		return nil
+	}
+	cur := append([]trace.Branch(nil), tr[:div.Step+1]...)
+
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]trace.Branch, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && reproduces(cand) {
+				cur = cand
+				removedAny = true
+				// Do not advance: the next chunk now starts at the
+				// same offset.
+			} else {
+				start = end
+			}
+		}
+		if chunk > 1 {
+			chunk /= 2
+		} else if !removedAny {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,217 @@
+package refmodel
+
+import (
+	"testing"
+
+	"gskew/internal/rng"
+)
+
+// TestBitsRoundTrip: ToBits/FromBits are inverse on the masked value.
+func TestBitsRoundTrip(t *testing.T) {
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Uint64()
+		for _, n := range []uint{0, 1, 3, 8, 16, 30, 63} {
+			want := v
+			if n < 64 {
+				want = v & (uint64(1)<<n - 1)
+			}
+			if got := FromBits(ToBits(v, n)); got != want {
+				t.Fatalf("round trip n=%d v=%#x: got %#x want %#x", n, v, got, want)
+			}
+		}
+	}
+}
+
+// TestHinvInvertsH: H∘Hinv = Hinv∘H = id, exhaustively for every
+// supported small width and every value.
+func TestHinvInvertsH(t *testing.T) {
+	for n := uint(2); n <= 14; n++ {
+		for y := uint64(0); y < 1<<n; y++ {
+			if got := Hinv(H(y, n), n); got != y {
+				t.Fatalf("n=%d: Hinv(H(%#x)) = %#x", n, y, got)
+			}
+			if got := H(Hinv(y, n), n); got != y {
+				t.Fatalf("n=%d: H(Hinv(%#x)) = %#x", n, y, got)
+			}
+		}
+	}
+	// Large widths, sampled.
+	r := rng.NewXoshiro256(2)
+	for n := uint(15); n <= 30; n++ {
+		for i := 0; i < 2000; i++ {
+			y := r.Uint64() & (uint64(1)<<n - 1)
+			if got := Hinv(H(y, n), n); got != y {
+				t.Fatalf("n=%d: Hinv(H(%#x)) = %#x", n, y, got)
+			}
+		}
+	}
+}
+
+// TestHBijective: H is a bijection (it has an inverse, so injectivity
+// over the full domain is the check), exhaustively for small widths.
+func TestHBijective(t *testing.T) {
+	for n := uint(2); n <= 14; n++ {
+		seen := make(map[uint64]bool, 1<<n)
+		for y := uint64(0); y < 1<<n; y++ {
+			h := H(y, n)
+			if h >= 1<<n {
+				t.Fatalf("n=%d: H(%#x) = %#x out of range", n, y, h)
+			}
+			if seen[h] {
+				t.Fatalf("n=%d: H not injective at %#x", n, y)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+// TestXorHBijective: the maps y -> y XOR H(y) and y -> y XOR Hinv(y)
+// are bijections. This is the paper's key subfamily property: it makes
+// the differences of any two of f0, f1, f2 bijective in V1 (and V2),
+// which is what bounds cross-bank collision correlation. Exhaustive
+// for small widths, collision-sampled for large ones.
+func TestXorHBijective(t *testing.T) {
+	for n := uint(2); n <= 14; n++ {
+		seenH := make(map[uint64]bool, 1<<n)
+		seenI := make(map[uint64]bool, 1<<n)
+		for y := uint64(0); y < 1<<n; y++ {
+			a := y ^ H(y, n)
+			b := y ^ Hinv(y, n)
+			if seenH[a] {
+				t.Fatalf("n=%d: y^H(y) collides at %#x", n, y)
+			}
+			if seenI[b] {
+				t.Fatalf("n=%d: y^Hinv(y) collides at %#x", n, y)
+			}
+			seenH[a], seenI[b] = true, true
+		}
+	}
+	r := rng.NewXoshiro256(3)
+	for _, n := range []uint{20, 24, 30} {
+		seen := make(map[uint64]uint64, 1<<16)
+		for i := 0; i < 1<<16; i++ {
+			y := r.Uint64() & (uint64(1)<<n - 1)
+			a := y ^ H(y, n)
+			if prev, ok := seen[a]; ok && prev != y {
+				t.Fatalf("n=%d: y^H(y) collides: %#x and %#x", n, prev, y)
+			}
+			seen[a] = y
+		}
+	}
+}
+
+// TestEqualV2NoCollision: two information vectors with the same V2 but
+// different V1 never collide in any bank — the dispersion property of
+// section 4.2. Exhaustive over all V1 pairs for small widths.
+func TestEqualV2NoCollision(t *testing.T) {
+	fns := []struct {
+		name string
+		f    func(uint64, uint) uint64
+	}{{"f0", F0}, {"f1", F1}, {"f2", F2}}
+	for n := uint(2); n <= 8; n++ {
+		for _, v2 := range []uint64{0, 1, (uint64(1) << n) - 1, 0x5A & ((uint64(1) << n) - 1)} {
+			for a := uint64(0); a < 1<<n; a++ {
+				for b := a + 1; b < 1<<n; b++ {
+					va := (v2 << n) | a
+					vb := (v2 << n) | b
+					for _, fn := range fns {
+						if fn.f(va, n) == fn.f(vb, n) {
+							t.Fatalf("n=%d %s: equal-V2 vectors %#x and %#x collide",
+								n, fn.name, va, vb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpecCounterBounds: from any reachable state, arbitrary outcome
+// sequences keep the automaton inside [0, 2^bits-1], and prediction
+// flips exactly at the range midpoint.
+func TestSpecCounterBounds(t *testing.T) {
+	r := rng.NewXoshiro256(4)
+	for bits := uint(1); bits <= 8; bits++ {
+		c := NewSpecCounter(bits)
+		if !c.Predict() {
+			t.Fatalf("bits=%d: initial state %d must predict taken (weakly taken)", bits, c.State)
+		}
+		if c.Update(false).Predict() {
+			t.Fatalf("bits=%d: one not-taken from weakly-taken must flip the prediction", bits)
+		}
+		for i := 0; i < 4096; i++ {
+			c = c.Update(r.Uint64()&1 == 0)
+			if !c.InBounds() {
+				t.Fatalf("bits=%d: state %d escaped [0,%d]", bits, c.State, c.Max)
+			}
+			if got, want := c.Predict(), c.State >= (c.Max+1)/2; got != want {
+				t.Fatalf("bits=%d state=%d: Predict()=%v want %v", bits, c.State, got, want)
+			}
+		}
+		// Saturation: Max consecutive identical outcomes pin the state.
+		for i := 0; i <= c.Max; i++ {
+			c = c.Update(true)
+		}
+		if c.State != c.Max {
+			t.Fatalf("bits=%d: %d taken outcomes left state %d, want %d", bits, c.Max+1, c.State, c.Max)
+		}
+		if c.Update(true).State != c.Max {
+			t.Fatalf("bits=%d: counter escaped saturation upward", bits)
+		}
+	}
+}
+
+// TestSpecHistoryValue: the outcome-list history matches the explicit
+// shift-register semantics (newest outcome in bit 0, older above).
+func TestSpecHistoryValue(t *testing.T) {
+	h := NewSpecHistory(4)
+	if h.Value() != 0 {
+		t.Fatalf("empty history reads %#x, want 0", h.Value())
+	}
+	// Outcomes T, N, T, T, N (oldest to newest) with k=4 keep the last
+	// four: N T T N newest-first = bits 0b0110... newest N -> bit0=0,
+	// then T,T -> bits 1,2, then N -> bit 3.
+	for _, taken := range []bool{true, false, true, true, false} {
+		h.Shift(taken)
+	}
+	if got := h.Value(); got != 0b0110 {
+		t.Fatalf("history value = %#b, want 0b0110", got)
+	}
+	h.Reset()
+	if h.Value() != 0 {
+		t.Fatalf("reset history reads %#x", h.Value())
+	}
+}
+
+// TestGSelectDegeneratesToHistory: with k >= n the gselect index is
+// the low n history bits — the regime where the paper observes
+// gselect degrading (few or no address bits reach the table).
+func TestGSelectDegeneratesToHistory(t *testing.T) {
+	r := rng.NewXoshiro256(5)
+	for i := 0; i < 1000; i++ {
+		addr, hist := r.Uint64(), r.Uint64()
+		if got, want := GSelectIndex(addr, hist, 8, 12), hist&0xFF; got != want {
+			t.Fatalf("gselect k>n: got %#x want %#x", got, want)
+		}
+	}
+}
+
+// TestGShareShortHistoryAlignment: footnote 1 — a k-bit history with
+// k < n lands in the HIGH k bits of the index, not the low ones.
+func TestGShareShortHistoryAlignment(t *testing.T) {
+	// n=8, k=3, addr=0: index must be hist << 5.
+	for hist := uint64(0); hist < 8; hist++ {
+		if got, want := GShareIndex(0, hist, 8, 3), hist<<5; got != want {
+			t.Fatalf("gshare alignment: hist=%#x got %#x want %#x", hist, got, want)
+		}
+	}
+	// k > n folds every history bit in: changing any single history
+	// bit must change the index.
+	base := GShareIndex(0, 0, 6, 14)
+	for j := uint(0); j < 14; j++ {
+		if GShareIndex(0, uint64(1)<<j, 6, 14) == base {
+			t.Fatalf("gshare fold: history bit %d does not reach the index", j)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package refmodel
+
+import "fmt"
+
+// Spec is an executable specification of a predictor organisation:
+// the same observable contract as predictor.Predictor, minus the
+// performance-oriented extensions. Predict must not change state.
+type Spec interface {
+	Predict(addr, hist uint64) bool
+	Update(addr, hist uint64, taken bool)
+	Name() string
+	HistoryBits() uint
+}
+
+// SpecSingle is the specification of a one-bank tag-less predictor
+// table: a map from table index to counter automaton, with the index
+// function chosen by kind. Entries absent from the map are in the
+// initial (weakly-taken) state, which is exactly how an array table
+// initialised to weakly-taken behaves.
+type SpecSingle struct {
+	kind    string // "bimodal", "gshare" or "gselect"
+	n, k    uint
+	ctrBits uint
+	cells   map[uint64]SpecCounter
+}
+
+// NewSpecSingle returns the spec of a 2^n-entry single-table
+// predictor of the given kind with k history bits.
+func NewSpecSingle(kind string, n, k, ctrBits uint) *SpecSingle {
+	switch kind {
+	case "bimodal", "gshare", "gselect":
+	default:
+		panic(fmt.Sprintf("refmodel: unknown single-table kind %q", kind))
+	}
+	if kind == "bimodal" {
+		k = 0
+	}
+	return &SpecSingle{
+		kind: kind, n: n, k: k, ctrBits: ctrBits,
+		cells: make(map[uint64]SpecCounter),
+	}
+}
+
+func (s *SpecSingle) index(addr, hist uint64) uint64 {
+	switch s.kind {
+	case "bimodal":
+		return BimodalIndex(addr, s.n)
+	case "gshare":
+		return GShareIndex(addr, hist, s.n, s.k)
+	default:
+		return GSelectIndex(addr, hist, s.n, s.k)
+	}
+}
+
+func (s *SpecSingle) cell(i uint64) SpecCounter {
+	if c, ok := s.cells[i]; ok {
+		return c
+	}
+	return NewSpecCounter(s.ctrBits)
+}
+
+// Predict implements Spec.
+func (s *SpecSingle) Predict(addr, hist uint64) bool {
+	return s.cell(s.index(addr, hist)).Predict()
+}
+
+// Update implements Spec.
+func (s *SpecSingle) Update(addr, hist uint64, taken bool) {
+	i := s.index(addr, hist)
+	s.cells[i] = s.cell(i).Update(taken)
+}
+
+// Name implements Spec.
+func (s *SpecSingle) Name() string { return "spec-" + s.kind }
+
+// HistoryBits implements Spec.
+func (s *SpecSingle) HistoryBits() uint { return s.k }
+
+// SpecGSkewed is the specification of the three-bank skewed predictor
+// (sections 4.3-4.5) and of its enhanced variant (section 6): three
+// maps of counter automata indexed by f0/f1/f2 of the information
+// vector (the enhanced variant indexes bank 0 by address truncation
+// instead), a majority vote across banks, and either the total or the
+// partial update rule.
+type SpecGSkewed struct {
+	n, k     uint
+	ctrBits  uint
+	partial  bool
+	enhanced bool
+	banks    [3]map[uint64]SpecCounter
+}
+
+// NewSpecGSkewed returns the spec of a 3x2^n-entry skewed predictor
+// with k history bits. partial selects the partial update rule;
+// enhanced selects the section-6 variant.
+func NewSpecGSkewed(n, k, ctrBits uint, partial, enhanced bool) *SpecGSkewed {
+	checkWidth(n)
+	g := &SpecGSkewed{n: n, k: k, ctrBits: ctrBits, partial: partial, enhanced: enhanced}
+	for b := range g.banks {
+		g.banks[b] = make(map[uint64]SpecCounter)
+	}
+	return g
+}
+
+// indices returns the three bank indices for a reference.
+func (g *SpecGSkewed) indices(addr, hist uint64) [3]uint64 {
+	v := Vector(addr, hist, g.k)
+	if g.enhanced {
+		// Section 6: bank 0 sees the branch address alone, so its
+		// entries are shared by all histories of the same branch.
+		return [3]uint64{BimodalIndex(addr, g.n), F1(v, g.n), F2(v, g.n)}
+	}
+	return [3]uint64{F0(v, g.n), F1(v, g.n), F2(v, g.n)}
+}
+
+func (g *SpecGSkewed) cell(bank int, i uint64) SpecCounter {
+	if c, ok := g.banks[bank][i]; ok {
+		return c
+	}
+	return NewSpecCounter(g.ctrBits)
+}
+
+// votes returns the per-bank predictions and the majority direction.
+func (g *SpecGSkewed) votes(idx [3]uint64) (per [3]bool, overall bool) {
+	ayes := 0
+	for b := range idx {
+		per[b] = g.cell(b, idx[b]).Predict()
+		if per[b] {
+			ayes++
+		}
+	}
+	return per, ayes >= 2
+}
+
+// Predict implements Spec: the majority vote of the three banks.
+func (g *SpecGSkewed) Predict(addr, hist uint64) bool {
+	_, overall := g.votes(g.indices(addr, hist))
+	return overall
+}
+
+// Update implements Spec. Under total update every bank trains on
+// every outcome. Under partial update (section 4.4): when the overall
+// prediction was correct, only the banks that agreed with it are
+// strengthened — a dissenting bank is presumed to hold the state of a
+// different substream and is left alone; when the overall prediction
+// was wrong, all banks train.
+func (g *SpecGSkewed) Update(addr, hist uint64, taken bool) {
+	idx := g.indices(addr, hist)
+	per, overall := g.votes(idx)
+	for b := range idx {
+		if g.partial && overall == taken && per[b] != taken {
+			continue
+		}
+		g.banks[b][idx[b]] = g.cell(b, idx[b]).Update(taken)
+	}
+}
+
+// Name implements Spec.
+func (g *SpecGSkewed) Name() string {
+	if g.enhanced {
+		return "spec-egskew"
+	}
+	return "spec-gskewed"
+}
+
+// HistoryBits implements Spec.
+func (g *SpecGSkewed) HistoryBits() uint { return g.k }
+
+// Policy returns "partial" or "total".
+func (g *SpecGSkewed) Policy() string {
+	if g.partial {
+		return "partial"
+	}
+	return "total"
+}

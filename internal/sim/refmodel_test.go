@@ -1,0 +1,105 @@
+package sim_test
+
+import (
+	"testing"
+
+	"gskew/internal/predictor"
+	"gskew/internal/refmodel"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+// specReplay re-implements the runner's measurement methodology on top
+// of the executable paper spec: unconditional branches shift the
+// history as taken, only conditionals are predicted and counted. It is
+// an independent transcription, sharing no code with package sim.
+func specReplay(branches []trace.Branch, spec refmodel.Spec) sim.Result {
+	h := refmodel.NewSpecHistory(spec.HistoryBits())
+	var res sim.Result
+	for _, b := range branches {
+		switch b.Kind {
+		case trace.Conditional:
+			res.Conditionals++
+			if spec.Predict(b.PC, h.Value()) != b.Taken {
+				res.Mispredicts++
+			}
+			spec.Update(b.PC, h.Value(), b.Taken)
+			h.Shift(b.Taken)
+		case trace.Unconditional:
+			res.Unconditionals++
+			h.Shift(true)
+		}
+	}
+	return res
+}
+
+// TestRunMatchesSpecReplay: the optimized runner (Run, including its
+// fused Stepper fast path) produces the same counts as replaying the
+// trace against the paper spec with a spec-level history register.
+func TestRunMatchesSpecReplay(t *testing.T) {
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		impl predictor.Predictor
+		ref  refmodel.Spec
+	}{
+		{"bimodal", predictor.NewBimodal(7, 2), refmodel.NewSpecSingle("bimodal", 7, 0, 2)},
+		{"gshare", predictor.NewGShare(8, 6, 2), refmodel.NewSpecSingle("gshare", 8, 6, 2)},
+		{"gselect", predictor.NewGSelect(8, 5, 2), refmodel.NewSpecSingle("gselect", 8, 5, 2)},
+	}
+	skew, err := predictor.NewGSkewed(predictor.Config{
+		Banks: 3, BankBits: 6, HistoryBits: 8, CounterBits: 2,
+		Policy: predictor.PartialUpdate, Enhanced: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name string
+		impl predictor.Predictor
+		ref  refmodel.Spec
+	}{"egskew", skew, refmodel.NewSpecGSkewed(6, 8, 2, true, true)})
+
+	var preds []predictor.Predictor
+	var want []sim.Result
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got, err := sim.RunBranches(branches, c.impl, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := specReplay(branches, c.ref)
+			if got.Conditionals != ref.Conditionals || got.Unconditionals != ref.Unconditionals {
+				t.Fatalf("event counts: runner %+v, spec %+v", got, ref)
+			}
+			if got.Mispredicts != ref.Mispredicts {
+				t.Errorf("mispredicts: runner %d, spec %d", got.Mispredicts, ref.Mispredicts)
+			}
+			c.impl.Reset()
+			preds = append(preds, c.impl)
+			want = append(want, ref)
+		})
+	}
+
+	// The single-pass multi-predictor runner must agree with the same
+	// spec replays, predictor by predictor.
+	results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Mispredicts != want[i].Mispredicts || r.Conditionals != want[i].Conditionals {
+			t.Errorf("RunMany predictor %d: %+v, spec %+v", i, r, want[i])
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package skewfn_test
+
+import (
+	"testing"
+
+	"gskew/internal/refmodel"
+	"gskew/internal/skewfn"
+)
+
+// FuzzSkewerAgainstSpec drives the optimized skewing functions with
+// arbitrary (width, vector) pairs and checks the three invariants that
+// must hold for every input: no panic, indices within the bank mask,
+// and bit-for-bit agreement with the executable paper spec in
+// internal/refmodel (which computes H and Hinv positionally over bit
+// strings rather than with shifts and masks).
+func FuzzSkewerAgainstSpec(f *testing.F) {
+	f.Add(uint(2), uint64(0))
+	f.Add(uint(8), uint64(0x1234))
+	f.Add(uint(10), uint64(0xFFFFFFFF))
+	f.Add(uint(13), uint64(0xDEADBEEFCAFE))
+	f.Add(uint(30), uint64(1)<<62)
+	f.Fuzz(func(t *testing.T, n uint, v uint64) {
+		// Clamp the width into the supported range rather than skipping:
+		// the interesting inputs are the vectors, and clamping keeps
+		// every fuzz execution productive.
+		n = skewfn.MinBits + n%(skewfn.MaxBits-skewfn.MinBits+1)
+		s := skewfn.New(n)
+
+		h := s.H(v)
+		if h != refmodel.H(v&s.Mask(), n) {
+			t.Fatalf("n=%d v=%#x: H=%#x, spec %#x", n, v, h, refmodel.H(v&s.Mask(), n))
+		}
+		if h&^s.Mask() != 0 {
+			t.Fatalf("n=%d v=%#x: H=%#x escapes the mask", n, v, h)
+		}
+		hinv := s.Hinv(v)
+		if hinv != refmodel.Hinv(v&s.Mask(), n) {
+			t.Fatalf("n=%d v=%#x: Hinv=%#x, spec %#x", n, v, hinv, refmodel.Hinv(v&s.Mask(), n))
+		}
+		if s.Hinv(h) != v&s.Mask() || s.H(hinv) != v&s.Mask() {
+			t.Fatalf("n=%d v=%#x: H/Hinv do not invert each other", n, v)
+		}
+
+		want := []uint64{refmodel.F0(v, n), refmodel.F1(v, n), refmodel.F2(v, n)}
+		got := make([]uint64, 3)
+		s.Indices(got, v)
+		for k := 0; k < 3; k++ {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d v=%#x bank %d: index %#x, spec %#x", n, v, k, got[k], want[k])
+			}
+			if got[k] != s.Index(k, v) {
+				t.Fatalf("n=%d v=%#x bank %d: Indices and Index disagree", n, v, k)
+			}
+		}
+
+		// Higher banks have no paper spec, but must still stay in range
+		// and never panic.
+		wide := make([]uint64, 7)
+		s.Indices(wide, v)
+		for k, idx := range wide {
+			if idx&^s.Mask() != 0 {
+				t.Fatalf("n=%d v=%#x bank %d: index %#x escapes the mask", n, v, k, idx)
+			}
+		}
+	})
+}
