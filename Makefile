@@ -4,12 +4,16 @@
 # cache and the single-pass multi-predictor runner). `make verify` is
 # the differential tier: the optimized predictors against the
 # executable paper spec, plus the fault-injection selftest. `make fuzz`
-# runs each fuzz target for FUZZTIME.
+# runs each fuzz target for FUZZTIME. `make bench` runs the compiled
+# kernel vs interface comparison BENCHCOUNT times and snapshots the
+# best runs to BENCH_kernel.json; `make bench-all` runs the full
+# benchmark suite without snapshotting.
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHCOUNT ?= 3
 
-.PHONY: build test check verify fuzz bench output
+.PHONY: build test check verify fuzz bench bench-all output
 
 build:
 	$(GO) build ./...
@@ -32,6 +36,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 
 bench:
+	$(GO) test -bench='Kernel|TraceDecode' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+	@cat BENCH_kernel.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
 # Regenerate the committed full-suite output (timing goes to stderr,

@@ -12,12 +12,15 @@
 package gskew_test
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"io"
 	"strconv"
 	"testing"
 
 	"gskew/internal/experiments"
+	"gskew/internal/kernel"
 	"gskew/internal/predictor"
 	"gskew/internal/report"
 	"gskew/internal/sim"
@@ -275,3 +278,234 @@ func benchSchedule(b *testing.B, jobs int) {
 
 func BenchmarkScheduleSerial(b *testing.B)   { benchSchedule(b, 1) }
 func BenchmarkScheduleParallel(b *testing.B) { benchSchedule(b, 0) }
+
+// Compiled-kernel benchmarks: the same simulation driven through the
+// compiled fast path (internal/kernel) and through the generic
+// interface path (Options.NoKernel). `make bench` runs these and
+// records the comparison in BENCH_kernel.json.
+
+// kernelBenchTrace materialises the shared step-loop workload once.
+func kernelBenchTrace(b *testing.B) []trace.Branch {
+	b.Helper()
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return branches
+}
+
+// benchStepLoop runs the full simulation loop (trace iteration,
+// history maintenance, predict, train) over one predictor on both
+// paths. The kernel/interface ratio is the headline speedup of the
+// compiled layer.
+func benchStepLoop(b *testing.B, mk func() predictor.Predictor) {
+	branches := kernelBenchTrace(b)
+	for _, path := range []struct {
+		name     string
+		noKernel bool
+	}{
+		{"kernel", false},
+		{"interface", true},
+	} {
+		b.Run(path.name, func(b *testing.B) {
+			p := mk()
+			opts := sim.Options{NoKernel: path.noKernel}
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				chunk := len(branches)
+				if b.N-done < chunk {
+					chunk = b.N - done
+				}
+				if _, err := sim.RunBranches(branches[:chunk], p, opts); err != nil {
+					b.Fatal(err)
+				}
+				done += chunk
+			}
+		})
+	}
+}
+
+func BenchmarkKernelBimodal16k(b *testing.B) {
+	benchStepLoop(b, func() predictor.Predictor { return predictor.NewBimodal(14, 2) })
+}
+
+func BenchmarkKernelGShare16k(b *testing.B) {
+	benchStepLoop(b, func() predictor.Predictor { return predictor.NewGShare(14, 12, 2) })
+}
+
+func BenchmarkKernelGSelect16k(b *testing.B) {
+	benchStepLoop(b, func() predictor.Predictor { return predictor.NewGSelect(14, 6, 2) })
+}
+
+func BenchmarkKernelGSkewed3x4k(b *testing.B) {
+	benchStepLoop(b, func() predictor.Predictor {
+		return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12})
+	})
+}
+
+func BenchmarkKernelEGSkew3x4k(b *testing.B) {
+	benchStepLoop(b, func() predictor.Predictor {
+		return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true})
+	})
+}
+
+func BenchmarkKernel2BcGSkew4x4k(b *testing.B) {
+	benchStepLoop(b, func() predictor.Predictor { return predictor.MustTwoBcGSkew(12, 8, 16) })
+}
+
+// BenchmarkKernelStepBatch measures the compiled step loop alone — no
+// trace decoding, no history maintenance — on a prepared step block.
+// This is the ns/branch floor of the predictor inner loop.
+func BenchmarkKernelStepBatch(b *testing.B) {
+	branches := kernelBenchTrace(b)
+	for _, cfg := range []struct {
+		name string
+		mk   func() predictor.Predictor
+	}{
+		{"gshare16k", func() predictor.Predictor { return predictor.NewGShare(14, 12, 2) }},
+		{"gskewed3x4k", func() predictor.Predictor {
+			return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12})
+		}},
+		{"egskew3x4k", func() predictor.Predictor {
+			return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true})
+		}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := cfg.mk()
+			kern, ok := kernel.Compile(p, p.HistoryBits())
+			if !ok {
+				b.Fatal("predictor did not compile")
+			}
+			steps := make([]kernel.Step, 0, len(branches))
+			hist, mask := uint64(0), uint64(1)<<p.HistoryBits()-1
+			for _, br := range branches {
+				if br.Kind == trace.Conditional {
+					steps = append(steps, kernel.Step{PC: br.PC, Hist: hist, Taken: br.Taken})
+				}
+				hist = hist << 1 & mask
+				if br.Taken {
+					hist |= 1
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				chunk := len(steps)
+				if b.N-done < chunk {
+					chunk = b.N - done
+				}
+				kern.StepBatch(steps[:chunk])
+				done += chunk
+			}
+		})
+	}
+}
+
+// BenchmarkKernelRunMany drives the paper's main five-predictor
+// comparison set in one pass on both paths — the shape every sweep
+// experiment runs.
+func BenchmarkKernelRunMany(b *testing.B) {
+	branches := kernelBenchTrace(b)
+	mk := func() []predictor.Predictor {
+		return []predictor.Predictor{
+			predictor.NewBimodal(14, 2),
+			predictor.NewGShare(14, 12, 2),
+			predictor.NewGSelect(14, 6, 2),
+			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12}),
+			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true}),
+		}
+	}
+	for _, path := range []struct {
+		name     string
+		noKernel bool
+	}{
+		{"kernel", false},
+		{"interface", true},
+	} {
+		b.Run(path.name, func(b *testing.B) {
+			preds := mk()
+			opts := sim.Options{NoKernel: path.noKernel}
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				chunk := len(branches)
+				if b.N-done < chunk {
+					chunk = b.N - done
+				}
+				if _, err := sim.RunManyBranches(branches[:chunk], preds, opts); err != nil {
+					b.Fatal(err)
+				}
+				done += chunk
+			}
+		})
+	}
+}
+
+// BenchmarkTraceDecode compares the per-record and block binary
+// decoders; ns/op is per decoded record.
+func BenchmarkTraceDecode(b *testing.B) {
+	branches := kernelBenchTrace(b)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, br := range branches {
+		if err := w.Write(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	b.Run("next", func(b *testing.B) {
+		b.ReportAllocs()
+		done := 0
+		for done < b.N {
+			r, err := trace.NewReader(bytes.NewReader(enc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for done < b.N {
+				if _, err := r.Next(); err != nil {
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					b.Fatal(err)
+				}
+				done++
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		dst := make([]trace.Branch, 4096)
+		b.ReportAllocs()
+		done := 0
+		for done < b.N {
+			r, err := trace.NewReader(bytes.NewReader(enc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for done < b.N {
+				n, err := r.NextBatch(dst)
+				done += n
+				if err != nil {
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON snapshot, so benchmark history can be diffed
+// and checked by tools rather than eyeballed.
+//
+// Usage:
+//
+//	go test -bench Kernel -benchmem -count 3 . | benchjson -o BENCH_kernel.json
+//
+// Each benchmark appears once in the output; when -count produced
+// repeated measurements the minimum ns/op is kept (the best run is the
+// least-disturbed one on a noisy machine). Lines that are not
+// benchmark results (goos/goarch/cpu headers, PASS/ok trailers) set
+// the environment fields or are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gskew/internal/cli"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the full JSON document.
+type Snapshot struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() { cli.Main("benchjson", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("benchjson", stderr)
+	out := fs.String("o", "", "write JSON to `file` (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return cli.Usagef("at most one input file, got %d", fs.NArg())
+	}
+	in := io.Reader(os.Stdin)
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	snap, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results in input")
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Parse reads `go test -bench` output and collapses it into a
+// Snapshot. Repeated measurements of the same benchmark (from -count)
+// keep the run with the minimum ns/op.
+func Parse(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	best := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return snap, err
+			}
+			if !ok {
+				continue
+			}
+			if prev, seen := best[res.Name]; !seen || res.NsPerOp < prev.NsPerOp {
+				best[res.Name] = res
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return snap, err
+	}
+	for _, res := range best {
+		snap.Benchmarks = append(snap.Benchmarks, res)
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkKernelGShare16k/kernel-8  155018275  7.080 ns/op  1 B/op  0 allocs/op
+//
+// The GOMAXPROCS suffix (-8) is stripped from the name. Lines that
+// start with "Benchmark" but carry no ns/op measurement (e.g. a name
+// echoed by -v) report ok=false.
+func parseLine(line string) (res Result, ok bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return res, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res.Name = name
+	res.Iterations, err = strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return res, false, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+	}
+	// The remainder is unit-tagged value pairs: <value> <unit>.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp, err = strconv.ParseFloat(val, 64)
+			ok = true
+		case "B/op":
+			res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			continue // MB/s and custom metrics are ignored
+		}
+		if err != nil {
+			return res, false, fmt.Errorf("benchjson: bad %s value in %q: %w", unit, line, err)
+		}
+	}
+	return res, ok, nil
+}

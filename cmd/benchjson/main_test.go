@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gskew
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkKernelGShare16k/kernel-8         	155018275	         7.080 ns/op	       1 B/op	       0 allocs/op
+BenchmarkKernelGShare16k/kernel-8         	160178374	        10.10 ns/op	       1 B/op	       0 allocs/op
+BenchmarkKernelGShare16k/interface-8      	100000000	        11.36 ns/op	       1 B/op	       0 allocs/op
+BenchmarkKernelStepBatch/gshare16k-8      	575586747	         3.779 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	gskew	17.084s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.Pkg != "gskew" {
+		t.Errorf("environment fields = %q/%q/%q", snap.GOOS, snap.GOARCH, snap.Pkg)
+	}
+	if !strings.Contains(snap.CPU, "Xeon") {
+		t.Errorf("cpu = %q", snap.CPU)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3 (repeats collapsed): %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	// Sorted by name; repeated kernel measurement keeps the minimum.
+	b := snap.Benchmarks
+	if b[0].Name != "KernelGShare16k/interface" ||
+		b[1].Name != "KernelGShare16k/kernel" ||
+		b[2].Name != "KernelStepBatch/gshare16k" {
+		t.Fatalf("names = %q, %q, %q", b[0].Name, b[1].Name, b[2].Name)
+	}
+	if b[1].NsPerOp != 7.080 {
+		t.Errorf("kernel ns/op = %v, want min of repeats 7.080", b[1].NsPerOp)
+	}
+	if b[1].Iterations != 155018275 || b[1].BytesPerOp != 1 || b[1].AllocsPerOp != 0 {
+		t.Errorf("kernel result = %+v", b[1])
+	}
+	if b[2].NsPerOp != 3.779 || b[2].BytesPerOp != 0 {
+		t.Errorf("stepbatch result = %+v", b[2])
+	}
+}
+
+func TestParseEmptyAndMalformed(t *testing.T) {
+	snap, err := Parse(strings.NewReader("PASS\nok gskew 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("got %d benchmarks from empty input", len(snap.Benchmarks))
+	}
+	// A benchmark name echoed without a measurement (as with -v) is
+	// skipped, not an error.
+	snap, err = Parse(strings.NewReader("BenchmarkFoo\nBenchmarkBar-8 100 5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].Name != "Bar" {
+		t.Fatalf("benchmarks = %+v", snap.Benchmarks)
+	}
+	// A corrupt numeric field is an error, not a silent zero.
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 12x 5.0 ns/op\n")); err == nil {
+		t.Fatal("corrupt iteration count not rejected")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Skip("stdin unexpectedly held benchmark output")
+	}
+	// File input → JSON output.
+	dir := t.TempDir()
+	in := dir + "/bench.txt"
+	out := dir + "/bench.json"
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if err := run([]string{"-o", out, in}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("round-tripped %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+}

@@ -24,9 +24,13 @@ import (
 	"strings"
 	"time"
 
+	"gskew/internal/cli"
 	"gskew/internal/experiments"
 	"gskew/internal/workload"
 )
+
+// prof is package-level so fatal can flush profiles on error exits.
+var prof cli.Profile
 
 func main() {
 	var (
@@ -39,7 +43,12 @@ func main() {
 		seed   = flag.Uint64("seed", 0, "seed offset for workload generation")
 		jobs   = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS; 1 = serial)")
 	)
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop() // early returns (e.g. -list); Stop is idempotent
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -110,9 +119,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[%d experiment(s) completed in %v, jobs=%d]\n",
 		len(toRun), time.Since(start).Round(time.Millisecond), ctx.Sched.Jobs())
+	if err := prof.Stop(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {
+	prof.Stop() // flush any partial profiles before exiting
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

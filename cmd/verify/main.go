@@ -13,9 +13,10 @@
 //	verify -list                  # name every sweep cell
 //
 // On a divergence the tool prints the cell, the implementation path
-// (predict/update pair or fused step), the trace seed and a minimal
-// counterexample in the text trace format, then exits 1. Re-running
-// with the printed -cell and -seed reproduces the failure exactly.
+// (predict/update pair, fused step or compiled kernel), the trace seed
+// and a minimal counterexample in the text trace format, then exits 1.
+// Re-running with the printed -cell and -seed reproduces the failure
+// exactly.
 package main
 
 import (
@@ -99,7 +100,7 @@ func summarise(stdout io.Writer, results []diff.CellResult) error {
 		fmt.Fprintf(stdout, "\nDIVERGENCE in %s: %v\n", r.Cell, r.Div)
 		fmt.Fprintf(stdout, "reproduce with: verify -cell %s -seed %d -branches %d\n",
 			r.Cell, r.Seed, r.Branches)
-		if err := diff.WriteCounterexample(stdout, r.Cell, r.Seed, r.UseStep, r.Shrunk); err != nil {
+		if err := diff.WriteCounterexample(stdout, r.Cell, r.Seed, r.Path, r.Shrunk); err != nil {
 			return err
 		}
 	}

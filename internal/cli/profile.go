@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile bundles the standard -cpuprofile/-memprofile plumbing so
+// every tool exposes the same profiling interface. Typical use:
+//
+//	var prof cli.Profile
+//	prof.AddFlags(fs)
+//	fs.Parse(args)
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+//
+// Stop is idempotent, so error paths that exit early can call it
+// unconditionally.
+type Profile struct {
+	cpuPath string
+	memPath string
+	cpuFile *os.File
+}
+
+// AddFlags registers the profiling flags on fs.
+func (p *Profile) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a heap profile to `file` on exit")
+}
+
+// Active reports whether any profiling flag was set.
+func (p *Profile) Active() bool { return p.cpuPath != "" || p.memPath != "" }
+
+// Start begins CPU profiling if -cpuprofile was given. It is a no-op
+// otherwise.
+func (p *Profile) Start() error {
+	if p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("cli: creating CPU profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cli: starting CPU profile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if the
+// corresponding flags were given. Calling it more than once (or
+// without Start) is safe.
+func (p *Profile) Stop() error {
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			firstErr = fmt.Errorf("cli: closing CPU profile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cli: creating heap profile: %w", err)
+			}
+		} else {
+			runtime.GC() // capture the settled heap, not allocation noise
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cli: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cli: closing heap profile: %w", err)
+			}
+		}
+		p.memPath = "" // idempotence: write the heap profile once
+	}
+	return firstErr
+}

@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileInactiveByDefault(t *testing.T) {
+	var p Profile
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p.AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() {
+		t.Fatal("Active() = true with no flags set")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start with no flags: %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop with no flags: %v", err)
+	}
+}
+
+func TestProfileWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	var p Profile
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	p.AddFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Active() {
+		t.Fatal("Active() = false with both flags set")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+
+	// Stop must be idempotent: a second call is a no-op and must not
+	// rewrite (or fail on) the already-written profiles.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}

@@ -160,6 +160,13 @@ func (t *Table) Update(i uint64, taken bool) {
 // Value returns the raw state of counter i.
 func (t *Table) Value(i uint64) uint8 { return t.cells[i] }
 
+// Cells exposes the table's backing state array. The compiled kernel
+// layer (internal/kernel) reads and writes predictor state through it
+// directly, so a kernel-driven run and an interface-driven run leave
+// the table bit-identical. Mutations must keep every cell within the
+// counter range.
+func (t *Table) Cells() []uint8 { return t.cells }
+
 // Set overwrites the raw state of counter i. It panics if v exceeds the
 // counter range. Set exists for tests and for warm-start experiments.
 func (t *Table) Set(i uint64, v uint8) {

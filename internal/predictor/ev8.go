@@ -188,6 +188,24 @@ func (t *TwoBcGSkew) Reset() {
 	t.lastOK = false
 }
 
+// IndexBits returns the per-table index width n (2^n entries each).
+func (t *TwoBcGSkew) IndexBits() uint { return t.skew.Bits() }
+
+// HistLengths returns the short (G0/META) and long (G1) history
+// lengths.
+func (t *TwoBcGSkew) HistLengths() (short, long uint) { return t.histG0, t.histG1 }
+
+// Tables exposes the four counter tables, for the compiled kernel
+// layer (which shares their storage).
+func (t *TwoBcGSkew) Tables() (bim, g0, g1, meta *counter.Table) {
+	return t.bim, t.g0, t.g1, t.meta
+}
+
+// InvalidateMemo implements MemoInvalidator: it drops the memoised
+// read state, which goes stale when the tables are trained without
+// going through Update (i.e. by a compiled kernel).
+func (t *TwoBcGSkew) InvalidateMemo() { t.lastOK = false }
+
 // String describes the configuration.
 func (t *TwoBcGSkew) String() string {
 	return fmt.Sprintf("4x%s-2bcgskew(h%d/h%d)", fmtEntries(t.bim.Len()), t.histG0, t.histG1)

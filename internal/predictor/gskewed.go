@@ -281,6 +281,23 @@ func (g *GSkewed) BankEntries() int { return g.banks[0].Len() }
 // Policy returns the update policy.
 func (g *GSkewed) Policy() UpdatePolicy { return g.policy }
 
+// BankBits returns the per-bank index width n (2^n entries per bank).
+func (g *GSkewed) BankBits() uint { return g.skew.Bits() }
+
+// Enhanced reports whether bank 0 is indexed by address truncation
+// (the enhanced skewed predictor of section 6).
+func (g *GSkewed) Enhanced() bool { return g.enhanced }
+
+// BankTables exposes the plain counter tables backing the banks, in
+// bank order, or nil when the banks use the shared-hysteresis
+// encoding. The compiled kernel layer shares their storage.
+func (g *GSkewed) BankTables() []*counter.Table { return g.tabs }
+
+// InvalidateMemo implements MemoInvalidator: it drops the memoised
+// indices and vote, which go stale when bank state is trained without
+// going through Update (i.e. by a compiled kernel).
+func (g *GSkewed) InvalidateMemo() { g.idxOK, g.voteOK = false, false }
+
 // IndicesFor returns the per-bank table indices a reference maps to.
 // It allocates; it exists for diagnostics, tools and tests, not for
 // the simulation hot path.

@@ -41,6 +41,16 @@ type Stepper interface {
 	Step(addr, hist uint64, taken bool) bool
 }
 
+// MemoInvalidator is implemented by predictors that memoise read state
+// across the Predict/Update pair. The compiled kernel layer trains a
+// predictor's tables without going through its methods, so the
+// simulation runner invalidates the memo after a kernel-driven run;
+// predictors whose caches are pure functions of the reference key need
+// not implement it.
+type MemoInvalidator interface {
+	InvalidateMemo()
+}
+
 // FirstUseTracker is implemented by predictors that can report whether
 // an (address, history) pair has been seen before. The simulation
 // runner uses it to exclude compulsory references from misprediction

@@ -95,6 +95,14 @@ func (s *Single) Reset() { s.table.Reset() }
 // Entries returns the table size in entries.
 func (s *Single) Entries() int { return s.table.Len() }
 
+// IndexFn exposes the index function; the compiled kernel layer
+// inspects it to lower the predictor into a monomorphized step loop.
+func (s *Single) IndexFn() indexfn.Func { return s.fn }
+
+// Table exposes the counter table backing the predictor, for the
+// compiled kernel layer (which shares its storage).
+func (s *Single) Table() *counter.Table { return s.table }
+
 // String describes the configuration, e.g. "16k-gshare(h12,2bit)".
 func (s *Single) String() string {
 	return fmt.Sprintf("%s-%s(h%d,%dbit)",

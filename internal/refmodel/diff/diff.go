@@ -4,13 +4,13 @@
 // trace and hunts for any observable divergence.
 //
 // The unit of work is a Cell — one (predictor family, update policy,
-// configuration) point. For each cell the runner checks both
-// implementation paths the simulator uses (the Predict/Update pair and
-// the fused Stepper), over randomized traces drawn from three
-// generators (the IBS-like workload suite, a raw cfg program walk, and
-// a uniform-random adversarial stream). On divergence it ddmin-shrinks
-// the trace to a minimal counterexample and reports the replayable
-// seed and configuration.
+// configuration) point. For each cell the runner checks every
+// implementation path the simulator uses (the Predict/Update pair, the
+// fused Stepper, and the compiled kernel of internal/kernel), over
+// randomized traces drawn from three generators (the IBS-like workload
+// suite, a raw cfg program walk, and a uniform-random adversarial
+// stream). On divergence it ddmin-shrinks the trace to a minimal
+// counterexample and reports the replayable seed and configuration.
 package diff
 
 import (
@@ -19,12 +19,43 @@ import (
 
 	"gskew/internal/cfg"
 	"gskew/internal/history"
+	"gskew/internal/kernel"
 	"gskew/internal/predictor"
 	"gskew/internal/refmodel"
 	"gskew/internal/rng"
 	"gskew/internal/trace"
 	"gskew/internal/workload"
 )
+
+// Path identifies which of the simulator's implementation paths a
+// check drives against the specification.
+type Path int
+
+const (
+	// PathPair is the generic two-call path: Predict then Update.
+	PathPair Path = iota
+	// PathStep is the fused Stepper fast path.
+	PathStep
+	// PathKernel is the compiled kernel of internal/kernel.
+	PathKernel
+)
+
+// Paths lists every implementation path, in check order.
+func Paths() []Path { return []Path{PathPair, PathStep, PathKernel} }
+
+// String names the path the way counterexample headers spell it.
+func (p Path) String() string {
+	switch p {
+	case PathPair:
+		return "predict/update"
+	case PathStep:
+		return "step"
+	case PathKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
 
 // Cell identifies one configuration point of the sweep.
 type Cell struct {
@@ -173,17 +204,36 @@ func (d *Divergence) String() string {
 // with deliberately injected faults.
 type ImplBuilder func(c Cell) (predictor.Predictor, error)
 
+// KernelFault locates one split-LUT entry of a compiled skewed kernel
+// to XOR a delta into, for fault-injection self-tests (see
+// kernel.TamperLUT).
+type KernelFault struct {
+	Bank, Half int
+	Entry      uint64
+	Delta      uint32
+}
+
 // Check replays tr through a fresh spec and a fresh impl of the cell,
-// comparing the prediction of every conditional branch. useStep
-// selects the implementation path under test: the fused Stepper when
-// true, the Predict-then-Update pair when false. It returns the first
-// divergence, or nil if the models agree on the whole trace.
-func Check(tr []trace.Branch, c Cell, useStep bool) (*Divergence, error) {
-	return CheckBuilt(tr, c, Cell.Impl, useStep)
+// comparing the prediction of every conditional branch on the selected
+// implementation path. It returns the first divergence, or nil if the
+// models agree on the whole trace.
+func Check(tr []trace.Branch, c Cell, path Path) (*Divergence, error) {
+	return CheckBuilt(tr, c, Cell.Impl, path)
 }
 
 // CheckBuilt is Check with the implementation supplied by build.
-func CheckBuilt(tr []trace.Branch, c Cell, build ImplBuilder, useStep bool) (*Divergence, error) {
+func CheckBuilt(tr []trace.Branch, c Cell, build ImplBuilder, path Path) (*Divergence, error) {
+	return check(tr, c, build, path, nil)
+}
+
+// CheckKernelTampered compiles the cell's kernel, plants the fault,
+// and replays tr against the specification. It exists for the
+// fault-injection self-test of the kernel arm.
+func CheckKernelTampered(tr []trace.Branch, c Cell, fault KernelFault) (*Divergence, error) {
+	return check(tr, c, Cell.Impl, PathKernel, &fault)
+}
+
+func check(tr []trace.Branch, c Cell, build ImplBuilder, path Path, fault *KernelFault) (*Divergence, error) {
 	spec, err := c.Spec()
 	if err != nil {
 		return nil, err
@@ -199,8 +249,21 @@ func CheckBuilt(tr []trace.Branch, c Cell, build ImplBuilder, useStep bool) (*Di
 	specGHR := refmodel.NewSpecHistory(k)
 	implGHR := history.NewGlobal(k)
 	stepper, _ := impl.(predictor.Stepper)
-	if useStep && stepper == nil {
+	if path == PathStep && stepper == nil {
 		return nil, fmt.Errorf("diff: %s implementation has no Stepper", c)
+	}
+	var kern kernel.Kernel
+	if path == PathKernel {
+		var ok bool
+		kern, ok = kernel.Compile(impl, k)
+		if !ok {
+			return nil, fmt.Errorf("diff: %s implementation does not compile to a kernel", c)
+		}
+		if fault != nil {
+			if err := kernel.TamperLUT(kern, fault.Bank, fault.Half, fault.Entry, fault.Delta); err != nil {
+				return nil, fmt.Errorf("diff: planting kernel fault in %s: %w", c, err)
+			}
+		}
 	}
 
 	for i, b := range tr {
@@ -212,9 +275,12 @@ func CheckBuilt(tr []trace.Branch, c Cell, build ImplBuilder, useStep bool) (*Di
 			}
 			specPred := spec.Predict(b.PC, sh)
 			var implPred bool
-			if useStep {
+			switch path {
+			case PathKernel:
+				implPred = kern.Step(b.PC, ih, b.Taken)
+			case PathStep:
 				implPred = stepper.Step(b.PC, ih, b.Taken)
-			} else {
+			default:
 				implPred = impl.Predict(b.PC, ih)
 				impl.Update(b.PC, ih, b.Taken)
 			}
@@ -294,10 +360,10 @@ type CellResult struct {
 	// Branches is the requested trace length, needed to replay Seed.
 	Branches int
 	// Steps is the total number of trace records checked, summed over
-	// both implementation paths.
+	// every implementation path.
 	Steps int
-	// UseStep records which implementation path diverged.
-	UseStep bool
+	// Path records which implementation path diverged.
+	Path Path
 	// Div is the first divergence, nil when the cell verified clean.
 	Div *Divergence
 	// Shrunk is the minimal counterexample trace (only on divergence).
@@ -321,24 +387,24 @@ func (o *Options) branches() int {
 	return o.Branches
 }
 
-// VerifyCell checks one cell over its trace on both implementation
-// paths, shrinking the trace on divergence.
+// VerifyCell checks one cell over its trace on every implementation
+// path, shrinking the trace on divergence.
 func VerifyCell(c Cell, seed uint64, branches int) (CellResult, error) {
 	res := CellResult{Cell: c, Seed: seed, Branches: branches}
 	tr, err := TraceFor(seed, branches)
 	if err != nil {
 		return res, fmt.Errorf("diff: generating trace for %s (seed %d): %w", c, seed, err)
 	}
-	for _, useStep := range []bool{false, true} {
-		div, err := Check(tr, c, useStep)
+	for _, path := range Paths() {
+		div, err := Check(tr, c, path)
 		if err != nil {
 			return res, err
 		}
 		res.Steps += len(tr)
 		if div != nil {
 			res.Div = div
-			res.UseStep = useStep
-			res.Shrunk = Shrink(tr, c, useStep)
+			res.Path = path
+			res.Shrunk = Shrink(tr, c, path)
 			return res, nil
 		}
 	}

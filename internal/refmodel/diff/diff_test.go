@@ -133,16 +133,16 @@ func TestSelfTestCatchesInjectedFaults(t *testing.T) {
 // the divergence, and deleting any single record makes it vanish.
 func TestShrinkIsOneMinimal(t *testing.T) {
 	c := Cell{Family: "gshare", N: 6, Hist: 4, Ctr: 2}
-	build := Mutants()[0].Build // addr-off-by-one
+	build := Mutants()[0].Build  // addr-off-by-one
 	tr, err := TraceFor(2, 4000) // uniform-random mode
 	if err != nil {
 		t.Fatal(err)
 	}
-	shrunk := ShrinkBuilt(tr, c, build, false)
+	shrunk := ShrinkBuilt(tr, c, build, PathPair)
 	if len(shrunk) == 0 {
 		t.Fatal("mutant not caught, nothing to shrink")
 	}
-	if div, err := CheckBuilt(shrunk, c, build, false); err != nil || div == nil {
+	if div, err := CheckBuilt(shrunk, c, build, PathPair); err != nil || div == nil {
 		t.Fatalf("shrunk trace does not reproduce: div=%v err=%v", div, err)
 	}
 	for i := range shrunk {
@@ -150,7 +150,7 @@ func TestShrinkIsOneMinimal(t *testing.T) {
 		if len(cand) == 0 {
 			continue
 		}
-		if div, _ := CheckBuilt(cand, c, build, false); div != nil {
+		if div, _ := CheckBuilt(cand, c, build, PathPair); div != nil {
 			t.Fatalf("not 1-minimal: still diverges without record %d of %d", i, len(shrunk))
 		}
 	}
@@ -164,7 +164,7 @@ func TestShrinkOnCleanTraceReturnsNil(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := Shrink(tr, c, false); got != nil {
+	if got := Shrink(tr, c, PathPair); got != nil {
 		t.Fatalf("Shrink on a clean trace returned %d records, want nil", len(got))
 	}
 }
@@ -179,7 +179,7 @@ func TestWriteCounterexampleRoundTrips(t *testing.T) {
 		{PC: 0x12, Taken: false, Kind: trace.Conditional},
 	}
 	var buf bytes.Buffer
-	if err := WriteCounterexample(&buf, c, 42, true, tr); err != nil {
+	if err := WriteCounterexample(&buf, c, 42, PathStep, tr); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
@@ -196,6 +196,62 @@ func TestWriteCounterexampleRoundTrips(t *testing.T) {
 	for i := range tr {
 		if got[i] != tr[i] {
 			t.Fatalf("record %d: %+v vs %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+// TestVerifyCellCoversAllPaths: a clean cell is checked on the pair,
+// step and kernel paths (three full trace replays).
+func TestVerifyCellCoversAllPaths(t *testing.T) {
+	c := Cell{Family: "gskewed", N: 6, Hist: 6, Ctr: 2, Partial: true}
+	res, err := VerifyCell(c, 2, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Fatalf("cell diverged: %v", res.Div)
+	}
+	tr, err := TraceFor(2, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(tr) * len(Paths()); res.Steps != want {
+		t.Errorf("Steps = %d, want %d (%d paths x %d records)", res.Steps, want, len(Paths()), len(tr))
+	}
+}
+
+// TestKernelFaultCaughtAndShrunk pins the kernel arm's fault-injection
+// contract directly: a LUT off-by-one planted into a compiled skewed
+// kernel must diverge from the specification, and the witness must
+// shrink to a small 1-minimal counterexample that still reproduces.
+func TestKernelFaultCaughtAndShrunk(t *testing.T) {
+	fault := KernelFault{Bank: 1, Half: 0, Entry: 0, Delta: 1}
+	for _, c := range []Cell{
+		{Family: "gskewed", N: 6, Hist: 6, Ctr: 2, Partial: true},
+		{Family: "egskew", N: 6, Hist: 8, Ctr: 2},
+	} {
+		tr, err := TraceFor(2, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		div, err := CheckKernelTampered(tr, c, fault)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if div == nil {
+			t.Fatalf("%s: planted LUT fault escaped the kernel arm", c)
+		}
+		shrunk := ShrinkKernelTampered(tr, c, fault)
+		if len(shrunk) == 0 || len(shrunk) > 50 {
+			t.Fatalf("%s: shrunk to %d records, want 1..50", c, len(shrunk))
+		}
+		if div, err := CheckKernelTampered(shrunk, c, fault); err != nil || div == nil {
+			t.Fatalf("%s: shrunk trace does not reproduce: div=%v err=%v", c, div, err)
+		}
+		// The untampered kernel must be clean on the same trace (the
+		// divergence is the fault, not the kernel).
+		if div, err := Check(tr, c, PathKernel); err != nil || div != nil {
+			t.Fatalf("%s: honest kernel diverged on the same trace: div=%v err=%v", c, div, err)
 		}
 	}
 }

@@ -107,14 +107,49 @@ type SelfTestResult struct {
 	ShrunkLen int
 }
 
+// kernelLUTFault is the fault planted into the compiled-kernel path:
+// an off-by-one (low-bit flip) in entry 0 of bank 1's V1 half-table.
+// Bank 1 is LUT-indexed in every compiled skewed organisation (bank 0
+// is address-truncated in the enhanced form), and entry 0 is exercised
+// whenever the low index bits of the information vector are zero — a
+// state every biased workload reaches.
+var kernelLUTFault = KernelFault{Bank: 1, Half: 0, Entry: 0, Delta: 1}
+
+// kernelFaultApplies reports whether the kernel LUT fault can be
+// planted into the cell's compiled form (only the skewed families
+// carry split LUTs).
+func kernelFaultApplies(c Cell) bool {
+	return c.Family == "gskewed" || c.Family == "egskew"
+}
+
 // SelfTest injects every applicable mutant into a representative cell
 // subset and verifies the harness both catches the fault and shrinks
-// the witness trace to at most maxShrunk records. It returns an error
+// the witness trace to at most maxShrunk records. Interface-level
+// mutants (wrapped Update faults) run on the predict/update path;
+// skewed cells additionally get a LUT off-by-one planted into their
+// compiled kernel, checked on the kernel path. It returns an error
 // listing every escape (a mutant the harness failed to catch) or any
 // counterexample that failed to shrink below the bound.
 func SelfTest(cells []Cell, branches int, seed uint64, maxShrunk int, log io.Writer) ([]SelfTestResult, error) {
 	var results []SelfTestResult
 	var failures []string
+	record := func(c Cell, name string, res SelfTestResult) {
+		results = append(results, res)
+		switch {
+		case !res.Caught:
+			failures = append(failures, fmt.Sprintf("%s/%s escaped", c, name))
+		case res.ShrunkLen > maxShrunk:
+			failures = append(failures, fmt.Sprintf("%s/%s shrunk to %d records (bound %d)",
+				c, name, res.ShrunkLen, maxShrunk))
+		}
+		if log != nil {
+			status := "ESCAPED"
+			if res.Caught {
+				status = fmt.Sprintf("caught, shrunk to %d records", res.ShrunkLen)
+			}
+			fmt.Fprintf(log, "%-28s %-22s %s\n", c, name, status)
+		}
+	}
 	for i, c := range cells {
 		tr, err := TraceFor(seed+uint64(i), branches)
 		if err != nil {
@@ -124,30 +159,26 @@ func SelfTest(cells []Cell, branches int, seed uint64, maxShrunk int, log io.Wri
 			if _, err := m.Build(c); err == errMutantInapplicable {
 				continue
 			}
-			div, err := CheckBuilt(tr, c, m.Build, false)
+			div, err := CheckBuilt(tr, c, m.Build, PathPair)
 			if err != nil {
 				return results, fmt.Errorf("diff: selftest %s/%s: %w", c, m.Name, err)
 			}
 			res := SelfTestResult{Cell: c, Mutant: m.Name, Caught: div != nil}
 			if div != nil {
-				shrunk := ShrinkBuilt(tr, c, m.Build, false)
-				res.ShrunkLen = len(shrunk)
+				res.ShrunkLen = len(ShrinkBuilt(tr, c, m.Build, PathPair))
 			}
-			results = append(results, res)
-			switch {
-			case !res.Caught:
-				failures = append(failures, fmt.Sprintf("%s/%s escaped", c, m.Name))
-			case res.ShrunkLen > maxShrunk:
-				failures = append(failures, fmt.Sprintf("%s/%s shrunk to %d records (bound %d)",
-					c, m.Name, res.ShrunkLen, maxShrunk))
+			record(c, m.Name, res)
+		}
+		if kernelFaultApplies(c) {
+			div, err := CheckKernelTampered(tr, c, kernelLUTFault)
+			if err != nil {
+				return results, fmt.Errorf("diff: selftest %s/kernel-lut-off-by-one: %w", c, err)
 			}
-			if log != nil {
-				status := "ESCAPED"
-				if res.Caught {
-					status = fmt.Sprintf("caught, shrunk to %d records", res.ShrunkLen)
-				}
-				fmt.Fprintf(log, "%-28s %-16s %s\n", c, m.Name, status)
+			res := SelfTestResult{Cell: c, Mutant: "kernel-lut-off-by-one", Caught: div != nil}
+			if div != nil {
+				res.ShrunkLen = len(ShrinkKernelTampered(tr, c, kernelLUTFault))
 			}
+			record(c, "kernel-lut-off-by-one", res)
 		}
 	}
 	if len(failures) > 0 {
@@ -160,11 +191,7 @@ func SelfTest(cells []Cell, branches int, seed uint64, maxShrunk int, log io.Wri
 // trace format, preceded by a replay comment naming the cell, path and
 // seed; `verify -cell <name> -seed <seed>` replays the full trace it
 // was shrunk from.
-func WriteCounterexample(w io.Writer, c Cell, seed uint64, useStep bool, tr []trace.Branch) error {
-	path := "predict/update"
-	if useStep {
-		path = "step"
-	}
+func WriteCounterexample(w io.Writer, c Cell, seed uint64, path Path, tr []trace.Branch) error {
 	if _, err := fmt.Fprintf(w, "# cell %s path %s seed %d (%d records)\n", c, path, seed, len(tr)); err != nil {
 		return err
 	}

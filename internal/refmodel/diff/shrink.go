@@ -16,18 +16,35 @@ import "gskew/internal/trace"
 // the divergence disappear. Shrink returns nil if tr does not actually
 // diverge (or the cell is unbuildable), so callers can treat a non-nil
 // result as a verified counterexample.
-func Shrink(tr []trace.Branch, c Cell, useStep bool) []trace.Branch {
-	return ShrinkBuilt(tr, c, Cell.Impl, useStep)
+func Shrink(tr []trace.Branch, c Cell, path Path) []trace.Branch {
+	return ShrinkBuilt(tr, c, Cell.Impl, path)
 }
 
 // ShrinkBuilt is Shrink with the implementation supplied by build
 // (each candidate replay constructs a fresh instance).
-func ShrinkBuilt(tr []trace.Branch, c Cell, build ImplBuilder, useStep bool) []trace.Branch {
+func ShrinkBuilt(tr []trace.Branch, c Cell, build ImplBuilder, path Path) []trace.Branch {
+	return shrinkWith(tr, func(cand []trace.Branch) (*Divergence, error) {
+		return CheckBuilt(cand, c, build, path)
+	})
+}
+
+// ShrinkKernelTampered is Shrink for a kernel with a planted LUT
+// fault: each candidate replay compiles a fresh kernel and re-plants
+// the fault before checking.
+func ShrinkKernelTampered(tr []trace.Branch, c Cell, fault KernelFault) []trace.Branch {
+	return shrinkWith(tr, func(cand []trace.Branch) (*Divergence, error) {
+		return CheckKernelTampered(cand, c, fault)
+	})
+}
+
+// shrinkWith is the delta-debugging core, parameterised over the
+// divergence check a candidate trace must still fail.
+func shrinkWith(tr []trace.Branch, check func([]trace.Branch) (*Divergence, error)) []trace.Branch {
 	reproduces := func(cand []trace.Branch) bool {
-		div, err := CheckBuilt(cand, c, build, useStep)
+		div, err := check(cand)
 		return err == nil && div != nil
 	}
-	div, err := CheckBuilt(tr, c, build, useStep)
+	div, err := check(tr)
 	if err != nil || div == nil {
 		return nil
 	}

@@ -43,9 +43,9 @@ func manyTestTrace(n int) []trace.Branch {
 // arms never share trained state.
 func families() map[string]func() predictor.Predictor {
 	return map[string]func() predictor.Predictor{
-		"bimodal":        func() predictor.Predictor { return predictor.NewBimodal(8, 2) },
-		"gshare":         func() predictor.Predictor { return predictor.NewGShare(8, 6, 2) },
-		"gselect":        func() predictor.Predictor { return predictor.NewGSelect(8, 4, 2) },
+		"bimodal": func() predictor.Predictor { return predictor.NewBimodal(8, 2) },
+		"gshare":  func() predictor.Predictor { return predictor.NewGShare(8, 6, 2) },
+		"gselect": func() predictor.Predictor { return predictor.NewGSelect(8, 4, 2) },
 		"gskewed-partial": func() predictor.Predictor {
 			return predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5})
 		},
@@ -205,4 +205,72 @@ func (s *chanSource) Next() (trace.Branch, error) {
 	b := s.branches[s.pos]
 	s.pos++
 	return b, nil
+}
+
+// TestKernelPathMatchesGeneric is the sim-level contract for the
+// compiled fast path: with and without kernels, every family and
+// Options combination must produce the identical Result. SkipFirstUse
+// is included even though it forces trackers onto the generic path —
+// the flag must not perturb the others.
+func TestKernelPathMatchesGeneric(t *testing.T) {
+	branches := manyTestTrace(8000)
+	optsCases := map[string]Options{
+		"default":       {},
+		"flush":         {FlushEvery: 211},
+		"hist-override": {HistoryBits: 7},
+		"skip":          {SkipFirstUse: true},
+	}
+	fams := families()
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	for optName, opts := range optsCases {
+		t.Run(optName, func(t *testing.T) {
+			mk := func() []predictor.Predictor {
+				preds := make([]predictor.Predictor, len(names))
+				for i, name := range names {
+					preds[i] = fams[name]()
+				}
+				return preds
+			}
+			generic := opts
+			generic.NoKernel = true
+			want, err := RunManyBranches(branches, mk(), generic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunManyBranches(branches, mk(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, name := range names {
+				if got[i] != want[i] {
+					t.Errorf("%s: kernel path %+v, generic path %+v", name, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelRunLeavesPredictorConsistent: after a kernel-driven run
+// the predictor must serve interface calls from the trained state (the
+// runner invalidates any memoised reads the kernel bypassed).
+func TestKernelRunLeavesPredictorConsistent(t *testing.T) {
+	branches := manyTestTrace(4000)
+	viaKernel := predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5})
+	viaIface := predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5})
+	if _, err := RunBranches(branches, viaKernel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBranches(branches, viaIface, Options{NoKernel: true}); err != nil {
+		t.Fatal(err)
+	}
+	for pc := uint64(0x400000); pc < 0x400100; pc += 4 {
+		for h := uint64(0); h < 32; h++ {
+			if viaKernel.Predict(pc, h) != viaIface.Predict(pc, h) {
+				t.Fatalf("trained state differs at pc=%#x hist=%#x", pc, h)
+			}
+		}
+	}
 }

@@ -4,6 +4,17 @@
 // branches; only conditional branches are predicted and counted; and
 // (optionally, for ideal-table experiments) first uses of a substream
 // are excluded from the misprediction count.
+//
+// The runner is batched: trace events are pulled in blocks (via
+// trace.BatchSource when the source supports it), conditional branches
+// are staged into a buffer of (PC, history, outcome) steps, and each
+// predictor consumes whole blocks at a time. Predictors whose
+// organisation internal/kernel recognizes are driven through a
+// compiled kernel — one interface call per block instead of two per
+// branch — and everything else falls back to the generic
+// Predict/Update (or fused Step) path. Both paths are bit-identical by
+// construction: kernels share the predictor's own counter storage and
+// are checked against the executable paper specification by cmd/verify.
 package sim
 
 import (
@@ -11,7 +22,7 @@ import (
 	"fmt"
 	"io"
 
-	"gskew/internal/history"
+	"gskew/internal/kernel"
 	"gskew/internal/predictor"
 	"gskew/internal/trace"
 )
@@ -69,64 +80,28 @@ type Options struct {
 	// that does not preserve predictor state across processes (the
 	// regime studied by Evers et al., the paper's reference [4]).
 	FlushEvery int
+	// NoKernel disables the compiled-kernel fast path, forcing every
+	// predictor through its generic interface methods. Results are
+	// identical either way; the flag exists for benchmarking the two
+	// paths against each other and for differential tests.
+	NoKernel bool
 }
+
+// batchSize is the number of trace events pulled per source read and
+// the capacity of the staged conditional-step buffer. 4096 steps keep
+// the buffer (100KB) comfortably cache-resident while amortising the
+// per-block bookkeeping to nothing.
+const batchSize = 4096
 
 // Run streams src through p and returns the aggregate result. The
 // history register is owned by the runner so that every predictor
 // organisation observes the identical stream.
 func Run(src trace.Source, p predictor.Predictor, opts Options) (Result, error) {
-	k := opts.HistoryBits
-	if k == 0 {
-		k = p.HistoryBits()
+	results, err := RunMany(src, []predictor.Predictor{p}, opts)
+	if err != nil {
+		return Result{}, err
 	}
-	ghr := history.NewGlobal(k)
-	tracker, trackFirst := p.(predictor.FirstUseTracker)
-	trackFirst = trackFirst && opts.SkipFirstUse
-	stepper, _ := p.(predictor.Stepper)
-
-	var res Result
-	for {
-		b, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			return res, nil
-		}
-		if err != nil {
-			return res, fmt.Errorf("sim: reading trace: %w", err)
-		}
-		switch b.Kind {
-		case trace.Conditional:
-			if opts.FlushEvery > 0 && res.Conditionals > 0 && res.Conditionals%opts.FlushEvery == 0 {
-				p.Reset()
-				ghr.Reset()
-				res.Flushes++
-			}
-			res.Conditionals++
-			hist := ghr.Bits()
-			counted := true
-			if trackFirst && !tracker.Seen(b.PC, hist) {
-				res.FirstUses++
-				counted = false
-			}
-			if stepper != nil {
-				// Fused fast path; Predict is state-free, so always
-				// stepping is equivalent to predict-when-counted.
-				if stepper.Step(b.PC, hist, b.Taken) != b.Taken && counted {
-					res.Mispredicts++
-				}
-			} else {
-				if counted && p.Predict(b.PC, hist) != b.Taken {
-					res.Mispredicts++
-				}
-				p.Update(b.PC, hist, b.Taken)
-			}
-			ghr.Shift(b.Taken)
-		case trace.Unconditional:
-			res.Unconditionals++
-			ghr.Shift(true)
-		default:
-			return res, fmt.Errorf("sim: unknown branch kind %d", b.Kind)
-		}
-	}
+	return results[0], nil
 }
 
 // RunBranches is Run over an in-memory trace.
@@ -140,6 +115,7 @@ func RunBranches(branches []trace.Branch, p predictor.Predictor, opts Options) (
 // by construction and are tracked once in the runner.
 type manyCell struct {
 	p          predictor.Predictor
+	kern       kernel.Kernel     // non-nil when p compiled to a kernel
 	stepper    predictor.Stepper // non-nil when p has the fused fast path
 	tracker    predictor.FirstUseTracker
 	mask       uint64
@@ -152,18 +128,29 @@ type manyCell struct {
 // consumes; each predictor sees that register masked to its own length,
 // which is exactly the value a dedicated register of that length would
 // hold, so per-predictor results are bit-identical to sequential Run.
+//
+// Events are staged: conditional branches accumulate into steps (with
+// the raw shared-register history value at each branch) and are
+// drained to every cell a block at a time. Because cells never
+// interact, per-cell block processing preserves each cell's exact
+// per-branch order.
 type manyRunner struct {
 	cells   []manyCell
-	ghr     *history.Global
+	ghr     uint64
+	ghrMask uint64
+	steps   []kernel.Step
 	cond    int // shared conditional count (identical across predictors)
 	uncond  int
 	flushes int
 	flush   int
-	track   bool // at least one cell tracks first uses
 }
 
 func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
-	r := &manyRunner{cells: make([]manyCell, len(preds)), flush: opts.FlushEvery}
+	r := &manyRunner{
+		cells: make([]manyCell, len(preds)),
+		flush: opts.FlushEvery,
+		steps: make([]kernel.Step, 0, batchSize),
+	}
 	var maxK uint
 	for i, p := range preds {
 		k := opts.HistoryBits
@@ -179,52 +166,110 @@ func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
 		c.mask = uint64(1)<<k - 1
 		if t, ok := p.(predictor.FirstUseTracker); ok && opts.SkipFirstUse {
 			c.tracker = t
-			r.track = true
+		}
+		if !opts.NoKernel && c.tracker == nil {
+			// The kernel was compiled against this cell's register
+			// length, so it masks the shared raw history itself.
+			c.kern, _ = kernel.Compile(p, k)
 		}
 	}
-	r.ghr = history.NewGlobal(maxK)
+	r.ghrMask = uint64(1)<<maxK - 1
 	return r
 }
 
-func (r *manyRunner) step(b trace.Branch) error {
-	switch b.Kind {
-	case trace.Conditional:
-		if r.flush > 0 && r.cond > 0 && r.cond%r.flush == 0 {
-			for i := range r.cells {
-				r.cells[i].p.Reset()
-			}
-			r.flushes++
-			r.ghr.Reset()
-		}
-		r.cond++
-		hist := r.ghr.Bits()
-		for i := range r.cells {
-			c := &r.cells[i]
-			h := hist & c.mask
-			counted := true
-			if c.tracker != nil && !c.tracker.Seen(b.PC, h) {
-				c.firstUse++
-				counted = false
-			}
-			if c.stepper != nil {
-				if c.stepper.Step(b.PC, h, b.Taken) != b.Taken && counted {
-					c.mispredict++
+// process stages a block of trace events, draining the step buffer
+// whenever it fills or a flush boundary is reached.
+func (r *manyRunner) process(branches []trace.Branch) error {
+	for i := range branches {
+		b := &branches[i]
+		switch b.Kind {
+		case trace.Conditional:
+			if r.flush > 0 && r.cond > 0 && r.cond%r.flush == 0 {
+				// Train every cell up to the boundary before wiping
+				// predictor state, exactly as the per-event path would.
+				r.drain()
+				for j := range r.cells {
+					r.cells[j].p.Reset()
 				}
+				r.flushes++
+				r.ghr = 0
+			}
+			r.cond++
+			r.steps = append(r.steps, kernel.Step{PC: b.PC, Hist: r.ghr, Taken: b.Taken})
+			if b.Taken {
+				r.ghr = (r.ghr<<1 | 1) & r.ghrMask
 			} else {
-				if counted && c.p.Predict(b.PC, h) != b.Taken {
-					c.mispredict++
-				}
-				c.p.Update(b.PC, h, b.Taken)
+				r.ghr = r.ghr << 1 & r.ghrMask
 			}
+			if len(r.steps) == cap(r.steps) {
+				r.drain()
+			}
+		case trace.Unconditional:
+			r.uncond++
+			r.ghr = (r.ghr<<1 | 1) & r.ghrMask
+		default:
+			return fmt.Errorf("sim: unknown branch kind %d", b.Kind)
 		}
-		r.ghr.Shift(b.Taken)
-	case trace.Unconditional:
-		r.uncond++
-		r.ghr.Shift(true)
-	default:
-		return fmt.Errorf("sim: unknown branch kind %d", b.Kind)
 	}
 	return nil
+}
+
+// drain runs the staged steps through every cell and empties the
+// buffer.
+func (r *manyRunner) drain() {
+	if len(r.steps) == 0 {
+		return
+	}
+	for i := range r.cells {
+		c := &r.cells[i]
+		switch {
+		case c.kern != nil:
+			// Compiled fast path: one call for the whole block.
+			c.mispredict += c.kern.StepBatch(r.steps)
+		case c.stepper != nil && c.tracker == nil:
+			for j := range r.steps {
+				s := &r.steps[j]
+				if c.stepper.Step(s.PC, s.Hist&c.mask, s.Taken) != s.Taken {
+					c.mispredict++
+				}
+			}
+		default:
+			for j := range r.steps {
+				s := &r.steps[j]
+				h := s.Hist & c.mask
+				counted := true
+				if c.tracker != nil && !c.tracker.Seen(s.PC, h) {
+					c.firstUse++
+					counted = false
+				}
+				if c.stepper != nil {
+					// Fused fast path; Predict is state-free, so always
+					// stepping is equivalent to predict-when-counted.
+					if c.stepper.Step(s.PC, h, s.Taken) != s.Taken && counted {
+						c.mispredict++
+					}
+				} else {
+					if counted && c.p.Predict(s.PC, h) != s.Taken {
+						c.mispredict++
+					}
+					c.p.Update(s.PC, h, s.Taken)
+				}
+			}
+		}
+	}
+	r.steps = r.steps[:0]
+}
+
+// finish drains the tail block and invalidates any predictor read
+// state the kernels bypassed, so the predictors serve interface calls
+// correctly after the run.
+func (r *manyRunner) finish() {
+	r.drain()
+	for i := range r.cells {
+		if r.cells[i].kern != nil {
+			kernel.Invalidate(r.cells[i].p)
+		}
+	}
 }
 
 func (r *manyRunner) results() []Result {
@@ -241,7 +286,7 @@ func (r *manyRunner) results() []Result {
 	return out
 }
 
-// RunMany streams src once and drives every predictor per event,
+// RunMany streams src once and drives every predictor per block,
 // returning per-predictor results bit-identical to len(preds)
 // sequential Run calls over the same trace. The trace is decoded once
 // and a single history register (of the longest history any predictor
@@ -254,26 +299,26 @@ func RunMany(src trace.Source, preds []predictor.Predictor, opts Options) ([]Res
 	}
 	r := newManyRunner(preds, opts)
 	if ss, ok := src.(*trace.SliceSource); ok {
-		// Fast path: iterate the materialised slice directly, skipping
-		// the per-event interface call and io.EOF check.
-		branches := ss.Drain()
-		for i := range branches {
-			if err := r.step(branches[i]); err != nil {
-				return nil, err
-			}
+		// Fast path: iterate the materialised slice directly, with no
+		// copying into a read buffer.
+		if err := r.process(ss.Drain()); err != nil {
+			return nil, err
 		}
+		r.finish()
 		return r.results(), nil
 	}
+	buf := make([]trace.Branch, batchSize)
 	for {
-		b, err := src.Next()
+		n, err := trace.ReadBatch(src, buf)
+		if perr := r.process(buf[:n]); perr != nil {
+			return nil, perr
+		}
 		if errors.Is(err, io.EOF) {
+			r.finish()
 			return r.results(), nil
 		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: reading trace: %w", err)
-		}
-		if err := r.step(b); err != nil {
-			return nil, err
 		}
 	}
 }

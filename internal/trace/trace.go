@@ -59,6 +59,35 @@ type Source interface {
 	Next() (Branch, error)
 }
 
+// BatchSource is an optional extension of Source for bulk delivery.
+// NextBatch fills dst with up to len(dst) records, returning the
+// number filled. It follows io.Reader conventions: n may be short of
+// len(dst) without the stream being done, n > 0 may accompany io.EOF,
+// and an exhausted stream returns (0, io.EOF). The records delivered
+// by a sequence of NextBatch calls are exactly those a sequence of
+// Next calls would deliver, in the same order.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Branch) (n int, err error)
+}
+
+// ReadBatch fills dst from src, using the bulk path when src
+// implements BatchSource and falling back to per-record Next calls
+// otherwise. Like NextBatch, it may return n > 0 alongside io.EOF.
+func ReadBatch(src Source, dst []Branch) (int, error) {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.NextBatch(dst)
+	}
+	for i := range dst {
+		b, err := src.Next()
+		if err != nil {
+			return i, err
+		}
+		dst[i] = b
+	}
+	return len(dst), nil
+}
+
 // SliceSource adapts a []Branch into a Source.
 type SliceSource struct {
 	branches []Branch
@@ -76,6 +105,17 @@ func (s *SliceSource) Next() (Branch, error) {
 	b := s.branches[s.pos]
 	s.pos++
 	return b, nil
+}
+
+// NextBatch implements BatchSource by copying from the underlying
+// slice.
+func (s *SliceSource) NextBatch(dst []Branch) (int, error) {
+	if s.pos >= len(s.branches) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.branches[s.pos:])
+	s.pos += n
+	return n, nil
 }
 
 // Reset rewinds the source to the beginning without reallocating,
@@ -275,11 +315,70 @@ func (r *Reader) Next() (Branch, error) {
 		}
 		return Branch{}, fmt.Errorf("trace: reading record: %w", err)
 	}
+	return r.decode(v), nil
+}
+
+// decode expands one varint record into a Branch, advancing the PC
+// delta chain.
+func (r *Reader) decode(v uint64) Branch {
 	kind := Kind(v & 1)
 	taken := v&2 != 0
 	pc := uint64(int64(r.lastPC) + unzigzag(v>>2))
 	r.lastPC = pc
-	return Branch{PC: pc, Taken: taken, Kind: kind}, nil
+	return Branch{PC: pc, Taken: taken, Kind: kind}
+}
+
+// NextBatch implements BatchSource with block decoding: records whose
+// varints are complete within the bufio window are decoded straight
+// out of the buffer with no per-record function call, and only a
+// record straddling the window boundary falls back to the byte-wise
+// ReadUvarint path. A full dst never allocates.
+func (r *Reader) NextBatch(dst []Branch) (int, error) {
+	n := 0
+	for n < len(dst) {
+		// Expose the buffered window. Peek(1) fills the buffer if it
+		// is empty without blocking for more than one byte.
+		if _, err := r.r.Peek(1); err != nil {
+			if errors.Is(err, io.EOF) {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, io.EOF
+			}
+			return n, fmt.Errorf("trace: reading record: %w", err)
+		}
+		win, _ := r.r.Peek(r.r.Buffered())
+		used := 0
+		for n < len(dst) {
+			v, sz := binary.Uvarint(win[used:])
+			if sz <= 0 {
+				break // varint straddles the window boundary (or is empty)
+			}
+			used += sz
+			dst[n] = r.decode(v)
+			n++
+		}
+		if _, err := r.r.Discard(used); err != nil {
+			return n, fmt.Errorf("trace: reading record: %w", err)
+		}
+		if used == 0 {
+			// The next record straddles the buffer boundary; decode it
+			// byte-wise, which refills the buffer as a side effect.
+			b, err := r.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					if n > 0 {
+						return n, nil
+					}
+					return 0, io.EOF
+				}
+				return n, err
+			}
+			dst[n] = b
+			n++
+		}
+	}
+	return n, nil
 }
 
 // Text format

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"gskew/internal/trace"
+)
+
+// TestGeneratorNextBatchMatchesNext: batched generation must produce
+// the identical event stream — same walker advances, same scheduler
+// decisions — as per-event generation.
+func TestGeneratorNextBatchMatchesNext(t *testing.T) {
+	spec, err := ByName("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 0.002}
+	one, err := New(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := New(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50000
+	want := make([]trace.Branch, total)
+	for i := range want {
+		if want[i], err = one.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]trace.Branch, 0, total)
+	buf := make([]trace.Branch, 777) // deliberately not a divisor of total
+	for len(got) < total {
+		w := buf
+		if rem := total - len(got); rem < len(w) {
+			w = w[:rem]
+		}
+		n, err := bat.NextBatch(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, w[:n]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: batched %+v, per-event %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTakeNextBatchMatchesNext: the bounded batched stream must equal
+// the bounded per-event stream record for record, including the stop
+// point after the n-th conditional.
+func TestTakeNextBatchMatchesNext(t *testing.T) {
+	spec, err := ByName("groff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 0.002}
+	const bound = 20000
+	mk := func() *Take {
+		g, err := New(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewTake(g, bound)
+	}
+
+	var want []trace.Branch
+	one := mk()
+	for {
+		b, err := one.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b)
+	}
+
+	for _, window := range []int{1, 97, 4096} {
+		bat := mk()
+		var got []trace.Branch
+		buf := make([]trace.Branch, window)
+		for {
+			n, err := bat.NextBatch(buf)
+			got = append(got, buf[:n]...)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %d: %d records batched, %d per-event", window, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("window %d: record %d: batched %+v, per-event %+v", window, i, got[i], want[i])
+			}
+		}
+		conds := 0
+		for _, b := range got {
+			if b.Kind == trace.Conditional {
+				conds++
+			}
+		}
+		if conds != bound {
+			t.Fatalf("window %d: %d conditionals delivered, want %d", window, conds, bound)
+		}
+		if got[len(got)-1].Kind != trace.Conditional {
+			t.Errorf("window %d: stream does not end on the bounding conditional", window)
+		}
+	}
+}

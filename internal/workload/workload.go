@@ -267,6 +267,28 @@ func (g *Generator) Next() (trace.Branch, error) {
 	return g.processes[g.current].Next()
 }
 
+// NextBatch implements trace.BatchSource. The generator is endless,
+// so every call fills dst completely; the quantum scheduler fires at
+// exactly the same event positions as the per-event path.
+func (g *Generator) NextBatch(dst []trace.Branch) (int, error) {
+	for i := range dst {
+		if g.remaining <= 0 {
+			g.scheduleNext()
+		}
+		g.remaining--
+		var err error
+		if g.inKernel {
+			dst[i], err = g.kernel.Next()
+		} else {
+			dst[i], err = g.processes[g.current].Next()
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(dst), nil
+}
+
 // Take bounds a source to n conditional branches (events of other
 // kinds pass through uncounted). After the bound it returns io.EOF.
 type Take struct {
@@ -290,6 +312,31 @@ func (t *Take) Next() (trace.Branch, error) {
 		t.remaining--
 	}
 	return b, nil
+}
+
+// NextBatch implements trace.BatchSource. It requests at most
+// `remaining` records per call, which makes the batched stream
+// identical to the per-event one: with a window w <= remaining, the
+// window can only contain remaining conditionals if ALL w records are
+// conditional (w <= remaining forces c == w), in which case the final
+// record delivered is exactly the last conditional — the same stop
+// point Next enforces. No record beyond the bound is ever pulled from
+// the source.
+func (t *Take) NextBatch(dst []trace.Branch) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.EOF
+	}
+	w := len(dst)
+	if w > t.remaining {
+		w = t.remaining
+	}
+	n, err := trace.ReadBatch(t.src, dst[:w])
+	for _, b := range dst[:n] {
+		if b.Kind == trace.Conditional {
+			t.remaining--
+		}
+	}
+	return n, err
 }
 
 // Materialize generates the full bounded trace for spec into memory.
