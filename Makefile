@@ -13,7 +13,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 
-.PHONY: build test check verify fuzz bench bench-all output
+.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,18 @@ test: build
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments ./internal/sim
+
+# Lint tier: vet always; staticcheck when installed (CI installs it,
+# see .github/workflows/ci.yml; locally `go install
+# honnef.co/go/tools/cmd/staticcheck@latest`). Configured by
+# staticcheck.conf.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 verify:
 	$(GO) run ./cmd/verify -sweep
@@ -47,3 +59,14 @@ bench-all:
 # so the file is byte-identical whatever -jobs is used).
 output:
 	$(GO) run ./cmd/experiments -all > experiments_output.txt
+
+# Observability smoke: the full suite with every telemetry flag on
+# must still produce byte-identical stdout, while demonstrably
+# emitting interval curves and a run manifest.
+obs-smoke:
+	$(GO) run ./cmd/experiments -all -debug-addr localhost:0 -progress \
+		-intervals 100000 -intervals-out /tmp/gskew_intervals.json \
+		-manifest /tmp/gskew_manifest.json > /tmp/gskew_obs_output.txt
+	cmp experiments_output.txt /tmp/gskew_obs_output.txt
+	@test -s /tmp/gskew_intervals.json && test -s /tmp/gskew_manifest.json
+	@echo "obs-smoke: stdout byte-identical; curves and manifest emitted"

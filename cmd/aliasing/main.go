@@ -8,6 +8,11 @@
 //	aliasing -bench groff -fn gshare -entries 4096 -hist 4
 //	aliasing -bench gs -fn gselect -entries 65536 -hist 12
 //	aliasing -trace t.bin -fn bimodal -entries 1024
+//
+// -intervals N additionally emits the classification as a curve —
+// per-interval total, compulsory, capacity and conflict aliasing —
+// so the warmup transient (cold compulsory misses) is separable from
+// the steady-state conflict behaviour the paper studies.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"gskew/internal/cli"
 	"gskew/internal/history"
 	"gskew/internal/indexfn"
+	"gskew/internal/obs"
 	"gskew/internal/trace"
 	"gskew/internal/workload"
 )
@@ -35,6 +41,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fnName    = fs.String("fn", "gshare", "index function: gshare, gselect, bimodal")
 		entries   = fs.Int("entries", 4096, "table entries (rounded up to a power of two)")
 		hist      = fs.Uint("hist", 4, "global history bits")
+
+		intervals    = fs.Int("intervals", 0, "record the per-class aliasing curve every N references (0 = off)")
+		intervalsOut = fs.String("intervals-out", "", "write the interval curve as JSON to this file (default stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +92,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.Usagef("specify -bench or -trace")
 	}
 
+	var rec *obs.Recorder
+	if *intervals > 0 {
+		rec = obs.NewRecorder(*intervals, fn.Name())
+	}
+
 	cl := alias.NewClassifier(fn)
 	ghr := history.NewGlobal(*hist)
 	for {
@@ -94,9 +108,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if b.Kind == trace.Conditional {
-			cl.Observe(b.PC, ghr.Bits())
+			class := cl.Observe(b.PC, ghr.Bits())
+			if rec != nil {
+				// The curve's "mispredicts" column carries total aliasing
+				// (any DM miss), decomposed into the three-Cs fields.
+				aliased, comp, cap, conf := 0, 0, 0, 0
+				switch class {
+				case alias.Compulsory:
+					aliased, comp = 1, 1
+				case alias.Capacity:
+					aliased, cap = 1, 1
+				case alias.Conflict:
+					aliased, conf = 1, 1
+				}
+				rec.AddClassified(0, 1, aliased, comp, cap, conf)
+			}
 		}
 		ghr.Shift(b.Taken)
+	}
+
+	if rec != nil {
+		series := rec.Series()
+		if *intervalsOut != "" {
+			f, err := os.Create(*intervalsOut)
+			if err != nil {
+				return err
+			}
+			err = obs.WriteSeriesJSON(f, series)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "[interval curve -> %s]\n", *intervalsOut)
+		} else if err := obs.WriteSeriesJSON(stderr, series); err != nil {
+			return err
+		}
 	}
 
 	st := cl.Stats()

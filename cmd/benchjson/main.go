@@ -11,6 +11,11 @@
 // least-disturbed one on a noisy machine). Lines that are not
 // benchmark results (goos/goarch/cpu headers, PASS/ok trailers) set
 // the environment fields or are ignored.
+//
+// -runs FILE attaches the simulation cells of a run manifest (from
+// `experiments -manifest` or `predsim -manifest`) to the snapshot, so
+// one document carries both the timing (ns/op) and the accuracy
+// (sim.Result) of a commit.
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"strings"
 
 	"gskew/internal/cli"
+	"gskew/internal/obs"
+	"gskew/internal/sim"
 )
 
 // Result is one benchmark measurement.
@@ -35,6 +42,14 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// Run is one simulation cell carried over from a run manifest: the
+// cell's predictors and their scalar results (sim.Result JSON).
+type Run struct {
+	ID         string       `json:"id"`
+	Predictors []string     `json:"predictors,omitempty"`
+	Results    []sim.Result `json:"results,omitempty"`
+}
+
 // Snapshot is the full JSON document.
 type Snapshot struct {
 	GOOS       string   `json:"goos,omitempty"`
@@ -42,6 +57,9 @@ type Snapshot struct {
 	CPU        string   `json:"cpu,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
+	// Runs carries simulation accuracy alongside the timing, when a
+	// manifest was attached with -runs.
+	Runs []Run `json:"runs,omitempty"`
 }
 
 func main() { cli.Main("benchjson", run) }
@@ -49,6 +67,7 @@ func main() { cli.Main("benchjson", run) }
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := cli.NewFlagSet("benchjson", stderr)
 	out := fs.String("o", "", "write JSON to `file` (default stdout)")
+	runs := fs.String("runs", "", "attach the simulation cells of this run-manifest `file` to the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +91,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(snap.Benchmarks) == 0 {
 		return fmt.Errorf("benchjson: no benchmark results in input")
 	}
+	if *runs != "" {
+		snap.Runs, err = loadRuns(*runs)
+		if err != nil {
+			return err
+		}
+	}
 
 	w := stdout
 	if *out != "" {
@@ -85,6 +110,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)
+}
+
+// loadRuns reads a run manifest and converts its cells into Run
+// records, round-tripping the per-predictor results through the
+// sim.Result JSON form.
+func loadRuns(path string) ([]Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing manifest %s: %w", path, err)
+	}
+	runs := make([]Run, 0, len(m.Cells))
+	for _, c := range m.Cells {
+		r := Run{ID: c.ID, Predictors: c.Predictors}
+		if c.Result != nil {
+			// Cell.Result is decoded as loose JSON; re-encode and decode
+			// it through sim.Result so malformed cells fail loudly.
+			raw, err := json.Marshal(c.Result)
+			if err != nil {
+				return nil, err
+			}
+			if err := json.Unmarshal(raw, &r.Results); err != nil {
+				return nil, fmt.Errorf("benchjson: cell %s results: %w", c.ID, err)
+			}
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
 }
 
 // Parse reads `go test -bench` output and collapses it into a

@@ -15,6 +15,14 @@
 // assembled in experiment order whatever the completion order, and
 // timing lines go to stderr, so stdout is byte-identical across -jobs
 // settings.
+//
+// Run telemetry is opt-in and never touches stdout:
+//
+//	-progress            live per-cell completion lines on stderr
+//	-manifest FILE       JSON run manifest (configs, timing, versions)
+//	-intervals N         per-cell misprediction curves every N branches
+//	-intervals-out FILE  where the curves go (JSON; default stderr)
+//	-debug-addr ADDR     expvar/pprof/metrics HTTP endpoint
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"gskew/internal/cli"
 	"gskew/internal/experiments"
+	"gskew/internal/obs"
 	"gskew/internal/workload"
 )
 
@@ -42,6 +51,12 @@ func main() {
 		format = flag.String("format", "text", "output format: text, csv or plot (ASCII charts)")
 		seed   = flag.Uint64("seed", 0, "seed offset for workload generation")
 		jobs   = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS; 1 = serial)")
+
+		progress     = flag.Bool("progress", false, "print live per-cell progress lines to stderr")
+		manifestOut  = flag.String("manifest", "", "write a JSON run manifest (configs, timing, versions) to this file")
+		intervals    = flag.Int("intervals", 0, "record per-cell misprediction curves every N conditional branches (0 = off)")
+		intervalsOut = flag.String("intervals-out", "", "write interval curves as JSON to this file (default stderr)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:0)")
 	)
 	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -59,6 +74,14 @@ func main() {
 		return
 	}
 
+	if *debugAddr != "" {
+		bound, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[debug endpoint on http://%s]\n", bound)
+	}
+
 	ctx := experiments.NewContext(*scale)
 	ctx.SeedOffset = *seed
 	ctx.Sched = experiments.NewSched(*jobs)
@@ -70,6 +93,32 @@ func main() {
 			}
 			ctx.Benchmarks = append(ctx.Benchmarks, b)
 		}
+	}
+
+	// Telemetry is opt-in: with none of the flags set ctx.Obs stays nil
+	// and every cell runs exactly as before. All telemetry goes to
+	// stderr or files, keeping stdout byte-identical.
+	var runObs *experiments.RunObs
+	var manifest *obs.Manifest
+	if *progress || *manifestOut != "" || *intervals > 0 {
+		obs.Enable()
+		runObs = &experiments.RunObs{Intervals: *intervals}
+		if *progress {
+			runObs.Progress = obs.NewProgress(os.Stderr, 0)
+		}
+		if *manifestOut != "" {
+			manifest = obs.NewManifest("experiments", os.Args[1:])
+			effScale := *scale
+			if effScale <= 0 {
+				effScale = experiments.DefaultScale
+			}
+			manifest.SetParam("scale", effScale)
+			manifest.SetParam("seed", *seed)
+			manifest.SetParam("jobs", ctx.Sched.Jobs())
+			manifest.SetParam("bench", ctx.BenchmarkNames())
+			runObs.Manifest = manifest
+		}
+		ctx.Obs = runObs
 	}
 
 	var toRun []experiments.Experiment
@@ -119,6 +168,32 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[%d experiment(s) completed in %v, jobs=%d]\n",
 		len(toRun), time.Since(start).Round(time.Millisecond), ctx.Sched.Jobs())
+
+	if runObs != nil && *intervals > 0 {
+		series := runObs.Series()
+		if *intervalsOut != "" {
+			f, err := os.Create(*intervalsOut)
+			if err != nil {
+				fatal(err)
+			}
+			err = obs.WriteSeriesJSON(f, series)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "[%d interval curve(s) -> %s]\n", len(series), *intervalsOut)
+		} else if err := obs.WriteSeriesJSON(os.Stderr, series); err != nil {
+			fatal(err)
+		}
+	}
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[manifest (%d cell(s)) -> %s]\n", len(manifest.Cells), *manifestOut)
+	}
 	if err := prof.Stop(); err != nil {
 		fatal(err)
 	}

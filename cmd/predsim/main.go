@@ -1,24 +1,35 @@
 // Command predsim runs one predictor configuration over a benchmark
 // workload (or a trace file) and reports the misprediction rate.
 //
-// Examples:
+// -pred accepts either a family name configured by the individual
+// flags, or a canonical spec string ("family:key=value,...") that
+// fully describes the organisation (see the predictor package docs
+// for the grammar):
 //
 //	predsim -bench groff -pred gshare -entries 16384 -hist 12
-//	predsim -bench gs -pred gskewed -banks 3 -entries 4096 -hist 8 -policy partial
-//	predsim -bench nroff -pred egskew -entries 4096 -hist 12
+//	predsim -bench groff -pred gshare:n=14,k=12,ctr=2
+//	predsim -bench gs -pred gskewed:n=12,k=8,banks=3,ctr=2,policy=partial
 //	predsim -trace trace.bin -pred assoc-lru -entries 1024 -hist 4
 //	predsim -bench verilog -pred unaliased -hist 12 -skip-first-use
+//
+// Run telemetry is opt-in: -json emits the result as JSON instead of
+// text, -intervals N records the warmup/steady-state misprediction
+// curve, and -manifest FILE writes a machine-readable run record.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"gskew/internal/cli"
 	"gskew/internal/history"
+	"gskew/internal/obs"
 	"gskew/internal/predictor"
 	"gskew/internal/sim"
 	"gskew/internal/trace"
@@ -34,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceFile = fs.String("trace", "", "binary trace file (alternative to -bench)")
 		scale     = fs.Float64("scale", 0, "workload scale (default 0.1)")
 		seed      = fs.Uint64("seed", 0, "workload seed offset")
-		pred      = fs.String("pred", "gshare", "predictor: bimodal, gshare, gselect, gskewed, egskew, 2bcgskew, agree, bimode, pas, skewed-pas, hybrid, unaliased, assoc-lru")
+		pred      = fs.String("pred", "gshare", "predictor family (bimodal, gshare, gselect, gskewed, egskew, 2bcgskew, agree, bimode, pas, skewed-pas, hybrid, unaliased, assoc-lru) or a spec string like gshare:n=14,k=12,ctr=2")
 		entries   = fs.Int("entries", 16384, "table entries (per bank for gskewed/egskew)")
 		banks     = fs.Int("banks", 3, "bank count for gskewed")
 		hist      = fs.Uint("hist", 8, "global history bits")
@@ -42,12 +53,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		policy    = fs.String("policy", "partial", "gskewed update policy: partial or total")
 		skipFirst = fs.Bool("skip-first-use", false, "exclude first-time (address,history) references (ideal-table accounting)")
 		top       = fs.Int("top", 0, "also report the top-N mispredicting branch addresses")
+
+		asJSON       = fs.Bool("json", false, "emit the result as JSON (sim.Result serialization) instead of text")
+		intervals    = fs.Int("intervals", 0, "record the misprediction curve every N conditional branches (0 = off)")
+		intervalsOut = fs.String("intervals-out", "", "write the interval curve as JSON to this file (default stderr)")
+		manifestOut  = fs.String("manifest", "", "write a JSON run manifest to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	p, err := buildPredictor(*pred, *entries, *banks, *hist, *ctrBits, *policy)
+	var p predictor.Predictor
+	var err error
+	if strings.Contains(*pred, ":") {
+		// Canonical spec string: the whole organisation in one flag.
+		var s predictor.Spec
+		if s, err = predictor.ParseSpec(*pred); err == nil {
+			p, err = s.New()
+		}
+	} else {
+		p, err = buildPredictor(*pred, *entries, *banks, *hist, *ctrBits, *policy)
+	}
 	if err != nil {
 		return err
 	}
@@ -79,16 +105,80 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.Usagef("specify -bench or -trace")
 	}
 
+	label := specLabel(p)
+	var rec *obs.Recorder
+	opts := sim.Options{SkipFirstUse: *skipFirst}
+	if *intervals > 0 {
+		obs.Enable()
+		rec = obs.NewRecorder(*intervals, label)
+		opts.Recorder = rec
+	}
+
+	start := time.Now()
 	var res sim.Result
 	var topMisses []missEntry
 	if *top > 0 {
 		res, topMisses, err = runWithTopMisses(src, p, *top)
 	} else {
-		res, err = sim.Run(src, p, sim.Options{SkipFirstUse: *skipFirst})
+		res, err = sim.Run(src, p, opts)
 	}
+	took := time.Since(start)
 	if err != nil {
 		return err
 	}
+
+	if rec != nil {
+		series := rec.Series()
+		if *intervalsOut != "" {
+			f, err := os.Create(*intervalsOut)
+			if err != nil {
+				return err
+			}
+			err = obs.WriteSeriesJSON(f, series)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "[interval curve -> %s]\n", *intervalsOut)
+		} else if err := obs.WriteSeriesJSON(stderr, series); err != nil {
+			return err
+		}
+	}
+	if *manifestOut != "" {
+		m := obs.NewManifest("predsim", args)
+		m.SetParam("bench", *benchName)
+		m.SetParam("trace", *traceFile)
+		m.SetParam("seed", *seed)
+		cellID := *benchName
+		if cellID == "" {
+			cellID = *traceFile
+		}
+		m.AddCell(obs.Cell{
+			ID:           cellID,
+			Predictors:   []string{label},
+			Conditionals: res.Conditionals,
+			WallMS:       float64(took.Nanoseconds()) / float64(time.Millisecond),
+			Result:       []sim.Result{res},
+		})
+		if err := m.WriteFile(*manifestOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[manifest -> %s]\n", *manifestOut)
+	}
+
+	if *asJSON {
+		doc := struct {
+			Predictor   string     `json:"predictor"`
+			StorageBits uint64     `json:"storage_bits"`
+			Result      sim.Result `json:"result"`
+		}{label, uint64(p.StorageBits()), res}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
 	fmt.Fprintf(stdout, "predictor:      %v\n", p)
 	fmt.Fprintf(stdout, "storage bits:   %d (%.1f KiB)\n", p.StorageBits(), float64(p.StorageBits())/8192)
 	fmt.Fprintf(stdout, "conditionals:   %d\n", res.Conditionals)
@@ -230,6 +320,15 @@ func buildPredictor(kind string, entries, banks int, hist, ctrBits uint, policy 
 	default:
 		return nil, cli.Usagef("unknown predictor %q", kind)
 	}
+}
+
+// specLabel names a predictor for telemetry and JSON output: its
+// canonical Spec string when it has one, its String form otherwise.
+func specLabel(p predictor.Predictor) string {
+	if sp, ok := p.(predictor.Speccer); ok {
+		return sp.Spec().String()
+	}
+	return fmt.Sprintf("%v", p)
 }
 
 func joinNames() string {

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	report -o REPORT.md [-scale 0.1] [-bench groff,gs] [-plots=false]
+//
+// -manifest FILE additionally writes a machine-readable run record:
+// every simulation cell with its predictor specs, scalar results
+// (sim.Result JSON) and wall time. -progress prints live per-cell
+// completion lines to stderr.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"gskew/internal/cli"
 	"gskew/internal/experiments"
+	"gskew/internal/obs"
 	"gskew/internal/report"
 	"gskew/internal/workload"
 )
@@ -32,12 +38,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		plots  = fs.Bool("plots", true, "include ASCII charts for figures")
 		subset = fs.String("only", "", "comma-separated experiment ids (default: all)")
 		timing = fs.Bool("timing", true, "append the wall-clock generation time")
+
+		manifestOut = fs.String("manifest", "", "write a JSON run manifest (cells, results, timing) to this file")
+		progress    = fs.Bool("progress", false, "print live per-cell progress lines to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	ctx := experiments.NewContext(*scale)
+	var manifest *obs.Manifest
+	if *manifestOut != "" || *progress {
+		obs.Enable()
+		runObs := &experiments.RunObs{}
+		if *progress {
+			runObs.Progress = obs.NewProgress(stderr, 0)
+		}
+		if *manifestOut != "" {
+			manifest = obs.NewManifest("report", args)
+			manifest.SetParam("scale", effectiveScale(*scale))
+			manifest.SetParam("bench", *bench)
+			manifest.SetParam("only", *subset)
+			runObs.Manifest = manifest
+		}
+		ctx.Obs = runObs
+	}
 	if *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {
 			b = strings.TrimSpace(b)
@@ -109,6 +134,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *timing {
 		fmt.Fprintf(w, "---\nGenerated in %v.\n", time.Since(start).Round(time.Second))
+	}
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[manifest (%d cell(s)) -> %s]\n", len(manifest.Cells), *manifestOut)
 	}
 	if flush != nil {
 		return flush()

@@ -43,6 +43,22 @@ import (
 // constructors below for the available organisations.
 type Predictor = predictor.Predictor
 
+// Spec is the unified predictor configuration: every organisation in
+// the repo can be described, built, printed and parsed through it.
+// See the predictor package docs for the per-family fields and the
+// canonical string grammar ("gshare:n=14,k=12,ctr=2").
+type Spec = predictor.Spec
+
+// ParseSpec parses a canonical spec string ("family:key=value,...").
+func ParseSpec(text string) (Spec, error) { return predictor.ParseSpec(text) }
+
+// MustParseSpec parses a spec string and builds the predictor,
+// panicking on errors — for tests, examples and literals.
+func MustParseSpec(text string) Predictor { return predictor.MustParseSpec(text) }
+
+// MustSpec builds s, panicking on configuration errors.
+func MustSpec(s Spec) Predictor { return predictor.MustSpec(s) }
+
 // GSkewedConfig parameterises the skewed branch predictor — the
 // paper's contribution.
 type GSkewedConfig = predictor.Config

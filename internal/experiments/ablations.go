@@ -46,16 +46,16 @@ func runAblationBanks(ctx *Context) (Renderable, error) {
 	t := report.NewTable("Bank-count ablation (4k-entry banks, 8-bit history, partial update)",
 		"benchmark", "1 bank (gshare 4k)", "3 banks (12k)", "5 banks (20k)", "7 banks (28k)", "gshare 16k")
 	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]float64, error) {
-		preds := []predictor.Predictor{predictor.NewGShare(bankBits, histBits, 2)}
+		preds := []predictor.Predictor{
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: bankBits, Hist: histBits})}
 		for _, banks := range []int{3, 5, 7} {
-			preds = append(preds, predictor.MustGSkewed(predictor.Config{
-				Banks: banks, BankBits: bankBits, HistoryBits: histBits,
-				Policy: predictor.PartialUpdate,
-			}))
+			preds = append(preds, predictor.MustSpec(predictor.Spec{
+				Family: "gskewed", Banks: banks, N: bankBits, Hist: histBits}))
 		}
 		// Cost-equivalent alternative to 3 more banks: one bigger bank.
-		preds = append(preds, predictor.NewGShare(bankBits+2, histBits, 2))
-		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+		preds = append(preds, predictor.MustSpec(predictor.Spec{
+			Family: "gshare", N: bankBits + 2, Hist: histBits}))
+		results, err := ctx.RunMany("ablation-banks/"+name, branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +88,7 @@ func runAblationBanks(ctx *Context) (Renderable, error) {
 }
 
 func runAblationPolicy(ctx *Context) (Renderable, error) {
-	return historySweep(ctx,
+	return historySweep(ctx, "ablation-policy",
 		"Partial vs total update (3x4k gskewed)",
 		[]uint{0, 4, 8, 12, 16},
 		[]struct {
@@ -96,14 +96,11 @@ func runAblationPolicy(ctx *Context) (Renderable, error) {
 			build func(k uint) predictor.Predictor
 		}{
 			{"partial", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
-				})
+				return predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: k})
 			}},
 			{"total", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.TotalUpdate,
-				})
+				return predictor.MustSpec(predictor.Spec{
+					Family: "gskewed", N: 12, Hist: k, Policy: predictor.TotalUpdate})
 			}},
 		})
 }
@@ -115,12 +112,10 @@ func runAblationCounters(ctx *Context) (Renderable, error) {
 	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]string, error) {
 		var preds []predictor.Predictor
 		for _, bits := range []uint{1, 2} {
-			preds = append(preds, predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, CounterBits: bits,
-				Policy: predictor.PartialUpdate,
-			}))
+			preds = append(preds, predictor.MustSpec(predictor.Spec{
+				Family: "gskewed", N: 12, Hist: histBits, Ctr: bits}))
 		}
-		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+		results, err := ctx.RunMany("ablation-counters/"+name, branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +139,7 @@ func runAblationCounters(ctx *Context) (Renderable, error) {
 // (b) a bimodal-style short-history index, at a long history length
 // where the designs separate.
 func runAblationEnhanced(ctx *Context) (Renderable, error) {
-	return historySweep(ctx,
+	return historySweep(ctx, "ablation-enhanced-bank0",
 		"Enhanced bank-0 ablation (3x4k, partial update)",
 		[]uint{8, 12, 16},
 		[]struct {
@@ -152,14 +147,10 @@ func runAblationEnhanced(ctx *Context) (Renderable, error) {
 			build func(k uint) predictor.Predictor
 		}{
 			{"f0(V) bank0 (gskewed)", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
-				})
+				return predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: k})
 			}},
 			{"addr-only bank0 (egskew)", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true,
-				})
+				return predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: k})
 			}},
 		})
 }

@@ -98,6 +98,10 @@ type Context struct {
 	// cells of this context. Nil selects a default GOMAXPROCS-wide
 	// scheduler on first use; NewSched(1) forces fully serial runs.
 	Sched *Sched
+	// Obs, when non-nil, collects run telemetry (interval curves,
+	// manifest cells, progress lines) from every simulation cell driven
+	// through Context.RunMany. Nil — the default — is zero-overhead.
+	Obs *RunObs
 
 	schedOnce    sync.Once
 	defaultSched *Sched

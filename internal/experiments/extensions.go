@@ -51,10 +51,11 @@ func init() {
 
 // compareRows runs one Compare (single-pass RunMany) per benchmark as
 // scheduler cells and returns, in suite order, rows of the form
-// [name, miss%...], the common shape of the extension tables.
-func compareRows(ctx *Context, build func() []predictor.Predictor, opts sim.Options) ([][]any, error) {
+// [name, miss%...], the common shape of the extension tables. id names
+// the experiment for run telemetry.
+func compareRows(ctx *Context, id string, build func() []predictor.Predictor, opts sim.Options) ([][]any, error) {
 	return mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([]any, error) {
-		results, err := sim.Compare(branches, build(), opts)
+		results, err := ctx.RunMany(id+"/"+name, branches, build(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -69,11 +70,11 @@ func compareRows(ctx *Context, build func() []predictor.Predictor, opts sim.Opti
 func runExtPAs(ctx *Context) (Renderable, error) {
 	t := report.NewTable("Skewed per-address schemes (miss %, local history 8, 64-entry BHT x 1024)",
 		"benchmark", "pas 4k", "skewed-pas 3x2k", "gshare 4k (global, h8)")
-	rows, err := compareRows(ctx, func() []predictor.Predictor {
+	rows, err := compareRows(ctx, "ext-pas", func() []predictor.Predictor {
 		return []predictor.Predictor{
-			predictor.MustPAs(10, 8, 12, 2),
-			predictor.MustSkewedPAs(10, 8, 11, 2, predictor.PartialUpdate),
-			predictor.NewGShare(12, 8, 2),
+			predictor.MustParseSpec("pas:bht=10,local=8,n=12,ctr=2"),
+			predictor.MustParseSpec("skewed-pas:bht=10,local=8,n=11,ctr=2,policy=partial"),
+			predictor.MustParseSpec("gshare:n=12,k=8,ctr=2"),
 		}
 	}, sim.Options{})
 	if err != nil {
@@ -89,15 +90,17 @@ func runExtHybrid(ctx *Context) (Renderable, error) {
 	t := report.NewTable("Hybrid predictors (miss %, 8-bit history)",
 		"benchmark", "gshare 16k", "bimodal+gshare", "bimodal+gskewed", "egskew 3x4k")
 	const k = 8
-	rows, err := compareRows(ctx, func() []predictor.Predictor {
+	rows, err := compareRows(ctx, "ext-hybrid", func() []predictor.Predictor {
+		bimodal := func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 12})
+		}
 		return []predictor.Predictor{
-			predictor.NewGShare(14, k, 2),
-			predictor.MustHybrid(predictor.NewBimodal(12, 2), predictor.NewGShare(13, k, 2), 12),
-			predictor.MustHybrid(
-				predictor.NewBimodal(12, 2),
-				predictor.MustGSkewed(predictor.Config{BankBits: 11, HistoryBits: k, Policy: predictor.PartialUpdate}),
-				12),
-			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true}),
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: k}),
+			predictor.MustHybrid(bimodal(),
+				predictor.MustSpec(predictor.Spec{Family: "gshare", N: 13, Hist: k}), 12),
+			predictor.MustHybrid(bimodal(),
+				predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 11, Hist: k}), 12),
+			predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: k}),
 		}
 	}, sim.Options{})
 	if err != nil {
@@ -160,19 +163,11 @@ func runExtEncoding(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("Shared-hysteresis encoding (gskewed, 8-bit history, partial update)",
 		"benchmark", "3x4k 2-bit (24 Kbit)", "3x4k shared/2 (15 Kbit)", "3x8k shared/4 (27 Kbit)")
-	rows, err := compareRows(ctx, func() []predictor.Predictor {
+	rows, err := compareRows(ctx, "ext-encoding", func() []predictor.Predictor {
 		return []predictor.Predictor{
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
-			}),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
-				CounterBits: 2, SharedHysteresis: 1,
-			}),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 13, HistoryBits: histBits, Policy: predictor.PartialUpdate,
-				CounterBits: 2, SharedHysteresis: 2,
-			}),
+			predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: histBits}),
+			predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: histBits, SharedHyst: 1}),
+			predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 13, Hist: histBits, SharedHyst: 2}),
 		}
 	}, sim.Options{})
 	if err != nil {
@@ -246,15 +241,11 @@ func runExtPipeline(ctx *Context) (Renderable, error) {
 		"benchmark", "predictor", "miss %", "IPC@5", "IPC@10", "IPC@20", "speedup@20 vs gshare")
 	rows, err := mapBenchmarks(ctx, func(name string, branches []trace.Branch) ([][]any, error) {
 		preds := []predictor.Predictor{
-			predictor.NewGShare(14, histBits, 2),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
-			}),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
-			}),
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: histBits}),
+			predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: histBits}),
+			predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: histBits}),
 		}
-		results, err := sim.Compare(branches, preds, sim.Options{})
+		results, err := ctx.RunMany("ext-pipeline/"+name, branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}

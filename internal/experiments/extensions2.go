@@ -97,12 +97,11 @@ func runExtQuantum(ctx *Context) (Renderable, error) {
 		if err != nil {
 			return err
 		}
-		results, err := sim.RunManyBranches(branches, []predictor.Predictor{
-			predictor.NewGShare(14, histBits, 2),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
-			}),
-		}, sim.Options{})
+		results, err := ctx.RunMany(fmt.Sprintf("ext-quantum/q%d", quanta[i]), branches,
+			[]predictor.Predictor{
+				predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: histBits}),
+				predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: histBits}),
+			}, sim.Options{})
 		if err != nil {
 			return err
 		}
@@ -150,12 +149,11 @@ func runExtFlush(ctx *Context) (Renderable, error) {
 			fig.Xs = append(fig.Xs, x)
 			// Both organisations share one trace pass per interval (the
 			// flush schedule is part of Options, identical for both).
-			results, err := sim.RunManyBranches(branches, []predictor.Predictor{
-				predictor.NewGShare(14, histBits, 2),
-				predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
-				}),
-			}, sim.Options{FlushEvery: iv})
+			results, err := ctx.RunMany(fmt.Sprintf("ext-flush-iv%d/%s", iv, name), branches,
+				[]predictor.Predictor{
+					predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: histBits}),
+					predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: histBits}),
+				}, sim.Options{FlushEvery: iv})
 			if err != nil {
 				return nil, err
 			}
@@ -202,17 +200,13 @@ func runExtRivals(ctx *Context) (Renderable, error) {
 	const histBits = 8
 	t := report.NewTable("1997 anti-aliasing proposals at ~24-34 Kbit (miss %, 8-bit history)",
 		"benchmark", "gshare 16k (32Kb)", "agree 16k (34Kb)", "bimode 2x8k+4k (40Kb)", "gskewed 3x4k (24Kb)", "egskew 3x4k (24Kb)")
-	rows, err := compareRows(ctx, func() []predictor.Predictor {
+	rows, err := compareRows(ctx, "ext-rivals", func() []predictor.Predictor {
 		return []predictor.Predictor{
-			predictor.NewGShare(14, histBits, 2),
-			predictor.MustAgree(14, histBits, 10, 2),
-			predictor.MustBiMode(13, histBits, 11, 2),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
-			}),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate, Enhanced: true,
-			}),
+			predictor.MustParseSpec("gshare:n=14,k=8,ctr=2"),
+			predictor.MustParseSpec("agree:n=14,k=8,bias=10,ctr=2"),
+			predictor.MustParseSpec("bimode:n=13,k=8,choice=11,ctr=2"),
+			predictor.MustParseSpec("gskewed:n=12,k=8,banks=3,ctr=2,policy=partial"),
+			predictor.MustParseSpec("egskew:n=12,k=8,ctr=2,policy=partial"),
 		}
 	}, sim.Options{})
 	if err != nil {
@@ -236,13 +230,11 @@ func init() {
 func runExtEV8(ctx *Context) (Renderable, error) {
 	t := report.NewTable("2Bc-gskew (4x4k, h6/h14, 32 Kbit) vs its ancestors (miss %)",
 		"benchmark", "16k-gshare h8 (32Kb)", "3x4k-egskew h8 (24Kb)", "4x4k-2bcgskew h6/h14 (32Kb)")
-	rows, err := compareRows(ctx, func() []predictor.Predictor {
+	rows, err := compareRows(ctx, "ext-ev8", func() []predictor.Predictor {
 		return []predictor.Predictor{
-			predictor.NewGShare(14, 8, 2),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: 8, Policy: predictor.PartialUpdate, Enhanced: true,
-			}),
-			predictor.MustTwoBcGSkew(12, 6, 14),
+			predictor.MustParseSpec("gshare:n=14,k=8,ctr=2"),
+			predictor.MustParseSpec("egskew:n=12,k=8,ctr=2,policy=partial"),
+			predictor.MustParseSpec("2bcgskew:n=12,ks=6,k=14"),
 		}
 	}, sim.Options{})
 	if err != nil {
@@ -277,12 +269,14 @@ func runExtBestHist(ctx *Context) (Renderable, error) {
 		build func(k uint) predictor.Predictor
 	}
 	orgs := []org{
-		{"16k-gshare", func(k uint) predictor.Predictor { return predictor.NewGShare(14, k, 2) }},
+		{"16k-gshare", func(k uint) predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: k})
+		}},
 		{"3x4k-gskewed", func(k uint) predictor.Predictor {
-			return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate})
+			return predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: k})
 		}},
 		{"3x4k-egskew", func(k uint) predictor.Predictor {
-			return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true})
+			return predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: k})
 		}},
 	}
 	t := report.NewTable("Best history length (argmin misprediction over h = 0..16)",
@@ -294,7 +288,7 @@ func runExtBestHist(ctx *Context) (Renderable, error) {
 				built = append(built, o.build(k))
 			}
 		}
-		results, err := sim.RunManyBranches(branches, built, sim.Options{})
+		results, err := ctx.RunMany("ext-besthist/"+name, branches, built, sim.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -137,7 +137,7 @@ func runFig11(ctx *Context) (Renderable, error) {
 }
 
 func runFig12(ctx *Context) (Renderable, error) {
-	return historySweep(ctx,
+	return historySweep(ctx, "fig12",
 		"Misprediction % of enhanced gskewed (3x4k) vs gskewed (3x4k) vs 32k gshare",
 		[]uint{0, 2, 4, 6, 8, 10, 12, 14, 16},
 		[]struct {
@@ -145,17 +145,13 @@ func runFig12(ctx *Context) (Renderable, error) {
 			build func(k uint) predictor.Predictor
 		}{
 			{"32k-gshare", func(k uint) predictor.Predictor {
-				return predictor.NewGShare(15, k, 2)
+				return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 15, Hist: k})
 			}},
 			{"3x4k-gskewed", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
-				})
+				return predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: k})
 			}},
 			{"3x4k-egskew", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate, Enhanced: true,
-				})
+				return predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: k})
 			}},
 		})
 }

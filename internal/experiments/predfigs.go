@@ -15,13 +15,13 @@ func init() {
 		ID:    "fig5",
 		Title: "gshare vs gskewed across table sizes, 4-bit history",
 		Paper: "Figure 5: gskewed (partial update) matches gshare of ~2x storage once capacity aliasing vanishes",
-		Run:   func(ctx *Context) (Renderable, error) { return runSizeSweep(ctx, 4, []uint{10, 12, 14, 16}) },
+		Run:   func(ctx *Context) (Renderable, error) { return runSizeSweep(ctx, "fig5", 4, []uint{10, 12, 14, 16}) },
 	})
 	register(Experiment{
 		ID:    "fig6",
 		Title: "gshare vs gskewed across table sizes, 12-bit history",
 		Paper: "Figure 6: as Figure 5 with 12 history bits; gskewed also removes pathological cases (nroff)",
-		Run:   func(ctx *Context) (Renderable, error) { return runSizeSweep(ctx, 12, []uint{12, 14, 16, 18}) },
+		Run:   func(ctx *Context) (Renderable, error) { return runSizeSweep(ctx, "fig6", 12, []uint{12, 14, 16, 18}) },
 	})
 	register(Experiment{
 		ID:    "fig7",
@@ -42,7 +42,7 @@ func init() {
 // gskewed (75% of the gshare storage at the same x position) as the
 // paper's skewed counterpart. All configurations of a benchmark run in
 // one RunMany trace pass.
-func runSizeSweep(ctx *Context, histBits uint, sizes []uint) (Renderable, error) {
+func runSizeSweep(ctx *Context, id string, histBits uint, sizes []uint) (Renderable, error) {
 	items, err := ctx.forEachBenchmark(func(name string, branches []trace.Branch) (Renderable, error) {
 		fig := report.NewFigure(fmt.Sprintf("%s (%d-bit history)", name, histBits),
 			"gshare entries", "miss %")
@@ -50,14 +50,10 @@ func runSizeSweep(ctx *Context, histBits uint, sizes []uint) (Renderable, error)
 		for _, n := range sizes {
 			fig.Xs = append(fig.Xs, float64(uint64(1)<<n))
 			preds = append(preds,
-				predictor.NewGShare(n, histBits, 2),
-				predictor.MustGSkewed(predictor.Config{
-					BankBits:    n - 2,
-					HistoryBits: histBits,
-					Policy:      predictor.PartialUpdate,
-				}))
+				predictor.MustSpec(predictor.Spec{Family: "gshare", N: n, Hist: histBits}),
+				predictor.MustSpec(predictor.Spec{Family: "gskewed", N: n - 2, Hist: histBits}))
 		}
-		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+		results, err := ctx.RunMany(id+"/"+name, branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +78,7 @@ func runSizeSweep(ctx *Context, histBits uint, sizes []uint) (Renderable, error)
 // historySweep runs a set of predictor constructors across history
 // lengths and returns a per-benchmark bundle. The full (predictor,
 // history) cross product of a benchmark runs in one RunMany pass.
-func historySweep(ctx *Context, title string, hists []uint,
+func historySweep(ctx *Context, id, title string, hists []uint,
 	preds []struct {
 		name  string
 		build func(k uint) predictor.Predictor
@@ -98,7 +94,7 @@ func historySweep(ctx *Context, title string, hists []uint,
 				built = append(built, pd.build(k))
 			}
 		}
-		results, err := sim.RunManyBranches(branches, built, sim.Options{})
+		results, err := ctx.RunMany(id+"/"+name, branches, built, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +114,7 @@ func historySweep(ctx *Context, title string, hists []uint,
 }
 
 func runFig7(ctx *Context) (Renderable, error) {
-	return historySweep(ctx,
+	return historySweep(ctx, "fig7",
 		"Misprediction % of 3x4k-gskewed vs 16k-gshare across history lengths",
 		[]uint{0, 2, 4, 6, 8, 10, 12, 14, 16},
 		[]struct {
@@ -126,12 +122,10 @@ func runFig7(ctx *Context) (Renderable, error) {
 			build func(k uint) predictor.Predictor
 		}{
 			{"16k-gshare", func(k uint) predictor.Predictor {
-				return predictor.NewGShare(14, k, 2)
+				return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: k})
 			}},
 			{"3x4k-gskewed", func(k uint) predictor.Predictor {
-				return predictor.MustGSkewed(predictor.Config{
-					BankBits: 12, HistoryBits: k, Policy: predictor.PartialUpdate,
-				})
+				return predictor.MustSpec(predictor.Spec{Family: "gskewed", N: 12, Hist: k})
 			}},
 		})
 }
@@ -144,14 +138,14 @@ func runFig8(ctx *Context) (Renderable, error) {
 		preds := make([]predictor.Predictor, 0, 3*len(sizes))
 		for _, n := range sizes {
 			fig.Xs = append(fig.Xs, float64(uint64(1)<<n))
-			preds = append(preds, predictor.NewAssocLRU(1<<n, histBits, 2))
+			preds = append(preds, predictor.MustSpec(predictor.Spec{
+				Family: "assoc-lru", Entries: 1 << n, Hist: histBits}))
 			for _, pol := range []predictor.UpdatePolicy{predictor.PartialUpdate, predictor.TotalUpdate} {
-				preds = append(preds, predictor.MustGSkewed(predictor.Config{
-					BankBits: n, HistoryBits: histBits, Policy: pol,
-				}))
+				preds = append(preds, predictor.MustSpec(predictor.Spec{
+					Family: "gskewed", N: n, Hist: histBits, Policy: pol}))
 			}
 		}
-		results, err := sim.RunManyBranches(branches, preds, sim.Options{})
+		results, err := ctx.RunMany("fig8/"+name, branches, preds, sim.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,32 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"gskew/internal/obs"
 )
+
+// Scheduler telemetry, registered in the default obs registry. The
+// histogram buckets job wall times (milliseconds); both are only
+// touched when metrics are enabled, so a default run never calls
+// time.Now for them.
+var (
+	mJobs  = obs.NewCounter("sched.jobs")
+	mJobMS = obs.NewHistogram("sched.job_ms",
+		[]int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000})
+)
+
+// timeJob wraps one scheduler cell with the telemetry counters.
+func timeJob(i int, fn func(i int) error) error {
+	if !obs.Enabled() {
+		return fn(i)
+	}
+	start := time.Now()
+	err := fn(i)
+	mJobs.Inc()
+	mJobMS.Observe(time.Since(start).Milliseconds())
+	return err
+}
 
 // Sched is a bounded worker pool for (experiment, benchmark) cells.
 // One Sched is shared by every experiment of a run, so the number of
@@ -44,7 +69,7 @@ func (s *Sched) Map(n int, fn func(i int) error) error {
 	}
 	if s.jobs == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := timeJob(i, fn); err != nil {
 				return err
 			}
 		}
@@ -58,7 +83,7 @@ func (s *Sched) Map(n int, fn func(i int) error) error {
 			defer wg.Done()
 			s.sem <- struct{}{}
 			defer func() { <-s.sem }()
-			errs[i] = fn(i)
+			errs[i] = timeJob(i, fn)
 		}(i)
 	}
 	wg.Wait()

@@ -63,9 +63,9 @@ func runTable2(ctx *Context) (Renderable, error) {
 		var out table2Cells
 		for i, k := range hists {
 			// Both counter widths share one trace pass.
-			u1 := predictor.NewUnaliased(k, 1)
-			u2 := predictor.NewUnaliased(k, 2)
-			results, err := sim.RunManyBranches(branches,
+			u1 := predictor.MustSpec(predictor.Spec{Family: "unaliased", Hist: k, Ctr: 1}).(*predictor.Unaliased)
+			u2 := predictor.MustSpec(predictor.Spec{Family: "unaliased", Hist: k, Ctr: 2}).(*predictor.Unaliased)
+			results, err := ctx.RunMany(fmt.Sprintf("table2-h%d/%s", k, name), branches,
 				[]predictor.Predictor{u1, u2}, sim.Options{SkipFirstUse: true})
 			if err != nil {
 				return table2Cells{}, err

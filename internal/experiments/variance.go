@@ -58,13 +58,11 @@ func runExtVariance(ctx *Context) (Renderable, error) {
 		if err != nil {
 			return err
 		}
-		results, err := sim.RunManyBranches(branches, []predictor.Predictor{
-			predictor.NewGShare(14, histBits, 2),
-			predictor.MustGSkewed(predictor.Config{
-				BankBits: 12, HistoryBits: histBits,
-				Policy: predictor.PartialUpdate, Enhanced: true,
-			}),
-		}, sim.Options{})
+		results, err := ctx.RunMany(fmt.Sprintf("ext-variance/%s-r%d", names[bi], rep), branches,
+			[]predictor.Predictor{
+				predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: histBits}),
+				predictor.MustSpec(predictor.Spec{Family: "egskew", N: 12, Hist: histBits}),
+			}, sim.Options{})
 		if err != nil {
 			return err
 		}

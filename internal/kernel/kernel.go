@@ -69,13 +69,27 @@ func Compile(p predictor.Predictor, histBits uint) (Kernel, bool) {
 		return nil, false
 	}
 	runnerMask := uint64(1)<<histBits - 1
-	switch t := p.(type) {
-	case *predictor.Single:
-		return compileSingle(t, runnerMask)
-	case *predictor.GSkewed:
-		return compileSkew(t, runnerMask)
-	case *predictor.TwoBcGSkew:
-		return compileTBC(t, runnerMask)
+	// Recognition is by reported Spec family: every compilable
+	// organisation describes itself through the unified construction
+	// surface, so a predictor that cannot state its Spec (hybrids,
+	// custom index functions) stays on the generic path.
+	sp, ok := p.(predictor.Speccer)
+	if !ok {
+		return nil, false
+	}
+	switch sp.Spec().Family {
+	case "bimodal", "gshare", "gselect":
+		if t, ok := p.(*predictor.Single); ok {
+			return compileSingle(t, runnerMask)
+		}
+	case "gskewed", "egskew":
+		if t, ok := p.(*predictor.GSkewed); ok {
+			return compileSkew(t, runnerMask)
+		}
+	case "2bcgskew":
+		if t, ok := p.(*predictor.TwoBcGSkew); ok {
+			return compileTBC(t, runnerMask)
+		}
 	}
 	return nil, false
 }

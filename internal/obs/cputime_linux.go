@@ -1,0 +1,20 @@
+//go:build linux || darwin
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTimes returns the process's cumulative user and system CPU time.
+func cpuTimes() (user, sys time.Duration) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	toDur := func(tv syscall.Timeval) time.Duration {
+		return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+	}
+	return toDur(ru.Utime), toDur(ru.Stime)
+}

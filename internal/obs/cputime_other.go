@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package obs
+
+import "time"
+
+// cpuTimes is unavailable on this platform; the manifest omits the
+// CPU fields.
+func cpuTimes() (user, sys time.Duration) { return 0, 0 }

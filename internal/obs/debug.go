@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names and the debug server may be started more than once
+// in a process's tests.
+var publishOnce sync.Once
+
+// Serve starts the opt-in debug endpoint on addr (host:port; port 0
+// picks a free one) and returns the bound address. The server runs on
+// its own goroutine until the process exits — it exists to observe a
+// live run, not to outlive it. Endpoints:
+//
+//	/metrics       the Default registry as JSON
+//	/debug/vars    expvar (cmdline, memstats, and the registry under
+//	               the "obs" key)
+//	/debug/pprof/  the standard pprof profiles
+//
+// Starting the server enables metric collection.
+func Serve(addr string) (string, error) {
+	Enable()
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Default().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

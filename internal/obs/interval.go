@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Point is one closed interval of a misprediction-rate curve.
+type Point struct {
+	// Start is the index of the interval's first conditional branch
+	// within the run (0-based).
+	Start int `json:"start"`
+	// Conds is the number of conditional branches in the interval.
+	Conds int `json:"conds"`
+	// Mispredicts is the number of counted mispredictions among them.
+	Mispredicts int `json:"mispredicts"`
+	// MissPct is 100 * Mispredicts / Conds, precomputed at close time
+	// so curve files are directly plottable.
+	MissPct float64 `json:"miss_pct"`
+	// Compulsory, Capacity and Conflict carry the three-Cs aliasing
+	// decomposition of the interval when the feeder classifies
+	// references (cmd/aliasing); they stay zero otherwise.
+	Compulsory int `json:"compulsory,omitempty"`
+	Capacity   int `json:"capacity,omitempty"`
+	Conflict   int `json:"conflict,omitempty"`
+}
+
+// Series is the interval curve of one simulation cell (one predictor
+// over one trace).
+type Series struct {
+	// Label identifies the cell, e.g. "fig5/groff/gskewed:n=12,...".
+	Label string `json:"label"`
+	// Every is the nominal interval length in conditional branches.
+	// Feeders that deliver whole blocks close intervals at the first
+	// block boundary at or past Every, so actual interval lengths can
+	// exceed it by up to one block.
+	Every int `json:"every"`
+	// Points are the closed intervals in run order.
+	Points []Point `json:"points"`
+}
+
+// Totals sums the series back to scalar counts. The recorder closes
+// intervals without dropping or double-counting branches, so these
+// equal the run's Result counters exactly (asserted by tests).
+func (s *Series) Totals() (conds, mispredicts int) {
+	for _, p := range s.Points {
+		conds += p.Conds
+		mispredicts += p.Mispredicts
+	}
+	return conds, mispredicts
+}
+
+// Recorder accumulates per-cell interval curves from a simulation run.
+// The runner feeds it deltas — Add(cell, conds, mispredicts) once per
+// drained block per cell — and the recorder closes an interval
+// whenever a cell's accumulated conditionals reach the configured
+// length. A Recorder belongs to one run: it is not safe for concurrent
+// use (each concurrently running simulation gets its own).
+type Recorder struct {
+	every int
+	cells []*recCell
+}
+
+type recCell struct {
+	series *Series
+	open   Point
+	seen   int // conditionals delivered so far (== next interval's Start)
+}
+
+// NewRecorder returns a recorder closing intervals every `every`
+// conditional branches (must be positive). labels name the cells in
+// runner order; cells beyond the labels (or a nil labels) are named by
+// index.
+func NewRecorder(every int, labels ...string) *Recorder {
+	if every <= 0 {
+		panic(fmt.Sprintf("obs: interval length %d must be positive", every))
+	}
+	r := &Recorder{every: every}
+	for _, l := range labels {
+		r.addCell(l)
+	}
+	return r
+}
+
+func (r *Recorder) addCell(label string) *recCell {
+	if label == "" {
+		label = fmt.Sprintf("cell%d", len(r.cells))
+	}
+	c := &recCell{series: &Series{Label: label, Every: r.every}}
+	r.cells = append(r.cells, c)
+	return c
+}
+
+func (r *Recorder) cell(i int) *recCell {
+	for len(r.cells) <= i {
+		r.addCell("")
+	}
+	return r.cells[i]
+}
+
+// Every returns the nominal interval length.
+func (r *Recorder) Every() int { return r.every }
+
+// Add delivers a block's worth of accounting for one cell: conds
+// conditional branches of which mispredicts were counted wrong.
+func (r *Recorder) Add(cellIdx, conds, mispredicts int) {
+	r.AddClassified(cellIdx, conds, mispredicts, 0, 0, 0)
+}
+
+// AddClassified is Add carrying a three-Cs aliasing decomposition of
+// the block (per-class counts from an active classifier).
+func (r *Recorder) AddClassified(cellIdx, conds, mispredicts, compulsory, capacity, conflict int) {
+	if conds == 0 && mispredicts == 0 {
+		return
+	}
+	c := r.cell(cellIdx)
+	if c.open.Conds == 0 {
+		c.open.Start = c.seen
+	}
+	c.open.Conds += conds
+	c.open.Mispredicts += mispredicts
+	c.open.Compulsory += compulsory
+	c.open.Capacity += capacity
+	c.open.Conflict += conflict
+	c.seen += conds
+	if c.open.Conds >= r.every {
+		c.close()
+	}
+}
+
+// close seals the open interval into the series.
+func (c *recCell) close() {
+	if c.open.Conds == 0 {
+		return
+	}
+	c.open.MissPct = 100 * float64(c.open.Mispredicts) / float64(c.open.Conds)
+	c.series.Points = append(c.series.Points, c.open)
+	c.open = Point{}
+}
+
+// Flush closes any partial trailing intervals. It is idempotent; call
+// it (or Series, which calls it) after the run completes so the tail
+// is not lost.
+func (r *Recorder) Flush() {
+	for _, c := range r.cells {
+		c.close()
+	}
+}
+
+// Series flushes and returns the per-cell curves in cell order.
+func (r *Recorder) Series() []*Series {
+	r.Flush()
+	out := make([]*Series, len(r.cells))
+	for i, c := range r.cells {
+		out[i] = c.series
+	}
+	return out
+}
+
+// WriteSeriesJSON writes curves as one indented JSON array.
+func WriteSeriesJSON(w io.Writer, series []*Series) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(series)
+}
+
+// WriteSeriesCSV writes curves as flat CSV, one row per (cell,
+// interval), with the label repeated so the file loads directly into
+// plotting tools.
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
+	if _, err := fmt.Fprintln(w, "label,start,conds,mispredicts,miss_pct,compulsory,capacity,conflict"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%.6f,%d,%d,%d\n",
+				s.Label, p.Start, p.Conds, p.Mispredicts, p.MissPct,
+				p.Compulsory, p.Capacity, p.Conflict); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Package obs is the run-telemetry layer of the simulator: a
+// lightweight metric registry (counters, gauges, fixed-bucket
+// histograms), an interval recorder that turns scalar end-of-run
+// misprediction counts into warmup/steady-state curves, run manifests
+// that make every experiment invocation reproducible, progress
+// reporting for long sweeps, and an opt-in HTTP debug endpoint
+// exposing the registry next to expvar and pprof.
+//
+// Everything is off by default. Metric mutation methods are gated on a
+// package-wide enable flag and perform no allocation either way, so
+// instrumented hot paths (the kernel StepBatch block loop) keep their
+// AllocsPerRun == 0 gates; a disabled counter costs one atomic load.
+// Tools flip the flag with Enable when the user opts in (-debug-addr,
+// -manifest, ...).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every metric mutation. Off by default: a disabled
+// Counter.Add is an atomic load and a branch, nothing more.
+var enabled atomic.Bool
+
+// Enable turns metric collection on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection off (used by tests).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric collection is on. Instrumented call
+// sites may consult it to skip work (e.g. a time.Now pair) that only
+// feeds metrics.
+func Enabled() bool { return enabled.Load() }
+
+// Metric is one named instrument in a Registry.
+type Metric interface {
+	// MetricName returns the registry key, e.g. "sim.steps".
+	MetricName() string
+	// snapshot renders the current value as a JSON-marshalable map
+	// entry value.
+	snapshot() any
+}
+
+// Registry holds a named set of metrics. The zero value is unusable;
+// use NewRegistry or the package-level Default registry. Registration
+// takes a lock; reads and mutations of registered metrics are
+// lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]Metric
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]Metric)}
+}
+
+// defaultRegistry is the process-wide registry the package-level
+// constructors register into and the debug endpoint serves.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register adds m, panicking on duplicate names — metric names are
+// compile-time constants, so a collision is a programming error.
+func (r *Registry) register(m Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := m.MetricName()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+}
+
+// Each calls fn for every registered metric in name order.
+func (r *Registry) Each(fn func(Metric)) {
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	byName := make(map[string]Metric, len(names))
+	for _, n := range names {
+		byName[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(byName[n])
+	}
+}
+
+// Snapshot returns the current value of every metric keyed by name.
+// The map is freshly built and safe to retain.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	r.Each(func(m Metric) { out[m.MetricName()] = m.snapshot() })
+	return out
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Counter is a monotonically increasing int64. Mutations are atomic
+// and allocation-free; they are dropped while the package is disabled.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	defaultRegistry.register(c)
+	return c
+}
+
+// Add increments the counter by n when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// MetricName implements Metric.
+func (c *Counter) MetricName() string { return c.name }
+
+func (c *Counter) snapshot() any { return c.v.Load() }
+
+// Gauge is a settable int64 level.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	defaultRegistry.register(g)
+	return g
+}
+
+// Set stores v when collection is enabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// MetricName implements Metric.
+func (g *Gauge) MetricName() string { return g.name }
+
+func (g *Gauge) snapshot() any { return g.v.Load() }
+
+// Histogram counts observations into fixed upper-bound buckets
+// (observation v lands in the first bucket with v <= bound; larger
+// values land in the implicit overflow bucket). Bounds are fixed at
+// construction so Observe is a loop over a small array plus one atomic
+// add — no allocation, suitable for per-block hot paths.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram registers a histogram with the given ascending upper
+// bounds in the Default registry.
+func NewHistogram(name string, bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	defaultRegistry.register(h)
+	return h
+}
+
+// Observe records one value when collection is enabled.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets returns the cumulative-free per-bucket counts; the last
+// element is the overflow bucket.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// MetricName implements Metric.
+func (h *Histogram) MetricName() string { return h.name }
+
+func (h *Histogram) snapshot() any {
+	return map[string]any{
+		"count":   h.n.Load(),
+		"sum":     h.sum.Load(),
+		"bounds":  h.bounds,
+		"buckets": h.Buckets(),
+	}
+}

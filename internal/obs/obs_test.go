@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Metrics register in the package-wide Default registry, so tests
+// share these instruments rather than re-registering per test.
+var (
+	testCounter = NewCounter("test.counter")
+	testGauge   = NewGauge("test.gauge")
+	testHist    = NewHistogram("test.hist", []int64{10, 100, 1000})
+)
+
+func TestCounterGatedOnEnable(t *testing.T) {
+	Disable()
+	testCounter.Add(5)
+	if got := testCounter.Value(); got != 0 {
+		t.Fatalf("disabled counter advanced to %d", got)
+	}
+	Enable()
+	defer Disable()
+	testCounter.Add(5)
+	testCounter.Inc()
+	if got := testCounter.Value(); got != 6 {
+		t.Fatalf("enabled counter = %d, want 6", got)
+	}
+}
+
+func TestGaugeAndHistogram(t *testing.T) {
+	Enable()
+	defer Disable()
+	testGauge.Set(42)
+	if got := testGauge.Value(); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+	for _, v := range []int64{5, 10, 11, 5000} {
+		testHist.Observe(v)
+	}
+	if got := testHist.Count(); got != 4 {
+		t.Fatalf("histogram count = %d, want 4", got)
+	}
+	if got := testHist.Sum(); got != 5026 {
+		t.Fatalf("histogram sum = %d, want 5026", got)
+	}
+	// v <= bound buckets: {5,10} <= 10; 11 <= 100; none <= 1000; 5000 overflow.
+	want := []int64{2, 1, 0, 1}
+	got := testHist.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := Default().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	for _, name := range []string{"test.counter", "test.gauge", "test.hist"} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("snapshot missing %q: %v", name, snap)
+		}
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	NewCounter("test.counter")
+}
+
+func TestRecorderIntervalsAndTotals(t *testing.T) {
+	r := NewRecorder(100, "a", "b")
+	// Cell 0: blocks of 60 conds — intervals close at block
+	// boundaries >= 100, i.e. after 120, 240, ... conds.
+	for i := 0; i < 5; i++ {
+		r.Add(0, 60, i)
+	}
+	// Cell 1: per-branch feed — exact 100-cond intervals.
+	for i := 0; i < 250; i++ {
+		miss := 0
+		if i%10 == 0 {
+			miss = 1
+		}
+		r.AddClassified(1, 1, miss, miss, 0, 0)
+	}
+	series := r.Series()
+	if len(series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(series))
+	}
+	a, b := series[0], series[1]
+	if a.Label != "a" || b.Label != "b" {
+		t.Fatalf("labels = %q, %q", a.Label, b.Label)
+	}
+	// Cell 0: 300 conds, 0+1+2+3+4 = 10 mispredicts, intervals of
+	// 120/120/60 (tail flushed).
+	if conds, miss := a.Totals(); conds != 300 || miss != 10 {
+		t.Fatalf("cell a totals = (%d, %d), want (300, 10)", conds, miss)
+	}
+	wantConds := []int{120, 120, 60}
+	if len(a.Points) != len(wantConds) {
+		t.Fatalf("cell a intervals = %d, want %d", len(a.Points), len(wantConds))
+	}
+	start := 0
+	for i, p := range a.Points {
+		if p.Conds != wantConds[i] || p.Start != start {
+			t.Fatalf("cell a interval %d = {start %d, conds %d}, want {start %d, conds %d}",
+				i, p.Start, p.Conds, start, wantConds[i])
+		}
+		start += p.Conds
+	}
+	// Cell 1: 250 conds, 25 mispredicts, intervals 100/100/50, classes
+	// accumulate.
+	if conds, miss := b.Totals(); conds != 250 || miss != 25 {
+		t.Fatalf("cell b totals = (%d, %d), want (250, 25)", conds, miss)
+	}
+	if len(b.Points) != 3 || b.Points[0].Conds != 100 || b.Points[2].Conds != 50 {
+		t.Fatalf("cell b intervals = %+v", b.Points)
+	}
+	totalCompulsory := 0
+	for _, p := range b.Points {
+		totalCompulsory += p.Compulsory
+	}
+	if totalCompulsory != 25 {
+		t.Fatalf("cell b compulsory total = %d, want 25", totalCompulsory)
+	}
+	if got := b.Points[0].MissPct; got != 10 {
+		t.Fatalf("cell b interval 0 miss%% = %v, want 10", got)
+	}
+}
+
+func TestRecorderFlushIdempotent(t *testing.T) {
+	r := NewRecorder(10)
+	r.Add(0, 4, 1)
+	r.Flush()
+	r.Flush()
+	s := r.Series()
+	if len(s) != 1 || len(s[0].Points) != 1 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s[0].Label != "cell0" {
+		t.Fatalf("default label = %q", s[0].Label)
+	}
+}
+
+func TestSeriesWriters(t *testing.T) {
+	r := NewRecorder(2, "x")
+	r.Add(0, 2, 1)
+	r.Add(0, 2, 0)
+	series := r.Series()
+
+	var jsonBuf strings.Builder
+	if err := WriteSeriesJSON(&jsonBuf, series); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Series
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &decoded); err != nil {
+		t.Fatalf("series JSON invalid: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Label != "x" || len(decoded[0].Points) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+
+	var csvBuf strings.Builder
+	if err := WriteSeriesCSV(&csvBuf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[1], "x,0,2,1,50.000000") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestManifestLifecycle(t *testing.T) {
+	m := NewManifest("testtool", []string{"-flag", "v"})
+	m.SetParam("scale", 0.1)
+	m.AddCell(Cell{ID: "fig5/groff", Predictors: []string{"gshare:n=14,k=8,ctr=2"}, WallMS: 1.5})
+	m.Finish()
+	if m.GoVersion == "" || m.GOOS == "" {
+		t.Fatalf("environment not stamped: %+v", m)
+	}
+	if m.WallMS < 0 {
+		t.Fatalf("wall time %v", m.WallMS)
+	}
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("manifest JSON invalid: %v", err)
+	}
+	cells, ok := decoded["cells"].([]any)
+	if !ok || len(cells) != 1 {
+		t.Fatalf("manifest cells = %v", decoded["cells"])
+	}
+	if decoded["tool"] != "testtool" {
+		t.Fatalf("tool = %v", decoded["tool"])
+	}
+}
+
+func TestProgressFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, 3)
+	base := time.Now()
+	tick := 0
+	p.start = base
+	p.now = func() time.Time { tick++; return base.Add(time.Duration(tick) * 10 * time.Second) }
+	p.Done("fig5", 10*time.Second)
+	p.Done("fig6", 10*time.Second)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "[1/3] fig5 10s elapsed 10s eta ") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "[2/3] fig6") || !strings.Contains(lines[1], "eta 10s") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	// Unknown totals render without denominator or eta.
+	var sb2 strings.Builder
+	q := NewProgress(&sb2, 0)
+	q.Done("cell", time.Millisecond)
+	if !strings.HasPrefix(sb2.String(), "[1] cell") || strings.Contains(sb2.String(), "eta") {
+		t.Fatalf("unknown-total line = %q", sb2.String())
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Disable() // Serve enables collection
+	testCounter.Add(1)
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "test.counter") {
+			t.Fatalf("/metrics missing registry content: %s", body)
+		}
+	}
+}

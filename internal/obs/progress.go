@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress emits one-line progress reports for a sweep of units
+// (experiments or cells) to a writer, typically stderr:
+//
+//	[7/21] fig7 3.2s elapsed 38s eta 12s
+//
+// It is safe for concurrent use; units may complete in any order. When
+// the total is unknown, pass 0 and the count renders without a
+// denominator.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+	start time.Time
+	now   func() time.Time // test hook
+}
+
+// NewProgress returns a reporter writing to w for total units (0 =
+// unknown).
+func NewProgress(w io.Writer, total int) *Progress {
+	return &Progress{w: w, total: total, start: time.Now(), now: time.Now}
+}
+
+// Done reports one completed unit, with the unit's own duration.
+func (p *Progress) Done(label string, took time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	elapsed := p.now().Sub(p.start)
+	counter := fmt.Sprintf("[%d]", p.done)
+	if p.total > 0 {
+		counter = fmt.Sprintf("[%d/%d]", p.done, p.total)
+	}
+	line := fmt.Sprintf("%s %s %s elapsed %s", counter, label,
+		round(took), round(elapsed))
+	if p.total > 0 && p.done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		line += " eta " + round(eta)
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// round trims durations to a display-friendly precision.
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -39,7 +39,20 @@ type Agree struct {
 
 // NewAgree returns an agree predictor with a 2^n-entry agreement table
 // (k history bits, gshare-indexed) and a 2^biasBits-entry bias table.
+//
+// Deprecated: construct via Spec{Family: "agree", N: n, Hist: k,
+// Bias: biasBits, Ctr: counterBits} (or ParseSpec), the unified
+// constructor surface.
 func NewAgree(n, k, biasBits, counterBits uint) (*Agree, error) {
+	p, err := Spec{Family: "agree", N: n, Hist: k, Bias: biasBits, Ctr: counterBits}.New()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Agree), nil
+}
+
+// newAgree is the agree implementation behind Spec.New.
+func newAgree(n, k, biasBits, counterBits uint) (*Agree, error) {
 	if biasBits < 1 || biasBits > 26 {
 		return nil, fmt.Errorf("predictor: bias table width %d out of range [1,26]", biasBits)
 	}
@@ -133,7 +146,20 @@ type BiMode struct {
 
 // NewBiMode returns a bi-mode predictor: two 2^n-entry direction banks
 // (k history bits) and a 2^choiceBits-entry choice table.
+//
+// Deprecated: construct via Spec{Family: "bimode", N: n, Hist: k,
+// Choice: choiceBits, Ctr: counterBits} (or ParseSpec), the unified
+// constructor surface.
 func NewBiMode(n, k, choiceBits, counterBits uint) (*BiMode, error) {
+	p, err := Spec{Family: "bimode", N: n, Hist: k, Choice: choiceBits, Ctr: counterBits}.New()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*BiMode), nil
+}
+
+// newBiMode is the bi-mode implementation behind Spec.New.
+func newBiMode(n, k, choiceBits, counterBits uint) (*BiMode, error) {
 	if choiceBits < 1 || choiceBits > 26 {
 		return nil, fmt.Errorf("predictor: choice table width %d out of range [1,26]", choiceBits)
 	}

@@ -1,0 +1,222 @@
+package predictor
+
+import (
+	"reflect"
+	"testing"
+)
+
+// specSamples lists at least one representative spec per family in
+// Families(), plus variants exercising every optional key.
+var specSamples = []Spec{
+	{Family: "bimodal", N: 14},
+	{Family: "bimodal", N: 10, Ctr: 3},
+	{Family: "gshare", N: 14, Hist: 12},
+	{Family: "gshare", N: 12, Hist: 12, Ctr: 1},
+	{Family: "gselect", N: 14, Hist: 6},
+	{Family: "gskewed", N: 12, Hist: 8},
+	{Family: "gskewed", N: 12, Hist: 8, Policy: TotalUpdate},
+	{Family: "gskewed", N: 11, Hist: 11, Banks: 5, Policy: PartialUpdate},
+	{Family: "gskewed", N: 12, Hist: 12, SharedHyst: 2},
+	{Family: "egskew", N: 12, Hist: 12, Policy: PartialUpdate},
+	{Family: "egskew", N: 11, Hist: 11, SharedHyst: 1},
+	{Family: "2bcgskew", N: 12, HistShort: 7, Hist: 14},
+	{Family: "agree", N: 14, Hist: 8, Bias: 10},
+	{Family: "bimode", N: 13, Hist: 8, Choice: 11},
+	{Family: "pas", BHT: 10, Local: 8, N: 12},
+	{Family: "skewed-pas", BHT: 10, Local: 8, N: 11, Policy: PartialUpdate},
+	{Family: "unaliased", Hist: 12},
+	{Family: "assoc-lru", Entries: 1000, Hist: 4},
+}
+
+// TestSpecStringRoundTrip is the satellite property: for every family,
+// ParseSpec(s.String()) reproduces s.Normalize() exactly.
+func TestSpecStringRoundTrip(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, s := range specSamples {
+		covered[s.Family] = true
+		text := s.String()
+		got, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		// String renders defaults explicitly, so the parse result is
+		// already normalized; compare against the normalized source.
+		if want := s.Normalize(); got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", text, got, want)
+		}
+	}
+	for _, fam := range Families() {
+		if !covered[fam] {
+			t.Errorf("no round-trip sample for family %q", fam)
+		}
+	}
+}
+
+// TestSpecNewReportsSameSpec checks that every predictor built from a
+// spec reports that spec back through the Speccer interface.
+func TestSpecNewReportsSameSpec(t *testing.T) {
+	for _, s := range specSamples {
+		p, err := s.New()
+		if err != nil {
+			t.Fatalf("Spec%+v.New(): %v", s, err)
+		}
+		sp, ok := p.(Speccer)
+		if !ok {
+			t.Fatalf("%T does not implement Speccer", p)
+		}
+		if got, want := sp.Spec(), s.Normalize(); got != want {
+			t.Errorf("%T.Spec() = %+v, want %+v", p, got, want)
+		}
+	}
+}
+
+// TestSpecParseStringFixedForms pins the documented canonical strings.
+func TestSpecParseStringFixedForms(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		text string
+	}{
+		{Spec{Family: "bimodal", N: 14}, "bimodal:n=14,ctr=2"},
+		{Spec{Family: "gshare", N: 14, Hist: 12}, "gshare:n=14,k=12,ctr=2"},
+		{Spec{Family: "gselect", N: 14, Hist: 6}, "gselect:n=14,k=6,ctr=2"},
+		{Spec{Family: "gskewed", N: 12, Hist: 8},
+			"gskewed:n=12,k=8,banks=3,ctr=2,policy=partial"},
+		{Spec{Family: "gskewed", N: 12, Hist: 12, SharedHyst: 2, Policy: TotalUpdate},
+			"gskewed:n=12,k=12,banks=3,ctr=2,policy=total,shh=2"},
+		{Spec{Family: "egskew", N: 12, Hist: 12},
+			"egskew:n=12,k=12,ctr=2,policy=partial"},
+		{Spec{Family: "2bcgskew", N: 12, HistShort: 7, Hist: 14},
+			"2bcgskew:n=12,ks=7,k=14"},
+		{Spec{Family: "agree", N: 14, Hist: 8, Bias: 10},
+			"agree:n=14,k=8,bias=10,ctr=2"},
+		{Spec{Family: "bimode", N: 13, Hist: 8, Choice: 11},
+			"bimode:n=13,k=8,choice=11,ctr=2"},
+		{Spec{Family: "pas", BHT: 10, Local: 8, N: 12},
+			"pas:bht=10,local=8,n=12,ctr=2"},
+		{Spec{Family: "skewed-pas", BHT: 10, Local: 8, N: 11},
+			"skewed-pas:bht=10,local=8,n=11,ctr=2,policy=partial"},
+		{Spec{Family: "unaliased", Hist: 12}, "unaliased:k=12,ctr=2"},
+		{Spec{Family: "assoc-lru", Entries: 1024, Hist: 4},
+			"assoc-lru:entries=1024,k=4,ctr=2"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.text {
+			t.Errorf("Spec%+v.String() = %q, want %q", c.spec, got, c.text)
+		}
+		s, err := ParseSpec(c.text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.text, err)
+		}
+		if want := c.spec.Normalize(); s != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.text, s, want)
+		}
+	}
+}
+
+// TestSpecParseErrors checks the grammar rejects what it should.
+func TestSpecParseErrors(t *testing.T) {
+	bad := []string{
+		"",                           // empty
+		"tage:n=12",                  // unknown family
+		"gshare:n=14,k=12,banks=3",   // key not in family's grammar
+		"gshare:n=14,n=15",           // duplicate key
+		"gshare:n",                   // malformed pair
+		"gshare:n=",                  // empty value
+		"gshare:n=abc",               // non-numeric
+		"gskewed:n=12,policy=maybe",  // bad policy value
+		"gshare:n=-3",                // negative
+		"gshare:n=99999999999999999", // overflow
+	}
+	for _, text := range bad {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", text)
+		}
+	}
+}
+
+// TestSpecNewErrors checks construction errors surface as errors, not
+// panics, for out-of-range configurations reachable from strings.
+func TestSpecNewErrors(t *testing.T) {
+	bad := []Spec{
+		{Family: ""},
+		{Family: "nope", N: 12},
+		{Family: "gshare"},                         // n = 0
+		{Family: "gshare", N: 31},                  // n too wide
+		{Family: "gshare", N: 14, Hist: 31},        // k too long
+		{Family: "gshare", N: 14, Ctr: 9},          // counter too wide
+		{Family: "gskewed", N: 1, Hist: 4},         // below skewfn.MinBits
+		{Family: "gskewed", N: 12, Banks: 2},       // even bank count
+		{Family: "2bcgskew", N: 1, Hist: 14},       // below skewfn.MinBits
+		{Family: "agree", N: 14, Hist: 8},          // bias = 0
+		{Family: "agree", N: 0, Hist: 8, Bias: 10}, // n = 0
+		{Family: "bimode", N: 13, Hist: 8},         // choice = 0
+		{Family: "pas", BHT: 0, Local: 8, N: 12},   // bht = 0
+		{Family: "pas", BHT: 10, Local: 13, N: 12}, // local > pht index
+		{Family: "skewed-pas", BHT: 10, Local: 8},  // bank bits = 0
+		{Family: "assoc-lru", Entries: 0, Hist: 4}, // no capacity
+		{Family: "unaliased", Hist: 40},            // history too long
+	}
+	for _, s := range bad {
+		p, err := s.New()
+		if err == nil {
+			t.Errorf("Spec%+v.New() built %v, want error", s, p)
+		}
+	}
+}
+
+// TestDeprecatedConstructorsMatchSpec checks the legacy positional
+// constructors build the same configuration as their Spec equivalent.
+func TestDeprecatedConstructorsMatchSpec(t *testing.T) {
+	cases := []struct {
+		name string
+		old  Predictor
+		spec Spec
+	}{
+		{"gshare", MustSpec(Spec{Family: "gshare", N: 14, Hist: 12}),
+			Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}},
+		{"bimodal", NewBimodal(12, 2), Spec{Family: "bimodal", N: 12}},
+		{"gselect", NewGSelect(14, 6, 2), Spec{Family: "gselect", N: 14, Hist: 6}},
+		{"2bcgskew", MustTwoBcGSkew(12, 7, 14),
+			Spec{Family: "2bcgskew", N: 12, HistShort: 7, Hist: 14}},
+		{"agree", MustAgree(14, 8, 10, 2),
+			Spec{Family: "agree", N: 14, Hist: 8, Bias: 10}},
+		{"bimode", MustBiMode(13, 8, 11, 2),
+			Spec{Family: "bimode", N: 13, Hist: 8, Choice: 11}},
+		{"pas", MustPAs(10, 8, 12, 2),
+			Spec{Family: "pas", BHT: 10, Local: 8, N: 12}},
+		{"skewed-pas", MustSkewedPAs(10, 8, 11, 2, PartialUpdate),
+			Spec{Family: "skewed-pas", BHT: 10, Local: 8, N: 11}},
+	}
+	for _, c := range cases {
+		fresh := MustSpec(c.spec)
+		if got, want := c.old.(Speccer).Spec(), fresh.(Speccer).Spec(); got != want {
+			t.Errorf("%s: legacy constructor Spec() = %+v, Spec path = %+v", c.name, got, want)
+		}
+		if reflect.TypeOf(c.old) != reflect.TypeOf(fresh) {
+			t.Errorf("%s: legacy constructor type %T, Spec path %T", c.name, c.old, fresh)
+		}
+		if got, want := c.old.StorageBits(), fresh.StorageBits(); got != want {
+			t.Errorf("%s: legacy StorageBits %d, Spec path %d", c.name, got, want)
+		}
+	}
+}
+
+// TestMustParseSpecBehaves smoke-tests the convenience constructor end
+// to end: the built predictor must predict and report the parsed spec.
+func TestMustParseSpecBehaves(t *testing.T) {
+	p := MustParseSpec("gskewed:n=10,k=8,banks=3,ctr=2,policy=partial")
+	g, ok := p.(*GSkewed)
+	if !ok {
+		t.Fatalf("MustParseSpec built %T, want *GSkewed", p)
+	}
+	if got := g.Spec().String(); got != "gskewed:n=10,k=8,banks=3,ctr=2,policy=partial" {
+		t.Errorf("round-trip string = %q", got)
+	}
+	// Exercise it: train one branch pattern and expect it learned.
+	for i := 0; i < 32; i++ {
+		g.Update(0x40, 0, true)
+	}
+	if !g.Predict(0x40, 0) {
+		t.Errorf("trained predictor did not learn an always-taken branch")
+	}
+}

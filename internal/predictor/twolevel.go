@@ -38,7 +38,20 @@ type PAs struct {
 // counter table of ctrBits-wide cells. The PHT index is the
 // concatenation of (phtBits - localK) address bits (low) and the
 // localK history bits (high), the GAs/PAs layout of Yeh and Patt.
+//
+// Deprecated: construct via Spec{Family: "pas", BHT: bhtBits, Local:
+// localK, N: phtBits, Ctr: ctrBits} (or ParseSpec), the unified
+// constructor surface.
 func NewPAs(bhtBits, localK, phtBits, ctrBits uint) (*PAs, error) {
+	p, err := Spec{Family: "pas", BHT: bhtBits, Local: localK, N: phtBits, Ctr: ctrBits}.New()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*PAs), nil
+}
+
+// newPAs is the PAs implementation behind Spec.New.
+func newPAs(bhtBits, localK, phtBits, ctrBits uint) (*PAs, error) {
 	if localK > phtBits {
 		return nil, fmt.Errorf("predictor: local history %d exceeds PHT index %d", localK, phtBits)
 	}
@@ -129,7 +142,21 @@ type SkewedPAs struct {
 // NewSkewedPAs returns a 3-bank skewed per-address predictor with
 // 2^bhtBits local registers of localK bits and banks of 2^bankBits
 // counters of ctrBits width.
+//
+// Deprecated: construct via Spec{Family: "skewed-pas", BHT: bhtBits,
+// Local: localK, N: bankBits, Ctr: ctrBits, Policy: policy} (or
+// ParseSpec), the unified constructor surface.
 func NewSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) (*SkewedPAs, error) {
+	p, err := Spec{Family: "skewed-pas", BHT: bhtBits, Local: localK,
+		N: bankBits, Ctr: ctrBits, Policy: policy}.New()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*SkewedPAs), nil
+}
+
+// newSkewedPAs is the skewed-PAs implementation behind Spec.New.
+func newSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) (*SkewedPAs, error) {
 	if bankBits < skewfn.MinBits || bankBits > skewfn.MaxBits {
 		return nil, fmt.Errorf("predictor: bank index width %d out of range", bankBits)
 	}

@@ -99,27 +99,23 @@ func (c Cell) Spec() (refmodel.Spec, error) {
 	}
 }
 
-// Impl builds the cell's optimized implementation.
+// Impl builds the cell's optimized implementation through the unified
+// predictor.Spec surface, so the sweep exercises the same construction
+// path every tool and experiment uses.
 func (c Cell) Impl() (predictor.Predictor, error) {
 	switch c.Family {
-	case "bimodal":
-		return predictor.NewBimodal(c.N, c.Ctr), nil
-	case "gshare":
-		return predictor.NewGShare(c.N, c.Hist, c.Ctr), nil
-	case "gselect":
-		return predictor.NewGSelect(c.N, c.Hist, c.Ctr), nil
-	case "gskewed", "egskew":
-		pol := predictor.TotalUpdate
-		if c.Partial {
-			pol = predictor.PartialUpdate
-		}
-		return predictor.NewGSkewed(predictor.Config{
-			Banks: 3, BankBits: c.N, HistoryBits: c.Hist,
-			CounterBits: c.Ctr, Policy: pol, Enhanced: c.Family == "egskew",
-		})
+	case "bimodal", "gshare", "gselect", "gskewed", "egskew":
 	default:
 		return nil, fmt.Errorf("diff: unknown family %q", c.Family)
 	}
+	s := predictor.Spec{Family: c.Family, N: c.N, Hist: c.Hist, Ctr: c.Ctr}
+	if c.Family == "gskewed" || c.Family == "egskew" {
+		s.Policy = predictor.TotalUpdate
+		if c.Partial {
+			s.Policy = predictor.PartialUpdate
+		}
+	}
+	return s.New()
 }
 
 // DefaultSweep returns the standard verification matrix: every

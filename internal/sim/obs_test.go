@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gskew/internal/obs"
+	"gskew/internal/predictor"
+	"gskew/internal/trace"
+)
+
+// TestRecorderTotalsMatchResult is the satellite invariant: the
+// interval series captured during a run must sum exactly to the scalar
+// Result counts, on both the compiled-kernel and generic paths, with
+// and without mid-run flushes.
+func TestRecorderTotalsMatchResult(t *testing.T) {
+	branches := manyTestTrace(30000)
+	preds := func() []predictor.Predictor {
+		return []predictor.Predictor{
+			predictor.MustParseSpec("gshare:n=8,k=6,ctr=2"),
+			predictor.MustParseSpec("gskewed:n=6,k=5,banks=3,ctr=2,policy=partial"),
+			predictor.MustParseSpec("2bcgskew:n=7,ks=3,k=9"),
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"kernel", Options{}},
+		{"generic", Options{NoKernel: true}},
+		{"kernel-flush", Options{FlushEvery: 3000}},
+		{"generic-flush", Options{NoKernel: true, FlushEvery: 3000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := preds()
+			rec := obs.NewRecorder(5000, "gshare", "gskewed", "2bcgskew")
+			opts := tc.opts
+			opts.Recorder = rec
+			results, err := RunManyBranches(branches, ps, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			series := rec.Series()
+			if len(series) != len(ps) {
+				t.Fatalf("got %d series, want %d", len(series), len(ps))
+			}
+			for i, s := range series {
+				conds, mis := s.Totals()
+				if conds != results[i].Conditionals {
+					t.Errorf("%s: interval conds sum %d != Result.Conditionals %d",
+						s.Label, conds, results[i].Conditionals)
+				}
+				if mis != results[i].Mispredicts {
+					t.Errorf("%s: interval mispredict sum %d != Result.Mispredicts %d",
+						s.Label, mis, results[i].Mispredicts)
+				}
+				if len(s.Points) < 2 {
+					t.Errorf("%s: want multiple intervals over %d conds, got %d",
+						s.Label, conds, len(s.Points))
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderCurveShowsWarmup sanity-checks the purpose of the curve
+// on a trace with a trivial steady state: periodic loop branches that
+// a bimodal table predicts near-perfectly once warm. The first interval
+// must carry the cold-start mispredictions and later intervals must
+// settle below it.
+func TestRecorderCurveShowsWarmup(t *testing.T) {
+	tr := make([]trace.Branch, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		pc := 0x400000 + uint64(i%64)*4
+		tr = append(tr, trace.Branch{PC: pc, Taken: i%97 != 0, Kind: trace.Conditional})
+	}
+	rec := obs.NewRecorder(2000, "bimodal")
+	_, err := RunManyBranches(tr, []predictor.Predictor{
+		predictor.MustParseSpec("bimodal:n=10,ctr=2"),
+	}, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := rec.Series()[0].Points
+	if len(pts) < 3 {
+		t.Fatalf("want >= 3 intervals, got %d", len(pts))
+	}
+	first, steady := pts[0], pts[len(pts)-1]
+	if first.MissPct <= steady.MissPct {
+		t.Errorf("no warmup visible: first interval %.3f%%, steady %.3f%%",
+			first.MissPct, steady.MissPct)
+	}
+}
+
+// TestResultJSONRoundTrip checks MarshalJSON emits the stable wire
+// form and UnmarshalJSON inverts it.
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := Result{Conditionals: 1000, Mispredicts: 125, FirstUses: 7,
+		Unconditionals: 300, Flushes: 2}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"conditionals":1000`, `"mispredicts":125`,
+		`"first_uses":7`, `"unconditionals":300`, `"flushes":2`, `"miss_pct":12.5`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled result %s missing %s", data, key)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip: got %+v, want %+v", back, r)
+	}
+	// Zero-valued optional fields stay off the wire.
+	data, err = json.Marshal(Result{Conditionals: 10, Mispredicts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "first_uses") || strings.Contains(string(data), "flushes") {
+		t.Errorf("zero optional fields serialized: %s", data)
+	}
+}
+
+// TestObsCountersTrackRun checks the package counters advance by the
+// run's totals when metrics are enabled, and stay frozen when not.
+func TestObsCountersTrackRun(t *testing.T) {
+	branches := manyTestTrace(8000)
+	p := func() []predictor.Predictor {
+		return []predictor.Predictor{predictor.MustParseSpec("gshare:n=8,k=6,ctr=2")}
+	}
+
+	base := mSteps.Value()
+	if _, err := RunManyBranches(branches, p(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mSteps.Value(); got != base {
+		t.Errorf("sim.steps advanced while metrics disabled: %d -> %d", base, got)
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	baseSteps, baseMis := mSteps.Value(), mMispredicts.Value()
+	res, err := RunManyBranches(branches, p(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mSteps.Value()-baseSteps, int64(res[0].Conditionals); got != want {
+		t.Errorf("sim.steps advanced by %d, want %d", got, want)
+	}
+	if got, want := mMispredicts.Value()-baseMis, int64(res[0].Mispredicts); got != want {
+		t.Errorf("sim.mispredicts advanced by %d, want %d", got, want)
+	}
+}

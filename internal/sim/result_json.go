@@ -1,0 +1,46 @@
+package sim
+
+import "encoding/json"
+
+// resultJSON is the wire form of Result: stable snake_case keys plus
+// the derived miss percentage, so consumers (plots, dashboards) need
+// not recompute it.
+type resultJSON struct {
+	Conditionals   int     `json:"conditionals"`
+	Mispredicts    int     `json:"mispredicts"`
+	FirstUses      int     `json:"first_uses,omitempty"`
+	Unconditionals int     `json:"unconditionals,omitempty"`
+	Flushes        int     `json:"flushes,omitempty"`
+	MissPct        float64 `json:"miss_pct"`
+}
+
+// MarshalJSON implements json.Marshaler with the stable wire form
+// shared by cmd/report, cmd/predsim and run manifests.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Conditionals:   r.Conditionals,
+		Mispredicts:    r.Mispredicts,
+		FirstUses:      r.FirstUses,
+		Unconditionals: r.Unconditionals,
+		Flushes:        r.Flushes,
+		MissPct:        r.MissPercent(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of
+// MarshalJSON. The derived miss_pct field is ignored; it is
+// recomputable from the counts.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		Conditionals:   w.Conditionals,
+		Mispredicts:    w.Mispredicts,
+		FirstUses:      w.FirstUses,
+		Unconditionals: w.Unconditionals,
+		Flushes:        w.Flushes,
+	}
+	return nil
+}

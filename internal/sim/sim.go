@@ -23,8 +23,19 @@ import (
 	"io"
 
 	"gskew/internal/kernel"
+	"gskew/internal/obs"
 	"gskew/internal/predictor"
 	"gskew/internal/trace"
+)
+
+// Package-level run telemetry, registered in the default obs registry.
+// The counters are only mutated at block granularity (every batchSize
+// conditionals), so the hot step loops stay untouched; when metrics
+// are disabled (the default) each Add is a single atomic load.
+var (
+	mBlocks      = obs.NewCounter("sim.blocks")
+	mSteps       = obs.NewCounter("sim.steps")
+	mMispredicts = obs.NewCounter("sim.mispredicts")
 )
 
 // Result aggregates one simulation run.
@@ -85,6 +96,13 @@ type Options struct {
 	// identical either way; the flag exists for benchmarking the two
 	// paths against each other and for differential tests.
 	NoKernel bool
+	// Recorder, when non-nil, receives per-predictor (conditionals,
+	// mispredictions) deltas at block granularity, building the
+	// warmup/steady-state interval curves of the run. Cell i of the
+	// recorder corresponds to preds[i]. Recording happens outside the
+	// per-branch loops (once per predictor per drained block), so it
+	// does not perturb the compiled-kernel fast path.
+	Recorder *obs.Recorder
 }
 
 // batchSize is the number of trace events pulled per source read and
@@ -143,6 +161,7 @@ type manyRunner struct {
 	uncond  int
 	flushes int
 	flush   int
+	rec     *obs.Recorder
 }
 
 func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
@@ -150,6 +169,7 @@ func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
 		cells: make([]manyCell, len(preds)),
 		flush: opts.FlushEvery,
 		steps: make([]kernel.Step, 0, batchSize),
+		rec:   opts.Recorder,
 	}
 	var maxK uint
 	for i, p := range preds {
@@ -220,8 +240,11 @@ func (r *manyRunner) drain() {
 	if len(r.steps) == 0 {
 		return
 	}
+	mBlocks.Inc()
+	mSteps.Add(int64(len(r.steps)))
 	for i := range r.cells {
 		c := &r.cells[i]
+		before := c.mispredict
 		switch {
 		case c.kern != nil:
 			// Compiled fast path: one call for the whole block.
@@ -255,6 +278,10 @@ func (r *manyRunner) drain() {
 					c.p.Update(s.PC, h, s.Taken)
 				}
 			}
+		}
+		mMispredicts.Add(int64(c.mispredict - before))
+		if r.rec != nil {
+			r.rec.Add(i, len(r.steps), c.mispredict-before)
 		}
 	}
 	r.steps = r.steps[:0]
