@@ -1,7 +1,8 @@
 # Tiered developer targets. `make check` is the concurrency tier: it
 # vets the whole module and runs the race detector over the packages
 # that execute simulation cells in parallel (the scheduler, the trace
-# cache and the single-pass multi-predictor runner). `make verify` is
+# cache, the single-pass multi-predictor runner, the HTTP service and
+# its shared result store). `make verify` is
 # the differential tier: the optimized predictors against the
 # executable paper spec, plus the fault-injection selftest. `make fuzz`
 # runs each fuzz target for FUZZTIME. `make bench` runs the compiled
@@ -13,7 +14,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 
-.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke
+.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +24,7 @@ test: build
 
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments ./internal/sim
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/server ./internal/store
 
 # Lint tier: vet always; staticcheck when installed (CI installs it,
 # see .github/workflows/ci.yml; locally `go install
@@ -46,6 +47,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCounterAgainstSpec -fuzztime=$(FUZZTIME) ./internal/counter
 	$(GO) test -fuzz=FuzzTableAgainstCounter -fuzztime=$(FUZZTIME) ./internal/counter
 	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/predictor
 
 bench:
 	$(GO) test -bench='Kernel|TraceDecode' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
@@ -70,3 +72,8 @@ obs-smoke:
 	cmp experiments_output.txt /tmp/gskew_obs_output.txt
 	@test -s /tmp/gskew_intervals.json && test -s /tmp/gskew_manifest.json
 	@echo "obs-smoke: stdout byte-identical; curves and manifest emitted"
+
+# Service smoke: boot predserved, sweep a 21-cell spec grid twice,
+# check byte-identity and full cache reuse, drain on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh

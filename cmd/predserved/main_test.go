@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gskew/internal/cli"
+)
+
+// syncBuffer guards concurrent writes: run() writes from the serving
+// goroutine while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestBadFlagValuesAreUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mem-entries", "0"},
+		{"-max-body", "-1"},
+		{"-sessions", "0"},
+		{"-addr", "127.0.0.1:0", "stray-positional"},
+	} {
+		var out, errw bytes.Buffer
+		err := run(args, &out, &errw)
+		var usage *cli.UsageError
+		if !errors.As(err, &usage) {
+			t.Errorf("args %v: got %v, want UsageError", args, err)
+		}
+	}
+}
+
+func TestUnknownFlagIsFlagError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errw); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestHelpIsErrHelp(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-h"}, &out, &errw)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errw.String(), "-store-dir") {
+		t.Errorf("usage text missing flags:\n%s", errw.String())
+	}
+}
+
+func TestBusyAddressIsRuntimeError(t *testing.T) {
+	// Occupy a port, then ask the server to bind the same one.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var out, errw bytes.Buffer
+	err = run([]string{"-addr", ln.Addr().String()}, &out, &errw)
+	if err == nil {
+		t.Fatal("busy address accepted")
+	}
+	var usage *cli.UsageError
+	if errors.As(err, &usage) {
+		t.Fatalf("listen failure misclassified as usage error: %v", err)
+	}
+}
+
+// TestStartRequestShutdownSmoke runs the whole service in-process:
+// start on a loopback port, hit the API, then drain via the test
+// shutdown hook and check run() exits cleanly.
+func TestStartRequestShutdownSmoke(t *testing.T) {
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	notifyReady = func(addr string) { ready <- addr }
+	testShutdown = shutdown
+	defer func() { notifyReady = nil; testShutdown = nil }()
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-store-dir", t.TempDir(), "-drain", "5s"}, &stdout, &stderr)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v\nstderr: %s", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	base := "http://" + addr
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A small sweep, twice: identical bodies, second pass cached.
+	body := `{"specs":["bimodal:n=8","gshare:n=8,k=4"],"bench":"verilog","scale":0.002}`
+	fetch := func() (string, string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate status %d: %s", resp.StatusCode, data)
+		}
+		return string(data), resp.Header.Get("X-Cache")
+	}
+	first, cache1 := fetch()
+	second, cache2 := fetch()
+	if first != second {
+		t.Errorf("cold and cached responses differ:\n--- cold ---\n%s--- cached ---\n%s", first, second)
+	}
+	if cache1 != "hits=0 misses=2" || cache2 != "hits=2 misses=0" {
+		t.Errorf("X-Cache progression wrong: first %q, second %q", cache1, cache2)
+	}
+	var doc struct {
+		Results []struct {
+			Spec   string `json:"spec"`
+			Result struct {
+				Conditionals int `json:"conditionals"`
+			} `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(first), &doc); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if len(doc.Results) != 2 || doc.Results[0].Result.Conditionals == 0 {
+		t.Errorf("unexpected sweep results: %+v", doc.Results)
+	}
+
+	// Drain and check a clean exit.
+	close(shutdown)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain")
+	}
+	if !strings.Contains(stdout.String(), "predserved listening on http://") {
+		t.Errorf("missing listening line on stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("missing drain line on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestListeningLineIsParseable pins the stdout contract scripts rely
+// on (scripts/serve_smoke.sh greps this exact prefix).
+func TestListeningLineIsParseable(t *testing.T) {
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	notifyReady = func(addr string) { ready <- addr }
+	testShutdown = shutdown
+	defer func() { notifyReady = nil; testShutdown = nil }()
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, &stdout, &stderr) }()
+	addr := <-ready
+	close(shutdown)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := fmt.Sprintf("predserved listening on http://%s\n", addr)
+	if stdout.String() != want {
+		t.Errorf("stdout = %q, want %q", stdout.String(), want)
+	}
+}

@@ -21,7 +21,7 @@ func TestMain(m *testing.M) {
 	defer os.RemoveAll(dir)
 	binDir = dir
 	// Build every tool once.
-	for _, tool := range []string{"experiments", "predsim", "aliasing", "tracegen", "calibrate", "report"} {
+	for _, tool := range []string{"experiments", "predsim", "aliasing", "tracegen", "calibrate", "report", "predserved"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -237,6 +237,21 @@ func TestPredsimTopMisses(t *testing.T) {
 	}
 	if strings.Count(out, "0x") < 3 {
 		t.Errorf("-top listed too few branches:\n%s", out)
+	}
+}
+
+// TestPredservedUsageErrors checks the server binary classifies flag
+// misuse as usage (exit 2) without ever binding a socket. Lifecycle
+// coverage lives in cmd/predserved's in-process tests and
+// scripts/serve_smoke.sh.
+func TestPredservedUsageErrors(t *testing.T) {
+	out, err := run(t, "predserved", "-mem-entries", "0")
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("bad flag value: err=%v (want exit 2)\n%s", err, out)
+	}
+	if out, err := run(t, "predserved", "stray-arg"); err == nil {
+		t.Errorf("positional argument accepted:\n%s", out)
 	}
 }
 

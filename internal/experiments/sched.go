@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -57,6 +58,26 @@ func NewSched(jobs int) *Sched {
 
 // Jobs returns the scheduler width.
 func (s *Sched) Jobs() int { return s.jobs }
+
+// Acquire claims one scheduler slot, blocking until a slot frees or
+// ctx is done (returning ctx.Err() in that case, with no slot held).
+// It lets external drivers — the simulation server gates its
+// per-request simulation work this way — share the same global
+// concurrency bound as Map-driven experiment cells. Every successful
+// Acquire must be paired with exactly one Release; like Map cells,
+// holders must not nest acquisitions (a fully loaded scheduler would
+// deadlock).
+func (s *Sched) Acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot claimed by Acquire.
+func (s *Sched) Release() { <-s.sem }
 
 // Map runs fn(0..n-1) as cells bounded by the scheduler width and
 // waits for all of them. If any calls fail it returns the error of the

@@ -13,18 +13,17 @@ import (
 // in a process's tests.
 var publishOnce sync.Once
 
-// Serve starts the opt-in debug endpoint on addr (host:port; port 0
-// picks a free one) and returns the bound address. The server runs on
-// its own goroutine until the process exits — it exists to observe a
-// live run, not to outlive it. Endpoints:
+// DebugMux returns the debug endpoint mux, for embedding into a larger
+// server (the simulation service mounts it next to its API routes).
+// Endpoints:
 //
 //	/metrics       the Default registry as JSON
 //	/debug/vars    expvar (cmdline, memstats, and the registry under
 //	               the "obs" key)
 //	/debug/pprof/  the standard pprof profiles
 //
-// Starting the server enables metric collection.
-func Serve(addr string) (string, error) {
+// Building the mux enables metric collection.
+func DebugMux() *http.ServeMux {
 	Enable()
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any { return Default().Snapshot() }))
@@ -40,11 +39,20 @@ func Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the opt-in debug endpoint on addr (host:port; port 0
+// picks a free one) and returns the bound address. The server runs on
+// its own goroutine until the process exits — it exists to observe a
+// live run, not to outlive it. It serves the DebugMux endpoints, and
+// starting it enables metric collection.
+func Serve(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: DebugMux()}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

@@ -167,6 +167,16 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add adjusts the level by delta when collection is enabled. Intended
+// for occupancy-style gauges (queue depth, live sessions) whose
+// increments and decrements happen on different goroutines.
+func (g *Gauge) Add(delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -1,0 +1,85 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec checks the spec grammar's core contract on arbitrary
+// input: ParseSpec never panics, and anything it accepts canonicalises
+// to a fixed point — ParseSpec(s.String()) == s == s.Normalize(). The
+// server keys its content-addressed result store on canonical spec
+// strings (internal/store), so a spelling that parsed but failed to
+// re-parse, or drifted under re-canonicalisation, would silently split
+// or corrupt cache cells.
+func FuzzParseSpec(f *testing.F) {
+	// One canonical example per family, plus default-elided spellings
+	// and representative malformed inputs.
+	for _, seed := range []string{
+		"bimodal:n=14,ctr=2",
+		"gshare:n=14,k=12,ctr=2",
+		"gselect:n=14,k=6,ctr=2",
+		"gskewed:n=12,k=8,banks=3,ctr=2,policy=partial",
+		"egskew:n=12,k=12,ctr=2,policy=total,shh=10",
+		"2bcgskew:n=12,ks=7,k=14",
+		"agree:n=12,k=10,bias=12,ctr=2",
+		"bimode:n=12,k=10,choice=12,ctr=2",
+		"pas:bht=10,local=8,n=12,ctr=2",
+		"skewed-pas:bht=10,local=8,n=12,ctr=2,policy=partial",
+		"unaliased:k=12,ctr=2",
+		"assoc-lru:entries=1024,k=4,ctr=2",
+		"gshare",
+		"gshare: n = 8 , k = 6 ",
+		"gshare:n=8,k=6,k=7",
+		"bimodal:k=4",
+		"gskewed:policy=sideways",
+		"oracle:n=8",
+		":n=8",
+		"gshare:n=",
+		"gshare:n=99999999999999999999",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // rejected input only has to not panic
+		}
+		if s != s.Normalize() {
+			t.Fatalf("ParseSpec(%q) = %+v is not normalized (want %+v)", text, s, s.Normalize())
+		}
+		canon := s.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not re-parse: %v", canon, text, err)
+		}
+		if again != s {
+			t.Fatalf("canonical round trip drifted: %q parsed as %+v, its String %q re-parsed as %+v",
+				text, s, canon, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("String not a fixed point: %q then %q", canon, again.String())
+		}
+		// Anything buildable must stay buildable (and agree on family)
+		// after the round trip. Cap the geometry first: ParseSpec
+		// accepts any uint32 for n/entries, and New allocates 2^n — the
+		// fuzzer would otherwise explore multi-gigabyte predictors.
+		if s.N > 16 || s.Entries > 1<<16 || s.BHT > 16 || s.Local > 16 || s.Choice > 16 || s.Bias > 16 {
+			return
+		}
+		p, err := s.New()
+		if err != nil {
+			return // geometry errors are legal; they just must not panic
+		}
+		if !strings.HasPrefix(canon, s.Family+":") && canon != s.Family {
+			t.Fatalf("canonical form %q does not carry family %q", canon, s.Family)
+		}
+		// Unaliased reports the storage of the substreams seen so far,
+		// which is legitimately zero on a fresh instance; everything
+		// else must report a positive fixed budget.
+		if p.StorageBits() < 0 || (p.StorageBits() == 0 && s.Family != "unaliased") {
+			t.Fatalf("spec %q built a predictor with %d storage bits", canon, p.StorageBits())
+		}
+	})
+}

@@ -114,6 +114,9 @@ func NewGSkewed(cfg Config) (*GSkewed, error) {
 	if cfg.SharedHysteresis > 0 && cfg.CounterBits != 2 {
 		return nil, fmt.Errorf("predictor: shared hysteresis requires 2-bit counters, got %d", cfg.CounterBits)
 	}
+	if cfg.SharedHysteresis > 8 {
+		return nil, fmt.Errorf("predictor: shared hysteresis group shift %d out of range [0,8]", cfg.SharedHysteresis)
+	}
 	g := &GSkewed{
 		skew:     skewfn.New(cfg.BankBits),
 		policy:   cfg.Policy,

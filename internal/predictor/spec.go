@@ -398,6 +398,11 @@ func allowedKeys(fam string) []string {
 	return keys
 }
 
+// AllowedKeys returns the parameter keys family's grammar accepts, in
+// sorted order (empty for unknown families). It backs grammar
+// discovery surfaces such as the simulation server's /v1/specs.
+func AllowedKeys(family string) []string { return allowedKeys(family) }
+
 // Spec methods on the concrete predictors: each reports the normalized
 // spec that reconstructs it.
 

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gskew/internal/store"
+)
+
+// TestConcurrentMixedLoad hammers one server with many goroutines
+// issuing a mix of cache hits, cold misses and session-pinned predict
+// batches. It is the subsystem's race detector workout (run under
+// `make check`) and asserts three invariants:
+//
+//  1. every cached response is byte-identical to the cold one,
+//  2. the simulation queue gauge returns to zero after the drain,
+//  3. a final sweep over the whole hot set is served entirely
+//     from the store (no recomputation).
+func TestConcurrentMixedLoad(t *testing.T) {
+	st, err := store.Open(256, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Store: st}).Handler())
+	defer ts.Close()
+
+	// The hot set: distinct sweeps a client population keeps re-asking
+	// for. Cold bodies recorded up front are the byte-identity oracle.
+	hot := []string{
+		`{"specs":["bimodal:n=8","gshare:n=8,k=6"],"bench":"verilog","scale":0.002}`,
+		`{"specs":["gskewed:n=7,k=5","gselect:n=8,k=4"],"bench":"verilog","scale":0.002}`,
+		`{"specs":["gshare:n=9,k=7"],"bench":"verilog","scale":0.002,"options":{"skip_first_use":true}}`,
+		`{"specs":["bimodal:n=9"],"bench":"verilog","scale":0.002,"options":{"flush_every":4000}}`,
+	}
+	hotSpecs := 0
+	cold := make([]string, len(hot))
+	for i, body := range hot {
+		status, resp, _ := postJSON(t, ts.URL+"/v1/simulate", body)
+		if status != http.StatusOK {
+			t.Fatalf("priming request %d: status %d: %s", i, status, resp)
+		}
+		cold[i] = resp
+	}
+	hotSpecs = 2 + 2 + 1 + 1
+
+	const (
+		workers = 8
+		iters   = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := fmt.Sprintf("load-%d", g)
+			for r := 0; r < iters; r++ {
+				switch r % 4 {
+				case 0, 1: // cache hit: must be byte-identical to cold
+					i := (g + r) % len(hot)
+					status, resp, h := postJSON(t, ts.URL+"/v1/simulate", hot[i])
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("worker %d hit: status %d: %s", g, status, resp)
+						continue
+					}
+					if resp != cold[i] {
+						errs <- fmt.Errorf("worker %d: cached response %d differs from cold", g, i)
+					}
+					if h.Get("X-Cache") != "hits=2 misses=0" && h.Get("X-Cache") != "hits=1 misses=0" {
+						errs <- fmt.Errorf("worker %d: hot request recomputed: X-Cache=%q", g, h.Get("X-Cache"))
+					}
+				case 2: // guaranteed cold miss: per-(worker, iter) unique key
+					body := fmt.Sprintf(
+						`{"specs":["gshare:n=6,k=4"],"bench":"verilog","scale":0.002,"options":{"flush_every":%d}}`,
+						10000+g*100+r)
+					status, resp, h := postJSON(t, ts.URL+"/v1/simulate", body)
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("worker %d miss: status %d: %s", g, status, resp)
+						continue
+					}
+					if h.Get("X-Cache") != "hits=0 misses=1" {
+						errs <- fmt.Errorf("worker %d: fresh cell served stale: X-Cache=%q", g, h.Get("X-Cache"))
+					}
+				case 3: // session traffic: private predictor per worker
+					status, resp, _ := postJSON(t, ts.URL+"/v1/predict", fmt.Sprintf(
+						`{"session":%q,"spec":"gshare:n=7,k=5","branches":[{"pc":64,"taken":true},{"pc":68,"taken":false},{"pc":96,"taken":true,"uncond":true}]}`,
+						session))
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("worker %d predict: status %d: %s", g, status, resp)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Invariant 2: no leaked queue slots once the load drains.
+	if depth := mQueueDepth.Value(); depth != 0 {
+		t.Errorf("queue depth %d after drain, want 0", depth)
+	}
+
+	// Invariant 3: the whole hot set replays from the store.
+	hitsBefore, missesBefore := mCacheHits.Value(), mCacheMisses.Value()
+	for i, body := range hot {
+		status, resp, h := postJSON(t, ts.URL+"/v1/simulate", body)
+		if status != http.StatusOK {
+			t.Fatalf("replay %d: status %d", i, status)
+		}
+		if resp != cold[i] {
+			t.Errorf("replay %d differs from cold response", i)
+		}
+		if got := h.Get("X-Cache"); got != fmt.Sprintf("hits=%d misses=0", countSpecs(hot[i])) {
+			t.Errorf("replay %d not fully cached: X-Cache=%q", i, got)
+		}
+	}
+	if d := mCacheHits.Value() - hitsBefore; d != int64(hotSpecs) {
+		t.Errorf("replay hit delta %d, want %d", d, hotSpecs)
+	}
+	if d := mCacheMisses.Value() - missesBefore; d != 0 {
+		t.Errorf("replay miss delta %d, want 0", d)
+	}
+
+	// Session accounting survived the stampede: every worker streamed
+	// iters/4 batches of 2 conditionals into its own session.
+	perWorker := iters / 4 * 2
+	for g := 0; g < workers; g++ {
+		status, resp, _ := postJSON(t, ts.URL+"/v1/predict",
+			fmt.Sprintf(`{"session":"load-%d","branches":[]}`, g))
+		if status != http.StatusOK {
+			t.Fatalf("worker %d session probe: status %d", g, status)
+		}
+		var pr predictResponse
+		if err := json.Unmarshal([]byte(resp), &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.TotalConditionals != perWorker {
+			t.Errorf("worker %d session counted %d conditionals, want %d", g, pr.TotalConditionals, perWorker)
+		}
+	}
+}
+
+// countSpecs counts the spec strings in a raw sweep request body.
+func countSpecs(body string) int {
+	var req struct {
+		Specs []string `json:"specs"`
+	}
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		return -1
+	}
+	return len(req.Specs)
+}

@@ -1,0 +1,236 @@
+// Package server exposes the simulator as a long-running HTTP service:
+// simulation-as-a-service over the repository's whole stack. Requests
+// arrive as JSON, predictors are described by canonical spec strings
+// (predictor.ParseSpec), workloads are either the named synthetic
+// benchmarks or uploaded traces, sweeps run single-pass through
+// sim.RunMany on the compiled-kernel fast path, and every finished
+// cell lands in a content-addressed result store so overlapping
+// (spec, trace, options) cells across clients are simulated once.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   spec sweep over one workload -> per-spec results
+//	POST /v1/predict    batched branch stream against a session-pinned
+//	                    predictor instance
+//	GET  /v1/specs      grammar discovery: families, keys, benchmarks
+//	GET  /healthz       liveness + queue depth
+//	GET  /metrics       obs registry snapshot (plus /debug/vars, /debug/pprof)
+//
+// Simulation work is gated through a shared experiments.Sched, so the
+// number of in-flight simulation passes never exceeds the configured
+// width no matter how many requests are being served; waiters observe
+// the request context and give up with 503 when it expires. Responses
+// for identical requests are byte-identical whether served cold or
+// from the store — the store round-trips sim.Result bit-exactly and
+// cache status travels in the X-Cache header, never in the body.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gskew/internal/experiments"
+	"gskew/internal/obs"
+	"gskew/internal/store"
+)
+
+// Server telemetry, registered in the default obs registry.
+var (
+	mRequests    = obs.NewCounter("server.requests")
+	mErrors      = obs.NewCounter("server.errors")
+	mLatencyMS   = obs.NewHistogram("server.latency_ms", []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000})
+	mSimRequests = obs.NewCounter("server.simulate.requests")
+	mSimCells    = obs.NewCounter("server.simulate.cells")
+	mCacheHits   = obs.NewCounter("server.simulate.cache_hits")
+	mCacheMisses = obs.NewCounter("server.simulate.cache_misses")
+	mQueueDepth  = obs.NewGauge("server.queue_depth")
+	mPredReqs    = obs.NewCounter("server.predict.requests")
+	mPredSteps   = obs.NewCounter("server.predict.branches")
+	mSessions    = obs.NewGauge("server.sessions")
+)
+
+// Config adjusts a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Store is the result cache. Nil selects a fresh memory-only store
+	// with DefaultMemEntries cells.
+	Store *store.Store
+	// Sched bounds concurrent simulation passes (shared with any other
+	// driver using the same scheduler). Nil selects GOMAXPROCS width.
+	Sched *experiments.Sched
+	// MaxBodyBytes caps request bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// SimTimeout bounds how long a simulate request may wait for a
+	// scheduler slot before giving up with 503 (default
+	// DefaultSimTimeout). The wait also ends when the client goes away.
+	SimTimeout time.Duration
+	// MaxSessions caps live /v1/predict sessions; the least recently
+	// used session is evicted beyond it (default DefaultMaxSessions).
+	MaxSessions int
+	// MaxTraces caps distinct materialised benchmark workloads held in
+	// memory (default DefaultMaxTraces).
+	MaxTraces int
+}
+
+// Defaults for Config fields.
+const (
+	DefaultMemEntries   = 4096
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultSimTimeout   = 60 * time.Second
+	DefaultMaxSessions  = 256
+	DefaultMaxTraces    = 12
+)
+
+// Server is the HTTP simulation service. Create with New; serve its
+// Handler. A Server owns no goroutines — lifecycle (listening,
+// draining) belongs to the caller, so cmd/predserved can drain on
+// SIGTERM by simply shutting down its http.Server.
+type Server struct {
+	cfg      Config
+	store    *store.Store
+	sched    *experiments.Sched
+	traces   *traceCache
+	sessions *sessionTable
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg, applying defaults. Metric collection
+// is enabled (the server exists to be observed; its /metrics endpoint
+// is the contract the serve-smoke CI tier asserts cache hits through).
+func New(cfg Config) *Server {
+	obs.Enable()
+	if cfg.Store == nil {
+		cfg.Store, _ = store.Open(DefaultMemEntries, "")
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = experiments.NewSched(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.SimTimeout <= 0 {
+		cfg.SimTimeout = DefaultSimTimeout
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = DefaultMaxTraces
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    cfg.Store,
+		sched:    cfg.Sched,
+		traces:   newTraceCache(cfg.MaxTraces),
+		sessions: newSessionTable(cfg.MaxSessions),
+		start:    time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.instrument(s.handleSimulate))
+	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
+	mux.HandleFunc("DELETE /v1/predict/{session}", s.instrument(s.handleEndSession))
+	mux.HandleFunc("GET /v1/specs", s.instrument(s.handleSpecs))
+	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	debug := obs.DebugMux()
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the result store the server is fronting.
+func (s *Server) Store() *store.Store { return s.store }
+
+// apiError is a handler failure with an HTTP status. Handlers return
+// it (or any error, mapped to 500) and instrument renders the JSON
+// error body, so every failure mode shares one wire shape.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func (e *apiError) Unwrap() error { return e.err }
+
+// httpErrorf builds an apiError.
+func httpErrorf(status int, format string, args ...any) error {
+	return &apiError{status: status, err: fmt.Errorf(format, args...)}
+}
+
+// instrument wraps a handler with the request counters, the latency
+// histogram and uniform JSON error rendering.
+func (s *Server) instrument(fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		var start time.Time
+		if obs.Enabled() {
+			start = time.Now()
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		err := fn(w, r)
+		if !start.IsZero() {
+			mLatencyMS.Observe(time.Since(start).Milliseconds())
+		}
+		if err == nil {
+			return
+		}
+		mErrors.Inc()
+		status := http.StatusInternalServerError
+		var ae *apiError
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.As(err, &tooBig):
+			status = http.StatusRequestEntityTooLarge
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+// writeJSON renders a success body. Encoding is deterministic (fixed
+// struct field order), which is what makes cold and cached responses
+// to the same request byte-identical.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// decodeJSON parses a request body, mapping malformed input to 400 and
+// an oversized body to 413.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err
+		}
+		return httpErrorf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+// handleHealthz reports liveness, uptime and current load.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, map[string]any{
+		"status":     "ok",
+		"uptime_ms":  time.Since(s.start).Milliseconds(),
+		"queue":      mQueueDepth.Value(),
+		"sessions":   s.sessions.len(),
+		"store_mem":  s.store.Len(),
+		"store_disk": s.store.Dir() != "",
+	})
+}

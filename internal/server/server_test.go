@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gskew/internal/experiments"
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/store"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+// newTestServer returns a service over a fresh memory-only store.
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.Open(128, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data), resp.Header
+}
+
+func getJSON(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+const sweepBody = `{"specs":["bimodal:n=8","gshare:n=8,k=6","gskewed:n=7,k=5"],"bench":"verilog","scale":0.002}`
+
+func TestSimulateMatchesDirectRun(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	status, body, _ := postJSON(t, ts.URL+"/v1/simulate", sweepBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp struct {
+		Workload struct {
+			TraceSHA256 string `json:"trace_sha256"`
+			Branches    int    `json:"branches"`
+		} `json:"workload"`
+		Results []struct {
+			Spec        string     `json:"spec"`
+			Key         string     `json:"key"`
+			StorageBits int        `json:"storage_bits"`
+			Result      sim.Result `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("decoding: %v\n%s", err, body)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+
+	// Reproduce the cells directly through the library and compare.
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trace.HashBranches(branches); got != resp.Workload.TraceSHA256 {
+		t.Errorf("trace hash %s, want %s", resp.Workload.TraceSHA256, got)
+	}
+	if resp.Workload.Branches != len(branches) {
+		t.Errorf("branches %d, want %d", resp.Workload.Branches, len(branches))
+	}
+	for i, specText := range []string{"bimodal:n=8,ctr=2", "gshare:n=8,k=6,ctr=2", "gskewed:n=7,k=5,banks=3,ctr=2,policy=partial"} {
+		if resp.Results[i].Spec != specText {
+			t.Errorf("result %d spec %q, want canonical %q", i, resp.Results[i].Spec, specText)
+		}
+		p := predictor.MustParseSpec(specText)
+		want, err := sim.RunBranches(branches, p, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Results[i].Result != want {
+			t.Errorf("result %d = %+v, want %+v (direct run)", i, resp.Results[i].Result, want)
+		}
+		if resp.Results[i].StorageBits != p.StorageBits() {
+			t.Errorf("result %d storage bits %d, want %d", i, resp.Results[i].StorageBits, p.StorageBits())
+		}
+	}
+}
+
+func TestSimulateCachesByteIdentical(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, cold, h1 := postJSON(t, ts.URL+"/v1/simulate", sweepBody)
+	_, warm, h2 := postJSON(t, ts.URL+"/v1/simulate", sweepBody)
+	if cold != warm {
+		t.Errorf("cold and cached bodies differ:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	if got := h1.Get("X-Cache"); got != "hits=0 misses=3" {
+		t.Errorf("cold X-Cache = %q", got)
+	}
+	if got := h2.Get("X-Cache"); got != "hits=3 misses=0" {
+		t.Errorf("warm X-Cache = %q", got)
+	}
+}
+
+func TestSimulateCacheKeyedOnCanonicalSpec(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Prime with a default-implicit spelling, then re-request with the
+	// explicit canonical spelling: must be all hits.
+	postJSON(t, ts.URL+"/v1/simulate", `{"specs":["gshare:n=8,k=6"],"bench":"verilog","scale":0.002}`)
+	_, _, h := postJSON(t, ts.URL+"/v1/simulate", `{"specs":["gshare:n=8,k=6,ctr=2"],"bench":"verilog","scale":0.002}`)
+	if got := h.Get("X-Cache"); got != "hits=1 misses=0" {
+		t.Errorf("canonicalised respelling missed the cache: X-Cache = %q", got)
+	}
+}
+
+func TestSimulateOptionsParticipateInKeys(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/simulate", sweepBody)
+	_, body, h := postJSON(t, ts.URL+"/v1/simulate",
+		`{"specs":["bimodal:n=8","gshare:n=8,k=6","gskewed:n=7,k=5"],"bench":"verilog","scale":0.002,"options":{"flush_every":5000}}`)
+	if got := h.Get("X-Cache"); got != "hits=0 misses=3" {
+		t.Errorf("different options hit the cache: X-Cache = %q\n%s", got, body)
+	}
+	var resp struct {
+		Results []struct {
+			Result sim.Result `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Result.Flushes == 0 {
+		t.Error("flush_every option ignored by simulation")
+	}
+}
+
+func TestSimulateUploadedTrace(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Encode a small trace in the binary format.
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := make([]trace.Branch, 0, 600)
+	for i := 0; i < 300; i++ {
+		branches = append(branches,
+			trace.Branch{PC: 0x100 + uint64(i%7)*4, Taken: i%3 != 0, Kind: trace.Conditional},
+			trace.Branch{PC: 0x500, Taken: true, Kind: trace.Unconditional})
+	}
+	for _, b := range branches {
+		if err := w.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"specs":["gshare:n=6,k=4"],"trace_b64":%q}`, base64.StdEncoding.EncodeToString(buf.Bytes()))
+	status, out, _ := postJSON(t, ts.URL+"/v1/simulate", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	var resp struct {
+		Workload struct {
+			TraceSHA256 string `json:"trace_sha256"`
+			Branches    int    `json:"branches"`
+		} `json:"workload"`
+		Results []struct {
+			Result sim.Result `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workload.Branches != len(branches) {
+		t.Errorf("branches %d, want %d", resp.Workload.Branches, len(branches))
+	}
+	if resp.Workload.TraceSHA256 != trace.HashBranches(branches) {
+		t.Error("uploaded trace hash mismatch")
+	}
+	want, err := sim.RunBranches(branches, predictor.MustParseSpec("gshare:n=6,k=4"), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Result != want {
+		t.Errorf("uploaded-trace result %+v, want %+v", resp.Results[0].Result, want)
+	}
+}
+
+func TestSimulateRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"empty specs":     {`{"specs":[],"bench":"verilog"}`, http.StatusBadRequest},
+		"bad spec":        {`{"specs":["oracle:n=8"],"bench":"verilog"}`, http.StatusBadRequest},
+		"bad spec params": {`{"specs":["gshare:n=99"],"bench":"verilog","scale":0.002}`, http.StatusBadRequest},
+		"no workload":     {`{"specs":["bimodal:n=8"]}`, http.StatusBadRequest},
+		"both workloads":  {`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":"aGk="}`, http.StatusBadRequest},
+		"unknown bench":   {`{"specs":["bimodal:n=8"],"bench":"quake3"}`, http.StatusBadRequest},
+		"bad scale":       {`{"specs":["bimodal:n=8"],"bench":"verilog","scale":7}`, http.StatusBadRequest},
+		"bad base64":      {`{"specs":["bimodal:n=8"],"trace_b64":"!!!"}`, http.StatusBadRequest},
+		"not json":        {`{nope`, http.StatusBadRequest},
+		"unknown field":   {`{"specs":["bimodal:n=8"],"bench":"verilog","turbo":true}`, http.StatusBadRequest},
+	} {
+		status, body, _ := postJSON(t, ts.URL+"/v1/simulate", tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", name, status, tc.want, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", name, body)
+		}
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	big := fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":%q}`,
+		strings.Repeat("A", 4096))
+	status, _, _ := postJSON(t, ts.URL+"/v1/simulate", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", status)
+	}
+}
+
+func TestPredictSessionLifecycle(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Build a short stream and its expected accounting via the library.
+	branches := []trace.Branch{}
+	for i := 0; i < 200; i++ {
+		branches = append(branches, trace.Branch{PC: 0x40 + uint64(i%5)*4, Taken: i%2 == 0, Kind: trace.Conditional})
+		if i%10 == 0 {
+			branches = append(branches, trace.Branch{PC: 0x99, Taken: true, Kind: trace.Unconditional})
+		}
+	}
+	want, err := sim.RunBranches(branches, predictor.MustParseSpec("gshare:n=7,k=5"), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wire := func(bs []trace.Branch) string {
+		rows := make([]string, len(bs))
+		for i, b := range bs {
+			rows[i] = fmt.Sprintf(`{"pc":%d,"taken":%t,"uncond":%t}`, b.PC, b.Taken, b.Kind == trace.Unconditional)
+		}
+		return "[" + strings.Join(rows, ",") + "]"
+	}
+
+	// Stream in two batches against one session (kernel path).
+	half := len(branches) / 2
+	body1 := fmt.Sprintf(`{"session":"s1","spec":"gshare:n=7,k=5","branches":%s}`, wire(branches[:half]))
+	status, out, _ := postJSON(t, ts.URL+"/v1/predict", body1)
+	if status != http.StatusOK {
+		t.Fatalf("batch 1 status %d: %s", status, out)
+	}
+	body2 := fmt.Sprintf(`{"session":"s1","branches":%s}`, wire(branches[half:]))
+	status, out, _ = postJSON(t, ts.URL+"/v1/predict", body2)
+	if status != http.StatusOK {
+		t.Fatalf("batch 2 status %d: %s", status, out)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalConditionals != want.Conditionals || resp.TotalMispredicts != want.Mispredicts {
+		t.Errorf("session totals cond=%d mispred=%d, want cond=%d mispred=%d (library run)",
+			resp.TotalConditionals, resp.TotalMispredicts, want.Conditionals, want.Mispredicts)
+	}
+	if resp.Spec != "gshare:n=7,k=5,ctr=2" {
+		t.Errorf("session spec %q not canonical", resp.Spec)
+	}
+
+	// A parallel session with the generic path and per-branch
+	// predictions must agree exactly (kernel vs generic bit-identity).
+	body3 := fmt.Sprintf(`{"session":"s2","spec":"gshare:n=7,k=5","branches":%s,"return_predictions":true}`, wire(branches))
+	status, out, _ = postJSON(t, ts.URL+"/v1/predict", body3)
+	if status != http.StatusOK {
+		t.Fatalf("generic path status %d: %s", status, out)
+	}
+	var resp2 predictResponse
+	if err := json.Unmarshal([]byte(out), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.TotalMispredicts != want.Mispredicts {
+		t.Errorf("generic path mispredicts %d, want %d", resp2.TotalMispredicts, want.Mispredicts)
+	}
+	if len(resp2.Predictions) != want.Conditionals {
+		t.Errorf("predictions length %d, want %d", len(resp2.Predictions), want.Conditionals)
+	}
+
+	// Spec conflict on a live session.
+	status, _, _ = postJSON(t, ts.URL+"/v1/predict", `{"session":"s1","spec":"bimodal:n=8","branches":[]}`)
+	if status != http.StatusConflict {
+		t.Errorf("re-pinning a session: status %d, want 409", status)
+	}
+	// Unknown session without a spec.
+	status, _, _ = postJSON(t, ts.URL+"/v1/predict", `{"session":"ghost","branches":[]}`)
+	if status != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", status)
+	}
+
+	// End a session; a second delete 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/predict/s1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("delete status %d", dresp.StatusCode)
+	}
+	dresp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete status %d, want 404", dresp2.StatusCode)
+	}
+}
+
+func TestSessionEvictionBeyondCapacity(t *testing.T) {
+	ts := newTestServer(t, Config{MaxSessions: 2})
+	mk := func(id string) {
+		t.Helper()
+		status, out, _ := postJSON(t, ts.URL+"/v1/predict",
+			fmt.Sprintf(`{"session":%q,"spec":"bimodal:n=6","branches":[{"pc":64,"taken":true}]}`, id))
+		if status != http.StatusOK {
+			t.Fatalf("session %s: status %d: %s", id, status, out)
+		}
+	}
+	mk("a")
+	time.Sleep(2 * time.Millisecond) // order lastUsed distinctly
+	mk("b")
+	time.Sleep(2 * time.Millisecond)
+	mk("c") // evicts a
+	status, _, _ := postJSON(t, ts.URL+"/v1/predict", `{"session":"a","branches":[]}`)
+	if status != http.StatusNotFound {
+		t.Errorf("evicted session still live: status %d, want 404", status)
+	}
+	status, _, _ = postJSON(t, ts.URL+"/v1/predict", `{"session":"b","branches":[]}`)
+	if status != http.StatusOK {
+		t.Errorf("recently used session evicted: status %d", status)
+	}
+}
+
+func TestSpecsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	status, body := getJSON(t, ts.URL+"/v1/specs")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var resp struct {
+		Families []struct {
+			Family  string   `json:"family"`
+			Keys    []string `json:"keys"`
+			Example string   `json:"example"`
+		} `json:"families"`
+		Benchmarks    []string `json:"benchmarks"`
+		SchemaVersion int      `json:"schema_version"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Families) != len(predictor.Families()) {
+		t.Errorf("families %d, want %d", len(resp.Families), len(predictor.Families()))
+	}
+	for _, f := range resp.Families {
+		if f.Example == "" || len(f.Keys) == 0 {
+			t.Errorf("family %s underdocumented: %+v", f.Family, f)
+			continue
+		}
+		// Every example must parse and round-trip canonically.
+		sp, err := predictor.ParseSpec(f.Example)
+		if err != nil {
+			t.Errorf("family %s example %q does not parse: %v", f.Family, f.Example, err)
+			continue
+		}
+		if sp.String() != f.Example {
+			t.Errorf("family %s example %q not canonical (canonical: %s)", f.Family, f.Example, sp)
+		}
+		if _, err := sp.New(); err != nil {
+			t.Errorf("family %s example %q does not build: %v", f.Family, f.Example, err)
+		}
+	}
+	if len(resp.Benchmarks) != len(workload.Names()) {
+		t.Errorf("benchmarks %v", resp.Benchmarks)
+	}
+	if resp.SchemaVersion != store.SchemaVersion {
+		t.Errorf("schema_version %d, want %d", resp.SchemaVersion, store.SchemaVersion)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	status, body := getJSON(t, ts.URL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("healthz %d: %s", status, body)
+	}
+	status, body = getJSON(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	for _, key := range []string{"server.requests", "server.simulate.cache_hits", "store.mem_hits", "sim.steps"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+}
+
+func TestSchedTimeoutReturns503(t *testing.T) {
+	// Width-1 scheduler whose only slot is held by the test: every
+	// simulate request must time out waiting and fail with 503.
+	sched := experiments.NewSched(1)
+	if err := sched.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Release()
+	ts := newTestServer(t, Config{Sched: sched, SimTimeout: 50 * time.Millisecond})
+	status, body, _ := postJSON(t, ts.URL+"/v1/simulate", sweepBody)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("saturated scheduler: status %d, want 503 (%s)", status, body)
+	}
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/store"
+	"gskew/internal/trace"
+	"gskew/internal/workload"
+)
+
+// simulateRequest is the wire form of POST /v1/simulate. The workload
+// is either a named benchmark (bench, with optional scale and seed) or
+// an uploaded trace in the repository's binary format, base64-encoded.
+type simulateRequest struct {
+	// Specs are canonical predictor spec strings; the sweep runs all of
+	// them in one single-pass simulation (sim.RunMany) over the shared
+	// trace decoding.
+	Specs []string `json:"specs"`
+
+	Bench string  `json:"bench,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+
+	TraceB64 string `json:"trace_b64,omitempty"`
+
+	Options store.Options `json:"options,omitempty"`
+}
+
+// simulateCell is one per-spec result row.
+type simulateCell struct {
+	Spec        string     `json:"spec"`
+	Key         string     `json:"key"`
+	StorageBits int        `json:"storage_bits"`
+	Result      sim.Result `json:"result"`
+}
+
+// simulateResponse is the wire form of a completed sweep. It carries
+// no cold/cached distinction — that lives in the X-Cache header — so
+// repeat requests are byte-identical.
+type simulateResponse struct {
+	Workload workloadInfo   `json:"workload"`
+	Options  store.Options  `json:"options"`
+	Results  []simulateCell `json:"results"`
+}
+
+// workloadInfo names the trace a sweep ran over.
+type workloadInfo struct {
+	Bench       string  `json:"bench,omitempty"`
+	Scale       float64 `json:"scale,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	TraceSHA256 string  `json:"trace_sha256"`
+	Branches    int     `json:"branches"`
+}
+
+// maxSweepSpecs bounds one request's sweep width; wider sweeps should
+// be split across requests (each still shares the store).
+const maxSweepSpecs = 256
+
+// handleSimulate runs a spec sweep over one workload, serving every
+// cell it can from the store and simulating the rest in a single
+// RunMany pass gated by the shared scheduler.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	mSimRequests.Inc()
+	var req simulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if len(req.Specs) == 0 {
+		return httpErrorf(http.StatusBadRequest, "no specs given")
+	}
+	if len(req.Specs) > maxSweepSpecs {
+		return httpErrorf(http.StatusBadRequest, "%d specs exceeds the per-request limit of %d", len(req.Specs), maxSweepSpecs)
+	}
+
+	// Canonicalise every spec up front: the canonical string is the
+	// store key component, so misspellings fail fast and equivalent
+	// spellings share cache cells.
+	specs := make([]predictor.Spec, len(req.Specs))
+	canon := make([]string, len(req.Specs))
+	for i, text := range req.Specs {
+		sp, err := predictor.ParseSpec(text)
+		if err != nil {
+			return httpErrorf(http.StatusBadRequest, "spec %d: %v", i, err)
+		}
+		specs[i] = sp
+		canon[i] = sp.String()
+	}
+
+	branches, traceHash, info, err := s.resolveWorkload(&req)
+	if err != nil {
+		return err
+	}
+
+	opts := req.Options // already the normalized subset
+	mSimCells.Add(int64(len(specs)))
+
+	// First pass: collect what the store already has.
+	keys := make([]store.Key, len(specs))
+	entries := make([]store.Entry, len(specs))
+	var missing []int
+	for i := range specs {
+		keys[i] = store.KeyFor(canon[i], traceHash, opts)
+		if e, ok := s.store.Get(keys[i]); ok {
+			entries[i] = e
+			continue
+		}
+		missing = append(missing, i)
+	}
+	mCacheHits.Add(int64(len(specs) - len(missing)))
+	mCacheMisses.Add(int64(len(missing)))
+
+	// Second pass: one single-pass multi-predictor simulation for every
+	// cell the store is missing, bounded by the shared scheduler.
+	if len(missing) > 0 {
+		preds := make([]predictor.Predictor, len(missing))
+		for j, i := range missing {
+			p, err := specs[i].New()
+			if err != nil {
+				return httpErrorf(http.StatusBadRequest, "spec %d (%s): %v", i, canon[i], err)
+			}
+			preds[j] = p
+		}
+		results, err := s.runGated(r.Context(), branches, preds, opts.Sim())
+		if err != nil {
+			return err
+		}
+		for j, i := range missing {
+			entries[i] = store.Entry{
+				Schema:      store.SchemaVersion,
+				Spec:        canon[i],
+				TraceHash:   traceHash,
+				Opts:        opts,
+				StorageBits: preds[j].StorageBits(),
+				Result:      results[j],
+			}
+			if err := s.store.Put(keys[i], entries[i]); err != nil {
+				return fmt.Errorf("storing cell %s: %w", keys[i], err)
+			}
+		}
+	}
+
+	resp := simulateResponse{Workload: info, Options: opts, Results: make([]simulateCell, len(specs))}
+	for i := range specs {
+		resp.Results[i] = simulateCell{
+			Spec:        canon[i],
+			Key:         keys[i].String(),
+			StorageBits: entries[i].StorageBits,
+			Result:      entries[i].Result,
+		}
+	}
+	w.Header().Set("X-Cache", fmt.Sprintf("hits=%d misses=%d", len(specs)-len(missing), len(missing)))
+	return writeJSON(w, resp)
+}
+
+// runGated claims a scheduler slot (or gives up when the request
+// context — which carries the configured SimTimeout — ends first) and
+// runs one RunMany pass. The queue-depth gauge counts requests between
+// arrival at the gate and completion of their pass.
+func (s *Server) runGated(ctx context.Context, branches []trace.Branch, preds []predictor.Predictor, opts sim.Options) ([]sim.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.SimTimeout)
+	defer cancel()
+	mQueueDepth.Add(1)
+	defer mQueueDepth.Add(-1)
+	if err := s.sched.Acquire(ctx); err != nil {
+		return nil, httpErrorf(http.StatusServiceUnavailable, "simulation queue full: %v", err)
+	}
+	defer s.sched.Release()
+	results, err := sim.RunMany(trace.NewSliceSource(branches), preds, opts)
+	if err != nil {
+		return nil, fmt.Errorf("simulating: %w", err)
+	}
+	return results, nil
+}
+
+// resolveWorkload materialises the request's trace: a cached named
+// benchmark or an uploaded binary trace.
+func (s *Server) resolveWorkload(req *simulateRequest) ([]trace.Branch, string, workloadInfo, error) {
+	switch {
+	case req.Bench != "" && req.TraceB64 != "":
+		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "give bench or trace_b64, not both")
+	case req.Bench != "":
+		if req.Scale < 0 || req.Scale > 1 {
+			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "scale %g out of range [0,1] (0 = default)", req.Scale)
+		}
+		mt, err := s.traces.get(req.Bench, req.Scale, req.Seed)
+		if err != nil {
+			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "workload: %v", err)
+		}
+		info := workloadInfo{
+			Bench: req.Bench, Scale: req.Scale, Seed: req.Seed,
+			TraceSHA256: mt.hash, Branches: len(mt.branches),
+		}
+		return mt.branches, mt.hash, info, nil
+	case req.TraceB64 != "":
+		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
+		if err != nil {
+			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
+		}
+		rd, err := trace.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
+		}
+		branches, err := trace.Collect(rd)
+		if err != nil {
+			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
+		}
+		hash := trace.HashBranches(branches)
+		return branches, hash, workloadInfo{TraceSHA256: hash, Branches: len(branches)}, nil
+	default:
+		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "no workload: give bench or trace_b64")
+	}
+}
+
+// materialisedTrace is one resident benchmark realisation.
+type materialisedTrace struct {
+	once     sync.Once
+	branches []trace.Branch
+	hash     string
+	err      error
+}
+
+// traceCache shares materialised benchmark traces across requests,
+// keyed by (bench, scale, seed). Generation happens outside the map
+// lock behind a per-key once (the experiments.Context idiom), so
+// concurrent first requests for the same workload materialise it
+// exactly once. Capacity is bounded: inserting beyond it drops an
+// arbitrary other completed entry — dropped slices stay valid for
+// in-flight requests (they are immutable) and simply re-materialise on
+// next use.
+type traceCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*materialisedTrace
+}
+
+func newTraceCache(max int) *traceCache {
+	return &traceCache{max: max, m: make(map[string]*materialisedTrace)}
+}
+
+func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialisedTrace, error) {
+	key := fmt.Sprintf("%s|%g|%d", bench, scale, seed)
+	c.mu.Lock()
+	mt := c.m[key]
+	if mt == nil {
+		if len(c.m) >= c.max {
+			for k := range c.m {
+				if k != key {
+					delete(c.m, k)
+					break
+				}
+			}
+		}
+		mt = &materialisedTrace{}
+		c.m[key] = mt
+	}
+	c.mu.Unlock()
+	mt.once.Do(func() {
+		spec, err := workload.ByName(bench)
+		if err != nil {
+			mt.err = err
+			return
+		}
+		mt.branches, mt.err = workload.Materialize(spec, workload.Config{Scale: scale, SeedOffset: seed})
+		if mt.err == nil {
+			mt.hash = trace.HashBranches(mt.branches)
+		}
+	})
+	if mt.err != nil {
+		// Do not cache failures.
+		c.mu.Lock()
+		if c.m[key] == mt {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+		return nil, mt.err
+	}
+	return mt, nil
+}
+
+// specFamilyDoc is one row of the /v1/specs grammar listing.
+type specFamilyDoc struct {
+	Family  string   `json:"family"`
+	Keys    []string `json:"keys"`
+	Example string   `json:"example"`
+}
+
+// specExamples gives one valid canonical example per family.
+var specExamples = map[string]string{
+	"bimodal":    "bimodal:n=14,ctr=2",
+	"gshare":     "gshare:n=14,k=12,ctr=2",
+	"gselect":    "gselect:n=14,k=6,ctr=2",
+	"gskewed":    "gskewed:n=12,k=8,banks=3,ctr=2,policy=partial",
+	"egskew":     "egskew:n=12,k=12,ctr=2,policy=partial",
+	"2bcgskew":   "2bcgskew:n=12,ks=7,k=14",
+	"agree":      "agree:n=12,k=10,bias=12,ctr=2",
+	"bimode":     "bimode:n=12,k=10,choice=12,ctr=2",
+	"pas":        "pas:bht=10,local=8,n=12,ctr=2",
+	"skewed-pas": "skewed-pas:bht=10,local=8,n=12,ctr=2,policy=partial",
+	"unaliased":  "unaliased:k=12,ctr=2",
+	"assoc-lru":  "assoc-lru:entries=1024,k=4,ctr=2",
+}
+
+// handleSpecs serves grammar discovery: every predictor family with
+// its accepted keys and a worked example, the benchmark suite, and the
+// option and schema vocabulary a client needs to construct requests.
+func (s *Server) handleSpecs(w http.ResponseWriter, _ *http.Request) error {
+	fams := predictor.Families()
+	docs := make([]specFamilyDoc, len(fams))
+	for i, f := range fams {
+		docs[i] = specFamilyDoc{Family: f, Keys: predictor.AllowedKeys(f), Example: specExamples[f]}
+	}
+	return writeJSON(w, map[string]any{
+		"families":       docs,
+		"benchmarks":     workload.Names(),
+		"options":        []string{"skip_first_use", "history_bits", "flush_every"},
+		"schema_version": store.SchemaVersion,
+	})
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestResultJSONRemarshalByteIdentical checks the wire form is a fixed
+// point: unmarshal then marshal reproduces the original bytes. The
+// result store (internal/store) and the server's byte-identity
+// contract for cached responses both lean on this.
+func TestResultJSONRemarshalByteIdentical(t *testing.T) {
+	for _, r := range []Result{
+		{Conditionals: 65536, Mispredicts: 4211, FirstUses: 130, Unconditionals: 9000, Flushes: 3},
+		{Conditionals: 3, Mispredicts: 3},
+		{},
+	} {
+		first, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Result
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatal(err)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("re-marshal drifted:\n first: %s\nsecond: %s", first, second)
+		}
+	}
+}
+
+// TestResultJSONMissPctIgnoredOnInput checks the derived miss_pct is
+// recomputed from the counts, never trusted from the wire: a tampered
+// or stale percentage cannot survive a round trip.
+func TestResultJSONMissPctIgnoredOnInput(t *testing.T) {
+	var r Result
+	if err := json.Unmarshal([]byte(`{"conditionals":200,"mispredicts":50,"miss_pct":99.9}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Conditionals != 200 || r.Mispredicts != 50 {
+		t.Fatalf("counts lost: %+v", r)
+	}
+	if got := r.MissPercent(); got != 25 {
+		t.Errorf("miss percent %g, want 25 (recomputed, not the wire's 99.9)", got)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"miss_pct":25`)) {
+		t.Errorf("marshalled form kept the forged percentage: %s", data)
+	}
+}

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gskew/internal/sim"
+)
+
+func testEntry(spec, traceHash string, opts Options) Entry {
+	return Entry{
+		Schema:      SchemaVersion,
+		Spec:        spec,
+		TraceHash:   traceHash,
+		Opts:        opts,
+		StorageBits: 32768,
+		Result:      sim.Result{Conditionals: 1000, Mispredicts: 42, Unconditionals: 7},
+	}
+}
+
+func TestKeyDependsOnEveryComponent(t *testing.T) {
+	base := KeyFor("gshare:n=10,k=4,ctr=2", "aaaa", Options{})
+	for name, k := range map[string]Key{
+		"spec":  KeyFor("gshare:n=10,k=6,ctr=2", "aaaa", Options{}),
+		"trace": KeyFor("gshare:n=10,k=4,ctr=2", "bbbb", Options{}),
+		"skip":  KeyFor("gshare:n=10,k=4,ctr=2", "aaaa", Options{SkipFirstUse: true}),
+		"hist":  KeyFor("gshare:n=10,k=4,ctr=2", "aaaa", Options{HistoryBits: 3}),
+		"flush": KeyFor("gshare:n=10,k=4,ctr=2", "aaaa", Options{FlushEvery: 100}),
+	} {
+		if k == base {
+			t.Errorf("key ignores %s component", name)
+		}
+	}
+	if base != KeyFor("gshare:n=10,k=4,ctr=2", "aaaa", Options{}) {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestNormalizeOptionsDropsResultInvariantFields(t *testing.T) {
+	a := NormalizeOptions(sim.Options{SkipFirstUse: true, FlushEvery: 5})
+	b := NormalizeOptions(sim.Options{SkipFirstUse: true, FlushEvery: 5, NoKernel: true})
+	if a != b {
+		t.Errorf("NoKernel leaked into normalized options: %+v vs %+v", a, b)
+	}
+	if got := a.Sim(); got.SkipFirstUse != true || got.FlushEvery != 5 || got.NoKernel {
+		t.Errorf("Sim() round-trip wrong: %+v", got)
+	}
+}
+
+func TestMemoryTierHitAndEviction(t *testing.T) {
+	s, err := Open(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 3)
+	keys := make([]Key, 3)
+	for i, spec := range []string{"bimodal:n=10,ctr=2", "bimodal:n=11,ctr=2", "bimodal:n=12,ctr=2"} {
+		entries[i] = testEntry(spec, "cafe", Options{})
+		keys[i] = entries[i].Key()
+		if err := s.Put(keys[i], entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("memory tier holds %d entries, want 2 (capacity)", s.Len())
+	}
+	// Key 0 is the LRU entry and was evicted; 1 and 2 remain.
+	if _, ok := s.Get(keys[0]); ok {
+		t.Error("evicted entry still resident in memory-only store")
+	}
+	for i := 1; i < 3; i++ {
+		got, ok := s.Get(keys[i])
+		if !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+		if got != entries[i] {
+			t.Errorf("entry %d mutated: got %+v want %+v", i, got, entries[i])
+		}
+	}
+}
+
+func TestDiskTierRoundTripAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("gskewed:n=10,k=6,banks=3,ctr=2,policy=partial", "beef", Options{FlushEvery: 1000})
+	k := e.Key()
+	if err := s.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory (cold memory tier) must
+	// serve the identical entry from disk.
+	s2, err := Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(k)
+	if !ok {
+		t.Fatal("disk tier miss for persisted entry")
+	}
+	if got != e {
+		t.Errorf("disk round-trip mutated entry:\n got %+v\nwant %+v", got, e)
+	}
+	// And it is now memory-resident.
+	if s2.Len() != 1 {
+		t.Errorf("disk hit not promoted: memory tier len = %d", s2.Len())
+	}
+	// No stray temp files after the atomic rename.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files: %v", matches)
+	}
+}
+
+func TestPutRejectsMismatchedKey(t *testing.T) {
+	s, err := Open(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("bimodal:n=10,ctr=2", "dead", Options{})
+	wrong := KeyFor("bimodal:n=11,ctr=2", "dead", Options{})
+	if err := s.Put(wrong, e); err == nil {
+		t.Error("mismatched key accepted")
+	}
+}
+
+func TestCorruptAndStaleDiskBlobsDegradeToMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("bimodal:n=10,ctr=2", "f00d", Options{})
+	k := e.Key()
+	path := filepath.Join(dir, k.String()+".json")
+
+	// Corrupt JSON.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Error("corrupt blob served")
+	}
+
+	// Valid JSON, stale schema.
+	stale := e
+	stale.Schema = SchemaVersion + 1
+	data, _ := json.Marshal(stale)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Error("schema-stale blob served")
+	}
+
+	// Valid JSON whose inputs derive a different key (hand-edited).
+	forged := e
+	forged.Spec = "bimodal:n=11,ctr=2"
+	data, _ = json.Marshal(forged)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Error("key-mismatched blob served")
+	}
+}
+
+func TestOpenValidatesArguments(t *testing.T) {
+	if _, err := Open(0, ""); err == nil {
+		t.Error("zero memory capacity accepted")
+	}
+	// dir pointing at an existing file must fail.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(1, filepath.Join(f, "sub")); err == nil {
+		t.Error("un-creatable directory accepted")
+	}
+}
+
+func TestKeyStringIsHex(t *testing.T) {
+	k := KeyFor("bimodal:n=10,ctr=2", "aa", Options{})
+	hex := k.String()
+	if len(hex) != 64 || strings.ToLower(hex) != hex {
+		t.Errorf("key string %q not 64-char lowercase hex", hex)
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Content hashing
+//
+// A trace's content hash is the SHA-256 of a canonical fixed-width
+// record encoding (not of any particular file serialisation), so the
+// same branch sequence hashes identically whether it arrived as a
+// binary file, a text file or a generated workload. The result store
+// uses it as the trace component of its cache keys: two clients
+// re-running overlapping (spec, trace) cells share cached results
+// exactly when their traces are event-for-event identical.
+
+// hashRecordSize is the canonical per-record encoding width: the
+// word-aligned PC in little-endian order plus one flag byte holding
+// the Kind in bit 0 and Taken in bit 1 (mirroring the binary codec's
+// bit layout).
+const hashRecordSize = 9
+
+// hashChunk is how many records are staged per digest write.
+const hashChunk = 512
+
+// appendHashRecord encodes one branch in the canonical hash form.
+func appendHashRecord(dst []byte, b *Branch) []byte {
+	var rec [hashRecordSize]byte
+	pc := b.PC
+	for i := 0; i < 8; i++ {
+		rec[i] = byte(pc >> (8 * i))
+	}
+	rec[8] = byte(b.Kind) & 1
+	if b.Taken {
+		rec[8] |= 2
+	}
+	return append(dst, rec[:]...)
+}
+
+// HashBranches returns the hex content hash of an in-memory trace.
+func HashBranches(branches []Branch) string {
+	h := sha256.New()
+	buf := make([]byte, 0, hashChunk*hashRecordSize)
+	for i := range branches {
+		buf = appendHashRecord(buf, &branches[i])
+		if len(buf) == cap(buf) {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashSource streams src to exhaustion and returns its hex content
+// hash and record count. The source is consumed; callers that need the
+// events afterwards should Collect first and use HashBranches.
+func HashSource(src Source) (hash string, n int, err error) {
+	h := sha256.New()
+	buf := make([]Branch, hashChunk)
+	enc := make([]byte, 0, hashChunk*hashRecordSize)
+	for {
+		k, err := ReadBatch(src, buf)
+		enc = enc[:0]
+		for i := 0; i < k; i++ {
+			enc = appendHashRecord(enc, &buf[i])
+		}
+		h.Write(enc)
+		n += k
+		if errors.Is(err, io.EOF) {
+			return hex.EncodeToString(h.Sum(nil)), n, nil
+		}
+		if err != nil {
+			return "", n, fmt.Errorf("trace: hashing: %w", err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func hashFixture(n int) []Branch {
+	out := make([]Branch, n)
+	pc := uint64(0x4000)
+	for i := range out {
+		pc += uint64(i%7) * 4
+		kind := Conditional
+		taken := i%3 == 0
+		if i%5 == 0 {
+			kind = Unconditional
+			taken = true
+		}
+		out[i] = Branch{PC: pc, Taken: taken, Kind: kind}
+	}
+	return out
+}
+
+func TestHashSourceMatchesHashBranches(t *testing.T) {
+	branches := hashFixture(3 * hashChunk / 2) // straddles a chunk boundary
+	want := HashBranches(branches)
+	got, n, err := HashSource(NewSliceSource(branches))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(branches) {
+		t.Errorf("HashSource count = %d, want %d", n, len(branches))
+	}
+	if got != want {
+		t.Errorf("HashSource = %s, HashBranches = %s", got, want)
+	}
+	if len(got) != 64 || strings.ToLower(got) != got {
+		t.Errorf("hash %q is not lowercase hex sha-256", got)
+	}
+}
+
+func TestHashDistinguishesEveryField(t *testing.T) {
+	base := []Branch{{PC: 0x10, Taken: true, Kind: Conditional}}
+	seen := map[string][]Branch{HashBranches(base): base}
+	for _, mutant := range [][]Branch{
+		{{PC: 0x11, Taken: true, Kind: Conditional}},
+		{{PC: 0x10, Taken: false, Kind: Conditional}},
+		{{PC: 0x10, Taken: true, Kind: Unconditional}},
+		{}, // empty trace
+		{{PC: 0x10, Taken: true, Kind: Conditional}, {PC: 0x10, Taken: true, Kind: Conditional}},
+	} {
+		h := HashBranches(mutant)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %v and %v", prev, mutant)
+		}
+		seen[h] = mutant
+	}
+}
+
+func TestHashIsOrderSensitive(t *testing.T) {
+	a := []Branch{{PC: 1, Taken: true, Kind: Conditional}, {PC: 2, Taken: false, Kind: Conditional}}
+	b := []Branch{{PC: 2, Taken: false, Kind: Conditional}, {PC: 1, Taken: true, Kind: Conditional}}
+	if HashBranches(a) == HashBranches(b) {
+		t.Error("reordered traces hash identically")
+	}
+}
+
+func TestHashStableAcrossRuns(t *testing.T) {
+	// Pin the canonical encoding: a change here invalidates every
+	// on-disk store entry, which must be deliberate (bump the store
+	// schema version when it is).
+	const want = "b280e8f0932917228730239c9c592bdb7df19038e3274d30878eb38d89839b89"
+	got := HashBranches(hashFixture(100))
+	if got != want {
+		t.Errorf("canonical hash changed: got %s, want %s", got, want)
+	}
+}

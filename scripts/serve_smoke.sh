@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Serve-smoke: end-to-end exercise of the prediction service. Builds
+# predserved, starts it on a random loopback port with an on-disk
+# store, sweeps a 21-cell spec grid twice, and checks the contract the
+# subsystem exists for:
+#
+#   - both sweep responses are byte-identical (cold vs cached),
+#   - the second pass is served entirely from the result store
+#     (server.simulate.cache_hits advances by exactly 21),
+#   - SIGTERM drains and the process exits 0.
+#
+# Run via `make serve-smoke`. Needs curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/predserved" ./cmd/predserved
+
+"$workdir/predserved" -addr 127.0.0.1:0 -store-dir "$workdir/store" \
+    >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+server_pid=$!
+
+# The first stdout line is the contract `predserved listening on
+# http://host:port` (pinned by cmd/predserved's tests).
+base=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: server died at startup" >&2
+        cat "$workdir/stderr.log" >&2
+        exit 1
+    fi
+    base=$(sed -n 's/^predserved listening on \(http:\/\/.*\)$/\1/p' "$workdir/stdout.log")
+    [[ -n "$base" ]] && break
+    sleep 0.1
+done
+if [[ -z "$base" ]]; then
+    echo "serve-smoke: server never reported its address" >&2
+    exit 1
+fi
+echo "serve-smoke: server at $base"
+
+curl -fsS "$base/healthz" >/dev/null
+
+# A 21-cell grid: the paper's three main organisations at seven sizes.
+sweep=$(jq -n '{
+    specs: ([range(8; 15)] | map(
+        "bimodal:n=\(.)",
+        "gshare:n=\(.),k=\(.)",
+        "gskewed:n=\(. - 1),k=\(. - 1)")),
+    bench: "verilog",
+    scale: 0.005
+}')
+[[ $(jq '.specs | length' <<<"$sweep") -eq 21 ]]
+
+hits0=$(curl -fsS "$base/metrics" | jq '."server.simulate.cache_hits"')
+
+curl -fsS -X POST -d "$sweep" "$base/v1/simulate" >"$workdir/pass1.json"
+curl -fsS -X POST -d "$sweep" "$base/v1/simulate" >"$workdir/pass2.json"
+
+cmp "$workdir/pass1.json" "$workdir/pass2.json"
+echo "serve-smoke: 21-cell sweep byte-identical across passes"
+
+[[ $(jq '.results | length' "$workdir/pass1.json") -eq 21 ]]
+[[ $(jq '[.results[].result.conditionals] | min' "$workdir/pass1.json") -gt 0 ]]
+
+hits1=$(curl -fsS "$base/metrics" | jq '."server.simulate.cache_hits"')
+if [[ $((hits1 - hits0)) -ne 21 ]]; then
+    echo "serve-smoke: cache hit delta $((hits1 - hits0)), want 21" >&2
+    exit 1
+fi
+echo "serve-smoke: second pass served entirely from the store"
+
+# The store directory holds one blob per cell.
+blobs=$(find "$workdir/store" -type f | wc -l)
+if [[ "$blobs" -ne 21 ]]; then
+    echo "serve-smoke: $blobs store blobs, want 21" >&2
+    exit 1
+fi
+
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    echo "serve-smoke: server exited non-zero on SIGTERM" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+fi
+server_pid=""
+grep -q "drained" "$workdir/stderr.log"
+echo "serve-smoke: clean SIGTERM drain"
+echo "serve-smoke: OK"
