@@ -7,8 +7,9 @@
 # executable paper spec, plus the fault-injection selftest. `make fuzz`
 # runs each fuzz target for FUZZTIME. `make bench` runs the compiled
 # kernel vs interface comparison BENCHCOUNT times and snapshots the
-# best runs to BENCH_kernel.json; `make bench-all` runs the full
-# benchmark suite without snapshotting.
+# best runs to BENCH_kernel.json, then the whole-trace segmented and
+# bitsliced comparison into BENCH_sim.json; `make bench-all` runs the
+# full benchmark suite without snapshotting.
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -48,11 +49,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzTableAgainstCounter -fuzztime=$(FUZZTIME) ./internal/counter
 	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/predictor
+	$(GO) test -fuzz=FuzzRunSegmented -fuzztime=$(FUZZTIME) ./internal/sim
 
 bench:
 	$(GO) test -bench='Kernel|TraceDecode' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 	@cat BENCH_kernel.json
+	$(GO) test -bench='^BenchmarkSim' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	@cat BENCH_sim.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'

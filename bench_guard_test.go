@@ -1,0 +1,89 @@
+package gskew_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The committed benchmark snapshots are artifacts with claims
+// attached: the block decoder is faster than the per-record one, and
+// the bitsliced group kernel beats the scalar kernels per lane. These
+// tests re-assert those relations from the snapshots themselves, so a
+// regression that survives into a regenerated BENCH_*.json fails the
+// suite rather than silently shipping. All comparisons are within one
+// snapshot (one machine, one run), never across files.
+
+// benchSnapshot mirrors the cmd/benchjson document shape.
+type benchSnapshot struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func loadSnapshot(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate with `make bench`)", path, err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	out := make(map[string]float64, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out
+}
+
+// faster asserts ns[a] < ns[b] within one snapshot.
+func faster(t *testing.T, ns map[string]float64, a, b string) {
+	t.Helper()
+	na, oka := ns[a]
+	nb, okb := ns[b]
+	if !oka || !okb {
+		t.Fatalf("snapshot missing %q (%v) or %q (%v); regenerate with `make bench`", a, oka, b, okb)
+	}
+	if na >= nb {
+		t.Errorf("%s (%.4g ns/op) is not faster than %s (%.4g ns/op)", a, na, b, nb)
+	}
+}
+
+// TestBenchSnapshotTraceDecode: the block decoder must beat the
+// per-record decoder per decoded record.
+func TestBenchSnapshotTraceDecode(t *testing.T) {
+	ns := loadSnapshot(t, "BENCH_kernel.json")
+	faster(t, ns, "TraceDecode/batch", "TraceDecode/next")
+}
+
+// TestBenchSnapshotStepBatch64: the bitsliced group kernel's ns/op is
+// per lane-step, directly comparable to the scalar StepBatch ns/op
+// per step. At 8 and 64 lanes it must beat the scalar kernel of the
+// same predictor shape.
+func TestBenchSnapshotStepBatch64(t *testing.T) {
+	ns := loadSnapshot(t, "BENCH_kernel.json")
+	for _, shape := range []string{"gshare16k", "egskew3x4k"} {
+		scalar := "KernelStepBatch/" + shape
+		for _, lanes := range []string{"lanes8", "lanes64"} {
+			faster(t, ns, "KernelStepBatch64/"+shape+"/"+lanes, scalar)
+		}
+	}
+}
+
+// TestBenchSnapshotSim: the whole-trace snapshot must carry the
+// segmented wall-clock sweep and show the bitsliced sweep beating the
+// scalar-kernel sweep per branch per predictor.
+func TestBenchSnapshotSim(t *testing.T) {
+	ns := loadSnapshot(t, "BENCH_sim.json")
+	for _, name := range []string{
+		"SimSegmented/K1", "SimSegmented/K2", "SimSegmented/K4", "SimSegmented/K8",
+	} {
+		if _, ok := ns[name]; !ok {
+			t.Errorf("snapshot missing %q; regenerate with `make bench`", name)
+		}
+	}
+	faster(t, ns, "SimBitsliced/lanes64", "SimBitsliced/lanes1")
+}

@@ -16,6 +16,12 @@
 // timing lines go to stderr, so stdout is byte-identical across -jobs
 // settings.
 //
+// -segments additionally splits each cell's trace into N contiguous
+// segments simulated concurrently by the segment-parallel engine
+// (sim.Options.Segments). Segmentation is an execution strategy, not
+// a model change: results — and therefore stdout — are byte-identical
+// across -segments settings too.
+//
 // Run telemetry is opt-in and never touches stdout:
 //
 //	-progress            live per-cell completion lines on stderr
@@ -50,7 +56,8 @@ func main() {
 		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
 		format = flag.String("format", "text", "output format: text, csv or plot (ASCII charts)")
 		seed   = flag.Uint64("seed", 0, "seed offset for workload generation")
-		jobs   = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS; 1 = serial)")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS; 1 = serial)")
+		segments = flag.Int("segments", 1, "segment-parallel split per simulation cell (bit-identical results; 1 = serial, 0 = auto)")
 
 		progress     = flag.Bool("progress", false, "print live per-cell progress lines to stderr")
 		manifestOut  = flag.String("manifest", "", "write a JSON run manifest (configs, timing, versions) to this file")
@@ -85,6 +92,7 @@ func main() {
 	ctx := experiments.NewContext(*scale)
 	ctx.SeedOffset = *seed
 	ctx.Sched = experiments.NewSched(*jobs)
+	ctx.Segments = *segments
 	if *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {
 			b = strings.TrimSpace(b)

@@ -98,6 +98,12 @@ type Context struct {
 	// cells of this context. Nil selects a default GOMAXPROCS-wide
 	// scheduler on first use; NewSched(1) forces fully serial runs.
 	Sched *Sched
+	// Segments is the default segment-parallel split for every
+	// simulation cell driven through Context.RunMany (sim.Options.
+	// Segments; results are bit-identical to serial at any value). It
+	// applies only to cells that did not set their own split; 0 leaves
+	// the simulator's own default in place.
+	Segments int
 	// Obs, when non-nil, collects run telemetry (interval curves,
 	// manifest cells, progress lines) from every simulation cell driven
 	// through Context.RunMany. Nil — the default — is zero-overhead.

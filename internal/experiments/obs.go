@@ -64,6 +64,11 @@ func specLabel(p predictor.Predictor) string {
 // interval curves, manifest entry and progress line. cell names the
 // simulation cell, conventionally "<experiment>/<benchmark>".
 func (c *Context) RunMany(cell string, branches []trace.Branch, preds []predictor.Predictor, opts sim.Options) ([]sim.Result, error) {
+	if opts.Segments == 0 {
+		// Cells that did not pick their own split inherit the
+		// context-wide segment-parallel default (-segments).
+		opts.Segments = c.Segments
+	}
 	o := c.Obs
 	if o == nil {
 		return sim.RunManyBranches(branches, preds, opts)

@@ -174,3 +174,46 @@ func TestRunAllDeterministicAcrossJobs(t *testing.T) {
 			len(serial), len(wide))
 	}
 }
+
+// TestRunAllDeterministicAcrossSegments is the same contract for
+// -segments: the segment-parallel engine is an execution strategy, so
+// a representative suite slice rendered with Segments 1 and a forced
+// multi-segment split must be byte-identical.
+func TestRunAllDeterministicAcrossSegments(t *testing.T) {
+	ids := []string{"table1", "fig3", "ext-flush", "ablation-counters"}
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps[i] = e
+	}
+	render := func(segments int) []byte {
+		t.Helper()
+		ctx := &Context{
+			Scale:      0.005,
+			Benchmarks: []string{"verilog", "nroff"},
+			Sched:      NewSched(1),
+			Segments:   segments,
+		}
+		results, err := RunAll(ctx, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for i, r := range results {
+			buf.WriteString("== " + exps[i].ID + " ==\n")
+			if err := r.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	segmented := render(5)
+	if !bytes.Equal(serial, segmented) {
+		t.Errorf("rendered output differs between -segments 1 (%d bytes) and -segments 5 (%d bytes)",
+			len(serial), len(segmented))
+	}
+}

@@ -115,12 +115,14 @@ func takenBit(taken bool) uint16 {
 
 func compileSingle(s *predictor.Single, runnerMask uint64) (Kernel, bool) {
 	cells := s.Table().Cells()
-	aut := automatonFor(s.Table().Bits())
+	bits := s.Table().Bits()
+	aut := automatonFor(bits)
 	switch fn := s.IndexFn().(type) {
 	case *indexfn.Bimodal:
 		return &bimodalKernel{
 			aut: aut, cells: cells,
 			idxMask: uint64(1)<<fn.Bits() - 1,
+			ctrBits: bits,
 		}, true
 	case *indexfn.GShare:
 		n, k := fn.Bits(), fn.HistoryBits()
@@ -131,6 +133,7 @@ func compileSingle(s *predictor.Single, runnerMask uint64) (Kernel, bool) {
 			shift:    n - min(n, k),
 			fold:     k > n,
 			n:        n,
+			ctrBits:  bits,
 		}, true
 	case *indexfn.GSelect:
 		n, k := fn.Bits(), fn.HistoryBits()
@@ -138,6 +141,7 @@ func compileSingle(s *predictor.Single, runnerMask uint64) (Kernel, bool) {
 			aut: aut, cells: cells,
 			idxMask:  uint64(1)<<n - 1,
 			histOnly: k >= n,
+			ctrBits:  bits,
 		}
 		if !g.histOnly {
 			g.aMask = uint64(1)<<(n-k) - 1
@@ -155,7 +159,10 @@ type bimodalKernel struct {
 	aut     automaton
 	cells   []uint8
 	idxMask uint64
+	ctrBits uint
 }
+
+func (k *bimodalKernel) index(pc, _ uint64) uint64 { return pc & k.idxMask }
 
 func (k *bimodalKernel) step1(pc, _ uint64, taken bool) bool {
 	i := pc & k.idxMask
@@ -185,9 +192,10 @@ type gshareKernel struct {
 	shift    uint   // n-k alignment shift (footnote 1) when k <= n
 	fold     bool   // k > n: XOR-fold the history down to n bits
 	n        uint
+	ctrBits  uint
 }
 
-func (k *gshareKernel) step1(pc, hist uint64, taken bool) bool {
+func (k *gshareKernel) index(pc, hist uint64) uint64 {
 	h := hist & k.histMask
 	if k.fold {
 		out := uint64(0)
@@ -199,7 +207,11 @@ func (k *gshareKernel) step1(pc, hist uint64, taken bool) bool {
 	} else {
 		h <<= k.shift
 	}
-	i := (pc ^ h) & k.idxMask
+	return (pc ^ h) & k.idxMask
+}
+
+func (k *gshareKernel) step1(pc, hist uint64, taken bool) bool {
+	i := k.index(pc, hist)
 	s := k.cells[i]
 	k.cells[i] = k.aut.next[uint16(s)<<1|takenBit(taken)]
 	return k.aut.pred[s]
@@ -226,15 +238,18 @@ type gselectKernel struct {
 	hMask    uint64
 	shift    uint
 	histOnly bool // k >= n: the index is history alone
+	ctrBits  uint
+}
+
+func (k *gselectKernel) index(pc, hist uint64) uint64 {
+	if k.histOnly {
+		return hist & k.hMask & k.idxMask
+	}
+	return (hist&k.hMask)<<k.shift | pc&k.aMask
 }
 
 func (k *gselectKernel) step1(pc, hist uint64, taken bool) bool {
-	var i uint64
-	if k.histOnly {
-		i = hist & k.hMask & k.idxMask
-	} else {
-		i = (hist&k.hMask)<<k.shift | pc&k.aMask
-	}
+	i := k.index(pc, hist)
 	s := k.cells[i]
 	k.cells[i] = k.aut.next[uint16(s)<<1|takenBit(taken)]
 	return k.aut.pred[s]
@@ -281,6 +296,7 @@ func compileSkew(g *predictor.GSkewed, runnerMask uint64) (Kernel, bool) {
 		vHistMask: runnerMask & (uint64(1)<<kp - 1),
 		partial:   g.Policy() == predictor.PartialUpdate,
 		enhanced:  g.Enhanced(),
+		ctrBits:   tabs[0].Bits(),
 	}
 	return k, true
 }
@@ -298,19 +314,28 @@ type skewKernel struct {
 	vHistMask uint64 // runner mask ∧ predictor history mask
 	partial   bool
 	enhanced  bool // bank 0 indexed by address truncation (section 6)
+	ctrBits   uint
 }
 
-func (k *skewKernel) step1(pc, hist uint64, taken bool) bool {
+// indices returns the three bank indices for one reference — a pure
+// function of (pc, hist), shared by the step path, the touch pass and
+// the bitsliced lanes.
+func (k *skewKernel) indices(pc, hist uint64) (i0, i1, i2 uint64) {
 	v := pc<<k.kp | hist&k.vHistMask
 	v1 := v & k.bankMask
 	v2 := v >> k.n & k.bankMask
 	pk := k.pa[v1] ^ k.pb[v2]
-	i0 := pk & k.bankMask
+	i0 = pk & k.bankMask
 	if k.enhanced {
 		i0 = pc & k.bankMask
 	}
-	i1 := pk >> lutField & k.bankMask
-	i2 := pk >> (2 * lutField) & k.bankMask
+	i1 = pk >> lutField & k.bankMask
+	i2 = pk >> (2 * lutField) & k.bankMask
+	return i0, i1, i2
+}
+
+func (k *skewKernel) step1(pc, hist uint64, taken bool) bool {
+	i0, i1, i2 := k.indices(pc, hist)
 	s0, s1, s2 := k.b0[i0], k.b1[i1], k.b2[i2]
 	p0, p1, p2 := k.aut.pred[s0], k.aut.pred[s1], k.aut.pred[s2]
 	maj := p0 && (p1 || p2) || p1 && p2
@@ -434,17 +459,23 @@ type tbcKernel struct {
 	m0, m1            uint64 // runner-combined history masks
 }
 
-func (k *tbcKernel) step1(pc, hist uint64, taken bool) bool {
-	// G0 and META index the short-history vector through f1 and f0;
-	// G1 indexes the long-history vector through f2 (see ev8.go).
+// indices returns the four table indices for one reference. G0 and
+// META index the short-history vector through f1 and f0; G1 indexes
+// the long-history vector through f2 (see ev8.go).
+func (k *tbcKernel) indices(pc, hist uint64) (iBim, iG0, iG1, iMeta uint64) {
 	vA := pc<<k.k0 | hist&k.m0
 	vB := pc<<k.k1 | hist&k.m1
 	a1, a2 := vA&k.idxMask, vA>>k.n&k.idxMask
 	c1, c2 := vB&k.idxMask, vB>>k.n&k.idxMask
-	iBim := pc & k.idxMask
-	iG0 := uint64(k.l1a[a1] ^ k.l1b[a2])
-	iG1 := uint64(k.l2a[c1] ^ k.l2b[c2])
-	iMeta := uint64(k.l0a[a1] ^ k.l0b[a2])
+	iBim = pc & k.idxMask
+	iG0 = uint64(k.l1a[a1] ^ k.l1b[a2])
+	iG1 = uint64(k.l2a[c1] ^ k.l2b[c2])
+	iMeta = uint64(k.l0a[a1] ^ k.l0b[a2])
+	return iBim, iG0, iG1, iMeta
+}
+
+func (k *tbcKernel) step1(pc, hist uint64, taken bool) bool {
+	iBim, iG0, iG1, iMeta := k.indices(pc, hist)
 	sB, s0, s1, sM := k.bim[iBim], k.g0[iG0], k.g1[iG1], k.meta[iMeta]
 	pb, p0, p1 := k.aut.pred[sB], k.aut.pred[s0], k.aut.pred[s1]
 	maj := pb && (p0 || p1) || p0 && p1

@@ -38,10 +38,18 @@ const (
 	PathStep
 	// PathKernel is the compiled kernel of internal/kernel.
 	PathKernel
+	// PathSegmented is the segment-parallel whole-trace runner of
+	// internal/sim (an aggregate check: total counts plus final state).
+	PathSegmented
+	// PathBatch64 is the 64-lane bitsliced group kernel, checked with
+	// 8 independent lanes per step (2-bit cells only).
+	PathBatch64
 )
 
 // Paths lists every implementation path, in check order.
-func Paths() []Path { return []Path{PathPair, PathStep, PathKernel} }
+func Paths() []Path {
+	return []Path{PathPair, PathStep, PathKernel, PathSegmented, PathBatch64}
+}
 
 // String names the path the way counterexample headers spell it.
 func (p Path) String() string {
@@ -52,6 +60,10 @@ func (p Path) String() string {
 		return "step"
 	case PathKernel:
 		return "kernel"
+	case PathSegmented:
+		return "segmented"
+	case PathBatch64:
+		return "bitsliced"
 	default:
 		return fmt.Sprintf("path(%d)", int(p))
 	}
@@ -185,11 +197,28 @@ type Divergence struct {
 	// registers disagreed (a runner-level bug rather than a predictor
 	// one); the predictions then refer to each side's own history.
 	HistMismatch bool
+	// Aggregate marks a whole-trace divergence (the segmented arm):
+	// either the total mispredict counts disagreed (SpecCount vs
+	// ImplCount) or — when the counts match — a final-state probe at
+	// (Record.PC, Hist) predicted differently. Step is the last record
+	// index, so shrinking never truncates an aggregate witness.
+	Aggregate bool
+	// SpecCount and ImplCount are the whole-trace mispredict totals of
+	// an aggregate check.
+	SpecCount, ImplCount int
 }
 
 func (d *Divergence) String() string {
 	if d.HistMismatch {
 		return fmt.Sprintf("step %d pc=%#x: history registers diverged", d.Step, d.Record.PC)
+	}
+	if d.Aggregate {
+		if d.SpecCount != d.ImplCount {
+			return fmt.Sprintf("aggregate over %d records: spec counted %d mispredicts, impl %d",
+				d.Step+1, d.SpecCount, d.ImplCount)
+		}
+		return fmt.Sprintf("final state at pc=%#x hist=%#x: spec predicts %v, impl predicts %v",
+			d.Record.PC, d.Hist, d.SpecPred, d.ImplPred)
 	}
 	return fmt.Sprintf("step %d pc=%#x hist=%#x taken=%v: spec predicts %v, impl predicts %v",
 		d.Step, d.Record.PC, d.Hist, d.Record.Taken, d.SpecPred, d.ImplPred)
@@ -230,6 +259,12 @@ func CheckKernelTampered(tr []trace.Branch, c Cell, fault KernelFault) (*Diverge
 }
 
 func check(tr []trace.Branch, c Cell, build ImplBuilder, path Path, fault *KernelFault) (*Divergence, error) {
+	switch path {
+	case PathSegmented:
+		return checkSegmented(tr, c, build, segArmSegments, segArmWarm, true)
+	case PathBatch64:
+		return checkBatch64(tr, c, build)
+	}
 	spec, err := c.Spec()
 	if err != nil {
 		return nil, err
@@ -392,6 +427,11 @@ func VerifyCell(c Cell, seed uint64, branches int) (CellResult, error) {
 		return res, fmt.Errorf("diff: generating trace for %s (seed %d): %w", c, seed, err)
 	}
 	for _, path := range Paths() {
+		if path == PathBatch64 && c.Ctr != 2 {
+			// The bitplane automaton is the 2-bit one; 1-bit cells have
+			// no bitsliced form to verify.
+			continue
+		}
 		div, err := Check(tr, c, path)
 		if err != nil {
 			return res, err

@@ -1,0 +1,195 @@
+package diff
+
+import (
+	"fmt"
+
+	"gskew/internal/history"
+	"gskew/internal/kernel"
+	"gskew/internal/predictor"
+	"gskew/internal/refmodel"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+// The segmented arm of the sweep. Unlike the per-step arms, the
+// segment-parallel runner is a whole-trace execution strategy: it has
+// no per-branch call to compare, so the check is aggregate — replay
+// the trace through the specification serially, run the
+// implementation through sim with segmentation forced on, and require
+// (a) identical total mispredict counts and (b) identical final
+// predictor state, probed over the (pc, history) pairs the trace
+// actually visited. Any warm-up bug, botched boundary patch or missed
+// replay shows up in one of the two.
+
+// segArmSegments / segArmWarm force an adversarial shape: enough
+// segments that boundaries land mid-stream even on short shrunk
+// traces, and a warm-up window small enough that convergence is not a
+// foregone conclusion.
+const (
+	segArmSegments = 7
+	segArmWarm     = 256
+)
+
+// maxSegProbes bounds the final-state probe set per check.
+const maxSegProbes = 2048
+
+// checkSegmented is the aggregate differential check behind
+// PathSegmented. reconcile=false routes the implementation through
+// sim.RunSegmentedNoReconcile — the planted fault of the selftest.
+func checkSegmented(tr []trace.Branch, c Cell, build ImplBuilder, segments, warm int, reconcile bool) (*Divergence, error) {
+	if len(tr) == 0 {
+		return nil, nil
+	}
+	spec, err := c.Spec()
+	if err != nil {
+		return nil, err
+	}
+	impl, err := build(c)
+	if err != nil {
+		return nil, err
+	}
+	k := c.Hist
+	if c.Family == "bimodal" {
+		k = 0
+	}
+
+	// Serial replay of the specification, collecting the mispredict
+	// total and a probe set of visited (pc, history) pairs.
+	specGHR := refmodel.NewSpecHistory(k)
+	specMis := 0
+	type probe struct {
+		pc, hist uint64
+	}
+	var probes []probe
+	for i, b := range tr {
+		switch b.Kind {
+		case trace.Conditional:
+			sh := specGHR.Value()
+			if spec.Predict(b.PC, sh) != b.Taken {
+				specMis++
+			}
+			if len(probes) < maxSegProbes {
+				probes = append(probes, probe{b.PC, sh})
+			}
+			spec.Update(b.PC, sh, b.Taken)
+			specGHR.Shift(b.Taken)
+		case trace.Unconditional:
+			specGHR.Shift(true)
+		default:
+			return nil, fmt.Errorf("diff: unknown branch kind %d at record %d", b.Kind, i)
+		}
+	}
+
+	// The implementation runs through the simulator's segmented path.
+	// HistoryBits pins the runner's register to the cell's k (the
+	// runner owns the register; bimodal would otherwise be identical
+	// anyway, since its kernel ignores history).
+	opts := sim.Options{Segments: segments, WarmBranches: warm, HistoryBits: k}
+	if c.Family == "bimodal" {
+		opts.HistoryBits = 0
+	}
+	src := trace.NewSliceSource(tr)
+	var res sim.Result
+	if reconcile {
+		results, rerr := sim.RunSegmented(src, []predictor.Predictor{impl}, opts)
+		if rerr != nil {
+			return nil, rerr
+		}
+		res = results[0]
+	} else {
+		results, rerr := sim.RunSegmentedNoReconcile(src, []predictor.Predictor{impl}, opts)
+		if rerr != nil {
+			return nil, rerr
+		}
+		res = results[0]
+	}
+
+	last := len(tr) - 1
+	if res.Mispredicts != specMis {
+		return &Divergence{
+			Step: last, Record: tr[last], Aggregate: true,
+			SpecCount: specMis, ImplCount: res.Mispredicts,
+		}, nil
+	}
+	// Counts agree; the final state must too.
+	for _, pr := range probes {
+		sp, ip := spec.Predict(pr.pc, pr.hist), impl.Predict(pr.pc, pr.hist)
+		if sp != ip {
+			return &Divergence{
+				Step: last, Record: trace.Branch{PC: pr.pc, Kind: trace.Conditional},
+				Hist: pr.hist, SpecPred: sp, ImplPred: ip, Aggregate: true,
+				SpecCount: specMis, ImplCount: res.Mispredicts,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// checkBatch64 is the bitsliced arm: every conditional steps an
+// 8-lane group of fresh, identical implementations one step at a
+// time, and every lane must agree with the specification. Lanes are
+// independent instances, so any cross-lane smearing in the bitplane
+// arithmetic (a carry into the wrong lane, a mask off by one bit)
+// diverges some lane even when lane 0 happens to be right.
+const batch64Lanes = 8
+
+func checkBatch64(tr []trace.Branch, c Cell, build ImplBuilder) (*Divergence, error) {
+	spec, err := c.Spec()
+	if err != nil {
+		return nil, err
+	}
+	k := c.Hist
+	if c.Family == "bimodal" {
+		k = 0
+	}
+	lanes := make([]predictor.Predictor, batch64Lanes)
+	hists := make([]uint, batch64Lanes)
+	for i := range lanes {
+		if lanes[i], err = build(c); err != nil {
+			return nil, err
+		}
+		hists[i] = k
+	}
+	g, ok := kernel.CompileGroup64(lanes, hists)
+	if !ok {
+		return nil, fmt.Errorf("diff: %s implementation does not compile to a bitsliced group", c)
+	}
+
+	specGHR := refmodel.NewSpecHistory(k)
+	implGHR := history.NewGlobal(k)
+	step := make([]kernel.Step, 1)
+	mis := make([]int, batch64Lanes)
+	for i, b := range tr {
+		switch b.Kind {
+		case trace.Conditional:
+			sh, ih := specGHR.Value(), implGHR.Bits()
+			if sh != ih {
+				return &Divergence{Step: i, Record: b, HistMismatch: true}, nil
+			}
+			specPred := spec.Predict(b.PC, sh)
+			step[0] = kernel.Step{PC: b.PC, Hist: ih, Taken: b.Taken}
+			for j := range mis {
+				mis[j] = 0
+			}
+			g.StepBatch64(step, mis)
+			for j := range mis {
+				implPred := b.Taken != (mis[j] == 1)
+				if implPred != specPred {
+					return &Divergence{
+						Step: i, Record: b, Hist: sh,
+						SpecPred: specPred, ImplPred: implPred,
+					}, nil
+				}
+			}
+			spec.Update(b.PC, sh, b.Taken)
+			specGHR.Shift(b.Taken)
+			implGHR.Shift(b.Taken)
+		case trace.Unconditional:
+			specGHR.Shift(true)
+			implGHR.Shift(true)
+		default:
+			return nil, fmt.Errorf("diff: unknown branch kind %d at record %d", b.Kind, i)
+		}
+	}
+	return nil, nil
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// MaxTraces caps distinct materialised benchmark workloads held in
 	// memory (default DefaultMaxTraces).
 	MaxTraces int
+	// Segments is the segment-parallel split applied to simulate
+	// passes (sim.Options.Segments). Results are bit-identical at any
+	// value, so it is a server tuning knob rather than part of the
+	// request or the result-cache key. 0 keeps the simulator's own
+	// auto default; 1 forces serial.
+	Segments int
 }
 
 // Defaults for Config fields.

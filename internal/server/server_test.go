@@ -9,11 +9,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"gskew/internal/experiments"
+	"gskew/internal/kernel"
 	"gskew/internal/predictor"
 	"gskew/internal/sim"
 	"gskew/internal/store"
@@ -262,6 +264,52 @@ func TestRequestBodyLimit(t *testing.T) {
 	status, _, _ := postJSON(t, ts.URL+"/v1/simulate", big)
 	if status != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body: status %d, want 413", status)
+	}
+}
+
+// TestPredictSegmentedBatch: a staged batch crossing segmentPredictMin
+// must route through the segment-parallel engine on a multi-core host
+// and report exactly the serial kernel's count, leaving the session
+// predictor in the serially-trained state.
+func TestPredictSegmentedBatch(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	s := New(Config{})
+	const spec = "gshare:n=9,k=7"
+	sess, err := s.sessions.acquire("seg", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, ok := kernel.Compile(predictor.MustParseSpec(spec), 7)
+	if !ok {
+		t.Fatal("twin did not compile")
+	}
+	ghr := uint64(0)
+	for i := 0; i < segmentPredictMin+5000; i++ {
+		taken := (i*i+i/3)%3 != 0
+		sess.steps = append(sess.steps, kernel.Step{PC: 0x40 + uint64(i%113)*4, Hist: ghr, Taken: taken})
+		ghr <<= 1
+		if taken {
+			ghr |= 1
+		}
+	}
+	want := twin.StepBatch(sess.steps)
+	got, ok := s.segmentSteps(sess)
+	if !ok {
+		t.Fatal("large batch did not take the segmented route")
+	}
+	kernel.Invalidate(sess.p)
+	if got != want {
+		t.Errorf("segmented batch counted %d mispredicts, serial kernel %d", got, want)
+	}
+	// The trained state must match too: a serial continuation over the
+	// same tail block has to agree with the twin's.
+	if g, w := sess.kern.StepBatch(sess.steps[:4096]), twin.StepBatch(sess.steps[:4096]); g != w {
+		t.Errorf("post-segmented continuation counted %d, twin %d", g, w)
+	}
+	// Below the threshold the serial path is kept.
+	sess.steps = sess.steps[:100]
+	if _, ok := s.segmentSteps(sess); ok {
+		t.Error("small batch took the segmented route")
 	}
 }
 

@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"testing"
+
+	"gskew/internal/predictor"
+	"gskew/internal/sim"
+	"gskew/internal/trace"
+)
+
+// FuzzRunSegmented drives the segment-parallel runner against the
+// serial path over arbitrary traces and arbitrary segmentation shapes
+// (segment count, warm-up window, flush period, predictor family) and
+// requires bit-identical results. The trace is the fuzz input's bytes:
+// two bits per branch (taken, unconditional), PC drawn from a small
+// window of each byte so aliasing is heavy.
+func FuzzRunSegmented(f *testing.F) {
+	f.Add([]byte{}, uint(2), uint(0), uint(0), uint(0))
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint(3), uint(4), uint(7), uint(1))
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9A}, uint(100000), uint(1), uint(13), uint(2))
+	f.Add([]byte{0xC3, 0xC3, 0xC3, 0xC3}, uint(2), uint(100000), uint(0), uint(3))
+	f.Fuzz(func(t *testing.T, data []byte, segments, warmup, flush, fam uint) {
+		branches := make([]trace.Branch, 0, 4*len(data))
+		for _, b := range data {
+			for j := 0; j < 4; j++ {
+				bits := b >> (2 * j)
+				kind := trace.Conditional
+				if bits&2 != 0 && j == 3 {
+					kind = trace.Unconditional
+				}
+				branches = append(branches, trace.Branch{
+					PC:    uint64(0x40 + (b>>2)%29),
+					Taken: bits&1 != 0,
+					Kind:  kind,
+				})
+			}
+		}
+		mk := func() predictor.Predictor {
+			switch fam % 4 {
+			case 0:
+				return predictor.NewBimodal(4, 2)
+			case 1:
+				return predictor.NewGShare(5, 4, 2)
+			case 2:
+				return predictor.MustGSkewed(predictor.Config{BankBits: 4, HistoryBits: 4})
+			default:
+				return predictor.MustTwoBcGSkew(4, 2, 5)
+			}
+		}
+		opts := fuzzOpts(segments, warmup, flush)
+		want, err := sim.RunBranches(branches, mk(), sim.Options{
+			Segments: 1, FlushEvery: opts.FlushEvery,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.RunSegmented(trace.NewSliceSource(branches), []predictor.Predictor{mk()}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("segments=%d warm=%d flush=%d fam=%d: segmented %+v, serial %+v",
+				opts.Segments, opts.WarmBranches, opts.FlushEvery, fam%4, got[0], want)
+		}
+	})
+}
+
+// fuzzOpts folds the fuzzed shape parameters into bounded sim.Options.
+func fuzzOpts(segments, warmup, flush uint) sim.Options {
+	return sim.Options{
+		Segments:     2 + int(segments%200),
+		WarmBranches: int(warmup % 5000),
+		FlushEvery:   int(flush % 97),
+	}
+}

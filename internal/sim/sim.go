@@ -96,6 +96,24 @@ type Options struct {
 	// identical either way; the flag exists for benchmarking the two
 	// paths against each other and for differential tests.
 	NoKernel bool
+	// Segments controls segment-parallel simulation of one trace (see
+	// segment.go). 0 is automatic: a materialised trace long enough to
+	// amortise staging, on a multi-core host, splits into GOMAXPROCS
+	// segments. 1 (or negative) forces the serial path. Values >= 2
+	// force that many segments (capped at 64 and at the branch count).
+	// Results are bit-identical to serial in every case; ineligible
+	// predictors degrade to the serial path.
+	Segments int
+	// WarmBranches is the speculative warm-up window of the segmented
+	// path: each segment replica pre-runs this many branches of the
+	// preceding segment before its boundary convergence check. Zero
+	// means the 4096-branch default.
+	WarmBranches int
+	// NoBitslice disables the 64-lane bitsliced group path that RunMany
+	// otherwise uses when at least 8 same-shape 2-bit cells share the
+	// trace. Results are identical either way; the flag exists for
+	// benchmarking the group path against per-cell kernels.
+	NoBitslice bool
 	// Recorder, when non-nil, receives per-predictor (conditionals,
 	// mispredictions) deltas at block granularity, building the
 	// warmup/steady-state interval curves of the run. Cell i of the
@@ -136,9 +154,72 @@ type manyCell struct {
 	kern       kernel.Kernel     // non-nil when p compiled to a kernel
 	stepper    predictor.Stepper // non-nil when p has the fused fast path
 	tracker    predictor.FirstUseTracker
+	group      *cellGroup // non-nil when p is a lane of a bitsliced group
+	lane       int        // p's lane within group
 	mask       uint64
 	mispredict int
 	firstUse   int
+}
+
+// cellGroup is a 64-lane bitsliced kernel shared by up to 64 cells of
+// the same shape; mis is its per-lane scratch, reset each drain.
+type cellGroup struct {
+	g   *kernel.Group64
+	mis []int
+}
+
+// Bitsliced-group telemetry: groups formed per run and lanes they
+// absorbed from the per-cell path.
+var (
+	mGroups     = obs.NewCounter("sim.bitslice.groups")
+	mGroupLanes = obs.NewCounter("sim.bitslice.lanes")
+)
+
+// minGroupLanes is the grouping threshold: below 8 lanes the transpose
+// overhead of the bitsliced path is not worth it over per-cell kernels.
+const minGroupLanes = 8
+
+// groupCells forms bitsliced groups over kernel-compiled cells of the
+// same shape. Grouped cells keep their scalar kernels (Invalidate and
+// fallback still work); drain simply prefers the group's lane count.
+func groupCells(r *manyRunner, preds []predictor.Predictor, hists []uint) {
+	byKind := map[int][]int{}
+	for i := range r.cells {
+		c := &r.cells[i]
+		if c.kern == nil || c.tracker != nil {
+			continue
+		}
+		if kind, ok := kernel.GroupKind64(c.p); ok {
+			byKind[kind] = append(byKind[kind], i)
+		}
+	}
+	for _, idx := range byKind {
+		for len(idx) >= minGroupLanes {
+			n := len(idx)
+			if n > kernel.MaxLanes {
+				n = kernel.MaxLanes
+			}
+			lanePreds := make([]predictor.Predictor, n)
+			laneHists := make([]uint, n)
+			for j, ci := range idx[:n] {
+				lanePreds[j] = preds[ci]
+				laneHists[j] = hists[ci]
+			}
+			g, ok := kernel.CompileGroup64(lanePreds, laneHists)
+			if !ok {
+				break
+			}
+			cg := &cellGroup{g: g, mis: make([]int, n)}
+			r.groups = append(r.groups, cg)
+			for j, ci := range idx[:n] {
+				r.cells[ci].group = cg
+				r.cells[ci].lane = j
+			}
+			mGroups.Inc()
+			mGroupLanes.Add(int64(n))
+			idx = idx[n:]
+		}
+	}
 }
 
 // manyRunner drives several predictors over one decoding of a trace.
@@ -154,6 +235,7 @@ type manyCell struct {
 // per-branch order.
 type manyRunner struct {
 	cells   []manyCell
+	groups  []*cellGroup
 	ghr     uint64
 	ghrMask uint64
 	steps   []kernel.Step
@@ -172,6 +254,7 @@ func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
 		rec:   opts.Recorder,
 	}
 	var maxK uint
+	hists := make([]uint, len(preds))
 	for i, p := range preds {
 		k := opts.HistoryBits
 		if k == 0 {
@@ -180,6 +263,7 @@ func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
 		if k > maxK {
 			maxK = k
 		}
+		hists[i] = k
 		c := &r.cells[i]
 		c.p = p
 		c.stepper, _ = p.(predictor.Stepper)
@@ -192,6 +276,9 @@ func newManyRunner(preds []predictor.Predictor, opts Options) *manyRunner {
 			// length, so it masks the shared raw history itself.
 			c.kern, _ = kernel.Compile(p, k)
 		}
+	}
+	if !opts.NoKernel && !opts.NoBitslice {
+		groupCells(r, preds, hists)
 	}
 	r.ghrMask = uint64(1)<<maxK - 1
 	return r
@@ -210,6 +297,11 @@ func (r *manyRunner) process(branches []trace.Branch) error {
 				r.drain()
 				for j := range r.cells {
 					r.cells[j].p.Reset()
+				}
+				for _, g := range r.groups {
+					// Uniform bitsliced groups own their counter planes;
+					// re-transpose the freshly reset lane tables into them.
+					g.g.Reload()
 				}
 				r.flushes++
 				r.ghr = 0
@@ -242,10 +334,20 @@ func (r *manyRunner) drain() {
 	}
 	mBlocks.Inc()
 	mSteps.Add(int64(len(r.steps)))
+	for _, g := range r.groups {
+		// Bitsliced groups step all their lanes through the block in
+		// one pass; the per-cell loop below just collects lane counts.
+		for j := range g.mis {
+			g.mis[j] = 0
+		}
+		g.g.StepBatch64(r.steps, g.mis)
+	}
 	for i := range r.cells {
 		c := &r.cells[i]
 		before := c.mispredict
 		switch {
+		case c.group != nil:
+			c.mispredict += c.group.mis[c.lane]
 		case c.kern != nil:
 			// Compiled fast path: one call for the whole block.
 			c.mispredict += c.kern.StepBatch(r.steps)
@@ -292,6 +394,11 @@ func (r *manyRunner) drain() {
 // correctly after the run.
 func (r *manyRunner) finish() {
 	r.drain()
+	for _, g := range r.groups {
+		// Publish uniform groups' owned planes back into the lane
+		// predictors before anyone reads them through the interface.
+		g.g.Writeback()
+	}
 	for i := range r.cells {
 		if r.cells[i].kern != nil {
 			kernel.Invalidate(r.cells[i].p)
@@ -323,6 +430,16 @@ func (r *manyRunner) results() []Result {
 func RunMany(src trace.Source, preds []predictor.Predictor, opts Options) ([]Result, error) {
 	if len(preds) == 0 {
 		return nil, nil
+	}
+	if k, hists, orig, ok := segPlan(src, preds, opts); ok {
+		// Segment-parallel path: stage the trace once, run contiguous
+		// segments concurrently, reconcile at the boundaries. Results
+		// are bit-identical to the serial path below (see segment.go).
+		st, err := stageTrace(src, opts, maskFromHists(hists))
+		if err != nil {
+			return nil, err
+		}
+		return runSegmentedMany(st, preds, hists, orig, opts, k, true), nil
 	}
 	r := newManyRunner(preds, opts)
 	if ss, ok := src.(*trace.SliceSource); ok {
