@@ -51,6 +51,7 @@ func main() {
 	var (
 		list   = flag.Bool("list", false, "list available experiments")
 		id     = flag.String("id", "", "experiment id to run (e.g. table1, fig5)")
+		runID  = flag.String("run", "", "alias for -id; a bare name also tries the ext- prefix (e.g. -run shootout)")
 		all    = flag.Bool("all", false, "run every experiment")
 		scale  = flag.Float64("scale", 0, "workload scale factor (0 = default 0.1; 1.0 = paper-length traces)")
 		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
@@ -129,6 +130,12 @@ func main() {
 		ctx.Obs = runObs
 	}
 
+	if *runID != "" {
+		if *id != "" && *id != *runID {
+			fatal(fmt.Errorf("-id %q and -run %q conflict; specify one", *id, *runID))
+		}
+		*id = *runID
+	}
 	var toRun []experiments.Experiment
 	switch {
 	case *all:
@@ -136,7 +143,12 @@ func main() {
 	case *id != "":
 		e, err := experiments.ByID(*id)
 		if err != nil {
-			fatal(err)
+			// Accept bare extension names: -run shootout = -run ext-shootout.
+			ext, extErr := experiments.ByID("ext-" + *id)
+			if extErr != nil {
+				fatal(err)
+			}
+			e = ext
 		}
 		toRun = []experiments.Experiment{e}
 	default:

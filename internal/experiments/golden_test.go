@@ -15,6 +15,75 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
+// TestShootoutGolden pins the storage-equalized shoot-out output at
+// the unit-test scale. The workload generators are seeded and the
+// result assembly is ordered, so the rendered bundle must be
+// byte-identical run to run (and across -jobs / -segments; see
+// TestShootoutDeterministicAcrossExecution).
+func TestShootoutGolden(t *testing.T) {
+	e, err := ByID("ext-shootout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "ext-shootout.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestShootoutGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestShootoutDeterministicAcrossExecution reruns the shoot-out with
+// a serial scheduler and with segment-parallel cells: the rendered
+// output must match the default-parallel run byte for byte —
+// execution strategy is not allowed to leak into results.
+func TestShootoutDeterministicAcrossExecution(t *testing.T) {
+	render := func(ctx *Context) string {
+		t.Helper()
+		e, err := ByID("ext-shootout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	base := render(testCtx())
+	serial := testCtx()
+	serial.Sched = NewSched(1)
+	if got := render(serial); got != base {
+		t.Errorf("serial scheduler changed output:\n--- jobs=1 ---\n%s--- default ---\n%s", got, base)
+	}
+	seg := testCtx()
+	seg.Segments = 5
+	if got := render(seg); got != base {
+		t.Errorf("segmented execution changed output:\n--- segments=5 ---\n%s--- serial ---\n%s", got, base)
+	}
+}
+
 func TestGoldenDeterministicExperiments(t *testing.T) {
 	for _, id := range []string{"fig3", "fig4", "fig9", "fig10", "ext-model-m"} {
 		t.Run(id, func(t *testing.T) {

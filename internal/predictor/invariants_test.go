@@ -29,6 +29,8 @@ func allPredictors() map[string]func() Predictor {
 		"hybrid":     func() Predictor { return MustHybrid(NewBimodal(8, 2), NewGShare(8, 6, 2), 8) },
 		"agree":      func() Predictor { return MustAgree(8, 6, 8, 2) },
 		"bimode":     func() Predictor { return MustBiMode(8, 6, 8, 2) },
+		"tage":       func() Predictor { return MustTAGE(6, 12, 2, 4, 6, 3) },
+		"perceptron": func() Predictor { return MustPerceptron(6, 10, 4, 0, 8) },
 	}
 }
 

@@ -1,0 +1,111 @@
+package predictor
+
+import "testing"
+
+// TestTAGELearnsLongHistoryPattern: a branch following an aperiodic
+// period-9 outcome pattern (5 taken / 4 not, all rotations distinct)
+// is nearly 50/50 to a per-address counter, but any 9 consecutive
+// outcomes identify the position exactly, so a tagged bank with
+// history >= 9 predicts it perfectly. TAGE must converge to
+// near-perfect prediction while bimodal stays near the pattern bias.
+func TestTAGELearnsLongHistoryPattern(t *testing.T) {
+	pattern := []bool{true, true, false, true, false, false, true, false, true}
+	tage := MustTAGE(7, 16, 2, 4, 8, 3)
+	base := NewBimodal(7, 2)
+	const pc = 0x404
+	run := func(p Predictor) (correct, total int) {
+		hist := uint64(0)
+		mask := uint64(1)<<p.HistoryBits() - 1
+		for i := 0; i < 20000; i++ {
+			taken := pattern[i%len(pattern)]
+			if i > 10000 { // score after warm-up
+				if p.Predict(pc, hist&mask) == taken {
+					correct++
+				}
+				total++
+			}
+			p.Update(pc, hist&mask, taken)
+			hist <<= 1
+			if taken {
+				hist |= 1
+			}
+		}
+		return
+	}
+	tc, tt := run(tage)
+	bc, bt := run(base)
+	if rate := float64(tc) / float64(tt); rate < 0.95 {
+		t.Errorf("tage accuracy on the period-9 pattern = %.3f, want >= 0.95", rate)
+	}
+	if rate := float64(bc) / float64(bt); rate > 0.8 {
+		t.Errorf("bimodal accuracy %.3f on a pattern it should only track the 5/9 bias of", rate)
+	}
+}
+
+// TestPerceptronLearnsCorrelatedBranch: outcome equals the outcome 5
+// branches ago — a single-bit correlation the perceptron learns as one
+// dominant weight.
+func TestPerceptronLearnsCorrelatedBranch(t *testing.T) {
+	p := MustPerceptron(7, 12, 4, 0, 8)
+	const pc = 0x40
+	hist, correct, total := uint64(0), 0, 0
+	mask := uint64(1)<<p.HistoryBits() - 1
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 12000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		taken := hist>>4&1 == 1
+		if i < 64 { // seed the history with noise first
+			taken = rng&1 == 1
+		}
+		if i > 6000 {
+			if p.Predict(pc, hist&mask) == taken {
+				correct++
+			}
+			total++
+		}
+		p.Update(pc, hist&mask, taken)
+		hist <<= 1
+		if taken {
+			hist |= 1
+		}
+	}
+	if rate := float64(correct) / float64(total); rate < 0.97 {
+		t.Errorf("perceptron accuracy on h[-5] correlation = %.3f, want >= 0.97", rate)
+	}
+}
+
+// TestTamperTargetsOnlyOwnFamily: the planted-fault hooks must refuse
+// predictors of any other type, so a selftest wiring mistake cannot
+// silently "catch" a fault that was never planted.
+func TestTamperTargetsOnlyOwnFamily(t *testing.T) {
+	if TamperTAGEFold(NewBimodal(6, 2)) {
+		t.Error("TamperTAGEFold accepted a bimodal")
+	}
+	if TamperTAGEFold(MustPerceptron(6, 10, 4, 0, 8)) {
+		t.Error("TamperTAGEFold accepted a perceptron")
+	}
+	if TamperPerceptronTraining(MustTAGE(6, 12, 2, 4, 6, 3)) {
+		t.Error("TamperPerceptronTraining accepted a tage")
+	}
+	if !TamperTAGEFold(MustTAGE(6, 12, 2, 4, 6, 3)) {
+		t.Error("TamperTAGEFold rejected a tage")
+	}
+	if !TamperPerceptronTraining(MustPerceptron(6, 10, 4, 0, 8)) {
+		t.Error("TamperPerceptronTraining rejected a perceptron")
+	}
+}
+
+// TestTAGEStorageBits pins the storage accounting the shoot-out's
+// matched budgets rely on.
+func TestTAGEStorageBits(t *testing.T) {
+	// 2^9 base 2-bit counters + 4 banks x 2^9 x (tag 8 + ctr 3 + u 2).
+	if got, want := MustTAGE(9, 20, 4, 4, 8, 3).StorageBits(), 1<<9*2+4*(1<<9)*(8+3+2); got != want {
+		t.Errorf("tage storage %d bits, want %d", got, want)
+	}
+	// 8 tables x 2^9 x 8-bit weights.
+	if got, want := MustPerceptron(9, 16, 8, 0, 8).StorageBits(), 8*(1<<9)*8; got != want {
+		t.Errorf("perceptron storage %d bits, want %d", got, want)
+	}
+}

@@ -1,0 +1,220 @@
+package predictor
+
+import "fmt"
+
+// This file implements the hashed perceptron predictor (Jiménez &
+// Lin's perceptron predictor in the table-hashed form of Tarjan &
+// Skadron, "Merging path and gshare indexing in perceptron branch
+// prediction"): instead of one weight per history bit, T small tables
+// of signed weights are each indexed by the branch address hashed with
+// a folded slice of the global history, and the prediction is the
+// sign of the summed weights.
+//
+// Against the paper's aliasing taxonomy the perceptron is the linear
+// counterpoint to TAGE's tagging: two branches colliding in one weight
+// table merely perturb one addend of the dot product, so conflict
+// aliasing degrades the margin instead of flipping the prediction
+// outright.
+//
+// Structure:
+//
+//   - table 0 is the bias table, indexed by address alone;
+//   - table i (1 <= i < T) sees the most recent L_i history bits,
+//     L_i = ceil(k*i/(T-1)) (integer arithmetic; table T-1 sees all k),
+//     folded to the index width by FoldHistory;
+//   - prediction: sum of the T selected weights >= 0 predicts taken;
+//   - training (on a mispredict, or whenever |sum| <= theta): every
+//     selected weight moves one step toward the outcome, saturating at
+//     the ctr-bit two's-complement range [-2^(ctr-1), 2^(ctr-1)-1].
+//
+// Like TAGE, the perceptron is not a counter automaton over GF(2)
+// indices (the prediction thresholds a sum, training is gated on the
+// margin), so it has no compiled kernel form and runs on the
+// generic/Stepper simulator paths.
+
+// perceptronMaxTables bounds the table count; resolve uses fixed-size
+// scratch so a prediction allocates nothing.
+const perceptronMaxTables = 16
+
+// Perceptron is the hashed perceptron predictor.
+type Perceptron struct {
+	n          uint   // index width: 2^n weights per table
+	k          uint   // longest history length
+	wBits      uint   // weight width in bits (two's complement)
+	theta      int    // training threshold
+	lens       []uint // lens[i] is table i's history length (lens[0] = 0)
+	w          [][]int16
+	wMin, wMax int16
+	// thetaFlip is false in a correct predictor; the selftest fault
+	// TamperPerceptronTraining inverts the margin comparison.
+	thetaFlip bool
+}
+
+// NewPerceptron returns a hashed perceptron with tables weight tables
+// of 2^n wBits-bit weights over k history bits, trained at threshold
+// theta (0 selects the conventional default, floor(1.93*k + 14)).
+//
+// Deprecated: construct via Spec{Family: "perceptron", N: n, Hist: k,
+// Tables: tables, Theta: theta, Ctr: wBits} (or ParseSpec), the
+// unified constructor surface.
+func NewPerceptron(n, k uint, tables int, theta int, wBits uint) (*Perceptron, error) {
+	p, err := Spec{Family: "perceptron", N: n, Hist: k,
+		Tables: tables, Theta: theta, Ctr: wBits}.New()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Perceptron), nil
+}
+
+// MustPerceptron is NewPerceptron, panicking on configuration errors.
+func MustPerceptron(n, k uint, tables int, theta int, wBits uint) *Perceptron {
+	p, err := NewPerceptron(n, k, tables, theta, wBits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// newPerceptron is the implementation behind Spec.New.
+func newPerceptron(n, k uint, tables int, theta int, wBits uint) (*Perceptron, error) {
+	if n < 1 || n > 26 {
+		return nil, fmt.Errorf("predictor: perceptron index width %d out of range [1,26]", n)
+	}
+	if k > 30 {
+		return nil, fmt.Errorf("predictor: history length %d out of range [0,30]", k)
+	}
+	if tables < 2 || tables > perceptronMaxTables {
+		return nil, fmt.Errorf("predictor: perceptron table count %d out of range [2,%d]", tables, perceptronMaxTables)
+	}
+	if theta < 0 || theta > 1<<20 {
+		return nil, fmt.Errorf("predictor: perceptron theta %d out of range [0,%d]", theta, 1<<20)
+	}
+	p := &Perceptron{
+		n: n, k: k, wBits: wBits, theta: theta,
+		wMin: -(int16(1) << (wBits - 1)),
+		wMax: int16(1)<<(wBits-1) - 1,
+	}
+	for i := 0; i < tables; i++ {
+		// L_i = ceil(k*i/(T-1)): table 0 is the bias table, table T-1
+		// sees the full history.
+		l := (k*uint(i) + uint(tables) - 2) / uint(tables-1)
+		p.lens = append(p.lens, l)
+		p.w = append(p.w, make([]int16, 1<<n))
+	}
+	return p, nil
+}
+
+// index returns table i's weight index: the address (spread per
+// table) XORed with the folded history slice.
+func (p *Perceptron) index(addr, hist uint64, i int) uint64 {
+	f := FoldHistory(hist, p.lens[i], p.n)
+	return (addr ^ addr>>uint(i+1) ^ f) & (uint64(1)<<p.n - 1)
+}
+
+// perceptronRef is the resolved per-reference picture: the selected
+// weight indices, the dot-product sum and the prediction.
+type perceptronRef struct {
+	idx   [perceptronMaxTables]uint64
+	sum   int
+	final bool
+}
+
+// resolve computes the prediction picture without mutating state.
+func (p *Perceptron) resolve(addr, hist uint64) perceptronRef {
+	var r perceptronRef
+	for i := range p.w {
+		r.idx[i] = p.index(addr, hist, i)
+		r.sum += int(p.w[i][r.idx[i]])
+	}
+	r.final = r.sum >= 0
+	return r
+}
+
+// Predict implements Predictor: the sign of the summed weights.
+// Predict does not change state.
+func (p *Perceptron) Predict(addr, hist uint64) bool {
+	return p.resolve(addr, hist).final
+}
+
+// Update implements Predictor: threshold training over every selected
+// weight.
+func (p *Perceptron) Update(addr, hist uint64, taken bool) {
+	r := p.resolve(addr, hist)
+	p.train(r, taken)
+}
+
+// Step implements Stepper: one resolution serves both the prediction
+// and the training.
+func (p *Perceptron) Step(addr, hist uint64, taken bool) bool {
+	r := p.resolve(addr, hist)
+	p.train(r, taken)
+	return r.final
+}
+
+func (p *Perceptron) train(r perceptronRef, taken bool) {
+	mag := r.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	within := mag <= p.theta
+	if p.thetaFlip {
+		within = mag >= p.theta
+	}
+	if r.final != taken || within {
+		for i := range p.w {
+			w := p.w[i][r.idx[i]]
+			if taken {
+				if w < p.wMax {
+					p.w[i][r.idx[i]] = w + 1
+				}
+			} else if w > p.wMin {
+				p.w[i][r.idx[i]] = w - 1
+			}
+		}
+	}
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// HistoryBits implements Predictor.
+func (p *Perceptron) HistoryBits() uint { return p.k }
+
+// StorageBits implements Predictor: tables x entries x weight width.
+func (p *Perceptron) StorageBits() int {
+	return len(p.w) * (1 << p.n) * int(p.wBits)
+}
+
+// Reset implements Predictor: all weights return to zero.
+func (p *Perceptron) Reset() {
+	for i := range p.w {
+		for e := range p.w[i] {
+			p.w[i][e] = 0
+		}
+	}
+}
+
+// String describes the configuration.
+func (p *Perceptron) String() string {
+	return fmt.Sprintf("perceptron(n=%d, k=%d, tables=%d, theta=%d, ctr=%d)",
+		p.n, p.k, len(p.w), p.theta, p.wBits)
+}
+
+// Spec implements Speccer.
+func (p *Perceptron) Spec() Spec {
+	return Spec{Family: "perceptron", N: p.n, Hist: p.k,
+		Tables: len(p.w), Theta: p.theta, Ctr: p.wBits}.Normalize()
+}
+
+// TamperPerceptronTraining flips the sign of p's threshold-training
+// margin comparison (train when |sum| >= theta instead of <= theta),
+// for the differential harness's fault-injection selftest. It reports
+// whether p is a perceptron the fault applies to.
+func TamperPerceptronTraining(p Predictor) bool {
+	pp, ok := p.(*Perceptron)
+	if !ok {
+		return false
+	}
+	pp.thetaFlip = true
+	return true
+}

@@ -33,7 +33,7 @@ import (
 type Spec struct {
 	// Family is the organisation name: bimodal, gshare, gselect,
 	// gskewed, egskew, 2bcgskew, agree, bimode, pas, skewed-pas,
-	// unaliased or assoc-lru.
+	// unaliased, assoc-lru, tage or perceptron.
 	Family string
 	// N is the table (or per-bank) index width: 2^N entries. Key "n".
 	N uint
@@ -67,6 +67,17 @@ type Spec struct {
 	// Entries is the assoc-lru capacity (need not be a power of two).
 	// Key "entries".
 	Entries int
+	// Tables is the tagged-component count (tage) or weight-table
+	// count (perceptron). Key "tables".
+	Tables int
+	// Tag is the tage partial-tag width. Key "tag".
+	Tag uint
+	// HistMin is tage's shortest geometric history length L_1 (lengths
+	// double per component up to Hist). Key "kmin".
+	HistMin uint
+	// Theta is the perceptron training threshold; 0 selects the
+	// conventional default floor(1.93*k + 14). Key "theta".
+	Theta int
 }
 
 // Speccer is implemented by every predictor that can report its own
@@ -82,6 +93,7 @@ func Families() []string {
 	return []string{
 		"bimodal", "gshare", "gselect", "gskewed", "egskew", "2bcgskew",
 		"agree", "bimode", "pas", "skewed-pas", "unaliased", "assoc-lru",
+		"tage", "perceptron",
 	}
 }
 
@@ -129,6 +141,37 @@ func (s Spec) Normalize() Spec {
 		t = Spec{Family: t.Family, Hist: t.Hist, Ctr: t.Ctr}
 	case "assoc-lru":
 		t = Spec{Family: t.Family, Entries: t.Entries, Hist: t.Hist, Ctr: t.Ctr}
+	case "tage":
+		// The tagged components default to 3-bit counters (the TAGE
+		// papers' width), not the global 2-bit default.
+		if s.Ctr == 0 {
+			t.Ctr = 3
+		}
+		if t.Tables == 0 {
+			t.Tables = 4
+		}
+		if t.Tag == 0 {
+			t.Tag = 8
+		}
+		if t.HistMin == 0 {
+			t.HistMin = 4
+		}
+		t = Spec{Family: t.Family, N: t.N, Hist: t.Hist, HistMin: t.HistMin,
+			Tables: t.Tables, Tag: t.Tag, Ctr: t.Ctr}
+	case "perceptron":
+		// Ctr is the signed weight width; 8 bits is the conventional
+		// perceptron default.
+		if s.Ctr == 0 {
+			t.Ctr = 8
+		}
+		if t.Tables == 0 {
+			t.Tables = 8
+		}
+		if t.Theta == 0 {
+			t.Theta = int(193*s.Hist+1400) / 100
+		}
+		t = Spec{Family: t.Family, N: t.N, Hist: t.Hist,
+			Tables: t.Tables, Theta: t.Theta, Ctr: t.Ctr}
 	}
 	return t
 }
@@ -202,6 +245,10 @@ func (s Spec) New() (Predictor, error) {
 			return nil, fmt.Errorf("predictor: history length %d out of range [0,30]", t.Hist)
 		}
 		return NewAssocLRU(t.Entries, t.Hist, t.Ctr), nil
+	case "tage":
+		return newTAGE(t.N, t.Hist, t.HistMin, t.Tables, t.Tag, t.Ctr)
+	case "perceptron":
+		return newPerceptron(t.N, t.Hist, t.Tables, t.Theta, t.Ctr)
 	case "":
 		return nil, fmt.Errorf("predictor: empty spec family")
 	default:
@@ -259,6 +306,17 @@ func (s Spec) String() string {
 	case "assoc-lru":
 		add("entries", t.Entries)
 		add("k", t.Hist)
+	case "tage":
+		add("n", t.N)
+		add("k", t.Hist)
+		add("kmin", t.HistMin)
+		add("tables", t.Tables)
+		add("tag", t.Tag)
+	case "perceptron":
+		add("n", t.N)
+		add("k", t.Hist)
+		add("tables", t.Tables)
+		add("theta", t.Theta)
 	default:
 		return t.Family
 	}
@@ -352,6 +410,14 @@ func ParseSpec(text string) (Spec, error) {
 			s.Local = uint(u)
 		case "entries":
 			s.Entries = int(u)
+		case "tables":
+			s.Tables = int(u)
+		case "tag":
+			s.Tag = uint(u)
+		case "kmin":
+			s.HistMin = uint(u)
+		case "theta":
+			s.Theta = int(u)
 		}
 	}
 	return s.Normalize(), nil
@@ -381,6 +447,8 @@ var specKeys = map[string][]string{
 	"skewed-pas": {"bht", "local", "n", "ctr", "policy"},
 	"unaliased":  {"k", "ctr"},
 	"assoc-lru":  {"entries", "k", "ctr"},
+	"tage":       {"n", "k", "kmin", "tables", "tag", "ctr"},
+	"perceptron": {"n", "k", "tables", "theta", "ctr"},
 }
 
 func keyAllowed(fam, key string) bool {

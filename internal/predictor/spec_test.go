@@ -26,6 +26,10 @@ var specSamples = []Spec{
 	{Family: "skewed-pas", BHT: 10, Local: 8, N: 11, Policy: PartialUpdate},
 	{Family: "unaliased", Hist: 12},
 	{Family: "assoc-lru", Entries: 1000, Hist: 4},
+	{Family: "tage", N: 9, Hist: 20},
+	{Family: "tage", N: 8, Hist: 24, HistMin: 2, Tables: 6, Tag: 10, Ctr: 2},
+	{Family: "perceptron", N: 9, Hist: 16},
+	{Family: "perceptron", N: 8, Hist: 24, Tables: 12, Theta: 31, Ctr: 6},
 }
 
 // TestSpecStringRoundTrip is the satellite property: for every family,
@@ -48,6 +52,24 @@ func TestSpecStringRoundTrip(t *testing.T) {
 	for _, fam := range Families() {
 		if !covered[fam] {
 			t.Errorf("no round-trip sample for family %q", fam)
+		}
+	}
+}
+
+// TestSpecNormalizeIdempotent checks Normalize is a fixed point: a
+// normalized spec normalizes (and round-trips) to itself.
+func TestSpecNormalizeIdempotent(t *testing.T) {
+	for _, s := range specSamples {
+		once := s.Normalize()
+		if twice := once.Normalize(); twice != once {
+			t.Errorf("Normalize not idempotent for %+v: %+v then %+v", s, once, twice)
+		}
+		back, err := ParseSpec(once.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", once.String(), err)
+		}
+		if back != once {
+			t.Errorf("normalized spec %+v reparses to %+v", once, back)
 		}
 	}
 }
@@ -98,6 +120,14 @@ func TestSpecParseStringFixedForms(t *testing.T) {
 		{Spec{Family: "unaliased", Hist: 12}, "unaliased:k=12,ctr=2"},
 		{Spec{Family: "assoc-lru", Entries: 1024, Hist: 4},
 			"assoc-lru:entries=1024,k=4,ctr=2"},
+		{Spec{Family: "tage", N: 9, Hist: 20},
+			"tage:n=9,k=20,kmin=4,tables=4,tag=8,ctr=3"},
+		{Spec{Family: "tage", N: 8, Hist: 24, HistMin: 2, Tables: 6, Tag: 10, Ctr: 2},
+			"tage:n=8,k=24,kmin=2,tables=6,tag=10,ctr=2"},
+		{Spec{Family: "perceptron", N: 9, Hist: 16},
+			"perceptron:n=9,k=16,tables=8,theta=44,ctr=8"},
+		{Spec{Family: "perceptron", N: 8, Hist: 24, Tables: 12, Theta: 31, Ctr: 6},
+			"perceptron:n=8,k=24,tables=12,theta=31,ctr=6"},
 	}
 	for _, c := range cases {
 		if got := c.spec.String(); got != c.text {
@@ -117,7 +147,7 @@ func TestSpecParseStringFixedForms(t *testing.T) {
 func TestSpecParseErrors(t *testing.T) {
 	bad := []string{
 		"",                           // empty
-		"tage:n=12",                  // unknown family
+		"neural:n=12",                // unknown family
 		"gshare:n=14,k=12,banks=3",   // key not in family's grammar
 		"gshare:n=14,n=15",           // duplicate key
 		"gshare:n",                   // malformed pair
@@ -155,6 +185,21 @@ func TestSpecNewErrors(t *testing.T) {
 		{Family: "skewed-pas", BHT: 10, Local: 8},  // bank bits = 0
 		{Family: "assoc-lru", Entries: 0, Hist: 4}, // no capacity
 		{Family: "unaliased", Hist: 40},            // history too long
+		{Family: "tage"},                           // n = 0
+		{Family: "tage", N: 30, Hist: 20},          // index too wide
+		{Family: "tage", N: 9, Hist: 31},           // history too long
+		{Family: "tage", N: 9, Hist: 20, Tables: 9},          // too many components
+		{Family: "tage", N: 9, Hist: 20, Tag: 1},             // tag too narrow
+		{Family: "tage", N: 9, Hist: 20, Tag: 17},            // tag too wide
+		{Family: "tage", N: 9, Hist: 20, HistMin: 31},        // kmin too long
+		{Family: "tage", N: 9, Hist: 20, Ctr: 9},             // counter too wide
+		{Family: "perceptron"},                               // n = 0
+		{Family: "perceptron", N: 30, Hist: 16},              // index too wide
+		{Family: "perceptron", N: 9, Hist: 31},               // history too long
+		{Family: "perceptron", N: 9, Hist: 16, Tables: 1},    // bias table alone
+		{Family: "perceptron", N: 9, Hist: 16, Tables: 17},   // too many tables
+		{Family: "perceptron", N: 9, Hist: 16, Ctr: 9},       // weights too wide
+		{Family: "perceptron", N: 9, Hist: 16, Theta: 1 << 21}, // theta out of range
 	}
 	for _, s := range bad {
 		p, err := s.New()
@@ -186,6 +231,10 @@ func TestDeprecatedConstructorsMatchSpec(t *testing.T) {
 			Spec{Family: "pas", BHT: 10, Local: 8, N: 12}},
 		{"skewed-pas", MustSkewedPAs(10, 8, 11, 2, PartialUpdate),
 			Spec{Family: "skewed-pas", BHT: 10, Local: 8, N: 11}},
+		{"tage", MustTAGE(9, 20, 4, 4, 8, 3),
+			Spec{Family: "tage", N: 9, Hist: 20}},
+		{"perceptron", MustPerceptron(9, 16, 8, 0, 8),
+			Spec{Family: "perceptron", N: 9, Hist: 16}},
 	}
 	for _, c := range cases {
 		fresh := MustSpec(c.spec)

@@ -71,17 +71,30 @@ func (p Path) String() string {
 
 // Cell identifies one configuration point of the sweep.
 type Cell struct {
-	// Family is "bimodal", "gshare", "gselect", "gskewed" or "egskew".
+	// Family is "bimodal", "gshare", "gselect", "gskewed", "egskew",
+	// "tage" or "perceptron".
 	Family string
-	// N is the index width: 2^N entries (per bank for the skewed family).
+	// N is the index width: 2^N entries (per bank/table/component for
+	// the multi-table families).
 	N uint
 	// Hist is the global-history length.
 	Hist uint
-	// Ctr is the counter width in bits.
+	// Ctr is the counter width in bits (the signed weight width for
+	// perceptron cells).
 	Ctr uint
 	// Partial selects the partial update policy (skewed family only).
 	Partial bool
+	// Tables is the tagged-component count (tage) or weight-table
+	// count (perceptron).
+	Tables int
+	// Tag is the tage partial-tag width.
+	Tag uint
 }
+
+// cellTageKMin is the shortest tagged history length every tage cell
+// uses — the predictor.Spec default, repeated here so Cell stays a
+// small coordinate.
+const cellTageKMin = 4
 
 // String names the cell unambiguously, e.g. "gskewed/n8/h10/c2/partial".
 func (c Cell) String() string {
@@ -93,6 +106,10 @@ func (c Cell) String() string {
 		} else {
 			s += "/total"
 		}
+	case "tage":
+		s += fmt.Sprintf("/t%d/tag%d", c.Tables, c.Tag)
+	case "perceptron":
+		s += fmt.Sprintf("/t%d", c.Tables)
 	}
 	return s
 }
@@ -106,6 +123,14 @@ func (c Cell) Spec() (refmodel.Spec, error) {
 		return refmodel.NewSpecGSkewed(c.N, c.Hist, c.Ctr, c.Partial, false), nil
 	case "egskew":
 		return refmodel.NewSpecGSkewed(c.N, c.Hist, c.Ctr, c.Partial, true), nil
+	case "tage":
+		return refmodel.NewSpecTAGE(c.N, c.Hist, cellTageKMin, uint(c.Tables), c.Tag, c.Ctr), nil
+	case "perceptron":
+		// The cell leaves theta at the family default; the refmodel
+		// constructor takes it explicitly (a config value, not shared
+		// behavior), so read it off the normalized spec.
+		theta := predictor.Spec{Family: "perceptron", Hist: c.Hist}.Normalize().Theta
+		return refmodel.NewSpecPerceptron(c.N, c.Hist, uint(c.Tables), c.Ctr, theta), nil
 	default:
 		return nil, fmt.Errorf("diff: unknown family %q", c.Family)
 	}
@@ -116,16 +141,23 @@ func (c Cell) Spec() (refmodel.Spec, error) {
 // path every tool and experiment uses.
 func (c Cell) Impl() (predictor.Predictor, error) {
 	switch c.Family {
-	case "bimodal", "gshare", "gselect", "gskewed", "egskew":
+	case "bimodal", "gshare", "gselect", "gskewed", "egskew", "tage", "perceptron":
 	default:
 		return nil, fmt.Errorf("diff: unknown family %q", c.Family)
 	}
 	s := predictor.Spec{Family: c.Family, N: c.N, Hist: c.Hist, Ctr: c.Ctr}
-	if c.Family == "gskewed" || c.Family == "egskew" {
+	switch c.Family {
+	case "gskewed", "egskew":
 		s.Policy = predictor.TotalUpdate
 		if c.Partial {
 			s.Policy = predictor.PartialUpdate
 		}
+	case "tage":
+		s.Tables = c.Tables
+		s.Tag = c.Tag
+		s.HistMin = cellTageKMin
+	case "perceptron":
+		s.Tables = c.Tables
 	}
 	return s.New()
 }
@@ -168,6 +200,19 @@ func DefaultSweep() []Cell {
 			}
 		}
 	}
+	// Modern rivals: 3 configs each, spanning short chains where every
+	// component length fits the index, the folding regime (lengths well
+	// past index and tag widths) and both counter/weight widths.
+	for _, c := range []Cell{
+		{Family: "tage", N: 6, Hist: 12, Ctr: 2, Tables: 3, Tag: 5},
+		{Family: "tage", N: 7, Hist: 20, Ctr: 3, Tables: 4, Tag: 7},
+		{Family: "tage", N: 8, Hist: 28, Ctr: 3, Tables: 5, Tag: 9},
+		{Family: "perceptron", N: 6, Hist: 10, Ctr: 6, Tables: 3},
+		{Family: "perceptron", N: 7, Hist: 16, Ctr: 8, Tables: 4},
+		{Family: "perceptron", N: 8, Hist: 24, Ctr: 8, Tables: 6},
+	} {
+		cells = append(cells, c)
+	}
 	return cells
 }
 
@@ -179,6 +224,25 @@ func CellByName(name string) (Cell, error) {
 		}
 	}
 	return Cell{}, fmt.Errorf("diff: unknown cell %q (see -list)", name)
+}
+
+// PathApplies reports whether the cell's family has an implementation
+// on the path. The tagged/neural families (tage, perceptron) are not
+// linear counter automata over hashed indices, so they have no
+// compiled kernel and no bitsliced group form; the bitsliced automaton
+// additionally exists only at 2-bit counter width. (The segmented path
+// applies everywhere: sim.RunSegmented degrades to the exact serial
+// runner for families without a state kernel, and the aggregate check
+// still pins that path against the spec.)
+func (c Cell) PathApplies(p Path) bool {
+	tagged := c.Family == "tage" || c.Family == "perceptron"
+	switch p {
+	case PathKernel:
+		return !tagged
+	case PathBatch64:
+		return !tagged && c.Ctr == 2
+	}
+	return true
 }
 
 // Divergence describes the first observable disagreement between the
@@ -427,9 +491,7 @@ func VerifyCell(c Cell, seed uint64, branches int) (CellResult, error) {
 		return res, fmt.Errorf("diff: generating trace for %s (seed %d): %w", c, seed, err)
 	}
 	for _, path := range Paths() {
-		if path == PathBatch64 && c.Ctr != 2 {
-			// The bitplane automaton is the 2-bit one; 1-bit cells have
-			// no bitsliced form to verify.
+		if !c.PathApplies(path) {
 			continue
 		}
 		div, err := Check(tr, c, path)

@@ -72,9 +72,31 @@ func Mutants() []Mutant {
 			return &faultWrap{Predictor: p, kind: kind}, nil
 		}
 	}
+	tamper := func(name string, family string, plant func(predictor.Predictor) bool) Mutant {
+		// Faults planted inside a real implementation (as opposed to
+		// wrapped around it): the predictor's own tamper hook flips one
+		// internal detail, and both its read and write paths see the
+		// flip — exactly the shape of an implementation bug, which only
+		// the independent specification can expose.
+		return Mutant{Name: name, Build: func(c Cell) (predictor.Predictor, error) {
+			if c.Family != family {
+				return nil, errMutantInapplicable
+			}
+			p, err := c.Impl()
+			if err != nil {
+				return nil, err
+			}
+			if !plant(p) {
+				return nil, errMutantInapplicable
+			}
+			return p, nil
+		}}
+	}
 	return []Mutant{
 		{Name: "addr-off-by-one", Build: wrap("addr-off-by-one")},
 		{Name: "hist-off-by-one", Build: wrap("hist-off-by-one")},
+		tamper("tage-fold-off-by-one", "tage", predictor.TamperTAGEFold),
+		tamper("perceptron-theta-sign-flip", "perceptron", predictor.TamperPerceptronTraining),
 		{Name: "policy-flip", Build: func(c Cell) (predictor.Predictor, error) {
 			// The implementation silently uses the other update policy
 			// (or, for single-table cells, one less history bit).

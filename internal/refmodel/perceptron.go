@@ -1,0 +1,110 @@
+package refmodel
+
+import "fmt"
+
+// This file transcribes the hashed perceptron predictor (Jiménez &
+// Lin's perceptron in the table-hashed form of Tarjan & Skadron) as
+// an executable specification: weight tables as Go maps of plain
+// ints, indices computed bit by bit, no code shared with
+// internal/predictor.
+
+// SpecPerceptron is the specification of the hashed perceptron: T
+// maps of signed integer weights, table i indexed by the address
+// hashed with a folded slice of the most recent L_i history bits, a
+// summed-weight sign prediction and threshold training.
+type SpecPerceptron struct {
+	n, k    uint
+	wBits   uint
+	theta   int
+	lens    []uint
+	weights []map[uint64]int
+}
+
+// NewSpecPerceptron returns the spec of a hashed perceptron with
+// tables 2^n-entry weight maps of wBits-bit weights over k history
+// bits, trained at threshold theta. Table 0 is the bias table (no
+// history); table i sees ceil(k*i/(tables-1)) history bits.
+func NewSpecPerceptron(n, k, tables, wBits uint, theta int) *SpecPerceptron {
+	if tables < 2 {
+		panic("refmodel: perceptron needs at least two tables")
+	}
+	if wBits < 1 || wBits > 8 {
+		panic(fmt.Sprintf("refmodel: perceptron weight width %d out of range [1,8]", wBits))
+	}
+	p := &SpecPerceptron{n: n, k: k, wBits: wBits, theta: theta}
+	for i := uint(0); i < tables; i++ {
+		// ceil(k*i/(tables-1)) in integer arithmetic.
+		l := (k*i + tables - 2) / (tables - 1)
+		p.lens = append(p.lens, l)
+		p.weights = append(p.weights, make(map[uint64]int))
+	}
+	return p
+}
+
+// wMin and wMax are the two's-complement saturation bounds of a
+// wBits-bit weight.
+func (p *SpecPerceptron) wMin() int {
+	m := 1
+	for i := uint(1); i < p.wBits; i++ {
+		m *= 2
+	}
+	return -m
+}
+
+func (p *SpecPerceptron) wMax() int { return -p.wMin() - 1 }
+
+// index is table i's weight index: the address (spread per table)
+// XORed with the folded history slice.
+func (p *SpecPerceptron) index(addr, hist uint64, i int) uint64 {
+	a := FromBits(ToBits(addr, p.n))
+	spread := FromBits(ToBits(addr>>uint(i+1), p.n))
+	f := FoldedHistory(hist, p.lens[i], p.n)
+	return xorN(xorN(a, spread, p.n), f, p.n)
+}
+
+// sum is the perceptron output: the sum of the selected weights
+// (absent map entries weigh zero).
+func (p *SpecPerceptron) sum(addr, hist uint64) int {
+	s := 0
+	for i := range p.weights {
+		s += p.weights[i][p.index(addr, hist, i)]
+	}
+	return s
+}
+
+// Predict implements Spec: taken when the output is non-negative.
+func (p *SpecPerceptron) Predict(addr, hist uint64) bool {
+	return p.sum(addr, hist) >= 0
+}
+
+// Update implements Spec: when the prediction was wrong, or the
+// output's magnitude is within the training threshold, every selected
+// weight moves one step toward the outcome, saturating at the
+// two's-complement bounds.
+func (p *SpecPerceptron) Update(addr, hist uint64, taken bool) {
+	s := p.sum(addr, hist)
+	pred := s >= 0
+	mag := s
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred != taken || mag <= p.theta {
+		for i := range p.weights {
+			idx := p.index(addr, hist, i)
+			w := p.weights[i][idx]
+			if taken {
+				if w < p.wMax() {
+					p.weights[i][idx] = w + 1
+				}
+			} else if w > p.wMin() {
+				p.weights[i][idx] = w - 1
+			}
+		}
+	}
+}
+
+// Name implements Spec.
+func (p *SpecPerceptron) Name() string { return "spec-perceptron" }
+
+// HistoryBits implements Spec.
+func (p *SpecPerceptron) HistoryBits() uint { return p.k }

@@ -1,0 +1,230 @@
+package refmodel
+
+import "fmt"
+
+// This file transcribes the TAGE predictor (Seznec & Michaud, JILP
+// 2006) as an executable specification, in the same naive style as
+// the rest of the package: indices and tags computed bit by bit on
+// []bool strings, per-component state in Go maps, no code shared with
+// internal/predictor. It is the independent second opinion the
+// differential runner checks the optimized TAGE against.
+
+// specTAGEAgePeriod is the usefulness-ageing period: every
+// specTAGEAgePeriod Update calls, every stored usefulness counter is
+// halved. The optimized implementation specifies the same number
+// independently.
+const specTAGEAgePeriod = 8192
+
+// FoldedHistory is the folded-history hash of the TAGE index and tag
+// functions, written naively: history bit j (0-based, newest first)
+// of the most recent length outcomes flips bit j mod width of the
+// result.
+func FoldedHistory(hist uint64, length, width uint) uint64 {
+	if width < 1 {
+		panic("refmodel: fold width must be >= 1")
+	}
+	h := ToBits(hist, length)
+	out := make([]bool, width)
+	for j := uint(0); j < length; j++ {
+		if h[j] {
+			out[j%width] = !out[j%width]
+		}
+	}
+	return FromBits(out)
+}
+
+// specTAGEEntry is one tagged-component entry: a partial tag, a
+// direction counter and a usefulness counter in [0, 3]. Entries
+// absent from a component map hold tag 0, the initial (weakly-taken)
+// counter and usefulness 0 — exactly the state of a zero-initialised
+// array entry.
+type specTAGEEntry struct {
+	Tag uint64
+	Ctr SpecCounter
+	U   int
+}
+
+// SpecTAGE is the specification of the TAGE predictor: a base bimodal
+// map of 2-bit counters plus tagged component maps over geometric
+// history lengths.
+type SpecTAGE struct {
+	n, k, kmin uint
+	tag        uint
+	ctrBits    uint
+	lens       []uint // lens[i] is component i+1's history length
+	base       map[uint64]SpecCounter
+	comps      []map[uint64]specTAGEEntry
+	updates    int
+}
+
+// NewSpecTAGE returns the spec of a TAGE predictor with 2^n-entry
+// tables, tables tagged components over history lengths
+// min(k, kmin*2^i), tag-bit partial tags and ctrBits-bit direction
+// counters.
+func NewSpecTAGE(n, k, kmin, tables, tag, ctrBits uint) *SpecTAGE {
+	if tables < 1 {
+		panic("refmodel: tage needs at least one tagged component")
+	}
+	if tag < 2 {
+		panic(fmt.Sprintf("refmodel: tage tag width %d out of range (>= 2)", tag))
+	}
+	t := &SpecTAGE{
+		n: n, k: k, kmin: kmin, tag: tag, ctrBits: ctrBits,
+		base: make(map[uint64]SpecCounter),
+	}
+	for i := uint(0); i < tables; i++ {
+		l := kmin
+		for j := uint(0); j < i; j++ {
+			l *= 2 // ratio-2 geometric series
+		}
+		if l > k {
+			l = k // capped at the longest history
+		}
+		t.lens = append(t.lens, l)
+		t.comps = append(t.comps, make(map[uint64]specTAGEEntry))
+	}
+	return t
+}
+
+// index is component comp's table index: the address XORed with an
+// address spread per component and the folded history.
+func (t *SpecTAGE) index(addr, hist uint64, comp int) uint64 {
+	a := FromBits(ToBits(addr, t.n))
+	spread := FromBits(ToBits(addr>>uint(comp+1), t.n))
+	f := FoldedHistory(hist, t.lens[comp], t.n)
+	return xorN(xorN(a, spread, t.n), f, t.n)
+}
+
+// tagOf is component comp's partial tag: the address XORed with a
+// tag-wide fold and a (tag-1)-wide fold shifted up one bit.
+func (t *SpecTAGE) tagOf(addr, hist uint64, comp int) uint64 {
+	a := FromBits(ToBits(addr, t.tag))
+	f1 := FoldedHistory(hist, t.lens[comp], t.tag)
+	f2 := FoldedHistory(hist, t.lens[comp], t.tag-1)
+	shifted := FromBits(append([]bool{false}, ToBits(f2, t.tag-1)...))
+	return xorN(xorN(a, f1, t.tag), shifted, t.tag)
+}
+
+// entry reads component comp at index i, defaulting to the
+// initial-state entry.
+func (t *SpecTAGE) entry(comp int, i uint64) specTAGEEntry {
+	if e, ok := t.comps[comp][i]; ok {
+		return e
+	}
+	return specTAGEEntry{Ctr: NewSpecCounter(t.ctrBits)}
+}
+
+// baseCell reads the base bimodal counter for an address.
+func (t *SpecTAGE) baseCell(addr uint64) SpecCounter {
+	if c, ok := t.base[BimodalIndex(addr, t.n)]; ok {
+		return c
+	}
+	return NewSpecCounter(2)
+}
+
+// resolve walks the components from the longest history down and
+// reports the provider and alternate components (-1 = base), their
+// predictions and the overall prediction.
+func (t *SpecTAGE) resolve(addr, hist uint64) (provider, alt int, providerPred, altPred, final bool) {
+	provider, alt = -1, -1
+	for i := len(t.comps) - 1; i >= 0; i-- {
+		if t.entry(i, t.index(addr, hist, i)).Tag == t.tagOf(addr, hist, i) {
+			if provider < 0 {
+				provider = i
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	basePred := t.baseCell(addr).Predict()
+	altPred = basePred
+	if alt >= 0 {
+		altPred = t.entry(alt, t.index(addr, hist, alt)).Ctr.Predict()
+	}
+	final = basePred
+	if provider >= 0 {
+		providerPred = t.entry(provider, t.index(addr, hist, provider)).Ctr.Predict()
+		final = providerPred
+	}
+	return
+}
+
+// Predict implements Spec: the longest matching tagged component
+// wins; the base bimodal table is the fallback.
+func (t *SpecTAGE) Predict(addr, hist uint64) bool {
+	_, _, _, _, final := t.resolve(addr, hist)
+	return final
+}
+
+// Update implements Spec: the provider trains (or the base, when no
+// component matched); the provider's usefulness counts whether it
+// beat the alternate prediction; a mispredict allocates one entry in
+// a longer component whose usefulness is zero, or decays them all;
+// and every usefulness counter is halved each specTAGEAgePeriod
+// updates.
+func (t *SpecTAGE) Update(addr, hist uint64, taken bool) {
+	provider, _, providerPred, altPred, final := t.resolve(addr, hist)
+	if provider >= 0 {
+		i := t.index(addr, hist, provider)
+		e := t.entry(provider, i)
+		if providerPred != altPred {
+			if providerPred == taken {
+				if e.U < 3 {
+					e.U++
+				}
+			} else if e.U > 0 {
+				e.U--
+			}
+		}
+		e.Ctr = e.Ctr.Update(taken)
+		t.comps[provider][i] = e
+	} else {
+		i := BimodalIndex(addr, t.n)
+		t.base[i] = t.baseCell(addr).Update(taken)
+	}
+	if final != taken && provider < len(t.comps)-1 {
+		allocated := false
+		for j := provider + 1; j < len(t.comps); j++ {
+			i := t.index(addr, hist, j)
+			e := t.entry(j, i)
+			if e.U == 0 {
+				fresh := specTAGEEntry{Tag: t.tagOf(addr, hist, j)}
+				fresh.Ctr = NewSpecCounter(t.ctrBits)
+				if !taken {
+					// Weakly not-taken: one below the taken threshold.
+					fresh.Ctr.State = fresh.Ctr.threshold() - 1
+				}
+				t.comps[j][i] = fresh
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for j := provider + 1; j < len(t.comps); j++ {
+				i := t.index(addr, hist, j)
+				e := t.entry(j, i)
+				if e.U > 0 {
+					e.U--
+					t.comps[j][i] = e
+				}
+			}
+		}
+	}
+	t.updates++
+	if t.updates == specTAGEAgePeriod {
+		t.updates = 0
+		for _, comp := range t.comps {
+			for i, e := range comp {
+				e.U /= 2
+				comp[i] = e
+			}
+		}
+	}
+}
+
+// Name implements Spec.
+func (t *SpecTAGE) Name() string { return "spec-tage" }
+
+// HistoryBits implements Spec.
+func (t *SpecTAGE) HistoryBits() uint { return t.k }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -478,6 +479,132 @@ func TestSpecsEndpoint(t *testing.T) {
 	}
 	if resp.SchemaVersion != store.SchemaVersion {
 		t.Errorf("schema_version %d, want %d", resp.SchemaVersion, store.SchemaVersion)
+	}
+}
+
+// TestSpecsEndpointListsModernFamilies pins the tagged and neural
+// families into the discovery document: both must be listed with
+// their full key grammar and a canonical example.
+func TestSpecsEndpointListsModernFamilies(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, body := getJSON(t, ts.URL+"/v1/specs")
+	var resp struct {
+		Families []struct {
+			Family  string   `json:"family"`
+			Keys    []string `json:"keys"`
+			Example string   `json:"example"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := map[string][]string{
+		"tage":       {"ctr", "k", "kmin", "n", "tables", "tag"},
+		"perceptron": {"ctr", "k", "n", "tables", "theta"},
+	}
+	found := map[string]bool{}
+	for _, f := range resp.Families {
+		want, ok := wantKeys[f.Family]
+		if !ok {
+			continue
+		}
+		found[f.Family] = true
+		keys := append([]string(nil), f.Keys...)
+		sort.Strings(keys)
+		if fmt.Sprint(keys) != fmt.Sprint(want) {
+			t.Errorf("family %s keys %v, want %v", f.Family, keys, want)
+		}
+		if !strings.HasPrefix(f.Example, f.Family+":") {
+			t.Errorf("family %s example %q", f.Family, f.Example)
+		}
+	}
+	for fam := range wantKeys {
+		if !found[fam] {
+			t.Errorf("/v1/specs does not list family %q", fam)
+		}
+	}
+}
+
+// TestSimulateModernFamiliesCached sweeps a mixed grid of classic and
+// modern families: the cold and cached responses must be
+// byte-identical and the second pass must be all hits.
+func TestSimulateModernFamiliesCached(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	const mixed = `{"specs":["gskewed:n=7,k=5","tage:n=7,k=16,kmin=2,tables=4,tag=7","perceptron:n=7,k=12,tables=4"],"bench":"verilog","scale":0.002}`
+	status, cold, h1 := postJSON(t, ts.URL+"/v1/simulate", mixed)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, cold)
+	}
+	_, warm, h2 := postJSON(t, ts.URL+"/v1/simulate", mixed)
+	if cold != warm {
+		t.Errorf("cold and cached bodies differ:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	if got := h1.Get("X-Cache"); got != "hits=0 misses=3" {
+		t.Errorf("cold X-Cache = %q", got)
+	}
+	if got := h2.Get("X-Cache"); got != "hits=3 misses=0" {
+		t.Errorf("warm X-Cache = %q", got)
+	}
+	// The results must match direct library runs of the same cells.
+	var resp struct {
+		Results []struct {
+			Spec   string     `json:"spec"`
+			Result sim.Result `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(cold), &resp); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.ByName("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := workload.Materialize(spec, workload.Config{Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		want, err := sim.RunBranches(branches, predictor.MustParseSpec(r.Spec), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result != want {
+			t.Errorf("result %d (%s) = %+v, want %+v (direct run)", i, r.Spec, r.Result, want)
+		}
+	}
+}
+
+// TestSimulateRejectsMalformedModernSpecs: malformed tage/perceptron
+// specs must fail with 400 and an error that names the problem, not a
+// bare status.
+func TestSimulateRejectsMalformedModernSpecs(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		spec string
+		want string // substring the error must contain
+	}{
+		"unknown key":      {"tage:banks=3", `"banks"`},
+		"bad value":        {"tage:n=9,k=twenty", "k"},
+		"out of range":     {"tage:n=99", "n="},
+		"perceptron key":   {"perceptron:kmin=2", `"kmin"`},
+		"perceptron range": {"perceptron:n=9,tables=1", "tables"},
+	} {
+		body := fmt.Sprintf(`{"specs":[%q],"bench":"verilog","scale":0.002}`, tc.spec)
+		status, out, _ := postJSON(t, ts.URL+"/v1/simulate", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, status, out)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(out), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", name, out)
+			continue
+		}
+		if !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, e.Error, tc.want)
+		}
 	}
 }
 

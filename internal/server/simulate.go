@@ -310,6 +310,8 @@ var specExamples = map[string]string{
 	"skewed-pas": "skewed-pas:bht=10,local=8,n=12,ctr=2,policy=partial",
 	"unaliased":  "unaliased:k=12,ctr=2",
 	"assoc-lru":  "assoc-lru:entries=1024,k=4,ctr=2",
+	"tage":       "tage:n=9,k=20,kmin=4,tables=4,tag=8,ctr=3",
+	"perceptron": "perceptron:n=9,k=16,tables=8,theta=44,ctr=8",
 }
 
 // handleSpecs serves grammar discovery: every predictor family with

@@ -69,6 +69,10 @@ func families() map[string]func() predictor.Predictor {
 		"agree":     func() predictor.Predictor { return predictor.MustAgree(7, 5, 2, 2) },
 		"bimode":    func() predictor.Predictor { return predictor.MustBiMode(7, 5, 2, 2) },
 		"pas":       func() predictor.Predictor { return predictor.MustPAs(6, 4, 7, 2) },
+		"tage":      func() predictor.Predictor { return predictor.MustTAGE(6, 12, 2, 4, 6, 3) },
+		"perceptron": func() predictor.Predictor {
+			return predictor.MustPerceptron(6, 10, 4, 0, 8)
+		},
 	}
 }
 
