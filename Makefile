@@ -8,14 +8,17 @@
 # runs each fuzz target for FUZZTIME. `make bench` runs the compiled
 # kernel vs interface comparison BENCHCOUNT times and snapshots the
 # best runs to BENCH_kernel.json, then the whole-trace segmented and
-# bitsliced comparison into BENCH_sim.json; `make bench-all` runs the
-# full benchmark suite without snapshotting.
+# bitsliced comparison into BENCH_sim.json, then the trace codec
+# comparison (varint vs columnar vs mmap) into BENCH_trace.json;
+# `make bench-all` runs the full benchmark suite without snapshotting.
+# `make trace-smoke` round-trips both trace formats through tracegen
+# and predsim and exercises the server-side trace pool.
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 
-.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke
+.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +44,7 @@ lint:
 
 verify:
 	$(GO) run ./cmd/verify -sweep
+	$(GO) run ./cmd/verify -codec
 	$(GO) run ./cmd/verify -selftest
 
 fuzz:
@@ -48,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCounterAgainstSpec -fuzztime=$(FUZZTIME) ./internal/counter
 	$(GO) test -fuzz=FuzzTableAgainstCounter -fuzztime=$(FUZZTIME) ./internal/counter
 	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzColumnarRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/predictor
 	$(GO) test -fuzz=FuzzRunSegmented -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -fuzz=FuzzTAGEFoldedHistory -fuzztime=$(FUZZTIME) ./internal/refmodel/diff
@@ -60,6 +65,9 @@ bench:
 	$(GO) test -bench='^BenchmarkSim' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
 	@cat BENCH_sim.json
+	$(GO) test -bench='^BenchmarkTraceCodec' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_trace.json
+	@cat BENCH_trace.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'
@@ -84,3 +92,9 @@ obs-smoke:
 # check byte-identity and full cache reuse, drain on SIGTERM.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Trace-format smoke: tracegen writes the same workload in both
+# formats, predsim must produce byte-identical stdout from each, and
+# the mmap path must agree with the streaming path.
+trace-smoke:
+	./scripts/trace_smoke.sh

@@ -17,12 +17,19 @@ import (
 // benchSnapshot mirrors the cmd/benchjson document shape.
 type benchSnapshot struct {
 	Benchmarks []struct {
-		Name    string  `json:"name"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
 
 func loadSnapshot(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	ns, _ := loadSnapshotFull(t, path)
+	return ns
+}
+
+func loadSnapshotFull(t *testing.T, path string) (ns map[string]float64, allocs map[string]int64) {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -32,11 +39,13 @@ func loadSnapshot(t *testing.T, path string) map[string]float64 {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("parsing %s: %v", path, err)
 	}
-	out := make(map[string]float64, len(snap.Benchmarks))
+	ns = make(map[string]float64, len(snap.Benchmarks))
+	allocs = make(map[string]int64, len(snap.Benchmarks))
 	for _, b := range snap.Benchmarks {
-		out[b.Name] = b.NsPerOp
+		ns[b.Name] = b.NsPerOp
+		allocs[b.Name] = b.AllocsPerOp
 	}
-	return out
+	return ns, allocs
 }
 
 // faster asserts ns[a] < ns[b] within one snapshot.
@@ -86,4 +95,33 @@ func TestBenchSnapshotSim(t *testing.T) {
 		}
 	}
 	faster(t, ns, "SimBitsliced/lanes64", "SimBitsliced/lanes1")
+}
+
+// TestBenchSnapshotTraceCodec: the block-columnar decode must be
+// strictly faster than the varint NextBatch path, the mmap columnar
+// path must be at least as fast as columnar-over-bufio (it skips the
+// copy into the reader's staging buffer), and the steady-state batch
+// paths must not allocate.
+func TestBenchSnapshotTraceCodec(t *testing.T) {
+	ns, allocs := loadSnapshotFull(t, "BENCH_trace.json")
+	faster(t, ns, "TraceCodec/columnar-batch", "TraceCodec/varint-batch")
+	faster(t, ns, "TraceCodec/mmap-columnar", "TraceCodec/mmap-varint")
+	a, ok := ns["TraceCodec/mmap-columnar"]
+	b, okb := ns["TraceCodec/columnar-batch"]
+	if !ok || !okb {
+		t.Fatalf("snapshot missing mmap-columnar (%v) or columnar-batch (%v); regenerate with `make bench`", ok, okb)
+	}
+	if a > b {
+		t.Errorf("TraceCodec/mmap-columnar (%.4g ns/op) is slower than TraceCodec/columnar-batch (%.4g ns/op)", a, b)
+	}
+	for _, name := range []string{
+		"TraceCodec/varint-batch", "TraceCodec/columnar-batch",
+		"TraceCodec/mmap-varint", "TraceCodec/mmap-columnar",
+	} {
+		if n, ok := allocs[name]; !ok {
+			t.Errorf("snapshot missing %q; regenerate with `make bench`", name)
+		} else if n != 0 {
+			t.Errorf("%s allocates %d allocs/op; the batch decode paths must be allocation-free", name, n)
+		}
+	}
 }

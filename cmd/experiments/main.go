@@ -41,6 +41,7 @@ import (
 	"gskew/internal/cli"
 	"gskew/internal/experiments"
 	"gskew/internal/obs"
+	"gskew/internal/tracepool"
 	"gskew/internal/workload"
 )
 
@@ -49,16 +50,17 @@ var prof cli.Profile
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		id     = flag.String("id", "", "experiment id to run (e.g. table1, fig5)")
-		runID  = flag.String("run", "", "alias for -id; a bare name also tries the ext- prefix (e.g. -run shootout)")
-		all    = flag.Bool("all", false, "run every experiment")
-		scale  = flag.Float64("scale", 0, "workload scale factor (0 = default 0.1; 1.0 = paper-length traces)")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
-		format = flag.String("format", "text", "output format: text, csv or plot (ASCII charts)")
-		seed   = flag.Uint64("seed", 0, "seed offset for workload generation")
+		list     = flag.Bool("list", false, "list available experiments")
+		id       = flag.String("id", "", "experiment id to run (e.g. table1, fig5)")
+		runID    = flag.String("run", "", "alias for -id; a bare name also tries the ext- prefix (e.g. -run shootout)")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Float64("scale", 0, "workload scale factor (0 = default 0.1; 1.0 = paper-length traces)")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all six)")
+		format   = flag.String("format", "text", "output format: text, csv or plot (ASCII charts)")
+		seed     = flag.Uint64("seed", 0, "seed offset for workload generation")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS; 1 = serial)")
 		segments = flag.Int("segments", 1, "segment-parallel split per simulation cell (bit-identical results; 1 = serial, 0 = auto)")
+		poolDir  = flag.String("trace-pool", "", "content-addressed trace pool directory: reuse pooled workload traces across runs and processes (empty = off)")
 
 		progress     = flag.Bool("progress", false, "print live per-cell progress lines to stderr")
 		manifestOut  = flag.String("manifest", "", "write a JSON run manifest (configs, timing, versions) to this file")
@@ -94,6 +96,13 @@ func main() {
 	ctx.SeedOffset = *seed
 	ctx.Sched = experiments.NewSched(*jobs)
 	ctx.Segments = *segments
+	if *poolDir != "" {
+		pool, err := tracepool.Open(len(workload.Names()), *poolDir)
+		if err != nil {
+			fatal(err)
+		}
+		ctx.Pool = pool
+	}
 	if *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {
 			b = strings.TrimSpace(b)

@@ -32,6 +32,7 @@ import (
 	"gskew/internal/experiments"
 	"gskew/internal/server"
 	"gskew/internal/store"
+	"gskew/internal/tracepool"
 )
 
 func main() { cli.Main("predserved", run) }
@@ -54,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxBody    = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit (bytes)")
 		timeout    = fs.Duration("timeout", server.DefaultSimTimeout, "per-request simulation queue timeout")
 		sessions   = fs.Int("sessions", server.DefaultMaxSessions, "max live /v1/predict sessions (LRU-evicted beyond)")
+		poolDir    = fs.String("trace-pool", "", "on-disk trace segment pool directory (empty = memory-only pool)")
+		poolMem    = fs.Int("pool-entries", server.DefaultPoolEntries, "trace pool in-memory tier capacity (segments)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful drain window on SIGTERM/SIGINT")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,8 +74,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *sessions <= 0 {
 		return cli.Usagef("-sessions must be positive, got %d", *sessions)
 	}
+	if *poolMem <= 0 {
+		return cli.Usagef("-pool-entries must be positive, got %d", *poolMem)
+	}
 
 	st, err := store.Open(*memEntries, *storeDir)
+	if err != nil {
+		return err
+	}
+	pool, err := tracepool.Open(*poolMem, *poolDir)
 	if err != nil {
 		return err
 	}
@@ -82,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxBodyBytes: *maxBody,
 		SimTimeout:   *timeout,
 		MaxSessions:  *sessions,
+		Pool:         pool,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -95,6 +106,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "predserved listening on http://%s\n", ln.Addr())
 	if *storeDir != "" {
 		fmt.Fprintf(stderr, "predserved: result store at %s (mem tier %d entries)\n", *storeDir, *memEntries)
+	}
+	if *poolDir != "" {
+		fmt.Fprintf(stderr, "predserved: trace pool at %s (mem tier %d segments)\n", *poolDir, *poolMem)
 	}
 	if notifyReady != nil {
 		notifyReady(ln.Addr().String())

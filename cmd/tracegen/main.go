@@ -5,6 +5,7 @@
 //
 //	tracegen -bench groff -o groff.trace
 //	tracegen -bench gs -scale 1.0 -o gs-full.trace
+//	tracegen -bench groff -format columnar -o groff.ctrace
 //	tracegen -bench verilog -format text -o verilog.txt
 //	tracegen -bench nroff -stats
 package main
@@ -28,7 +29,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale     = fs.Float64("scale", 0, "workload scale (default 0.1; 1.0 = paper-length)")
 		seed      = fs.Uint64("seed", 0, "workload seed offset")
 		out       = fs.String("o", "", "output file (default stdout)")
-		format    = fs.String("format", "binary", "output format: binary or text")
+		format    = fs.String("format", "binary", "output format: binary (varint), columnar or text")
 		statsOnly = fs.Bool("stats", false, "print trace statistics instead of writing a trace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,8 +74,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch *format {
-	case "binary":
-		bw, err := trace.NewWriter(w)
+	case "binary", "columnar":
+		var bw interface {
+			Write(trace.Branch) error
+			Flush() error
+		}
+		if *format == "columnar" {
+			bw, err = trace.NewColumnarWriter(w)
+		} else {
+			bw, err = trace.NewWriter(w)
+		}
 		if err != nil {
 			return err
 		}

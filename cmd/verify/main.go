@@ -33,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := cli.NewFlagSet("verify", stderr)
 	var (
 		sweep    = fs.Bool("sweep", false, "verify every cell of the default sweep")
+		codec    = fs.Bool("codec", false, "verify the trace codecs: every sweep cell replayed from varint, columnar and mmap sources")
 		cellName = fs.String("cell", "", "verify a single cell by name (see -list)")
 		selftest = fs.Bool("selftest", false, "inject deliberate faults and require the harness to catch and shrink them")
 		list     = fs.Bool("list", false, "list the sweep cells and exit")
@@ -59,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := diff.CodecSelfTest(*branches, *seed, stdout); err != nil {
+			return err
+		}
 		fmt.Fprintln(stdout, "selftest ok: every injected fault caught and shrunk")
 		return nil
 
@@ -73,6 +77,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return summarise(stdout, []diff.CellResult{res})
 
+	case *codec:
+		cells := diff.DefaultSweep()
+		records, err := diff.VerifyCodecs(cells, *branches, *seed, stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "codec arm ok: %d cells replayed from varint, columnar and mmap sources, %d records checked, 0 divergences\n",
+			len(cells), records)
+		return nil
+
 	case *sweep:
 		results, err := diff.Sweep(diff.DefaultSweep(), diff.Options{
 			Branches: *branches, Seed: *seed, Log: stdout,
@@ -83,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return summarise(stdout, results)
 
 	default:
-		return cli.Usagef("specify one of -sweep, -cell, -selftest or -list")
+		return cli.Usagef("specify one of -sweep, -codec, -cell, -selftest or -list")
 	}
 }
 

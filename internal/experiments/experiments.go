@@ -17,6 +17,7 @@ import (
 
 	"gskew/internal/report"
 	"gskew/internal/trace"
+	"gskew/internal/tracepool"
 	"gskew/internal/workload"
 )
 
@@ -108,6 +109,13 @@ type Context struct {
 	// manifest cells, progress lines) from every simulation cell driven
 	// through Context.RunMany. Nil — the default — is zero-overhead.
 	Obs *RunObs
+	// Pool, when non-nil, backs Trace with the content-addressed trace
+	// segment pool: a benchmark whose (name, scale, seed) identity is
+	// already pooled is decoded from its columnar blob instead of
+	// regenerated, and fresh materialisations are written through, so
+	// repeated experiment runs sharing a -trace-pool directory (or a
+	// pool shared with the HTTP service) skip workload generation.
+	Pool *tracepool.Pool
 
 	schedOnce    sync.Once
 	defaultSched *Sched
@@ -167,6 +175,13 @@ func (c *Context) Trace(name string) ([]trace.Branch, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		poolKey := fmt.Sprintf("%s|%g|%d", name, c.scale(), c.SeedOffset)
+		if c.Pool != nil {
+			if branches, _, ok := c.Pool.GetNamed(poolKey); ok {
+				e.branches = branches
+				return
+			}
+		}
 		spec, err := workload.ByName(name)
 		if err != nil {
 			e.err = err
@@ -174,6 +189,11 @@ func (c *Context) Trace(name string) ([]trace.Branch, error) {
 		}
 		e.branches, e.err = workload.Materialize(spec,
 			workload.Config{Scale: c.scale(), SeedOffset: c.SeedOffset})
+		if e.err == nil && c.Pool != nil {
+			// Write-through; a pool failure only costs re-materialisation
+			// on the next run.
+			c.Pool.PutNamed(poolKey, e.branches)
+		}
 	})
 	return e.branches, e.err
 }

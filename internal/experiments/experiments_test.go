@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"gskew/internal/report"
+	"gskew/internal/trace"
+	"gskew/internal/tracepool"
 )
 
 // testCtx returns a context small enough for unit tests: a single
@@ -98,6 +100,52 @@ func TestContextTraceCache(t *testing.T) {
 	}
 	if len(c) != len(a) {
 		t.Error("regenerated trace differs in length")
+	}
+}
+
+// TestContextTracePool: with a Pool set, materialisations write
+// through under the (name, scale, seed) identity, a second context
+// sharing the pool serves the pooled segment instead of regenerating,
+// and the pool is authoritative for the name — whatever it binds is
+// what Trace returns.
+func TestContextTracePool(t *testing.T) {
+	pool, err := tracepool.Open(4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx()
+	ctx.Pool = pool
+	a, err := ctx.Trace("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "verilog|0.004|0"
+	pooled, hash, ok := pool.GetNamed(key)
+	if !ok {
+		t.Fatalf("materialisation not pooled under %q", key)
+	}
+	if hash != trace.HashBranches(a) || len(pooled) != len(a) {
+		t.Error("pooled segment differs from the materialised trace")
+	}
+
+	// A fresh context over the same pool must come back with the pooled
+	// content. Prove the pool path is taken (not a regeneration that
+	// happens to match) by rebinding the name to different content first.
+	other := []trace.Branch{
+		{PC: 0x40, Taken: true, Kind: trace.Conditional},
+		{PC: 0x44, Taken: false, Kind: trace.Conditional},
+	}
+	if _, err := pool.PutNamed(key, other); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := testCtx()
+	ctx2.Pool = pool
+	b, err := ctx2.Trace("verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(other) {
+		t.Errorf("pool-backed Trace returned %d branches, want the pooled %d (pool not consulted)", len(b), len(other))
 	}
 }
 

@@ -170,35 +170,35 @@ func TestSpecNewErrors(t *testing.T) {
 	bad := []Spec{
 		{Family: ""},
 		{Family: "nope", N: 12},
-		{Family: "gshare"},                         // n = 0
-		{Family: "gshare", N: 31},                  // n too wide
-		{Family: "gshare", N: 14, Hist: 31},        // k too long
-		{Family: "gshare", N: 14, Ctr: 9},          // counter too wide
-		{Family: "gskewed", N: 1, Hist: 4},         // below skewfn.MinBits
-		{Family: "gskewed", N: 12, Banks: 2},       // even bank count
-		{Family: "2bcgskew", N: 1, Hist: 14},       // below skewfn.MinBits
-		{Family: "agree", N: 14, Hist: 8},          // bias = 0
-		{Family: "agree", N: 0, Hist: 8, Bias: 10}, // n = 0
-		{Family: "bimode", N: 13, Hist: 8},         // choice = 0
-		{Family: "pas", BHT: 0, Local: 8, N: 12},   // bht = 0
-		{Family: "pas", BHT: 10, Local: 13, N: 12}, // local > pht index
-		{Family: "skewed-pas", BHT: 10, Local: 8},  // bank bits = 0
-		{Family: "assoc-lru", Entries: 0, Hist: 4}, // no capacity
-		{Family: "unaliased", Hist: 40},            // history too long
-		{Family: "tage"},                           // n = 0
-		{Family: "tage", N: 30, Hist: 20},          // index too wide
-		{Family: "tage", N: 9, Hist: 31},           // history too long
-		{Family: "tage", N: 9, Hist: 20, Tables: 9},          // too many components
-		{Family: "tage", N: 9, Hist: 20, Tag: 1},             // tag too narrow
-		{Family: "tage", N: 9, Hist: 20, Tag: 17},            // tag too wide
-		{Family: "tage", N: 9, Hist: 20, HistMin: 31},        // kmin too long
-		{Family: "tage", N: 9, Hist: 20, Ctr: 9},             // counter too wide
-		{Family: "perceptron"},                               // n = 0
-		{Family: "perceptron", N: 30, Hist: 16},              // index too wide
-		{Family: "perceptron", N: 9, Hist: 31},               // history too long
-		{Family: "perceptron", N: 9, Hist: 16, Tables: 1},    // bias table alone
-		{Family: "perceptron", N: 9, Hist: 16, Tables: 17},   // too many tables
-		{Family: "perceptron", N: 9, Hist: 16, Ctr: 9},       // weights too wide
+		{Family: "gshare"},                                     // n = 0
+		{Family: "gshare", N: 31},                              // n too wide
+		{Family: "gshare", N: 14, Hist: 31},                    // k too long
+		{Family: "gshare", N: 14, Ctr: 9},                      // counter too wide
+		{Family: "gskewed", N: 1, Hist: 4},                     // below skewfn.MinBits
+		{Family: "gskewed", N: 12, Banks: 2},                   // even bank count
+		{Family: "2bcgskew", N: 1, Hist: 14},                   // below skewfn.MinBits
+		{Family: "agree", N: 14, Hist: 8},                      // bias = 0
+		{Family: "agree", N: 0, Hist: 8, Bias: 10},             // n = 0
+		{Family: "bimode", N: 13, Hist: 8},                     // choice = 0
+		{Family: "pas", BHT: 0, Local: 8, N: 12},               // bht = 0
+		{Family: "pas", BHT: 10, Local: 13, N: 12},             // local > pht index
+		{Family: "skewed-pas", BHT: 10, Local: 8},              // bank bits = 0
+		{Family: "assoc-lru", Entries: 0, Hist: 4},             // no capacity
+		{Family: "unaliased", Hist: 40},                        // history too long
+		{Family: "tage"},                                       // n = 0
+		{Family: "tage", N: 30, Hist: 20},                      // index too wide
+		{Family: "tage", N: 9, Hist: 31},                       // history too long
+		{Family: "tage", N: 9, Hist: 20, Tables: 9},            // too many components
+		{Family: "tage", N: 9, Hist: 20, Tag: 1},               // tag too narrow
+		{Family: "tage", N: 9, Hist: 20, Tag: 17},              // tag too wide
+		{Family: "tage", N: 9, Hist: 20, HistMin: 31},          // kmin too long
+		{Family: "tage", N: 9, Hist: 20, Ctr: 9},               // counter too wide
+		{Family: "perceptron"},                                 // n = 0
+		{Family: "perceptron", N: 30, Hist: 16},                // index too wide
+		{Family: "perceptron", N: 9, Hist: 31},                 // history too long
+		{Family: "perceptron", N: 9, Hist: 16, Tables: 1},      // bias table alone
+		{Family: "perceptron", N: 9, Hist: 16, Tables: 17},     // too many tables
+		{Family: "perceptron", N: 9, Hist: 16, Ctr: 9},         // weights too wide
 		{Family: "perceptron", N: 9, Hist: 16, Theta: 1 << 21}, // theta out of range
 	}
 	for _, s := range bad {

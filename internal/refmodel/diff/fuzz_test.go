@@ -20,7 +20,7 @@ func FuzzTAGEFoldedHistory(f *testing.F) {
 	f.Add(^uint64(0), uint(64), uint(11))
 	f.Add(uint64(0x123456789ABCDEF0), uint(63), uint(1))
 	f.Fuzz(func(t *testing.T, hist uint64, length, width uint) {
-		length %= 65        // [0, 64]
+		length %= 65         // [0, 64]
 		width = 1 + width%63 // [1, 63]
 		got := predictor.FoldHistory(hist, length, width)
 		want := refmodel.FoldedHistory(hist, length, width)

@@ -17,8 +17,8 @@ import (
 // omit it (and are rejected if they name a different one — a session
 // is one predictor).
 type predictRequest struct {
-	Session string       `json:"session"`
-	Spec    string       `json:"spec,omitempty"`
+	Session  string       `json:"session"`
+	Spec     string       `json:"spec,omitempty"`
 	Branches []wireBranch `json:"branches"`
 	// ReturnPredictions asks for the per-branch predicted directions.
 	// It forces the generic per-branch path for this batch (the

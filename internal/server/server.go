@@ -35,6 +35,7 @@ import (
 	"gskew/internal/experiments"
 	"gskew/internal/obs"
 	"gskew/internal/store"
+	"gskew/internal/tracepool"
 )
 
 // Server telemetry, registered in the default obs registry.
@@ -73,6 +74,12 @@ type Config struct {
 	// MaxTraces caps distinct materialised benchmark workloads held in
 	// memory (default DefaultMaxTraces).
 	MaxTraces int
+	// Pool is the content-addressed trace segment pool behind
+	// POST /v1/traces, GET /v1/traces/{hash} and the trace_sha256
+	// workload form of /v1/simulate; benchmark materialisations are
+	// also pooled through it. Nil selects a fresh memory-only pool of
+	// DefaultPoolEntries segments.
+	Pool *tracepool.Pool
 	// Segments is the segment-parallel split applied to simulate
 	// passes (sim.Options.Segments). Results are bit-identical at any
 	// value, so it is a server tuning knob rather than part of the
@@ -88,6 +95,7 @@ const (
 	DefaultSimTimeout   = 60 * time.Second
 	DefaultMaxSessions  = 256
 	DefaultMaxTraces    = 12
+	DefaultPoolEntries  = 12
 )
 
 // Server is the HTTP simulation service. Create with New; serve its
@@ -98,6 +106,7 @@ type Server struct {
 	cfg      Config
 	store    *store.Store
 	sched    *experiments.Sched
+	pool     *tracepool.Pool
 	traces   *traceCache
 	sessions *sessionTable
 	start    time.Time
@@ -127,16 +136,22 @@ func New(cfg Config) *Server {
 	if cfg.MaxTraces <= 0 {
 		cfg.MaxTraces = DefaultMaxTraces
 	}
+	if cfg.Pool == nil {
+		cfg.Pool, _ = tracepool.Open(DefaultPoolEntries, "")
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    cfg.Store,
 		sched:    cfg.Sched,
-		traces:   newTraceCache(cfg.MaxTraces),
+		pool:     cfg.Pool,
+		traces:   newTraceCache(cfg.MaxTraces, cfg.Pool),
 		sessions: newSessionTable(cfg.MaxSessions),
 		start:    time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.instrument(s.handleSimulate))
+	mux.HandleFunc("POST /v1/traces", s.instrument(s.handleTraceIngest))
+	mux.HandleFunc("GET /v1/traces/{hash}", s.instrument(s.handleTraceGet))
 	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
 	mux.HandleFunc("DELETE /v1/predict/{session}", s.instrument(s.handleEndSession))
 	mux.HandleFunc("GET /v1/specs", s.instrument(s.handleSpecs))

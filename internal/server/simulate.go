@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/base64"
 	"fmt"
@@ -12,6 +11,7 @@ import (
 	"gskew/internal/sim"
 	"gskew/internal/store"
 	"gskew/internal/trace"
+	"gskew/internal/tracepool"
 	"gskew/internal/workload"
 )
 
@@ -29,6 +29,12 @@ type simulateRequest struct {
 	Seed  uint64  `json:"seed,omitempty"`
 
 	TraceB64 string `json:"trace_b64,omitempty"`
+
+	// TraceSHA256 addresses a trace already in the segment pool
+	// (ingested via POST /v1/traces, pooled from an earlier trace_b64
+	// upload, or shared on disk with another process). The response is
+	// byte-identical to inlining the same trace as trace_b64.
+	TraceSHA256 string `json:"trace_sha256,omitempty"`
 
 	Options store.Options `json:"options,omitempty"`
 }
@@ -185,11 +191,17 @@ func (s *Server) runGated(ctx context.Context, branches []trace.Branch, preds []
 }
 
 // resolveWorkload materialises the request's trace: a cached named
-// benchmark or an uploaded binary trace.
+// benchmark, an uploaded binary trace, or a pool segment by hash.
 func (s *Server) resolveWorkload(req *simulateRequest) ([]trace.Branch, string, workloadInfo, error) {
+	given := 0
+	for _, set := range []bool{req.Bench != "", req.TraceB64 != "", req.TraceSHA256 != ""} {
+		if set {
+			given++
+		}
+	}
 	switch {
-	case req.Bench != "" && req.TraceB64 != "":
-		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "give bench or trace_b64, not both")
+	case given > 1:
+		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "give exactly one of bench, trace_b64 or trace_sha256")
 	case req.Bench != "":
 		if req.Scale < 0 || req.Scale > 1 {
 			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "scale %g out of range [0,1] (0 = default)", req.Scale)
@@ -208,18 +220,25 @@ func (s *Server) resolveWorkload(req *simulateRequest) ([]trace.Branch, string, 
 		if err != nil {
 			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
 		}
-		rd, err := trace.NewReader(bytes.NewReader(raw))
+		branches, err := trace.DecodeBytes(raw)
 		if err != nil {
 			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
 		}
-		branches, err := trace.Collect(rd)
+		// Put-through: an inlined trace becomes poolable by hash, so a
+		// client can upload once and sweep by trace_sha256 thereafter.
+		hash, _, err := s.pool.Put(branches)
 		if err != nil {
-			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
+			return nil, "", workloadInfo{}, fmt.Errorf("pooling trace: %w", err)
 		}
-		hash := trace.HashBranches(branches)
 		return branches, hash, workloadInfo{TraceSHA256: hash, Branches: len(branches)}, nil
+	case req.TraceSHA256 != "":
+		branches, ok := s.pool.Get(req.TraceSHA256)
+		if !ok {
+			return nil, "", workloadInfo{}, httpErrorf(http.StatusNotFound, "no pooled trace %s", req.TraceSHA256)
+		}
+		return branches, req.TraceSHA256, workloadInfo{TraceSHA256: req.TraceSHA256, Branches: len(branches)}, nil
 	default:
-		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "no workload: give bench or trace_b64")
+		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "no workload: give bench, trace_b64 or trace_sha256")
 	}
 }
 
@@ -238,15 +257,21 @@ type materialisedTrace struct {
 // exactly once. Capacity is bounded: inserting beyond it drops an
 // arbitrary other completed entry — dropped slices stay valid for
 // in-flight requests (they are immutable) and simply re-materialise on
-// next use.
+// next use. The cache writes through to the trace segment pool under
+// the same (bench, scale, seed) name: a pooled segment survives
+// eviction (and, with a disk-backed pool, process restarts), so a
+// re-requested workload is decoded from the pool instead of
+// regenerated, and every benchmark materialisation is automatically
+// addressable by trace_sha256.
 type traceCache struct {
-	mu  sync.Mutex
-	max int
-	m   map[string]*materialisedTrace
+	mu   sync.Mutex
+	max  int
+	pool *tracepool.Pool
+	m    map[string]*materialisedTrace
 }
 
-func newTraceCache(max int) *traceCache {
-	return &traceCache{max: max, m: make(map[string]*materialisedTrace)}
+func newTraceCache(max int, pool *tracepool.Pool) *traceCache {
+	return &traceCache{max: max, pool: pool, m: make(map[string]*materialisedTrace)}
 }
 
 func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialisedTrace, error) {
@@ -267,6 +292,10 @@ func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialise
 	}
 	c.mu.Unlock()
 	mt.once.Do(func() {
+		if branches, hash, ok := c.pool.GetNamed(key); ok {
+			mt.branches, mt.hash = branches, hash
+			return
+		}
 		spec, err := workload.ByName(bench)
 		if err != nil {
 			mt.err = err
@@ -275,6 +304,8 @@ func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialise
 		mt.branches, mt.err = workload.Materialize(spec, workload.Config{Scale: scale, SeedOffset: seed})
 		if mt.err == nil {
 			mt.hash = trace.HashBranches(mt.branches)
+			// Write-through; a pool failure only costs re-materialisation.
+			c.pool.PutNamed(key, mt.branches)
 		}
 	})
 	if mt.err != nil {

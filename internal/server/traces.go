@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"gskew/internal/trace"
+)
+
+// Trace ingest and retrieval: the HTTP face of the content-addressed
+// trace segment pool. POST /v1/traces accepts a raw binary trace body
+// (either the varint or the block-columnar codec, sniffed from the
+// magic) and pools it under its canonical content hash; the response
+// carries only the hash and record count, so re-ingesting the same
+// trace — in either serialisation — returns a byte-identical response
+// and stores nothing new. GET /v1/traces/{hash} serves the pooled
+// segment back, always re-encoded in the columnar format (canonical
+// bytes for a given branch sequence, so repeated GETs are
+// byte-identical too). A pooled hash can then address simulations
+// directly via the trace_sha256 field of POST /v1/simulate.
+
+// traceIngestResponse is the wire form of a completed ingest. There is
+// deliberately no created/timestamp field: responses must not depend
+// on whether this request or an earlier one pooled the segment.
+type traceIngestResponse struct {
+	TraceSHA256 string `json:"trace_sha256"`
+	Branches    int    `json:"branches"`
+}
+
+// handleTraceIngest decodes the uploaded trace and pools it.
+func (s *Server) handleTraceIngest(w http.ResponseWriter, r *http.Request) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err // MaxBytesReader errors map to 413 in instrument
+	}
+	branches, err := trace.DecodeBytes(body)
+	if err != nil {
+		return httpErrorf(http.StatusBadRequest, "decoding trace: %v", err)
+	}
+	hash, _, err := s.pool.Put(branches)
+	if err != nil {
+		return fmt.Errorf("pooling trace: %w", err)
+	}
+	return writeJSON(w, traceIngestResponse{TraceSHA256: hash, Branches: len(branches)})
+}
+
+// handleTraceGet serves one pooled segment in the columnar format.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) error {
+	hash := r.PathValue("hash")
+	branches, ok := s.pool.Get(hash)
+	if !ok {
+		return httpErrorf(http.StatusNotFound, "no pooled trace %s", hash)
+	}
+	enc, err := trace.EncodeColumnar(branches)
+	if err != nil {
+		return fmt.Errorf("encoding trace %s: %w", hash, err)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(enc)))
+	_, err = w.Write(enc)
+	return err
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gskew/internal/trace"
+	"gskew/internal/tracepool"
+)
+
+// testTrace builds a small deterministic branch sequence.
+func testTrace(n int) []trace.Branch {
+	branches := make([]trace.Branch, 0, 2*n)
+	for i := 0; i < n; i++ {
+		branches = append(branches,
+			trace.Branch{PC: 0x400 + uint64(i%13)*4, Taken: i%3 != 0, Kind: trace.Conditional},
+			trace.Branch{PC: 0x900, Taken: true, Kind: trace.Unconditional})
+	}
+	return branches
+}
+
+// encodeVarintTest serialises branches through the varint writer.
+func encodeVarintTest(t *testing.T, branches []trace.Branch) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range branches {
+		if err := w.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postRaw(t *testing.T, url string, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func TestTraceIngestAndGet(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	branches := testTrace(400)
+	wantHash := trace.HashBranches(branches)
+
+	// Ingest the varint serialisation.
+	status, body1 := postRaw(t, ts.URL+"/v1/traces", encodeVarintTest(t, branches))
+	if status != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", status, body1)
+	}
+	var resp traceIngestResponse
+	if err := json.Unmarshal([]byte(body1), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceSHA256 != wantHash {
+		t.Errorf("ingest hash %s, want %s", resp.TraceSHA256, wantHash)
+	}
+	if resp.Branches != len(branches) {
+		t.Errorf("ingest branches %d, want %d", resp.Branches, len(branches))
+	}
+
+	// Re-ingesting the same content in the columnar serialisation must
+	// return a byte-identical response: the pool is content-addressed,
+	// so the serialisation that delivered the bytes is irrelevant.
+	columnar, err := trace.EncodeColumnar(branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body2 := postRaw(t, ts.URL+"/v1/traces", columnar)
+	if status != http.StatusOK {
+		t.Fatalf("re-ingest status %d: %s", status, body2)
+	}
+	if body1 != body2 {
+		t.Errorf("repeat ingest responses differ:\n%s\n%s", body1, body2)
+	}
+
+	// GET serves the canonical columnar bytes back.
+	resp2, err := http.Get(ts.URL + "/v1/traces/" + wantHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	served, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("get status %d: %s", resp2.StatusCode, served)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	if !bytes.Equal(served, columnar) {
+		t.Error("served trace bytes are not the canonical columnar encoding")
+	}
+	got, err := trace.DecodeBytes(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.HashBranches(got) != wantHash {
+		t.Error("served trace decodes to different content")
+	}
+}
+
+func TestTraceIngestRejectsGarbage(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, body := range map[string][]byte{
+		"empty":      nil,
+		"not magic":  []byte("hello, world"),
+		"truncated":  encodeVarintTest(t, testTrace(300))[:7],
+		"bad crc":    flipLastByte(t, testTrace(300)),
+		"text trace": []byte("C 0x400 T\n"),
+	} {
+		status, out := postRaw(t, ts.URL+"/v1/traces", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, status, out)
+		}
+	}
+}
+
+// flipLastByte corrupts a columnar encoding's final payload byte, which
+// the block CRC must reject.
+func flipLastByte(t *testing.T, branches []trace.Branch) []byte {
+	t.Helper()
+	enc, err := trace.EncodeColumnar(branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-1] ^= 0xff
+	return enc
+}
+
+func TestTraceGetMisses(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, hash := range map[string]string{
+		"unknown":   strings.Repeat("ab", 32),
+		"malformed": "not-a-hash",
+		"uppercase": strings.Repeat("AB", 32),
+	} {
+		resp, err := http.Get(ts.URL + "/v1/traces/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestSimulateByHashMatchesInline is the ingest-then-sweep contract:
+// simulating by trace_sha256 must return a byte-identical body to
+// inlining the same trace as trace_b64.
+func TestSimulateByHashMatchesInline(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	branches := testTrace(500)
+	enc := encodeVarintTest(t, branches)
+
+	inlineBody := fmt.Sprintf(`{"specs":["gshare:n=7,k=5"],"trace_b64":%q}`, base64.StdEncoding.EncodeToString(enc))
+	status, inline, _ := postJSON(t, ts.URL+"/v1/simulate", inlineBody)
+	if status != http.StatusOK {
+		t.Fatalf("inline status %d: %s", status, inline)
+	}
+
+	// The inline request put the trace through to the pool, so the hash
+	// in its response is immediately addressable.
+	hash := trace.HashBranches(branches)
+	hashBody := fmt.Sprintf(`{"specs":["gshare:n=7,k=5"],"trace_sha256":%q}`, hash)
+	status, byHash, _ := postJSON(t, ts.URL+"/v1/simulate", hashBody)
+	if status != http.StatusOK {
+		t.Fatalf("by-hash status %d: %s", status, byHash)
+	}
+	if inline != byHash {
+		t.Errorf("inline and by-hash responses differ:\n--- inline ---\n%s--- by-hash ---\n%s", inline, byHash)
+	}
+
+	// Ingest-first is equivalent too.
+	status, _ = postRaw(t, ts.URL+"/v1/traces", enc)
+	if status != http.StatusOK {
+		t.Fatalf("ingest status %d", status)
+	}
+	status, again, _ := postJSON(t, ts.URL+"/v1/simulate", hashBody)
+	if status != http.StatusOK || again != inline {
+		t.Errorf("post-ingest by-hash response diverged (status %d)", status)
+	}
+}
+
+func TestSimulateByHashRejections(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"unpooled hash":  {fmt.Sprintf(`{"specs":["bimodal:n=8"],"trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusNotFound},
+		"malformed hash": {`{"specs":["bimodal:n=8"],"trace_sha256":"../../etc/passwd"}`, http.StatusNotFound},
+		"hash and bench": {fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusBadRequest},
+		"all three":      {fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":"aGk=","trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusBadRequest},
+	} {
+		status, out, _ := postJSON(t, ts.URL+"/v1/simulate", tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", name, status, tc.want, out)
+		}
+	}
+}
+
+// TestTracePoolDiskSharing: a disk-backed pool dedups across server
+// instances — a second server over the same directory serves a segment
+// it never saw ingested, and repeated ingests leave exactly one blob.
+func TestTracePoolDiskSharing(t *testing.T) {
+	dir := t.TempDir()
+	pool1, err := tracepool.Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newTestServer(t, Config{Pool: pool1})
+	branches := testTrace(350)
+	hash := trace.HashBranches(branches)
+
+	for i := 0; i < 3; i++ {
+		if status, out := postRaw(t, ts1.URL+"/v1/traces", encodeVarintTest(t, branches)); status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, status, out)
+		}
+	}
+	blobs, err := filepath.Glob(filepath.Join(dir, "*.ctrace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 {
+		t.Fatalf("%d blobs after 3 ingests of one trace, want 1", len(blobs))
+	}
+	if got := filepath.Base(blobs[0]); got != hash+".ctrace" {
+		t.Errorf("blob named %s, want %s.ctrace", got, hash)
+	}
+
+	pool2, err := tracepool.Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServer(t, Config{Pool: pool2})
+	resp, err := http.Get(ts2.URL + "/v1/traces/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second server over shared dir: status %d", resp.StatusCode)
+	}
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeBytes(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.HashBranches(got) != hash {
+		t.Error("shared pool served different content")
+	}
+
+	// A corrupted blob degrades to a miss on a fresh pool, never to a
+	// wrong trace.
+	if err := os.WriteFile(blobs[0], []byte("GSKC garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pool3, err := tracepool.Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := newTestServer(t, Config{Pool: pool3})
+	resp2, err := http.Get(ts3.URL + "/v1/traces/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("corrupted blob: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestBenchWorkloadsArePooled: materialising a benchmark through
+// /v1/simulate write-throughs to the pool, so the workload's hash is
+// addressable and a pool-sharing restart skips regeneration.
+func TestBenchWorkloadsArePooled(t *testing.T) {
+	dir := t.TempDir()
+	pool, err := tracepool.Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Pool: pool})
+	status, body, _ := postJSON(t, ts.URL+"/v1/simulate", `{"specs":["bimodal:n=8"],"bench":"verilog","scale":0.002}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp struct {
+		Workload struct {
+			TraceSHA256 string `json:"trace_sha256"`
+		} `json:"workload"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Contains(resp.Workload.TraceSHA256) {
+		t.Error("benchmark materialisation not pooled")
+	}
+	// And it is now hash-addressable for simulation.
+	status, byHash, _ := postJSON(t, ts.URL+"/v1/simulate",
+		fmt.Sprintf(`{"specs":["bimodal:n=8"],"trace_sha256":%q}`, resp.Workload.TraceSHA256))
+	if status != http.StatusOK {
+		t.Errorf("by-hash simulate of pooled benchmark: status %d: %s", status, byHash)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports the race detector is instrumenting this build;
+// allocation-accounting gates are meaningless under it.
+const raceEnabled = true

@@ -85,6 +85,31 @@ type stagedTrace struct {
 	ghr     uint64
 	ghrMask uint64
 	flush   int
+	pooled  bool // steps came from stepPool; release() returns it
+}
+
+// stepPool recycles staged step buffers across segmented runs. Staging
+// is the only per-branch allocation on the segmented path (kernel.Step
+// is 24 bytes, so a fresh buffer per run used to cost 24 B per branch,
+// the constant BENCH_sim.json reported for SimSegmented); reusing the
+// buffer makes the steady-state segmented run allocation-free in the
+// trace length. Only stageTrace-built buffers enter the pool —
+// SegmentSteps wraps caller-owned steps and never releases them.
+var stepPool = sync.Pool{
+	New: func() any { s := make([]kernel.Step, 0, autoMinBranches); return &s },
+}
+
+// release returns a pooled steps buffer. Safe only after every worker
+// has joined (runSegmentedMany returns post-Wait) and the results have
+// been extracted; st must not be used afterwards.
+func (st *stagedTrace) release() {
+	if !st.pooled {
+		return
+	}
+	buf := st.steps[:0]
+	st.steps = nil
+	st.pooled = false
+	stepPool.Put(&buf)
 }
 
 func (st *stagedTrace) stage(branches []trace.Branch) error {
@@ -117,10 +142,13 @@ func (st *stagedTrace) stage(branches []trace.Branch) error {
 // runner's process loop; the staged history values are the ones every
 // predictor observes, masked to its own length by its kernel.
 func stageTrace(src trace.Source, opts Options, ghrMask uint64) (*stagedTrace, error) {
-	st := &stagedTrace{ghrMask: ghrMask, flush: opts.FlushEvery}
+	st := &stagedTrace{ghrMask: ghrMask, flush: opts.FlushEvery, pooled: true}
+	st.steps = (*stepPool.Get().(*[]kernel.Step))[:0]
 	if ss, ok := src.(*trace.SliceSource); ok {
 		branches := ss.Drain()
-		st.steps = make([]kernel.Step, 0, len(branches))
+		if cap(st.steps) < len(branches) {
+			st.steps = make([]kernel.Step, 0, len(branches))
+		}
 		return st, st.stage(branches)
 	}
 	buf := make([]trace.Branch, batchSize)
@@ -479,7 +507,9 @@ func RunSegmentedNoReconcile(src trace.Source, preds []predictor.Predictor, opts
 	if err != nil {
 		return nil, err
 	}
-	return runSegmentedMany(st, preds, hists, orig, opts, k, false), nil
+	res := runSegmentedMany(st, preds, hists, orig, opts, k, false)
+	st.release()
+	return res, nil
 }
 
 // SegmentSteps runs an already-staged step block through the segmented

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"gskew/internal/kernel"
@@ -338,5 +339,47 @@ func TestRunManyBitsliced(t *testing.T) {
 				t.Errorf("flush=%d cell %d: bitsliced %+v, scalar %+v", flush, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestSegmentedSteadyStateAllocs pins the steps-buffer pool: a warm
+// segmented run must not allocate per staged branch (the buffer used
+// to be freshly made each run — kernel.Step is 24 bytes, the constant
+// per-branch cost BENCH_sim.json once reported for SimSegmented). The
+// test gates both the allocation count (a constant per run: replicas,
+// marks, snapshots, results) and the allocated bytes per branch. GC is
+// disabled during measurement so sync.Pool cannot be drained under us.
+func TestSegmentedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under the race detector")
+	}
+	branches := manyTestTrace(1 << 17)
+	preds := []predictor.Predictor{predictor.NewGShare(8, 6, 2)}
+	src := trace.NewSliceSource(branches)
+	opts := Options{Segments: 4}
+	run := func() {
+		src.Reset()
+		if _, err := RunMany(src, preds, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: seeds the step pool and compiled-kernel caches
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+
+	const rounds = 5
+	allocs := testing.AllocsPerRun(rounds, run)
+	if allocs > 256 {
+		t.Errorf("segmented steady state: %.0f allocations per run, want a small constant (<= 256)", allocs)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	perBranch := float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds*len(branches))
+	if perBranch > 2 {
+		t.Errorf("segmented steady state allocates %.2f B per branch, want < 2 (steps buffer not pooled?)", perBranch)
 	}
 }

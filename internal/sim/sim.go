@@ -439,7 +439,9 @@ func RunMany(src trace.Source, preds []predictor.Predictor, opts Options) ([]Res
 		if err != nil {
 			return nil, err
 		}
-		return runSegmentedMany(st, preds, hists, orig, opts, k, true), nil
+		res := runSegmentedMany(st, preds, hists, orig, opts, k, true)
+		st.release()
+		return res, nil
 	}
 	r := newManyRunner(preds, opts)
 	if ss, ok := src.(*trace.SliceSource); ok {

@@ -1,0 +1,704 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+	"slices"
+)
+
+// Block-columnar format
+//
+// The varint codec above pays a data-dependent decode per record, which
+// at ~5 ns/record dominates cold sweeps now that the simulation kernels
+// run at sub-nanosecond per branch. The columnar format trades a little
+// writer effort for a straight-line block decoder: records are grouped
+// into fixed-size blocks and each block stores its three fields as
+// separate streams, each compressed by the structure branch traces
+// actually have.
+//
+//	file:  header:  magic "GSKC" | version u8 | reserved [11]byte
+//	       block*
+//	block: header (16 bytes):
+//	         count   u32 LE   records in the block (1..ColumnarBlockSize)
+//	         length  u32 LE   payload bytes
+//	         crc32c  u32 LE   CRC-32 (Castagnoli) of the payload
+//	         mode    u8       0 = dictionary PC stream, 1 = raw varint
+//	         zero    [3]byte  must be zero
+//	       payload: PC stream | direction bitvector | kind stream
+//
+// PC stream, mode 0 (dictionary): the block's distinct PCs sorted
+// ascending as a varint head plus varint deltas, then one width byte,
+// then count bit-packed dictionary indices (width bits each, LSB
+// first). Traces revisit a small static branch set, so a 4096-record
+// block rarely holds more than a few hundred distinct PCs and indices
+// pack into ~8-10 bits. Mode 1 (raw escape) stores the records'
+// zig-zag PC deltas as plain varints, chained from zero at the block
+// start. The writer costs both encodings but takes the raw escape only
+// when it is at least a quarter smaller: the dictionary's unpack is a
+// constant-width shift-and-mask per record while raw pays a
+// data-dependent varint decode, so within that margin the dictionary
+// wins on decode cost at near-equal density. Adversarial blocks (mostly
+// distinct, closely spaced PCs, where the dictionary would nearly
+// double the block) still degrade to roughly the varint codec's
+// density, never worse.
+//
+// Direction bitvector: ceil(count/64) little-endian u64 words, bit
+// (i mod 64) of word (i div 64) holding record i's Taken.
+//
+// Kind stream: one flag byte, then either alternating varint run
+// lengths starting with a Conditional run (flag 0; possibly zero when
+// the block opens unconditional), stopping once the runs cover the
+// block, or a raw bitvector shaped like the direction bitvector
+// (flag 1). Kinds are near-constant in real traces, so the runs are
+// typically a handful of bytes; the bitvector is the escape for
+// densely interleaved blocks, where per-run varints would cost more
+// bytes than the bitvector and far more decode time.
+//
+// Every block is independently decodable: the dictionary is absolute,
+// the mode-1 delta chain restarts at zero, and the count/length header
+// lets a reader skip or parallelise blocks without decoding them.
+// Corruption anywhere — truncation, a flipped payload byte, a forged
+// header — surfaces as an error wrapping ErrCorrupt, never as a wrong
+// trace.
+
+// ColumnarBlockSize is the maximum records per block.
+const ColumnarBlockSize = 4096
+
+// columnarVersion is the columnar format version byte.
+const columnarVersion = 1
+
+// columnarBlockHeaderSize is the fixed per-block header width.
+const columnarBlockHeaderSize = 16
+
+// maxColumnarPayload bounds a block payload. The worst honest case
+// (4096 ten-byte varint deltas plus packed indices, directions and
+// kinds) stays under 56 KiB; anything larger is a forged header.
+const maxColumnarPayload = 1 << 16
+
+// Kind stream flags: the byte that opens the kind stream, selecting
+// how the per-record kinds are encoded.
+const (
+	kindStreamRuns = 0 // alternating varint run-lengths, Conditional first
+	kindStreamBits = 1 // raw bitvector, bit (i mod 64) of word (i div 64)
+)
+
+// magicColumnar identifies the columnar container.
+var magicColumnar = [4]byte{'G', 'S', 'K', 'C'}
+
+// ErrCorrupt marks undecodable columnar data: a truncated block, a
+// checksum mismatch, a forged header or an inconsistent stream. Every
+// decode failure past the file header wraps it, so callers can treat
+// all corruption uniformly with errors.Is.
+var ErrCorrupt = errors.New("trace: corrupt columnar data")
+
+// castagnoli is the CRC-32C table shared by writer and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// uvarintLen returns the encoded width of v.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// ColumnarWriter encodes branches into the block-columnar format.
+type ColumnarWriter struct {
+	w   *bufio.Writer
+	buf []Branch // pending records of the open block
+
+	// Per-block scratch, reused across flushes.
+	dict    []uint64
+	payload []byte
+
+	// tamperWidth plants the verify selftest's bitpack-width
+	// off-by-one: dictionary indices are packed one bit narrower than
+	// the stored dictionary needs, silently aliasing high entries onto
+	// low ones. See TamperColumnarBitpackWidth.
+	tamperWidth bool
+}
+
+// NewColumnarWriter returns a ColumnarWriter and emits the file header.
+func NewColumnarWriter(w io.Writer) (*ColumnarWriter, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	copy(hdr[:4], magicColumnar[:])
+	hdr[4] = columnarVersion
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing columnar header: %w", err)
+	}
+	return &ColumnarWriter{
+		w:    bw,
+		buf:  make([]Branch, 0, ColumnarBlockSize),
+		dict: make([]uint64, 0, ColumnarBlockSize),
+	}, nil
+}
+
+// TamperColumnarBitpackWidth plants a bitpack-width off-by-one fault
+// into the writer: dictionary indices are packed with one bit less
+// than the dictionary requires, so high dictionary entries silently
+// alias onto low ones while every block checksum stays valid. It
+// exists solely for the verify selftest, which must prove the codec
+// differential arm catches exactly this class of silent fault.
+func TamperColumnarBitpackWidth(w *ColumnarWriter) { w.tamperWidth = true }
+
+// Write buffers one record, flushing a block when full.
+func (w *ColumnarWriter) Write(b Branch) error {
+	if b.Kind > Unconditional {
+		return fmt.Errorf("trace: invalid kind %d", b.Kind)
+	}
+	w.buf = append(w.buf, b)
+	if len(w.buf) == ColumnarBlockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// Flush writes any partial final block and flushes the underlying
+// writer. The writer remains usable; a later Write opens a new block.
+func (w *ColumnarWriter) Flush() error {
+	if len(w.buf) > 0 {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// flushBlock encodes and emits the pending records as one block.
+func (w *ColumnarWriter) flushBlock() error {
+	recs := w.buf
+	count := len(recs)
+
+	// Dictionary: the block's distinct PCs, sorted.
+	w.dict = w.dict[:0]
+	for i := range recs {
+		w.dict = append(w.dict, recs[i].PC)
+	}
+	slices.Sort(w.dict)
+	w.dict = slices.Compact(w.dict)
+	dictCount := len(w.dict)
+	width := bits.Len(uint(dictCount - 1))
+
+	// Cost both PC encodings. The raw escape must be at least a quarter
+	// smaller to displace the dictionary's straight-line decode.
+	dictCost := uvarintLen(uint64(dictCount)) + uvarintLen(w.dict[0])
+	for i := 1; i < dictCount; i++ {
+		dictCost += uvarintLen(w.dict[i] - w.dict[i-1])
+	}
+	dictCost += 1 + (count*width+7)/8
+	rawCost := 0
+	prev := uint64(0)
+	for i := range recs {
+		rawCost += uvarintLen(zigzag(int64(recs[i].PC) - int64(prev)))
+		prev = recs[i].PC
+	}
+
+	w.payload = w.payload[:0]
+	var vbuf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(vbuf[:], v)
+		w.payload = append(w.payload, vbuf[:n]...)
+	}
+
+	mode := byte(0)
+	if rawCost*4 < dictCost*3 {
+		mode = 1
+		prev = 0
+		for i := range recs {
+			putUvarint(zigzag(int64(recs[i].PC) - int64(prev)))
+			prev = recs[i].PC
+		}
+	} else {
+		putUvarint(uint64(dictCount))
+		putUvarint(w.dict[0])
+		for i := 1; i < dictCount; i++ {
+			putUvarint(w.dict[i] - w.dict[i-1])
+		}
+		packWidth := width
+		if w.tamperWidth && packWidth > 0 {
+			packWidth--
+		}
+		w.payload = append(w.payload, byte(packWidth))
+		mask := uint64(1)<<packWidth - 1
+		var acc uint64
+		accBits := 0
+		for i := range recs {
+			idx, _ := slices.BinarySearch(w.dict, recs[i].PC)
+			acc |= (uint64(idx) & mask) << accBits
+			accBits += packWidth
+			for accBits >= 8 {
+				w.payload = append(w.payload, byte(acc))
+				acc >>= 8
+				accBits -= 8
+			}
+		}
+		if accBits > 0 {
+			w.payload = append(w.payload, byte(acc))
+		}
+	}
+
+	// Direction bitvector.
+	var word uint64
+	for i := range recs {
+		if recs[i].Taken {
+			word |= 1 << (i & 63)
+		}
+		if i&63 == 63 {
+			w.payload = binary.LittleEndian.AppendUint64(w.payload, word)
+			word = 0
+		}
+	}
+	if count&63 != 0 {
+		w.payload = binary.LittleEndian.AppendUint64(w.payload, word)
+	}
+
+	// Kind stream: run-lengths when kinds are near-constant, a raw
+	// bitvector when the block interleaves kinds so densely that the
+	// runs would cost more than the bitvector — the same decode-cost
+	// escape hatch the PC stream has, since the bitvector decodes as a
+	// straight word copy while dense runs pay a varint each.
+	runCost := 0
+	runKind := Conditional
+	for i := 0; i < count; runKind ^= 1 {
+		run := 0
+		for i+run < count && recs[i+run].Kind == runKind {
+			run++
+		}
+		runCost += uvarintLen(uint64(run))
+		i += run
+	}
+	words := (count + 63) / 64
+	if runCost <= words*8 {
+		w.payload = append(w.payload, kindStreamRuns)
+		runKind = Conditional
+		for i := 0; i < count; runKind ^= 1 {
+			run := 0
+			for i+run < count && recs[i+run].Kind == runKind {
+				run++
+			}
+			putUvarint(uint64(run))
+			i += run
+		}
+	} else {
+		w.payload = append(w.payload, kindStreamBits)
+		word = 0
+		for i := range recs {
+			word |= uint64(recs[i].Kind) << (i & 63)
+			if i&63 == 63 {
+				w.payload = binary.LittleEndian.AppendUint64(w.payload, word)
+				word = 0
+			}
+		}
+		if count&63 != 0 {
+			w.payload = binary.LittleEndian.AppendUint64(w.payload, word)
+		}
+	}
+
+	var hdr [columnarBlockHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(w.payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(w.payload, castagnoli))
+	hdr[12] = mode
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing block header: %w", err)
+	}
+	if _, err := w.w.Write(w.payload); err != nil {
+		return fmt.Errorf("trace: writing block payload: %w", err)
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// columnarBlockHeader is one parsed block header.
+type columnarBlockHeader struct {
+	count int
+	plen  int
+	crc   uint32
+	mode  byte
+}
+
+// parseColumnarBlockHeader validates a block header's invariants; the
+// payload checksum is verified separately once the payload is read.
+func parseColumnarBlockHeader(hdr []byte) (columnarBlockHeader, error) {
+	h := columnarBlockHeader{
+		count: int(binary.LittleEndian.Uint32(hdr[0:4])),
+		plen:  int(binary.LittleEndian.Uint32(hdr[4:8])),
+		crc:   binary.LittleEndian.Uint32(hdr[8:12]),
+		mode:  hdr[12],
+	}
+	switch {
+	case h.count < 1 || h.count > ColumnarBlockSize:
+		return h, corruptf("block count %d out of range [1,%d]", h.count, ColumnarBlockSize)
+	case h.plen < 1 || h.plen > maxColumnarPayload:
+		return h, corruptf("block payload length %d out of range [1,%d]", h.plen, maxColumnarPayload)
+	case h.mode > 1:
+		return h, corruptf("unknown PC stream mode %d", h.mode)
+	case hdr[13] != 0 || hdr[14] != 0 || hdr[15] != 0:
+		return h, corruptf("nonzero reserved block header bytes")
+	}
+	return h, nil
+}
+
+// decodeColumnarBlock expands one verified payload into dst[:count].
+// dict is caller scratch with length ColumnarBlockSize; kinds is
+// caller scratch with length ColumnarBlockSize/64. The checksum must
+// already have been verified; this validates everything the checksum
+// cannot (stream lengths, index bounds, run totals).
+//
+// The dictionary mode decodes in a single fused pass: its PC stream
+// width is known from the header fields alone, so the direction and
+// kind stream offsets are computable up front and every record is
+// assembled and stored once (one 64-bit load + shift/mask for the
+// index, one bit test for the direction, one compare for the kind
+// run). That straight-line loop is why the writer prefers this mode.
+// The raw escape's varint chain hides the stream length, so it decodes
+// in phases like the varint codec.
+func decodeColumnarBlock(payload []byte, h columnarBlockHeader, dst []Branch, dict []uint64, kinds []uint64) error {
+	count := h.count
+	dst = dst[:count]
+	pos := 0
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, corruptf("varint overruns block payload")
+		}
+		pos += n
+		return v, nil
+	}
+
+	if h.mode == 1 {
+		// Raw escape: inlined uvarint loop (skipping the closure keeps
+		// it at the varint codec's decode cost rather than above it),
+		// then directions and kinds as separate passes.
+		prev := uint64(0)
+		for i := 0; i < count; i++ {
+			if pos < len(payload) && payload[pos] < 0x80 {
+				prev = uint64(int64(prev) + unzigzag(uint64(payload[pos])))
+				pos++
+				dst[i].PC = prev
+				continue
+			}
+			d, n := binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				return corruptf("varint overruns block payload")
+			}
+			pos += n
+			prev = uint64(int64(prev) + unzigzag(d))
+			dst[i].PC = prev
+		}
+
+		words := (count + 63) / 64
+		if pos+words*8 > len(payload) {
+			return corruptf("direction bitvector overruns block payload")
+		}
+		dirs := payload[pos:]
+		for i := 0; i < count; i++ {
+			dst[i].Taken = dirs[i>>3]>>(i&7)&1 != 0
+		}
+		pos += words * 8
+
+		pos, err := decodeKinds(payload, pos, count, kinds)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			dst[i].Kind = Kind(kinds[i>>6] >> (i & 63) & 1)
+		}
+		if pos != len(payload) {
+			return corruptf("%d trailing bytes after block streams", len(payload)-pos)
+		}
+		return nil
+	}
+
+	// Dictionary mode.
+	dc, err := uvarint()
+	if err != nil {
+		return err
+	}
+	if dc < 1 || dc > uint64(count) {
+		return corruptf("dictionary size %d out of range [1,%d]", dc, count)
+	}
+	dictCount := int(dc)
+	dict = dict[:ColumnarBlockSize]
+	prev := uint64(0)
+	for i := 0; i < dictCount; i++ {
+		// One-byte fast path: ascending dictionary deltas are usually
+		// a handful of instruction words apart.
+		var d uint64
+		if pos < len(payload) && payload[pos] < 0x80 {
+			d = uint64(payload[pos])
+			pos++
+		} else {
+			var n int
+			d, n = binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				return corruptf("varint overruns block payload")
+			}
+			pos += n
+		}
+		prev += d
+		dict[i] = prev
+	}
+	if pos >= len(payload) {
+		return corruptf("missing index width byte")
+	}
+	width := int(payload[pos])
+	pos++
+	// dictCount <= ColumnarBlockSize bounds the index width at 12 bits,
+	// which in turn lets the hot loop index the dictionary scratch as a
+	// fixed-size array with a masked (always in-bounds) subscript.
+	if width > 12 {
+		return corruptf("index width %d out of range [0,12]", width)
+	}
+
+	// Fixed-width streams: packed indices, then the direction words,
+	// then the kind runs filling the remainder.
+	packedLen := (count*width + 7) / 8
+	words := (count + 63) / 64
+	if pos+packedLen+words*8 > len(payload) {
+		return corruptf("packed indices overrun block payload")
+	}
+	// ext extends the packed-index window 8 bytes past its end — into
+	// the direction bitvector, which is always >= 8 bytes — so the hot
+	// loop's unaligned 64-bit load never needs a tail fallback: the last
+	// index starts at byte packedLen-1 at the latest, and ext always has
+	// 8 readable bytes from there.
+	ext := payload[pos : pos+packedLen+8]
+	dirs := payload[pos+packedLen : pos+packedLen+words*8]
+	pos += packedLen + words*8
+
+	// Expand the kind stream into the per-record bitvector so the
+	// kernel reads kinds exactly like directions — one bit test — with
+	// no varint decoding, and with it no function calls that would
+	// force the register allocator to spill the loop state every
+	// iteration.
+	pos, err = decodeKinds(payload, pos, count, kinds)
+	if err != nil {
+		return err
+	}
+	if pos != len(payload) {
+		return corruptf("%d trailing bytes after block streams", len(payload)-pos)
+	}
+
+	// Index validation is deferred: the kernel reports the largest index
+	// it saw and that is range-checked once here (the caller discards
+	// dst on error, so writing garbage PCs first is harmless), keeping
+	// the hot loop free of data-dependent branches.
+	maxIdx := unpackColumnarRecords(dst, ext, dirs, (*[ColumnarBlockSize]uint64)(dict), width, kinds)
+	if int(maxIdx) >= dictCount {
+		return corruptf("dictionary index %d out of range [0,%d)", maxIdx, dictCount)
+	}
+	return nil
+}
+
+// decodeKinds expands the kind stream starting at payload[pos] into the
+// per-record bitvector kinds (bit i%64 of word i/64 is record i's kind)
+// and returns the stream's end offset. The bitvector escape is a plain
+// word copy; the run-length form is expanded word-parallel — each run
+// boundary toggles one bit, and a prefix-XOR scan turns toggles into
+// fills — so neither form costs varint decoding in the record loop.
+func decodeKinds(payload []byte, pos, count int, kinds []uint64) (int, error) {
+	if pos >= len(payload) {
+		return 0, corruptf("missing kind stream flag byte")
+	}
+	flag := payload[pos]
+	pos++
+	words := (count + 63) / 64
+	if flag == kindStreamBits {
+		if pos+words*8 > len(payload) {
+			return 0, corruptf("kind bitvector overruns block payload")
+		}
+		for w := 0; w < words; w++ {
+			kinds[w] = binary.LittleEndian.Uint64(payload[pos+w*8:])
+		}
+		return pos + words*8, nil
+	}
+	if flag != kindStreamRuns {
+		return 0, corruptf("kind stream flag %d out of range [0,1]", flag)
+	}
+	for w := 0; w < words; w++ {
+		kinds[w] = 0
+	}
+	covered := 0
+	first := true
+	for covered < count {
+		// One-byte fast path: interleaved-kind traces make runs short,
+		// so most lengths are a single varint byte.
+		var r uint64
+		if pos < len(payload) && payload[pos] < 0x80 {
+			r = uint64(payload[pos])
+			pos++
+		} else {
+			var n int
+			r, n = binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				return 0, corruptf("varint overruns block payload")
+			}
+			pos += n
+		}
+		if r == 0 && !first {
+			return 0, corruptf("zero-length interior kind run")
+		}
+		if r > uint64(count-covered) {
+			return 0, corruptf("kind runs cover %d of %d records", covered+int(r), count)
+		}
+		covered += int(r)
+		first = false
+		if covered < count {
+			// The kind flips at this boundary for all later records.
+			kinds[covered>>6] ^= 1 << (covered & 63)
+		}
+	}
+	// Prefix-XOR scan: bit j becomes the parity of toggles at or below
+	// j, i.e. the record's kind. A leading zero-length run toggles bit
+	// 0, which the scan propagates like any other.
+	carry := uint64(0)
+	for w := 0; w < words; w++ {
+		x := kinds[w]
+		x ^= x << 1
+		x ^= x << 2
+		x ^= x << 4
+		x ^= x << 8
+		x ^= x << 16
+		x ^= x << 32
+		x ^= carry
+		kinds[w] = x
+		carry = uint64(int64(x) >> 63)
+	}
+	return pos, nil
+}
+
+// ColumnarReader decodes a columnar stream from an io.Reader. It
+// implements Source and BatchSource; after the constructor, a NextBatch
+// whose dst holds a whole block decodes with no allocation.
+type ColumnarReader struct {
+	r                  *bufio.Reader
+	payload            []byte
+	dict               []uint64
+	kinds              []uint64
+	stage              []Branch // decoded block for Next and short NextBatch calls
+	stagePos, stageLen int
+}
+
+// NewColumnarReader validates the file header and returns a reader.
+func NewColumnarReader(r io.Reader) (*ColumnarReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading columnar header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magicColumnar {
+		return nil, fmt.Errorf("trace: bad columnar magic %q", hdr[:4])
+	}
+	if hdr[4] != columnarVersion {
+		return nil, fmt.Errorf("trace: unsupported columnar version %d", hdr[4])
+	}
+	return &ColumnarReader{
+		r:       br,
+		payload: make([]byte, 0, maxColumnarPayload),
+		dict:    make([]uint64, ColumnarBlockSize),
+		kinds:   make([]uint64, ColumnarBlockSize/64),
+	}, nil
+}
+
+// readBlock reads and verifies the next block, decoding it into dst
+// (len(dst) >= the block's count). Returns the record count, io.EOF at
+// a clean end of stream, or an error wrapping ErrCorrupt.
+func (r *ColumnarReader) readBlock(dst []Branch) (int, error) {
+	var hdr [columnarBlockHeaderSize]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, io.EOF
+		}
+		return 0, corruptf("truncated block header: %v", err)
+	}
+	h, err := parseColumnarBlockHeader(hdr[:])
+	if err != nil {
+		return 0, err
+	}
+	r.payload = r.payload[:h.plen]
+	if _, err := io.ReadFull(r.r, r.payload); err != nil {
+		return 0, corruptf("truncated block payload: %v", err)
+	}
+	if crc := crc32.Checksum(r.payload, castagnoli); crc != h.crc {
+		return 0, corruptf("block checksum mismatch (stored %08x, computed %08x)", h.crc, crc)
+	}
+	if err := decodeColumnarBlock(r.payload, h, dst, r.dict, r.kinds); err != nil {
+		return 0, err
+	}
+	return h.count, nil
+}
+
+// NextBatch implements BatchSource. Each call delivers at most one
+// block; a dst of ColumnarBlockSize records always decodes directly
+// into the caller's batch.
+func (r *ColumnarReader) NextBatch(dst []Branch) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if r.stagePos < r.stageLen {
+		n := copy(dst, r.stage[r.stagePos:r.stageLen])
+		r.stagePos += n
+		return n, nil
+	}
+	if len(dst) >= ColumnarBlockSize {
+		return r.readBlock(dst)
+	}
+	if err := r.restage(); err != nil {
+		return 0, err
+	}
+	n := copy(dst, r.stage[:r.stageLen])
+	r.stagePos = n
+	return n, nil
+}
+
+// restage decodes the next block into the staging buffer.
+func (r *ColumnarReader) restage() error {
+	if r.stage == nil {
+		r.stage = make([]Branch, ColumnarBlockSize)
+	}
+	n, err := r.readBlock(r.stage)
+	if err != nil {
+		return err
+	}
+	r.stagePos, r.stageLen = 0, n
+	return nil
+}
+
+// Next implements Source.
+func (r *ColumnarReader) Next() (Branch, error) {
+	if r.stagePos >= r.stageLen {
+		if err := r.restage(); err != nil {
+			return Branch{}, err
+		}
+	}
+	b := r.stage[r.stagePos]
+	r.stagePos++
+	return b, nil
+}
+
+// EncodeColumnar renders branches as one in-memory columnar stream.
+func EncodeColumnar(branches []Branch) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewColumnarWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	for i := range branches {
+		if err := w.Write(branches[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

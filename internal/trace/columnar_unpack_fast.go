@@ -1,0 +1,96 @@
+//go:build amd64 || arm64
+
+package trace
+
+import "unsafe"
+
+// The kernel stores each record as two 64-bit words: the PC, then the
+// Taken byte at offset 8 and the Kind byte at offset 9 with the
+// trailing padding zeroed. That shape is asserted here so a Branch
+// layout change fails the build instead of silently corrupting
+// decodes.
+var _ [16]byte = [unsafe.Sizeof(Branch{})]byte{}
+var _ [8]byte = [unsafe.Offsetof(Branch{}.Taken)]byte{}
+var _ [9]byte = [unsafe.Offsetof(Branch{}.Kind)]byte{}
+
+// unpackColumnarRecords is the dictionary-mode hot kernel. Per group
+// of four records it does one unaligned 64-bit load for the packed
+// indices (a bit offset <= 7 plus four indices of width <= 12 spans at
+// most 55 bits of the loaded word), one byte load each for the
+// direction and kind bitvectors (i stays a multiple of 4, so a group's
+// four bits never straddle a byte), and per record a shift/mask for
+// the index, a masked — therefore provably in-bounds — array
+// subscript for the dictionary lookup, and two 64-bit stores: the PC,
+// then the Taken and Kind bytes extracted together by (mix>>k)&0x101.
+// The function contains no calls by design: a call site inside the
+// loop would make the register allocator spill the loop state on every
+// iteration. width 0 needs no special case — the masked extraction
+// yields index 0 every record. Returns the largest dictionary index
+// seen, for the caller's deferred range check.
+//
+// This variant is for little-endian targets with cheap unaligned
+// loads, and reads through raw pointers: the per-record bounds are
+// established once by decodeColumnarBlock's stream-layout validation
+// (ext carries 8 bytes of slack past the packed indices, dirs and
+// kinds span ceil(len(dst)/64) words), which is exactly what the
+// bounds checks the compiler cannot hoist would re-prove per record.
+func unpackColumnarRecords(dst []Branch, ext, dirs []byte, dict *[ColumnarBlockSize]uint64, width int, kinds []uint64) uint64 {
+	mask := uint64(1)<<width - 1
+	pcs := unsafe.Pointer(unsafe.SliceData(ext))
+	dbs := unsafe.Pointer(unsafe.SliceData(dirs))
+	kbs := unsafe.Pointer(unsafe.SliceData(kinds))
+	out := unsafe.Pointer(unsafe.SliceData(dst))
+	var maxIdx uint64
+	bit := 0
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		w := *(*uint64)(unsafe.Add(pcs, bit>>3)) >> (bit & 7)
+		bit += 4 * width
+		idx0 := w & mask
+		w >>= width
+		idx1 := w & mask
+		w >>= width
+		idx2 := w & mask
+		w >>= width
+		idx3 := w & mask
+		if idx0 > maxIdx {
+			maxIdx = idx0
+		}
+		if idx1 > maxIdx {
+			maxIdx = idx1
+		}
+		if idx2 > maxIdx {
+			maxIdx = idx2
+		}
+		if idx3 > maxIdx {
+			maxIdx = idx3
+		}
+		// mix holds the group's direction bits at 0..3 and kind bits at
+		// 8..11: (mix>>k)&0x101 is record k's Taken byte and Kind byte,
+		// stored as one zero-padded 64-bit word.
+		mix := (uint64(*(*byte)(unsafe.Add(dbs, i>>3))) |
+			uint64(*(*byte)(unsafe.Add(kbs, i>>3)))<<8) >> (i & 7)
+		p := unsafe.Add(out, i*16)
+		*(*uint64)(p) = dict[idx0&(ColumnarBlockSize-1)]
+		*(*uint64)(unsafe.Add(p, 8)) = mix & 0x101
+		*(*uint64)(unsafe.Add(p, 16)) = dict[idx1&(ColumnarBlockSize-1)]
+		*(*uint64)(unsafe.Add(p, 24)) = mix >> 1 & 0x101
+		*(*uint64)(unsafe.Add(p, 32)) = dict[idx2&(ColumnarBlockSize-1)]
+		*(*uint64)(unsafe.Add(p, 40)) = mix >> 2 & 0x101
+		*(*uint64)(unsafe.Add(p, 48)) = dict[idx3&(ColumnarBlockSize-1)]
+		*(*uint64)(unsafe.Add(p, 56)) = mix >> 3 & 0x101
+	}
+	for ; i < len(dst); i++ {
+		idx := *(*uint64)(unsafe.Add(pcs, bit>>3)) >> (bit & 7) & mask
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+		bit += width
+		dst[i] = Branch{
+			PC:    dict[idx&(ColumnarBlockSize-1)],
+			Taken: *(*byte)(unsafe.Add(dbs, i>>3))>>(i&7)&1 != 0,
+			Kind:  Kind(*(*byte)(unsafe.Add(kbs, i>>3)) >> (i & 7) & 1),
+		}
+	}
+	return maxIdx
+}

@@ -68,6 +68,112 @@ func FuzzBinaryReader(f *testing.F) {
 	})
 }
 
+// FuzzColumnarRoundTrip derives a branch slice from arbitrary bytes,
+// encodes it with the block-columnar writer, and requires every decode
+// path — streaming Next, streaming NextBatch, and the mmap reader over
+// a temp file — to reproduce the exact records and the same canonical
+// content hash. It doubles as a never-panics target for the columnar
+// decoder via the raw-bytes arm.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte("abcdefgh12345678"), uint8(255))
+	f.Add(bytes.Repeat([]byte{0x41}, 64), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		if mode&1 != 0 {
+			// Raw-bytes arm: the decoder must never panic on
+			// arbitrary input, only error or finish.
+			m, err := newMapped(data, nil)
+			if err != nil {
+				return
+			}
+			buf := make([]Branch, 64)
+			for i := 0; i < 1<<12; i++ {
+				if _, err := m.NextBatch(buf); err != nil {
+					break
+				}
+			}
+			r, err := NewColumnarReader(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			for i := 0; i < 1<<12; i++ {
+				if _, err := r.Next(); err != nil {
+					break
+				}
+			}
+			return
+		}
+		// Round-trip arm: 9 fuzz bytes per record, PC spread chosen by
+		// the mode byte so both the dictionary and raw-escape block
+		// encodings get exercised.
+		shift := uint(mode>>1) % 57
+		var branches []Branch
+		for len(data) >= 9 {
+			pc := uint64(0)
+			for i := 0; i < 8; i++ {
+				pc = pc<<8 | uint64(data[i])
+			}
+			b := Branch{PC: pc >> shift, Taken: data[8]&2 != 0, Kind: Kind(data[8] & 1)}
+			branches = append(branches, b)
+			data = data[9:]
+		}
+		enc, err := EncodeColumnar(branches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := HashBranches(branches)
+		check := func(path string, got []Branch, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if len(got) != len(branches) {
+				t.Fatalf("%s: %d records, want %d", path, len(got), len(branches))
+			}
+			for i := range branches {
+				if got[i] != branches[i] {
+					t.Fatalf("%s: record %d = %+v, want %+v", path, i, got[i], branches[i])
+				}
+			}
+			if h := HashBranches(got); h != want {
+				t.Fatalf("%s: content hash %s, want %s", path, h, want)
+			}
+		}
+
+		r, err := NewColumnarReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(r)
+		check("Next", got, err)
+
+		r, err = NewColumnarReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = got[:0]
+		buf := make([]Branch, 33)
+		for {
+			n, berr := r.NextBatch(buf)
+			got = append(got, buf[:n]...)
+			if berr == io.EOF {
+				break
+			}
+			if berr != nil {
+				t.Fatalf("NextBatch: %v", berr)
+			}
+		}
+		check("NextBatch", got, nil)
+
+		m, err := MapFile(writeTempTrace(t, enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		got, err = Collect(m)
+		check("MapFile", got, err)
+	})
+}
+
 // FuzzBinaryRoundTrip checks arbitrary records encode and decode
 // losslessly.
 func FuzzBinaryRoundTrip(f *testing.F) {

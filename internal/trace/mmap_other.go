@@ -1,0 +1,20 @@
+//go:build !unix
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the whole file on platforms without a
+// usable mmap: MapFile keeps its zero-copy decode against the returned
+// buffer, just without the page-cache sharing.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = size
+	return data, nil, nil
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only. A zero-length file
+// maps to an empty slice without touching mmap (mapping zero bytes is
+// an error on most kernels); header validation rejects it upstream.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

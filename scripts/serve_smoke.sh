@@ -7,6 +7,11 @@
 #   - both sweep responses are byte-identical (cold vs cached),
 #   - the second pass is served entirely from the result store
 #     (server.simulate.cache_hits advances by exactly 21),
+#   - ingesting the same workload twice (once varint, once columnar)
+#     pools exactly one segment (dedup counter +1, one pool blob), the
+#     pooled segment reads back as canonical columnar bytes, and a
+#     sweep addressed by trace_sha256 is byte-identical to the same
+#     sweep with the trace inlined,
 #   - SIGTERM drains and the process exits 0.
 #
 # Run via `make serve-smoke`. Needs curl and jq.
@@ -25,8 +30,10 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$workdir/predserved" ./cmd/predserved
+go build -o "$workdir/tracegen" ./cmd/tracegen
 
 "$workdir/predserved" -addr 127.0.0.1:0 -store-dir "$workdir/store" \
+    -trace-pool "$workdir/pool" \
     >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
 server_pid=$!
 
@@ -86,6 +93,55 @@ if [[ "$blobs" -ne 21 ]]; then
     echo "serve-smoke: $blobs store blobs, want 21" >&2
     exit 1
 fi
+
+# --- Trace pool: ingest, dedup, read-back, sweep-by-hash. ---
+
+# The same workload in both serialisations; ingest must canonicalise
+# to one pooled segment. The sweep above already pooled its bench
+# workload, so assert on deltas, not absolute counts.
+"$workdir/tracegen" -bench verilog -scale 0.01 -format binary -o "$workdir/w.trace" 2>/dev/null
+"$workdir/tracegen" -bench verilog -scale 0.01 -format columnar -o "$workdir/w.ctrace" 2>/dev/null
+
+pool_blobs0=$(find "$workdir/pool" -maxdepth 1 -name '*.ctrace' | wc -l)
+dedup0=$(curl -fsS "$base/metrics" | jq '."tracepool.dedup_hits"')
+
+curl -fsS -X POST --data-binary "@$workdir/w.trace" "$base/v1/traces" >"$workdir/ingest1.json"
+curl -fsS -X POST --data-binary "@$workdir/w.ctrace" "$base/v1/traces" >"$workdir/ingest2.json"
+cmp "$workdir/ingest1.json" "$workdir/ingest2.json"
+hash=$(jq -r .trace_sha256 "$workdir/ingest1.json")
+[[ -n "$hash" && "$hash" != "null" ]]
+
+dedup1=$(curl -fsS "$base/metrics" | jq '."tracepool.dedup_hits"')
+if [[ $((dedup1 - dedup0)) -ne 1 ]]; then
+    echo "serve-smoke: dedup hit delta $((dedup1 - dedup0)), want 1" >&2
+    exit 1
+fi
+pool_blobs1=$(find "$workdir/pool" -maxdepth 1 -name '*.ctrace' | wc -l)
+if [[ $((pool_blobs1 - pool_blobs0)) -ne 1 ]]; then
+    echo "serve-smoke: double ingest added $((pool_blobs1 - pool_blobs0)) pool blobs, want 1" >&2
+    exit 1
+fi
+echo "serve-smoke: double ingest pooled one segment ($hash)"
+
+# The pooled segment reads back as exactly the canonical columnar
+# bytes tracegen wrote.
+curl -fsS "$base/v1/traces/$hash" >"$workdir/readback.ctrace"
+cmp "$workdir/readback.ctrace" "$workdir/w.ctrace"
+echo "serve-smoke: pooled segment reads back byte-identical to the columnar file"
+
+# Sweeping by hash must match sweeping with the trace inlined.
+b64=$(base64 -w0 <"$workdir/w.ctrace")
+jq -n --arg h "$hash" \
+    '{specs: ["gshare:n=12,k=12", "gskewed:n=11,k=11"], trace_sha256: $h}' \
+    >"$workdir/byhash.req"
+jq -n --arg b "$b64" \
+    '{specs: ["gshare:n=12,k=12", "gskewed:n=11,k=11"], trace_b64: $b}' \
+    >"$workdir/inline.req"
+curl -fsS -X POST --data-binary "@$workdir/byhash.req" "$base/v1/simulate" >"$workdir/byhash.json"
+curl -fsS -X POST --data-binary "@$workdir/inline.req" "$base/v1/simulate" >"$workdir/inline.json"
+cmp "$workdir/byhash.json" "$workdir/inline.json"
+[[ $(jq '.results | length' "$workdir/byhash.json") -eq 2 ]]
+echo "serve-smoke: sweep by trace_sha256 byte-identical to inline trace"
 
 kill -TERM "$server_pid"
 if ! wait "$server_pid"; then
