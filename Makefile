@@ -9,16 +9,21 @@
 # kernel vs interface comparison BENCHCOUNT times and snapshots the
 # best runs to BENCH_kernel.json, then the whole-trace segmented and
 # bitsliced comparison into BENCH_sim.json, then the trace codec
-# comparison (varint vs columnar vs mmap) into BENCH_trace.json;
-# `make bench-all` runs the full benchmark suite without snapshotting.
-# `make trace-smoke` round-trips both trace formats through tracegen
-# and predsim and exercises the server-side trace pool.
+# comparison (varint vs columnar vs mmap) into BENCH_trace.json, then
+# a predload zipfian sweep against an in-process server into
+# BENCH_serve.json (latency quantiles + cache-hit curve, guarded by
+# bench_guard_test.go); `make bench-all` runs the full benchmark suite
+# without snapshotting. `make trace-smoke` round-trips both trace
+# formats through tracegen and predsim and exercises the server-side
+# trace pool. `make cluster-smoke` boots a 3-node predserved cluster
+# and requires its responses byte-identical to a standalone server,
+# before and after a reshard.
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 
-.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke trace-smoke
+.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke trace-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +73,8 @@ bench:
 	$(GO) test -bench='^BenchmarkTraceCodec' -benchmem -count=$(BENCHCOUNT) -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -o BENCH_trace.json
 	@cat BENCH_trace.json
+	$(GO) run ./cmd/predload sweep -cells 27 -passes 3 -out BENCH_serve.json
+	@cat BENCH_serve.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$'
@@ -98,3 +105,10 @@ serve-smoke:
 # the mmap path must agree with the streaming path.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Cluster smoke: a standalone node and a 3-node cluster must serve the
+# identical 27-cell sweep byte-for-byte, peer fill must replace
+# recomputation on warm nodes, and a topology push (reshard) must
+# change no response byte.
+cluster-smoke:
+	./scripts/cluster_smoke.sh

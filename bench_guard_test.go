@@ -97,6 +97,58 @@ func TestBenchSnapshotSim(t *testing.T) {
 	faster(t, ns, "SimBitsliced/lanes64", "SimBitsliced/lanes1")
 }
 
+// serveSnapshot mirrors cmd/predload's sweep report (BENCH_serve.json).
+type serveSnapshot struct {
+	ColdP50US int64 `json:"cold_p50_us"`
+	CachedP50 int64 `json:"cached_p50_us"`
+	Passes    []struct {
+		Pass    int     `json:"pass"`
+		HitRate float64 `json:"hit_rate"`
+		P50US   int64   `json:"p50_us"`
+		P99US   int64   `json:"p99_us"`
+	} `json:"passes"`
+	Identical bool `json:"bodies_identical"`
+}
+
+// TestBenchSnapshotServe: the service snapshot must show the content-
+// addressed store doing its job — a cached cell is served faster than
+// a cold simulation, the zipfian hit rate rises pass over pass as the
+// working set fills in, and every response body in the run was
+// byte-identical per cell.
+func TestBenchSnapshotServe(t *testing.T) {
+	data, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_serve.json: %v (regenerate with `make bench`)", err)
+	}
+	var snap serveSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("parsing BENCH_serve.json: %v", err)
+	}
+	if !snap.Identical {
+		t.Fatal("bodies_identical = false; a cell's response bytes varied within the run")
+	}
+	if snap.ColdP50US <= 0 || snap.CachedP50 <= 0 {
+		t.Fatalf("latency quantiles missing (cold_p50_us=%d cached_p50_us=%d); regenerate with `make bench`", snap.ColdP50US, snap.CachedP50)
+	}
+	if snap.CachedP50 >= snap.ColdP50US {
+		t.Errorf("cached p50 (%d us) is not faster than cold p50 (%d us)", snap.CachedP50, snap.ColdP50US)
+	}
+	if len(snap.Passes) < 2 {
+		t.Fatalf("snapshot has %d passes, want at least 2 for a hit-rate curve", len(snap.Passes))
+	}
+	for i := 1; i < len(snap.Passes); i++ {
+		prev, cur := snap.Passes[i-1], snap.Passes[i]
+		if cur.HitRate < prev.HitRate {
+			t.Errorf("hit rate fell from %.3f (pass %d) to %.3f (pass %d); the zipfian working set should only fill in",
+				prev.HitRate, prev.Pass, cur.HitRate, cur.Pass)
+		}
+	}
+	first, last := snap.Passes[0], snap.Passes[len(snap.Passes)-1]
+	if last.HitRate <= first.HitRate {
+		t.Errorf("hit rate did not rise across passes (%.3f -> %.3f)", first.HitRate, last.HitRate)
+	}
+}
+
 // TestBenchSnapshotTraceCodec: the block-columnar decode must be
 // strictly faster than the varint NextBatch path, the mmap columnar
 // path must be at least as fast as columnar-over-bufio (it skips the

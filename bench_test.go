@@ -156,7 +156,7 @@ func benchPredictor(b *testing.B, p predictor.Predictor) {
 }
 
 func BenchmarkPredictGShare16k(b *testing.B) {
-	benchPredictor(b, predictor.NewGShare(14, 12, 2))
+	benchPredictor(b, predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}))
 }
 
 func BenchmarkPredictGSkewed3x4k(b *testing.B) {
@@ -204,9 +204,9 @@ func BenchmarkExtSetAssoc(b *testing.B)     { runExperiment(b, "ext-setassoc") }
 
 func manyBenchPredictors() []predictor.Predictor {
 	return []predictor.Predictor{
-		predictor.NewBimodal(14, 2),
-		predictor.NewGShare(14, 12, 2),
-		predictor.NewGSelect(14, 7, 2),
+		predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 14, Ctr: 2}),
+		predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}),
+		predictor.MustSpec(predictor.Spec{Family: "gselect", N: 14, Hist: 7, Ctr: 2}),
 		predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12}),
 		predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true}),
 		predictor.MustGSkewed(predictor.Config{
@@ -333,15 +333,21 @@ func benchStepLoop(b *testing.B, mk func() predictor.Predictor) {
 }
 
 func BenchmarkKernelBimodal16k(b *testing.B) {
-	benchStepLoop(b, func() predictor.Predictor { return predictor.NewBimodal(14, 2) })
+	benchStepLoop(b, func() predictor.Predictor {
+		return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 14, Ctr: 2})
+	})
 }
 
 func BenchmarkKernelGShare16k(b *testing.B) {
-	benchStepLoop(b, func() predictor.Predictor { return predictor.NewGShare(14, 12, 2) })
+	benchStepLoop(b, func() predictor.Predictor {
+		return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2})
+	})
 }
 
 func BenchmarkKernelGSelect16k(b *testing.B) {
-	benchStepLoop(b, func() predictor.Predictor { return predictor.NewGSelect(14, 6, 2) })
+	benchStepLoop(b, func() predictor.Predictor {
+		return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 14, Hist: 6, Ctr: 2})
+	})
 }
 
 func BenchmarkKernelGSkewed3x4k(b *testing.B) {
@@ -357,7 +363,9 @@ func BenchmarkKernelEGSkew3x4k(b *testing.B) {
 }
 
 func BenchmarkKernel2BcGSkew4x4k(b *testing.B) {
-	benchStepLoop(b, func() predictor.Predictor { return predictor.MustTwoBcGSkew(12, 8, 16) })
+	benchStepLoop(b, func() predictor.Predictor {
+		return predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 12, HistShort: 8, Hist: 16})
+	})
 }
 
 // BenchmarkKernelStepBatch measures the compiled step loop alone — no
@@ -369,7 +377,9 @@ func BenchmarkKernelStepBatch(b *testing.B) {
 		name string
 		mk   func() predictor.Predictor
 	}{
-		{"gshare16k", func() predictor.Predictor { return predictor.NewGShare(14, 12, 2) }},
+		{"gshare16k", func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2})
+		}},
 		{"gskewed3x4k", func() predictor.Predictor {
 			return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12})
 		}},
@@ -416,9 +426,9 @@ func BenchmarkKernelRunMany(b *testing.B) {
 	branches := kernelBenchTrace(b)
 	mk := func() []predictor.Predictor {
 		return []predictor.Predictor{
-			predictor.NewBimodal(14, 2),
-			predictor.NewGShare(14, 12, 2),
-			predictor.NewGSelect(14, 6, 2),
+			predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 14, Ctr: 2}),
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}),
+			predictor.MustSpec(predictor.Spec{Family: "gselect", N: 14, Hist: 6, Ctr: 2}),
 			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12}),
 			predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true}),
 		}
@@ -463,7 +473,9 @@ func BenchmarkKernelStepBatch64(b *testing.B) {
 		name string
 		mk   func() predictor.Predictor
 	}{
-		{"gshare16k", func() predictor.Predictor { return predictor.NewGShare(14, 12, 2) }},
+		{"gshare16k", func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2})
+		}},
 		{"egskew3x4k", func() predictor.Predictor {
 			return predictor.MustGSkewed(predictor.Config{BankBits: 12, HistoryBits: 12, Enhanced: true})
 		}},
@@ -543,7 +555,7 @@ func BenchmarkSimSegmented(b *testing.B) {
 	branches := simBenchTrace(b)
 	for _, k := range []int{1, 2, 4, 8} {
 		b.Run("K"+strconv.Itoa(k), func(b *testing.B) {
-			p := predictor.NewGShare(14, 12, 2)
+			p := predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2})
 			opts := sim.Options{Segments: k}
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -579,7 +591,7 @@ func BenchmarkSimBitsliced(b *testing.B) {
 		b.Run(path.name, func(b *testing.B) {
 			preds := make([]predictor.Predictor, lanes)
 			for i := range preds {
-				preds[i] = predictor.NewGShare(14, 12, 2)
+				preds[i] = predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2})
 			}
 			opts := sim.Options{NoBitslice: path.noBitslice}
 			b.ReportAllocs()

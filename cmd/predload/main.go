@@ -1,0 +1,246 @@
+// Command predload is the typed-client toolbelt and load generator for
+// predserved. Every byte it sends travels through internal/client —
+// it is both the reference consumer of the /v1 wire contract and the
+// machinery behind the serve/cluster smoke scripts and the serving
+// benchmark snapshot (BENCH_serve.json).
+//
+// Subcommands:
+//
+//	sweep     zipfian spec/trace load against live or in-process nodes;
+//	          emits p50/p99/p999 latency and cache-hit curves as JSON
+//	simulate  post one SimulateRequest (JSON from a file or stdin),
+//	          print the raw response body
+//	ingest    upload a binary trace file, print the ingest response
+//	trace     fetch a pooled trace by hash, write the canonical bytes
+//	health    print GET /v1/health
+//	metric    print one numeric /metrics value (smoke counter deltas)
+//	ring      print GET /internal/v1/ring
+//	topology  push a TopologyUpdate to every listed node (resharding)
+//
+// Examples:
+//
+//	predload sweep -nodes 3 -passes 3 -requests 120 -out BENCH_serve.json
+//	predload simulate -target http://127.0.0.1:8149 -body sweep.json
+//	predload metric -target http://127.0.0.1:8149 server.simulate.cache_hits
+//	predload topology -targets http://n0,http://n1,http://n2 -replicas 2
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gskew/internal/api"
+	"gskew/internal/cli"
+	"gskew/internal/client"
+)
+
+func main() { cli.Main("predload", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return cli.Usagef("no subcommand: want sweep, simulate, ingest, trace, health, metric, ring or topology")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "sweep":
+		return runSweep(rest, stdout, stderr)
+	case "simulate":
+		return runSimulate(rest, stdout, stderr)
+	case "ingest":
+		return runIngest(rest, stdout, stderr)
+	case "trace":
+		return runTrace(rest, stdout, stderr)
+	case "health":
+		return runHealth(rest, stdout, stderr)
+	case "metric":
+		return runMetric(rest, stdout, stderr)
+	case "ring":
+		return runRing(rest, stdout, stderr)
+	case "topology":
+		return runTopology(rest, stdout, stderr)
+	default:
+		return cli.Usagef("unknown subcommand %q", cmd)
+	}
+}
+
+// targetFlag declares the shared -target flag.
+func targetFlag(fs interface {
+	String(name, value, usage string) *string
+}) *string {
+	return fs.String("target", "http://127.0.0.1:8149", "predserved base URL")
+}
+
+// printJSON renders v in the server's deterministic 2-space style.
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// runSimulate posts one SimulateRequest read from -body (a file, or
+// "-" for stdin) and writes the raw response body to stdout, so shell
+// pipelines can cmp responses byte-for-byte. The X-Cache summary goes
+// to stderr.
+func runSimulate(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload simulate", stderr)
+	target := targetFlag(fs)
+	body := fs.String("body", "-", "SimulateRequest JSON file (- = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	raw, err := readInput(*body)
+	if err != nil {
+		return err
+	}
+	var req api.SimulateRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return fmt.Errorf("parsing request body: %w", err)
+	}
+	resp, stats, err := client.New(*target).SimulateRaw(context.Background(), &req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "X-Cache: hits=%d misses=%d\n", stats.Hits, stats.Misses)
+	_, err = stdout.Write(resp)
+	return err
+}
+
+// runIngest uploads a binary trace file and prints the response.
+func runIngest(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload ingest", stderr)
+	target := targetFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("want exactly one trace file argument")
+	}
+	raw, err := readInput(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := client.New(*target).IngestTrace(context.Background(), raw)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, resp)
+}
+
+// runTrace fetches a pooled segment's canonical bytes.
+func runTrace(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload trace", stderr)
+	target := targetFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("want exactly one trace hash argument")
+	}
+	data, err := client.New(*target).GetTrace(context.Background(), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	_, err = stdout.Write(data)
+	return err
+}
+
+// runHealth prints the typed health document.
+func runHealth(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload health", stderr)
+	target := targetFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := client.New(*target).Health(context.Background())
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, h)
+}
+
+// runMetric prints one numeric metric value (bare, for shell
+// arithmetic in the smoke scripts).
+func runMetric(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload metric", stderr)
+	target := targetFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("want exactly one metric name argument")
+	}
+	v, err := client.New(*target).Metric(context.Background(), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(stdout, v)
+	return err
+}
+
+// runRing prints the node's current membership view.
+func runRing(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload ring", stderr)
+	target := targetFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := client.New(*target).Ring(context.Background())
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, info)
+}
+
+// runTopology pushes one TopologyUpdate — the full member set — to
+// every member (static-topology discipline: a reshard is delivered
+// everywhere, or the sender keeps retrying until it is).
+func runTopology(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("predload topology", stderr)
+	targets := fs.String("targets", "", "comma-separated node base URLs (the new member set)")
+	replicas := fs.Int("replicas", 1, "replication factor R")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	nodes := splitList(*targets)
+	if len(nodes) == 0 {
+		return cli.Usagef("-targets must list at least one node")
+	}
+	upd := &api.TopologyUpdate{Nodes: nodes, Replicas: *replicas}
+	for _, n := range nodes {
+		info, err := client.New(n).SetTopology(context.Background(), upd)
+		if err != nil {
+			return fmt.Errorf("pushing topology to %s: %w", n, err)
+		}
+		fmt.Fprintf(stdout, "%s gen=%d replicas=%d nodes=%d\n", n, info.Gen, info.Replicas, len(info.Nodes))
+	}
+	return nil
+}
+
+// readInput reads a file, or stdin for "-".
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -276,11 +276,11 @@ func buildPredictor(kind string, entries, banks int, hist, ctrBits uint, policy 
 	}
 	switch kind {
 	case "bimodal":
-		return predictor.NewBimodal(n, ctrBits), nil
+		return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: n, Ctr: ctrBits}), nil
 	case "gshare":
-		return predictor.NewGShare(n, hist, ctrBits), nil
+		return predictor.MustSpec(predictor.Spec{Family: "gshare", N: n, Hist: hist, Ctr: ctrBits}), nil
 	case "gselect":
-		return predictor.NewGSelect(n, hist, ctrBits), nil
+		return predictor.MustSpec(predictor.Spec{Family: "gselect", N: n, Hist: hist, Ctr: ctrBits}), nil
 	case "gskewed":
 		return predictor.NewGSkewed(predictor.Config{
 			Banks: banks, BankBits: n, HistoryBits: hist,
@@ -293,24 +293,24 @@ func buildPredictor(kind string, entries, banks int, hist, ctrBits uint, policy 
 		})
 	case "2bcgskew":
 		short := hist / 2
-		return predictor.NewTwoBcGSkew(n, short, hist)
+		return (predictor.Spec{Family: "2bcgskew", N: n, HistShort: short, Hist: hist}).New()
 	case "agree":
-		return predictor.NewAgree(n, hist, min(n, 12), ctrBits)
+		return (predictor.Spec{Family: "agree", N: n, Hist: hist, Bias: min(n, 12), Ctr: ctrBits}).New()
 	case "bimode":
-		return predictor.NewBiMode(n, hist, min(n, 12), ctrBits)
+		return (predictor.Spec{Family: "bimode", N: n, Hist: hist, Choice: min(n, 12), Ctr: ctrBits}).New()
 	case "pas":
 		local := hist
 		if local > n {
 			local = n
 		}
-		return predictor.NewPAs(min(n, 10), local, n, ctrBits)
+		return (predictor.Spec{Family: "pas", BHT: min(n, 10), Local: local, N: n, Ctr: ctrBits}).New()
 	case "skewed-pas":
 		local := hist
-		return predictor.NewSkewedPAs(min(n, 10), local, n, ctrBits, pol)
+		return (predictor.Spec{Family: "skewed-pas", BHT: min(n, 10), Local: local, N: n, Ctr: ctrBits, Policy: pol}).New()
 	case "hybrid":
 		return predictor.NewHybrid(
-			predictor.NewBimodal(n, ctrBits),
-			predictor.NewGShare(n, hist, ctrBits),
+			predictor.MustSpec(predictor.Spec{Family: "bimodal", N: n, Ctr: ctrBits}),
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: n, Hist: hist, Ctr: ctrBits}),
 			min(n, 12))
 	case "unaliased":
 		return predictor.NewUnaliased(hist, ctrBits), nil

@@ -75,11 +75,11 @@ func main() {
 			enh := miss(predictor.MustGSkewed(predictor.Config{
 				BankBits: 12, HistoryBits: 12, Enhanced: true,
 			}))
-			gsh := miss(predictor.NewGShare(15, 12, 2))
+			gsh := miss(predictor.MustSpec(predictor.Spec{Family: "gshare", N: 15, Hist: 12, Ctr: 2}))
 			return enh <= gsh*1.10, fmt.Sprintf("egskew %.3f%% vs 32k gshare %.3f%%", enh, gsh)
 		}},
 		{"5 banks add less than 3 banks did (section 5.1)", func() (bool, string) {
-			one := miss(predictor.NewGShare(10, 4, 2))
+			one := miss(predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 4, Ctr: 2}))
 			three := miss(predictor.MustGSkewed(predictor.Config{Banks: 3, BankBits: 10, HistoryBits: 4}))
 			five := miss(predictor.MustGSkewed(predictor.Config{Banks: 5, BankBits: 10, HistoryBits: 4}))
 			return one-three >= three-five,

@@ -66,8 +66,8 @@ func main() {
 	// The correlated branch is invisible to an address-only predictor
 	// but trivial for any global-history scheme.
 	preds := []predictor.Predictor{
-		predictor.NewBimodal(10, 2),
-		predictor.NewGShare(10, 4, 2),
+		predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 10, Ctr: 2}),
+		predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 4, Ctr: 2}),
 		predictor.MustGSkewed(predictor.Config{BankBits: 8, HistoryBits: 4}),
 	}
 	for _, p := range preds {

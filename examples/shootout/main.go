@@ -34,9 +34,9 @@ func main() {
 		// ~32 Kbit budget: 16k 2-bit counters single-bank, or
 		// 3 x 4k 2-bit counters (24 Kbit) skewed.
 		preds := []predictor.Predictor{
-			predictor.NewBimodal(14, 2),
-			predictor.NewGSelect(14, hist, 2),
-			predictor.NewGShare(14, hist, 2),
+			predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 14, Ctr: 2}),
+			predictor.MustSpec(predictor.Spec{Family: "gselect", N: 14, Hist: hist, Ctr: 2}),
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: hist, Ctr: 2}),
 			predictor.MustGSkewed(predictor.Config{
 				BankBits: 12, HistoryBits: hist, Policy: predictor.TotalUpdate,
 			}),

@@ -81,13 +81,19 @@ func MustGSkewed(cfg GSkewedConfig) *predictor.GSkewed { return predictor.MustGS
 
 // NewGShare returns a 2^n-entry gshare predictor with k history bits
 // and counterBits-wide cells.
-func NewGShare(n, k, counterBits uint) Predictor { return predictor.NewGShare(n, k, counterBits) }
+func NewGShare(n, k, counterBits uint) Predictor {
+	return predictor.MustSpec(predictor.Spec{Family: "gshare", N: n, Hist: k, Ctr: counterBits})
+}
 
 // NewGSelect returns a 2^n-entry gselect predictor.
-func NewGSelect(n, k, counterBits uint) Predictor { return predictor.NewGSelect(n, k, counterBits) }
+func NewGSelect(n, k, counterBits uint) Predictor {
+	return predictor.MustSpec(predictor.Spec{Family: "gselect", N: n, Hist: k, Ctr: counterBits})
+}
 
 // NewBimodal returns a 2^n-entry bimodal (address-indexed) predictor.
-func NewBimodal(n, counterBits uint) Predictor { return predictor.NewBimodal(n, counterBits) }
+func NewBimodal(n, counterBits uint) Predictor {
+	return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: n, Ctr: counterBits})
+}
 
 // NewUnaliased returns the ideal infinite predictor table of Table 2.
 func NewUnaliased(k, counterBits uint) *predictor.Unaliased {
@@ -110,24 +116,24 @@ func NewHybrid(a, b Predictor, chooserBits uint) (Predictor, error) {
 // two skewed history banks with histShort/histLong history bits, and a
 // meta chooser).
 func NewTwoBcGSkew(n, histShort, histLong uint) (Predictor, error) {
-	return predictor.NewTwoBcGSkew(n, histShort, histLong)
+	return (predictor.Spec{Family: "2bcgskew", N: n, HistShort: histShort, Hist: histLong}).New()
 }
 
 // NewAgree returns the agree predictor (Sprangle et al., ISCA 1997),
 // a contemporaneous anti-aliasing baseline.
 func NewAgree(n, k, biasBits, counterBits uint) (Predictor, error) {
-	return predictor.NewAgree(n, k, biasBits, counterBits)
+	return (predictor.Spec{Family: "agree", N: n, Hist: k, Bias: biasBits, Ctr: counterBits}).New()
 }
 
 // NewBiMode returns the bi-mode predictor (Lee et al., MICRO 1997),
 // a contemporaneous anti-aliasing baseline.
 func NewBiMode(n, k, choiceBits, counterBits uint) (Predictor, error) {
-	return predictor.NewBiMode(n, k, choiceBits, counterBits)
+	return (predictor.Spec{Family: "bimode", N: n, Hist: k, Choice: choiceBits, Ctr: counterBits}).New()
 }
 
 // NewPAs returns a per-address two-level predictor (Yeh/Patt PAs).
 func NewPAs(bhtBits, localK, phtBits, counterBits uint) (Predictor, error) {
-	return predictor.NewPAs(bhtBits, localK, phtBits, counterBits)
+	return (predictor.Spec{Family: "pas", BHT: bhtBits, Local: localK, N: phtBits, Ctr: counterBits}).New()
 }
 
 // Branch is one dynamic branch event. PC is a word address (byte

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gskew/internal/api"
+	"gskew/internal/client"
+	"gskew/internal/obs"
+	"gskew/internal/store"
+	"gskew/internal/trace"
+)
+
+// Cluster telemetry, registered in the default obs registry. The
+// cluster-smoke CI tier asserts peer-fill movement through these.
+var (
+	mFillHits    = obs.NewCounter("cluster.peer_fill_hits")   // cells served by their owner
+	mFillMisses  = obs.NewCounter("cluster.peer_fill_misses") // owner asked, had nothing usable
+	mFillErrors  = obs.NewCounter("cluster.peer_fill_errors") // owner unreachable / wrong_owner
+	mOffers      = obs.NewCounter("cluster.cell_offers")      // cells replicated to owners
+	mOfferErrors = obs.NewCounter("cluster.cell_offer_errors")
+	mTraceFills  = obs.NewCounter("cluster.trace_fills") // segments fetched from their owner
+	mReshards    = obs.NewCounter("cluster.reshards")    // topology changes applied
+	mWrongOwner  = obs.NewCounter("cluster.wrong_owner") // stale-topology requests received
+)
+
+// DefaultPeerTimeout bounds each peer round trip. Peer fill is an
+// optimisation: it must fail fast into local simulation, never stall
+// a request for the full simulation timeout.
+const DefaultPeerTimeout = 5 * time.Second
+
+// Config adjusts a Cluster.
+type Config struct {
+	// Self is this node's base URL as it appears in the topology.
+	Self string
+	// Nodes is the initial member set (must contain Self). Empty
+	// selects the single-member topology {Self}.
+	Nodes []string
+	// Replicas is the replication factor R (clamped to [1, len(Nodes)];
+	// 0 selects 1).
+	Replicas int
+	// PeerTimeout bounds each peer round trip (default
+	// DefaultPeerTimeout).
+	PeerTimeout time.Duration
+	// NewPeer builds the client for a peer base URL. Nil selects
+	// client.New with two attempts (peer fill prefers failing into
+	// local simulation over long retry loops).
+	NewPeer func(base string) *client.Client
+}
+
+// Cluster is one node's view of the sharded service: the current ring
+// plus clients to every peer. It is safe for concurrent use. All
+// methods degrade gracefully — a peer failure is a routing miss, not
+// an error the request path has to surface.
+type Cluster struct {
+	self    string
+	timeout time.Duration
+	newPeer func(base string) *client.Client
+
+	mu    sync.RWMutex
+	ring  *Ring
+	gen   uint64
+	peers map[string]*client.Client
+}
+
+// New builds a node's cluster view. The initial topology is generation
+// 1; every SetTopology bumps it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: no self node")
+	}
+	nodes := cfg.Nodes
+	if len(nodes) == 0 {
+		nodes = []string{cfg.Self}
+	}
+	found := false
+	for _, n := range nodes {
+		if n == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in node set %v", cfg.Self, nodes)
+	}
+	ring, err := NewRing(nodes, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		self:    cfg.Self,
+		timeout: cfg.PeerTimeout,
+		newPeer: cfg.NewPeer,
+		ring:    ring,
+		gen:     1,
+		peers:   make(map[string]*client.Client),
+	}
+	if c.timeout <= 0 {
+		c.timeout = DefaultPeerTimeout
+	}
+	if c.newPeer == nil {
+		c.newPeer = func(base string) *client.Client {
+			return client.New(base, client.WithRetries(2))
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's identity.
+func (c *Cluster) Self() string { return c.self }
+
+// Info returns the current membership view for health and ring
+// endpoints.
+func (c *Cluster) Info() api.RingInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return api.RingInfo{
+		Self:     c.self,
+		Gen:      c.gen,
+		Replicas: c.ring.Replicas(),
+		Nodes:    append([]string(nil), c.ring.Nodes()...),
+	}
+}
+
+// SetTopology replaces the member set and replication factor — a
+// resharding event. The new ring takes effect atomically for all
+// subsequent ownership decisions; in-flight requests finish under the
+// ring they started with (stale routing is caught by the receiving
+// node's wrong_owner guard and degrades to local work). Self must
+// remain a member.
+func (c *Cluster) SetTopology(upd api.TopologyUpdate) (api.RingInfo, error) {
+	found := false
+	for _, n := range upd.Nodes {
+		if n == c.self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return api.RingInfo{}, fmt.Errorf("cluster: topology update drops self %q (nodes %v)", c.self, upd.Nodes)
+	}
+	ring, err := NewRing(upd.Nodes, upd.Replicas)
+	if err != nil {
+		return api.RingInfo{}, err
+	}
+	c.mu.Lock()
+	c.ring = ring
+	c.gen++
+	c.mu.Unlock()
+	mReshards.Inc()
+	return c.Info(), nil
+}
+
+// currentRing snapshots the ring pointer.
+func (c *Cluster) currentRing() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring
+}
+
+// Owners returns the replica set of a key under the current ring.
+func (c *Cluster) Owners(key string) []string { return c.currentRing().Owners(key) }
+
+// OwnsSelf reports whether this node is in the replica set of key.
+func (c *Cluster) OwnsSelf(key string) bool { return c.currentRing().Owns(c.self, key) }
+
+// peer returns (building if needed) the client for a node.
+func (c *Cluster) peer(node string) *client.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[node]
+	if !ok {
+		p = c.newPeer(node)
+		c.peers[node] = p
+	}
+	return p
+}
+
+// peerCtx bounds a peer round trip.
+func (c *Cluster) peerCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+// FillCell implements the peer-fill read: a store miss on a key this
+// node does not own asks the key's replica set — owner first — for the
+// stored cell before simulating locally. The returned entry has been
+// validated against the key (store.Entry.Key re-derivation), so a
+// confused or stale owner can at worst cause a miss. ok is false when
+// no owner has the cell (the caller simulates locally).
+func (c *Cluster) FillCell(ctx context.Context, key store.Key) (store.Entry, bool) {
+	ks := key.String()
+	for _, owner := range c.Owners(ks) {
+		if owner == c.self {
+			continue
+		}
+		pctx, cancel := c.peerCtx(ctx)
+		cell, err := c.peer(owner).CellGet(pctx, ks)
+		cancel()
+		switch {
+		case err == nil:
+			if cell.Key() != key {
+				// An owner returning a cell that does not re-derive the
+				// asked key is a protocol violation; treat as a miss.
+				mFillErrors.Inc()
+				continue
+			}
+			mFillHits.Inc()
+			return *cell, true
+		case api.IsCode(err, api.CodeNoSuchCell):
+			mFillMisses.Inc()
+		default:
+			mFillErrors.Inc()
+		}
+	}
+	return store.Entry{}, false
+}
+
+// OfferCell replicates a freshly simulated cell to every replica-set
+// member except this node — the write half of the peer-fill protocol,
+// and what gives hot cells R live copies. Best-effort: a failed offer
+// costs the cluster a future recomputation, nothing else.
+func (c *Cluster) OfferCell(ctx context.Context, key store.Key, e store.Entry) {
+	ks := key.String()
+	for _, owner := range c.Owners(ks) {
+		if owner == c.self {
+			continue
+		}
+		pctx, cancel := c.peerCtx(ctx)
+		_, err := c.peer(owner).CellPut(pctx, ks, &e)
+		cancel()
+		if err != nil {
+			mOfferErrors.Inc()
+			continue
+		}
+		mOffers.Inc()
+	}
+}
+
+// FetchTrace implements the owner-forwarded trace-pool lookup: a pool
+// miss on a hash this node does not own asks the hash's replica set
+// for the segment. The decoded branches are re-validated against the
+// hash before use. ok is false when no owner has it.
+func (c *Cluster) FetchTrace(ctx context.Context, hash string) ([]trace.Branch, bool) {
+	for _, owner := range c.Owners(hash) {
+		if owner == c.self {
+			continue
+		}
+		pctx, cancel := c.peerCtx(ctx)
+		raw, err := c.peer(owner).InternalTraceGet(pctx, hash)
+		cancel()
+		if err != nil {
+			continue
+		}
+		branches, err := trace.DecodeBytes(raw)
+		if err != nil || trace.HashBranches(branches) != hash {
+			mFillErrors.Inc()
+			continue
+		}
+		mTraceFills.Inc()
+		return branches, true
+	}
+	return nil, false
+}
+
+// OfferTrace replicates an ingested segment to the hash's replica set
+// (owner-forwarded ingest), so later owner-forwarded lookups from any
+// node succeed. Best-effort; ingest deduplicates, so repeats are free.
+func (c *Cluster) OfferTrace(ctx context.Context, hash string, raw []byte) {
+	for _, owner := range c.Owners(hash) {
+		if owner == c.self {
+			continue
+		}
+		pctx, cancel := c.peerCtx(ctx)
+		_, err := c.peer(owner).IngestTrace(pctx, raw)
+		cancel()
+		if err != nil {
+			mOfferErrors.Inc()
+		}
+	}
+}
+
+// MarkWrongOwner counts a stale-topology request received by this
+// node (the server's wrong_owner guard).
+func (c *Cluster) MarkWrongOwner() { mWrongOwner.Inc() }

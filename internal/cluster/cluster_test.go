@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gskew/internal/api"
+	"gskew/internal/sim"
+	"gskew/internal/store"
+	"gskew/internal/trace"
+)
+
+func testEntry() store.Entry {
+	return store.Entry{
+		Schema:      store.SchemaVersion,
+		Spec:        "gshare:n=10,k=8",
+		TraceHash:   "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+		Opts:        store.Options{},
+		StorageBits: 2048,
+		Result:      sim.Result{Conditionals: 100, Mispredicts: 7},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	if _, err := New(Config{Self: "http://a", Nodes: []string{"http://b"}}); err == nil {
+		t.Fatal("self outside node set accepted")
+	}
+	c, err := New(Config{Self: "http://a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := c.Info()
+	if info.Gen != 1 || len(info.Nodes) != 1 || info.Nodes[0] != "http://a" || info.Replicas != 1 {
+		t.Fatalf("default topology: %+v", info)
+	}
+}
+
+func TestSetTopologyBumpsGeneration(t *testing.T) {
+	c, err := New(Config{Self: "http://a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.SetTopology(api.TopologyUpdate{Nodes: []string{"http://a", "http://b", "http://c"}, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen != 2 || len(info.Nodes) != 3 || info.Replicas != 2 {
+		t.Fatalf("after reshard: %+v", info)
+	}
+	if _, err := c.SetTopology(api.TopologyUpdate{Nodes: []string{"http://b"}}); err == nil {
+		t.Fatal("topology dropping self accepted")
+	}
+	if got := c.Info().Gen; got != 2 {
+		t.Fatalf("rejected update changed generation: %d", got)
+	}
+}
+
+// peerStub serves just enough of the internal surface to exercise the
+// peer-fill paths.
+type peerStub struct {
+	cells  map[string]store.Entry
+	traces map[string][]byte
+	gets   int
+	puts   int
+}
+
+func (p *peerStub) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/v1/cells/{key}", func(w http.ResponseWriter, r *http.Request) {
+		p.gets++
+		e, ok := p.cells[r.PathValue("key")]
+		if !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Error{Code: api.CodeNoSuchCell, Message: "not here"}})
+			return
+		}
+		json.NewEncoder(w).Encode(e)
+	})
+	mux.HandleFunc("PUT /internal/v1/cells/{key}", func(w http.ResponseWriter, r *http.Request) {
+		p.puts++
+		var e store.Entry
+		if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		p.cells[r.PathValue("key")] = e
+		json.NewEncoder(w).Encode(api.CellOfferResponse{Key: r.PathValue("key"), Stored: true})
+	})
+	mux.HandleFunc("GET /internal/v1/traces/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		raw, ok := p.traces[r.PathValue("hash")]
+		if !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Error{Code: api.CodeNoSuchTrace, Message: "not here"}})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(raw)
+	})
+	return mux
+}
+
+// twoNodeCluster builds a cluster whose only peer is the stub, with
+// replicas=2 so the stub owns every key alongside self.
+func twoNodeCluster(t *testing.T, stub *peerStub) *Cluster {
+	t.Helper()
+	srv := httptest.NewServer(stub.handler())
+	t.Cleanup(srv.Close)
+	c, err := New(Config{Self: "http://self.invalid", Nodes: []string{"http://self.invalid", srv.URL}, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFillCellRoundTrip(t *testing.T) {
+	stub := &peerStub{cells: map[string]store.Entry{}, traces: map[string][]byte{}}
+	c := twoNodeCluster(t, stub)
+	e := testEntry()
+	key := e.Key()
+
+	if _, ok := c.FillCell(context.Background(), key); ok {
+		t.Fatal("fill hit on empty peer")
+	}
+	stub.cells[key.String()] = e
+	got, ok := c.FillCell(context.Background(), key)
+	if !ok {
+		t.Fatal("fill missed a cell the peer holds")
+	}
+	if got.Key() != key || got.Result != e.Result {
+		t.Fatalf("filled cell mismatch: %+v", got)
+	}
+}
+
+func TestFillCellRejectsForgedEntry(t *testing.T) {
+	stub := &peerStub{cells: map[string]store.Entry{}, traces: map[string][]byte{}}
+	c := twoNodeCluster(t, stub)
+	e := testEntry()
+	key := e.Key()
+	forged := e
+	forged.Spec = "bimodal:n=10" // no longer re-derives key
+	stub.cells[key.String()] = forged
+
+	if _, ok := c.FillCell(context.Background(), key); ok {
+		t.Fatal("accepted an entry that does not re-derive the asked key")
+	}
+}
+
+func TestOfferCellReplicates(t *testing.T) {
+	stub := &peerStub{cells: map[string]store.Entry{}, traces: map[string][]byte{}}
+	c := twoNodeCluster(t, stub)
+	e := testEntry()
+	key := e.Key()
+
+	c.OfferCell(context.Background(), key, e)
+	if stub.puts != 1 {
+		t.Fatalf("peer saw %d offers, want 1", stub.puts)
+	}
+	if got, ok := stub.cells[key.String()]; !ok || got.Key() != key {
+		t.Fatalf("offered cell not stored on peer: %+v", got)
+	}
+	// And the round trip closes: the peer can now fill us.
+	if _, ok := c.FillCell(context.Background(), key); !ok {
+		t.Fatal("fill missed after offer")
+	}
+}
+
+func TestFetchTraceValidatesHash(t *testing.T) {
+	stub := &peerStub{cells: map[string]store.Entry{}, traces: map[string][]byte{}}
+	c := twoNodeCluster(t, stub)
+
+	branches := []trace.Branch{
+		{PC: 0x1000, Taken: true, Kind: trace.Conditional},
+		{PC: 0x1002, Taken: false, Kind: trace.Conditional},
+		{PC: 0x1004, Taken: true, Kind: trace.Unconditional},
+	}
+	raw, err := trace.EncodeColumnar(branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := trace.HashBranches(branches)
+
+	if _, ok := c.FetchTrace(context.Background(), hash); ok {
+		t.Fatal("trace fetch hit on empty peer")
+	}
+	stub.traces[hash] = raw
+	got, ok := c.FetchTrace(context.Background(), hash)
+	if !ok || len(got) != len(branches) {
+		t.Fatalf("trace fetch: ok=%v len=%d", ok, len(got))
+	}
+	// A peer serving bytes whose content hash differs is rejected.
+	stub.traces["deadbeef"] = raw
+	if _, ok := c.FetchTrace(context.Background(), "deadbeef"); ok {
+		t.Fatal("accepted trace bytes that do not hash to the asked hash")
+	}
+}
+
+func TestPeerFailureIsAMiss(t *testing.T) {
+	// Both members unreachable: every fill degrades to a miss, no error.
+	c, err := New(Config{
+		Self:     "http://self.invalid",
+		Nodes:    []string{"http://self.invalid", "http://127.0.0.1:1"},
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.FillCell(context.Background(), testEntry().Key()); ok {
+		t.Fatal("fill hit against unreachable peer")
+	}
+	if _, ok := c.FetchTrace(context.Background(), "00"); ok {
+		t.Fatal("trace fetch hit against unreachable peer")
+	}
+}
+
+func TestOwnersSkewAcrossKeys(t *testing.T) {
+	c, err := New(Config{
+		Self:     "http://n0",
+		Nodes:    []string{"http://n0", "http://n1", "http://n2"},
+		Replicas: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := 0
+	var buf bytes.Buffer
+	for i := 0; i < 300; i++ {
+		buf.Reset()
+		buf.WriteString("cell-")
+		buf.WriteByte(byte('a' + i%26))
+		buf.WriteByte(byte('a' + i/26))
+		if c.OwnsSelf(buf.String()) {
+			owned++
+		}
+	}
+	if owned == 0 || owned == 300 {
+		t.Fatalf("self owns %d of 300 keys — sharding not spreading", owned)
+	}
+}

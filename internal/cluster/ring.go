@@ -1,0 +1,132 @@
+// Package cluster shards the prediction service's content-addressed
+// keys — result-store cell keys and trace segment hashes — across a
+// static-topology set of predserved nodes.
+//
+// The layer is deliberately coordinator-free: every node holds the
+// same topology (delivered by flag, config file, or a topology push to
+// each node) and derives ownership independently from a consistent-
+// hash ring. Because every cacheable artifact is content-addressed and
+// every simulation is deterministic, ownership is a performance
+// routing decision, never a correctness one: any node can compute any
+// cell locally and the bytes are identical. That is the cluster's
+// correctness invariant — responses are byte-identical across 1-node,
+// N-node and resharded topologies — and it is what makes resharding
+// graceful: a topology change at worst turns hits into recomputations.
+//
+// Ownership of a key is the first R distinct nodes clockwise of the
+// key's point on the ring (R = replication factor, so hot cells live
+// on R nodes). Each node projects VirtualNodes points per member onto
+// the ring, which keeps the key space near-uniformly balanced and
+// makes a membership change move only ~1/N of the keys.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// VirtualNodes is the number of ring points each member projects.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// VirtualNodes per member: enough for <10% imbalance at small N
+// without making ring construction or lookup measurable.
+const VirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over a node set. Build
+// with NewRing; a topology change builds a new Ring (Cluster swaps the
+// pointer under its lock and bumps the generation).
+type Ring struct {
+	nodes    []string // base URLs, which double as node identities
+	points   []ringPoint
+	replicas int
+}
+
+// hash64 maps a string onto the ring's key space.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over nodes with the given replication factor.
+// Nodes must be non-empty and distinct; replicas is clamped to
+// [1, len(nodes)].
+func NewRing(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node set")
+	}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(nodes) {
+		replicas = len(nodes)
+	}
+	r := &Ring{
+		nodes:    append([]string(nil), nodes...),
+		points:   make([]ringPoint, 0, len(nodes)*VirtualNodes),
+		replicas: replicas,
+	}
+	for i, n := range r.nodes {
+		for v := 0; v < VirtualNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes returns the member set (do not mutate).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Replicas returns the effective replication factor.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Owners returns the replica set of a key: the first Replicas distinct
+// nodes clockwise of the key's ring point, primary first.
+func (r *Ring) Owners(key string) []string {
+	owners := make([]string, 0, r.replicas)
+	if len(r.nodes) == 1 {
+		return append(owners, r.nodes[0])
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	taken := make(map[int]bool, r.replicas)
+	for i := 0; len(owners) < r.replicas && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.node] {
+			continue
+		}
+		taken[p.node] = true
+		owners = append(owners, r.nodes[p.node])
+	}
+	return owners
+}
+
+// Owns reports whether node is in the replica set of key.
+func (r *Ring) Owns(node, key string) bool {
+	for _, o := range r.Owners(key) {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}

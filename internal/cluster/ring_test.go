@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 1); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 1); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 1); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	r, err := NewRing([]string{"a", "b"}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != 2 {
+		t.Fatalf("replicas not clamped to node count: %d", r.Replicas())
+	}
+	r, err = NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != 1 {
+		t.Fatalf("replicas not clamped up to 1: %d", r.Replicas())
+	}
+}
+
+func TestOwnersDistinctAndStable(t *testing.T) {
+	nodes := []string{"http://n0", "http://n1", "http://n2", "http://n3", "http://n4"}
+	r, err := NewRing(nodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want 3", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q", key, o)
+			}
+			seen[o] = true
+		}
+		// Deterministic: same ring, same key, same replica set.
+		again := r.Owners(key)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatalf("key %q: owners not stable: %v vs %v", key, owners, again)
+			}
+		}
+		if !r.Owns(owners[0], key) || r.Owns("http://nx", key) {
+			t.Fatalf("key %q: Owns disagrees with Owners", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://n0", "http://n1", "http://n2", "http://n3"}
+	r, err := NewRing(nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 8000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("cell-%d", i))[0]]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		got := counts[n]
+		// VirtualNodes=64 keeps primaries within a loose 2x band; the
+		// bound is generous so the test pins balance, not the hash.
+		if got < want/2 || got > want*2 {
+			t.Fatalf("node %s owns %d of %d keys (want near %d): %v", n, got, keys, want, counts)
+		}
+	}
+}
+
+func TestReshardMovesMinority(t *testing.T) {
+	nodes := []string{"http://n0", "http://n1", "http://n2", "http://n3"}
+	before, err := NewRing(nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(nodes, "http://n4"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		if before.Owners(key)[0] != after.Owners(key)[0] {
+			moved++
+		}
+	}
+	// Consistent hashing: adding 1 of 5 nodes should move ~1/5 of the
+	// keys, not ~4/5 as naive modulo sharding would.
+	if moved > keys/2 {
+		t.Fatalf("reshard moved %d of %d keys — not consistent hashing", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("reshard moved no keys — new node owns nothing")
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"http://solo"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key)
+		if len(owners) != 1 || owners[0] != "http://solo" {
+			t.Fatalf("key %q: owners %v", key, owners)
+		}
+	}
+}

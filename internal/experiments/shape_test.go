@@ -93,7 +93,7 @@ func TestShapeMissRateFallsWithSize(t *testing.T) {
 	branches := shapeTrace(t)
 	prev := 1e9
 	for _, n := range []uint{8, 10, 12, 14, 16} {
-		rate := missPct(t, branches, predictor.NewGShare(n, 4, 2))
+		rate := missPct(t, branches, predictor.MustSpec(predictor.Spec{Family: "gshare", N: n, Hist: 4, Ctr: 2}))
 		if rate > prev*1.02 { // 2% tolerance for noise
 			t.Errorf("gshare %d entries: %.3f%% worse than smaller table (%.3f%%)",
 				1<<n, rate, prev)
@@ -144,7 +144,7 @@ func TestShapeGSkewedTracksAssocLRU(t *testing.T) {
 func TestShapeGSkewedCompetitiveWithGShare(t *testing.T) {
 	branches := shapeTrace(t)
 	for _, histBits := range []uint{2, 4, 6} {
-		gsh := missPct(t, branches, predictor.NewGShare(14, histBits, 2))
+		gsh := missPct(t, branches, predictor.MustSpec(predictor.Spec{Family: "gshare", N: 14, Hist: histBits, Ctr: 2}))
 		sk := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
 			BankBits: 12, HistoryBits: histBits, Policy: predictor.PartialUpdate,
 		}))
@@ -179,7 +179,7 @@ func TestShapeEnhancedRescuesLongHistories(t *testing.T) {
 		t.Errorf("hist=14: egskew (%.3f%%) not better than gskewed (%.3f%%)", longE, long)
 	}
 	// And within a band of the 2x-storage gshare.
-	gsh := missPct(t, shapeTrace(t), predictor.NewGShare(15, 14, 2))
+	gsh := missPct(t, shapeTrace(t), predictor.MustSpec(predictor.Spec{Family: "gshare", N: 15, Hist: 14, Ctr: 2}))
 	if longE > gsh*1.10 {
 		t.Errorf("hist=14: egskew (%.3f%%) not within 10%% of 32k-gshare (%.3f%%)", longE, gsh)
 	}
@@ -191,7 +191,7 @@ func TestShapeEnhancedRescuesLongHistories(t *testing.T) {
 func TestShapeFiveBanksAddLittle(t *testing.T) {
 	branches := shapeTrace(t)
 	const histBits = 4
-	one := missPct(t, branches, predictor.NewGShare(10, histBits, 2))
+	one := missPct(t, branches, predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: histBits, Ctr: 2}))
 	three := missPct(t, branches, predictor.MustGSkewed(predictor.Config{
 		Banks: 3, BankBits: 10, HistoryBits: histBits,
 	}))

@@ -16,15 +16,31 @@ type laneCase struct {
 
 func singleLanes() []laneCase {
 	return []laneCase{
-		{0, func() predictor.Predictor { return predictor.NewBimodal(8, 2) }},
-		{0, func() predictor.Predictor { return predictor.NewBimodal(10, 2) }},
-		{6, func() predictor.Predictor { return predictor.NewGShare(10, 6, 2) }},
-		{10, func() predictor.Predictor { return predictor.NewGShare(10, 10, 2) }},
-		{14, func() predictor.Predictor { return predictor.NewGShare(6, 14, 2) }},
-		{4, func() predictor.Predictor { return predictor.NewGSelect(10, 4, 2) }},
-		{12, func() predictor.Predictor { return predictor.NewGSelect(8, 12, 2) }},
-		{10, func() predictor.Predictor { return predictor.NewGSelect(6, 10, 2) }},
-		{8, func() predictor.Predictor { return predictor.NewGShare(9, 8, 2) }},
+		{0, func() predictor.Predictor { return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}) }},
+		{0, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 10, Ctr: 2})
+		}},
+		{6, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 6, Ctr: 2})
+		}},
+		{10, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 10, Ctr: 2})
+		}},
+		{14, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 6, Hist: 14, Ctr: 2})
+		}},
+		{4, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 10, Hist: 4, Ctr: 2})
+		}},
+		{12, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 8, Hist: 12, Ctr: 2})
+		}},
+		{10, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 6, Hist: 10, Ctr: 2})
+		}},
+		{8, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 9, Hist: 8, Ctr: 2})
+		}},
 	}
 }
 
@@ -216,17 +232,17 @@ func TestGroup64UniformSync(t *testing.T) {
 // TestGroup64Rejects: ineligible lane sets must fall back to scalar.
 func TestGroup64Rejects(t *testing.T) {
 	mixed := []predictor.Predictor{
-		predictor.NewBimodal(8, 2),
+		predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}),
 		predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 6}),
 	}
 	if _, ok := CompileGroup64(mixed, []uint{0, 6}); ok {
 		t.Error("mixed single/skew shapes grouped")
 	}
-	oneBit := []predictor.Predictor{predictor.NewBimodal(8, 1)}
+	oneBit := []predictor.Predictor{predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 1})}
 	if _, ok := CompileGroup64(oneBit, []uint{0}); ok {
 		t.Error("1-bit counters grouped; the bitplane automaton is 2-bit only")
 	}
-	tbc := []predictor.Predictor{predictor.MustTwoBcGSkew(8, 5, 12)}
+	tbc := []predictor.Predictor{predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 8, HistShort: 5, Hist: 12})}
 	if _, ok := CompileGroup64(tbc, []uint{12}); ok {
 		t.Error("2Bc-gskew grouped")
 	}
@@ -236,7 +252,7 @@ func TestGroup64Rejects(t *testing.T) {
 	over := make([]predictor.Predictor, MaxLanes+1)
 	hists := make([]uint, MaxLanes+1)
 	for i := range over {
-		over[i] = predictor.NewBimodal(8, 2)
+		over[i] = predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2})
 	}
 	if _, ok := CompileGroup64(over, hists); ok {
 		t.Error("65 lanes grouped into one 64-bit plane")
@@ -259,8 +275,8 @@ func TestGroupKind64AgreesWithCompile(t *testing.T) {
 		}
 	}
 	for _, p := range []predictor.Predictor{
-		predictor.NewBimodal(8, 1),
-		predictor.MustTwoBcGSkew(8, 5, 12),
+		predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 1}),
+		predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 8, HistShort: 5, Hist: 12}),
 		predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 6, CounterBits: 1}),
 		predictor.NewUnaliased(8, 2),
 	} {

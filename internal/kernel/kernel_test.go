@@ -18,13 +18,23 @@ type compiled struct {
 
 func cases() []compiled {
 	return []compiled{
-		{"bimodal", 0, func() predictor.Predictor { return predictor.NewBimodal(8, 2) }},
-		{"bimodal-1bit", 0, func() predictor.Predictor { return predictor.NewBimodal(6, 1) }},
-		{"gshare-short", 10, func() predictor.Predictor { return predictor.NewGShare(10, 6, 2) }},
-		{"gshare-equal", 10, func() predictor.Predictor { return predictor.NewGShare(10, 10, 2) }},
-		{"gshare-fold", 14, func() predictor.Predictor { return predictor.NewGShare(6, 14, 2) }},
-		{"gselect", 4, func() predictor.Predictor { return predictor.NewGSelect(10, 4, 2) }},
-		{"gselect-degenerate", 12, func() predictor.Predictor { return predictor.NewGSelect(8, 12, 1) }},
+		{"bimodal", 0, func() predictor.Predictor { return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}) }},
+		{"bimodal-1bit", 0, func() predictor.Predictor { return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 6, Ctr: 1}) }},
+		{"gshare-short", 10, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 6, Ctr: 2})
+		}},
+		{"gshare-equal", 10, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 10, Ctr: 2})
+		}},
+		{"gshare-fold", 14, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 6, Hist: 14, Ctr: 2})
+		}},
+		{"gselect", 4, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 10, Hist: 4, Ctr: 2})
+		}},
+		{"gselect-degenerate", 12, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 8, Hist: 12, Ctr: 1})
+		}},
 		{"gskewed-partial", 8, func() predictor.Predictor {
 			return predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 8})
 		}},
@@ -39,7 +49,9 @@ func cases() []compiled {
 		{"egskew", 10, func() predictor.Predictor {
 			return predictor.MustGSkewed(predictor.Config{BankBits: 7, HistoryBits: 10, Enhanced: true})
 		}},
-		{"2bcgskew", 12, func() predictor.Predictor { return predictor.MustTwoBcGSkew(8, 5, 12) }},
+		{"2bcgskew", 12, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 8, HistShort: 5, Hist: 12})
+		}},
 	}
 }
 
@@ -123,7 +135,7 @@ func TestCompileRejectsUncompilableShapes(t *testing.T) {
 	if _, ok := Compile(unal, 8); ok {
 		t.Error("unaliased reference table compiled")
 	}
-	hyb := predictor.MustHybrid(predictor.NewBimodal(8, 2), predictor.NewGShare(8, 6, 2), 8)
+	hyb := predictor.MustHybrid(predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}), predictor.MustSpec(predictor.Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2}), 8)
 	if _, ok := Compile(hyb, 6); ok {
 		t.Error("hybrid compiled")
 	}
@@ -195,7 +207,7 @@ func TestTamperLUTIsolatedFromCache(t *testing.T) {
 	if gk.pa[0] != lutsFor(6).pa[0] {
 		t.Fatal("tamper leaked into the shared LUT cache")
 	}
-	bm, _ := Compile(predictor.NewBimodal(8, 2), 0)
+	bm, _ := Compile(predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}), 0)
 	if err := TamperLUT(bm, 0, 0, 0, 1); err == nil {
 		t.Error("TamperLUT accepted a kernel without LUTs")
 	}

@@ -40,21 +40,6 @@ type TwoBcGSkew struct {
 	lastOK             bool
 }
 
-// NewTwoBcGSkew returns a 2Bc-gskew with four 2^n-entry tables. G0
-// uses histShort history bits, G1 histLong (histShort < histLong is
-// the intended configuration; the EV8 used very long histories).
-//
-// Deprecated: construct via Spec{Family: "2bcgskew", N: n, HistShort:
-// histShort, Hist: histLong} (or ParseSpec), the unified constructor
-// surface.
-func NewTwoBcGSkew(n, histShort, histLong uint) (*TwoBcGSkew, error) {
-	p, err := Spec{Family: "2bcgskew", N: n, HistShort: histShort, Hist: histLong}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*TwoBcGSkew), nil
-}
-
 // newTwoBcGSkew is the 2Bc-gskew implementation behind Spec.New.
 func newTwoBcGSkew(n, histShort, histLong uint) (*TwoBcGSkew, error) {
 	if n < skewfn.MinBits || n > skewfn.MaxBits {
@@ -73,15 +58,6 @@ func newTwoBcGSkew(n, histShort, histLong uint) (*TwoBcGSkew, error) {
 		histG0: histShort,
 		histG1: histLong,
 	}, nil
-}
-
-// MustTwoBcGSkew is NewTwoBcGSkew, panicking on configuration errors.
-func MustTwoBcGSkew(n, histShort, histLong uint) *TwoBcGSkew {
-	t, err := NewTwoBcGSkew(n, histShort, histLong)
-	if err != nil {
-		panic(err)
-	}
-	return t
 }
 
 type ev8State struct {

@@ -8,19 +8,19 @@ import (
 )
 
 func TestTwoBcGSkewValidation(t *testing.T) {
-	if _, err := NewTwoBcGSkew(1, 4, 8); err == nil {
+	if _, err := (Spec{Family: "2bcgskew", N: 1, HistShort: 4, Hist: 8}).New(); err == nil {
 		t.Error("undersized table width accepted")
 	}
-	if _, err := NewTwoBcGSkew(31, 4, 8); err == nil {
+	if _, err := (Spec{Family: "2bcgskew", N: 31, HistShort: 4, Hist: 8}).New(); err == nil {
 		t.Error("oversized table width accepted")
 	}
-	if _, err := NewTwoBcGSkew(10, 31, 8); err == nil {
+	if _, err := (Spec{Family: "2bcgskew", N: 10, HistShort: 31, Hist: 8}).New(); err == nil {
 		t.Error("oversized history accepted")
 	}
 }
 
 func TestTwoBcGSkewLearns(t *testing.T) {
-	p := MustTwoBcGSkew(10, 4, 12)
+	p := MustSpec(Spec{Family: "2bcgskew", N: 10, HistShort: 4, Hist: 12})
 	train(p, 0x42, 0x3a5, false, 8)
 	if p.Predict(0x42, 0x3a5) {
 		t.Error("did not learn not-taken")
@@ -32,7 +32,7 @@ func TestTwoBcGSkewLearns(t *testing.T) {
 }
 
 func TestTwoBcGSkewMetadata(t *testing.T) {
-	p := MustTwoBcGSkew(12, 6, 14)
+	p := MustSpec(Spec{Family: "2bcgskew", N: 12, HistShort: 6, Hist: 14}).(*TwoBcGSkew)
 	if p.Name() != "2bcgskew" || p.HistoryBits() != 14 {
 		t.Error("metadata wrong")
 	}
@@ -54,7 +54,7 @@ func TestTwoBcGSkewFallsBackToBimodal(t *testing.T) {
 	// noise: history-indexed tables see a different (cold or polluted)
 	// entry every time, while BIM nails it. The META chooser must
 	// learn to trust BIM, keeping accuracy high.
-	p := MustTwoBcGSkew(8, 6, 12)
+	p := MustSpec(Spec{Family: "2bcgskew", N: 8, HistShort: 6, Hist: 12})
 	r := rng.NewXoshiro256(5)
 	misses := 0
 	const n = 4000
@@ -73,7 +73,7 @@ func TestTwoBcGSkewFallsBackToBimodal(t *testing.T) {
 func TestTwoBcGSkewUsesHistoryWhenItHelps(t *testing.T) {
 	// A history-parity branch that bimodal cannot learn: the majority
 	// side must take over and drive the miss rate well below 50%.
-	p := MustTwoBcGSkew(10, 4, 10)
+	p := MustSpec(Spec{Family: "2bcgskew", N: 10, HistShort: 4, Hist: 10})
 	var hist uint64
 	misses, counted := 0, 0
 	r := rng.NewXoshiro256(9)
@@ -99,7 +99,7 @@ func TestTwoBcGSkewUsesHistoryWhenItHelps(t *testing.T) {
 
 func TestTwoBcGSkewInInvariantsHarness(t *testing.T) {
 	// Run the shared invariants directly for the EV8 predictor.
-	build := func() Predictor { return MustTwoBcGSkew(8, 4, 8) }
+	build := func() Predictor { return MustSpec(Spec{Family: "2bcgskew", N: 8, HistShort: 4, Hist: 8}) }
 	evs := randomEvents(17, 3000)
 	a, b := build(), build()
 	for _, e := range evs {
@@ -116,7 +116,7 @@ func TestTwoBcGSkewInInvariantsHarness(t *testing.T) {
 }
 
 func BenchmarkTwoBcGSkew(b *testing.B) {
-	p := MustTwoBcGSkew(12, 8, 16)
+	p := MustSpec(Spec{Family: "2bcgskew", N: 12, HistShort: 8, Hist: 16})
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {

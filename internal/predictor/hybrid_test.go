@@ -8,7 +8,7 @@ import (
 )
 
 func TestHybridValidation(t *testing.T) {
-	a, b := NewBimodal(8, 2), NewGShare(8, 6, 2)
+	a, b := MustSpec(Spec{Family: "bimodal", N: 8, Ctr: 2}), MustSpec(Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2})
 	if _, err := NewHybrid(a, b, 0); err == nil {
 		t.Error("zero chooser width accepted")
 	}
@@ -18,7 +18,7 @@ func TestHybridValidation(t *testing.T) {
 }
 
 func TestHybridMetadata(t *testing.T) {
-	a, b := NewBimodal(8, 2), NewGShare(10, 6, 2)
+	a, b := MustSpec(Spec{Family: "bimodal", N: 8, Ctr: 2}), MustSpec(Spec{Family: "gshare", N: 10, Hist: 6, Ctr: 2})
 	h := MustHybrid(a, b, 8)
 	if h.HistoryBits() != 6 {
 		t.Errorf("HistoryBits = %d, want max of components", h.HistoryBits())
@@ -68,9 +68,9 @@ func TestHybridSelectsBetterComponent(t *testing.T) {
 		}
 		return misses
 	}
-	bimodalMisses := run(NewBimodal(10, 2))
-	gshareMisses := run(NewGShare(10, 8, 2))
-	hybridMisses := run(MustHybrid(NewBimodal(10, 2), NewGShare(10, 8, 2), 10))
+	bimodalMisses := run(MustSpec(Spec{Family: "bimodal", N: 10, Ctr: 2}))
+	gshareMisses := run(MustSpec(Spec{Family: "gshare", N: 10, Hist: 8, Ctr: 2}))
+	hybridMisses := run(MustHybrid(MustSpec(Spec{Family: "bimodal", N: 10, Ctr: 2}), MustSpec(Spec{Family: "gshare", N: 10, Hist: 8, Ctr: 2}), 10))
 	min := bimodalMisses
 	if gshareMisses < min {
 		min = gshareMisses
@@ -86,8 +86,8 @@ func TestHybridSelectsBetterComponent(t *testing.T) {
 func TestHybridChooserConvergence(t *testing.T) {
 	// When component A is always wrong and B always right, the hybrid
 	// must converge to B's prediction within a few updates.
-	a := NewBimodal(4, 2) // will be trained toward taken
-	b := NewGShare(4, 2, 2)
+	a := MustSpec(Spec{Family: "bimodal", N: 4, Ctr: 2}) // will be trained toward taken
+	b := MustSpec(Spec{Family: "gshare", N: 4, Hist: 2, Ctr: 2})
 	h := MustHybrid(a, b, 4)
 	// Train stream: branch 5 is never taken. Bimodal and gshare both
 	// learn this; force disagreement by pre-training A.
@@ -103,7 +103,7 @@ func TestHybridChooserConvergence(t *testing.T) {
 }
 
 func TestHybridReset(t *testing.T) {
-	h := MustHybrid(NewBimodal(6, 2), NewGShare(6, 4, 2), 6)
+	h := MustHybrid(MustSpec(Spec{Family: "bimodal", N: 6, Ctr: 2}), MustSpec(Spec{Family: "gshare", N: 6, Hist: 4, Ctr: 2}), 6)
 	for i := 0; i < 10; i++ {
 		h.Update(9, 3, false)
 	}
@@ -114,7 +114,7 @@ func TestHybridReset(t *testing.T) {
 }
 
 func BenchmarkHybrid(b *testing.B) {
-	h := MustHybrid(NewBimodal(12, 2), NewGShare(14, 12, 2), 12)
+	h := MustHybrid(MustSpec(Spec{Family: "bimodal", N: 12, Ctr: 2}), MustSpec(Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}), 12)
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {

@@ -12,9 +12,9 @@ import (
 // allPredictors builds one representative of every organisation.
 func allPredictors() map[string]func() Predictor {
 	return map[string]func() Predictor{
-		"bimodal":  func() Predictor { return NewBimodal(8, 2) },
-		"gshare":   func() Predictor { return NewGShare(8, 6, 2) },
-		"gselect":  func() Predictor { return NewGSelect(8, 6, 2) },
+		"bimodal":  func() Predictor { return MustSpec(Spec{Family: "bimodal", N: 8, Ctr: 2}) },
+		"gshare":   func() Predictor { return MustSpec(Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2}) },
+		"gselect":  func() Predictor { return MustSpec(Spec{Family: "gselect", N: 8, Hist: 6, Ctr: 2}) },
 		"gskewed":  func() Predictor { return MustGSkewed(Config{BankBits: 8, HistoryBits: 6}) },
 		"gskewed5": func() Predictor { return MustGSkewed(Config{Banks: 5, BankBits: 8, HistoryBits: 6}) },
 		"gskewed-sh": func() Predictor {
@@ -24,13 +24,21 @@ func allPredictors() map[string]func() Predictor {
 		"gskewed-tu": func() Predictor { return MustGSkewed(Config{BankBits: 8, HistoryBits: 6, Policy: TotalUpdate}) },
 		"unaliased":  func() Predictor { return NewUnaliased(6, 2) },
 		"assoc-lru":  func() Predictor { return NewAssocLRU(128, 6, 2) },
-		"pas":        func() Predictor { return MustPAs(6, 4, 10, 2) },
-		"skewed-pas": func() Predictor { return MustSkewedPAs(6, 4, 8, 2, PartialUpdate) },
-		"hybrid":     func() Predictor { return MustHybrid(NewBimodal(8, 2), NewGShare(8, 6, 2), 8) },
-		"agree":      func() Predictor { return MustAgree(8, 6, 8, 2) },
-		"bimode":     func() Predictor { return MustBiMode(8, 6, 8, 2) },
-		"tage":       func() Predictor { return MustTAGE(6, 12, 2, 4, 6, 3) },
-		"perceptron": func() Predictor { return MustPerceptron(6, 10, 4, 0, 8) },
+		"pas":        func() Predictor { return MustSpec(Spec{Family: "pas", BHT: 6, Local: 4, N: 10, Ctr: 2}) },
+		"skewed-pas": func() Predictor {
+			return MustSpec(Spec{Family: "skewed-pas", BHT: 6, Local: 4, N: 8, Ctr: 2, Policy: PartialUpdate})
+		},
+		"hybrid": func() Predictor {
+			return MustHybrid(MustSpec(Spec{Family: "bimodal", N: 8, Ctr: 2}), MustSpec(Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2}), 8)
+		},
+		"agree":  func() Predictor { return MustSpec(Spec{Family: "agree", N: 8, Hist: 6, Bias: 8, Ctr: 2}) },
+		"bimode": func() Predictor { return MustSpec(Spec{Family: "bimode", N: 8, Hist: 6, Choice: 8, Ctr: 2}) },
+		"tage": func() Predictor {
+			return MustSpec(Spec{Family: "tage", N: 6, Hist: 12, HistMin: 2, Tables: 4, Tag: 6, Ctr: 3})
+		},
+		"perceptron": func() Predictor {
+			return MustSpec(Spec{Family: "perceptron", N: 6, Hist: 10, Tables: 4, Theta: 0, Ctr: 8})
+		},
 	}
 }
 

@@ -10,8 +10,8 @@ import "testing"
 // near-perfect prediction while bimodal stays near the pattern bias.
 func TestTAGELearnsLongHistoryPattern(t *testing.T) {
 	pattern := []bool{true, true, false, true, false, false, true, false, true}
-	tage := MustTAGE(7, 16, 2, 4, 8, 3)
-	base := NewBimodal(7, 2)
+	tage := MustSpec(Spec{Family: "tage", N: 7, Hist: 16, HistMin: 2, Tables: 4, Tag: 8, Ctr: 3})
+	base := MustSpec(Spec{Family: "bimodal", N: 7, Ctr: 2})
 	const pc = 0x404
 	run := func(p Predictor) (correct, total int) {
 		hist := uint64(0)
@@ -46,7 +46,7 @@ func TestTAGELearnsLongHistoryPattern(t *testing.T) {
 // branches ago — a single-bit correlation the perceptron learns as one
 // dominant weight.
 func TestPerceptronLearnsCorrelatedBranch(t *testing.T) {
-	p := MustPerceptron(7, 12, 4, 0, 8)
+	p := MustSpec(Spec{Family: "perceptron", N: 7, Hist: 12, Tables: 4, Theta: 0, Ctr: 8})
 	const pc = 0x40
 	hist, correct, total := uint64(0), 0, 0
 	mask := uint64(1)<<p.HistoryBits() - 1
@@ -80,19 +80,19 @@ func TestPerceptronLearnsCorrelatedBranch(t *testing.T) {
 // predictors of any other type, so a selftest wiring mistake cannot
 // silently "catch" a fault that was never planted.
 func TestTamperTargetsOnlyOwnFamily(t *testing.T) {
-	if TamperTAGEFold(NewBimodal(6, 2)) {
+	if TamperTAGEFold(MustSpec(Spec{Family: "bimodal", N: 6, Ctr: 2})) {
 		t.Error("TamperTAGEFold accepted a bimodal")
 	}
-	if TamperTAGEFold(MustPerceptron(6, 10, 4, 0, 8)) {
+	if TamperTAGEFold(MustSpec(Spec{Family: "perceptron", N: 6, Hist: 10, Tables: 4, Theta: 0, Ctr: 8})) {
 		t.Error("TamperTAGEFold accepted a perceptron")
 	}
-	if TamperPerceptronTraining(MustTAGE(6, 12, 2, 4, 6, 3)) {
+	if TamperPerceptronTraining(MustSpec(Spec{Family: "tage", N: 6, Hist: 12, HistMin: 2, Tables: 4, Tag: 6, Ctr: 3})) {
 		t.Error("TamperPerceptronTraining accepted a tage")
 	}
-	if !TamperTAGEFold(MustTAGE(6, 12, 2, 4, 6, 3)) {
+	if !TamperTAGEFold(MustSpec(Spec{Family: "tage", N: 6, Hist: 12, HistMin: 2, Tables: 4, Tag: 6, Ctr: 3})) {
 		t.Error("TamperTAGEFold rejected a tage")
 	}
-	if !TamperPerceptronTraining(MustPerceptron(6, 10, 4, 0, 8)) {
+	if !TamperPerceptronTraining(MustSpec(Spec{Family: "perceptron", N: 6, Hist: 10, Tables: 4, Theta: 0, Ctr: 8})) {
 		t.Error("TamperPerceptronTraining rejected a perceptron")
 	}
 }
@@ -101,11 +101,11 @@ func TestTamperTargetsOnlyOwnFamily(t *testing.T) {
 // matched budgets rely on.
 func TestTAGEStorageBits(t *testing.T) {
 	// 2^9 base 2-bit counters + 4 banks x 2^9 x (tag 8 + ctr 3 + u 2).
-	if got, want := MustTAGE(9, 20, 4, 4, 8, 3).StorageBits(), 1<<9*2+4*(1<<9)*(8+3+2); got != want {
+	if got, want := MustSpec(Spec{Family: "tage", N: 9, Hist: 20, HistMin: 4, Tables: 4, Tag: 8, Ctr: 3}).StorageBits(), 1<<9*2+4*(1<<9)*(8+3+2); got != want {
 		t.Errorf("tage storage %d bits, want %d", got, want)
 	}
 	// 8 tables x 2^9 x 8-bit weights.
-	if got, want := MustPerceptron(9, 16, 8, 0, 8).StorageBits(), 8*(1<<9)*8; got != want {
+	if got, want := MustSpec(Spec{Family: "perceptron", N: 9, Hist: 16, Tables: 8, Theta: 0, Ctr: 8}).StorageBits(), 8*(1<<9)*8; got != want {
 		t.Errorf("perceptron storage %d bits, want %d", got, want)
 	}
 }

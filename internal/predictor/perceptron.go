@@ -50,31 +50,6 @@ type Perceptron struct {
 	thetaFlip bool
 }
 
-// NewPerceptron returns a hashed perceptron with tables weight tables
-// of 2^n wBits-bit weights over k history bits, trained at threshold
-// theta (0 selects the conventional default, floor(1.93*k + 14)).
-//
-// Deprecated: construct via Spec{Family: "perceptron", N: n, Hist: k,
-// Tables: tables, Theta: theta, Ctr: wBits} (or ParseSpec), the
-// unified constructor surface.
-func NewPerceptron(n, k uint, tables int, theta int, wBits uint) (*Perceptron, error) {
-	p, err := Spec{Family: "perceptron", N: n, Hist: k,
-		Tables: tables, Theta: theta, Ctr: wBits}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Perceptron), nil
-}
-
-// MustPerceptron is NewPerceptron, panicking on configuration errors.
-func MustPerceptron(n, k uint, tables int, theta int, wBits uint) *Perceptron {
-	p, err := NewPerceptron(n, k, tables, theta, wBits)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // newPerceptron is the implementation behind Spec.New.
 func newPerceptron(n, k uint, tables int, theta int, wBits uint) (*Perceptron, error) {
 	if n < 1 || n > 26 {

@@ -17,9 +17,9 @@ func train(p Predictor, addr, hist uint64, taken bool, n int) {
 
 func TestSingleLearnsDirection(t *testing.T) {
 	for _, p := range []Predictor{
-		NewGShare(10, 8, 2),
-		NewGSelect(10, 8, 2),
-		NewBimodal(10, 2),
+		MustSpec(Spec{Family: "gshare", N: 10, Hist: 8, Ctr: 2}),
+		MustSpec(Spec{Family: "gselect", N: 10, Hist: 8, Ctr: 2}),
+		MustSpec(Spec{Family: "bimodal", N: 10, Ctr: 2}),
 	} {
 		train(p, 0x400, 0xa5, false, 4)
 		if p.Predict(0x400, 0xa5) {
@@ -33,16 +33,16 @@ func TestSingleLearnsDirection(t *testing.T) {
 }
 
 func TestSingleStorageBits(t *testing.T) {
-	if got := NewGShare(14, 12, 2).StorageBits(); got != 1<<14*2 {
+	if got := MustSpec(Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}).StorageBits(); got != 1<<14*2 {
 		t.Errorf("16k gshare StorageBits = %d, want %d", got, 1<<15)
 	}
-	if got := NewBimodal(10, 1).StorageBits(); got != 1024 {
+	if got := MustSpec(Spec{Family: "bimodal", N: 10, Ctr: 1}).StorageBits(); got != 1024 {
 		t.Errorf("1k bimodal 1-bit StorageBits = %d", got)
 	}
 }
 
 func TestSingleReset(t *testing.T) {
-	p := NewGShare(8, 4, 2)
+	p := MustSpec(Spec{Family: "gshare", N: 8, Hist: 4, Ctr: 2})
 	train(p, 0x10, 0x3, false, 4)
 	p.Reset()
 	if !p.Predict(0x10, 0x3) {
@@ -51,10 +51,10 @@ func TestSingleReset(t *testing.T) {
 }
 
 func TestSingleString(t *testing.T) {
-	if got := NewGShare(14, 12, 2).String(); got != "16k-gshare(h12,2bit)" {
+	if got := MustSpec(Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}).(*Single).String(); got != "16k-gshare(h12,2bit)" {
 		t.Errorf("String() = %q", got)
 	}
-	if got := NewBimodal(9, 2).String(); got != "512-bimodal(h0,2bit)" {
+	if got := MustSpec(Spec{Family: "bimodal", N: 9, Ctr: 2}).(*Single).String(); got != "512-bimodal(h0,2bit)" {
 		t.Errorf("String() = %q", got)
 	}
 }
@@ -62,13 +62,13 @@ func TestSingleString(t *testing.T) {
 func TestSingleHistoryMattersForGShare(t *testing.T) {
 	// gshare must separate the same address under different histories
 	// (when they land on different entries); bimodal must not.
-	gs := NewGShare(10, 10, 2)
+	gs := MustSpec(Spec{Family: "gshare", N: 10, Hist: 10, Ctr: 2})
 	train(gs, 0x77, 0x000, true, 4)
 	train(gs, 0x77, 0x3ff, false, 4)
 	if !gs.Predict(0x77, 0x000) || gs.Predict(0x77, 0x3ff) {
 		t.Error("gshare failed to separate substreams of one branch")
 	}
-	bm := NewBimodal(10, 2)
+	bm := MustSpec(Spec{Family: "bimodal", N: 10, Ctr: 2})
 	train(bm, 0x77, 0x000, true, 4)
 	if bm.Predict(0x77, 0x000) != bm.Predict(0x77, 0x3ff) {
 		t.Error("bimodal should ignore history")
@@ -330,7 +330,7 @@ func TestUnaliasedBoundsAliasedPredictors(t *testing.T) {
 	// well as a tiny gshare table (sanity for the whole hierarchy).
 	r := rng.NewXoshiro256(8)
 	u := NewUnaliased(4, 2)
-	gs := NewGShare(4, 4, 2) // tiny: heavy aliasing
+	gs := MustSpec(Spec{Family: "gshare", N: 4, Hist: 4, Ctr: 2}) // tiny: heavy aliasing
 	muU, muG := 0, 0
 	const n = 30000
 	for i := 0; i < n; i++ {
@@ -421,7 +421,7 @@ func TestOneBitCounters(t *testing.T) {
 	// All organisations must support 1-bit automata (Table 2 compares
 	// 1-bit vs 2-bit).
 	preds := []Predictor{
-		NewGShare(8, 4, 1),
+		MustSpec(Spec{Family: "gshare", N: 8, Hist: 4, Ctr: 1}),
 		MustGSkewed(Config{BankBits: 8, HistoryBits: 4, CounterBits: 1}),
 		NewUnaliased(4, 1),
 		NewAssocLRU(64, 4, 1),
@@ -439,7 +439,7 @@ func TestOneBitCounters(t *testing.T) {
 }
 
 func BenchmarkGShare(b *testing.B) {
-	p := NewGShare(14, 12, 2)
+	p := MustSpec(Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2})
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {

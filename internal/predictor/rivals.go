@@ -37,20 +37,6 @@ type Agree struct {
 	biasMask uint64
 }
 
-// NewAgree returns an agree predictor with a 2^n-entry agreement table
-// (k history bits, gshare-indexed) and a 2^biasBits-entry bias table.
-//
-// Deprecated: construct via Spec{Family: "agree", N: n, Hist: k,
-// Bias: biasBits, Ctr: counterBits} (or ParseSpec), the unified
-// constructor surface.
-func NewAgree(n, k, biasBits, counterBits uint) (*Agree, error) {
-	p, err := Spec{Family: "agree", N: n, Hist: k, Bias: biasBits, Ctr: counterBits}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Agree), nil
-}
-
 // newAgree is the agree implementation behind Spec.New.
 func newAgree(n, k, biasBits, counterBits uint) (*Agree, error) {
 	if biasBits < 1 || biasBits > 26 {
@@ -66,15 +52,6 @@ func newAgree(n, k, biasBits, counterBits uint) (*Agree, error) {
 		biasSet:  make([]bool, 1<<biasBits),
 		biasMask: uint64(1)<<biasBits - 1,
 	}, nil
-}
-
-// MustAgree is NewAgree, panicking on configuration errors.
-func MustAgree(n, k, biasBits, counterBits uint) *Agree {
-	a, err := NewAgree(n, k, biasBits, counterBits)
-	if err != nil {
-		panic(err)
-	}
-	return a
 }
 
 // bias returns the branch's latched bias (default taken before the
@@ -144,20 +121,6 @@ type BiMode struct {
 	chMask uint64
 }
 
-// NewBiMode returns a bi-mode predictor: two 2^n-entry direction banks
-// (k history bits) and a 2^choiceBits-entry choice table.
-//
-// Deprecated: construct via Spec{Family: "bimode", N: n, Hist: k,
-// Choice: choiceBits, Ctr: counterBits} (or ParseSpec), the unified
-// constructor surface.
-func NewBiMode(n, k, choiceBits, counterBits uint) (*BiMode, error) {
-	p, err := Spec{Family: "bimode", N: n, Hist: k, Choice: choiceBits, Ctr: counterBits}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*BiMode), nil
-}
-
 // newBiMode is the bi-mode implementation behind Spec.New.
 func newBiMode(n, k, choiceBits, counterBits uint) (*BiMode, error) {
 	if choiceBits < 1 || choiceBits > 26 {
@@ -180,15 +143,6 @@ func newBiMode(n, k, choiceBits, counterBits uint) (*BiMode, error) {
 		b.ntaken.Set(uint64(i), counter.WeaklyNotTaken(counterBits).Value())
 	}
 	return b, nil
-}
-
-// MustBiMode is NewBiMode, panicking on configuration errors.
-func MustBiMode(n, k, choiceBits, counterBits uint) *BiMode {
-	b, err := NewBiMode(n, k, choiceBits, counterBits)
-	if err != nil {
-		panic(err)
-	}
-	return b
 }
 
 // Predict implements Predictor.

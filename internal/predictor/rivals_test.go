@@ -8,19 +8,19 @@ import (
 )
 
 func TestAgreeValidation(t *testing.T) {
-	if _, err := NewAgree(8, 4, 0, 2); err == nil {
+	if _, err := (Spec{Family: "agree", N: 8, Hist: 4, Bias: 0, Ctr: 2}).New(); err == nil {
 		t.Error("zero bias width accepted")
 	}
-	if _, err := NewAgree(8, 4, 27, 2); err == nil {
+	if _, err := (Spec{Family: "agree", N: 8, Hist: 4, Bias: 27, Ctr: 2}).New(); err == nil {
 		t.Error("oversized bias width accepted")
 	}
-	if _, err := NewAgree(8, 4, 8, 0); err != nil {
+	if _, err := (Spec{Family: "agree", N: 8, Hist: 4, Bias: 8, Ctr: 0}).New(); err != nil {
 		t.Error("default counter width rejected")
 	}
 }
 
 func TestAgreeLearnsBothDirections(t *testing.T) {
-	a := MustAgree(10, 6, 10, 2)
+	a := MustSpec(Spec{Family: "agree", N: 10, Hist: 6, Bias: 10, Ctr: 2})
 	train(a, 0x10, 0x3, false, 6)
 	train(a, 0x20, 0x3, true, 6)
 	if a.Predict(0x10, 0x3) {
@@ -36,7 +36,7 @@ func TestAgreeConvertsInterference(t *testing.T) {
 	// counters collide but whose BIASES match their own behaviour
 	// interfere constructively — both are predicted correctly even
 	// though they share a counter and have opposite directions.
-	a := MustAgree(4, 0, 10, 2) // tiny agreement table: collisions certain
+	a := MustSpec(Spec{Family: "agree", N: 4, Hist: 0, Bias: 10, Ctr: 2}).(*Agree) // tiny agreement table: collisions certain
 	// Find two addresses sharing an agreement entry.
 	var x, y uint64
 	found := false
@@ -61,7 +61,7 @@ func TestAgreeConvertsInterference(t *testing.T) {
 		t.Error("agree failed to rescue opposite-direction aliasing pair")
 	}
 	// Contrast: a plain gshare table of the same size thrashes.
-	g := NewGShare(4, 0, 2)
+	g := MustSpec(Spec{Family: "gshare", N: 4, Hist: 0, Ctr: 2})
 	for i := 0; i < 50; i++ {
 		g.Update(x, 0, true)
 		g.Update(y, 0, false)
@@ -72,7 +72,7 @@ func TestAgreeConvertsInterference(t *testing.T) {
 }
 
 func TestAgreeFirstEncounterLatchesBias(t *testing.T) {
-	a := MustAgree(8, 4, 8, 2)
+	a := MustSpec(Spec{Family: "agree", N: 8, Hist: 4, Bias: 8, Ctr: 2})
 	// Before any outcome: predicts taken (default bias).
 	if !a.Predict(0x5, 0) {
 		t.Error("default prediction should be taken")
@@ -97,7 +97,7 @@ func TestAgreeFirstEncounterLatchesBias(t *testing.T) {
 }
 
 func TestAgreeMetadata(t *testing.T) {
-	a := MustAgree(12, 8, 10, 2)
+	a := MustSpec(Spec{Family: "agree", N: 12, Hist: 8, Bias: 10, Ctr: 2}).(*Agree)
 	if a.Name() != "agree" || a.HistoryBits() != 8 {
 		t.Error("metadata wrong")
 	}
@@ -115,16 +115,16 @@ func TestAgreeMetadata(t *testing.T) {
 }
 
 func TestBiModeValidation(t *testing.T) {
-	if _, err := NewBiMode(8, 4, 0, 2); err == nil {
+	if _, err := (Spec{Family: "bimode", N: 8, Hist: 4, Choice: 0, Ctr: 2}).New(); err == nil {
 		t.Error("zero choice width accepted")
 	}
-	if _, err := NewBiMode(8, 4, 27, 2); err == nil {
+	if _, err := (Spec{Family: "bimode", N: 8, Hist: 4, Choice: 27, Ctr: 2}).New(); err == nil {
 		t.Error("oversized choice width accepted")
 	}
 }
 
 func TestBiModeLearnsBothDirections(t *testing.T) {
-	b := MustBiMode(10, 6, 10, 2)
+	b := MustSpec(Spec{Family: "bimode", N: 10, Hist: 6, Choice: 10, Ctr: 2})
 	train(b, 0x10, 0x3, false, 8)
 	train(b, 0x20, 0x3, true, 8)
 	if b.Predict(0x10, 0x3) {
@@ -138,7 +138,7 @@ func TestBiModeLearnsBothDirections(t *testing.T) {
 func TestBiModeSeparatesOppositeBiases(t *testing.T) {
 	// Opposite-bias branches sharing a direction-table index no longer
 	// interfere: the choice table routes them to different banks.
-	b := MustBiMode(4, 0, 10, 2)
+	b := MustSpec(Spec{Family: "bimode", N: 4, Hist: 0, Choice: 10, Ctr: 2}).(*BiMode)
 	var x, y uint64
 	found := false
 	for i := uint64(0); i < 256 && !found; i++ {
@@ -163,7 +163,7 @@ func TestBiModeSeparatesOppositeBiases(t *testing.T) {
 }
 
 func TestBiModeMetadata(t *testing.T) {
-	b := MustBiMode(12, 8, 10, 2)
+	b := MustSpec(Spec{Family: "bimode", N: 12, Hist: 8, Choice: 10, Ctr: 2}).(*BiMode)
 	if b.Name() != "bimode" || b.HistoryBits() != 8 {
 		t.Error("metadata wrong")
 	}
@@ -215,9 +215,9 @@ func TestRivalsOnBiasedPopulation(t *testing.T) {
 		}
 		return misses
 	}
-	gshareMisses := run(NewGShare(8, 6, 2))
-	agreeMisses := run(MustAgree(8, 6, 12, 2))
-	bimodeMisses := run(MustBiMode(8, 6, 12, 2))
+	gshareMisses := run(MustSpec(Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2}))
+	agreeMisses := run(MustSpec(Spec{Family: "agree", N: 8, Hist: 6, Bias: 12, Ctr: 2}))
+	bimodeMisses := run(MustSpec(Spec{Family: "bimode", N: 8, Hist: 6, Choice: 12, Ctr: 2}))
 	if agreeMisses >= gshareMisses {
 		t.Errorf("agree (%d) not better than gshare (%d) under opposite-bias aliasing",
 			agreeMisses, gshareMisses)
@@ -229,7 +229,7 @@ func TestRivalsOnBiasedPopulation(t *testing.T) {
 }
 
 func BenchmarkAgree(b *testing.B) {
-	p := MustAgree(14, 12, 12, 2)
+	p := MustSpec(Spec{Family: "agree", N: 14, Hist: 12, Bias: 12, Ctr: 2})
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {
@@ -244,7 +244,7 @@ func BenchmarkAgree(b *testing.B) {
 }
 
 func BenchmarkBiMode(b *testing.B) {
-	p := MustBiMode(14, 12, 12, 2)
+	p := MustSpec(Spec{Family: "bimode", N: 14, Hist: 12, Choice: 12, Ctr: 2})
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {

@@ -30,33 +30,6 @@ func NewSingle(fn indexfn.Func, counterBits uint) *Single {
 	}
 }
 
-// NewGShare returns a 2^n-entry gshare predictor with k history bits
-// and the given counter width.
-//
-// Deprecated: construct via Spec{Family: "gshare", N: n, Hist: k,
-// Ctr: counterBits} (or ParseSpec), the unified constructor surface.
-func NewGShare(n, k, counterBits uint) *Single {
-	return MustSpec(Spec{Family: "gshare", N: n, Hist: k, Ctr: counterBits}).(*Single)
-}
-
-// NewGSelect returns a 2^n-entry gselect predictor with k history bits
-// and the given counter width.
-//
-// Deprecated: construct via Spec{Family: "gselect", N: n, Hist: k,
-// Ctr: counterBits} (or ParseSpec), the unified constructor surface.
-func NewGSelect(n, k, counterBits uint) *Single {
-	return MustSpec(Spec{Family: "gselect", N: n, Hist: k, Ctr: counterBits}).(*Single)
-}
-
-// NewBimodal returns a 2^n-entry bimodal predictor with the given
-// counter width.
-//
-// Deprecated: construct via Spec{Family: "bimodal", N: n, Ctr:
-// counterBits} (or ParseSpec), the unified constructor surface.
-func NewBimodal(n, counterBits uint) *Single {
-	return MustSpec(Spec{Family: "bimodal", N: n, Ctr: counterBits}).(*Single)
-}
-
 // index returns fn.Index(addr, hist), reusing the memoised value when
 // the reference repeats (the Predict-then-Update pattern of the
 // runner).

@@ -12,11 +12,10 @@ import (
 )
 
 // Spec is the unified construction surface for every predictor family
-// in the repository. It replaces the historical mix of positional
-// constructors (NewTwoBcGSkew(n, histShort, histLong), NewAgree(n, k,
-// biasBits, counterBits), ...) with one config struct, one factory
-// (Spec.New) and one canonical, round-trippable string form
-// (ParseSpec / Spec.String), e.g.
+// in the repository. It replaced (and has since retired) the
+// historical mix of positional constructors with one config struct,
+// one factory (Spec.New) and one canonical, round-trippable string
+// form (ParseSpec / Spec.String), e.g.
 //
 //	gshare:n=14,k=12,ctr=2
 //	gskewed:n=12,k=8,banks=3,ctr=2,policy=partial

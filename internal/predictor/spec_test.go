@@ -219,21 +219,21 @@ func TestDeprecatedConstructorsMatchSpec(t *testing.T) {
 	}{
 		{"gshare", MustSpec(Spec{Family: "gshare", N: 14, Hist: 12}),
 			Spec{Family: "gshare", N: 14, Hist: 12, Ctr: 2}},
-		{"bimodal", NewBimodal(12, 2), Spec{Family: "bimodal", N: 12}},
-		{"gselect", NewGSelect(14, 6, 2), Spec{Family: "gselect", N: 14, Hist: 6}},
-		{"2bcgskew", MustTwoBcGSkew(12, 7, 14),
+		{"bimodal", MustSpec(Spec{Family: "bimodal", N: 12, Ctr: 2}), Spec{Family: "bimodal", N: 12}},
+		{"gselect", MustSpec(Spec{Family: "gselect", N: 14, Hist: 6, Ctr: 2}), Spec{Family: "gselect", N: 14, Hist: 6}},
+		{"2bcgskew", MustSpec(Spec{Family: "2bcgskew", N: 12, HistShort: 7, Hist: 14}),
 			Spec{Family: "2bcgskew", N: 12, HistShort: 7, Hist: 14}},
-		{"agree", MustAgree(14, 8, 10, 2),
+		{"agree", MustSpec(Spec{Family: "agree", N: 14, Hist: 8, Bias: 10, Ctr: 2}),
 			Spec{Family: "agree", N: 14, Hist: 8, Bias: 10}},
-		{"bimode", MustBiMode(13, 8, 11, 2),
+		{"bimode", MustSpec(Spec{Family: "bimode", N: 13, Hist: 8, Choice: 11, Ctr: 2}),
 			Spec{Family: "bimode", N: 13, Hist: 8, Choice: 11}},
-		{"pas", MustPAs(10, 8, 12, 2),
+		{"pas", MustSpec(Spec{Family: "pas", BHT: 10, Local: 8, N: 12, Ctr: 2}),
 			Spec{Family: "pas", BHT: 10, Local: 8, N: 12}},
-		{"skewed-pas", MustSkewedPAs(10, 8, 11, 2, PartialUpdate),
+		{"skewed-pas", MustSpec(Spec{Family: "skewed-pas", BHT: 10, Local: 8, N: 11, Ctr: 2, Policy: PartialUpdate}),
 			Spec{Family: "skewed-pas", BHT: 10, Local: 8, N: 11}},
-		{"tage", MustTAGE(9, 20, 4, 4, 8, 3),
+		{"tage", MustSpec(Spec{Family: "tage", N: 9, Hist: 20, HistMin: 4, Tables: 4, Tag: 8, Ctr: 3}),
 			Spec{Family: "tage", N: 9, Hist: 20}},
-		{"perceptron", MustPerceptron(9, 16, 8, 0, 8),
+		{"perceptron", MustSpec(Spec{Family: "perceptron", N: 9, Hist: 16, Tables: 8, Theta: 0, Ctr: 8}),
 			Spec{Family: "perceptron", N: 9, Hist: 16}},
 	}
 	for _, c := range cases {

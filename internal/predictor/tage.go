@@ -73,31 +73,6 @@ type TAGE struct {
 	foldSkew uint
 }
 
-// NewTAGE returns a TAGE predictor with 2^n-entry tables, tables
-// tagged components over geometric history lengths kmin..k, tag-bit
-// tags and ctrBits-bit direction counters.
-//
-// Deprecated: construct via Spec{Family: "tage", N: n, Hist: k,
-// HistMin: kmin, Tables: tables, Tag: tagBits, Ctr: ctrBits} (or
-// ParseSpec), the unified constructor surface.
-func NewTAGE(n, k, kmin uint, tables int, tagBits, ctrBits uint) (*TAGE, error) {
-	p, err := Spec{Family: "tage", N: n, Hist: k, HistMin: kmin,
-		Tables: tables, Tag: tagBits, Ctr: ctrBits}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*TAGE), nil
-}
-
-// MustTAGE is NewTAGE, panicking on configuration errors.
-func MustTAGE(n, k, kmin uint, tables int, tagBits, ctrBits uint) *TAGE {
-	t, err := NewTAGE(n, k, kmin, tables, tagBits, ctrBits)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // newTAGE is the implementation behind Spec.New.
 func newTAGE(n, k, kmin uint, tables int, tagBits, ctrBits uint) (*TAGE, error) {
 	if n < 2 || n > 26 {

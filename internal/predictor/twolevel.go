@@ -33,23 +33,6 @@ type PAs struct {
 	addrSel uint // address bits used in the PHT index
 }
 
-// NewPAs returns a PAs predictor with 2^bhtBits local history
-// registers of localK bits each, and a 2^phtBits-entry second-level
-// counter table of ctrBits-wide cells. The PHT index is the
-// concatenation of (phtBits - localK) address bits (low) and the
-// localK history bits (high), the GAs/PAs layout of Yeh and Patt.
-//
-// Deprecated: construct via Spec{Family: "pas", BHT: bhtBits, Local:
-// localK, N: phtBits, Ctr: ctrBits} (or ParseSpec), the unified
-// constructor surface.
-func NewPAs(bhtBits, localK, phtBits, ctrBits uint) (*PAs, error) {
-	p, err := Spec{Family: "pas", BHT: bhtBits, Local: localK, N: phtBits, Ctr: ctrBits}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*PAs), nil
-}
-
 // newPAs is the PAs implementation behind Spec.New.
 func newPAs(bhtBits, localK, phtBits, ctrBits uint) (*PAs, error) {
 	if localK > phtBits {
@@ -68,15 +51,6 @@ func newPAs(bhtBits, localK, phtBits, ctrBits uint) (*PAs, error) {
 		localK:  localK,
 		addrSel: phtBits - localK,
 	}, nil
-}
-
-// MustPAs is NewPAs, panicking on configuration errors.
-func MustPAs(bhtBits, localK, phtBits, ctrBits uint) *PAs {
-	p, err := NewPAs(bhtBits, localK, phtBits, ctrBits)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 func (p *PAs) index(addr uint64) uint64 {
@@ -139,22 +113,6 @@ type SkewedPAs struct {
 	preds []bool
 }
 
-// NewSkewedPAs returns a 3-bank skewed per-address predictor with
-// 2^bhtBits local registers of localK bits and banks of 2^bankBits
-// counters of ctrBits width.
-//
-// Deprecated: construct via Spec{Family: "skewed-pas", BHT: bhtBits,
-// Local: localK, N: bankBits, Ctr: ctrBits, Policy: policy} (or
-// ParseSpec), the unified constructor surface.
-func NewSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) (*SkewedPAs, error) {
-	p, err := Spec{Family: "skewed-pas", BHT: bhtBits, Local: localK,
-		N: bankBits, Ctr: ctrBits, Policy: policy}.New()
-	if err != nil {
-		return nil, err
-	}
-	return p.(*SkewedPAs), nil
-}
-
 // newSkewedPAs is the skewed-PAs implementation behind Spec.New.
 func newSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) (*SkewedPAs, error) {
 	if bankBits < skewfn.MinBits || bankBits > skewfn.MaxBits {
@@ -175,15 +133,6 @@ func newSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) 
 		s.banks = append(s.banks, counter.NewTable(1<<bankBits, ctrBits))
 	}
 	return s, nil
-}
-
-// MustSkewedPAs is NewSkewedPAs, panicking on configuration errors.
-func MustSkewedPAs(bhtBits, localK, bankBits, ctrBits uint, policy UpdatePolicy) *SkewedPAs {
-	p, err := NewSkewedPAs(bhtBits, localK, bankBits, ctrBits, policy)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 func (s *SkewedPAs) indices(addr uint64) {

@@ -7,16 +7,16 @@ import (
 )
 
 func TestPAsConfigValidation(t *testing.T) {
-	if _, err := NewPAs(4, 10, 8, 2); err == nil {
+	if _, err := (Spec{Family: "pas", BHT: 4, Local: 10, N: 8, Ctr: 2}).New(); err == nil {
 		t.Error("local history wider than PHT index accepted")
 	}
-	if _, err := NewPAs(4, 4, 0, 2); err == nil {
+	if _, err := (Spec{Family: "pas", BHT: 4, Local: 4, N: 0, Ctr: 2}).New(); err == nil {
 		t.Error("zero PHT width accepted")
 	}
-	if _, err := NewPAs(4, 4, 27, 2); err == nil {
+	if _, err := (Spec{Family: "pas", BHT: 4, Local: 4, N: 27, Ctr: 2}).New(); err == nil {
 		t.Error("oversized PHT width accepted")
 	}
-	if _, err := NewPAs(4, 4, 10, 0); err != nil {
+	if _, err := (Spec{Family: "pas", BHT: 4, Local: 4, N: 10, Ctr: 0}).New(); err != nil {
 		t.Error("default counter bits rejected")
 	}
 }
@@ -25,7 +25,7 @@ func TestPAsLearnsLocalPattern(t *testing.T) {
 	// A branch with a strict period-2 local pattern (T,N,T,N,...) is
 	// perfectly predictable from its own history, regardless of global
 	// history — the defining strength of per-address schemes.
-	p := MustPAs(6, 4, 10, 2)
+	p := MustSpec(Spec{Family: "pas", BHT: 6, Local: 4, N: 10, Ctr: 2})
 	misses := 0
 	for i := 0; i < 2000; i++ {
 		taken := i%2 == 0
@@ -41,7 +41,7 @@ func TestPAsLearnsLocalPattern(t *testing.T) {
 }
 
 func TestPAsSeparatesBranches(t *testing.T) {
-	p := MustPAs(6, 4, 12, 2)
+	p := MustSpec(Spec{Family: "pas", BHT: 6, Local: 4, N: 12, Ctr: 2})
 	for i := 0; i < 200; i++ {
 		p.Update(1, 0, true)
 		p.Update(2, 0, false)
@@ -52,7 +52,7 @@ func TestPAsSeparatesBranches(t *testing.T) {
 }
 
 func TestPAsMetadata(t *testing.T) {
-	p := MustPAs(6, 4, 12, 2)
+	p := MustSpec(Spec{Family: "pas", BHT: 6, Local: 4, N: 12, Ctr: 2}).(*PAs)
 	if p.Name() != "pas" || p.HistoryBits() != 0 || p.LocalHistoryBits() != 4 {
 		t.Error("metadata wrong")
 	}
@@ -66,7 +66,7 @@ func TestPAsMetadata(t *testing.T) {
 }
 
 func TestPAsReset(t *testing.T) {
-	p := MustPAs(4, 2, 8, 2)
+	p := MustSpec(Spec{Family: "pas", BHT: 4, Local: 2, N: 8, Ctr: 2})
 	for i := 0; i < 10; i++ {
 		p.Update(3, 0, false)
 	}
@@ -77,7 +77,7 @@ func TestPAsReset(t *testing.T) {
 }
 
 func TestSkewedPAsLearns(t *testing.T) {
-	s := MustSkewedPAs(6, 6, 8, 2, PartialUpdate)
+	s := MustSpec(Spec{Family: "skewed-pas", BHT: 6, Local: 6, N: 8, Ctr: 2, Policy: PartialUpdate}).(*SkewedPAs)
 	for i := 0; i < 100; i++ {
 		s.Update(0x77, 0, false)
 	}
@@ -93,7 +93,7 @@ func TestSkewedPAsLearns(t *testing.T) {
 }
 
 func TestSkewedPAsStorage(t *testing.T) {
-	s := MustSkewedPAs(6, 4, 10, 2, PartialUpdate)
+	s := MustSpec(Spec{Family: "skewed-pas", BHT: 6, Local: 4, N: 10, Ctr: 2, Policy: PartialUpdate})
 	// 3 banks x 2^10 x 2 bits + 2^6 x 4 bits.
 	if got := s.StorageBits(); got != 3*1024*2+64*4 {
 		t.Errorf("StorageBits = %d", got)
@@ -101,10 +101,10 @@ func TestSkewedPAsStorage(t *testing.T) {
 }
 
 func TestSkewedPAsConfigValidation(t *testing.T) {
-	if _, err := NewSkewedPAs(4, 4, 1, 2, PartialUpdate); err == nil {
+	if _, err := (Spec{Family: "skewed-pas", BHT: 4, Local: 4, N: 1, Ctr: 2, Policy: PartialUpdate}).New(); err == nil {
 		t.Error("undersized bank width accepted")
 	}
-	if _, err := NewSkewedPAs(4, 4, 31, 2, PartialUpdate); err == nil {
+	if _, err := (Spec{Family: "skewed-pas", BHT: 4, Local: 4, N: 31, Ctr: 2, Policy: PartialUpdate}).New(); err == nil {
 		t.Error("oversized bank width accepted")
 	}
 }
@@ -119,8 +119,8 @@ func TestSkewedPAsUnderAliasingPressure(t *testing.T) {
 	// variant must stay in the same accuracy regime as the plain PHT
 	// and far below chance.
 	r := rng.NewXoshiro256(9)
-	plain := MustPAs(8, 6, 8, 2)                       // 256-entry PHT
-	skewed := MustSkewedPAs(8, 6, 8, 2, PartialUpdate) // 3 x 256
+	plain := MustSpec(Spec{Family: "pas", BHT: 8, Local: 6, N: 8, Ctr: 2})                                // 256-entry PHT
+	skewed := MustSpec(Spec{Family: "skewed-pas", BHT: 8, Local: 6, N: 8, Ctr: 2, Policy: PartialUpdate}) // 3 x 256
 	type site struct {
 		addr uint64
 		p    float64
@@ -156,7 +156,7 @@ func TestSkewedPAsUnderAliasingPressure(t *testing.T) {
 }
 
 func TestSkewedPAsReset(t *testing.T) {
-	s := MustSkewedPAs(4, 2, 8, 2, TotalUpdate)
+	s := MustSpec(Spec{Family: "skewed-pas", BHT: 4, Local: 2, N: 8, Ctr: 2, Policy: TotalUpdate})
 	for i := 0; i < 10; i++ {
 		s.Update(5, 0, false)
 	}
@@ -167,7 +167,7 @@ func TestSkewedPAsReset(t *testing.T) {
 }
 
 func BenchmarkPAs(b *testing.B) {
-	p := MustPAs(10, 8, 14, 2)
+	p := MustSpec(Spec{Family: "pas", BHT: 10, Local: 8, N: 14, Ctr: 2})
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {
@@ -182,7 +182,7 @@ func BenchmarkPAs(b *testing.B) {
 }
 
 func BenchmarkSkewedPAs(b *testing.B) {
-	p := MustSkewedPAs(10, 8, 12, 2, PartialUpdate)
+	p := MustSpec(Spec{Family: "skewed-pas", BHT: 10, Local: 8, N: 12, Ctr: 2, Policy: PartialUpdate})
 	r := rng.NewXoshiro256(1)
 	addrs := make([]uint64, 1<<12)
 	for i := range addrs {

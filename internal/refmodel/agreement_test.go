@@ -141,11 +141,19 @@ func TestSpecSingleMatchesImpl(t *testing.T) {
 		n, k, c uint
 		impl    func() predictor.Predictor
 	}{
-		{"bimodal", 6, 0, 2, func() predictor.Predictor { return predictor.NewBimodal(6, 2) }},
-		{"gshare", 8, 6, 2, func() predictor.Predictor { return predictor.NewGShare(8, 6, 2) }},
-		{"gshare", 6, 12, 1, func() predictor.Predictor { return predictor.NewGShare(6, 12, 1) }},
-		{"gselect", 8, 4, 2, func() predictor.Predictor { return predictor.NewGSelect(8, 4, 2) }},
-		{"gselect", 6, 10, 2, func() predictor.Predictor { return predictor.NewGSelect(6, 10, 2) }},
+		{"bimodal", 6, 0, 2, func() predictor.Predictor { return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 6, Ctr: 2}) }},
+		{"gshare", 8, 6, 2, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2})
+		}},
+		{"gshare", 6, 12, 1, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 6, Hist: 12, Ctr: 1})
+		}},
+		{"gselect", 8, 4, 2, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 8, Hist: 4, Ctr: 2})
+		}},
+		{"gselect", 6, 10, 2, func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 6, Hist: 10, Ctr: 2})
+		}},
 	}
 	for _, tc := range cases {
 		for _, useStep := range []bool{false, true} {

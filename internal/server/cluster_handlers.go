@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/hex"
+	"net/http"
+	"strconv"
+
+	"gskew/internal/api"
+	"gskew/internal/store"
+	"gskew/internal/trace"
+	"gskew/internal/tracepool"
+)
+
+// The cluster-internal surface (/internal/v1/*) is the node-to-node
+// half of the peer-fill protocol. It is only registered when the node
+// runs with a cluster view, and it shares the public surface's error
+// envelope. Every handler applies the wrong_owner guard: a request for
+// a key/hash this node does not own under its current ring means the
+// sender's topology is stale, and answering would let two topology
+// generations disagree about where cells live. 421 tells the sender to
+// fall back to local work (which is always correct — ownership is
+// routing, not correctness).
+
+// parseCellKey decodes the hex path element of /internal/v1/cells/{key}.
+func parseCellKey(ks string) (store.Key, error) {
+	var k store.Key
+	raw, err := hex.DecodeString(ks)
+	if err != nil || len(raw) != len(k) {
+		return k, apiErrorf(http.StatusBadRequest, api.CodeBadRequest, "malformed cell key %q", ks)
+	}
+	copy(k[:], raw)
+	return k, nil
+}
+
+// guardOwnership rejects requests for keys outside this node's replica
+// set with 421/wrong_owner.
+func (s *Server) guardOwnership(what, key string) error {
+	if s.cluster.OwnsSelf(key) {
+		return nil
+	}
+	s.cluster.MarkWrongOwner()
+	return apiErrorf(http.StatusMisdirectedRequest, api.CodeWrongOwner,
+		"%s %s is not owned by %s under ring gen %d", what, key, s.cluster.Self(), s.cluster.Info().Gen)
+}
+
+// handleCellGet serves a stored cell to a peer (the read half of peer
+// fill). A miss is 404/no_such_cell: the asker simulates locally.
+func (s *Server) handleCellGet(w http.ResponseWriter, r *http.Request) error {
+	ks := r.PathValue("key")
+	k, err := parseCellKey(ks)
+	if err != nil {
+		return err
+	}
+	if err := s.guardOwnership("cell", ks); err != nil {
+		return err
+	}
+	e, ok := s.store.Get(k)
+	if !ok {
+		return apiErrorf(http.StatusNotFound, api.CodeNoSuchCell, "cell %s not stored here", ks)
+	}
+	return writeJSON(w, e)
+}
+
+// handleCellPut accepts a replicated cell from a peer (the write half
+// of peer fill). The entry must re-derive the key it is offered under —
+// a peer cannot plant a result under someone else's address.
+func (s *Server) handleCellPut(w http.ResponseWriter, r *http.Request) error {
+	ks := r.PathValue("key")
+	k, err := parseCellKey(ks)
+	if err != nil {
+		return err
+	}
+	if err := s.guardOwnership("cell", ks); err != nil {
+		return err
+	}
+	var e store.Entry
+	if err := decodeJSON(r, &e); err != nil {
+		return err
+	}
+	if e.Schema == 0 {
+		e.Schema = store.SchemaVersion
+	}
+	if e.Key() != k {
+		return apiErrorf(http.StatusBadRequest, api.CodeBadRequest,
+			"offered cell re-derives %s, not %s", e.Key(), ks)
+	}
+	if err := s.store.Put(k, e); err != nil {
+		return err
+	}
+	return writeJSON(w, api.CellOfferResponse{Key: ks, Stored: true})
+}
+
+// handleInternalTraceGet serves a pooled segment to a peer (the
+// owner-forwarded trace lookup). Same canonical columnar bytes as the
+// public GET /v1/traces/{hash}, plus the ownership guard.
+func (s *Server) handleInternalTraceGet(w http.ResponseWriter, r *http.Request) error {
+	hash := r.PathValue("hash")
+	if !tracepool.ValidHash(hash) {
+		return apiErrorf(http.StatusBadRequest, api.CodeBadRequest, "malformed trace hash %q", hash)
+	}
+	if err := s.guardOwnership("trace", hash); err != nil {
+		return err
+	}
+	branches, ok := s.pool.Get(hash)
+	if !ok {
+		return apiErrorf(http.StatusNotFound, api.CodeNoSuchTrace, "trace %s not pooled here", hash)
+	}
+	return writeTraceBytes(w, branches)
+}
+
+// handleRing reports this node's current membership view.
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, s.cluster.Info())
+}
+
+// handleTopology applies a resharding event: a complete replacement
+// member set and replication factor. The response is the new ring view
+// (generation bumped), so a topology push doubles as an ack.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) error {
+	var upd api.TopologyUpdate
+	if err := decodeJSON(r, &upd); err != nil {
+		return err
+	}
+	info, err := s.cluster.SetTopology(upd)
+	if err != nil {
+		return apiErrorf(http.StatusBadRequest, api.CodeBadRequest, "topology rejected: %v", err)
+	}
+	return writeJSON(w, info)
+}
+
+// writeTraceBytes renders a segment in the canonical columnar encoding
+// (shared by the public and internal trace GET paths).
+func writeTraceBytes(w http.ResponseWriter, branches []trace.Branch) error {
+	data, err := trace.EncodeColumnar(branches)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gskew/internal/api"
+	"gskew/internal/client"
+	"gskew/internal/cluster"
+	"gskew/internal/store"
+	"gskew/internal/tracepool"
+)
+
+// swapHandler lets a listener exist before the handler it serves:
+// cluster nodes need their peers' URLs (assigned at listen time) to
+// build their ring, and the ring to build their Server.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// newClusterNodes boots n in-process predserved nodes that know each
+// other, each with its own fresh store and pool, and returns one typed
+// client per node.
+func newClusterNodes(t *testing.T, n, replicas int) ([]*client.Client, []string) {
+	t.Helper()
+	holders := make([]*swapHandler, n)
+	urls := make([]string, n)
+	for i := range holders {
+		holders[i] = &swapHandler{}
+		ts := httptest.NewServer(holders[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	clients := make([]*client.Client, n)
+	for i := range holders {
+		cl, err := cluster.New(cluster.Config{Self: urls[i], Nodes: urls, Replicas: replicas})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(256, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := tracepool.Open(8, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		holders[i].set(New(Config{Store: st, Pool: pool, Cluster: cl}).Handler())
+		clients[i] = client.New(urls[i])
+	}
+	return clients, urls
+}
+
+// clusterSweep is a 9-cell sweep used across the cluster tests.
+var clusterSweep = &api.SimulateRequest{
+	Specs: []string{
+		"bimodal:n=8", "bimodal:n=9", "bimodal:n=10",
+		"gshare:n=8,k=6", "gshare:n=9,k=7", "gshare:n=10,k=8",
+		"gskewed:n=7,k=5", "gselect:n=8,k=4", "2bcgskew:n=8,ks=5,k=9",
+	},
+	Bench: "verilog",
+	Scale: 0.002,
+}
+
+// TestClusterByteIdentity is the tentpole invariant: the same sweep
+// must return byte-identical bodies from a standalone server and from
+// every node of a 3-node cluster, cold or warm.
+func TestClusterByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	solo := newTestServer(t, Config{})
+	soloC, _ := testClient(t, solo.URL)
+	want, _, err := soloC.SimulateRaw(ctx, clusterSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients, _ := newClusterNodes(t, 3, 2)
+	for round := 0; round < 2; round++ {
+		for i, c := range clients {
+			got, _, err := c.SimulateRaw(ctx, clusterSweep)
+			if err != nil {
+				t.Fatalf("round %d node %d: %v", round, i, err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("round %d node %d body differs from standalone:\n--- cluster ---\n%s--- solo ---\n%s",
+					round, i, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterPeerFill: after one node simulates a sweep (storing cells
+// locally and offering them to their owners), a second node serving
+// the same sweep must not simulate anything — every cell is either a
+// local store hit (the offer landed here) or a peer fill from its
+// owner.
+func TestClusterPeerFill(t *testing.T) {
+	ctx := context.Background()
+	clients, _ := newClusterNodes(t, 3, 1)
+
+	_, cold, err := clients[0].SimulateRaw(ctx, clusterSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Misses != len(clusterSweep.Specs) {
+		t.Fatalf("cold pass on node 0: %+v, want all misses", cold)
+	}
+
+	fillsBefore, err := clients[1].Metric(ctx, "cluster.peer_fill_hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := clients[1].SimulateRaw(ctx, clusterSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Misses != 0 {
+		t.Fatalf("node 1 recomputed %d cells the cluster already had (X-Cache %+v)", warm.Misses, warm)
+	}
+	fillsAfter, err := clients[1].Metric(ctx, "cluster.peer_fill_hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With R=1 every key has exactly one owner; cells node 1 does not
+	// own must have come over the wire.
+	if fillsAfter <= fillsBefore {
+		t.Errorf("peer_fill_hits did not move (%d -> %d)", fillsBefore, fillsAfter)
+	}
+}
+
+// TestClusterTraceForwarding: a trace ingested on one node is
+// addressable by hash from every node (ingest forwards the segment to
+// the hash's owner; simulate fetches from the owner on a pool miss).
+func TestClusterTraceForwarding(t *testing.T) {
+	ctx := context.Background()
+	clients, _ := newClusterNodes(t, 3, 1)
+
+	branches := testTrace(400)
+	raw := encodeVarintTest(t, branches)
+	ing, err := clients[0].IngestTrace(ctx, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := &api.SimulateRequest{Specs: []string{"gshare:n=7,k=5"}, TraceSHA256: ing.TraceSHA256}
+	bodies := make([]string, len(clients))
+	for i, c := range clients {
+		got, _, err := c.SimulateRaw(ctx, req)
+		if err != nil {
+			t.Fatalf("node %d by-hash simulate: %v", i, err)
+		}
+		bodies[i] = string(got)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("node %d by-hash body differs from node 0", i)
+		}
+	}
+}
+
+// TestClusterResharding: pushing a new topology (here a replication
+// bump) resharding the ring must not change any response byte; at
+// worst hits become recomputations.
+func TestClusterResharding(t *testing.T) {
+	ctx := context.Background()
+	clients, urls := newClusterNodes(t, 3, 1)
+
+	before, _, err := clients[0].SimulateRaw(ctx, clusterSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, c := range clients {
+		info, err := c.SetTopology(ctx, &api.TopologyUpdate{Nodes: urls, Replicas: 3})
+		if err != nil {
+			t.Fatalf("node %d topology push: %v", i, err)
+		}
+		if info.Gen != 2 || info.Replicas != 3 {
+			t.Fatalf("node %d ring after reshard: %+v", i, info)
+		}
+	}
+
+	for i, c := range clients {
+		after, _, err := c.SimulateRaw(ctx, clusterSweep)
+		if err != nil {
+			t.Fatalf("node %d post-reshard: %v", i, err)
+		}
+		if string(after) != string(before) {
+			t.Errorf("node %d post-reshard body differs", i)
+		}
+		ring, err := c.Ring(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Gen != 2 || len(ring.Nodes) != 3 {
+			t.Errorf("node %d ring endpoint: %+v", i, ring)
+		}
+	}
+
+	// A topology that drops the receiving node is refused.
+	if _, err := clients[2].SetTopology(ctx, &api.TopologyUpdate{Nodes: urls[:2], Replicas: 1}); err == nil {
+		t.Error("node 2 accepted a topology dropping itself")
+	}
+}
+
+// TestClusterWrongOwnerGuard: asking a node for a cell it does not own
+// under the current ring returns 421/wrong_owner, and the health body
+// carries the cluster view.
+func TestClusterWrongOwnerGuard(t *testing.T) {
+	ctx := context.Background()
+	clients, urls := newClusterNodes(t, 3, 1)
+
+	h, err := clients[0].Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil || len(h.Cluster.Nodes) != 3 || h.Cluster.Self != urls[0] {
+		t.Fatalf("health cluster view: %+v", h.Cluster)
+	}
+
+	// Probe synthetic keys until one is NOT owned by node 0, then ask
+	// node 0 for it.
+	ring, err := clients[0].Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		key := store.KeyFor(fmt.Sprintf("probe:n=%d", i), strings.Repeat("ab", 32), store.Options{})
+		r, err := cluster.NewRing(ring.Nodes, ring.Replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Owns(urls[0], key.String()) {
+			continue
+		}
+		_, err = clients[0].CellGet(ctx, key.String())
+		if !api.IsCode(err, api.CodeWrongOwner) {
+			t.Errorf("non-owned cell get: %v, want code %s", err, api.CodeWrongOwner)
+		}
+		break
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"gskew/internal/api"
 	"gskew/internal/store"
 )
 
@@ -137,7 +138,7 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		if status != http.StatusOK {
 			t.Fatalf("worker %d session probe: status %d", g, status)
 		}
-		var pr predictResponse
+		var pr api.PredictResponse
 		if err := json.Unmarshal([]byte(resp), &pr); err != nil {
 			t.Fatal(err)
 		}

@@ -6,46 +6,15 @@ import (
 	"sync"
 	"time"
 
+	"gskew/internal/api"
 	"gskew/internal/kernel"
 	"gskew/internal/predictor"
 	"gskew/internal/sim"
 )
 
-// predictRequest is the wire form of POST /v1/predict: a batch of
-// branch events appended to a session-pinned predictor instance. The
-// first request of a session must carry the spec; later requests may
-// omit it (and are rejected if they name a different one — a session
-// is one predictor).
-type predictRequest struct {
-	Session  string       `json:"session"`
-	Spec     string       `json:"spec,omitempty"`
-	Branches []wireBranch `json:"branches"`
-	// ReturnPredictions asks for the per-branch predicted directions.
-	// It forces the generic per-branch path for this batch (the
-	// compiled kernel only reports aggregate counts), so leave it off
-	// for throughput.
-	ReturnPredictions bool `json:"return_predictions,omitempty"`
-}
-
-// wireBranch is one branch event. Unconditional branches shift the
-// session's global history without being predicted, exactly as in the
-// batch runner.
-type wireBranch struct {
-	PC     uint64 `json:"pc"`
-	Taken  bool   `json:"taken"`
-	Uncond bool   `json:"uncond,omitempty"`
-}
-
-// predictResponse reports the batch and cumulative session accounting.
-type predictResponse struct {
-	Session           string `json:"session"`
-	Spec              string `json:"spec"`
-	Conditionals      int    `json:"conditionals"`
-	Mispredicts       int    `json:"mispredicts"`
-	TotalConditionals int    `json:"total_conditionals"`
-	TotalMispredicts  int    `json:"total_mispredicts"`
-	Predictions       []bool `json:"predictions,omitempty"`
-}
+// The wire shapes of /v1/predict (api.PredictRequest, api.Branch,
+// api.PredictResponse) live in internal/api with the rest of the
+// contract; this file is their serving side.
 
 // session is one pinned predictor instance: the tenant-isolated state
 // of a /v1/predict stream. Each session owns its predictor, its
@@ -93,7 +62,7 @@ func (t *sessionTable) len() int {
 // duration of their batch.
 func (t *sessionTable) acquire(id, spec string) (*session, error) {
 	if id == "" {
-		return nil, httpErrorf(http.StatusBadRequest, "no session id")
+		return nil, apiErrorf(http.StatusBadRequest, api.CodeBadRequest, "no session id")
 	}
 	// Canonicalise before any comparison so re-sending the session's
 	// spec in a different spelling stays idempotent.
@@ -105,7 +74,7 @@ func (t *sessionTable) acquire(id, spec string) (*session, error) {
 		var err error
 		sp, err = predictor.ParseSpec(spec)
 		if err != nil {
-			return nil, httpErrorf(http.StatusBadRequest, "spec: %v", err)
+			return nil, apiErrorf(http.StatusBadRequest, api.CodeBadSpec, "spec: %v", err)
 		}
 		canon = sp.String()
 	}
@@ -117,19 +86,19 @@ func (t *sessionTable) acquire(id, spec string) (*session, error) {
 		if canon != "" && canon != s.spec {
 			cur := s.spec
 			s.mu.Unlock()
-			return nil, httpErrorf(http.StatusConflict,
+			return nil, apiErrorf(http.StatusConflict, api.CodeSessionConflict,
 				"session %q is pinned to %s (got %s); use a new session id", id, cur, canon)
 		}
 		s.mu.Unlock()
 		return s, nil
 	}
 	if spec == "" {
-		return nil, httpErrorf(http.StatusNotFound,
+		return nil, apiErrorf(http.StatusNotFound, api.CodeNoSuchSession,
 			"session %q does not exist; create it by sending a spec", id)
 	}
 	p, err := sp.New()
 	if err != nil {
-		return nil, httpErrorf(http.StatusBadRequest, "spec: %v", err)
+		return nil, apiErrorf(http.StatusBadRequest, api.CodeBadSpec, "spec: %v", err)
 	}
 	if len(t.m) >= t.max {
 		t.evictLRU()
@@ -201,7 +170,7 @@ func (s *Server) segmentSteps(sess *session) (int, bool) {
 // are bit-identical, mirroring the sim runner's contract.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	mPredReqs.Inc()
-	var req predictRequest
+	var req api.PredictRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
@@ -213,7 +182,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	defer sess.mu.Unlock()
 	mPredSteps.Add(int64(len(req.Branches)))
 
-	resp := predictResponse{Session: req.Session, Spec: sess.spec}
+	resp := api.PredictResponse{Session: req.Session, Spec: sess.spec}
 	if req.ReturnPredictions {
 		resp.Predictions = make([]bool, 0, len(req.Branches))
 	}
@@ -284,7 +253,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 func (s *Server) handleEndSession(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("session")
 	if !s.sessions.remove(id) {
-		return httpErrorf(http.StatusNotFound, "session %q does not exist", id)
+		return apiErrorf(http.StatusNotFound, api.CodeNoSuchSession, "session %q does not exist", id)
 	}
-	return writeJSON(w, map[string]string{"session": id, "status": "ended"})
+	return writeJSON(w, api.SessionEndResponse{Session: id, Status: "ended"})
 }

@@ -1,37 +1,47 @@
 // Package server exposes the simulator as a long-running HTTP service:
 // simulation-as-a-service over the repository's whole stack. Requests
-// arrive as JSON, predictors are described by canonical spec strings
-// (predictor.ParseSpec), workloads are either the named synthetic
-// benchmarks or uploaded traces, sweeps run single-pass through
-// sim.RunMany on the compiled-kernel fast path, and every finished
-// cell lands in a content-addressed result store so overlapping
-// (spec, trace, options) cells across clients are simulated once.
+// arrive as JSON in the typed wire contract of internal/api, predictors
+// are described by canonical spec strings (predictor.ParseSpec),
+// workloads are either the named synthetic benchmarks or uploaded
+// traces, sweeps run single-pass through sim.RunMany on the
+// compiled-kernel fast path, and every finished cell lands in a
+// content-addressed result store so overlapping (spec, trace, options)
+// cells across clients are simulated once.
 //
-// Endpoints:
+// The endpoint and error-envelope reference lives in internal/api's
+// package documentation; this package is the serving half of that
+// contract. Every failure renders the structured envelope
+// {"error":{"code":...,"message":...}} with a stable machine-readable
+// code.
 //
-//	POST /v1/simulate   spec sweep over one workload -> per-spec results
-//	POST /v1/predict    batched branch stream against a session-pinned
-//	                    predictor instance
-//	GET  /v1/specs      grammar discovery: families, keys, benchmarks
-//	GET  /healthz       liveness + queue depth
-//	GET  /metrics       obs registry snapshot (plus /debug/vars, /debug/pprof)
+// When Config.Cluster is set, the node participates in a static-
+// topology cluster (internal/cluster): store keys and trace hashes are
+// sharded by consistent hashing, a local store miss on a key another
+// node owns is first offered to that owner over the cluster-internal
+// surface (peer fill), freshly simulated cells are replicated to the
+// key's replica set, and trace_sha256 pool misses are forwarded to the
+// hash's owner. None of this changes any response body: simulation is
+// deterministic and cells are content-addressed, so responses stay
+// byte-identical across 1-node, N-node and resharded topologies.
 //
 // Simulation work is gated through a shared experiments.Sched, so the
 // number of in-flight simulation passes never exceeds the configured
 // width no matter how many requests are being served; waiters observe
-// the request context and give up with 503 when it expires. Responses
-// for identical requests are byte-identical whether served cold or
-// from the store — the store round-trips sim.Result bit-exactly and
-// cache status travels in the X-Cache header, never in the body.
+// the request context and give up with 503/queue_full when it expires.
+// Responses for identical requests are byte-identical whether served
+// cold, from the store, or from a peer — the store round-trips
+// sim.Result bit-exactly and cache status travels in the X-Cache
+// header, never in the body.
 package server
 
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"time"
 
+	"gskew/internal/api"
+	"gskew/internal/cluster"
 	"gskew/internal/experiments"
 	"gskew/internal/obs"
 	"gskew/internal/store"
@@ -86,6 +96,10 @@ type Config struct {
 	// request or the result-cache key. 0 keeps the simulator's own
 	// auto default; 1 forces serial.
 	Segments int
+	// Cluster is this node's view of a static-topology cluster. Nil
+	// (the default) runs standalone: no internal endpoints, no peer
+	// fill. Responses are byte-identical either way.
+	Cluster *cluster.Cluster
 }
 
 // Defaults for Config fields.
@@ -107,6 +121,7 @@ type Server struct {
 	store    *store.Store
 	sched    *experiments.Sched
 	pool     *tracepool.Pool
+	cluster  *cluster.Cluster
 	traces   *traceCache
 	sessions *sessionTable
 	start    time.Time
@@ -144,6 +159,7 @@ func New(cfg Config) *Server {
 		store:    cfg.Store,
 		sched:    cfg.Sched,
 		pool:     cfg.Pool,
+		cluster:  cfg.Cluster,
 		traces:   newTraceCache(cfg.MaxTraces, cfg.Pool),
 		sessions: newSessionTable(cfg.MaxSessions),
 		start:    time.Now(),
@@ -155,7 +171,17 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
 	mux.HandleFunc("DELETE /v1/predict/{session}", s.instrument(s.handleEndSession))
 	mux.HandleFunc("GET /v1/specs", s.instrument(s.handleSpecs))
-	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("GET /v1/health", s.instrument(s.handleHealth))
+	// Legacy liveness path: thin alias of /v1/health for probes that
+	// predate the versioned surface.
+	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealth))
+	if s.cluster != nil {
+		mux.HandleFunc("GET /internal/v1/cells/{key}", s.instrument(s.handleCellGet))
+		mux.HandleFunc("PUT /internal/v1/cells/{key}", s.instrument(s.handleCellPut))
+		mux.HandleFunc("GET /internal/v1/traces/{hash}", s.instrument(s.handleInternalTraceGet))
+		mux.HandleFunc("GET /internal/v1/ring", s.instrument(s.handleRing))
+		mux.HandleFunc("POST /internal/v1/topology", s.instrument(s.handleTopology))
+	}
 	debug := obs.DebugMux()
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
@@ -169,25 +195,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store returns the result store the server is fronting.
 func (s *Server) Store() *store.Store { return s.store }
 
-// apiError is a handler failure with an HTTP status. Handlers return
-// it (or any error, mapped to 500) and instrument renders the JSON
-// error body, so every failure mode shares one wire shape.
-type apiError struct {
-	status int
-	err    error
-}
-
-func (e *apiError) Error() string { return e.err.Error() }
-
-func (e *apiError) Unwrap() error { return e.err }
-
-// httpErrorf builds an apiError.
-func httpErrorf(status int, format string, args ...any) error {
-	return &apiError{status: status, err: fmt.Errorf(format, args...)}
+// apiErrorf builds the typed error handlers return: an HTTP status for
+// transport, a stable api.Code* for clients to dispatch on, and a
+// human-oriented message. instrument renders it as the wire envelope.
+func apiErrorf(status int, code, format string, args ...any) error {
+	return api.Errorf(status, code, format, args...)
 }
 
 // instrument wraps a handler with the request counters, the latency
-// histogram and uniform JSON error rendering.
+// histogram and uniform error-envelope rendering.
 func (s *Server) instrument(fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
@@ -204,18 +220,20 @@ func (s *Server) instrument(fn func(w http.ResponseWriter, r *http.Request) erro
 			return
 		}
 		mErrors.Inc()
-		status := http.StatusInternalServerError
-		var ae *apiError
+		var ae *api.Error
 		var tooBig *http.MaxBytesError
 		switch {
 		case errors.As(err, &ae):
-			status = ae.status
+			// Keep ae: already the wire form.
 		case errors.As(err, &tooBig):
-			status = http.StatusRequestEntityTooLarge
+			ae = api.Errorf(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		default:
+			ae = api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		w.WriteHeader(ae.Status)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: *ae})
 	}
 }
 
@@ -229,8 +247,8 @@ func writeJSON(w http.ResponseWriter, v any) error {
 	return enc.Encode(v)
 }
 
-// decodeJSON parses a request body, mapping malformed input to 400 and
-// an oversized body to 413.
+// decodeJSON parses a request body, mapping malformed input to
+// 400/bad_request and an oversized body to 413/body_too_large.
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -239,19 +257,31 @@ func decodeJSON(r *http.Request, v any) error {
 		if errors.As(err, &tooBig) {
 			return err
 		}
-		return httpErrorf(http.StatusBadRequest, "decoding request: %v", err)
+		return apiErrorf(http.StatusBadRequest, api.CodeBadRequest, "decoding request: %v", err)
 	}
 	return nil
 }
 
-// handleHealthz reports liveness, uptime and current load.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, map[string]any{
-		"status":     "ok",
-		"uptime_ms":  time.Since(s.start).Milliseconds(),
-		"queue":      mQueueDepth.Value(),
-		"sessions":   s.sessions.len(),
-		"store_mem":  s.store.Len(),
-		"store_disk": s.store.Dir() != "",
-	})
+// handleHealth serves GET /v1/health (and its /healthz alias):
+// liveness plus per-subsystem readiness detail.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) error {
+	h := api.Health{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Store: api.StoreHealth{
+			MemEntries: s.store.Len(),
+			Disk:       s.store.Dir() != "",
+		},
+		Sched:    api.SchedHealth{QueueDepth: mQueueDepth.Value()},
+		Sessions: s.sessions.len(),
+		Pool: api.PoolHealth{
+			MemSegments: s.pool.Len(),
+			Disk:        s.pool.Dir() != "",
+		},
+	}
+	if s.cluster != nil {
+		info := s.cluster.Info()
+		h.Cluster = &info
+	}
+	return writeJSON(w, h)
 }

@@ -6,15 +6,17 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"runtime"
 	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"gskew/internal/api"
+	"gskew/internal/client"
 	"gskew/internal/experiments"
 	"gskew/internal/kernel"
 	"gskew/internal/predictor"
@@ -39,32 +41,54 @@ func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	return ts
 }
 
-func postJSON(t *testing.T, url, body string) (int, string, http.Header) {
+// testClient builds a typed client for a URL's base. All HTTP in these
+// tests flows through internal/client — the same path real callers use.
+func testClient(t *testing.T, rawURL string) (*client.Client, string) {
 	t.Helper()
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	u, err := url.Parse(rawURL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, string(data), resp.Header
+	return client.New(u.Scheme + "://" + u.Host), u.Path
 }
 
-func getJSON(t *testing.T, url string) (int, string) {
+// postJSON posts an arbitrary (possibly malformed) JSON body through
+// the typed client's raw escape hatch and returns the raw response.
+func postJSON(t *testing.T, rawURL, body string) (int, string, http.Header) {
 	t.Helper()
-	resp, err := http.Get(url)
+	c, path := testClient(t, rawURL)
+	status, data, hdr, err := c.Do(context.Background(), http.MethodPost, path, "application/json", []byte(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	return status, string(data), hdr
+}
+
+func getJSON(t *testing.T, rawURL string) (int, string) {
+	t.Helper()
+	c, path := testClient(t, rawURL)
+	status, data, _, err := c.Do(context.Background(), http.MethodGet, path, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, string(data)
+	return status, string(data)
+}
+
+// wantCode asserts an error body is the structured envelope carrying
+// the expected stable code.
+func wantCode(t *testing.T, name, body, code string) {
+	t.Helper()
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error.Code == "" {
+		t.Errorf("%s: body is not an error envelope: %s", name, body)
+		return
+	}
+	if env.Error.Code != code {
+		t.Errorf("%s: error code %q, want %q (message: %s)", name, env.Error.Code, code, env.Error.Message)
+	}
+	if env.Error.Message == "" {
+		t.Errorf("%s: envelope has no message: %s", name, body)
+	}
 }
 
 const sweepBody = `{"specs":["bimodal:n=8","gshare:n=8,k=6","gskewed:n=7,k=5"],"bench":"verilog","scale":0.002}`
@@ -233,28 +257,25 @@ func TestSimulateRejectsBadRequests(t *testing.T) {
 	for name, tc := range map[string]struct {
 		body string
 		want int
+		code string
 	}{
-		"empty specs":     {`{"specs":[],"bench":"verilog"}`, http.StatusBadRequest},
-		"bad spec":        {`{"specs":["oracle:n=8"],"bench":"verilog"}`, http.StatusBadRequest},
-		"bad spec params": {`{"specs":["gshare:n=99"],"bench":"verilog","scale":0.002}`, http.StatusBadRequest},
-		"no workload":     {`{"specs":["bimodal:n=8"]}`, http.StatusBadRequest},
-		"both workloads":  {`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":"aGk="}`, http.StatusBadRequest},
-		"unknown bench":   {`{"specs":["bimodal:n=8"],"bench":"quake3"}`, http.StatusBadRequest},
-		"bad scale":       {`{"specs":["bimodal:n=8"],"bench":"verilog","scale":7}`, http.StatusBadRequest},
-		"bad base64":      {`{"specs":["bimodal:n=8"],"trace_b64":"!!!"}`, http.StatusBadRequest},
-		"not json":        {`{nope`, http.StatusBadRequest},
-		"unknown field":   {`{"specs":["bimodal:n=8"],"bench":"verilog","turbo":true}`, http.StatusBadRequest},
+		"empty specs":     {`{"specs":[],"bench":"verilog"}`, http.StatusBadRequest, api.CodeBadRequest},
+		"bad spec":        {`{"specs":["oracle:n=8"],"bench":"verilog"}`, http.StatusBadRequest, api.CodeBadSpec},
+		"bad spec params": {`{"specs":["gshare:n=99"],"bench":"verilog","scale":0.002}`, http.StatusBadRequest, api.CodeBadSpec},
+		"no workload":     {`{"specs":["bimodal:n=8"]}`, http.StatusBadRequest, api.CodeBadWorkload},
+		"both workloads":  {`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":"aGk="}`, http.StatusBadRequest, api.CodeBadWorkload},
+		"unknown bench":   {`{"specs":["bimodal:n=8"],"bench":"quake3"}`, http.StatusBadRequest, api.CodeBadWorkload},
+		"bad scale":       {`{"specs":["bimodal:n=8"],"bench":"verilog","scale":7}`, http.StatusBadRequest, api.CodeBadWorkload},
+		"bad base64":      {`{"specs":["bimodal:n=8"],"trace_b64":"!!!"}`, http.StatusBadRequest, api.CodeBadTrace},
+		"not json":        {`{nope`, http.StatusBadRequest, api.CodeBadRequest},
+		"unknown field":   {`{"specs":["bimodal:n=8"],"bench":"verilog","turbo":true}`, http.StatusBadRequest, api.CodeBadRequest},
+		"missing trace":   {`{"specs":["bimodal:n=8"],"trace_sha256":"` + strings.Repeat("0", 64) + `"}`, http.StatusNotFound, api.CodeNoSuchTrace},
 	} {
 		status, body, _ := postJSON(t, ts.URL+"/v1/simulate", tc.body)
 		if status != tc.want {
 			t.Errorf("%s: status %d, want %d (%s)", name, status, tc.want, body)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error body not JSON: %s", name, body)
-		}
+		wantCode(t, name, body, tc.code)
 	}
 }
 
@@ -262,10 +283,11 @@ func TestRequestBodyLimit(t *testing.T) {
 	ts := newTestServer(t, Config{MaxBodyBytes: 1024})
 	big := fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":%q}`,
 		strings.Repeat("A", 4096))
-	status, _, _ := postJSON(t, ts.URL+"/v1/simulate", big)
+	status, body, _ := postJSON(t, ts.URL+"/v1/simulate", big)
 	if status != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body: status %d, want 413", status)
 	}
+	wantCode(t, "oversized body", body, api.CodeBodyTooLarge)
 }
 
 // TestPredictSegmentedBatch: a staged batch crossing segmentPredictMin
@@ -349,7 +371,7 @@ func TestPredictSessionLifecycle(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("batch 2 status %d: %s", status, out)
 	}
-	var resp predictResponse
+	var resp api.PredictResponse
 	if err := json.Unmarshal([]byte(out), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +390,7 @@ func TestPredictSessionLifecycle(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("generic path status %d: %s", status, out)
 	}
-	var resp2 predictResponse
+	var resp2 api.PredictResponse
 	if err := json.Unmarshal([]byte(out), &resp2); err != nil {
 		t.Fatal(err)
 	}
@@ -380,33 +402,30 @@ func TestPredictSessionLifecycle(t *testing.T) {
 	}
 
 	// Spec conflict on a live session.
-	status, _, _ = postJSON(t, ts.URL+"/v1/predict", `{"session":"s1","spec":"bimodal:n=8","branches":[]}`)
+	status, body, _ := postJSON(t, ts.URL+"/v1/predict", `{"session":"s1","spec":"bimodal:n=8","branches":[]}`)
 	if status != http.StatusConflict {
 		t.Errorf("re-pinning a session: status %d, want 409", status)
 	}
+	wantCode(t, "session conflict", body, api.CodeSessionConflict)
 	// Unknown session without a spec.
-	status, _, _ = postJSON(t, ts.URL+"/v1/predict", `{"session":"ghost","branches":[]}`)
+	status, body, _ = postJSON(t, ts.URL+"/v1/predict", `{"session":"ghost","branches":[]}`)
 	if status != http.StatusNotFound {
 		t.Errorf("unknown session: status %d, want 404", status)
 	}
+	wantCode(t, "unknown session", body, api.CodeNoSuchSession)
 
-	// End a session; a second delete 404s.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/predict/s1", nil)
-	dresp, err := http.DefaultClient.Do(req)
+	// End a session through the typed client; a second delete surfaces
+	// the stable code as a typed error.
+	c, _ := testClient(t, ts.URL)
+	ended, err := c.EndSession(context.Background(), "s1")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("end session: %v", err)
 	}
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusOK {
-		t.Errorf("delete status %d", dresp.StatusCode)
+	if ended.Session != "s1" || ended.Status != "ended" {
+		t.Errorf("end session response %+v", ended)
 	}
-	dresp2, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dresp2.Body.Close()
-	if dresp2.StatusCode != http.StatusNotFound {
-		t.Errorf("double delete status %d, want 404", dresp2.StatusCode)
+	if _, err := c.EndSession(context.Background(), "s1"); !api.IsCode(err, api.CodeNoSuchSession) {
+		t.Errorf("double delete error %v, want code %s", err, api.CodeNoSuchSession)
 	}
 }
 
@@ -595,15 +614,13 @@ func TestSimulateRejectsMalformedModernSpecs(t *testing.T) {
 			t.Errorf("%s: status %d, want 400 (%s)", name, status, out)
 			continue
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal([]byte(out), &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error body not JSON: %s", name, out)
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal([]byte(out), &env); err != nil || env.Error.Code != api.CodeBadSpec {
+			t.Errorf("%s: error body not a bad_spec envelope: %s", name, out)
 			continue
 		}
-		if !strings.Contains(e.Error, tc.want) {
-			t.Errorf("%s: error %q does not mention %q", name, e.Error, tc.want)
+		if !strings.Contains(env.Error.Message, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, env.Error.Message, tc.want)
 		}
 	}
 }
@@ -613,6 +630,19 @@ func TestHealthzAndMetrics(t *testing.T) {
 	status, body := getJSON(t, ts.URL+"/healthz")
 	if status != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
 		t.Errorf("healthz %d: %s", status, body)
+	}
+	// /v1/health is the primary path; /healthz must be a byte-identical
+	// alias of it.
+	status, vbody := getJSON(t, ts.URL+"/v1/health")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/health status %d", status)
+	}
+	var h api.Health
+	if err := json.Unmarshal([]byte(vbody), &h); err != nil {
+		t.Fatalf("/v1/health not decodable: %v\n%s", err, vbody)
+	}
+	if h.Status != "ok" || h.Pool.MemSegments < 0 || h.Cluster != nil {
+		t.Errorf("standalone health detail: %+v", h)
 	}
 	status, body = getJSON(t, ts.URL+"/metrics")
 	if status != http.StatusOK {
@@ -642,4 +672,5 @@ func TestSchedTimeoutReturns503(t *testing.T) {
 	if status != http.StatusServiceUnavailable {
 		t.Errorf("saturated scheduler: status %d, want 503 (%s)", status, body)
 	}
+	wantCode(t, "queue full", body, api.CodeQueueFull)
 }

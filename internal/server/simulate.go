@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"gskew/internal/api"
 	"gskew/internal/predictor"
 	"gskew/internal/sim"
 	"gskew/internal/store"
@@ -15,74 +16,28 @@ import (
 	"gskew/internal/workload"
 )
 
-// simulateRequest is the wire form of POST /v1/simulate. The workload
-// is either a named benchmark (bench, with optional scale and seed) or
-// an uploaded trace in the repository's binary format, base64-encoded.
-type simulateRequest struct {
-	// Specs are canonical predictor spec strings; the sweep runs all of
-	// them in one single-pass simulation (sim.RunMany) over the shared
-	// trace decoding.
-	Specs []string `json:"specs"`
-
-	Bench string  `json:"bench,omitempty"`
-	Scale float64 `json:"scale,omitempty"`
-	Seed  uint64  `json:"seed,omitempty"`
-
-	TraceB64 string `json:"trace_b64,omitempty"`
-
-	// TraceSHA256 addresses a trace already in the segment pool
-	// (ingested via POST /v1/traces, pooled from an earlier trace_b64
-	// upload, or shared on disk with another process). The response is
-	// byte-identical to inlining the same trace as trace_b64.
-	TraceSHA256 string `json:"trace_sha256,omitempty"`
-
-	Options store.Options `json:"options,omitempty"`
-}
-
-// simulateCell is one per-spec result row.
-type simulateCell struct {
-	Spec        string     `json:"spec"`
-	Key         string     `json:"key"`
-	StorageBits int        `json:"storage_bits"`
-	Result      sim.Result `json:"result"`
-}
-
-// simulateResponse is the wire form of a completed sweep. It carries
-// no cold/cached distinction — that lives in the X-Cache header — so
-// repeat requests are byte-identical.
-type simulateResponse struct {
-	Workload workloadInfo   `json:"workload"`
-	Options  store.Options  `json:"options"`
-	Results  []simulateCell `json:"results"`
-}
-
-// workloadInfo names the trace a sweep ran over.
-type workloadInfo struct {
-	Bench       string  `json:"bench,omitempty"`
-	Scale       float64 `json:"scale,omitempty"`
-	Seed        uint64  `json:"seed,omitempty"`
-	TraceSHA256 string  `json:"trace_sha256"`
-	Branches    int     `json:"branches"`
-}
-
 // maxSweepSpecs bounds one request's sweep width; wider sweeps should
 // be split across requests (each still shares the store).
 const maxSweepSpecs = 256
 
 // handleSimulate runs a spec sweep over one workload, serving every
-// cell it can from the store and simulating the rest in a single
-// RunMany pass gated by the shared scheduler.
+// cell it can from the store — or, in cluster mode, from the cell's
+// owner node — and simulating the rest in a single RunMany pass gated
+// by the shared scheduler. Where a cell came from never shows in the
+// body (only in X-Cache and the metrics), which is what keeps
+// responses byte-identical across cold, cached and cluster serving.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	mSimRequests.Inc()
-	var req simulateRequest
+	var req api.SimulateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
 	if len(req.Specs) == 0 {
-		return httpErrorf(http.StatusBadRequest, "no specs given")
+		return apiErrorf(http.StatusBadRequest, api.CodeBadRequest, "no specs given")
 	}
 	if len(req.Specs) > maxSweepSpecs {
-		return httpErrorf(http.StatusBadRequest, "%d specs exceeds the per-request limit of %d", len(req.Specs), maxSweepSpecs)
+		return apiErrorf(http.StatusBadRequest, api.CodeBadRequest,
+			"%d specs exceeds the per-request limit of %d", len(req.Specs), maxSweepSpecs)
 	}
 
 	// Canonicalise every spec up front: the canonical string is the
@@ -93,13 +48,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	for i, text := range req.Specs {
 		sp, err := predictor.ParseSpec(text)
 		if err != nil {
-			return httpErrorf(http.StatusBadRequest, "spec %d: %v", i, err)
+			return apiErrorf(http.StatusBadRequest, api.CodeBadSpec, "spec %d: %v", i, err)
 		}
 		specs[i] = sp
 		canon[i] = sp.String()
 	}
 
-	branches, traceHash, info, err := s.resolveWorkload(&req)
+	branches, traceHash, info, err := s.resolveWorkload(r.Context(), &req)
 	if err != nil {
 		return err
 	}
@@ -107,29 +62,43 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	opts := req.Options // already the normalized subset
 	mSimCells.Add(int64(len(specs)))
 
-	// First pass: collect what the store already has.
+	// First pass: collect what the store already has; for store misses
+	// on keys another node owns, ask that owner before simulating (peer
+	// fill). A filled cell is stored locally too, so the next request
+	// here is a plain store hit.
 	keys := make([]store.Key, len(specs))
 	entries := make([]store.Entry, len(specs))
 	var missing []int
+	localHits := 0
 	for i := range specs {
 		keys[i] = store.KeyFor(canon[i], traceHash, opts)
 		if e, ok := s.store.Get(keys[i]); ok {
 			entries[i] = e
+			localHits++
 			continue
+		}
+		if s.cluster != nil && !s.cluster.OwnsSelf(keys[i].String()) {
+			if e, ok := s.cluster.FillCell(r.Context(), keys[i]); ok {
+				entries[i] = e
+				s.store.Put(keys[i], e)
+				continue
+			}
 		}
 		missing = append(missing, i)
 	}
-	mCacheHits.Add(int64(len(specs) - len(missing)))
-	mCacheMisses.Add(int64(len(missing)))
+	mCacheHits.Add(int64(localHits))
+	mCacheMisses.Add(int64(len(specs) - localHits))
 
 	// Second pass: one single-pass multi-predictor simulation for every
-	// cell the store is missing, bounded by the shared scheduler.
+	// cell neither the store nor a peer had, bounded by the shared
+	// scheduler. Fresh cells are then offered to their replica set so
+	// the cluster converges on R copies of hot cells.
 	if len(missing) > 0 {
 		preds := make([]predictor.Predictor, len(missing))
 		for j, i := range missing {
 			p, err := specs[i].New()
 			if err != nil {
-				return httpErrorf(http.StatusBadRequest, "spec %d (%s): %v", i, canon[i], err)
+				return apiErrorf(http.StatusBadRequest, api.CodeBadSpec, "spec %d (%s): %v", i, canon[i], err)
 			}
 			preds[j] = p
 		}
@@ -149,12 +118,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 			if err := s.store.Put(keys[i], entries[i]); err != nil {
 				return fmt.Errorf("storing cell %s: %w", keys[i], err)
 			}
+			if s.cluster != nil {
+				s.cluster.OfferCell(r.Context(), keys[i], entries[i])
+			}
 		}
 	}
 
-	resp := simulateResponse{Workload: info, Options: opts, Results: make([]simulateCell, len(specs))}
+	resp := api.SimulateResponse{Workload: info, Options: opts, Results: make([]api.SimulateCell, len(specs))}
 	for i := range specs {
-		resp.Results[i] = simulateCell{
+		resp.Results[i] = api.SimulateCell{
 			Spec:        canon[i],
 			Key:         keys[i].String(),
 			StorageBits: entries[i].StorageBits,
@@ -175,7 +147,7 @@ func (s *Server) runGated(ctx context.Context, branches []trace.Branch, preds []
 	mQueueDepth.Add(1)
 	defer mQueueDepth.Add(-1)
 	if err := s.sched.Acquire(ctx); err != nil {
-		return nil, httpErrorf(http.StatusServiceUnavailable, "simulation queue full: %v", err)
+		return nil, apiErrorf(http.StatusServiceUnavailable, api.CodeQueueFull, "simulation queue full: %v", err)
 	}
 	defer s.sched.Release()
 	if opts.Segments == 0 {
@@ -191,8 +163,9 @@ func (s *Server) runGated(ctx context.Context, branches []trace.Branch, preds []
 }
 
 // resolveWorkload materialises the request's trace: a cached named
-// benchmark, an uploaded binary trace, or a pool segment by hash.
-func (s *Server) resolveWorkload(req *simulateRequest) ([]trace.Branch, string, workloadInfo, error) {
+// benchmark, an uploaded binary trace, or a pool segment by hash (with
+// an owner-forwarded cluster lookup behind a local pool miss).
+func (s *Server) resolveWorkload(ctx context.Context, req *api.SimulateRequest) ([]trace.Branch, string, api.WorkloadInfo, error) {
 	given := 0
 	for _, set := range []bool{req.Bench != "", req.TraceB64 != "", req.TraceSHA256 != ""} {
 		if set {
@@ -201,16 +174,18 @@ func (s *Server) resolveWorkload(req *simulateRequest) ([]trace.Branch, string, 
 	}
 	switch {
 	case given > 1:
-		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "give exactly one of bench, trace_b64 or trace_sha256")
+		return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusBadRequest, api.CodeBadWorkload,
+			"give exactly one of bench, trace_b64 or trace_sha256")
 	case req.Bench != "":
 		if req.Scale < 0 || req.Scale > 1 {
-			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "scale %g out of range [0,1] (0 = default)", req.Scale)
+			return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusBadRequest, api.CodeBadWorkload,
+				"scale %g out of range [0,1] (0 = default)", req.Scale)
 		}
 		mt, err := s.traces.get(req.Bench, req.Scale, req.Seed)
 		if err != nil {
-			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "workload: %v", err)
+			return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusBadRequest, api.CodeBadWorkload, "workload: %v", err)
 		}
-		info := workloadInfo{
+		info := api.WorkloadInfo{
 			Bench: req.Bench, Scale: req.Scale, Seed: req.Seed,
 			TraceSHA256: mt.hash, Branches: len(mt.branches),
 		}
@@ -218,27 +193,38 @@ func (s *Server) resolveWorkload(req *simulateRequest) ([]trace.Branch, string, 
 	case req.TraceB64 != "":
 		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
 		if err != nil {
-			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
+			return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusBadRequest, api.CodeBadTrace, "trace_b64: %v", err)
 		}
 		branches, err := trace.DecodeBytes(raw)
 		if err != nil {
-			return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "trace_b64: %v", err)
+			return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusBadRequest, api.CodeBadTrace, "trace_b64: %v", err)
 		}
 		// Put-through: an inlined trace becomes poolable by hash, so a
 		// client can upload once and sweep by trace_sha256 thereafter.
 		hash, _, err := s.pool.Put(branches)
 		if err != nil {
-			return nil, "", workloadInfo{}, fmt.Errorf("pooling trace: %w", err)
+			return nil, "", api.WorkloadInfo{}, fmt.Errorf("pooling trace: %w", err)
 		}
-		return branches, hash, workloadInfo{TraceSHA256: hash, Branches: len(branches)}, nil
+		return branches, hash, api.WorkloadInfo{TraceSHA256: hash, Branches: len(branches)}, nil
 	case req.TraceSHA256 != "":
 		branches, ok := s.pool.Get(req.TraceSHA256)
-		if !ok {
-			return nil, "", workloadInfo{}, httpErrorf(http.StatusNotFound, "no pooled trace %s", req.TraceSHA256)
+		if !ok && s.cluster != nil && !s.cluster.OwnsSelf(req.TraceSHA256) {
+			// Owner-forwarded lookup: the segment may have been ingested
+			// on (or forwarded to) the hash's owner. Pool it locally on
+			// success so this node serves it directly next time.
+			if fetched, hit := s.cluster.FetchTrace(ctx, req.TraceSHA256); hit {
+				branches, ok = fetched, true
+				s.pool.Put(branches)
+			}
 		}
-		return branches, req.TraceSHA256, workloadInfo{TraceSHA256: req.TraceSHA256, Branches: len(branches)}, nil
+		if !ok {
+			return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusNotFound, api.CodeNoSuchTrace,
+				"no pooled trace %s", req.TraceSHA256)
+		}
+		return branches, req.TraceSHA256, api.WorkloadInfo{TraceSHA256: req.TraceSHA256, Branches: len(branches)}, nil
 	default:
-		return nil, "", workloadInfo{}, httpErrorf(http.StatusBadRequest, "no workload: give bench, trace_b64 or trace_sha256")
+		return nil, "", api.WorkloadInfo{}, apiErrorf(http.StatusBadRequest, api.CodeBadWorkload,
+			"no workload: give bench, trace_b64 or trace_sha256")
 	}
 }
 
@@ -320,13 +306,6 @@ func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialise
 	return mt, nil
 }
 
-// specFamilyDoc is one row of the /v1/specs grammar listing.
-type specFamilyDoc struct {
-	Family  string   `json:"family"`
-	Keys    []string `json:"keys"`
-	Example string   `json:"example"`
-}
-
 // specExamples gives one valid canonical example per family.
 var specExamples = map[string]string{
 	"bimodal":    "bimodal:n=14,ctr=2",
@@ -350,14 +329,14 @@ var specExamples = map[string]string{
 // option and schema vocabulary a client needs to construct requests.
 func (s *Server) handleSpecs(w http.ResponseWriter, _ *http.Request) error {
 	fams := predictor.Families()
-	docs := make([]specFamilyDoc, len(fams))
+	docs := make([]api.SpecFamily, len(fams))
 	for i, f := range fams {
-		docs[i] = specFamilyDoc{Family: f, Keys: predictor.AllowedKeys(f), Example: specExamples[f]}
+		docs[i] = api.SpecFamily{Family: f, Keys: predictor.AllowedKeys(f), Example: specExamples[f]}
 	}
-	return writeJSON(w, map[string]any{
-		"families":       docs,
-		"benchmarks":     workload.Names(),
-		"options":        []string{"skip_first_use", "history_bits", "flush_every"},
-		"schema_version": store.SchemaVersion,
+	return writeJSON(w, api.SpecsResponse{
+		Families:      docs,
+		Benchmarks:    workload.Names(),
+		Options:       []string{"skip_first_use", "history_bits", "flush_every"},
+		SchemaVersion: store.SchemaVersion,
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 
+	"gskew/internal/api"
 	"gskew/internal/trace"
 )
 
@@ -19,14 +20,10 @@ import (
 // bytes for a given branch sequence, so repeated GETs are
 // byte-identical too). A pooled hash can then address simulations
 // directly via the trace_sha256 field of POST /v1/simulate.
-
-// traceIngestResponse is the wire form of a completed ingest. There is
-// deliberately no created/timestamp field: responses must not depend
-// on whether this request or an earlier one pooled the segment.
-type traceIngestResponse struct {
-	TraceSHA256 string `json:"trace_sha256"`
-	Branches    int    `json:"branches"`
-}
+//
+// In cluster mode an ingested segment is also forwarded to the hash's
+// replica set, so a later trace_sha256 simulation landing on any node
+// can fetch it from an owner instead of failing with no_such_trace.
 
 // handleTraceIngest decodes the uploaded trace and pools it.
 func (s *Server) handleTraceIngest(w http.ResponseWriter, r *http.Request) error {
@@ -36,13 +33,16 @@ func (s *Server) handleTraceIngest(w http.ResponseWriter, r *http.Request) error
 	}
 	branches, err := trace.DecodeBytes(body)
 	if err != nil {
-		return httpErrorf(http.StatusBadRequest, "decoding trace: %v", err)
+		return apiErrorf(http.StatusBadRequest, api.CodeBadTrace, "decoding trace: %v", err)
 	}
-	hash, _, err := s.pool.Put(branches)
+	hash, created, err := s.pool.Put(branches)
 	if err != nil {
 		return fmt.Errorf("pooling trace: %w", err)
 	}
-	return writeJSON(w, traceIngestResponse{TraceSHA256: hash, Branches: len(branches)})
+	if created && s.cluster != nil && !s.cluster.OwnsSelf(hash) {
+		s.cluster.OfferTrace(r.Context(), hash, body)
+	}
+	return writeJSON(w, api.TraceIngestResponse{TraceSHA256: hash, Branches: len(branches)})
 }
 
 // handleTraceGet serves one pooled segment in the columnar format.
@@ -50,14 +50,7 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) error {
 	hash := r.PathValue("hash")
 	branches, ok := s.pool.Get(hash)
 	if !ok {
-		return httpErrorf(http.StatusNotFound, "no pooled trace %s", hash)
+		return apiErrorf(http.StatusNotFound, api.CodeNoSuchTrace, "no pooled trace %s", hash)
 	}
-	enc, err := trace.EncodeColumnar(branches)
-	if err != nil {
-		return fmt.Errorf("encoding trace %s: %w", hash, err)
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", fmt.Sprint(len(enc)))
-	_, err = w.Write(enc)
-	return err
+	return writeTraceBytes(w, branches)
 }

@@ -2,16 +2,17 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"gskew/internal/api"
 	"gskew/internal/trace"
 	"gskew/internal/tracepool"
 )
@@ -46,18 +47,28 @@ func encodeVarintTest(t *testing.T, branches []trace.Branch) []byte {
 	return buf.Bytes()
 }
 
-func postRaw(t *testing.T, url string, body []byte) (int, string) {
+// postRaw uploads arbitrary bytes through the typed client's raw
+// escape hatch.
+func postRaw(t *testing.T, rawURL string, body []byte) (int, string) {
 	t.Helper()
-	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	c, path := testClient(t, rawURL)
+	status, data, _, err := c.Do(context.Background(), http.MethodPost, path, "application/octet-stream", body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	return status, string(data)
+}
+
+// getRaw fetches a path's raw bytes and headers through the typed
+// client's escape hatch.
+func getRaw(t *testing.T, rawURL string) (int, []byte, http.Header) {
+	t.Helper()
+	c, path := testClient(t, rawURL)
+	status, data, hdr, err := c.Do(context.Background(), http.MethodGet, path, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, string(data)
+	return status, data, hdr
 }
 
 func TestTraceIngestAndGet(t *testing.T) {
@@ -70,7 +81,7 @@ func TestTraceIngestAndGet(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("ingest status %d: %s", status, body1)
 	}
-	var resp traceIngestResponse
+	var resp api.TraceIngestResponse
 	if err := json.Unmarshal([]byte(body1), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -97,19 +108,11 @@ func TestTraceIngestAndGet(t *testing.T) {
 	}
 
 	// GET serves the canonical columnar bytes back.
-	resp2, err := http.Get(ts.URL + "/v1/traces/" + wantHash)
-	if err != nil {
-		t.Fatal(err)
+	gstatus, served, hdr := getRaw(t, ts.URL+"/v1/traces/"+wantHash)
+	if gstatus != http.StatusOK {
+		t.Fatalf("get status %d: %s", gstatus, served)
 	}
-	defer resp2.Body.Close()
-	served, err := io.ReadAll(resp2.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("get status %d: %s", resp2.StatusCode, served)
-	}
-	if ct := resp2.Header.Get("Content-Type"); ct != "application/octet-stream" {
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
 		t.Errorf("content type %q", ct)
 	}
 	if !bytes.Equal(served, columnar) {
@@ -137,6 +140,7 @@ func TestTraceIngestRejectsGarbage(t *testing.T) {
 		if status != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", name, status, out)
 		}
+		wantCode(t, name, out, api.CodeBadTrace)
 	}
 }
 
@@ -159,14 +163,11 @@ func TestTraceGetMisses(t *testing.T) {
 		"malformed": "not-a-hash",
 		"uppercase": strings.Repeat("AB", 32),
 	} {
-		resp, err := http.Get(ts.URL + "/v1/traces/" + hash)
-		if err != nil {
-			t.Fatal(err)
+		status, out, _ := getRaw(t, ts.URL+"/v1/traces/"+hash)
+		if status != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", name, status)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Errorf("%s: status %d, want 404", name, resp.StatusCode)
-		}
+		wantCode(t, name, string(out), api.CodeNoSuchTrace)
 	}
 }
 
@@ -212,16 +213,18 @@ func TestSimulateByHashRejections(t *testing.T) {
 	for name, tc := range map[string]struct {
 		body string
 		want int
+		code string
 	}{
-		"unpooled hash":  {fmt.Sprintf(`{"specs":["bimodal:n=8"],"trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusNotFound},
-		"malformed hash": {`{"specs":["bimodal:n=8"],"trace_sha256":"../../etc/passwd"}`, http.StatusNotFound},
-		"hash and bench": {fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusBadRequest},
-		"all three":      {fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":"aGk=","trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusBadRequest},
+		"unpooled hash":  {fmt.Sprintf(`{"specs":["bimodal:n=8"],"trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusNotFound, api.CodeNoSuchTrace},
+		"malformed hash": {`{"specs":["bimodal:n=8"],"trace_sha256":"../../etc/passwd"}`, http.StatusNotFound, api.CodeNoSuchTrace},
+		"hash and bench": {fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusBadRequest, api.CodeBadWorkload},
+		"all three":      {fmt.Sprintf(`{"specs":["bimodal:n=8"],"bench":"verilog","trace_b64":"aGk=","trace_sha256":%q}`, strings.Repeat("cd", 32)), http.StatusBadRequest, api.CodeBadWorkload},
 	} {
 		status, out, _ := postJSON(t, ts.URL+"/v1/simulate", tc.body)
 		if status != tc.want {
 			t.Errorf("%s: status %d, want %d (%s)", name, status, tc.want, out)
 		}
+		wantCode(t, name, out, tc.code)
 	}
 }
 
@@ -259,17 +262,9 @@ func TestTracePoolDiskSharing(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts2 := newTestServer(t, Config{Pool: pool2})
-	resp, err := http.Get(ts2.URL + "/v1/traces/" + hash)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("second server over shared dir: status %d", resp.StatusCode)
-	}
-	served, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
+	gstatus, served, _ := getRaw(t, ts2.URL+"/v1/traces/"+hash)
+	if gstatus != http.StatusOK {
+		t.Fatalf("second server over shared dir: status %d", gstatus)
 	}
 	got, err := trace.DecodeBytes(served)
 	if err != nil {
@@ -289,13 +284,9 @@ func TestTracePoolDiskSharing(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts3 := newTestServer(t, Config{Pool: pool3})
-	resp2, err := http.Get(ts3.URL + "/v1/traces/" + hash)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusNotFound {
-		t.Errorf("corrupted blob: status %d, want 404", resp2.StatusCode)
+	cstatus, _, _ := getRaw(t, ts3.URL+"/v1/traces/"+hash)
+	if cstatus != http.StatusNotFound {
+		t.Errorf("corrupted blob: status %d, want 404", cstatus)
 	}
 }
 

@@ -38,13 +38,13 @@ func FuzzRunSegmented(f *testing.F) {
 		mk := func() predictor.Predictor {
 			switch fam % 4 {
 			case 0:
-				return predictor.NewBimodal(4, 2)
+				return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2})
 			case 1:
-				return predictor.NewGShare(5, 4, 2)
+				return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 5, Hist: 4, Ctr: 2})
 			case 2:
 				return predictor.MustGSkewed(predictor.Config{BankBits: 4, HistoryBits: 4})
 			default:
-				return predictor.MustTwoBcGSkew(4, 2, 5)
+				return predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 4, HistShort: 2, Hist: 5})
 			}
 		}
 		opts := fuzzOpts(segments, warmup, flush)

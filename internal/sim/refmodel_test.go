@@ -52,9 +52,9 @@ func TestRunMatchesSpecReplay(t *testing.T) {
 		impl predictor.Predictor
 		ref  refmodel.Spec
 	}{
-		{"bimodal", predictor.NewBimodal(7, 2), refmodel.NewSpecSingle("bimodal", 7, 0, 2)},
-		{"gshare", predictor.NewGShare(8, 6, 2), refmodel.NewSpecSingle("gshare", 8, 6, 2)},
-		{"gselect", predictor.NewGSelect(8, 5, 2), refmodel.NewSpecSingle("gselect", 8, 5, 2)},
+		{"bimodal", predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 7, Ctr: 2}), refmodel.NewSpecSingle("bimodal", 7, 0, 2)},
+		{"gshare", predictor.MustSpec(predictor.Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2}), refmodel.NewSpecSingle("gshare", 8, 6, 2)},
+		{"gselect", predictor.MustSpec(predictor.Spec{Family: "gselect", N: 8, Hist: 5, Ctr: 2}), refmodel.NewSpecSingle("gselect", 8, 5, 2)},
 	}
 	skew, err := predictor.NewGSkewed(predictor.Config{
 		Banks: 3, BankBits: 6, HistoryBits: 8, CounterBits: 2,

@@ -43,9 +43,13 @@ func manyTestTrace(n int) []trace.Branch {
 // arms never share trained state.
 func families() map[string]func() predictor.Predictor {
 	return map[string]func() predictor.Predictor{
-		"bimodal": func() predictor.Predictor { return predictor.NewBimodal(8, 2) },
-		"gshare":  func() predictor.Predictor { return predictor.NewGShare(8, 6, 2) },
-		"gselect": func() predictor.Predictor { return predictor.NewGSelect(8, 4, 2) },
+		"bimodal": func() predictor.Predictor { return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}) },
+		"gshare": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2})
+		},
+		"gselect": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "gselect", N: 8, Hist: 4, Ctr: 2})
+		},
 		"gskewed-partial": func() predictor.Predictor {
 			return predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5})
 		},
@@ -59,19 +63,29 @@ func families() map[string]func() predictor.Predictor {
 				BankBits: 6, HistoryBits: 8, Enhanced: true,
 			})
 		},
-		"ev8": func() predictor.Predictor { return predictor.MustTwoBcGSkew(7, 3, 9) },
+		"ev8": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 7, HistShort: 3, Hist: 9})
+		},
 		"hybrid": func() predictor.Predictor {
 			return predictor.MustHybrid(
-				predictor.NewBimodal(7, 2), predictor.NewGShare(7, 6, 2), 7)
+				predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 7, Ctr: 2}), predictor.MustSpec(predictor.Spec{Family: "gshare", N: 7, Hist: 6, Ctr: 2}), 7)
 		},
 		"unaliased": func() predictor.Predictor { return predictor.NewUnaliased(6, 2) },
 		"assoc-lru": func() predictor.Predictor { return predictor.NewAssocLRU(64, 5, 2) },
-		"agree":     func() predictor.Predictor { return predictor.MustAgree(7, 5, 2, 2) },
-		"bimode":    func() predictor.Predictor { return predictor.MustBiMode(7, 5, 2, 2) },
-		"pas":       func() predictor.Predictor { return predictor.MustPAs(6, 4, 7, 2) },
-		"tage":      func() predictor.Predictor { return predictor.MustTAGE(6, 12, 2, 4, 6, 3) },
+		"agree": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "agree", N: 7, Hist: 5, Bias: 2, Ctr: 2})
+		},
+		"bimode": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "bimode", N: 7, Hist: 5, Choice: 2, Ctr: 2})
+		},
+		"pas": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "pas", BHT: 6, Local: 4, N: 7, Ctr: 2})
+		},
+		"tage": func() predictor.Predictor {
+			return predictor.MustSpec(predictor.Spec{Family: "tage", N: 6, Hist: 12, HistMin: 2, Tables: 4, Tag: 6, Ctr: 3})
+		},
 		"perceptron": func() predictor.Predictor {
-			return predictor.MustPerceptron(6, 10, 4, 0, 8)
+			return predictor.MustSpec(predictor.Spec{Family: "perceptron", N: 6, Hist: 10, Tables: 4, Theta: 0, Ctr: 8})
 		},
 	}
 }
@@ -177,7 +191,7 @@ func TestRunManyGenericSource(t *testing.T) {
 	branches := manyTestTrace(2000)
 	build := func() []predictor.Predictor {
 		return []predictor.Predictor{
-			predictor.NewGShare(8, 6, 2),
+			predictor.MustSpec(predictor.Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2}),
 			predictor.MustGSkewed(predictor.Config{BankBits: 6, HistoryBits: 5}),
 		}
 	}

@@ -171,12 +171,12 @@ func TestRunSegmentedAuto(t *testing.T) {
 	obs.Enable()
 	defer obs.Disable()
 	branches := manyTestTrace(autoMinBranches + 5000)
-	want, err := RunBranches(branches, predictor.NewGShare(10, 8, 2), Options{Segments: 1})
+	want, err := RunBranches(branches, predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 8, Ctr: 2}), Options{Segments: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := mSegRuns.Value()
-	got, err := RunBranches(branches, predictor.NewGShare(10, 8, 2), Options{})
+	got, err := RunBranches(branches, predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 8, Ctr: 2}), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,12 +192,12 @@ func TestRunSegmentedAuto(t *testing.T) {
 // the batch reader; explicit Segments must still match serial.
 func TestRunSegmentedGenericSource(t *testing.T) {
 	branches := manyTestTrace(5000)
-	want, err := RunBranches(branches, predictor.NewBimodal(8, 2), Options{Segments: 1, FlushEvery: 777})
+	want, err := RunBranches(branches, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}), Options{Segments: 1, FlushEvery: 777})
 	if err != nil {
 		t.Fatal(err)
 	}
 	src := &chanSource{branches: branches}
-	got, err := Run(src, predictor.NewBimodal(8, 2), Options{Segments: 6, FlushEvery: 777})
+	got, err := Run(src, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 2}), Options{Segments: 6, FlushEvery: 777})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestRunSegmentedGenericSource(t *testing.T) {
 // when reconciliation is skipped — and the right one when it runs.
 func TestRunSegmentedNoReconcileDiverges(t *testing.T) {
 	branches := segKillerTrace()
-	mk := func() predictor.Predictor { return predictor.NewBimodal(4, 2) }
+	mk := func() predictor.Predictor { return predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2}) }
 	want, err := RunBranches(branches, mk(), Options{Segments: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -272,7 +272,7 @@ func TestSegmentSteps(t *testing.T) {
 			ghr = ghr << 1 & (1<<hist - 1)
 		}
 	}
-	serialP := predictor.NewGShare(10, hist, 2)
+	serialP := predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: hist, Ctr: 2})
 	serialK, ok := kernel.Compile(serialP, hist)
 	if !ok {
 		t.Fatal("gshare did not compile")
@@ -280,7 +280,7 @@ func TestSegmentSteps(t *testing.T) {
 	want := serialK.StepBatch(steps)
 	kernel.Invalidate(serialP)
 
-	segP := predictor.NewGShare(10, hist, 2)
+	segP := predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: hist, Ctr: 2})
 	got, ok := SegmentSteps(segP, hist, steps, 5, 256)
 	if !ok {
 		t.Fatal("SegmentSteps refused an eligible predictor")
@@ -305,8 +305,8 @@ func TestRunManyBitsliced(t *testing.T) {
 	mkPreds := func() []predictor.Predictor {
 		var preds []predictor.Predictor
 		for n := uint(6); n < 12; n++ {
-			preds = append(preds, predictor.NewGShare(n, 6, 2))
-			preds = append(preds, predictor.NewBimodal(n, 2))
+			preds = append(preds, predictor.MustSpec(predictor.Spec{Family: "gshare", N: n, Hist: 6, Ctr: 2}))
+			preds = append(preds, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: n, Ctr: 2}))
 		}
 		for bb := uint(5); bb < 9; bb++ {
 			preds = append(preds, predictor.MustGSkewed(predictor.Config{BankBits: bb, HistoryBits: 6}))
@@ -315,8 +315,8 @@ func TestRunManyBitsliced(t *testing.T) {
 			}))
 		}
 		// Oddballs that must stay scalar inside the same sweep.
-		preds = append(preds, predictor.NewBimodal(8, 1))
-		preds = append(preds, predictor.MustTwoBcGSkew(7, 3, 9))
+		preds = append(preds, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 8, Ctr: 1}))
+		preds = append(preds, predictor.MustSpec(predictor.Spec{Family: "2bcgskew", N: 7, HistShort: 3, Hist: 9}))
 		return preds
 	}
 	obs.Enable()
@@ -354,7 +354,7 @@ func TestSegmentedSteadyStateAllocs(t *testing.T) {
 		t.Skip("allocation accounting is inflated under the race detector")
 	}
 	branches := manyTestTrace(1 << 17)
-	preds := []predictor.Predictor{predictor.NewGShare(8, 6, 2)}
+	preds := []predictor.Predictor{predictor.MustSpec(predictor.Spec{Family: "gshare", N: 8, Hist: 6, Ctr: 2})}
 	src := trace.NewSliceSource(branches)
 	opts := Options{Segments: 4}
 	run := func() {

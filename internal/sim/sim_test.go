@@ -24,7 +24,7 @@ func TestRunCountsOnlyConditionals(t *testing.T) {
 		uncondBr(3),
 		uncondBr(4),
 	}
-	p := predictor.NewBimodal(4, 2)
+	p := predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2})
 	res, err := RunBranches(branches, p, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +45,7 @@ func TestRunTrainsPredictor(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		branches = append(branches, condBr(0x40, false))
 	}
-	p := predictor.NewBimodal(4, 2)
+	p := predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2})
 	res, err := RunBranches(branches, p, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -76,12 +76,12 @@ func TestUnconditionalsEnterHistory(t *testing.T) {
 			branches = append(branches, condBr(0x40, false))
 		}
 	}
-	withHist := predictor.NewGShare(10, 4, 2)
+	withHist := predictor.MustSpec(predictor.Spec{Family: "gshare", N: 10, Hist: 4, Ctr: 2})
 	resH, err := RunBranches(branches, withHist, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noHist := predictor.NewBimodal(10, 2)
+	noHist := predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 10, Ctr: 2})
 	resB, err := RunBranches(branches, noHist, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestUnconditionalsEnterHistory(t *testing.T) {
 	// And the history must contain the unconditional event: with k=1
 	// (only the immediately preceding event), outcome of 0x40 equals
 	// that bit exactly.
-	tiny := predictor.NewGShare(6, 1, 2)
+	tiny := predictor.MustSpec(predictor.Spec{Family: "gshare", N: 6, Hist: 1, Ctr: 2})
 	resT, err := RunBranches(branches, tiny, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestSkipFirstUse(t *testing.T) {
 func TestSkipFirstUseNoTracker(t *testing.T) {
 	// Predictors without first-use tracking are counted normally.
 	branches := []trace.Branch{condBr(1, false), condBr(1, false)}
-	p := predictor.NewBimodal(4, 2)
+	p := predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2})
 	res, err := RunBranches(branches, p, Options{SkipFirstUse: true})
 	if err != nil {
 		t.Fatal(err)
@@ -186,8 +186,8 @@ func TestCompare(t *testing.T) {
 		branches = append(branches, condBr(uint64(i%7), i%3 == 0))
 	}
 	preds := []predictor.Predictor{
-		predictor.NewBimodal(6, 2),
-		predictor.NewGShare(6, 4, 2),
+		predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 6, Ctr: 2}),
+		predictor.MustSpec(predictor.Spec{Family: "gshare", N: 6, Hist: 4, Ctr: 2}),
 	}
 	results, err := Compare(branches, preds, Options{})
 	if err != nil {
@@ -205,7 +205,7 @@ func TestCompare(t *testing.T) {
 
 func TestRunRejectsBadKind(t *testing.T) {
 	branches := []trace.Branch{{PC: 1, Kind: trace.Kind(9)}}
-	if _, err := RunBranches(branches, predictor.NewBimodal(4, 2), Options{}); err == nil {
+	if _, err := RunBranches(branches, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2}), Options{}); err == nil {
 		t.Error("Run accepted invalid branch kind")
 	}
 }
@@ -218,11 +218,11 @@ func TestFlushEvery(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		branches = append(branches, condBr(0x10, false))
 	}
-	noFlush, err := RunBranches(branches, predictor.NewBimodal(4, 2), Options{})
+	noFlush, err := RunBranches(branches, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2}), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	flushed, err := RunBranches(branches, predictor.NewBimodal(4, 2), Options{FlushEvery: 4})
+	flushed, err := RunBranches(branches, predictor.MustSpec(predictor.Spec{Family: "bimodal", N: 4, Ctr: 2}), Options{FlushEvery: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

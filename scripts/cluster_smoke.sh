@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Cluster-smoke: end-to-end exercise of predserved cluster mode. Boots
+# a standalone node and a 3-node cluster (each node started with
+# -cluster on a self-only ring, then given the real topology with
+# `predload topology` — the same push an operator would use), runs the
+# identical 27-cell sweep against both, and checks the tentpole
+# invariant:
+#
+#   - the 3-node response is byte-identical (cmp) to the standalone
+#     response, from every node, cold and warm,
+#   - serving a warm sweep from a node that did not simulate it moves
+#     the peer-fill counters (the cells crossed the wire instead of
+#     being recomputed),
+#   - pushing a new topology (replication bump => reshard) bumps every
+#     ring generation and changes no response byte,
+#   - all four processes drain cleanly on SIGTERM.
+#
+# All HTTP goes through cmd/predload (the typed internal/client).
+# Run via `make cluster-smoke`. Needs jq (request construction only).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() {
+    for pidfile in "$workdir"/*.pid; do
+        [[ -e "$pidfile" ]] || continue
+        local_pid=$(cat "$pidfile")
+        if kill -0 "$local_pid" 2>/dev/null; then
+            kill -KILL "$local_pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/predserved" ./cmd/predserved
+go build -o "$workdir/predload" ./cmd/predload
+predload="$workdir/predload"
+
+# boot_node NAME [extra flags...]: start a node on a random port and
+# echo its base URL (from the pinned first stdout line). The PID lands
+# in NAME.pid — boot_node runs in a command substitution, so it cannot
+# update the parent shell's variables.
+boot_node() {
+    local name=$1
+    shift
+    "$workdir/predserved" -addr 127.0.0.1:0 "$@" \
+        >"$workdir/$name.out" 2>"$workdir/$name.err" &
+    local pid=$!
+    echo "$pid" >"$workdir/$name.pid"
+    local base=""
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster-smoke: $name died at startup" >&2
+            cat "$workdir/$name.err" >&2
+            exit 1
+        fi
+        base=$(sed -n 's/^predserved listening on \(http:\/\/.*\)$/\1/p' "$workdir/$name.out")
+        [[ -n "$base" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$base" ]]; then
+        echo "cluster-smoke: $name never reported its address" >&2
+        exit 1
+    fi
+    echo "$base"
+}
+
+solo=$(boot_node solo)
+n0=$(boot_node n0 -cluster)
+n1=$(boot_node n1 -cluster)
+n2=$(boot_node n2 -cluster)
+echo "cluster-smoke: solo=$solo nodes=$n0,$n1,$n2"
+
+# Deliver the real topology to every node (each booted on a self-only
+# ring at gen 1; the push bumps all of them to gen 2).
+"$predload" topology -targets "$n0,$n1,$n2" -replicas 1 | tee "$workdir/topo1.log"
+[[ $(grep -c 'gen=2 replicas=1 nodes=3' "$workdir/topo1.log") -eq 3 ]]
+
+# The identical 27-cell sweep: the paper's three organisations at nine
+# sizes each.
+jq -n '{
+    specs: ([range(8; 17)] | map(
+        "bimodal:n=\(.)",
+        "gshare:n=\(.),k=\(.)",
+        "gskewed:n=\(. - 1),k=\(. - 1)")),
+    bench: "verilog",
+    scale: 0.002
+}' >"$workdir/sweep.req"
+[[ $(jq '.specs | length' "$workdir/sweep.req") -eq 27 ]]
+
+"$predload" simulate -target "$solo" -body "$workdir/sweep.req" >"$workdir/solo.json" 2>/dev/null
+
+# Cold 3-node sweep against node 0: byte-identical to standalone.
+"$predload" simulate -target "$n0" -body "$workdir/sweep.req" >"$workdir/n0_cold.json" 2>/dev/null
+cmp "$workdir/solo.json" "$workdir/n0_cold.json"
+echo "cluster-smoke: cold 3-node sweep byte-identical to standalone"
+
+# Warm sweep from a node that simulated nothing: identical bytes, no
+# recomputation (X-Cache reports all hits), and the peer-fill counter
+# moves — with R=1 the cells node 1 does not own must cross the wire.
+fills0=$("$predload" metric -target "$n1" cluster.peer_fill_hits)
+"$predload" simulate -target "$n1" -body "$workdir/sweep.req" >"$workdir/n1_warm.json" 2>"$workdir/n1_warm.err"
+cmp "$workdir/solo.json" "$workdir/n1_warm.json"
+grep -q "misses=0" "$workdir/n1_warm.err"
+fills1=$("$predload" metric -target "$n1" cluster.peer_fill_hits)
+if [[ "$fills1" -le "$fills0" ]]; then
+    echo "cluster-smoke: peer_fill_hits did not move ($fills0 -> $fills1)" >&2
+    exit 1
+fi
+echo "cluster-smoke: warm sweep on node 1 served without recomputation ($((fills1 - fills0)) peer fills)"
+
+# Health on a cluster node carries the membership view.
+"$predload" health -target "$n2" >"$workdir/n2_health.json"
+[[ $(jq '.cluster.nodes | length' "$workdir/n2_health.json") -eq 3 ]]
+[[ $(jq -r .cluster.self "$workdir/n2_health.json") == "$n2" ]]
+
+# Reshard: bump replication to 3. Every ring generation advances and
+# no response byte changes.
+"$predload" topology -targets "$n0,$n1,$n2" -replicas 3 | tee "$workdir/topo2.log"
+[[ $(grep -c 'gen=3 replicas=3 nodes=3' "$workdir/topo2.log") -eq 3 ]]
+for node in "$n0" "$n1" "$n2"; do
+    "$predload" simulate -target "$node" -body "$workdir/sweep.req" >"$workdir/reshard.json" 2>/dev/null
+    cmp "$workdir/solo.json" "$workdir/reshard.json"
+done
+echo "cluster-smoke: post-reshard sweep byte-identical on every node"
+
+# Clean SIGTERM drain for all four processes. The servers are
+# children of boot_node's subshells, not of this shell, so poll for
+# exit instead of wait(1).
+for name in solo n0 n1 n2; do
+    kill -TERM "$(cat "$workdir/$name.pid")"
+done
+for name in solo n0 n1 n2; do
+    pid=$(cat "$workdir/$name.pid")
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "cluster-smoke: $name did not exit on SIGTERM" >&2
+        exit 1
+    fi
+    rm -f "$workdir/$name.pid"
+    grep -q "drained" "$workdir/$name.err"
+done
+echo "cluster-smoke: clean SIGTERM drain on all nodes"
+echo "cluster-smoke: OK"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Serve-smoke: end-to-end exercise of the prediction service. Builds
-# predserved, starts it on a random loopback port with an on-disk
-# store, sweeps a 21-cell spec grid twice, and checks the contract the
-# subsystem exists for:
+# predserved and the predload client, starts the server on a random
+# loopback port with an on-disk store, sweeps a 21-cell spec grid
+# twice, and checks the contract the subsystem exists for:
 #
 #   - both sweep responses are byte-identical (cold vs cached),
 #   - the second pass is served entirely from the result store
@@ -14,7 +14,9 @@
 #     sweep with the trace inlined,
 #   - SIGTERM drains and the process exits 0.
 #
-# Run via `make serve-smoke`. Needs curl and jq.
+# All HTTP goes through cmd/predload (the typed internal/client), so
+# this script also smoke-tests the client against a real server.
+# Run via `make serve-smoke`. Needs jq (request construction only).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,7 +32,9 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$workdir/predserved" ./cmd/predserved
+go build -o "$workdir/predload" ./cmd/predload
 go build -o "$workdir/tracegen" ./cmd/tracegen
+predload="$workdir/predload"
 
 "$workdir/predserved" -addr 127.0.0.1:0 -store-dir "$workdir/store" \
     -trace-pool "$workdir/pool" \
@@ -56,23 +60,25 @@ if [[ -z "$base" ]]; then
 fi
 echo "serve-smoke: server at $base"
 
-curl -fsS "$base/healthz" >/dev/null
+"$predload" health -target "$base" >"$workdir/health.json"
+[[ $(jq -r .status "$workdir/health.json") == ok ]]
+[[ $(jq .store.mem_entries "$workdir/health.json") -eq 0 ]]
 
 # A 21-cell grid: the paper's three main organisations at seven sizes.
-sweep=$(jq -n '{
+jq -n '{
     specs: ([range(8; 15)] | map(
         "bimodal:n=\(.)",
         "gshare:n=\(.),k=\(.)",
         "gskewed:n=\(. - 1),k=\(. - 1)")),
     bench: "verilog",
     scale: 0.005
-}')
-[[ $(jq '.specs | length' <<<"$sweep") -eq 21 ]]
+}' >"$workdir/sweep.req"
+[[ $(jq '.specs | length' "$workdir/sweep.req") -eq 21 ]]
 
-hits0=$(curl -fsS "$base/metrics" | jq '."server.simulate.cache_hits"')
+hits0=$("$predload" metric -target "$base" server.simulate.cache_hits)
 
-curl -fsS -X POST -d "$sweep" "$base/v1/simulate" >"$workdir/pass1.json"
-curl -fsS -X POST -d "$sweep" "$base/v1/simulate" >"$workdir/pass2.json"
+"$predload" simulate -target "$base" -body "$workdir/sweep.req" >"$workdir/pass1.json" 2>/dev/null
+"$predload" simulate -target "$base" -body "$workdir/sweep.req" >"$workdir/pass2.json" 2>/dev/null
 
 cmp "$workdir/pass1.json" "$workdir/pass2.json"
 echo "serve-smoke: 21-cell sweep byte-identical across passes"
@@ -80,7 +86,7 @@ echo "serve-smoke: 21-cell sweep byte-identical across passes"
 [[ $(jq '.results | length' "$workdir/pass1.json") -eq 21 ]]
 [[ $(jq '[.results[].result.conditionals] | min' "$workdir/pass1.json") -gt 0 ]]
 
-hits1=$(curl -fsS "$base/metrics" | jq '."server.simulate.cache_hits"')
+hits1=$("$predload" metric -target "$base" server.simulate.cache_hits)
 if [[ $((hits1 - hits0)) -ne 21 ]]; then
     echo "serve-smoke: cache hit delta $((hits1 - hits0)), want 21" >&2
     exit 1
@@ -94,6 +100,16 @@ if [[ "$blobs" -ne 21 ]]; then
     exit 1
 fi
 
+# Every error response carries the structured envelope with a stable
+# code (the /v1 error contract).
+jq -n '{specs: ["gshare:n=999"], bench: "verilog", scale: 0.005}' >"$workdir/bad.req"
+if "$predload" simulate -target "$base" -body "$workdir/bad.req" >/dev/null 2>"$workdir/bad.err"; then
+    echo "serve-smoke: bad spec was accepted" >&2
+    exit 1
+fi
+grep -q "bad_spec" "$workdir/bad.err"
+echo "serve-smoke: bad spec rejected with stable error code"
+
 # --- Trace pool: ingest, dedup, read-back, sweep-by-hash. ---
 
 # The same workload in both serialisations; ingest must canonicalise
@@ -103,15 +119,15 @@ fi
 "$workdir/tracegen" -bench verilog -scale 0.01 -format columnar -o "$workdir/w.ctrace" 2>/dev/null
 
 pool_blobs0=$(find "$workdir/pool" -maxdepth 1 -name '*.ctrace' | wc -l)
-dedup0=$(curl -fsS "$base/metrics" | jq '."tracepool.dedup_hits"')
+dedup0=$("$predload" metric -target "$base" tracepool.dedup_hits)
 
-curl -fsS -X POST --data-binary "@$workdir/w.trace" "$base/v1/traces" >"$workdir/ingest1.json"
-curl -fsS -X POST --data-binary "@$workdir/w.ctrace" "$base/v1/traces" >"$workdir/ingest2.json"
+"$predload" ingest -target "$base" "$workdir/w.trace" >"$workdir/ingest1.json"
+"$predload" ingest -target "$base" "$workdir/w.ctrace" >"$workdir/ingest2.json"
 cmp "$workdir/ingest1.json" "$workdir/ingest2.json"
 hash=$(jq -r .trace_sha256 "$workdir/ingest1.json")
 [[ -n "$hash" && "$hash" != "null" ]]
 
-dedup1=$(curl -fsS "$base/metrics" | jq '."tracepool.dedup_hits"')
+dedup1=$("$predload" metric -target "$base" tracepool.dedup_hits)
 if [[ $((dedup1 - dedup0)) -ne 1 ]]; then
     echo "serve-smoke: dedup hit delta $((dedup1 - dedup0)), want 1" >&2
     exit 1
@@ -125,7 +141,7 @@ echo "serve-smoke: double ingest pooled one segment ($hash)"
 
 # The pooled segment reads back as exactly the canonical columnar
 # bytes tracegen wrote.
-curl -fsS "$base/v1/traces/$hash" >"$workdir/readback.ctrace"
+"$predload" trace -target "$base" "$hash" >"$workdir/readback.ctrace"
 cmp "$workdir/readback.ctrace" "$workdir/w.ctrace"
 echo "serve-smoke: pooled segment reads back byte-identical to the columnar file"
 
@@ -137,8 +153,8 @@ jq -n --arg h "$hash" \
 jq -n --arg b "$b64" \
     '{specs: ["gshare:n=12,k=12", "gskewed:n=11,k=11"], trace_b64: $b}' \
     >"$workdir/inline.req"
-curl -fsS -X POST --data-binary "@$workdir/byhash.req" "$base/v1/simulate" >"$workdir/byhash.json"
-curl -fsS -X POST --data-binary "@$workdir/inline.req" "$base/v1/simulate" >"$workdir/inline.json"
+"$predload" simulate -target "$base" -body "$workdir/byhash.req" >"$workdir/byhash.json" 2>/dev/null
+"$predload" simulate -target "$base" -body "$workdir/inline.req" >"$workdir/inline.json" 2>/dev/null
 cmp "$workdir/byhash.json" "$workdir/inline.json"
 [[ $(jq '.results | length' "$workdir/byhash.json") -eq 2 ]]
 echo "serve-smoke: sweep by trace_sha256 byte-identical to inline trace"
