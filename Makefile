@@ -15,7 +15,9 @@
 # bench_guard_test.go); `make bench-all` runs the full benchmark suite
 # without snapshotting. `make trace-smoke` round-trips both trace
 # formats through tracegen and predsim and exercises the server-side
-# trace pool. `make cluster-smoke` boots a 3-node predserved cluster
+# trace pool. `make algo-smoke` does the same for a recorded
+# real-algorithm workload, including a live server's hash-addressed
+# sweeps. `make cluster-smoke` boots a 3-node predserved cluster
 # and requires its responses byte-identical to a standalone server,
 # before and after a reshard.
 
@@ -23,7 +25,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 3
 
-.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke trace-smoke cluster-smoke
+.PHONY: build test check lint verify fuzz bench bench-all output obs-smoke serve-smoke trace-smoke algo-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -33,7 +35,7 @@ test: build
 
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/server ./internal/store
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/server ./internal/store ./internal/algotrace
 
 # Lint tier: vet always; staticcheck when installed (CI installs it,
 # see .github/workflows/ci.yml; locally `go install
@@ -59,6 +61,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzColumnarRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/predictor
+	$(GO) test -fuzz=FuzzAlgoSpec -fuzztime=$(FUZZTIME) ./internal/algotrace
+	$(GO) test -fuzz=FuzzRecorder -fuzztime=$(FUZZTIME) ./internal/algotrace
 	$(GO) test -fuzz=FuzzRunSegmented -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -fuzz=FuzzTAGEFoldedHistory -fuzztime=$(FUZZTIME) ./internal/refmodel/diff
 	$(GO) test -fuzz=FuzzPerceptronStep -fuzztime=$(FUZZTIME) ./internal/refmodel/diff
@@ -105,6 +109,14 @@ serve-smoke:
 # the mmap path must agree with the streaming path.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Recorded-algorithm smoke: one instrumented recording must replay
+# byte-identically from re-recording, varint and columnar through
+# predsim, and a live predserved must ingest it and serve the
+# hash-addressed sweep byte-identical cold vs cached and equal to the
+# bench-addressed sweep.
+algo-smoke:
+	./scripts/algo_smoke.sh
 
 # Cluster smoke: a standalone node and a 3-node cluster must serve the
 # identical 27-cell sweep byte-for-byte, peer fill must replace

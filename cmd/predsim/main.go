@@ -41,7 +41,7 @@ func main() { cli.Main("predsim", run) }
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := cli.NewFlagSet("predsim", stderr)
 	var (
-		benchName = fs.String("bench", "", "benchmark workload name ("+joinNames()+")")
+		benchName = fs.String("bench", "", "workload name ("+joinNames()+") or an algo:... spec (see tracegen -list)")
 		traceFile = fs.String("trace", "", "binary trace file, varint or columnar (alternative to -bench)")
 		scale     = fs.Float64("scale", 0, "workload scale (default 0.1)")
 		seed      = fs.Uint64("seed", 0, "workload seed offset")
@@ -91,15 +91,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer m.Close()
 		src = m
 	case *benchName != "":
-		spec, err := workload.ByName(*benchName)
+		src, err = workload.OpenAny(*benchName, workload.Config{Scale: *scale, SeedOffset: *seed})
 		if err != nil {
 			return err
 		}
-		g, err := workload.New(spec, workload.Config{Scale: *scale, SeedOffset: *seed})
-		if err != nil {
-			return err
-		}
-		src = workload.NewTake(g, g.Length())
 	default:
 		return cli.Usagef("specify -bench or -trace")
 	}

@@ -1,11 +1,17 @@
 // Command tracegen materialises a benchmark workload into a trace
 // file, in the binary format (default) or the debug text format.
 //
+// -bench accepts a synthetic benchmark name or a recorded-algorithm
+// spec ("algo:name,key=value,..."); -list prints every registered
+// workload family with its key grammar.
+//
 // Examples:
 //
+//	tracegen -list
 //	tracegen -bench groff -o groff.trace
 //	tracegen -bench gs -scale 1.0 -o gs-full.trace
 //	tracegen -bench groff -format columnar -o groff.ctrace
+//	tracegen -bench algo:kmp,n=300000,m=8 -format columnar -o kmp.ctrace
 //	tracegen -bench verilog -format text -o verilog.txt
 //	tracegen -bench nroff -stats
 package main
@@ -25,38 +31,46 @@ func main() { cli.Main("tracegen", run) }
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := cli.NewFlagSet("tracegen", stderr)
 	var (
-		benchName = fs.String("bench", "", "benchmark workload name")
-		scale     = fs.Float64("scale", 0, "workload scale (default 0.1; 1.0 = paper-length)")
+		benchName = fs.String("bench", "", "workload name: a benchmark or an algo:... spec")
+		scale     = fs.Float64("scale", 0, "workload scale (default 0.1; 1.0 = paper-length; synthetic benchmarks only)")
 		seed      = fs.Uint64("seed", 0, "workload seed offset")
 		out       = fs.String("o", "", "output file (default stdout)")
 		format    = fs.String("format", "binary", "output format: binary (varint), columnar or text")
 		statsOnly = fs.Bool("stats", false, "print trace statistics instead of writing a trace")
+		list      = fs.Bool("list", false, "list all registered workload families and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *list {
+		fmt.Fprintf(stdout, "%-16s %-40s %s\n", "FAMILY", "KEYS", "DESCRIPTION")
+		for _, f := range workload.AllFamilies() {
+			fmt.Fprintf(stdout, "%-16s %-40s %s\n", f.Name, f.Keys, f.Doc)
+		}
+		return nil
+	}
+
 	if *benchName == "" {
-		return cli.Usagef("specify -bench; available: %v", workload.Names())
+		return cli.Usagef("specify -bench (see -list); available: %v + algo:... specs", workload.Names())
 	}
-	spec, err := workload.ByName(*benchName)
+	src, err := workload.OpenAny(*benchName, workload.Config{Scale: *scale, SeedOffset: *seed})
 	if err != nil {
 		return err
 	}
-	g, err := workload.New(spec, workload.Config{Scale: *scale, SeedOffset: *seed})
-	if err != nil {
-		return err
-	}
-	src := workload.NewTake(g, g.Length())
 
 	if *statsOnly {
 		st, err := trace.Measure(src)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "benchmark:            %s\n", spec.Name)
+		fmt.Fprintf(stdout, "benchmark:            %s\n", *benchName)
 		fmt.Fprintf(stdout, "dynamic conditional:  %d\n", st.Dynamic)
-		fmt.Fprintf(stdout, "static conditional:   %d (spec target %d)\n", st.Static, spec.StaticBranches)
+		if spec, err := workload.ByName(*benchName); err == nil {
+			fmt.Fprintf(stdout, "static conditional:   %d (spec target %d)\n", st.Static, spec.StaticBranches)
+		} else {
+			fmt.Fprintf(stdout, "static conditional:   %d\n", st.Static)
+		}
 		fmt.Fprintf(stdout, "dynamic uncond:       %d\n", st.DynamicUncond)
 		fmt.Fprintf(stdout, "static uncond:        %d\n", st.StaticUncond)
 		fmt.Fprintf(stdout, "taken ratio:          %.3f\n", st.TakenRatio())

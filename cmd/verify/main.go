@@ -63,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := diff.CodecSelfTest(*branches, *seed, stdout); err != nil {
 			return err
 		}
+		if err := diff.RecorderSelfTest(*seed, stdout); err != nil {
+			return err
+		}
 		fmt.Fprintln(stdout, "selftest ok: every injected fault caught and shrunk")
 		return nil
 

@@ -1,0 +1,431 @@
+package algotrace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gskew/internal/trace"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"algo:mp", "algo:mp,n=300000,m=8,sigma=2,dist=uniform,pat=rand,seed=1"},
+		{"algo:kmp,seed=9", "algo:kmp,n=300000,m=8,sigma=2,dist=uniform,pat=rand,seed=9"},
+		{"algo:mp,dist=bern", "algo:mp,n=300000,m=8,sigma=2,dist=bern,p=0.5,pat=rand,seed=1"},
+		{"algo:mp,dist=bern,p=0.7,sigma=8", "algo:mp,n=300000,m=8,sigma=2,dist=bern,p=0.7,pat=rand,seed=1"},
+		{"algo:kmp,m=3,pat=uni,sigma=16", "algo:kmp,n=300000,m=3,sigma=16,dist=uniform,pat=uni,seed=1"},
+		{"algo:binsearch", "algo:binsearch,n=4096,q=30000,seed=1"},
+		{"algo:binsearch,q=7,n=8,seed=3", "algo:binsearch,n=8,q=7,seed=3"},
+		{"algo:insertion", "algo:insertion,n=512,runs=8,sorted=0,seed=1"},
+		{"algo:insertion,sorted=0.25", "algo:insertion,n=512,runs=8,sorted=0.25,seed=1"},
+		{"algo:quick", "algo:quick,n=4096,runs=8,sorted=0,seed=1"},
+		{"algo:heap,runs=2,sorted=1", "algo:heap,n=4096,runs=2,sorted=1,seed=1"},
+		{"algo:scanmax", "algo:scanmax,n=65536,runs=8,seed=1"},
+		{" algo:scanmax , n=16 ", "algo:scanmax,n=16,runs=8,seed=1"},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Exact round trip: parse of the canonical form is a fixed point.
+		again, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+		}
+		if again != s {
+			t.Errorf("round trip of %q: %+v != %+v", c.in, again, s)
+		}
+		if s.Normalize() != s {
+			t.Errorf("ParseSpec(%q) not normalized: %+v", c.in, s)
+		}
+		if s.Normalize().Normalize() != s.Normalize() {
+			t.Errorf("Normalize not idempotent for %q", c.in)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"mp,n=10",                  // missing prefix
+		"algo:unknownalgo",         // unknown name
+		"algo:mp,n=10,n=20",        // duplicate key
+		"algo:mp,q=5",              // key from another family
+		"algo:binsearch,sigma=4",   // likewise
+		"algo:mp,n=",               // malformed pair
+		"algo:mp,dist=zipf",        // unknown enum
+		"algo:mp,pat=palindrome",   // unknown enum
+		"algo:mp,p=1.5,dist=bern",  // out of [0,1]
+		"algo:insertion,sorted=-1", // out of [0,1]
+		"algo:mp,n=abc",            // not a number
+		"algo:mp,seed=-1",          // not a uint
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) unexpectedly succeeded", in)
+		}
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	bad := []Spec{
+		{Name: "mp", M: 100},             // m > 64
+		{Name: "mp", N: 4, M: 8},         // m > n
+		{Name: "nosuch"},                 // unknown
+		{Name: "mp", Sigma: 1},           // sigma < 2
+		{Name: "mp", Dist: "bern", P: 1}, // p out of (0,1) — normalized sigma=2
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) unexpectedly succeeded", s)
+		}
+	}
+	for _, name := range Names() {
+		if err := (Spec{Name: name}).Validate(); err != nil {
+			t.Errorf("default %s spec invalid: %v", name, err)
+		}
+	}
+}
+
+func TestFamiliesListing(t *testing.T) {
+	fams := Families()
+	if len(fams) != len(Names()) {
+		t.Fatalf("Families() has %d entries, want %d", len(fams), len(Names()))
+	}
+	for _, f := range fams {
+		if !strings.HasPrefix(f.Name, Prefix) {
+			t.Errorf("family %q missing %q prefix", f.Name, Prefix)
+		}
+		if f.Keys == "" || f.Doc == "" {
+			t.Errorf("family %q lacks keys or doc", f.Name)
+		}
+		if !IsSpec(f.Name) {
+			t.Errorf("IsSpec(%q) = false", f.Name)
+		}
+	}
+}
+
+// TestSitePCsDistinct guards the property the whole subsystem rests
+// on: every declared site across every program has a unique, stable
+// PC in the algorithm text segment.
+func TestSitePCsDistinct(t *testing.T) {
+	all := []SiteID{
+		mpSites.call, mpSites.outer, mpSites.guard, mpSites.cmp, mpSites.match,
+		kmpSites.call, kmpSites.outer, kmpSites.guard, kmpSites.cmp, kmpSites.match,
+		bsSites.call, bsSites.loop, bsSites.less, bsSites.inb, bsSites.eq,
+		insSites.call, insSites.outer, insSites.guard, insSites.cmp,
+		qsSites.call, qsSites.work, qsSites.span, qsSites.part, qsSites.cmp,
+		hsSites.call, hsSites.build, hsSites.sortl, hsSites.child, hsSites.hasright, hsSites.right, hsSites.swap,
+		smSites.call, smSites.loop, smSites.newmax,
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range all {
+		pc := s.PC()
+		if seen[pc] {
+			t.Fatalf("site PC %#x assigned twice", pc)
+		}
+		seen[pc] = true
+		if pc < 1<<28 || pc >= 1<<28+(1<<20)*256 {
+			t.Errorf("site PC %#x outside the algorithm text segment", pc)
+		}
+	}
+	// Region bases must be 256-aligned so a program's sites share a
+	// region and never spill into a neighbour's.
+	if mpSites.call.PC()%256 != 0 {
+		t.Errorf("mp region base %#x not 256-aligned", mpSites.call.PC())
+	}
+	if kmpSites.call.PC() == mpSites.call.PC() {
+		t.Errorf("mp and kmp share a region")
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	p := NewProgram("recorder-basics-test")
+	a, b := p.Site("a"), p.Site("b")
+	rec := NewRecorder()
+	if !rec.Branch(a, true) || rec.Branch(a, false) {
+		t.Fatalf("Branch does not return its condition")
+	}
+	rec.Jump(b)
+	got := rec.Branches()
+	if len(got) != 3 || rec.Len() != 3 {
+		t.Fatalf("recorded %d events, want 3", len(got))
+	}
+	want := []trace.Branch{
+		{PC: a.PC(), Taken: true, Kind: trace.Conditional},
+		{PC: a.PC(), Taken: false, Kind: trace.Conditional},
+		{PC: b.PC(), Taken: true, Kind: trace.Unconditional},
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+func TestTamperSiteCollision(t *testing.T) {
+	spec := MustParseSpec("algo:binsearch,n=64,q=200,seed=5")
+	clean, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := NewRecorder()
+	TamperRecorderSiteCollision(dirty)
+	if err := RecordInto(spec, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != dirty.Len() {
+		t.Fatalf("tamper changed event count: %d vs %d", len(clean), dirty.Len())
+	}
+	if trace.HashBranches(clean) == trace.HashBranches(dirty.Branches()) {
+		t.Fatalf("site collision not visible in content hash")
+	}
+	cs, ds := trace.NewStats(), trace.NewStats()
+	for _, b := range clean {
+		cs.Observe(b)
+	}
+	for _, b := range dirty.Branches() {
+		ds.Observe(b)
+	}
+	if ds.Static >= cs.Static {
+		t.Fatalf("collision did not collapse static sites: %d vs %d", ds.Static, cs.Static)
+	}
+	if ds.Dynamic != cs.Dynamic {
+		t.Fatalf("collision changed dynamic count: %d vs %d", ds.Dynamic, cs.Dynamic)
+	}
+}
+
+// Pinned golden content hashes, one small instance per family.
+const (
+	goldenMP        = "3036a4f07941c185dd960ccfd61a6504cd38605e05dc59bd1cbbfd389a07c6ef"
+	goldenKMP       = "fa754f7a693ee0aa870f970693ef062966da34c65e9b684c2f7bf4ec956a33e7"
+	goldenBinsearch = "2f2ec1885f89cb27ba11aa9c5c9fbaff6d47c57434079df57841785668ff0eb0"
+	goldenInsertion = "85e4033bf3b9f1a6b2c394d9097f9996564fd96a70ec5e05d9d16a76c6434468"
+	goldenQuick     = "3e9f1431ebfa09124e725eec8089b5293d0ff94027168d920ef670207ac67236"
+	goldenHeap      = "4b1ba4bed0593c739ee7cf7ea09f07e2afb3cb4a1d3f65702fb7eeb142b28541"
+	goldenScanmax   = "356560a5c3e720fb5882361b84b0a1ea5fa939075a26e05ae50f6e7132504474"
+)
+
+// smallSpecs is one small instance per family; the golden hashes pin
+// the exact recorded streams so any drift in input generation, site
+// assignment or algorithm control flow is caught.
+var smallSpecs = []struct {
+	spec string
+	hash string
+}{
+	{"algo:mp,n=2000,m=4,sigma=2,dist=uniform,pat=rand,seed=7", goldenMP},
+	{"algo:kmp,n=2000,m=4,sigma=4,dist=uniform,pat=alt,seed=7", goldenKMP},
+	{"algo:binsearch,n=256,q=500,seed=7", goldenBinsearch},
+	{"algo:insertion,n=128,runs=2,sorted=0.5,seed=7", goldenInsertion},
+	{"algo:quick,n=256,runs=2,sorted=0,seed=7", goldenQuick},
+	{"algo:heap,n=256,runs=2,sorted=1,seed=7", goldenHeap},
+	{"algo:scanmax,n=1024,runs=2,seed=7", goldenScanmax},
+}
+
+func TestRecordDeterministicAndPinned(t *testing.T) {
+	for _, c := range smallSpecs {
+		spec := MustParseSpec(c.spec)
+		first, err := Record(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		second, err := Record(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		h1, h2 := trace.HashBranches(first), trace.HashBranches(second)
+		if h1 != h2 {
+			t.Errorf("%s: repeated recordings differ: %s vs %s", c.spec, h1, h2)
+		}
+		if h1 != c.hash {
+			t.Errorf("%s: content hash %s, want pinned %s", c.spec, h1, c.hash)
+		}
+		if len(first) == 0 {
+			t.Errorf("%s: empty recording", c.spec)
+		}
+	}
+}
+
+// TestRecordedStreamsSurviveColumnarCodec round-trips each family's
+// recording through the block-columnar codec.
+func TestRecordedStreamsSurviveColumnarCodec(t *testing.T) {
+	for _, c := range smallSpecs {
+		branches, err := Record(MustParseSpec(c.spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := trace.EncodeColumnar(branches)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.spec, err)
+		}
+		back, err := trace.DecodeBytes(blob)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.spec, err)
+		}
+		if trace.HashBranches(back) != trace.HashBranches(branches) {
+			t.Errorf("%s: columnar round trip changed content", c.spec)
+		}
+	}
+}
+
+func TestClosedFormIID(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+		q := 1 - p
+		if got, want := ClosedFormIIDMissRate(1, p), 2*p*q; math.Abs(got-want) > 1e-12 {
+			t.Errorf("1-bit closed form at p=%v: %v, want %v", p, got, want)
+		}
+		// Direction symmetry: relabeling taken<->not-taken preserves
+		// the rate.
+		if a, b := ClosedFormIIDMissRate(2, p), ClosedFormIIDMissRate(2, q); math.Abs(a-b) > 1e-12 {
+			t.Errorf("2-bit closed form asymmetric: miss(%v)=%v, miss(%v)=%v", p, a, q, b)
+		}
+	}
+	if got := ClosedFormIIDMissRate(2, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("2-bit closed form at p=0.5: %v, want 0.5", got)
+	}
+	if ClosedFormIIDMissRate(2, 0.05) >= ClosedFormIIDMissRate(2, 0.3) {
+		t.Errorf("2-bit closed form not monotone on [0,0.5]")
+	}
+}
+
+// TestAnalyticM1HandFormula cross-checks the product chain against an
+// independently hand-derived closed form for the m=1 matcher under
+// 1-bit counters. With a single-letter pattern the cmp site is iid
+// Bernoulli(pm) (pm = mismatch probability) and the match site its
+// complement, each missing 2·pm·(1-pm); the guard site under a 1-bit
+// counter misses 2·pm per character; branches per char are 4+pm.
+func TestAnalyticM1HandFormula(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		pm   float64
+	}{
+		{"algo:mp,m=1,sigma=2,pat=uni,n=1000", 0.5},
+		{"algo:mp,m=1,sigma=4,pat=uni,n=1000", 0.75},
+		{"algo:mp,m=1,dist=bern,p=0.7,pat=uni,n=1000", 0.3},
+		{"algo:kmp,m=1,sigma=2,pat=uni,n=1000", 0.5},
+	} {
+		got, err := AnalyzeMatch(MustParseSpec(tc.spec), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		pm := tc.pm
+		wantMisses := 4*pm*(1-pm) + 2*pm
+		wantBranches := 4 + pm
+		if math.Abs(got.MissesPerChar-wantMisses) > 1e-9 {
+			t.Errorf("%s: misses/char %v, want %v", tc.spec, got.MissesPerChar, wantMisses)
+		}
+		if math.Abs(got.BranchesPerChar-wantBranches) > 1e-9 {
+			t.Errorf("%s: branches/char %v, want %v", tc.spec, got.BranchesPerChar, wantBranches)
+		}
+		if math.Abs(got.MissRate-wantMisses/wantBranches) > 1e-9 {
+			t.Errorf("%s: rate %v, want %v", tc.spec, got.MissRate, wantMisses/wantBranches)
+		}
+	}
+}
+
+// simulatePerSiteCounters is an in-test first-order predictor: one
+// k-bit saturating counter per PC, initialised weakly taken,
+// predicting the upper half of its range. Written from the definition
+// — independent of internal/predictor — so the comparison below
+// chains recorder → this simulator → analytic model with no shared
+// code.
+func simulatePerSiteCounters(branches []trace.Branch, bits uint) float64 {
+	max := uint8(1<<bits - 1)
+	mid := max / 2
+	ctrs := make(map[uint64]uint8)
+	misses, total := 0, 0
+	for _, b := range branches {
+		if b.Kind != trace.Conditional {
+			continue
+		}
+		v, ok := ctrs[b.PC]
+		if !ok {
+			v = mid + 1
+		}
+		if (v > mid) != b.Taken {
+			misses++
+		}
+		if b.Taken {
+			if v < max {
+				v++
+			}
+		} else if v > 0 {
+			v--
+		}
+		ctrs[b.PC] = v
+		total++
+	}
+	return float64(misses) / float64(total)
+}
+
+// TestAnalyticMatchesRecordedStreams is the package-level
+// measured-vs-predicted check: the analytic chain's steady-state rate
+// must match a direct per-site counter simulation of the recorded
+// stream. (The ext-realwork experiment repeats this end to end
+// through the production simulator at ≥1M branches.)
+func TestAnalyticMatchesRecordedStreams(t *testing.T) {
+	specs := []string{
+		"algo:mp,n=150000,m=4,sigma=2,seed=3",
+		"algo:mp,n=150000,m=8,sigma=4,pat=rand,seed=11",
+		"algo:mp,n=150000,m=6,dist=bern,p=0.7,pat=alt,seed=2",
+		"algo:kmp,n=150000,m=4,sigma=2,seed=3",
+		"algo:kmp,n=150000,m=8,pat=uni,seed=5",
+	}
+	for _, raw := range specs {
+		spec := MustParseSpec(raw)
+		branches, err := Record(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		for _, bits := range []uint{1, 2} {
+			want, err := AnalyzeMatch(spec, bits)
+			if err != nil {
+				t.Fatalf("%s: %v", raw, err)
+			}
+			got := simulatePerSiteCounters(branches, bits)
+			if diff := math.Abs(got - want.MissRate); diff > 0.01 {
+				t.Errorf("%s ctr=%d: measured %.5f vs analytic %.5f (|diff| %.5f > 0.01)",
+					raw, bits, got, want.MissRate, diff)
+			}
+		}
+	}
+}
+
+// TestKMPBeatsMPOnPeriodicPattern: on the all-a pattern over a small
+// alphabet the strong failure function skips the redundant compares
+// MP repeats, which shows up as a different (lower) analytic cmp-site
+// pressure. Guards the wiring that actually distinguishes the two.
+func TestKMPBeatsMPOnPeriodicPattern(t *testing.T) {
+	mp := MustParseSpec("algo:mp,m=8,pat=uni,sigma=2,n=1000")
+	kmp := MustParseSpec("algo:kmp,m=8,pat=uni,sigma=2,n=1000")
+	am, err := AnalyzeMatch(mp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ak, err := AnalyzeMatch(kmp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak.BranchesPerChar >= am.BranchesPerChar {
+		t.Errorf("KMP executes %v branches/char, MP %v — strong failure should skip work",
+			ak.BranchesPerChar, am.BranchesPerChar)
+	}
+	bm, err := Record(Spec{Name: "mp", N: 1000, M: 8, Pat: "uni"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := Record(Spec{Name: "kmp", N: 1000, M: 8, Pat: "uni"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.HashBranches(bm) == trace.HashBranches(bk) {
+		t.Errorf("mp and kmp recorded identical streams on a periodic pattern")
+	}
+}

@@ -1,0 +1,74 @@
+package algotrace
+
+import "gskew/internal/rng"
+
+// Input generation. Everything here is driven by a seeded
+// rng.Xoshiro256 with a fixed draw order, so a Spec determines its
+// inputs — and therefore its recorded branch stream — exactly.
+
+// genText draws an n-character text over the alphabet {0..sigma-1}.
+// dist "uniform" is iid uniform; "bern" is iid binary with
+// P(letter 0) = p (sigma is 2 by normalization).
+func genText(r *rng.Xoshiro256, n, sigma int, dist string, p float64) []byte {
+	text := make([]byte, n)
+	if dist == "bern" {
+		for i := range text {
+			if !r.Bool(p) {
+				text[i] = 1
+			}
+		}
+		return text
+	}
+	for i := range text {
+		text[i] = byte(r.Intn(sigma))
+	}
+	return text
+}
+
+// genPattern draws an m-character pattern: "rand" uniform over the
+// alphabet, "uni" the maximally periodic aa...a, "alt" the
+// period-two abab... (letter 1 exists because sigma >= 2).
+func genPattern(r *rng.Xoshiro256, m, sigma int, pat string) []byte {
+	p := make([]byte, m)
+	switch pat {
+	case "uni":
+		// all zero
+	case "alt":
+		for i := range p {
+			p[i] = byte(i & 1)
+		}
+	default: // rand
+		for i := range p {
+			p[i] = byte(r.Intn(sigma))
+		}
+	}
+	return p
+}
+
+// genArray builds one sort input of length n: an ascending ramp with
+// round((1-sorted)*n) random transpositions applied, so sorted=1 is
+// fully ordered and sorted=0 is near-random. Values are distinct, so
+// comparison outcomes are never degenerate ties.
+func genArray(r *rng.Xoshiro256, n int, sorted float64) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	swaps := int((1-sorted)*float64(n) + 0.5)
+	for k := 0; k < swaps; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		a[i], a[j] = a[j], a[i]
+	}
+	return a
+}
+
+// genSortedValues builds the binsearch haystack: n strictly
+// increasing values spaced 2 apart (even numbers), so random probes
+// hit present and absent keys in equal proportion.
+func genSortedValues(n int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = 2 * i
+	}
+	return a
+}

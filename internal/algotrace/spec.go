@@ -1,0 +1,387 @@
+package algotrace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec describes one recorded-algorithm workload in full: which
+// algorithm runs, on how much input, and from which input
+// distribution. The canonical string form mirrors predictor.Spec —
+//
+//	algo:<name>,key=value,...
+//	algo:kmp,n=300000,m=8,sigma=2,dist=uniform,pat=rand,seed=1
+//	algo:quick,n=4096,runs=16,sorted=0,seed=1
+//
+// with the name's keys in a fixed order, defaults explicit, and an
+// exact parse/print round-trip: ParseSpec(s.String()) == s.Normalize().
+// Because the inputs are drawn from the seeded internal/rng generators
+// and the algorithms are deterministic, a Spec fully determines its
+// recorded branch stream byte for byte.
+type Spec struct {
+	// Name is the algorithm: mp, kmp, binsearch, insertion, quick,
+	// heap or scanmax.
+	Name string
+	// N is the main input size: text length in characters (mp/kmp),
+	// array length (binsearch and the sorts), elements scanned per run
+	// (scanmax). Key "n".
+	N int
+	// M is the pattern length (mp/kmp). Key "m".
+	M int
+	// Sigma is the alphabet size (mp/kmp). Key "sigma".
+	Sigma int
+	// Dist selects the mp/kmp text model: "uniform" (iid uniform over
+	// the alphabet) or "bern" (iid binary with P(letter 0) = P; forces
+	// sigma 2). Key "dist".
+	Dist string
+	// P is the Bernoulli parameter of dist=bern. Key "p".
+	P float64
+	// Pat selects the mp/kmp pattern shape: "rand" (drawn uniformly
+	// from the alphabet), "uni" (aa...a, maximally periodic) or "alt"
+	// (abab..., period two). Key "pat".
+	Pat string
+	// Queries is the binsearch probe count. Key "q".
+	Queries int
+	// Runs is how many independent input instances the sorts and
+	// scanmax record back to back. Key "runs".
+	Runs int
+	// Sorted is the sortedness of the sorts' input arrays in [0,1]:
+	// 1 leaves the ramp fully sorted, 0 applies n random swaps. Key
+	// "sorted".
+	Sorted float64
+	// Seed drives every input generator. Key "seed" (0 normalizes to
+	// the default 1 so the zero Spec is runnable).
+	Seed uint64
+}
+
+// Prefix is the spec-grammar family prefix shared by every recorded
+// algorithm workload.
+const Prefix = "algo:"
+
+// IsSpec reports whether a workload name is an algo spec (by prefix
+// only; the spec may still fail to parse).
+func IsSpec(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// Names lists the algorithms the grammar accepts, in documentation
+// order.
+func Names() []string {
+	return []string{"mp", "kmp", "binsearch", "insertion", "quick", "heap", "scanmax"}
+}
+
+// specKeys maps each algorithm to the parameter keys its grammar
+// accepts, in canonical render order.
+var specKeys = map[string][]string{
+	"mp":        {"n", "m", "sigma", "dist", "p", "pat", "seed"},
+	"kmp":       {"n", "m", "sigma", "dist", "p", "pat", "seed"},
+	"binsearch": {"n", "q", "seed"},
+	"insertion": {"n", "runs", "sorted", "seed"},
+	"quick":     {"n", "runs", "sorted", "seed"},
+	"heap":      {"n", "runs", "sorted", "seed"},
+	"scanmax":   {"n", "runs", "seed"},
+}
+
+// AllowedKeys returns the parameter keys an algorithm's grammar
+// accepts, sorted (empty for unknown names). Mirrors
+// predictor.AllowedKeys for grammar-discovery surfaces.
+func AllowedKeys(name string) []string {
+	keys := append([]string(nil), specKeys[name]...)
+	sort.Strings(keys)
+	return keys
+}
+
+// Normalize returns the spec with per-algorithm defaults made
+// explicit and irrelevant fields zeroed — the form String renders.
+// Unknown names normalize to themselves. Normalize is idempotent.
+func (s Spec) Normalize() Spec {
+	t := s
+	if t.Seed == 0 {
+		t.Seed = 1
+	}
+	switch t.Name {
+	case "mp", "kmp":
+		if t.N == 0 {
+			t.N = 300000
+		}
+		if t.M == 0 {
+			t.M = 8
+		}
+		if t.Dist == "" {
+			t.Dist = "uniform"
+		}
+		if t.Dist == "bern" {
+			t.Sigma = 2
+			if t.P == 0 {
+				t.P = 0.5
+			}
+		} else {
+			// P only parameterizes the Bernoulli model.
+			t.P = 0
+		}
+		if t.Sigma == 0 {
+			t.Sigma = 2
+		}
+		if t.Pat == "" {
+			t.Pat = "rand"
+		}
+		t = Spec{Name: t.Name, N: t.N, M: t.M, Sigma: t.Sigma,
+			Dist: t.Dist, P: t.P, Pat: t.Pat, Seed: t.Seed}
+	case "binsearch":
+		if t.N == 0 {
+			t.N = 4096
+		}
+		if t.Queries == 0 {
+			t.Queries = 30000
+		}
+		t = Spec{Name: t.Name, N: t.N, Queries: t.Queries, Seed: t.Seed}
+	case "insertion", "quick", "heap":
+		if t.N == 0 {
+			if t.Name == "insertion" {
+				t.N = 512 // quadratic: keep a run comparable to the others
+			} else {
+				t.N = 4096
+			}
+		}
+		if t.Runs == 0 {
+			t.Runs = 8
+		}
+		t = Spec{Name: t.Name, N: t.N, Runs: t.Runs, Sorted: t.Sorted, Seed: t.Seed}
+	case "scanmax":
+		if t.N == 0 {
+			t.N = 65536
+		}
+		if t.Runs == 0 {
+			t.Runs = 8
+		}
+		t = Spec{Name: t.Name, N: t.N, Runs: t.Runs, Seed: t.Seed}
+	}
+	return t
+}
+
+// Validate checks the numeric ranges the generators require. It is
+// called by Record; ParseSpec stays syntactic (like predictor.Spec,
+// where range errors surface at construction).
+func (s Spec) Validate() error {
+	t := s.Normalize()
+	known := false
+	for _, n := range Names() {
+		if t.Name == n {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("algotrace: unknown algorithm %q (have %s)", t.Name, strings.Join(Names(), ", "))
+	}
+	if t.N < 1 || t.N > 1<<28 {
+		return fmt.Errorf("algotrace: n=%d out of range [1, 2^28]", t.N)
+	}
+	switch t.Name {
+	case "mp", "kmp":
+		if t.M < 1 || t.M > 64 {
+			return fmt.Errorf("algotrace: pattern length m=%d out of range [1,64]", t.M)
+		}
+		if t.M > t.N {
+			return fmt.Errorf("algotrace: pattern length m=%d exceeds text length n=%d", t.M, t.N)
+		}
+		if t.Sigma < 2 || t.Sigma > 64 {
+			return fmt.Errorf("algotrace: alphabet size sigma=%d out of range [2,64]", t.Sigma)
+		}
+		if t.Dist == "bern" && (t.P <= 0 || t.P >= 1) {
+			return fmt.Errorf("algotrace: bernoulli p=%v out of range (0,1)", t.P)
+		}
+	case "binsearch":
+		if t.Queries < 1 {
+			return fmt.Errorf("algotrace: q=%d out of range [1,∞)", t.Queries)
+		}
+	case "insertion", "quick", "heap":
+		if t.Runs < 1 {
+			return fmt.Errorf("algotrace: runs=%d out of range [1,∞)", t.Runs)
+		}
+		if t.Sorted < 0 || t.Sorted > 1 {
+			return fmt.Errorf("algotrace: sorted=%v out of range [0,1]", t.Sorted)
+		}
+	case "scanmax":
+		if t.Runs < 1 {
+			return fmt.Errorf("algotrace: runs=%d out of range [1,∞)", t.Runs)
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float in the canonical (shortest) form, so
+// parse -> print is a fixed point.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the canonical form `algo:name,key=value,...` with
+// the name's keys in fixed order and defaults explicit, so that
+// ParseSpec(s.String()) reproduces s.Normalize() exactly.
+func (s Spec) String() string {
+	t := s.Normalize()
+	var kv []string
+	add := func(k, v string) { kv = append(kv, k+"="+v) }
+	switch t.Name {
+	case "mp", "kmp":
+		add("n", strconv.Itoa(t.N))
+		add("m", strconv.Itoa(t.M))
+		add("sigma", strconv.Itoa(t.Sigma))
+		add("dist", t.Dist)
+		if t.Dist == "bern" {
+			add("p", formatFloat(t.P))
+		}
+		add("pat", t.Pat)
+	case "binsearch":
+		add("n", strconv.Itoa(t.N))
+		add("q", strconv.Itoa(t.Queries))
+	case "insertion", "quick", "heap":
+		add("n", strconv.Itoa(t.N))
+		add("runs", strconv.Itoa(t.Runs))
+		add("sorted", formatFloat(t.Sorted))
+	case "scanmax":
+		add("n", strconv.Itoa(t.N))
+		add("runs", strconv.Itoa(t.Runs))
+	default:
+		return Prefix + t.Name
+	}
+	add("seed", strconv.FormatUint(t.Seed, 10))
+	return Prefix + t.Name + "," + strings.Join(kv, ",")
+}
+
+// ParseSpec parses the canonical string form back into a normalized
+// Spec. Keys irrelevant to the algorithm are rejected, as are
+// duplicate keys and unknown enum values; numeric ranges are checked
+// by Validate at recording time. ParseSpec is the exact inverse of
+// Spec.String: ParseSpec(s.String()) == s.Normalize().
+func ParseSpec(text string) (Spec, error) {
+	trimmed := strings.TrimSpace(text)
+	if !strings.HasPrefix(trimmed, Prefix) {
+		return Spec{}, fmt.Errorf("algotrace: spec %q does not start with %q", text, Prefix)
+	}
+	name, rest, hasParams := strings.Cut(trimmed[len(Prefix):], ",")
+	name = strings.TrimSpace(name)
+	if _, known := specKeys[name]; !known {
+		return Spec{}, fmt.Errorf("algotrace: unknown algorithm %q in spec %q (have %s)",
+			name, text, strings.Join(Names(), ", "))
+	}
+	s := Spec{Name: name}
+	if !hasParams || strings.TrimSpace(rest) == "" {
+		return s.Normalize(), nil
+	}
+	seen := make(map[string]bool)
+	for _, pair := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Spec{}, fmt.Errorf("algotrace: malformed parameter %q in spec %q (want key=value)", pair, text)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("algotrace: duplicate parameter %q in spec %q", key, text)
+		}
+		seen[key] = true
+		if !keyAllowed(name, key) {
+			return Spec{}, fmt.Errorf("algotrace: parameter %q does not apply to %q (allowed: %s)",
+				key, name, strings.Join(AllowedKeys(name), ", "))
+		}
+		switch key {
+		case "dist":
+			if val != "uniform" && val != "bern" {
+				return Spec{}, fmt.Errorf("algotrace: unknown dist %q in spec %q (want uniform or bern)", val, text)
+			}
+			s.Dist = val
+			continue
+		case "pat":
+			if val != "rand" && val != "uni" && val != "alt" {
+				return Spec{}, fmt.Errorf("algotrace: unknown pat %q in spec %q (want rand, uni or alt)", val, text)
+			}
+			s.Pat = val
+			continue
+		case "p", "sorted":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return Spec{}, fmt.Errorf("algotrace: parameter %s=%q in spec %q is not a number in [0,1]", key, val, text)
+			}
+			if key == "p" {
+				s.P = f
+			} else {
+				s.Sorted = f
+			}
+			continue
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("algotrace: parameter seed=%q in spec %q is not a number", val, text)
+			}
+			s.Seed = u
+			continue
+		}
+		u, err := strconv.ParseUint(val, 10, 31)
+		if err != nil {
+			return Spec{}, fmt.Errorf("algotrace: parameter %s=%q in spec %q is not a number", key, val, text)
+		}
+		switch key {
+		case "n":
+			s.N = int(u)
+		case "m":
+			s.M = int(u)
+		case "sigma":
+			s.Sigma = int(u)
+		case "q":
+			s.Queries = int(u)
+		case "runs":
+			s.Runs = int(u)
+		}
+	}
+	return s.Normalize(), nil
+}
+
+// MustParseSpec is ParseSpec panicking on error, for static tables.
+func MustParseSpec(text string) Spec {
+	s, err := ParseSpec(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func keyAllowed(name, key string) bool {
+	for _, k := range specKeys[name] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Family documents one algorithm for workload-listing surfaces.
+type Family struct {
+	// Name is the algorithm name as the grammar accepts it.
+	Name string
+	// Keys is the comma-joined key grammar in canonical order.
+	Keys string
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Families describes every algorithm family for listing surfaces
+// such as `tracegen -list`.
+func Families() []Family {
+	docs := map[string]string{
+		"mp":        "Morris-Pratt string matching (weak failure function) over random text",
+		"kmp":       "Knuth-Morris-Pratt string matching (strong failure function) over random text",
+		"binsearch": "binary search probes over a sorted array",
+		"insertion": "insertion sort of partially-sorted arrays",
+		"quick":     "quicksort (middle-pivot Lomuto) of partially-sorted arrays",
+		"heap":      "heapsort (sift-down) of partially-sorted arrays",
+		"scanmax":   "linear scan tracking the running maximum",
+	}
+	out := make([]Family, 0, len(specKeys))
+	for _, n := range Names() {
+		out = append(out, Family{
+			Name: Prefix + n,
+			Keys: strings.Join(specKeys[n], ","),
+			Doc:  docs[n],
+		})
+	}
+	return out
+}

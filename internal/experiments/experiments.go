@@ -157,8 +157,9 @@ func (c *Context) BenchmarkNames() []string {
 	return workload.Names()
 }
 
-// Trace returns the materialised trace for a benchmark, generating it
-// on first use. It is safe for concurrent use: per-key sync.Once
+// Trace returns the materialised trace for a workload — a benchmark
+// name or a recorded-algorithm spec ("algo:...") — generating it on
+// first use. It is safe for concurrent use: per-key sync.Once
 // guarantees each benchmark trace is generated exactly once per
 // Context even when many goroutines race for it, and the map lock is
 // never held during generation, so distinct benchmarks materialise
@@ -176,18 +177,19 @@ func (c *Context) Trace(name string) ([]trace.Branch, error) {
 	c.mu.Unlock()
 	e.once.Do(func() {
 		poolKey := fmt.Sprintf("%s|%g|%d", name, c.scale(), c.SeedOffset)
+		if workload.IsAlgo(name) {
+			// Scale does not apply to recorded algorithms; keeping the
+			// pool identity scale-free lets CLI and service ingests of
+			// the same spec share one entry.
+			poolKey = fmt.Sprintf("%s|%d", name, c.SeedOffset)
+		}
 		if c.Pool != nil {
 			if branches, _, ok := c.Pool.GetNamed(poolKey); ok {
 				e.branches = branches
 				return
 			}
 		}
-		spec, err := workload.ByName(name)
-		if err != nil {
-			e.err = err
-			return
-		}
-		e.branches, e.err = workload.Materialize(spec,
+		e.branches, e.err = workload.MaterializeAny(name,
 			workload.Config{Scale: c.scale(), SeedOffset: c.SeedOffset})
 		if e.err == nil && c.Pool != nil {
 			// Write-through; a pool failure only costs re-materialisation

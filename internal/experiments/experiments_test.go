@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-banks", "ablation-policy", "ablation-counters", "ablation-enhanced-bank0",
 		"ext-pas", "ext-hybrid", "ext-confidence", "ext-encoding", "ext-opt", "ext-pipeline",
 		"ext-interference", "ext-quantum", "ext-flush", "ext-model-m", "ext-variance", "ext-rivals", "ext-ev8", "ext-besthist", "ext-setassoc",
-		"ext-shootout",
+		"ext-shootout", "ext-realwork",
 	}
 	all := All()
 	got := make(map[string]bool, len(all))

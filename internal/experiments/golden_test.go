@@ -84,6 +84,74 @@ func TestShootoutDeterministicAcrossExecution(t *testing.T) {
 	}
 }
 
+// TestRealworkGolden pins the real-algorithm validation experiment.
+// The experiment itself hard-errors if any measured stream strays
+// more than realworkTolerancePP from the analytic oracle, so this
+// test is also the acceptance check for measured-vs-analytic
+// agreement on the >= 1M-branch streams.
+func TestRealworkGolden(t *testing.T) {
+	e, err := ByID("ext-realwork")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "ext-realwork.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestRealworkGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRealworkDeterministicAcrossExecution reruns ext-realwork with a
+// serial scheduler and with segment-parallel simulation; the rendered
+// output must be byte-identical either way.
+func TestRealworkDeterministicAcrossExecution(t *testing.T) {
+	render := func(ctx *Context) string {
+		t.Helper()
+		e, err := ByID("ext-realwork")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	base := render(testCtx())
+	serial := testCtx()
+	serial.Sched = NewSched(1)
+	if got := render(serial); got != base {
+		t.Errorf("serial scheduler changed output:\n--- jobs=1 ---\n%s--- default ---\n%s", got, base)
+	}
+	seg := testCtx()
+	seg.Segments = 5
+	if got := render(seg); got != base {
+		t.Errorf("segmented execution changed output:\n--- segments=5 ---\n%s--- serial ---\n%s", got, base)
+	}
+}
+
 func TestGoldenDeterministicExperiments(t *testing.T) {
 	for _, id := range []string{"fig3", "fig4", "fig9", "fig10", "ext-model-m"} {
 		t.Run(id, func(t *testing.T) {

@@ -1,0 +1,89 @@
+package diff
+
+import (
+	"fmt"
+	"io"
+
+	"gskew/internal/algotrace"
+	"gskew/internal/trace"
+)
+
+// The recorder arm of the fault-injection selftest. The algotrace
+// recorder assigns every instrumented branch site a stable synthetic
+// PC; if two sites ever collapse onto one PC, their substreams merge
+// and every per-site predictor result quietly changes while the stream
+// itself stays perfectly well-formed — it decodes, simulates and
+// summarises plausibly. That is exactly the fault class content
+// addressing exists for, so the selftest plants it
+// (algotrace.TamperRecorderSiteCollision drops the low PC bit, merging
+// adjacent site pairs) and requires the canonical content hash to
+// diverge from the clean recording.
+
+// RecorderSelfTest records one MP matching workload twice — once
+// clean, once with the planted site-ID collision — and requires the
+// tampered stream to (a) stay silent (same event count, identical
+// taken/kind sequence, clean codec round trip) and (b) be caught by
+// content-hash divergence, corroborated by the static-site count
+// collapsing. An error means the fault escaped — recorded real-program
+// traces could alias sites without the pipeline noticing.
+func RecorderSelfTest(seed uint64, log io.Writer) error {
+	spec, err := algotrace.ParseSpec(fmt.Sprintf("algo:mp,n=20000,m=6,seed=%d", seed+1))
+	if err != nil {
+		return err
+	}
+	clean := algotrace.NewRecorder()
+	if err := algotrace.RecordInto(spec, clean); err != nil {
+		return err
+	}
+	tampered := algotrace.NewRecorder()
+	algotrace.TamperRecorderSiteCollision(tampered)
+	if err := algotrace.RecordInto(spec, tampered); err != nil {
+		return fmt.Errorf("diff: recorder selftest: tampered recording failed (%w); the planted fault must be silent", err)
+	}
+
+	cb, tb := clean.Branches(), tampered.Branches()
+	if len(cb) != len(tb) {
+		return fmt.Errorf("diff: recorder selftest: tampered run recorded %d events vs %d clean; the fault must only alias PCs", len(tb), len(cb))
+	}
+	cleanStats, tamperedStats := trace.NewStats(), trace.NewStats()
+	for i := range cb {
+		if cb[i].Taken != tb[i].Taken || cb[i].Kind != tb[i].Kind {
+			return fmt.Errorf("diff: recorder selftest: event %d direction/kind changed under tamper; the fault must only alias PCs", i)
+		}
+		cleanStats.Observe(cb[i])
+		tamperedStats.Observe(tb[i])
+	}
+	// The tampered stream must survive the codec like any real trace:
+	// the fault is upstream of serialisation and must not be caught by
+	// accident there.
+	enc, err := trace.EncodeColumnar(tb)
+	if err != nil {
+		return fmt.Errorf("diff: recorder selftest: tampered stream failed to encode (%w); the planted fault must be silent", err)
+	}
+	dec, err := trace.DecodeBytes(enc)
+	if err != nil {
+		return fmt.Errorf("diff: recorder selftest: tampered stream failed to decode (%w); the planted fault must be silent", err)
+	}
+	if trace.HashBranches(dec) != trace.HashBranches(tb) {
+		return fmt.Errorf("diff: recorder selftest: tampered stream did not round-trip the codec")
+	}
+
+	caught := trace.HashBranches(tb) != trace.HashBranches(cb)
+	collapsed := tamperedStats.Static < cleanStats.Static
+	if log != nil {
+		status := "ESCAPED"
+		if caught {
+			status = fmt.Sprintf("caught (decode clean, %d records, content hash diverged, static sites %d -> %d)",
+				len(tb), cleanStats.Static, tamperedStats.Static)
+		}
+		fmt.Fprintf(log, "%-28s %-22s %s\n", "recorder/"+spec.Name, "recorder-site-collision", status)
+	}
+	if !caught {
+		return fmt.Errorf("diff: recorder selftest: recorder-site-collision escaped (tampered recording hashed identically to the clean one)")
+	}
+	if !collapsed {
+		return fmt.Errorf("diff: recorder selftest: tamper did not collapse the static site count (%d clean vs %d tampered) — the plant is not merging sites",
+			cleanStats.Static, tamperedStats.Static)
+	}
+	return nil
+}

@@ -262,6 +262,11 @@ func newTraceCache(max int, pool *tracepool.Pool) *traceCache {
 
 func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialisedTrace, error) {
 	key := fmt.Sprintf("%s|%g|%d", bench, scale, seed)
+	if workload.IsAlgo(bench) {
+		// Scale does not apply to recorded algorithms; a scale-free key
+		// shares the pooled segment with CLI and experiments runs.
+		key = fmt.Sprintf("%s|%d", bench, seed)
+	}
 	c.mu.Lock()
 	mt := c.m[key]
 	if mt == nil {
@@ -282,12 +287,7 @@ func (c *traceCache) get(bench string, scale float64, seed uint64) (*materialise
 			mt.branches, mt.hash = branches, hash
 			return
 		}
-		spec, err := workload.ByName(bench)
-		if err != nil {
-			mt.err = err
-			return
-		}
-		mt.branches, mt.err = workload.Materialize(spec, workload.Config{Scale: scale, SeedOffset: seed})
+		mt.branches, mt.err = workload.MaterializeAny(bench, workload.Config{Scale: scale, SeedOffset: seed})
 		if mt.err == nil {
 			mt.hash = trace.HashBranches(mt.branches)
 			// Write-through; a pool failure only costs re-materialisation.

@@ -15,6 +15,7 @@ import (
 	"gskew/internal/api"
 	"gskew/internal/trace"
 	"gskew/internal/tracepool"
+	"gskew/internal/workload"
 )
 
 // testTrace builds a small deterministic branch sequence.
@@ -226,6 +227,85 @@ func TestSimulateByHashRejections(t *testing.T) {
 		}
 		wantCode(t, name, out, tc.code)
 	}
+}
+
+// TestAlgoTraceRoundTripAndSweep: a recorded-algorithm trace behaves
+// like any other content: ingest returns its content hash, GET serves
+// byte-identical canonical columnar bytes, and sweep-by-hash responses
+// are byte-identical cold vs cached. The server also materialises
+// algo:... workloads directly through the bench parameter.
+func TestAlgoTraceRoundTripAndSweep(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	const spec = "algo:kmp,n=4000,m=6,sigma=2,pat=rand,seed=11"
+	branches, err := workload.MaterializeAny(spec, workload.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := trace.HashBranches(branches)
+	columnar, err := trace.EncodeColumnar(branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := postRaw(t, ts.URL+"/v1/traces", columnar)
+	if status != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", status, body)
+	}
+	var resp api.TraceIngestResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceSHA256 != wantHash {
+		t.Errorf("ingest hash %s, want %s", resp.TraceSHA256, wantHash)
+	}
+
+	gstatus, served, _ := getRaw(t, ts.URL+"/v1/traces/"+wantHash)
+	if gstatus != http.StatusOK {
+		t.Fatalf("get status %d", gstatus)
+	}
+	if !bytes.Equal(served, columnar) {
+		t.Error("served algo trace is not byte-identical to the canonical columnar encoding")
+	}
+
+	sweep := fmt.Sprintf(`{"specs":["bimodal:n=4,ctr=2","gshare:n=7,k=5"],"trace_sha256":%q}`, wantHash)
+	status, cold, _ := postJSON(t, ts.URL+"/v1/simulate", sweep)
+	if status != http.StatusOK {
+		t.Fatalf("cold sweep status %d: %s", status, cold)
+	}
+	status, cached, _ := postJSON(t, ts.URL+"/v1/simulate", sweep)
+	if status != http.StatusOK {
+		t.Fatalf("cached sweep status %d: %s", status, cached)
+	}
+	if cold != cached {
+		t.Errorf("sweep-by-hash responses differ cold vs cached:\n--- cold ---\n%s--- cached ---\n%s", cold, cached)
+	}
+
+	// bench="algo:..." materialises on the server and must agree with
+	// the ingested stream: same content hash in the workload info.
+	status, byBench, _ := postJSON(t, ts.URL+"/v1/simulate",
+		fmt.Sprintf(`{"specs":["bimodal:n=4,ctr=2","gshare:n=7,k=5"],"bench":%q}`, spec))
+	if status != http.StatusOK {
+		t.Fatalf("bench sweep status %d: %s", status, byBench)
+	}
+	var benchResp struct {
+		Workload struct {
+			TraceSHA256 string `json:"trace_sha256"`
+		} `json:"workload"`
+	}
+	if err := json.Unmarshal([]byte(byBench), &benchResp); err != nil {
+		t.Fatal(err)
+	}
+	if benchResp.Workload.TraceSHA256 != wantHash {
+		t.Errorf("bench materialisation hash %s, want %s — server-side recording diverged",
+			benchResp.Workload.TraceSHA256, wantHash)
+	}
+
+	// Unknown algorithm name is a workload error, not a 500.
+	status, bad, _ := postJSON(t, ts.URL+"/v1/simulate", `{"specs":["bimodal:n=8"],"bench":"algo:bogosort"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bogus algo spec: status %d (%s), want 400", status, bad)
+	}
+	wantCode(t, "bogus algo", bad, api.CodeBadWorkload)
 }
 
 // TestTracePoolDiskSharing: a disk-backed pool dedups across server
